@@ -1,0 +1,364 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (section 6) on the TJ workload suite.
+
+     dune exec bench/main.exe              all experiments
+     dune exec bench/main.exe -- table1    benchmark characteristics
+     dune exec bench/main.exe -- table2    debugging tasks
+     dune exec bench/main.exe -- table3    tough casts
+     dune exec bench/main.exe -- figure23  Figure 2/3 edge classification
+     dune exec bench/main.exe -- scalability
+     dune exec bench/main.exe -- ablation
+     dune exec bench/main.exe -- timing    Bechamel micro-benchmarks
+
+   Absolute numbers differ from the paper (its benchmarks are 20k-580k
+   SDG-statement Java programs on WALA); EXPERIMENTS.md records the
+   paper-vs-measured comparison and what carries over. *)
+
+open Slice_core
+open Slice_workloads
+
+let sep () = print_endline (String.make 78 '-')
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: benchmark characteristics                                  *)
+(* ------------------------------------------------------------------ *)
+
+let suite_programs () =
+  [ ("nanoxml", Prog_nanoxml.base);
+    ("jtopas", Prog_jtopas.base);
+    ("ant", Prog_ant.base);
+    ("xmlsec", Prog_xmlsec.base);
+    ("mtrt", Prog_mtrt.base);
+    ("jess", Prog_jess.base);
+    ("javac", Prog_javac.base);
+    ("jack", Prog_jack.base);
+    ("pipeline-32", Generators.pipeline_program ~stages:32) ]
+
+let table1 () =
+  sep ();
+  print_endline "Table 1: benchmark characteristics";
+  Printf.printf "%-12s %8s %8s %8s %8s %8s %8s\n" "Benchmark" "Classes"
+    "Methods" "IRStmts" "CGNodes" "SDGStmt" "SDGNode";
+  List.iter
+    (fun (name, src) ->
+      let a = Engine.of_source ~file:(name ^ ".tj") src in
+      let s = Engine.stats_of a in
+      Printf.printf "%-12s %8d %8d %8d %8d %8d %8d\n" name s.Engine.classes
+        s.Engine.methods s.Engine.ir_statements s.Engine.call_graph_nodes
+        s.Engine.sdg_statements s.Engine.sdg_nodes)
+    (suite_programs ())
+
+(* ------------------------------------------------------------------ *)
+(* Tables 2 and 3                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let print_task_table title tasks =
+  sep ();
+  print_endline title;
+  Printf.printf "%-16s %6s %6s %6s %5s %9s %9s  %s\n" "Task" "Thin" "Trad"
+    "Ratio" "#Ctl" "ThinNoOS" "TradNoOS" "(paper: thin/trad)";
+  let tot_thin = ref 0 and tot_trad = ref 0 in
+  let all_found = ref true in
+  List.iter
+    (fun (t : Task.t) ->
+      let m = Task.measure t in
+      if not (m.Task.m_thin_found && m.Task.m_trad_found) then all_found := false;
+      tot_thin := !tot_thin + m.Task.m_thin;
+      tot_trad := !tot_trad + m.Task.m_trad;
+      let paper_s =
+        match t.Task.paper with
+        | Some p -> Printf.sprintf "(%d/%d)" p.Task.p_thin p.Task.p_trad
+        | None -> ""
+      in
+      Printf.printf "%-16s %6d %6d %6.2f %5d %9d %9d  %s%s\n" t.Task.id
+        m.Task.m_thin m.Task.m_trad (Task.ratio m) t.Task.controls
+        m.Task.m_thin_noobj m.Task.m_trad_noobj paper_s
+        (if m.Task.m_thin_found then "" else "  [desired NOT found]"))
+    tasks;
+  let agg = float_of_int !tot_trad /. float_of_int (max 1 !tot_thin) in
+  Printf.printf "%-16s %6d %6d %6.2f   (aggregate inspection-effort ratio)\n"
+    "TOTAL" !tot_thin !tot_trad agg;
+  if not !all_found then print_endline "WARNING: some desired statements not found"
+
+let validate_all tasks =
+  List.iter
+    (fun t ->
+      match Task.validate t with
+      | Ok () -> ()
+      | Error e -> Printf.printf "VALIDATION FAILURE: %s\n" e)
+    tasks
+
+let table2 () =
+  print_task_table
+    "Table 2: locating injected bugs (inspected statements, BFS metric)"
+    Sir_suite.tasks;
+  validate_all Sir_suite.tasks;
+  print_endline
+    "(the five excluded xml-security bugs: slicing from the failed digest\n\
+    \ check pulls in the whole hash computation; see EXPERIMENTS.md)"
+
+let table3 () =
+  print_task_table
+    "Table 3: understanding tough casts (inspected statements, BFS metric)"
+    Casts_suite.tasks;
+  validate_all Casts_suite.tasks
+
+(* ------------------------------------------------------------------ *)
+(* Figures 2/3: edge classification on the toy program                 *)
+(* ------------------------------------------------------------------ *)
+
+let figure23 () =
+  sep ();
+  print_endline "Figures 2/3: dependence classification on the toy program";
+  let src = Paper_figures.fig2 in
+  let a = Engine.of_source ~file:"fig2.tj" src in
+  let g = a.Engine.sdg in
+  let seed_line = Runtime_lib.line_of ~src ~pattern:Paper_figures.fig2_seed in
+  let seeds = Engine.seeds_at_line_exn ~filter:Engine.Only_loads a seed_line in
+  let thin =
+    Engine.slice_from_line ~filter:Engine.Only_loads a ~line:seed_line Slicer.Thin
+  in
+  let trad =
+    Engine.slice_from_line ~filter:Engine.Only_loads a ~line:seed_line
+      Slicer.Traditional_full
+  in
+  let arr = Array.of_list (String.split_on_char '\n' src) in
+  Printf.printf "seed: line %d | %s\n" seed_line (String.trim arr.(seed_line - 1));
+  Printf.printf "thin slice lines        : %s\n"
+    (String.concat ", " (List.map string_of_int thin));
+  Printf.printf "traditional slice lines : %s\n"
+    (String.concat ", " (List.map string_of_int trad));
+  print_endline "edges out of the seed (Figure 3 classification):";
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun (dep, kind) ->
+          Format.printf "  [%s] -> %a@." (Sdg.edge_kind_to_string kind)
+            (Sdg.pp_node g) dep)
+        (Sdg.deps g seed))
+    seeds
+
+(* ------------------------------------------------------------------ *)
+(* Scalability (section 6.1)                                           *)
+(* ------------------------------------------------------------------ *)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let scalability () =
+  sep ();
+  print_endline
+    "Scalability: analysis cost vs slice cost (CI thin slicing is\n\
+     insignificant next to call graph construction + pointer analysis),\n\
+     and the heap-parameter (context-sensitive) SDG node blowup";
+  Printf.printf "%-8s %8s %8s %9s %9s %9s %11s %9s %9s %9s\n" "stages"
+    "IRStmts" "CGNodes" "SDGNodes" "HSDG" "HeapParm" "analysis(s)" "thin(ms)"
+    "trad(ms)" "cs(ms)";
+  List.iter
+    (fun stages ->
+      let src = Generators.pipeline_program ~stages in
+      let p = Slice_front.Frontend.load_exn ~file:"pipe.tj" src in
+      let a, t_analysis = time (fun () -> Engine.analyze p) in
+      let line =
+        Runtime_lib.line_of ~src ~pattern:Generators.pipeline_seed_pattern
+      in
+      let seeds = Engine.seeds_at_line_exn a line in
+      let _, t_thin =
+        time (fun () -> Slicer.slice a.Engine.sdg ~seeds Slicer.Thin)
+      in
+      let _, t_trad =
+        time (fun () -> Slicer.slice a.Engine.sdg ~seeds Slicer.Traditional_data)
+      in
+      (* the context-sensitive heap-parameter representation *)
+      let tab = Tabulation.build p a.Engine.pta in
+      let cs_seeds = Tabulation.nodes_at_line tab ~line in
+      let _, t_cs =
+        time (fun () -> Tabulation.slice tab ~seeds:cs_seeds Tabulation.Thin)
+      in
+      let ts = Tabulation.stats tab in
+      let s = Engine.stats_of a in
+      Printf.printf "%-8d %8d %8d %9d %9d %9d %11.3f %9.3f %9.3f %9.3f\n"
+        stages s.Engine.ir_statements s.Engine.call_graph_nodes
+        s.Engine.sdg_nodes ts.Tabulation.total_nodes
+        ts.Tabulation.heap_param_nodes t_analysis (t_thin *. 1000.)
+        (t_trad *. 1000.) (t_cs *. 1000.))
+    [ 4; 8; 16; 32; 64 ];
+  sep ();
+  print_endline
+    "Context sensitivity in practice (paper section 6.1: \"the\n\
+     context-sensitive algorithm does not seem beneficial for thin slicing\n\
+     as likely used in practice\"): full slice sizes shrink, BFS counts\n\
+     barely move";
+  let src = Prog_nanoxml.base in
+  let p = Slice_front.Frontend.load_exn ~file:"nanoxml.tj" src in
+  let a = Engine.analyze p in
+  let line =
+    Runtime_lib.line_of ~src ~pattern:"print((String) this.lines.get(i));"
+  in
+  let ci_thin = Engine.slice_from_line a ~line Slicer.Thin in
+  let ci_trad = Engine.slice_from_line a ~line Slicer.Traditional_data in
+  let tab = Tabulation.build p a.Engine.pta in
+  let cs_seeds = Tabulation.nodes_at_line tab ~line in
+  let cs_thin =
+    Tabulation.slice_lines tab (Tabulation.slice tab ~seeds:cs_seeds Tabulation.Thin)
+  in
+  let cs_trad =
+    Tabulation.slice_lines tab
+      (Tabulation.slice tab ~seeds:cs_seeds Tabulation.Traditional)
+  in
+  Printf.printf
+    "  nanoxml slice sizes (lines): thin CI=%d CS=%d | traditional CI=%d CS=%d\n"
+    (List.length ci_thin) (List.length cs_thin) (List.length ci_trad)
+    (List.length cs_trad)
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let ablation () =
+  sep ();
+  print_endline "Ablation 1: container object-sensitivity (Table 2+3 aggregate)";
+  let tasks = Sir_suite.tasks @ Casts_suite.tasks in
+  let measures = List.map Task.measure tasks in
+  let tot f = List.fold_left (fun acc m -> acc + f m) 0 measures in
+  Printf.printf "  thin: %d (obj-sens) vs %d (no obj-sens)   trad: %d vs %d\n"
+    (tot (fun m -> m.Task.m_thin))
+    (tot (fun m -> m.Task.m_thin_noobj))
+    (tot (fun m -> m.Task.m_trad))
+    (tot (fun m -> m.Task.m_trad_noobj));
+  sep ();
+  print_endline
+    "Ablation 2: aliasing-expansion budget on the nanoxml-5 style task";
+  let t = List.nth Prog_nanoxml.tasks 4 in
+  let a =
+    Engine.analyze (Slice_front.Frontend.load_exn ~file:"n5.tj" t.Task.src)
+  in
+  let seed_line =
+    Runtime_lib.line_of ~src:t.Task.src ~pattern:t.Task.seed_pattern
+  in
+  let desired =
+    List.map
+      (fun pat -> Runtime_lib.line_of ~src:t.Task.src ~pattern:pat)
+      t.Task.desired_patterns
+  in
+  List.iter
+    (fun mode ->
+      let r =
+        Engine.inspect_from_line ~filter:t.Task.seed_filter a ~line:seed_line
+          ~desired mode
+      in
+      Printf.printf "  %-14s inspected=%3d found=%b slice=%d\n"
+        (Slicer.mode_to_string mode) r.Inspect.inspected r.Inspect.found
+        r.Inspect.slice_size)
+    [ Slicer.Thin;
+      Slicer.Thin_with_aliasing 1;
+      Slicer.Thin_with_aliasing 2;
+      Slicer.Traditional_data ];
+  sep ();
+  print_endline
+    "Ablation 3: expansion to fixpoint recovers the traditional slice\n\
+     (thin slices are a principled subset, not an ad-hoc pruning)";
+  let src = Paper_figures.fig1 in
+  let a = Engine.of_source ~file:"fig1.tj" src in
+  let line = Runtime_lib.line_of ~src ~pattern:Paper_figures.fig1_seed in
+  let seeds = Engine.seeds_at_line_exn a line in
+  let expanded = Expansion.expand_to_fixpoint a.Engine.sdg ~seeds in
+  let full = Slicer.slice a.Engine.sdg ~seeds Slicer.Traditional_full in
+  Printf.printf "  fig1: |thin-expanded-to-fixpoint| = %d, |traditional| = %d\n"
+    (List.length expanded) (List.length full)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+(* ------------------------------------------------------------------ *)
+
+let timing () =
+  sep ();
+  print_endline "Bechamel timings (ns/run; one Test.make per experiment)";
+  let open Bechamel in
+  let fig1_analysis =
+    lazy (Engine.of_source ~file:"fig1.tj" Paper_figures.fig1)
+  in
+  let nanoxml_program =
+    lazy (Slice_front.Frontend.load_exn ~file:"nanoxml.tj" Prog_nanoxml.base)
+  in
+  let nanoxml_analysis = lazy (Engine.analyze (Lazy.force nanoxml_program)) in
+  let seed_of (a : Engine.analysis) src pat =
+    Engine.seeds_at_line_exn a (Runtime_lib.line_of ~src ~pattern:pat)
+  in
+  let tests =
+    Test.make_grouped ~name:"thinslice"
+      [ Test.make ~name:"table1:analyze-nanoxml"
+          (Staged.stage (fun () ->
+               ignore (Engine.analyze (Lazy.force nanoxml_program))));
+        Test.make ~name:"table2:thin-slice-nanoxml"
+          (Staged.stage (fun () ->
+               let a = Lazy.force nanoxml_analysis in
+               ignore
+                 (Slicer.slice a.Engine.sdg
+                    ~seeds:
+                      (seed_of a Prog_nanoxml.base
+                         "print((String) this.lines.get(i));")
+                    Slicer.Thin)));
+        Test.make ~name:"table2:trad-slice-nanoxml"
+          (Staged.stage (fun () ->
+               let a = Lazy.force nanoxml_analysis in
+               ignore
+                 (Slicer.slice a.Engine.sdg
+                    ~seeds:
+                      (seed_of a Prog_nanoxml.base
+                         "print((String) this.lines.get(i));")
+                    Slicer.Traditional_data)));
+        Test.make ~name:"table3:tough-casts-javac"
+          (Staged.stage (fun () ->
+               let a = Engine.of_source ~file:"javac.tj" Prog_javac.base in
+               ignore (Engine.tough_casts a)));
+        Test.make ~name:"figure4:expand-to-fixpoint"
+          (Staged.stage (fun () ->
+               let a = Lazy.force fig1_analysis in
+               let g = a.Engine.sdg in
+               let seeds =
+                 seed_of a Paper_figures.fig1 Paper_figures.fig1_seed
+               in
+               ignore (Expansion.expand_to_fixpoint g ~seeds))) ]
+  in
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let res = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name v acc ->
+        match Analyze.OLS.estimates v with
+        | Some (e :: _) -> (name, e) :: acc
+        | _ -> acc)
+      res []
+  in
+  List.iter
+    (fun (name, ns) -> Printf.printf "  %-40s %14.0f ns/run\n" name ns)
+    (List.sort compare rows)
+
+let () =
+  let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  match which with
+  | "table1" -> table1 ()
+  | "table2" -> table2 ()
+  | "table3" -> table3 ()
+  | "figure23" -> figure23 ()
+  | "scalability" -> scalability ()
+  | "ablation" -> ablation ()
+  | "timing" -> timing ()
+  | "all" ->
+    table1 ();
+    table2 ();
+    table3 ();
+    figure23 ();
+    scalability ();
+    ablation ();
+    timing ()
+  | other ->
+    Printf.eprintf "unknown experiment %s\n" other;
+    exit 1

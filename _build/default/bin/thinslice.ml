@@ -1,0 +1,302 @@
+(* The thinslice command-line tool.
+
+     thinslice slice FILE --line N [--mode thin|trad|full|alias:K] [--no-objsens]
+     thinslice expand FILE --line N             explain aliasing around a seed
+     thinslice casts FILE                       list unverifiable downcasts
+     thinslice stats FILE                       program/analysis statistics
+     thinslice run FILE [--arg V]... [--input NAME=PATH]
+     thinslice dot FILE -o sdg.dot              export the dependence graph *)
+
+open Cmdliner
+open Slice_core
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load_analysis ~obj_sens path =
+  let src = read_file path in
+  Engine.of_source ~obj_sens ~file:(Filename.basename path) src
+
+(* ---- common args ---- *)
+
+let file_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"TJ source file")
+
+let line_arg =
+  Arg.(
+    required
+    & opt (some int) None
+    & info [ "line"; "l" ] ~docv:"N" ~doc:"Seed line number")
+
+let objsens_arg =
+  Arg.(
+    value & flag
+    & info [ "no-objsens" ]
+        ~doc:"Disable object-sensitive cloning of container classes")
+
+let mode_conv =
+  let parse s =
+    match s with
+    | "thin" -> Ok Slicer.Thin
+    | "trad" | "traditional" -> Ok Slicer.Traditional_data
+    | "full" -> Ok Slicer.Traditional_full
+    | _ ->
+      if String.length s > 6 && String.sub s 0 6 = "alias:" then
+        match int_of_string_opt (String.sub s 6 (String.length s - 6)) with
+        | Some k -> Ok (Slicer.Thin_with_aliasing k)
+        | None -> Error (`Msg "alias:K expects an integer K")
+      else Error (`Msg (Printf.sprintf "unknown mode %s" s))
+  in
+  let print ppf m = Format.pp_print_string ppf (Slicer.mode_to_string m) in
+  Arg.conv (parse, print)
+
+let mode_arg =
+  Arg.(
+    value
+    & opt mode_conv Slicer.Thin
+    & info [ "mode"; "m" ] ~docv:"MODE"
+        ~doc:"Slicing mode: thin, trad, full, or alias:K")
+
+let handle_errors f =
+  try f () with
+  | Slice_front.Frontend.Error e ->
+    Printf.eprintf "%s\n" (Slice_front.Frontend.error_to_string e);
+    exit 1
+  | Sys_error msg ->
+    Printf.eprintf "%s\n" msg;
+    exit 1
+  | Engine.No_seed line ->
+    Printf.eprintf "no statement found at line %d\n" line;
+    exit 1
+
+(* ---- slice ---- *)
+
+let print_slice_lines src lines =
+  let arr = Array.of_list (String.split_on_char '\n' src) in
+  List.iter
+    (fun l ->
+      if l >= 1 && l <= Array.length arr then
+        Printf.printf "%4d | %s\n" l arr.(l - 1))
+    lines
+
+let forward_arg =
+  Arg.(
+    value & flag
+    & info [ "forward" ]
+        ~doc:"Slice forward (impact analysis) instead of backward")
+
+let slice_cmd =
+  let run file line mode no_objsens forward =
+    handle_errors (fun () ->
+        let a = load_analysis ~obj_sens:(not no_objsens) file in
+        let seeds = Engine.seeds_at_line_exn a line in
+        let nodes =
+          if forward then Slicer.forward_slice a.Engine.sdg ~seeds mode
+          else Slicer.slice a.Engine.sdg ~seeds mode
+        in
+        let lines =
+          nodes
+          |> List.filter (Sdg.node_countable a.Engine.sdg)
+          |> List.map (fun n -> (Sdg.node_loc a.Engine.sdg n).Slice_ir.Loc.line)
+          |> List.sort_uniq compare
+        in
+        Printf.printf "%s %s slice from %s:%d (%d statements):\n"
+          (if forward then "forward" else "backward")
+          (Slicer.mode_to_string mode) file line (List.length lines);
+        print_slice_lines (read_file file) lines)
+  in
+  Cmd.v (Cmd.info "slice" ~doc:"Compute a slice from a seed line")
+    Term.(const run $ file_arg $ line_arg $ mode_arg $ objsens_arg $ forward_arg)
+
+let chop_cmd =
+  let to_arg =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "to" ] ~docv:"N" ~doc:"Sink line number")
+  in
+  let run file line sink_line mode no_objsens =
+    handle_errors (fun () ->
+        let a = load_analysis ~obj_sens:(not no_objsens) file in
+        let source = Engine.seeds_at_line_exn a line in
+        let sink = Engine.seeds_at_line_exn a sink_line in
+        let nodes = Slicer.chop a.Engine.sdg ~source ~sink mode in
+        let lines =
+          nodes
+          |> List.filter (Sdg.node_countable a.Engine.sdg)
+          |> List.map (fun n -> (Sdg.node_loc a.Engine.sdg n).Slice_ir.Loc.line)
+          |> List.sort_uniq compare
+        in
+        Printf.printf "%s chop %s:%d -> %s:%d (%d statements):\n"
+          (Slicer.mode_to_string mode) file line file sink_line
+          (List.length lines);
+        print_slice_lines (read_file file) lines)
+  in
+  Cmd.v
+    (Cmd.info "chop" ~doc:"Statements on value paths between two lines")
+    Term.(const run $ file_arg $ line_arg $ to_arg $ mode_arg $ objsens_arg)
+
+(* ---- expand: aliasing explanations around the seed ---- *)
+
+let expand_cmd =
+  let run file line no_objsens =
+    handle_errors (fun () ->
+        let a = load_analysis ~obj_sens:(not no_objsens) file in
+        let seeds = Engine.seeds_at_line_exn a line in
+        let g = a.Engine.sdg in
+        let slice = Slicer.slice g ~seeds Slicer.Thin in
+        (* heap read/write pairs connected by producer-heap edges *)
+        let pairs = ref [] in
+        List.iter
+          (fun n ->
+            List.iter
+              (fun (dep, kind) ->
+                if kind = Sdg.Producer_heap && List.mem dep slice then
+                  pairs := (n, dep) :: !pairs)
+              (Sdg.deps g n))
+          slice;
+        if !pairs = [] then
+          print_endline "no heap-based value flow in the thin slice to explain"
+        else
+          List.iter
+            (fun (read, write) ->
+              Format.printf "@.heap flow:@.  read : %a@.  write: %a@."
+                (Sdg.pp_node g) read (Sdg.pp_node g) write;
+              let e = Expansion.explain_aliasing g ~read ~write in
+              Format.printf "  flow of the common object(s) to the read's base:@.";
+              List.iter
+                (fun n ->
+                  if Sdg.node_countable g n then
+                    Format.printf "    %a@." (Sdg.pp_node g) n)
+                e.Expansion.read_flow;
+              Format.printf "  flow of the common object(s) to the write's base:@.";
+              List.iter
+                (fun n ->
+                  if Sdg.node_countable g n then
+                    Format.printf "    %a@." (Sdg.pp_node g) n)
+                e.Expansion.write_flow)
+            !pairs)
+  in
+  Cmd.v
+    (Cmd.info "expand" ~doc:"Explain heap aliasing behind a thin slice")
+    Term.(const run $ file_arg $ line_arg $ objsens_arg)
+
+(* ---- casts ---- *)
+
+let casts_cmd =
+  let run file no_objsens =
+    handle_errors (fun () ->
+        let a = load_analysis ~obj_sens:(not no_objsens) file in
+        let casts = Engine.tough_casts a in
+        Printf.printf "%d tough cast(s):\n" (List.length casts);
+        let tbl = Sdg.stmt_table a.Engine.sdg in
+        List.iter
+          (fun (_, i) ->
+            print_endline
+              (Slice_ir.Pretty.stmt_to_string a.Engine.program tbl
+                 i.Slice_ir.Instr.i_id))
+          casts)
+  in
+  Cmd.v
+    (Cmd.info "casts" ~doc:"List downcasts unverifiable by pointer analysis")
+    Term.(const run $ file_arg $ objsens_arg)
+
+(* ---- stats ---- *)
+
+let stats_cmd =
+  let run file no_objsens =
+    handle_errors (fun () ->
+        let a = load_analysis ~obj_sens:(not no_objsens) file in
+        let s = Engine.stats_of a in
+        Printf.printf
+          "classes            %d\n\
+           methods            %d\n\
+           IR statements      %d\n\
+           call graph nodes   %d\n\
+           SDG statements     %d\n\
+           SDG nodes          %d\n\
+           abstract objects   %d\n"
+          s.Engine.classes s.Engine.methods s.Engine.ir_statements
+          s.Engine.call_graph_nodes s.Engine.sdg_statements s.Engine.sdg_nodes
+          s.Engine.abstract_objects)
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Print program and analysis statistics")
+    Term.(const run $ file_arg $ objsens_arg)
+
+(* ---- run ---- *)
+
+let run_cmd =
+  let args_arg =
+    Arg.(value & opt_all string [] & info [ "arg" ] ~docv:"V" ~doc:"Program argument")
+  in
+  let inputs_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "input" ] ~docv:"NAME=PATH"
+          ~doc:"Bind stream NAME to the lines of the file at PATH")
+  in
+  let run file argv inputs =
+    handle_errors (fun () ->
+        let streams =
+          List.map
+            (fun spec ->
+              match String.index_opt spec '=' with
+              | Some i ->
+                let name = String.sub spec 0 i in
+                let path = String.sub spec (i + 1) (String.length spec - i - 1) in
+                let lines =
+                  String.split_on_char '\n' (read_file path)
+                  |> List.filter (fun l -> l <> "")
+                in
+                (name, lines)
+              | None -> failwith "expected --input NAME=PATH")
+            inputs
+        in
+        let p = Slice_front.Frontend.load_file_exn file in
+        let config =
+          { Slice_interp.Interp.default_config with args = argv; streams }
+        in
+        let o = Slice_interp.Interp.run config p in
+        List.iter print_endline o.Slice_interp.Interp.output;
+        match o.Slice_interp.Interp.result with
+        | Ok () -> ()
+        | Error f ->
+          Format.printf "%a@." Slice_interp.Interp.pp_failure f;
+          exit 2)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Interpret a TJ program")
+    Term.(const run $ file_arg $ args_arg $ inputs_arg)
+
+(* ---- dot ---- *)
+
+let dot_cmd =
+  let out_arg =
+    Arg.(
+      value & opt string "sdg.dot"
+      & info [ "o"; "output" ] ~docv:"PATH" ~doc:"Output path")
+  in
+  let run file out no_objsens =
+    handle_errors (fun () ->
+        let a = load_analysis ~obj_sens:(not no_objsens) file in
+        let oc = open_out out in
+        output_string oc (Sdg.to_dot a.Engine.sdg);
+        close_out oc;
+        Printf.printf "wrote %s\n" out)
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Export the dependence graph in DOT format")
+    Term.(const run $ file_arg $ out_arg $ objsens_arg)
+
+let () =
+  let doc = "thin slicing for TJ programs (PLDI 2007 reproduction)" in
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "thinslice" ~doc)
+          [ slice_cmd; chop_cmd; expand_cmd; casts_cmd; stats_cmd; run_cmd; dot_cmd ]))

@@ -1,0 +1,1 @@
+examples/debugging.ml: Engine Expansion Format List Paper_figures Printf Runtime_lib Sdg Slice_core Slice_front Slice_interp Slice_workloads Slicer

@@ -1,0 +1,1 @@
+examples/dynamic.ml: Array Engine Hashtbl List Paper_figures Printf Runtime_lib Sdg Slice_core Slice_front Slice_interp Slice_ir Slice_workloads Slicer String

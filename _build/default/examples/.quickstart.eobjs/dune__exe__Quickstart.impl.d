@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Engine List Paper_figures Printf Runtime_lib Slice_core Slice_front Slice_interp Slice_workloads Slicer String

@@ -1,0 +1,1 @@
+examples/tough_cast.ml: Engine Format List Paper_figures Printf Runtime_lib Sdg Slice_core Slice_ir Slice_workloads Slicer

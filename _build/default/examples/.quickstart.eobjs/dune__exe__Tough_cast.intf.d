@@ -1,0 +1,1 @@
+examples/tough_cast.mli:

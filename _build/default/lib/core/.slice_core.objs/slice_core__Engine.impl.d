@@ -1,0 +1,1 @@
+lib/core/engine.ml: Andersen Hashtbl Inspect Instr List Program Sdg Slice_front Slice_ir Slice_pta Slicer

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Andersen Inspect Instr Program Sdg Slice_ir Slice_pta Slicer

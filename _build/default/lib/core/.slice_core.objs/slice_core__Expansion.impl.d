@@ -1,0 +1,1 @@
+lib/core/expansion.ml: Andersen Hashtbl Instr List Program Sdg Slice_ir Slice_pta Slicer Types

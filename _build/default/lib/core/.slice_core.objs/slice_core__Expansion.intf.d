@@ -1,0 +1,1 @@
+lib/core/expansion.mli: Andersen Sdg Slice_pta

@@ -1,0 +1,1 @@
+lib/core/inspect.ml: Format Hashtbl List Sdg Slice_ir Slicer

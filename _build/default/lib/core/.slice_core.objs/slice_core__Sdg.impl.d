@@ -1,0 +1,1 @@
+lib/core/sdg.ml: Andersen Array Buffer Cfg Context Dominance Format Hashtbl Instr List Loc Pretty Printf Program Slice_ir Slice_pta String Types

@@ -1,0 +1,1 @@
+lib/core/sdg.mli: Andersen Format Hashtbl Instr Loc Program Slice_ir Slice_pta

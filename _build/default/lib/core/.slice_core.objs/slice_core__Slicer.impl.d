@@ -1,0 +1,1 @@
+lib/core/slicer.ml: Hashtbl List Printf Queue Sdg Slice_ir

@@ -1,0 +1,1 @@
+lib/core/slicer.mli: Sdg Slice_ir

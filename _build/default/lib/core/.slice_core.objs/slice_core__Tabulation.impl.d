@@ -1,0 +1,1 @@
+lib/core/tabulation.ml: Andersen Array Hashtbl Instr List Loc Modref Program Queue Sdg Slice_ir Slice_pta

@@ -1,0 +1,1 @@
+lib/core/tabulation.mli: Instr Program Slice_ir Slice_pta

@@ -1,0 +1,137 @@
+(* End-to-end pipeline: program -> points-to -> SDG -> slicers.
+   This is the public entry point a tool embeds. *)
+
+open Slice_ir
+open Slice_pta
+
+type analysis = {
+  program : Program.t;
+  pta : Andersen.result;
+  sdg : Sdg.t;
+  obj_sens : bool;
+}
+
+let analyze ?(obj_sens = true) (program : Program.t) : analysis =
+  let opts =
+    if obj_sens then Andersen.default_opts else Andersen.no_obj_sens_opts
+  in
+  let pta = Andersen.analyze ~opts program in
+  let sdg = Sdg.build program pta in
+  { program; pta; sdg; obj_sens }
+
+let of_source ?container_classes ?obj_sens ~(file : string) (src : string) :
+    analysis =
+  analyze ?obj_sens (Slice_front.Frontend.load_exn ?container_classes ~file src)
+
+(* Seed selection: all SDG nodes for statements on a source line.  When the
+   line holds several statements, [prefer] can narrow to one kind. *)
+type seed_filter =
+  | Any
+  | Only_loads          (* field/array reads *)
+  | Only_calls
+  | Only_casts
+  | Only_conditionals
+  | Only_throws
+
+let matches_filter (a : analysis) (f : seed_filter) (n : Sdg.node) : bool =
+  match f with
+  | Any -> true
+  | _ -> (
+    match Sdg.node_stmt a.sdg n with
+    | None -> false
+    | Some s -> (
+      match Hashtbl.find_opt (Sdg.stmt_table a.sdg) s with
+      | None -> false
+      | Some si -> (
+        match (f, si.Program.s_site) with
+        | Only_loads, Program.Site_instr i -> (
+          match i.Instr.i_kind with
+          | Instr.Load _ | Instr.Array_load _ | Instr.Static_load _ -> true
+          | _ -> false)
+        | Only_calls, Program.Site_instr i -> (
+          match i.Instr.i_kind with Instr.Call _ -> true | _ -> false)
+        | Only_casts, Program.Site_instr i -> (
+          match i.Instr.i_kind with Instr.Cast _ -> true | _ -> false)
+        | Only_conditionals, Program.Site_term t -> (
+          match t.Instr.t_kind with Instr.If _ -> true | _ -> false)
+        | Only_throws, Program.Site_term t -> (
+          match t.Instr.t_kind with Instr.Throw _ -> true | _ -> false)
+        | _, (Program.Site_instr _ | Program.Site_term _) -> false)))
+
+let seeds_at_line ?(filter = Any) (a : analysis) (line : int) : Sdg.node list =
+  List.filter (matches_filter a filter)
+    (Sdg.nodes_at_line a.sdg ~file:None ~line)
+
+exception No_seed of int
+
+let seeds_at_line_exn ?filter (a : analysis) (line : int) : Sdg.node list =
+  match seeds_at_line ?filter a line with
+  | [] -> raise (No_seed line)
+  | seeds -> seeds
+
+(* Slice from a line, reported as source line numbers. *)
+let slice_from_line ?filter (a : analysis) ~(line : int) (mode : Slicer.mode) :
+    int list =
+  Slicer.slice_line_numbers a.sdg
+    ~seeds:(seeds_at_line_exn ?filter a line)
+    mode
+
+(* Inspection simulation (the paper's BFS metric) from a line seed. *)
+let inspect_from_line ?filter (a : analysis) ~(line : int)
+    ~(desired : int list) (mode : Slicer.mode) : Inspect.report =
+  Inspect.bfs a.sdg ~seeds:(seeds_at_line_exn ?filter a line) ~desired mode
+
+(* All unverified ("tough") casts of the program: the pointer analysis
+   cannot prove them safe (section 6.3). *)
+let tough_casts (a : analysis) : (Instr.method_qname * Instr.instr) list =
+  let out = ref [] in
+  List.iter
+    (fun mq ->
+      let m = Program.find_method_exn a.program mq in
+      if Instr.has_body m then
+        Instr.iter_instrs m (fun _ i ->
+            match i.Instr.i_kind with
+            | Instr.Cast _ ->
+              if not (Andersen.cast_verified a.pta mq i) then out := (mq, i) :: !out
+            | _ -> ()))
+    (Andersen.reachable_methods a.pta);
+  List.rev !out
+
+(* Program statistics in the shape of the paper's Table 1. *)
+type stats = {
+  classes : int;
+  methods : int;                 (* reachable methods with bodies *)
+  ir_statements : int;           (* "bytecode statements" analogue *)
+  call_graph_nodes : int;        (* method contexts *)
+  sdg_statements : int;
+  sdg_nodes : int;               (* including context clones and formals *)
+  abstract_objects : int;
+}
+
+let stats_of (a : analysis) : stats =
+  let reachable = Andersen.reachable_methods a.pta in
+  let with_body =
+    List.filter
+      (fun mq -> Instr.has_body (Program.find_method_exn a.program mq))
+      reachable
+  in
+  let ir_statements =
+    List.fold_left
+      (fun acc mq ->
+        let m = Program.find_method_exn a.program mq in
+        let n = ref 0 in
+        Instr.iter_instrs m (fun _ _ -> incr n);
+        Instr.iter_terms m (fun _ _ -> incr n);
+        acc + !n)
+      0 with_body
+  in
+  let classes = ref 0 in
+  Program.iter_classes a.program (fun ci ->
+      if not ci.Program.c_builtin then incr classes);
+  { classes = !classes;
+    methods = List.length with_body;
+    ir_statements;
+    call_graph_nodes = Andersen.num_call_graph_nodes a.pta;
+    sdg_statements = Sdg.num_scalar_statements a.sdg;
+    sdg_nodes = Sdg.num_nodes a.sdg;
+    abstract_objects = Andersen.num_objects a.pta }

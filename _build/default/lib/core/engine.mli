@@ -1,0 +1,71 @@
+(** End-to-end pipeline: program -> points-to analysis -> SDG -> slicers.
+    This is the entry point a tool embeds. *)
+
+open Slice_ir
+open Slice_pta
+
+type analysis = {
+  program : Program.t;
+  pta : Andersen.result;
+  sdg : Sdg.t;
+  obj_sens : bool;
+}
+
+(** Run the points-to analysis (object-sensitive container cloning on by
+    default, as in the paper's section 6.1) and build the dependence
+    graph. *)
+val analyze : ?obj_sens:bool -> Program.t -> analysis
+
+(** Parse, typecheck, lower and analyze a TJ source text. *)
+val of_source :
+  ?container_classes:string list ->
+  ?obj_sens:bool ->
+  file:string ->
+  string ->
+  analysis
+
+(** Narrow seed selection when a line holds several statements. *)
+type seed_filter =
+  | Any
+  | Only_loads
+  | Only_calls
+  | Only_casts
+  | Only_conditionals
+  | Only_throws
+
+val matches_filter : analysis -> seed_filter -> Sdg.node -> bool
+val seeds_at_line : ?filter:seed_filter -> analysis -> int -> Sdg.node list
+
+exception No_seed of int
+
+val seeds_at_line_exn : ?filter:seed_filter -> analysis -> int -> Sdg.node list
+
+(** Slice from a source line, reported as sorted line numbers. *)
+val slice_from_line :
+  ?filter:seed_filter -> analysis -> line:int -> Slicer.mode -> int list
+
+(** The paper's BFS inspection simulation from a line seed. *)
+val inspect_from_line :
+  ?filter:seed_filter ->
+  analysis ->
+  line:int ->
+  desired:int list ->
+  Slicer.mode ->
+  Inspect.report
+
+(** Downcasts the pointer analysis cannot prove safe — the "tough casts"
+    of the paper's section 6.3. *)
+val tough_casts : analysis -> (Instr.method_qname * Instr.instr) list
+
+(** Program statistics in the shape of the paper's Table 1. *)
+type stats = {
+  classes : int;
+  methods : int;           (** reachable methods with bodies *)
+  ir_statements : int;     (** the "bytecode statements" analogue *)
+  call_graph_nodes : int;  (** method contexts *)
+  sdg_statements : int;    (** scalar statements, heap params excluded *)
+  sdg_nodes : int;         (** including context clones and formals *)
+  abstract_objects : int;
+}
+
+val stats_of : analysis -> stats

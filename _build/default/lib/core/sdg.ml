@@ -1,0 +1,499 @@
+(* The dependence-graph representation used by both slicers: a variant of
+   the system dependence graph [11] in which
+
+   - nodes are statements qualified by the points-to analysis context of
+     their method (so container methods cloned by receiver object appear
+     once per clone, as in WALA's CGNode-based SDG);
+   - every dependence edge is classified, so that thin slicing can follow
+     only producer edges (paper, section 3) while traditional slicing also
+     follows base-pointer, index, and control edges;
+   - heap dependences are direct store-to-load edges computed from the
+     points-to result (the scalable context-insensitive representation of
+     section 5.2).  The heap-parameter representation for the
+     context-sensitive algorithm (section 5.3) lives in [Tabulation].
+
+   Edges are stored backwards: [deps g n] lists the nodes n depends on,
+   which is the direction slicing traverses. *)
+
+open Slice_ir
+open Slice_pta
+
+type edge_kind =
+  | Producer_local      (* SSA def-use, value position *)
+  | Producer_heap       (* field/array/static store -> may-aliased load *)
+  | Param_in            (* formal  -> actual argument definition *)
+  | Return_value        (* call    -> return statement of callee *)
+  | Base_pointer        (* def-use into a dereferenced base pointer *)
+  | Index               (* def-use into an array index *)
+  (* call statement -> its actual-in nodes.  Not value flow: a Weiser-style
+     (executable) slice containing a call must also compute the call's
+     arguments, even those that cannot affect the seed's value.  Thin
+     slicing's relevance notion drops exactly this closure. *)
+  | Call_actual
+  | Control             (* control dependence *)
+
+let is_producer = function
+  | Producer_local | Producer_heap | Param_in | Return_value -> true
+  | Base_pointer | Index | Call_actual | Control -> false
+
+let edge_kind_to_string = function
+  | Producer_local -> "producer-local"
+  | Producer_heap -> "producer-heap"
+  | Param_in -> "param-in"
+  | Return_value -> "return-value"
+  | Base_pointer -> "base-pointer"
+  | Index -> "index"
+  | Call_actual -> "call-actual"
+  | Control -> "control"
+
+type node_desc =
+  | Stmt of int * Instr.stmt_id          (* method context, statement *)
+  | Formal of int * int                  (* method context, parameter index *)
+  (* The i-th actual argument of a call statement.  Belongs to the call
+     statement for display purposes, so that a call through which a value
+     flows appears in the slice (like line 17 of the paper's Figure 1). *)
+  | Actual_in of int * Instr.stmt_id * int
+
+type node = int
+
+type t = {
+  p : Program.t;
+  pta : Andersen.result;
+  stmt_table : (Instr.stmt_id, Program.stmt_info) Hashtbl.t;
+  mutable descs : node_desc array;
+  mutable num_nodes : int;
+  intern : (node_desc, node) Hashtbl.t;
+  mutable deps : (node * edge_kind) list array;   (* backward adjacency *)
+  mutable uses : (node * edge_kind) list array;   (* forward adjacency *)
+  edge_seen : (node * node * edge_kind, unit) Hashtbl.t;
+}
+
+let program (g : t) = g.p
+let pta (g : t) = g.pta
+let stmt_table (g : t) = g.stmt_table
+
+let node_desc (g : t) (n : node) : node_desc = g.descs.(n)
+
+let num_nodes (g : t) = g.num_nodes
+
+let intern (g : t) (d : node_desc) : node =
+  match Hashtbl.find_opt g.intern d with
+  | Some n -> n
+  | None ->
+    let n = g.num_nodes in
+    if n = Array.length g.descs then begin
+      let grow a default =
+        let b = Array.make (2 * n) default in
+        Array.blit a 0 b 0 n;
+        b
+      in
+      g.descs <- grow g.descs (Formal (-1, -1));
+      g.deps <- grow g.deps [];
+      g.uses <- grow g.uses []
+    end;
+    g.descs.(n) <- d;
+    g.num_nodes <- n + 1;
+    Hashtbl.replace g.intern d n;
+    n
+
+let find_node (g : t) (d : node_desc) : node option = Hashtbl.find_opt g.intern d
+
+let add_edge (g : t) ~(from : node) ~(on : node) (kind : edge_kind) : unit =
+  if from <> on && not (Hashtbl.mem g.edge_seen (from, on, kind)) then begin
+    Hashtbl.replace g.edge_seen (from, on, kind) ();
+    g.deps.(from) <- (on, kind) :: g.deps.(from);
+    g.uses.(on) <- (from, kind) :: g.uses.(on)
+  end
+
+let deps (g : t) (n : node) : (node * edge_kind) list = g.deps.(n)
+let uses (g : t) (n : node) : (node * edge_kind) list = g.uses.(n)
+
+(* The source location of a node ([Loc.none] for formals). *)
+let node_loc (g : t) (n : node) : Loc.t =
+  match g.descs.(n) with
+  | Formal _ -> Loc.none
+  | Stmt (_, s) | Actual_in (_, s, _) -> (
+    match Hashtbl.find_opt g.stmt_table s with
+    | Some si -> Program.stmt_loc si
+    | None -> Loc.none)
+
+let node_stmt (g : t) (n : node) : Instr.stmt_id option =
+  match g.descs.(n) with
+  | Stmt (_, s) | Actual_in (_, s, _) -> Some s
+  | Formal _ -> None
+
+(* Statements a user would read: real instructions with a source location,
+   excluding phis and compiler-internal statements. *)
+let node_countable (g : t) (n : node) : bool =
+  match g.descs.(n) with
+  | Formal _ -> false
+  | Actual_in (_, s, _) -> (
+    match Hashtbl.find_opt g.stmt_table s with
+    | None -> false
+    | Some si -> not (Loc.is_none (Program.stmt_loc si)))
+  | Stmt (_, s) -> (
+    match Hashtbl.find_opt g.stmt_table s with
+    | None -> false
+    | Some si -> (
+      (not (Loc.is_none (Program.stmt_loc si)))
+      &&
+      match si.Program.s_site with
+      | Program.Site_instr { Instr.i_kind = Instr.Phi _; _ } -> false
+      | Program.Site_instr _ -> true
+      | Program.Site_term { Instr.t_kind = Instr.Goto _; _ } -> false
+      | Program.Site_term _ -> true))
+
+let pp_node (g : t) ppf (n : node) : unit =
+  match g.descs.(n) with
+  | Formal (mc, i) ->
+    let mq, _ = Andersen.mctx_info g.pta mc in
+    Format.fprintf ppf "formal %d of %a" i Instr.pp_method_qname mq
+  | Actual_in (_, s, i) ->
+    Format.fprintf ppf "actual %d of %s" i (Pretty.stmt_to_string g.p g.stmt_table s)
+  | Stmt (mc, s) ->
+    let _, ctx = Andersen.mctx_info g.pta mc in
+    Format.fprintf ppf "%s %a"
+      (Pretty.stmt_to_string g.p g.stmt_table s)
+      (Context.pp_ctx (Andersen.contexts g.pta))
+      ctx
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type heap_index = {
+  field_writes : (int * string, (node * Instr.stmt_id) list ref) Hashtbl.t;
+  field_reads : (int * string, (node * Instr.stmt_id) list ref) Hashtbl.t;
+  static_writes : (Types.class_name * Types.field_name, node list ref) Hashtbl.t;
+  static_reads : (Types.class_name * Types.field_name, node list ref) Hashtbl.t;
+  len_writes : (int, node list ref) Hashtbl.t;   (* abstract array -> new[] *)
+  len_reads : (int, node list ref) Hashtbl.t;
+}
+
+let push tbl key v =
+  let cell =
+    match Hashtbl.find_opt tbl key with
+    | Some r -> r
+    | None ->
+      let r = ref [] in
+      Hashtbl.replace tbl key r;
+      r
+  in
+  cell := v :: !cell
+
+let build ?(include_control = true) (p : Program.t) (pta : Andersen.result) : t =
+  let g =
+    { p;
+      pta;
+      stmt_table = Program.build_stmt_table p;
+      descs = Array.make 1024 (Formal (-1, -1));
+      num_nodes = 0;
+      intern = Hashtbl.create 1024;
+      deps = Array.make 1024 [];
+      uses = Array.make 1024 [];
+      edge_seen = Hashtbl.create 4096 }
+  in
+  let hx =
+    { field_writes = Hashtbl.create 256;
+      field_reads = Hashtbl.create 256;
+      static_writes = Hashtbl.create 32;
+      static_reads = Hashtbl.create 32;
+      len_writes = Hashtbl.create 32;
+      len_reads = Hashtbl.create 32 }
+  in
+  let mcs = Andersen.method_contexts pta in
+  (* Pass 1: intraprocedural edges + heap access indexing. *)
+  List.iter
+    (fun (mc, mq, _) ->
+      let m = Program.find_method_exn p mq in
+      if Instr.has_body m then begin
+        (* SSA def map: variable -> defining statement *)
+        let def_stmt : (Instr.var, Instr.stmt_id) Hashtbl.t = Hashtbl.create 64 in
+        Instr.iter_instrs m (fun _ i ->
+            match Instr.def_of_instr i with
+            | Some v -> Hashtbl.replace def_stmt v i.Instr.i_id
+            | None -> ());
+        let param_index = Hashtbl.create 8 in
+        List.iteri (fun idx v -> Hashtbl.replace param_index v idx) m.Instr.m_params;
+        (* the node a use of [v] depends on *)
+        let def_target (v : Instr.var) : node option =
+          match Hashtbl.find_opt def_stmt v with
+          | Some s -> Some (intern g (Stmt (mc, s)))
+          | None -> (
+            match Hashtbl.find_opt param_index v with
+            | Some idx -> Some (intern g (Formal (mc, idx)))
+            | None -> None)
+        in
+        let use_edge (from : node) (v : Instr.var) (kind : edge_kind) : unit =
+          match def_target v with
+          | Some dep -> add_edge g ~from ~on:dep kind
+          | None -> ()
+        in
+        Instr.iter_instrs m (fun _ i ->
+            let n = intern g (Stmt (mc, i.Instr.i_id)) in
+            (match i.Instr.i_kind with
+            | Instr.Call { args; kind; _ } ->
+              (* Argument uses reach callees through formal nodes; only
+                 intrinsic callees take their arguments directly. *)
+              let intr = Andersen.intrinsic_targets pta ~mctx:mc ~stmt:i.Instr.i_id in
+              let body_callees = Andersen.call_targets pta ~mctx:mc ~stmt:i.Instr.i_id in
+              if intr <> [] then
+                List.iter (fun a -> use_edge n a Producer_local) args;
+              (* return-value edges *)
+              List.iter
+                (fun cmc ->
+                  let cmq, _ = Andersen.mctx_info pta cmc in
+                  let cm = Program.find_method_exn p cmq in
+                  Instr.iter_terms cm (fun _ t ->
+                      match t.Instr.t_kind with
+                      | Instr.Return (Some _) ->
+                        add_edge g ~from:n
+                          ~on:(intern g (Stmt (cmc, t.Instr.t_id)))
+                          Return_value
+                      | Instr.Return None | Instr.Goto _ | Instr.If _
+                      | Instr.Throw _ -> ()))
+                body_callees;
+              ignore kind
+            | _ ->
+              List.iter
+                (fun (v, cls) ->
+                  let kind =
+                    match cls with
+                    | Instr.Use_value -> Producer_local
+                    | Instr.Use_base -> Base_pointer
+                    | Instr.Use_index -> Index
+                  in
+                  use_edge n v kind)
+                (Instr.classified_uses i));
+            (* heap indexing *)
+            match i.Instr.i_kind with
+            | Instr.Store (x, f, _) ->
+              Andersen.ObjSet.iter
+                (fun o -> push hx.field_writes (o, f) (n, i.Instr.i_id))
+                (Andersen.pts_of_var pta ~mctx:mc x)
+            | Instr.Load (_, y, f) ->
+              Andersen.ObjSet.iter
+                (fun o -> push hx.field_reads (o, f) (n, i.Instr.i_id))
+                (Andersen.pts_of_var pta ~mctx:mc y)
+            | Instr.Array_store (a, _, _) ->
+              Andersen.ObjSet.iter
+                (fun o -> push hx.field_writes (o, Andersen.elem_field) (n, i.Instr.i_id))
+                (Andersen.pts_of_var pta ~mctx:mc a)
+            | Instr.Array_load (_, a, _) ->
+              Andersen.ObjSet.iter
+                (fun o -> push hx.field_reads (o, Andersen.elem_field) (n, i.Instr.i_id))
+                (Andersen.pts_of_var pta ~mctx:mc a)
+            | Instr.New_array (x, _, _) ->
+              Andersen.ObjSet.iter
+                (fun o -> push hx.len_writes o n)
+                (Andersen.pts_of_var pta ~mctx:mc x)
+            | Instr.Array_length (_, a) ->
+              Andersen.ObjSet.iter
+                (fun o -> push hx.len_reads o n)
+                (Andersen.pts_of_var pta ~mctx:mc a)
+            | Instr.Static_store (c, f, _) -> push hx.static_writes (c, f) n
+            | Instr.Static_load (_, c, f) -> push hx.static_reads (c, f) n
+            | Instr.Const _ | Instr.Move _ | Instr.Binop _ | Instr.Unop _
+            | Instr.New _ | Instr.Call _ | Instr.Cast _ | Instr.Instance_of _
+            | Instr.Phi _ | Instr.Nop -> ());
+        Instr.iter_terms m (fun _ t ->
+            let n = intern g (Stmt (mc, t.Instr.t_id)) in
+            List.iter (fun v -> use_edge n v Producer_local) (Instr.uses_of_term t))
+      end)
+    mcs;
+  (* Pass 2: formal -> actual edges (parameter passing). *)
+  List.iter
+    (fun (mc, mq, _) ->
+      let m = Program.find_method_exn p mq in
+      if Instr.has_body m then begin
+        let def_stmt = Hashtbl.create 64 in
+        let def_instr = Hashtbl.create 64 in
+        Instr.iter_instrs m (fun _ j ->
+            match Instr.def_of_instr j with
+            | Some v ->
+              Hashtbl.replace def_stmt v j.Instr.i_id;
+              Hashtbl.replace def_instr v j
+            | None -> ());
+        let param_index = Hashtbl.create 8 in
+        List.iteri (fun idx v -> Hashtbl.replace param_index v idx) m.Instr.m_params;
+        let actual_node (v : Instr.var) : node option =
+          match Hashtbl.find_opt def_stmt v with
+          | Some s -> Some (intern g (Stmt (mc, s)))
+          | None -> (
+            match Hashtbl.find_opt param_index v with
+            | Some idx -> Some (intern g (Formal (mc, idx)))
+            | None -> None)
+        in
+        Instr.iter_instrs m (fun _ i ->
+            match i.Instr.i_kind with
+            | Instr.Call { args; _ } ->
+              (* A kept allocation needs its constructor in a Weiser-style
+                 slice: tie the New to the <init> invocation. *)
+              (match (i.Instr.i_kind, args) with
+              | Instr.Call { kind = Instr.Special _; _ }, recv :: _ -> (
+                match Hashtbl.find_opt def_instr recv with
+                | Some { Instr.i_kind = Instr.New _; i_id; _ } ->
+                  add_edge g
+                    ~from:(intern g (Stmt (mc, i_id)))
+                    ~on:(intern g (Stmt (mc, i.Instr.i_id)))
+                    Call_actual
+                | Some _ | None -> ())
+              | _ -> ());
+              List.iter
+                (fun cmc ->
+                  List.iteri
+                    (fun idx a ->
+                      match actual_node a with
+                      | Some an ->
+                        let actual =
+                          intern g (Actual_in (mc, i.Instr.i_id, idx))
+                        in
+                        add_edge g
+                          ~from:(intern g (Formal (cmc, idx)))
+                          ~on:actual Param_in;
+                        add_edge g ~from:actual ~on:an Producer_local;
+                        (* statement closure for traditional slicing *)
+                        add_edge g
+                          ~from:(intern g (Stmt (mc, i.Instr.i_id)))
+                          ~on:actual Call_actual
+                      | None -> ())
+                    args)
+                (Andersen.call_targets pta ~mctx:mc ~stmt:i.Instr.i_id)
+            | _ -> ())
+      end)
+    mcs;
+  (* Pass 3: heap dependence edges (store -> load, direct). *)
+  let wire_heap reads writes =
+    Hashtbl.iter
+      (fun key rlist ->
+        match Hashtbl.find_opt writes key with
+        | None -> ()
+        | Some wlist ->
+          List.iter
+            (fun (rn, _) ->
+              List.iter (fun (wn, _) -> add_edge g ~from:rn ~on:wn Producer_heap) !wlist)
+            !rlist)
+      reads
+  in
+  wire_heap hx.field_reads hx.field_writes;
+  Hashtbl.iter
+    (fun key rlist ->
+      match Hashtbl.find_opt hx.static_writes key with
+      | None -> ()
+      | Some wlist ->
+        List.iter
+          (fun rn -> List.iter (fun wn -> add_edge g ~from:rn ~on:wn Producer_heap) !wlist)
+          !rlist)
+    hx.static_reads;
+  Hashtbl.iter
+    (fun o rlist ->
+      match Hashtbl.find_opt hx.len_writes o with
+      | None -> ()
+      | Some wlist ->
+        List.iter
+          (fun rn -> List.iter (fun wn -> add_edge g ~from:rn ~on:wn Producer_heap) !wlist)
+          !rlist)
+    hx.len_reads;
+  (* Pass 4: control dependence edges. *)
+  if include_control then begin
+    (* reverse call graph: callee mctx -> caller call-site nodes *)
+    let callers : (int, node list ref) Hashtbl.t = Hashtbl.create 64 in
+    List.iter
+      (fun (mc, mq, _) ->
+        let m = Program.find_method_exn p mq in
+        if Instr.has_body m then
+          Instr.iter_instrs m (fun _ i ->
+              match i.Instr.i_kind with
+              | Instr.Call _ ->
+                List.iter
+                  (fun cmc ->
+                    push callers cmc (intern g (Stmt (mc, i.Instr.i_id))))
+                  (Andersen.call_targets pta ~mctx:mc ~stmt:i.Instr.i_id)
+              | _ -> ()))
+      mcs;
+    List.iter
+      (fun (mc, mq, _) ->
+        let m = Program.find_method_exn p mq in
+        if Instr.has_body m then begin
+          let cfg = Cfg.build m in
+          let pdom = Dominance.compute (Dominance.backward_graph cfg) in
+          let pdf = Dominance.dominance_frontiers pdom in
+          let blocks = Instr.blocks_exn m in
+          let nblocks = Array.length blocks in
+          let entry_callers =
+            match Hashtbl.find_opt callers mc with Some r -> !r | None -> []
+          in
+          for bl = 0 to nblocks - 1 do
+            let governors =
+              List.filter (fun b -> b < nblocks) pdf.(bl)
+              |> List.map (fun b -> intern g (Stmt (mc, blocks.(b).Instr.b_term.Instr.t_id)))
+            in
+            let wire n =
+              if governors = [] then
+                (* governed by method entry: control-dependent on call sites *)
+                List.iter (fun c -> add_edge g ~from:n ~on:c Control) entry_callers
+              else List.iter (fun c -> add_edge g ~from:n ~on:c Control) governors
+            in
+            List.iter
+              (fun i -> wire (intern g (Stmt (mc, i.Instr.i_id))))
+              blocks.(bl).Instr.b_instrs;
+            wire (intern g (Stmt (mc, blocks.(bl).Instr.b_term.Instr.t_id)))
+          done
+        end)
+      mcs
+  end;
+  g
+
+(* ------------------------------------------------------------------ *)
+(* Lookups used by drivers                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* All statement nodes whose source line matches. *)
+let nodes_at_line (g : t) ~(file : string option) ~(line : int) : node list =
+  let out = ref [] in
+  for n = 0 to g.num_nodes - 1 do
+    let loc = node_loc g n in
+    if
+      (not (Loc.is_none loc))
+      && loc.Loc.line = line
+      && (match file with None -> true | Some f -> String.equal f loc.Loc.file)
+    then out := n :: !out
+  done;
+  List.rev !out
+
+(* Number of scalar statements: distinct statement ids that appear as nodes
+   (context clones counted once), matching Table 1's "SDG Statements". *)
+let num_scalar_statements (g : t) : int =
+  let seen = Hashtbl.create 256 in
+  for n = 0 to g.num_nodes - 1 do
+    match g.descs.(n) with
+    | Stmt (_, s) -> Hashtbl.replace seen s ()
+    | Formal _ | Actual_in _ -> ()
+  done;
+  Hashtbl.length seen
+
+(* DOT export for documentation and debugging. *)
+let to_dot (g : t) : string =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "digraph sdg {\n  node [shape=box,fontname=monospace];\n";
+  for n = 0 to g.num_nodes - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "  n%d [label=%S];\n" n
+         (Format.asprintf "%a" (pp_node g) n))
+  done;
+  for n = 0 to g.num_nodes - 1 do
+    List.iter
+      (fun (dep, kind) ->
+        let style =
+          match kind with
+          | Producer_local | Producer_heap | Param_in | Return_value -> "solid"
+          | Base_pointer | Index | Call_actual -> "dashed"
+          | Control -> "dotted"
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "  n%d -> n%d [style=%s,label=\"%s\"];\n" n dep style
+             (edge_kind_to_string kind)))
+      g.deps.(n)
+  done;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,92 @@
+(** The dependence-graph representation shared by both slicers: a variant
+    of the system dependence graph [11] in which
+
+    - nodes are statements qualified by the points-to analysis context of
+      their method, so container methods cloned per receiver object appear
+      once per clone (as in WALA's CGNode-based SDG);
+    - every dependence edge is classified, so that thin slicing can follow
+      only producer edges (paper, section 3) while traditional slicing
+      also follows base-pointer, index, statement-closure and control
+      edges;
+    - heap dependences are direct store-to-load edges computed from the
+      points-to result — the scalable context-insensitive representation
+      of section 5.2.  The heap-parameter representation for the
+      context-sensitive algorithm lives in {!Tabulation}.
+
+    Edges are stored backwards: [deps g n] lists what [n] depends on,
+    the direction slicing traverses; [uses g n] is the forward view. *)
+
+open Slice_ir
+open Slice_pta
+
+type edge_kind =
+  | Producer_local  (** SSA def-use, value position *)
+  | Producer_heap   (** field/array/static store -> may-aliased load *)
+  | Param_in        (** formal -> actual argument definition *)
+  | Return_value    (** call -> return statement of callee *)
+  | Base_pointer    (** def-use into a dereferenced base pointer *)
+  | Index           (** def-use into an array index *)
+  | Call_actual
+      (** call statement -> its actual-in nodes.  Not value flow: a
+          Weiser-style (executable) slice containing a call must also
+          compute the call's arguments; thin slicing's relevance notion
+          drops exactly this closure. *)
+  | Control         (** control dependence *)
+
+(** Producer edges are the ones a thin slice follows (paper, section 3). *)
+val is_producer : edge_kind -> bool
+
+val edge_kind_to_string : edge_kind -> string
+
+type node_desc =
+  | Stmt of int * Instr.stmt_id  (** method context, statement *)
+  | Formal of int * int          (** method context, parameter index *)
+  | Actual_in of int * Instr.stmt_id * int
+      (** the i-th actual argument of a call statement; belongs to the
+          call statement for display, so a call through which a value
+          flows appears in the slice (like line 17 of the paper's
+          Figure 1) *)
+
+type node = int
+type t
+
+(** Build the graph for every reachable method context.
+    [include_control:false] skips control-dependence edges (the thin
+    slicer never follows them; useful for memory-lean configurations). *)
+val build : ?include_control:bool -> Program.t -> Andersen.result -> t
+
+val program : t -> Program.t
+val pta : t -> Andersen.result
+val stmt_table : t -> (Instr.stmt_id, Program.stmt_info) Hashtbl.t
+
+val node_desc : t -> node -> node_desc
+val num_nodes : t -> int
+val find_node : t -> node_desc -> node option
+
+(** Backward adjacency: the nodes [n] depends on. *)
+val deps : t -> node -> (node * edge_kind) list
+
+(** Forward adjacency: the nodes that depend on [n]. *)
+val uses : t -> node -> (node * edge_kind) list
+
+(** Source location of a node ([Loc.none] for formals). *)
+val node_loc : t -> node -> Loc.t
+
+val node_stmt : t -> node -> Instr.stmt_id option
+
+(** Statements a user would read: real instructions with a source
+    location, excluding phis and compiler-internal statements. *)
+val node_countable : t -> node -> bool
+
+val pp_node : t -> Format.formatter -> node -> unit
+
+(** All statement nodes whose source line matches. *)
+val nodes_at_line : t -> file:string option -> line:int -> node list
+
+(** Distinct statement ids appearing as nodes (context clones counted
+    once) — the paper's Table 1 "SDG Statements". *)
+val num_scalar_statements : t -> int
+
+(** GraphViz export; producer edges solid, explainer edges dashed/dotted
+    (the paper's Figure 3 conventions). *)
+val to_dot : t -> string

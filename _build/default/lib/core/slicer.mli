@@ -1,0 +1,47 @@
+(** Backward and forward slicing as graph reachability over the classified
+    SDG (paper, section 5.2). *)
+
+(** Which dependence edges a traversal follows:
+    - [Thin]: producer edges only — the thin slice of the paper;
+    - [Thin_with_aliasing k]: additionally crosses up to [k] base-pointer
+      or index edges along any path — the controlled one-level aliasing
+      expansion used for nanoxml-5 in the evaluation (section 6.2);
+    - [Traditional_data]: all flow dependences including base pointers,
+      indices, and Weiser statement closure over call arguments, but no
+      control — the "traditional data slicer" the paper compares against;
+    - [Traditional_full]: also follows control dependences. *)
+type mode =
+  | Thin
+  | Thin_with_aliasing of int
+  | Traditional_data
+  | Traditional_full
+
+val mode_to_string : mode -> string
+
+(** How a given edge kind is treated under a mode: followed freely,
+    followed at the cost of one unit of aliasing budget, or skipped.
+    Exposed for the BFS inspection metric, which must traverse with the
+    same discipline. *)
+val edge_policy : mode -> Sdg.edge_kind -> [ `Follow | `Costly | `Skip ]
+
+val initial_budget : mode -> int
+
+(** Backward slice: every node the seeds transitively depend on under the
+    mode's edge discipline, sorted. *)
+val slice : Sdg.t -> seeds:Sdg.node list -> mode -> Sdg.node list
+
+(** Forward slice: every node that transitively consumes the seeds' values
+    — impact analysis, the dual of the paper's backward producer chains. *)
+val forward_slice : Sdg.t -> seeds:Sdg.node list -> mode -> Sdg.node list
+
+(** Chop: the nodes on producer paths from [source] to [sink] — how a
+    value travels between two program points. *)
+val chop :
+  Sdg.t -> source:Sdg.node list -> sink:Sdg.node list -> mode -> Sdg.node list
+
+(** Slice contents as distinct source locations of countable nodes — the
+    granularity a user reads (a source statement lowered to several IR
+    instructions is reported once). *)
+val slice_lines : Sdg.t -> seeds:Sdg.node list -> mode -> Slice_ir.Loc.t list
+
+val slice_line_numbers : Sdg.t -> seeds:Sdg.node list -> mode -> int list

@@ -1,0 +1,1 @@
+lib/front/declare.ml: Array Ast Format Hashtbl Instr List Loc Option Program Slice_ir String Types

@@ -1,0 +1,1 @@
+lib/front/declare.mli: Ast Loc Program Slice_ir Types

@@ -1,0 +1,1 @@
+lib/front/frontend.ml: Declare Filename Format Lexer Loc Lower Parser Program Slice_ir Ssa

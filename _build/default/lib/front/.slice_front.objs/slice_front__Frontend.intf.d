@@ -1,0 +1,1 @@
+lib/front/frontend.mli: Format Loc Program Slice_ir

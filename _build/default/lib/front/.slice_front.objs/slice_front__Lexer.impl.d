@@ -1,0 +1,1 @@
+lib/front/lexer.ml: Buffer List Loc Printf Slice_ir String Token

@@ -1,0 +1,1 @@
+lib/front/lexer.mli: Slice_ir Token

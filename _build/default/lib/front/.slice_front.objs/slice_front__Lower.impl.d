@@ -1,0 +1,1 @@
+lib/front/lower.ml: Array Ast Builder Declare Format Hashtbl Instr List Loc Program Slice_ir String Types

@@ -1,0 +1,1 @@
+lib/front/parser.ml: Array Ast Lexer List Loc Option Printf Slice_ir String Token Types

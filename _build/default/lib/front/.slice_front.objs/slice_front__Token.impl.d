@@ -1,0 +1,1 @@
+lib/front/token.ml: Loc Printf Slice_ir

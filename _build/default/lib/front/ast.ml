@@ -1,0 +1,100 @@
+(* Abstract syntax of TJ, the Java-like surface language.  Every node
+   carries the source location of its head token; locations become the
+   [Loc.t] of lowered IR statements, which is how slices are reported back
+   at source level. *)
+
+open Slice_ir
+
+(* Surface types; resolved against the class table during typechecking. *)
+type sty =
+  | Sint
+  | Sbool
+  | Svoid
+  | Sclass of string
+  | Sarray of sty
+
+let rec pp_sty ppf = function
+  | Sint -> Format.pp_print_string ppf "int"
+  | Sbool -> Format.pp_print_string ppf "boolean"
+  | Svoid -> Format.pp_print_string ppf "void"
+  | Sclass c -> Format.pp_print_string ppf c
+  | Sarray t -> Format.fprintf ppf "%a[]" pp_sty t
+
+type expr = { e_kind : expr_kind; e_loc : Loc.t }
+
+and expr_kind =
+  | Eint of int
+  | Ebool of bool
+  | Estr of string
+  | Enull
+  | Ethis
+  | Eident of string                       (* local / param / field / static *)
+  | Efield of expr * string                (* e.f *)
+  | Eindex of expr * expr                  (* e[i] *)
+  | Ecall of callee * expr list
+  | Enew of string * expr list             (* new C(args) *)
+  | Enew_array of sty * expr               (* new T[n] *)
+  | Ebinop of Types.binop * expr * expr
+  | Eunop of Types.unop * expr
+  | Ecast of sty * expr
+  | Einstanceof of expr * sty
+  | Epostincr of lvalue                    (* x++ : yields old value *)
+
+and callee =
+  | Cbare of string                        (* f(args): this-method or free fn *)
+  | Cmethod of expr * string               (* e.m(args) *)
+  | Cstatic of string * string             (* C.m(args) *)
+  | Csuper                                 (* super(args) in a constructor *)
+
+and lvalue =
+  | Lident of string * Loc.t
+  | Lfield of expr * string * Loc.t
+  | Lindex of expr * expr * Loc.t
+
+type stmt = { s_kind : stmt_kind; s_loc : Loc.t }
+
+and stmt_kind =
+  | Sdecl of sty * string * expr option
+  | Sassign of lvalue * expr
+  | Sexpr of expr                          (* call or postincrement *)
+  | Sif of expr * stmt list * stmt list
+  | Swhile of expr * stmt list
+  | Sreturn of expr option
+  | Sthrow of expr
+  | Sbreak
+  | Scontinue
+  | Sblock of stmt list
+
+type param = { p_name : string; p_ty : sty; p_loc : Loc.t }
+
+type method_decl = {
+  md_name : string;
+  md_static : bool;
+  md_params : param list;
+  md_ret : sty;
+  md_body : stmt list;
+  md_is_ctor : bool;
+  md_loc : Loc.t;
+}
+
+type field_decl = {
+  fd_name : string;
+  fd_ty : sty;
+  fd_static : bool;
+  fd_init : expr option;                   (* static fields may have inits *)
+  fd_loc : Loc.t;
+}
+
+type class_decl = {
+  cd_name : string;
+  cd_super : string option;
+  cd_fields : field_decl list;
+  cd_methods : method_decl list;
+  cd_loc : Loc.t;
+}
+
+type decl =
+  | Dclass of class_decl
+  | Dfunc of method_decl                   (* free function -> $Top static *)
+
+type compilation_unit = { cu_file : string; cu_decls : decl list }

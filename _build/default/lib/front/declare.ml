@@ -1,0 +1,210 @@
+(* First frontend pass: register classes, fields and method signatures in
+   the program's class table, so that lowering can resolve names in any
+   order.  Also validates the class hierarchy (no cycles, known
+   superclasses, no duplicate members). *)
+
+open Slice_ir
+
+exception Semantic_error of string * Loc.t
+
+let err loc fmt = Format.kasprintf (fun s -> raise (Semantic_error (s, loc))) fmt
+
+(* Classes treated as containers for object-sensitive points-to cloning
+   (paper section 6.1: "fully object-sensitive cloning for objects of key
+   collections classes"). *)
+let default_container_classes =
+  [ "Vector"; "ArrayList"; "HashMap"; "Hashtable"; "Stack"; "LinkedList"; "Queue" ]
+
+let rec resolve_sty (p : Program.t) (loc : Loc.t) (t : Ast.sty) : Types.ty =
+  match t with
+  | Ast.Sint -> Types.Tint
+  | Ast.Sbool -> Types.Tbool
+  | Ast.Svoid -> Types.Tvoid
+  | Ast.Sclass c ->
+    if not (Program.class_exists p c) then err loc "unknown class %s" c;
+    Types.Tclass c
+  | Ast.Sarray t -> Types.Tarray (resolve_sty p loc t)
+
+let method_shell (p : Program.t) ~(cls : string) (md : Ast.method_decl) :
+    Instr.meth =
+  let param_tys =
+    List.map (fun pr -> resolve_sty p pr.Ast.p_loc pr.Ast.p_ty) md.Ast.md_params
+  in
+  let param_names = List.map (fun pr -> pr.Ast.p_name) md.Ast.md_params in
+  (match
+     List.find_opt
+       (fun n -> List.length (List.filter (String.equal n) param_names) > 1)
+       param_names
+   with
+  | Some n -> err md.Ast.md_loc "duplicate parameter %s" n
+  | None -> ());
+  let params, tys =
+    if md.Ast.md_static then (param_names, param_tys)
+    else ("this" :: param_names, Types.Tclass cls :: param_tys)
+  in
+  let vars =
+    Array.of_list
+      (List.mapi
+         (fun i (name, ty) ->
+           { Instr.vi_name = name; vi_kind = Instr.Vparam i; vi_ty = ty })
+         (List.combine params tys))
+  in
+  { Instr.m_qname = { Instr.mq_class = cls; mq_name = md.Ast.md_name };
+    m_static = md.Ast.md_static;
+    m_params = List.mapi (fun i _ -> i) params;
+    m_param_tys = tys;
+    m_ret_ty = resolve_sty p md.Ast.md_loc md.Ast.md_ret;
+    m_vars = vars;
+    m_body = Instr.Abstract (* installed by lowering *);
+    m_loc = md.Ast.md_loc }
+
+(* Register all classes (pass A), then fields and method shells (pass B,
+   once every class name is known). *)
+let run ?(container_classes = default_container_classes) (p : Program.t)
+    (cu : Ast.compilation_unit) : unit =
+  let classes =
+    List.filter_map (function Ast.Dclass c -> Some c | Ast.Dfunc _ -> None) cu.Ast.cu_decls
+  in
+  let funcs =
+    List.filter_map (function Ast.Dfunc f -> Some f | Ast.Dclass _ -> None) cu.Ast.cu_decls
+  in
+  (* Pass A: class names and supers. *)
+  List.iter
+    (fun (cd : Ast.class_decl) ->
+      if Program.class_exists p cd.Ast.cd_name then
+        err cd.Ast.cd_loc "duplicate class %s" cd.Ast.cd_name;
+      Program.add_class p
+        { Program.c_name = cd.Ast.cd_name;
+          c_super = Some (Option.value cd.Ast.cd_super ~default:Types.object_class);
+          c_fields = [];
+          c_static_fields = [];
+          c_methods = [];
+          c_is_container = List.mem cd.Ast.cd_name container_classes;
+          c_builtin = false;
+          c_loc = cd.Ast.cd_loc })
+    classes;
+  (* Validate superclasses exist and the hierarchy is acyclic. *)
+  List.iter
+    (fun (cd : Ast.class_decl) ->
+      (match cd.Ast.cd_super with
+      | Some s when not (Program.class_exists p s) ->
+        err cd.Ast.cd_loc "class %s extends unknown class %s" cd.Ast.cd_name s
+      | Some _ | None -> ());
+      let seen = Hashtbl.create 8 in
+      let rec walk c =
+        if Hashtbl.mem seen c then
+          err cd.Ast.cd_loc "cyclic inheritance involving %s" c;
+        Hashtbl.replace seen c ();
+        match (Program.find_class_exn p c).Program.c_super with
+        | Some s -> walk s
+        | None -> ()
+      in
+      walk cd.Ast.cd_name)
+    classes;
+  (* Pass B: fields and method shells. *)
+  List.iter
+    (fun (cd : Ast.class_decl) ->
+      let ci = Program.find_class_exn p cd.Ast.cd_name in
+      List.iter
+        (fun (fd : Ast.field_decl) ->
+          let ty = resolve_sty p fd.Ast.fd_loc fd.Ast.fd_ty in
+          let dup =
+            List.mem_assoc fd.Ast.fd_name ci.Program.c_fields
+            || List.mem_assoc fd.Ast.fd_name ci.Program.c_static_fields
+          in
+          if dup then err fd.Ast.fd_loc "duplicate field %s" fd.Ast.fd_name;
+          if fd.Ast.fd_static then
+            ci.Program.c_static_fields <-
+              ci.Program.c_static_fields @ [ (fd.Ast.fd_name, ty) ]
+          else ci.Program.c_fields <- ci.Program.c_fields @ [ (fd.Ast.fd_name, ty) ])
+        cd.Ast.cd_fields;
+      List.iter
+        (fun (md : Ast.method_decl) ->
+          let mq =
+            { Instr.mq_class = cd.Ast.cd_name; mq_name = md.Ast.md_name }
+          in
+          if Program.find_method p mq <> None then
+            err md.Ast.md_loc "duplicate method %s in class %s (TJ has no overloading)"
+              md.Ast.md_name cd.Ast.cd_name;
+          Program.add_method p (method_shell p ~cls:cd.Ast.cd_name md))
+        cd.Ast.cd_methods;
+      (* Overriding must preserve the signature. *)
+      List.iter
+        (fun (md : Ast.method_decl) ->
+          if not md.Ast.md_is_ctor then begin
+            match ci.Program.c_super with
+            | None -> ()
+            | Some s -> (
+              match Program.lookup_method p s md.Ast.md_name with
+              | None -> ()
+              | Some inherited ->
+                let own =
+                  Program.find_method_exn p
+                    { Instr.mq_class = cd.Ast.cd_name; mq_name = md.Ast.md_name }
+                in
+                let drop_this m =
+                  if m.Instr.m_static then m.Instr.m_param_tys
+                  else List.tl m.Instr.m_param_tys
+                in
+                let own_tys = drop_this own and inh_tys = drop_this inherited in
+                let tys_match =
+                  List.length own_tys = List.length inh_tys
+                  && List.for_all2 Types.equal_ty own_tys inh_tys
+                  && Types.equal_ty own.Instr.m_ret_ty inherited.Instr.m_ret_ty
+                  && own.Instr.m_static = inherited.Instr.m_static
+                in
+                if not tys_match then
+                  err md.Ast.md_loc
+                    "method %s.%s overrides %s.%s with a different signature"
+                    cd.Ast.cd_name md.Ast.md_name
+                    inherited.Instr.m_qname.Instr.mq_class md.Ast.md_name)
+          end)
+        cd.Ast.cd_methods;
+      (* Classes without a declared constructor get an implicit one; the
+         shell is Abstract here, and lowering fills in the body (which must
+         chain to the superclass constructor). *)
+      if
+        not
+          (List.exists (fun (md : Ast.method_decl) -> md.Ast.md_is_ctor) cd.Ast.cd_methods)
+      then begin
+        let this_ty = Types.Tclass cd.Ast.cd_name in
+        Program.add_method p
+          { Instr.m_qname =
+              { Instr.mq_class = cd.Ast.cd_name; mq_name = Types.constructor_name };
+            m_static = false;
+            m_params = [ 0 ];
+            m_param_tys = [ this_ty ];
+            m_ret_ty = Types.Tvoid;
+            m_vars =
+              [| { Instr.vi_name = "this"; vi_kind = Instr.Vparam 0; vi_ty = this_ty } |];
+            m_body = Instr.Abstract;
+            m_loc = cd.Ast.cd_loc }
+      end)
+    classes;
+  (* Free functions become statics of $Top. *)
+  List.iter
+    (fun (md : Ast.method_decl) ->
+      let mq = { Instr.mq_class = Types.toplevel_class; mq_name = md.Ast.md_name } in
+      if Program.find_method p mq <> None then
+        err md.Ast.md_loc "duplicate function %s" md.Ast.md_name;
+      Program.add_method p (method_shell p ~cls:Types.toplevel_class md))
+    funcs;
+  (* Static field initializers run in a synthetic $Top.$clinit, which
+     lowering builds and calls at the start of main. *)
+  let has_static_inits =
+    List.exists
+      (fun (cd : Ast.class_decl) ->
+        List.exists (fun fd -> fd.Ast.fd_init <> None) cd.Ast.cd_fields)
+      classes
+  in
+  let clinit_mq = { Instr.mq_class = Types.toplevel_class; mq_name = "$clinit" } in
+  if has_static_inits && Program.find_method p clinit_mq = None then
+    Program.add_method p
+      { Instr.m_qname = clinit_mq;
+        m_static = true;
+        m_params = [];
+        m_param_tys = [];
+        m_ret_ty = Types.Tvoid;
+        m_vars = [||];
+        m_body = Instr.Abstract;
+        m_loc = Loc.none }

@@ -1,0 +1,161 @@
+(* Hand-written lexer for TJ.  Produces the full token list up front; TJ
+   sources are small enough that streaming buys nothing. *)
+
+open Slice_ir
+
+exception Lex_error of string * Loc.t
+
+type state = {
+  src : string;
+  file : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int;                 (* offset of the beginning of line *)
+}
+
+let make ~file src = { src; file; pos = 0; line = 1; bol = 0 }
+
+let loc st = Loc.make ~file:st.file ~line:st.line ~col:(st.pos - st.bol + 1)
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+    st.line <- st.line + 1;
+    st.bol <- st.pos + 1
+  | Some _ | None -> ());
+  st.pos <- st.pos + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '$'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let rec skip_trivia st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance st;
+    skip_trivia st
+  | Some '/' when peek2 st = Some '/' ->
+    while peek st <> None && peek st <> Some '\n' do advance st done;
+    skip_trivia st
+  | Some '/' when peek2 st = Some '*' ->
+    let start = loc st in
+    advance st;
+    advance st;
+    let rec close () =
+      match (peek st, peek2 st) with
+      | Some '*', Some '/' ->
+        advance st;
+        advance st
+      | None, _ -> raise (Lex_error ("unterminated block comment", start))
+      | Some _, _ ->
+        advance st;
+        close ()
+    in
+    close ();
+    skip_trivia st
+  | Some _ | None -> ()
+
+let lex_number st =
+  let start = st.pos in
+  while (match peek st with Some c -> is_digit c | None -> false) do
+    advance st
+  done;
+  Token.INT (int_of_string (String.sub st.src start (st.pos - start)))
+
+let lex_ident st =
+  let start = st.pos in
+  while (match peek st with Some c -> is_ident_char c | None -> false) do
+    advance st
+  done;
+  let word = String.sub st.src start (st.pos - start) in
+  match Token.keyword_of_string word with
+  | Some kw -> kw
+  | None -> Token.IDENT word
+
+let lex_string st =
+  let start_loc = loc st in
+  advance st (* opening quote *);
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None | Some '\n' -> raise (Lex_error ("unterminated string literal", start_loc))
+    | Some '"' -> advance st
+    | Some '\\' -> (
+      advance st;
+      match peek st with
+      | Some 'n' -> Buffer.add_char buf '\n'; advance st; go ()
+      | Some 't' -> Buffer.add_char buf '\t'; advance st; go ()
+      | Some '"' -> Buffer.add_char buf '"'; advance st; go ()
+      | Some '\\' -> Buffer.add_char buf '\\'; advance st; go ()
+      | Some c -> raise (Lex_error (Printf.sprintf "bad escape \\%c" c, loc st))
+      | None -> raise (Lex_error ("unterminated string literal", start_loc)))
+    | Some c ->
+      Buffer.add_char buf c;
+      advance st;
+      go ()
+  in
+  go ();
+  Token.STRING (Buffer.contents buf)
+
+let next_token st : Token.located =
+  skip_trivia st;
+  let l = loc st in
+  let simple tok = advance st; tok in
+  let tok =
+    match peek st with
+    | None -> Token.EOF
+    | Some c when is_digit c -> lex_number st
+    | Some c when is_ident_start c -> lex_ident st
+    | Some '"' -> lex_string st
+    | Some '(' -> simple Token.LPAREN
+    | Some ')' -> simple Token.RPAREN
+    | Some '{' -> simple Token.LBRACE
+    | Some '}' -> simple Token.RBRACE
+    | Some '[' -> simple Token.LBRACKET
+    | Some ']' -> simple Token.RBRACKET
+    | Some ';' -> simple Token.SEMI
+    | Some ',' -> simple Token.COMMA
+    | Some '.' -> simple Token.DOT
+    | Some '+' ->
+      advance st;
+      if peek st = Some '+' then (advance st; Token.PLUSPLUS) else Token.PLUS
+    | Some '-' -> simple Token.MINUS
+    | Some '*' -> simple Token.STAR
+    | Some '/' -> simple Token.SLASH
+    | Some '%' -> simple Token.PERCENT
+    | Some '=' ->
+      advance st;
+      if peek st = Some '=' then (advance st; Token.EQ) else Token.ASSIGN
+    | Some '<' ->
+      advance st;
+      if peek st = Some '=' then (advance st; Token.LE) else Token.LT
+    | Some '>' ->
+      advance st;
+      if peek st = Some '=' then (advance st; Token.GE) else Token.GT
+    | Some '!' ->
+      advance st;
+      if peek st = Some '=' then (advance st; Token.NE) else Token.NOT
+    | Some '&' ->
+      advance st;
+      if peek st = Some '&' then (advance st; Token.AND)
+      else raise (Lex_error ("expected &&", l))
+    | Some '|' ->
+      advance st;
+      if peek st = Some '|' then (advance st; Token.OR)
+      else raise (Lex_error ("expected ||", l))
+    | Some c -> raise (Lex_error (Printf.sprintf "unexpected character %C" c, l))
+  in
+  { Token.tok; loc = l }
+
+let tokenize ~(file : string) (src : string) : Token.located list =
+  let st = make ~file src in
+  let rec go acc =
+    let t = next_token st in
+    if t.Token.tok = Token.EOF then List.rev (t :: acc) else go (t :: acc)
+  in
+  go []

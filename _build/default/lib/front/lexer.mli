@@ -1,0 +1,9 @@
+(** Hand-written lexer for TJ.  Produces the full token list up front; TJ
+    sources are small enough that streaming buys nothing. *)
+
+exception Lex_error of string * Slice_ir.Loc.t
+
+(** Tokenize a source text; the result always ends with [EOF].  Comments
+    ([//] and [/* */]) and whitespace are skipped; raises {!Lex_error} on
+    unterminated strings/comments and stray characters. *)
+val tokenize : file:string -> string -> Token.located list

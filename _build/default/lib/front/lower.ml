@@ -1,0 +1,760 @@
+(* Type-directed lowering of TJ ASTs into the three-address IR.
+
+   This pass is the typechecker: it elaborates each expression to a typed
+   IR variable and rejects ill-typed programs with [Type_error].  Lowering
+   happens after [Declare] has populated the class table, so names resolve
+   in any declaration order. *)
+
+open Slice_ir
+
+exception Type_error of string * Loc.t
+
+let err loc fmt = Format.kasprintf (fun s -> raise (Type_error (s, loc))) fmt
+
+(* Lexically scoped environment mapping source names to IR variables. *)
+module Env = struct
+  type t = { mutable scopes : (string, Instr.var * Types.ty) Hashtbl.t list }
+
+  let create () = { scopes = [ Hashtbl.create 8 ] }
+  let push (e : t) = e.scopes <- Hashtbl.create 8 :: e.scopes
+  let pop (e : t) = e.scopes <- List.tl e.scopes
+
+  let lookup (e : t) (name : string) : (Instr.var * Types.ty) option =
+    let rec go = function
+      | [] -> None
+      | s :: rest -> (
+        match Hashtbl.find_opt s name with Some v -> Some v | None -> go rest)
+    in
+    go e.scopes
+
+  let declare (e : t) (name : string) (v : Instr.var) (ty : Types.ty) loc : unit =
+    match e.scopes with
+    | [] -> assert false
+    | s :: _ ->
+      if Hashtbl.mem s name then err loc "variable %s already declared in this scope" name
+      else Hashtbl.replace s name (v, ty)
+end
+
+type ctx = {
+  p : Program.t;
+  b : Builder.t;
+  cls : Types.class_name;            (* enclosing class ($Top for functions) *)
+  meth : Instr.meth;                 (* shell being filled *)
+  env : Env.t;
+  (* (continue target, break target) for each enclosing loop *)
+  mutable loops : (Instr.label * Instr.label) list;
+}
+
+let in_static (ctx : ctx) = ctx.meth.Instr.m_static
+
+let this_var (ctx : ctx) (loc : Loc.t) : Instr.var =
+  if in_static ctx then err loc "'this' in a static context" else 0
+
+let default_const (ty : Types.ty) : Types.const =
+  match ty with
+  | Types.Tint -> Types.Cint 0
+  | Types.Tbool -> Types.Cbool false
+  | Types.Tclass _ | Types.Tarray _ | Types.Tnull -> Types.Cnull
+  | Types.Tvoid -> Types.Cnull
+
+let check_assignable (ctx : ctx) loc ~(from : Types.ty) ~(into : Types.ty) : unit =
+  if not (Program.is_subtype ctx.p ~sub:from ~sup:into) then
+    err loc "type mismatch: cannot use %s where %s is expected"
+      (Types.ty_to_string from) (Types.ty_to_string into)
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec lower_expr (ctx : ctx) (e : Ast.expr) : Instr.var * Types.ty =
+  let loc = e.Ast.e_loc in
+  match e.Ast.e_kind with
+  | Ast.Eint n ->
+    let v = Builder.fresh_temp ctx.b Types.Tint in
+    ignore (Builder.emit ctx.b ~loc (Instr.Const (v, Types.Cint n)));
+    (v, Types.Tint)
+  | Ast.Ebool bv ->
+    let v = Builder.fresh_temp ctx.b Types.Tbool in
+    ignore (Builder.emit ctx.b ~loc (Instr.Const (v, Types.Cbool bv)));
+    (v, Types.Tbool)
+  | Ast.Estr s ->
+    let ty = Types.Tclass Types.string_class in
+    let v = Builder.fresh_temp ctx.b ty in
+    ignore (Builder.emit ctx.b ~loc (Instr.Const (v, Types.Cstr s)));
+    (v, ty)
+  | Ast.Enull ->
+    let v = Builder.fresh_temp ctx.b Types.Tnull in
+    ignore (Builder.emit ctx.b ~loc (Instr.Const (v, Types.Cnull)));
+    (v, Types.Tnull)
+  | Ast.Ethis ->
+    let v = this_var ctx loc in
+    (v, Types.Tclass ctx.cls)
+  | Ast.Eident name -> lower_ident ctx loc name
+  | Ast.Efield (base, f) -> lower_field_read ctx loc base f
+  | Ast.Eindex (base, idx) ->
+    let a, aty = lower_expr ctx base in
+    let i, ity = lower_expr ctx idx in
+    check_assignable ctx loc ~from:ity ~into:Types.Tint;
+    let elem =
+      match aty with
+      | Types.Tarray t -> t
+      | t -> err loc "indexing a non-array of type %s" (Types.ty_to_string t)
+    in
+    let v = Builder.fresh_temp ctx.b elem in
+    ignore (Builder.emit ctx.b ~loc (Instr.Array_load (v, a, i)));
+    (v, elem)
+  | Ast.Ecall (callee, args) -> (
+    match lower_call ctx loc callee args with
+    | Some (v, ty) -> (v, ty)
+    | None -> err loc "void method call used as an expression")
+  | Ast.Enew (cname, args) -> lower_new ctx loc cname args
+  | Ast.Enew_array (elem_sty, len) ->
+    let elem = Declare.resolve_sty ctx.p loc elem_sty in
+    let n, nty = lower_expr ctx len in
+    check_assignable ctx loc ~from:nty ~into:Types.Tint;
+    let ty = Types.Tarray elem in
+    let v = Builder.fresh_temp ctx.b ty in
+    ignore (Builder.emit ctx.b ~loc (Instr.New_array (v, elem, n)));
+    (v, ty)
+  | Ast.Ebinop (op, l, r) -> lower_binop ctx loc op l r
+  | Ast.Eunop (op, inner) ->
+    let v, ty = lower_expr ctx inner in
+    let expect_ty = match op with Types.Neg -> Types.Tint | Types.Not -> Types.Tbool in
+    check_assignable ctx loc ~from:ty ~into:expect_ty;
+    let res = Builder.fresh_temp ctx.b expect_ty in
+    ignore (Builder.emit ctx.b ~loc (Instr.Unop (res, op, v)));
+    (res, expect_ty)
+  | Ast.Ecast (sty, inner) ->
+    let target = Declare.resolve_sty ctx.p loc sty in
+    let v, from = lower_expr ctx inner in
+    if not (Types.is_reference target && Types.is_reference from) then
+      err loc "casts apply only to reference types";
+    if not (Program.cast_compatible ctx.p ~from ~target) then
+      err loc "impossible cast from %s to %s" (Types.ty_to_string from)
+        (Types.ty_to_string target);
+    let res = Builder.fresh_temp ctx.b target in
+    ignore (Builder.emit ctx.b ~loc (Instr.Cast (res, target, v)));
+    (res, target)
+  | Ast.Einstanceof (inner, sty) ->
+    let target = Declare.resolve_sty ctx.p loc sty in
+    let v, from = lower_expr ctx inner in
+    if not (Types.is_reference target && Types.is_reference from) then
+      err loc "instanceof applies only to reference types";
+    let res = Builder.fresh_temp ctx.b Types.Tbool in
+    ignore (Builder.emit ctx.b ~loc (Instr.Instance_of (res, target, v)));
+    (res, Types.Tbool)
+  | Ast.Epostincr lv ->
+    let read_v, ty = lower_lvalue_read ctx lv in
+    check_assignable ctx loc ~from:ty ~into:Types.Tint;
+    (* copy the old value first: for a local lvalue, [read_v] IS the
+       variable about to be overwritten *)
+    let old_v = Builder.fresh_temp ctx.b Types.Tint in
+    ignore (Builder.emit ctx.b ~loc (Instr.Move (old_v, read_v)));
+    let one = Builder.fresh_temp ctx.b Types.Tint in
+    ignore (Builder.emit ctx.b ~loc (Instr.Const (one, Types.Cint 1)));
+    let next = Builder.fresh_temp ctx.b Types.Tint in
+    ignore (Builder.emit ctx.b ~loc (Instr.Binop (next, Types.Add, old_v, one)));
+    lower_lvalue_write ctx loc lv next Types.Tint;
+    (old_v, Types.Tint)
+
+and lower_ident (ctx : ctx) loc (name : string) : Instr.var * Types.ty =
+  match Env.lookup ctx.env name with
+  | Some (v, ty) -> (v, ty)
+  | None -> (
+    (* instance field of this? *)
+    match
+      if in_static ctx then None else Program.lookup_field ctx.p ctx.cls name
+    with
+    | Some fty ->
+      let v = Builder.fresh_temp ctx.b fty in
+      ignore (Builder.emit ctx.b ~loc (Instr.Load (v, this_var ctx loc, name)));
+      (v, fty)
+    | None -> (
+      match Program.lookup_static_field ctx.p ctx.cls name with
+      | Some (owner, fty) ->
+        let v = Builder.fresh_temp ctx.b fty in
+        ignore (Builder.emit ctx.b ~loc (Instr.Static_load (v, owner, name)));
+        (v, fty)
+      | None -> err loc "unknown variable %s" name))
+
+and lower_field_read (ctx : ctx) loc (base : Ast.expr) (f : string) :
+    Instr.var * Types.ty =
+  (* Class.field : static field access (class names are uppercase idents
+     that do not shadow a local). *)
+  match base.Ast.e_kind with
+  | Ast.Eident cname
+    when Env.lookup ctx.env cname = None && Program.class_exists ctx.p cname -> (
+    match Program.lookup_static_field ctx.p cname f with
+    | Some (owner, fty) ->
+      let v = Builder.fresh_temp ctx.b fty in
+      ignore (Builder.emit ctx.b ~loc (Instr.Static_load (v, owner, f)));
+      (v, fty)
+    | None -> err loc "class %s has no static field %s" cname f)
+  | _ -> (
+    let bv, bty = lower_expr ctx base in
+    match bty with
+    | Types.Tarray _ when String.equal f "length" ->
+      let v = Builder.fresh_temp ctx.b Types.Tint in
+      ignore (Builder.emit ctx.b ~loc (Instr.Array_length (v, bv)));
+      (v, Types.Tint)
+    | Types.Tclass c -> (
+      match Program.lookup_field ctx.p c f with
+      | Some fty ->
+        let v = Builder.fresh_temp ctx.b fty in
+        ignore (Builder.emit ctx.b ~loc (Instr.Load (v, bv, f)));
+        (v, fty)
+      | None -> err loc "class %s has no field %s" c f)
+    | t -> err loc "field access on non-object of type %s" (Types.ty_to_string t))
+
+and lower_binop (ctx : ctx) loc op (l : Ast.expr) (r : Ast.expr) :
+    Instr.var * Types.ty =
+  match op with
+  | Types.And | Types.Or ->
+    (* Short-circuit, as in Java: the right operand is evaluated only when
+       the left one does not decide the result.  The result variable gets
+       two definitions, which SSA conversion merges with a phi. *)
+    let lv, lty = lower_expr ctx l in
+    check_assignable ctx loc ~from:lty ~into:Types.Tbool;
+    let res = Builder.fresh_local ctx.b "$sc" Types.Tbool in
+    let rhs_l = Builder.new_block ctx.b in
+    let short_l = Builder.new_block ctx.b in
+    let join_l = Builder.new_block ctx.b in
+    (match op with
+    | Types.And ->
+      ignore (Builder.branch ctx.b ~loc lv ~then_:rhs_l ~else_:short_l)
+    | _ -> ignore (Builder.branch ctx.b ~loc lv ~then_:short_l ~else_:rhs_l));
+    Builder.switch_to ctx.b rhs_l;
+    let rv, rty = lower_expr ctx r in
+    check_assignable ctx loc ~from:rty ~into:Types.Tbool;
+    ignore (Builder.emit ctx.b ~loc (Instr.Move (res, rv)));
+    Builder.goto ctx.b join_l;
+    Builder.switch_to ctx.b short_l;
+    let short_value = Types.Cbool (op = Types.Or) in
+    let c = Builder.fresh_temp ctx.b Types.Tbool in
+    ignore (Builder.emit ctx.b ~loc (Instr.Const (c, short_value)));
+    ignore (Builder.emit ctx.b ~loc (Instr.Move (res, c)));
+    Builder.goto ctx.b join_l;
+    Builder.switch_to ctx.b join_l;
+    (res, Types.Tbool)
+  | _ -> lower_binop_eager ctx loc op l r
+
+and lower_binop_eager (ctx : ctx) loc op (l : Ast.expr) (r : Ast.expr) :
+    Instr.var * Types.ty =
+  let lv, lty = lower_expr ctx l in
+  let rv, rty = lower_expr ctx r in
+  let is_string t = Types.equal_ty t (Types.Tclass Types.string_class) in
+  let emit res_ty op a bb =
+    let res = Builder.fresh_temp ctx.b res_ty in
+    ignore (Builder.emit ctx.b ~loc (Instr.Binop (res, op, a, bb)));
+    (res, res_ty)
+  in
+  match op with
+  | Types.Add when is_string lty || is_string rty ->
+    let as_string v ty =
+      if is_string ty then v
+      else if Types.equal_ty ty Types.Tint then begin
+        let s = Builder.fresh_temp ctx.b (Types.Tclass Types.string_class) in
+        ignore
+          (Builder.emit ctx.b ~loc
+             (Instr.Call
+                { lhs = Some s;
+                  kind =
+                    Instr.Static
+                      { Instr.mq_class = Types.toplevel_class; mq_name = "itoa" };
+                  args = [ v ] }));
+        s
+      end
+      else err loc "cannot concatenate %s with a string" (Types.ty_to_string ty)
+    in
+    emit (Types.Tclass Types.string_class) Types.Concat (as_string lv lty)
+      (as_string rv rty)
+  | Types.Add | Types.Sub | Types.Mul | Types.Div | Types.Mod ->
+    check_assignable ctx loc ~from:lty ~into:Types.Tint;
+    check_assignable ctx loc ~from:rty ~into:Types.Tint;
+    emit Types.Tint op lv rv
+  | Types.Lt | Types.Le | Types.Gt | Types.Ge ->
+    check_assignable ctx loc ~from:lty ~into:Types.Tint;
+    check_assignable ctx loc ~from:rty ~into:Types.Tint;
+    emit Types.Tbool op lv rv
+  | Types.Eq | Types.Ne ->
+    let compatible =
+      (Types.is_reference lty && Types.is_reference rty)
+      || (Types.equal_ty lty Types.Tint && Types.equal_ty rty Types.Tint)
+      || (Types.equal_ty lty Types.Tbool && Types.equal_ty rty Types.Tbool)
+    in
+    if not compatible then
+      err loc "cannot compare %s with %s" (Types.ty_to_string lty)
+        (Types.ty_to_string rty);
+    emit Types.Tbool op lv rv
+  | Types.And | Types.Or ->
+    (* unreachable: dispatched to the short-circuit lowering above *)
+    assert false
+  | Types.Concat -> assert false (* never produced by the parser *)
+
+and lower_new (ctx : ctx) loc (cname : string) (args : Ast.expr list) :
+    Instr.var * Types.ty =
+  if not (Program.class_exists ctx.p cname) then err loc "unknown class %s" cname;
+  let ty = Types.Tclass cname in
+  let obj = Builder.fresh_temp ctx.b ty in
+  ignore (Builder.emit ctx.b ~loc (Instr.New (obj, cname)));
+  let ctor_mq = { Instr.mq_class = cname; mq_name = Types.constructor_name } in
+  (match Program.find_method ctx.p ctor_mq with
+  | None -> err loc "class %s has no constructor" cname
+  | Some ctor ->
+    let arg_vars = check_and_lower_args ctx loc ctor (obj :: []) args in
+    ignore
+      (Builder.emit ctx.b ~loc
+         (Instr.Call { lhs = None; kind = Instr.Special ctor_mq; args = arg_vars })));
+  (obj, ty)
+
+(* Typecheck arguments against a callee's declared parameters.  [receiver]
+   holds the already-lowered receiver/this vars to prepend. *)
+and check_and_lower_args (ctx : ctx) loc (callee : Instr.meth)
+    (receiver : Instr.var list) (args : Ast.expr list) : Instr.var list =
+  let arg_pairs = List.map (lower_expr ctx) args in
+  let expected = List.length callee.Instr.m_param_tys - List.length receiver in
+  if List.length args <> expected then
+    err loc "%s expects %d argument(s), got %d"
+      (Instr.method_qname_to_string callee.Instr.m_qname)
+      expected (List.length args);
+  let declared = ref callee.Instr.m_param_tys in
+  List.iter (fun _ -> declared := List.tl !declared) receiver;
+  List.iter2
+    (fun (_, actual_ty) formal_ty ->
+      check_assignable ctx loc ~from:actual_ty ~into:formal_ty)
+    arg_pairs !declared;
+  receiver @ List.map fst arg_pairs
+
+and lower_call (ctx : ctx) loc (callee : Ast.callee) (args : Ast.expr list) :
+    (Instr.var * Types.ty) option =
+  let finish (m : Instr.meth) (kind : Instr.call_kind) (arg_vars : Instr.var list) =
+    let ret = m.Instr.m_ret_ty in
+    if Types.equal_ty ret Types.Tvoid then begin
+      ignore (Builder.emit ctx.b ~loc (Instr.Call { lhs = None; kind; args = arg_vars }));
+      None
+    end
+    else begin
+      let v = Builder.fresh_temp ctx.b ret in
+      ignore
+        (Builder.emit ctx.b ~loc (Instr.Call { lhs = Some v; kind; args = arg_vars }));
+      Some (v, ret)
+    end
+  in
+  (* print is polymorphic: accept a single argument of any type. *)
+  let lower_print () =
+    match args with
+    | [ a ] ->
+      let v, _ = lower_expr ctx a in
+      ignore
+        (Builder.emit ctx.b ~loc
+           (Instr.Call
+              { lhs = None;
+                kind =
+                  Instr.Static
+                    { Instr.mq_class = Types.toplevel_class; mq_name = "print" };
+                args = [ v ] }));
+      None
+    | _ -> err loc "print expects exactly one argument"
+  in
+  match callee with
+  | Ast.Cbare "print" -> lower_print ()
+  | Ast.Cbare name -> (
+    (* method of the enclosing class, else free function *)
+    let own = Program.lookup_method ctx.p ctx.cls name in
+    match own with
+    | Some m when not m.Instr.m_static ->
+      if in_static ctx then
+        err loc "cannot call instance method %s from a static context" name;
+      let recv = this_var ctx loc in
+      let arg_vars = check_and_lower_args ctx loc m [ recv ] args in
+      finish m (Instr.Virtual name) arg_vars
+    | Some m ->
+      let arg_vars = check_and_lower_args ctx loc m [] args in
+      finish m (Instr.Static m.Instr.m_qname) arg_vars
+    | None -> (
+      match
+        Program.find_method ctx.p
+          { Instr.mq_class = Types.toplevel_class; mq_name = name }
+      with
+      | Some m ->
+        let arg_vars = check_and_lower_args ctx loc m [] args in
+        finish m (Instr.Static m.Instr.m_qname) arg_vars
+      | None -> err loc "unknown function %s" name))
+  | Ast.Cmethod (base, mname) -> (
+    let bv, bty = lower_expr ctx base in
+    match bty with
+    | Types.Tclass c -> (
+      match Program.lookup_method ctx.p c mname with
+      | None -> err loc "class %s has no method %s" c mname
+      | Some m when m.Instr.m_static ->
+        err loc "method %s.%s is static; call it as %s.%s(...)" c mname c mname
+      | Some m ->
+        let arg_vars = check_and_lower_args ctx loc m [ bv ] args in
+        finish m (Instr.Virtual mname) arg_vars)
+    | t -> err loc "method call on non-object of type %s" (Types.ty_to_string t))
+  | Ast.Cstatic (cname, mname) -> (
+    if not (Program.class_exists ctx.p cname) then err loc "unknown class %s" cname;
+    match Program.lookup_method ctx.p cname mname with
+    | None -> err loc "class %s has no method %s" cname mname
+    | Some m when not m.Instr.m_static ->
+      err loc "method %s.%s is not static" cname mname
+    | Some m ->
+      let arg_vars = check_and_lower_args ctx loc m [] args in
+      finish m (Instr.Static m.Instr.m_qname) arg_vars)
+  | Ast.Csuper -> (
+    if not (String.equal ctx.meth.Instr.m_qname.Instr.mq_name Types.constructor_name)
+    then err loc "super(...) is only allowed inside a constructor";
+    let super =
+      match (Program.find_class_exn ctx.p ctx.cls).Program.c_super with
+      | Some s -> s
+      | None -> err loc "class %s has no superclass" ctx.cls
+    in
+    let ctor_mq = { Instr.mq_class = super; mq_name = Types.constructor_name } in
+    match Program.find_method ctx.p ctor_mq with
+    | None -> err loc "class %s has no constructor" super
+    | Some ctor ->
+      let recv = this_var ctx loc in
+      let arg_vars = check_and_lower_args ctx loc ctor [ recv ] args in
+      ignore
+        (Builder.emit ctx.b ~loc
+           (Instr.Call { lhs = None; kind = Instr.Special ctor_mq; args = arg_vars }));
+      None)
+
+(* ------------------------------------------------------------------ *)
+(* L-values                                                            *)
+(* ------------------------------------------------------------------ *)
+
+and lower_lvalue_read (ctx : ctx) (lv : Ast.lvalue) : Instr.var * Types.ty =
+  match lv with
+  | Ast.Lident (name, iloc) -> lower_ident ctx iloc name
+  | Ast.Lfield (base, f, floc) -> lower_field_read ctx floc base f
+  | Ast.Lindex (base, idx, iloc) ->
+    lower_expr ctx { Ast.e_kind = Ast.Eindex (base, idx); e_loc = iloc }
+
+and lower_lvalue_write (ctx : ctx) loc (lv : Ast.lvalue) (rhs : Instr.var)
+    (rhs_ty : Types.ty) : unit =
+  match lv with
+  | Ast.Lident (name, iloc) -> (
+    match Env.lookup ctx.env name with
+    | Some (v, ty) ->
+      check_assignable ctx iloc ~from:rhs_ty ~into:ty;
+      ignore (Builder.emit ctx.b ~loc (Instr.Move (v, rhs)))
+    | None -> (
+      match
+        if in_static ctx then None else Program.lookup_field ctx.p ctx.cls name
+      with
+      | Some fty ->
+        check_assignable ctx iloc ~from:rhs_ty ~into:fty;
+        ignore (Builder.emit ctx.b ~loc (Instr.Store (this_var ctx iloc, name, rhs)))
+      | None -> (
+        match Program.lookup_static_field ctx.p ctx.cls name with
+        | Some (owner, fty) ->
+          check_assignable ctx iloc ~from:rhs_ty ~into:fty;
+          ignore (Builder.emit ctx.b ~loc (Instr.Static_store (owner, name, rhs)))
+        | None -> err iloc "unknown variable %s" name)))
+  | Ast.Lfield (base, f, floc) -> (
+    match base.Ast.e_kind with
+    | Ast.Eident cname
+      when Env.lookup ctx.env cname = None && Program.class_exists ctx.p cname -> (
+      match Program.lookup_static_field ctx.p cname f with
+      | Some (owner, fty) ->
+        check_assignable ctx floc ~from:rhs_ty ~into:fty;
+        ignore (Builder.emit ctx.b ~loc (Instr.Static_store (owner, f, rhs)))
+      | None -> err floc "class %s has no static field %s" cname f)
+    | _ -> (
+      let bv, bty = lower_expr ctx base in
+      match bty with
+      | Types.Tclass c -> (
+        match Program.lookup_field ctx.p c f with
+        | Some fty ->
+          check_assignable ctx floc ~from:rhs_ty ~into:fty;
+          ignore (Builder.emit ctx.b ~loc (Instr.Store (bv, f, rhs)))
+        | None -> err floc "class %s has no field %s" c f)
+      | t -> err floc "field write on non-object of type %s" (Types.ty_to_string t)))
+  | Ast.Lindex (base, idx, iloc) -> (
+    let a, aty = lower_expr ctx base in
+    let i, ity = lower_expr ctx idx in
+    check_assignable ctx iloc ~from:ity ~into:Types.Tint;
+    match aty with
+    | Types.Tarray elem ->
+      check_assignable ctx iloc ~from:rhs_ty ~into:elem;
+      ignore (Builder.emit ctx.b ~loc (Instr.Array_store (a, i, rhs)))
+    | t -> err iloc "indexed write on non-array of type %s" (Types.ty_to_string t))
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec lower_stmt (ctx : ctx) (s : Ast.stmt) : unit =
+  let loc = s.Ast.s_loc in
+  match s.Ast.s_kind with
+  | Ast.Sdecl (sty, name, init) ->
+    let ty = Declare.resolve_sty ctx.p loc sty in
+    if Types.equal_ty ty Types.Tvoid then err loc "cannot declare a void variable";
+    let v = Builder.fresh_local ctx.b name ty in
+    (match init with
+    | Some e ->
+      let rv, rty = lower_expr ctx e in
+      check_assignable ctx loc ~from:rty ~into:ty;
+      ignore (Builder.emit ctx.b ~loc (Instr.Move (v, rv)))
+    | None ->
+      ignore (Builder.emit ctx.b ~loc (Instr.Const (v, default_const ty))));
+    Env.declare ctx.env name v ty loc
+  | Ast.Sassign (lv, e) ->
+    let rv, rty = lower_expr ctx e in
+    lower_lvalue_write ctx loc lv rv rty
+  | Ast.Sexpr e -> (
+    match e.Ast.e_kind with
+    | Ast.Ecall (callee, args) -> ignore (lower_call ctx loc callee args)
+    | Ast.Epostincr _ | Ast.Enew _ -> ignore (lower_expr ctx e)
+    | _ -> err loc "expression statement must be a call, new, or ++")
+  | Ast.Sif (cond, then_s, else_s) ->
+    let cv, cty = lower_expr ctx cond in
+    check_assignable ctx loc ~from:cty ~into:Types.Tbool;
+    let then_l = Builder.new_block ctx.b in
+    let else_l = Builder.new_block ctx.b in
+    let join_l = Builder.new_block ctx.b in
+    ignore (Builder.branch ctx.b ~loc cv ~then_:then_l ~else_:else_l);
+    Builder.switch_to ctx.b then_l;
+    lower_block ctx then_s;
+    Builder.goto ctx.b join_l;
+    Builder.switch_to ctx.b else_l;
+    lower_block ctx else_s;
+    Builder.goto ctx.b join_l;
+    Builder.switch_to ctx.b join_l
+  | Ast.Swhile (cond, body) ->
+    let header_l = Builder.new_block ctx.b in
+    Builder.goto ctx.b header_l;
+    Builder.switch_to ctx.b header_l;
+    let cv, cty = lower_expr ctx cond in
+    check_assignable ctx loc ~from:cty ~into:Types.Tbool;
+    let body_l = Builder.new_block ctx.b in
+    let exit_l = Builder.new_block ctx.b in
+    ignore (Builder.branch ctx.b ~loc cv ~then_:body_l ~else_:exit_l);
+    Builder.switch_to ctx.b body_l;
+    ctx.loops <- (header_l, exit_l) :: ctx.loops;
+    lower_block ctx body;
+    ctx.loops <- List.tl ctx.loops;
+    Builder.goto ctx.b header_l;
+    Builder.switch_to ctx.b exit_l
+  | Ast.Sreturn e -> (
+    match (e, ctx.meth.Instr.m_ret_ty) with
+    | None, rt when Types.equal_ty rt Types.Tvoid ->
+      ignore (Builder.terminate ctx.b ~loc (Instr.Return None))
+    | None, rt -> err loc "missing return value of type %s" (Types.ty_to_string rt)
+    | Some _, rt when Types.equal_ty rt Types.Tvoid ->
+      err loc "void method cannot return a value"
+    | Some e, rt ->
+      let v, ty = lower_expr ctx e in
+      check_assignable ctx loc ~from:ty ~into:rt;
+      ignore (Builder.terminate ctx.b ~loc (Instr.Return (Some v))))
+  | Ast.Sthrow e ->
+    let v, ty = lower_expr ctx e in
+    (match ty with
+    | Types.Tclass _ -> ()
+    | t -> err loc "cannot throw a value of type %s" (Types.ty_to_string t));
+    ignore (Builder.terminate ctx.b ~loc (Instr.Throw v))
+  | Ast.Sbreak -> (
+    match ctx.loops with
+    | (_, exit_l) :: _ -> Builder.goto ctx.b ~loc exit_l
+    | [] -> err loc "break outside of a loop")
+  | Ast.Scontinue -> (
+    match ctx.loops with
+    | (header_l, _) :: _ -> Builder.goto ctx.b ~loc header_l
+    | [] -> err loc "continue outside of a loop")
+  | Ast.Sblock body -> lower_block ctx body
+
+and lower_block (ctx : ctx) (body : Ast.stmt list) : unit =
+  Env.push ctx.env;
+  List.iter (lower_stmt ctx) body;
+  Env.pop ctx.env
+
+(* ------------------------------------------------------------------ *)
+(* Methods and programs                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Conservative all-paths-return check on the AST.  A [while (true)] loop
+   that cannot break out counts as returning (control only leaves it
+   through return/throw). *)
+let rec stmts_return (body : Ast.stmt list) : bool =
+  List.exists stmt_returns body
+
+and stmt_returns (s : Ast.stmt) : bool =
+  match s.Ast.s_kind with
+  | Ast.Sreturn _ | Ast.Sthrow _ -> true
+  | Ast.Sif (_, t, e) -> stmts_return t && stmts_return e
+  | Ast.Sblock b -> stmts_return b
+  | Ast.Swhile (cond, body) -> (
+    match cond.Ast.e_kind with
+    | Ast.Ebool true -> not (has_toplevel_break body)
+    | _ -> false)
+  | Ast.Sdecl _ | Ast.Sassign _ | Ast.Sexpr _ | Ast.Sbreak | Ast.Scontinue ->
+    false
+
+(* Is there a [break] that would exit the CURRENT loop?  Nested loops
+   swallow their own breaks. *)
+and has_toplevel_break (body : Ast.stmt list) : bool =
+  List.exists
+    (fun s ->
+      match s.Ast.s_kind with
+      | Ast.Sbreak -> true
+      | Ast.Sif (_, t, e) -> has_toplevel_break t || has_toplevel_break e
+      | Ast.Sblock b -> has_toplevel_break b
+      | Ast.Swhile _ | Ast.Sreturn _ | Ast.Sthrow _ | Ast.Sdecl _
+      | Ast.Sassign _ | Ast.Sexpr _ | Ast.Scontinue -> false)
+    body
+
+(* An explicit constructor that does not start with super(...) gets an
+   implicit zero-argument super call (as in Java), provided the superclass
+   constructor takes no arguments. *)
+let needs_implicit_super (cls : Types.class_name) (md : Ast.method_decl) : bool =
+  md.Ast.md_is_ctor
+  && (not (String.equal cls Types.object_class))
+  &&
+  match md.Ast.md_body with
+  | { Ast.s_kind = Ast.Sexpr { Ast.e_kind = Ast.Ecall (Ast.Csuper, _); _ }; _ } :: _ ->
+    false
+  | _ -> true
+
+let emit_implicit_super (ctx : ctx) (loc : Loc.t) : unit =
+  let super =
+    match (Program.find_class_exn ctx.p ctx.cls).Program.c_super with
+    | Some s -> s
+    | None -> Types.object_class
+  in
+  let ctor_mq = { Instr.mq_class = super; mq_name = Types.constructor_name } in
+  match Program.find_method ctx.p ctor_mq with
+  | None -> err loc "class %s has no constructor" super
+  | Some ctor ->
+    if List.length ctor.Instr.m_param_tys <> 1 then
+      err loc
+        "constructor of %s must explicitly call super(...): superclass %s \
+         constructor takes arguments"
+        ctx.cls super;
+    ignore
+      (Builder.emit ctx.b ~loc
+         (Instr.Call { lhs = None; kind = Instr.Special ctor_mq; args = [ 0 ] }))
+
+let lower_method (p : Program.t) ~(cls : Types.class_name) (md : Ast.method_decl) :
+    unit =
+  let mq = { Instr.mq_class = cls; mq_name = md.Ast.md_name } in
+  let shell = Program.find_method_exn p mq in
+  let params =
+    List.map
+      (fun v ->
+        let vi = shell.Instr.m_vars.(v) in
+        (vi.Instr.vi_name, vi.Instr.vi_ty))
+      shell.Instr.m_params
+  in
+  let b =
+    Builder.start p ~qname:mq ~static:md.Ast.md_static ~params
+      ~ret:shell.Instr.m_ret_ty ~loc:md.Ast.md_loc
+  in
+  (* Re-point the builder at the existing shell so that references held by
+     the class table stay valid: copy body into the shell at the end. *)
+  let ctx =
+    { p; b; cls; meth = Builder.meth b; env = Env.create (); loops = [] }
+  in
+  List.iter
+    (fun v ->
+      let vi = (Builder.meth b).Instr.m_vars.(v) in
+      if not (String.equal vi.Instr.vi_name "this") then
+        Env.declare ctx.env vi.Instr.vi_name v vi.Instr.vi_ty md.Ast.md_loc)
+    (Builder.meth b).Instr.m_params;
+  if needs_implicit_super cls md then emit_implicit_super ctx md.Ast.md_loc;
+  lower_block ctx md.Ast.md_body;
+  if
+    (not (Types.equal_ty shell.Instr.m_ret_ty Types.Tvoid))
+    && not (stmts_return md.Ast.md_body)
+  then err md.Ast.md_loc "method %s.%s does not return on all paths" cls md.Ast.md_name;
+  let built = Builder.finish b in
+  shell.Instr.m_body <- built.Instr.m_body;
+  shell.Instr.m_vars <- built.Instr.m_vars
+
+(* Default constructors and $clinit are synthesized directly. *)
+let synthesize_default_ctor (p : Program.t) (cls : Types.class_name) : unit =
+  let mq = { Instr.mq_class = cls; mq_name = Types.constructor_name } in
+  let shell = Program.find_method_exn p mq in
+  let b =
+    Builder.start p ~qname:mq ~static:false
+      ~params:[ ("this", Types.Tclass cls) ]
+      ~ret:Types.Tvoid ~loc:shell.Instr.m_loc
+  in
+  let ctx = { p; b; cls; meth = Builder.meth b; env = Env.create (); loops = [] } in
+  emit_implicit_super ctx shell.Instr.m_loc;
+  let built = Builder.finish b in
+  shell.Instr.m_body <- built.Instr.m_body;
+  shell.Instr.m_vars <- built.Instr.m_vars
+
+let synthesize_clinit (p : Program.t) (cu : Ast.compilation_unit) : unit =
+  let mq = { Instr.mq_class = Types.toplevel_class; mq_name = "$clinit" } in
+  match Program.find_method p mq with
+  | None -> ()
+  | Some shell ->
+    let b =
+      Builder.start p ~qname:mq ~static:true ~params:[] ~ret:Types.Tvoid
+        ~loc:Loc.none
+    in
+    List.iter
+      (function
+        | Ast.Dclass cd ->
+          List.iter
+            (fun (fd : Ast.field_decl) ->
+              match fd.Ast.fd_init with
+              | None -> ()
+              | Some e ->
+                let ctx =
+                  { p;
+                    b;
+                    cls = cd.Ast.cd_name;
+                    meth = Builder.meth b;
+                    env = Env.create ();
+                    loops = [] }
+                in
+                let v, ty = lower_expr ctx e in
+                check_assignable ctx fd.Ast.fd_loc ~from:ty
+                  ~into:(Declare.resolve_sty p fd.Ast.fd_loc fd.Ast.fd_ty);
+                ignore
+                  (Builder.emit b ~loc:fd.Ast.fd_loc
+                     (Instr.Static_store (cd.Ast.cd_name, fd.Ast.fd_name, v))))
+            cd.Ast.cd_fields
+        | Ast.Dfunc _ -> ())
+      cu.Ast.cu_decls;
+    let built = Builder.finish b in
+    shell.Instr.m_body <- built.Instr.m_body;
+    shell.Instr.m_vars <- built.Instr.m_vars
+
+let run (p : Program.t) (cu : Ast.compilation_unit) : unit =
+  synthesize_clinit p cu;
+  List.iter
+    (function
+      | Ast.Dclass cd ->
+        List.iter (lower_method p ~cls:cd.Ast.cd_name) cd.Ast.cd_methods;
+        (* implicit default constructor *)
+        let ctor_mq =
+          { Instr.mq_class = cd.Ast.cd_name; mq_name = Types.constructor_name }
+        in
+        let ctor = Program.find_method_exn p ctor_mq in
+        if ctor.Instr.m_body = Instr.Abstract then
+          synthesize_default_ctor p cd.Ast.cd_name
+      | Ast.Dfunc md -> lower_method p ~cls:Types.toplevel_class md)
+    cu.Ast.cu_decls;
+  (* The program entry is main; prepend the $clinit call if it exists. *)
+  let main_mq = { Instr.mq_class = Types.toplevel_class; mq_name = "main" } in
+  (match Program.find_method p main_mq with
+  | Some main when Instr.has_body main -> (
+    Program.set_entry p main_mq;
+    let clinit_mq = { Instr.mq_class = Types.toplevel_class; mq_name = "$clinit" } in
+    match Program.find_method p clinit_mq with
+    | Some clinit when Instr.has_body clinit ->
+      let blocks = Instr.blocks_exn main in
+      let entry = blocks.(Instr.entry_label main) in
+      let call =
+        { Instr.i_id = Program.fresh_stmt_id p;
+          i_kind =
+            Instr.Call { lhs = None; kind = Instr.Static clinit_mq; args = [] };
+          i_loc = Loc.none }
+      in
+      entry.Instr.b_instrs <- call :: entry.Instr.b_instrs
+    | Some _ | None -> ())
+  | Some _ | None -> ())

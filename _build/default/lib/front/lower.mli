@@ -1,0 +1,17 @@
+(** Type-directed lowering of TJ ASTs into the three-address IR.
+
+    This pass is the typechecker: it elaborates each expression to a
+    typed IR variable and rejects ill-typed programs with {!Type_error}.
+    It runs after {!Declare} has populated the class table.
+
+    Notable behaviours: short-circuit [&&]/[||] become branches merged by
+    SSA phis; constructors chain to [super] implicitly when possible;
+    static field initializers are collected into a synthetic
+    [$Top.$clinit] called at the start of [main]; all-paths-return is
+    checked syntactically (with [while (true)] handling). *)
+
+open Slice_ir
+
+exception Type_error of string * Loc.t
+
+val run : Program.t -> Ast.compilation_unit -> unit

@@ -1,0 +1,69 @@
+(* Tokens of the TJ language. *)
+
+open Slice_ir
+
+type t =
+  | INT of int
+  | STRING of string
+  | IDENT of string
+  (* keywords *)
+  | KW_class | KW_extends | KW_new | KW_if | KW_else | KW_while | KW_for
+  | KW_return | KW_throw | KW_break | KW_continue | KW_this | KW_super
+  | KW_static | KW_int | KW_boolean | KW_void | KW_true | KW_false
+  | KW_null | KW_instanceof
+  (* punctuation *)
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA | DOT
+  | ASSIGN                       (* = *)
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | PLUSPLUS
+  | LT | LE | GT | GE | EQ | NE
+  | AND | OR | NOT
+  | EOF
+
+type located = { tok : t; loc : Loc.t }
+
+let keyword_of_string = function
+  | "class" -> Some KW_class
+  | "extends" -> Some KW_extends
+  | "new" -> Some KW_new
+  | "if" -> Some KW_if
+  | "else" -> Some KW_else
+  | "while" -> Some KW_while
+  | "for" -> Some KW_for
+  | "return" -> Some KW_return
+  | "throw" -> Some KW_throw
+  | "break" -> Some KW_break
+  | "continue" -> Some KW_continue
+  | "this" -> Some KW_this
+  | "super" -> Some KW_super
+  | "static" -> Some KW_static
+  | "int" -> Some KW_int
+  | "boolean" -> Some KW_boolean
+  | "void" -> Some KW_void
+  | "true" -> Some KW_true
+  | "false" -> Some KW_false
+  | "null" -> Some KW_null
+  | "instanceof" -> Some KW_instanceof
+  | _ -> None
+
+let to_string = function
+  | INT n -> string_of_int n
+  | STRING s -> Printf.sprintf "%S" s
+  | IDENT s -> s
+  | KW_class -> "class" | KW_extends -> "extends" | KW_new -> "new"
+  | KW_if -> "if" | KW_else -> "else" | KW_while -> "while" | KW_for -> "for"
+  | KW_return -> "return" | KW_throw -> "throw" | KW_break -> "break"
+  | KW_continue -> "continue" | KW_this -> "this" | KW_super -> "super"
+  | KW_static -> "static" | KW_int -> "int" | KW_boolean -> "boolean"
+  | KW_void -> "void" | KW_true -> "true" | KW_false -> "false"
+  | KW_null -> "null" | KW_instanceof -> "instanceof"
+  | LPAREN -> "(" | RPAREN -> ")" | LBRACE -> "{" | RBRACE -> "}"
+  | LBRACKET -> "[" | RBRACKET -> "]"
+  | SEMI -> ";" | COMMA -> "," | DOT -> "."
+  | ASSIGN -> "="
+  | PLUS -> "+" | MINUS -> "-" | STAR -> "*" | SLASH -> "/" | PERCENT -> "%"
+  | PLUSPLUS -> "++"
+  | LT -> "<" | LE -> "<=" | GT -> ">" | GE -> ">=" | EQ -> "==" | NE -> "!="
+  | AND -> "&&" | OR -> "||" | NOT -> "!"
+  | EOF -> "<eof>"

@@ -1,0 +1,1 @@
+lib/interp/dyntrace.ml: Array Hashtbl List Option Slice_ir

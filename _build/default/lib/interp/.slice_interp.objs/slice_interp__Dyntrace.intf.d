@@ -1,0 +1,1 @@
+lib/interp/dyntrace.mli: Slice_ir

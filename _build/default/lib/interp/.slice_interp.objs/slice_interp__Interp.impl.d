@@ -1,0 +1,1 @@
+lib/interp/interp.ml: Array Buffer Char Dyntrace Format Hashtbl Instr List Loc Option Printf Program Result Slice_ir String Types

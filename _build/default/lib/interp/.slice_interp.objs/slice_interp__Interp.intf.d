@@ -1,0 +1,1 @@
+lib/interp/interp.mli: Dyntrace Format Hashtbl Instr Loc Program Result Slice_ir Types

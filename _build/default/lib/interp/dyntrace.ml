@@ -1,0 +1,88 @@
+(* Dynamic dependence traces.
+
+   Each executed instruction instance becomes an event carrying its static
+   statement id and the event indices it depends on, split into value
+   (producer) dependences and base-pointer dependences — the dynamic
+   counterpart of the static classification in [Slice_ir.Instr].  The paper
+   notes (sections 1 and 7) that dynamic thin slices fall out of dynamic
+   data dependences directly; this module implements that. *)
+
+type event = {
+  ev_stmt : Slice_ir.Instr.stmt_id;
+  ev_val_deps : int list;       (* event indices: value/producer flow *)
+  ev_base_deps : int list;      (* event indices: base-pointer flow *)
+}
+
+type t = {
+  mutable events : event array;
+  mutable len : int;
+  (* latest event index per static statement *)
+  last_of_stmt : (Slice_ir.Instr.stmt_id, int) Hashtbl.t;
+  max_events : int;
+}
+
+exception Trace_overflow
+
+let create ?(max_events = 2_000_000) () : t =
+  { events = Array.make 1024 { ev_stmt = -1; ev_val_deps = []; ev_base_deps = [] };
+    len = 0;
+    last_of_stmt = Hashtbl.create 256;
+    max_events }
+
+let length (t : t) = t.len
+
+let event (t : t) (i : int) : event =
+  if i < 0 || i >= t.len then invalid_arg "Dyntrace.event";
+  t.events.(i)
+
+let add (t : t) ~(stmt : Slice_ir.Instr.stmt_id) ~(val_deps : int list)
+    ~(base_deps : int list) : int =
+  if t.len >= t.max_events then raise Trace_overflow;
+  if t.len = Array.length t.events then begin
+    let bigger =
+      Array.make (2 * Array.length t.events)
+        { ev_stmt = -1; ev_val_deps = []; ev_base_deps = [] }
+    in
+    Array.blit t.events 0 bigger 0 t.len;
+    t.events <- bigger
+  end;
+  let idx = t.len in
+  t.events.(idx) <- { ev_stmt = stmt; ev_val_deps = val_deps; ev_base_deps = base_deps };
+  t.len <- idx + 1;
+  Hashtbl.replace t.last_of_stmt stmt idx;
+  idx
+
+let last_event_of_stmt (t : t) (stmt : Slice_ir.Instr.stmt_id) : int option =
+  Hashtbl.find_opt t.last_of_stmt stmt
+
+(* Backward traversal from an event, following only the selected dependence
+   kinds; returns the set of static statements touched. *)
+let slice_from_event (t : t) ~(include_base : bool) (seed : int) :
+    Slice_ir.Instr.stmt_id list =
+  let seen_ev = Hashtbl.create 256 in
+  let stmts = Hashtbl.create 64 in
+  let stack = ref [ seed ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | i :: rest ->
+      stack := rest;
+      if not (Hashtbl.mem seen_ev i) then begin
+        Hashtbl.replace seen_ev i ();
+        let e = event t i in
+        Hashtbl.replace stmts e.ev_stmt ();
+        stack := e.ev_val_deps @ !stack;
+        if include_base then stack := e.ev_base_deps @ !stack
+      end
+  done;
+  List.sort compare (Hashtbl.fold (fun s () acc -> s :: acc) stmts [])
+
+(* Dynamic thin slice for the most recent execution of [stmt]. *)
+let dynamic_thin_slice (t : t) (stmt : Slice_ir.Instr.stmt_id) :
+    Slice_ir.Instr.stmt_id list option =
+  Option.map (slice_from_event t ~include_base:false) (last_event_of_stmt t stmt)
+
+(* Dynamic data slice (thin slice plus base-pointer flow). *)
+let dynamic_data_slice (t : t) (stmt : Slice_ir.Instr.stmt_id) :
+    Slice_ir.Instr.stmt_id list option =
+  Option.map (slice_from_event t ~include_base:true) (last_event_of_stmt t stmt)

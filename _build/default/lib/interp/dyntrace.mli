@@ -1,0 +1,49 @@
+(** Dynamic dependence traces.
+
+    Each executed instruction instance becomes an event carrying its
+    static statement id and the event indices it depends on, split into
+    value (producer) and base-pointer dependences — the dynamic
+    counterpart of the static classification in {!Slice_ir.Instr}.  The
+    paper observes (sections 1 and 7) that dynamic thin slices fall out of
+    dynamic data dependences directly; this module implements that. *)
+
+type event = {
+  ev_stmt : Slice_ir.Instr.stmt_id;
+  ev_val_deps : int list;   (** event indices: value/producer flow *)
+  ev_base_deps : int list;  (** event indices: base-pointer flow *)
+}
+
+type t
+
+exception Trace_overflow
+
+(** [create ()] makes an empty trace; recording more than [max_events]
+    events raises {!Trace_overflow} (default 2,000,000). *)
+val create : ?max_events:int -> unit -> t
+
+val length : t -> int
+val event : t -> int -> event
+
+(** Record an event; returns its index.  Used by the interpreter. *)
+val add :
+  t ->
+  stmt:Slice_ir.Instr.stmt_id ->
+  val_deps:int list ->
+  base_deps:int list ->
+  int
+
+val last_event_of_stmt : t -> Slice_ir.Instr.stmt_id -> int option
+
+(** Backward traversal from an event over the selected dependence kinds;
+    returns the distinct static statements touched, sorted. *)
+val slice_from_event :
+  t -> include_base:bool -> int -> Slice_ir.Instr.stmt_id list
+
+(** Dynamic thin slice for the most recent execution of the statement:
+    producer events only.  [None] if the statement never executed. *)
+val dynamic_thin_slice :
+  t -> Slice_ir.Instr.stmt_id -> Slice_ir.Instr.stmt_id list option
+
+(** Dynamic data slice: thin plus base-pointer flow. *)
+val dynamic_data_slice :
+  t -> Slice_ir.Instr.stmt_id -> Slice_ir.Instr.stmt_id list option

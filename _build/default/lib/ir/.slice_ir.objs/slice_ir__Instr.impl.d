@@ -1,0 +1,1 @@
+lib/ir/instr.ml: Array Format List Loc Printf String Types

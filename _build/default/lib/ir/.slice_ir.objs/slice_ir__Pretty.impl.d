@@ -1,0 +1,1 @@
+lib/ir/pretty.ml: Array Format Hashtbl Instr List Loc Printf Program Types

@@ -1,0 +1,1 @@
+lib/ir/program.ml: Array Hashtbl Instr List Loc Option Printf String Types

@@ -1,0 +1,1 @@
+lib/ir/ssa.ml: Array Cfg Dominance Hashtbl Instr List Printf Program

@@ -1,0 +1,49 @@
+(** Dominator trees and dominance frontiers (Cooper-Harvey-Kennedy).
+
+    The computation is expressed over an abstract rooted digraph so the
+    same code serves dominators (forward CFG from the entry, for SSA) and
+    postdominators (reverse CFG from a virtual exit, for control
+    dependence). *)
+
+type graph = {
+  num_nodes : int;
+  entry : int;
+  preds : int -> int list;
+  succs : int -> int list;
+}
+
+type t = {
+  graph : graph;
+  idom : int array;
+      (** [idom.(v)] is the immediate dominator of [v]; [idom.(entry) =
+          entry]; [-1] for nodes unreachable from the entry *)
+  rpo_num : int array;
+  rpo : int list;
+}
+
+(** The forward CFG, rooted at the method entry. *)
+val forward_graph : Cfg.t -> graph
+
+(** The reversed CFG with a virtual exit node appended at index
+    [num_blocks], which becomes the root.  Blocks on paths that never
+    leave the method (infinite loops) remain unreachable and get no
+    postdominator. *)
+val backward_graph : Cfg.t -> graph
+
+val compute : graph -> t
+
+(** [idom d v] is [None] for the entry and for unreachable nodes. *)
+val idom : t -> int -> int option
+
+val reachable : t -> int -> bool
+
+(** Reflexive dominance test, by walking the idom chain. *)
+val dominates : t -> dom:int -> node:int -> bool
+
+(** Children lists of the dominator tree. *)
+val dom_tree : t -> int list array
+
+(** Dominance frontiers (Cytron et al.).  On a [backward_graph] this
+    computes control-dependence governors: block [b] is control dependent
+    on every block in its frontier. *)
+val dominance_frontiers : t -> int list array

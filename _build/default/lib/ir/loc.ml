@@ -1,0 +1,23 @@
+(* Source locations attached to every statement so that slices can be
+   reported back at the level the user reads: file + line. *)
+
+type t = { file : string; line : int; col : int }
+
+let make ~file ~line ~col = { file; line; col }
+
+let none = { file = "<none>"; line = 0; col = 0 }
+
+let is_none l = l.line = 0 && l.file = "<none>"
+
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> (match compare a.line b.line with 0 -> compare a.col b.col | c -> c)
+  | c -> c
+
+let equal a b = compare a b = 0
+
+let pp ppf l =
+  if is_none l then Format.pp_print_string ppf "<?>"
+  else Format.fprintf ppf "%s:%d" l.file l.line
+
+let to_string l = Format.asprintf "%a" pp l

@@ -1,0 +1,19 @@
+(** Source locations.
+
+    Every IR statement carries the location of the surface syntax it was
+    lowered from, so that analyses can report results at the level the
+    user reads: file and line. *)
+
+type t = { file : string; line : int; col : int }
+
+val make : file:string -> line:int -> col:int -> t
+
+(** The location of synthetic statements (compiler-generated returns,
+    phis merged from multiple predecessors, ...). *)
+val none : t
+
+val is_none : t -> bool
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

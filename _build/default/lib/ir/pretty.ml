@@ -1,0 +1,125 @@
+(* Human-readable printing of the IR: variables, instructions, methods and
+   whole programs.  Used by the CLI to display slices and by tests. *)
+
+open Format
+
+let pp_var (m : Instr.meth) ppf (v : Instr.var) =
+  fprintf ppf "%s" (Instr.var_name m v)
+
+let pp_call_kind ppf = function
+  | Instr.Virtual name -> fprintf ppf "virtual %s" name
+  | Instr.Static mq -> fprintf ppf "static %a" Instr.pp_method_qname mq
+  | Instr.Special mq -> fprintf ppf "special %a" Instr.pp_method_qname mq
+
+let pp_instr_kind (m : Instr.meth) ppf (k : Instr.instr_kind) =
+  let var = pp_var m in
+  match k with
+  | Instr.Const (x, c) -> fprintf ppf "%a = %a" var x Types.pp_const c
+  | Instr.Move (x, y) -> fprintf ppf "%a = %a" var x var y
+  | Instr.Binop (x, op, y, z) ->
+    fprintf ppf "%a = %a %a %a" var x var y Types.pp_binop op var z
+  | Instr.Unop (x, op, y) -> fprintf ppf "%a = %a%a" var x Types.pp_unop op var y
+  | Instr.New (x, c) -> fprintf ppf "%a = new %s" var x c
+  | Instr.New_array (x, t, n) ->
+    fprintf ppf "%a = new %a[%a]" var x Types.pp_ty t var n
+  | Instr.Load (x, y, f) -> fprintf ppf "%a = %a.%s" var x var y f
+  | Instr.Store (x, f, y) -> fprintf ppf "%a.%s = %a" var x f var y
+  | Instr.Array_load (x, y, i) -> fprintf ppf "%a = %a[%a]" var x var y var i
+  | Instr.Array_store (a, i, y) -> fprintf ppf "%a[%a] = %a" var a var i var y
+  | Instr.Static_load (x, c, f) -> fprintf ppf "%a = %s.%s" var x c f
+  | Instr.Static_store (c, f, y) -> fprintf ppf "%s.%s = %a" c f var y
+  | Instr.Call { lhs; kind; args } ->
+    (match lhs with Some x -> fprintf ppf "%a = " var x | None -> ());
+    fprintf ppf "call %a(%a)" pp_call_kind kind
+      (pp_print_list ~pp_sep:(fun ppf () -> fprintf ppf ", ") var)
+      args
+  | Instr.Cast (x, t, y) -> fprintf ppf "%a = (%a) %a" var x Types.pp_ty t var y
+  | Instr.Instance_of (x, t, y) ->
+    fprintf ppf "%a = %a instanceof %a" var x var y Types.pp_ty t
+  | Instr.Array_length (x, y) -> fprintf ppf "%a = %a.length" var x var y
+  | Instr.Phi (x, ins) ->
+    fprintf ppf "%a = phi(%a)" var x
+      (pp_print_list
+         ~pp_sep:(fun ppf () -> fprintf ppf ", ")
+         (fun ppf (l, v) -> fprintf ppf "B%d:%a" l var v))
+      ins
+  | Instr.Nop -> fprintf ppf "nop"
+
+let pp_term_kind (m : Instr.meth) ppf (k : Instr.term_kind) =
+  let var = pp_var m in
+  match k with
+  | Instr.Goto l -> fprintf ppf "goto B%d" l
+  | Instr.If (v, l1, l2) -> fprintf ppf "if %a then B%d else B%d" var v l1 l2
+  | Instr.Return (Some v) -> fprintf ppf "return %a" var v
+  | Instr.Return None -> fprintf ppf "return"
+  | Instr.Throw v -> fprintf ppf "throw %a" var v
+
+let pp_instr (m : Instr.meth) ppf (i : Instr.instr) =
+  fprintf ppf "[%d] %a" i.Instr.i_id (pp_instr_kind m) i.Instr.i_kind
+
+let pp_term (m : Instr.meth) ppf (t : Instr.term) =
+  fprintf ppf "[%d] %a" t.Instr.t_id (pp_term_kind m) t.Instr.t_kind
+
+let pp_meth ppf (m : Instr.meth) =
+  fprintf ppf "@[<v>method %a(%a) : %a%s@,"
+    Instr.pp_method_qname m.Instr.m_qname
+    (pp_print_list
+       ~pp_sep:(fun ppf () -> fprintf ppf ", ")
+       (fun ppf v ->
+         fprintf ppf "%s : %a" (Instr.var_name m v) Types.pp_ty
+           (Instr.var_info m v).Instr.vi_ty))
+    m.Instr.m_params Types.pp_ty m.Instr.m_ret_ty
+    (if m.Instr.m_static then " [static]" else "");
+  (match m.Instr.m_body with
+  | Instr.Intrinsic _ -> fprintf ppf "  <intrinsic>@,"
+  | Instr.Abstract -> fprintf ppf "  <abstract>@,"
+  | Instr.Body { blocks; entry } ->
+    Array.iter
+      (fun b ->
+        fprintf ppf "  B%d%s:@," b.Instr.b_label
+          (if b.Instr.b_label = entry then " (entry)" else "");
+        List.iter (fun i -> fprintf ppf "    %a@," (pp_instr m) i) b.Instr.b_instrs;
+        fprintf ppf "    %a@," (pp_term m) b.Instr.b_term)
+      blocks);
+  fprintf ppf "@]"
+
+let pp_program ppf (p : Program.t) =
+  Program.iter_classes p (fun ci ->
+      if not ci.Program.c_builtin then begin
+        fprintf ppf "class %s" ci.Program.c_name;
+        (match ci.Program.c_super with
+        | Some s when s <> Types.object_class -> fprintf ppf " extends %s" s
+        | Some _ | None -> ());
+        fprintf ppf " {@.";
+        List.iter
+          (fun (f, t) -> fprintf ppf "  %a %s;@." Types.pp_ty t f)
+          ci.Program.c_fields;
+        List.iter
+          (fun (f, t) -> fprintf ppf "  static %a %s;@." Types.pp_ty t f)
+          ci.Program.c_static_fields;
+        fprintf ppf "}@."
+      end);
+  Program.iter_methods p (fun m ->
+      if Instr.has_body m then fprintf ppf "%a@." pp_meth m)
+
+let instr_to_string (m : Instr.meth) (i : Instr.instr) =
+  asprintf "%a" (pp_instr m) i
+
+let meth_to_string (m : Instr.meth) = asprintf "%a" pp_meth m
+
+(* One-line rendering of a statement id, with source location, used when a
+   slice is reported to the user. *)
+let stmt_to_string (p : Program.t)
+    (tbl : (Instr.stmt_id, Program.stmt_info) Hashtbl.t) (id : Instr.stmt_id) :
+    string =
+  match Hashtbl.find_opt tbl id with
+  | None -> Printf.sprintf "<unknown stmt %d>" id
+  | Some si ->
+    let m = Program.find_method_exn p si.Program.s_method in
+    let body =
+      match si.Program.s_site with
+      | Program.Site_instr i -> asprintf "%a" (pp_instr_kind m) i.Instr.i_kind
+      | Program.Site_term t -> asprintf "%a" (pp_term_kind m) t.Instr.t_kind
+    in
+    asprintf "%a: [%a] %s" Loc.pp (Program.stmt_loc si) Instr.pp_method_qname
+      si.Program.s_method body

@@ -1,0 +1,84 @@
+(* Types and primitive operators of the TJ language (a Java subset).
+
+   The type language mirrors what the slicing analyses need from Java
+   bytecode: primitives, classes with single inheritance, and covariant
+   arrays.  [Tnull] is the type of the [null] literal, a subtype of every
+   reference type. *)
+
+type class_name = string
+type field_name = string
+type method_name = string
+
+type ty =
+  | Tint
+  | Tbool
+  | Tvoid
+  | Tnull
+  | Tclass of class_name
+  | Tarray of ty
+
+let object_class : class_name = "Object"
+let string_class : class_name = "String"
+let input_stream_class : class_name = "InputStream"
+
+(* The synthetic class that owns free functions of a compilation unit. *)
+let toplevel_class : class_name = "$Top"
+
+let constructor_name : method_name = "<init>"
+
+let rec pp_ty ppf = function
+  | Tint -> Format.pp_print_string ppf "int"
+  | Tbool -> Format.pp_print_string ppf "boolean"
+  | Tvoid -> Format.pp_print_string ppf "void"
+  | Tnull -> Format.pp_print_string ppf "null_t"
+  | Tclass c -> Format.pp_print_string ppf c
+  | Tarray t -> Format.fprintf ppf "%a[]" pp_ty t
+
+let ty_to_string t = Format.asprintf "%a" pp_ty t
+
+let rec equal_ty a b =
+  match (a, b) with
+  | Tint, Tint | Tbool, Tbool | Tvoid, Tvoid | Tnull, Tnull -> true
+  | Tclass c, Tclass d -> String.equal c d
+  | Tarray x, Tarray y -> equal_ty x y
+  | (Tint | Tbool | Tvoid | Tnull | Tclass _ | Tarray _), _ -> false
+
+let is_reference = function
+  | Tclass _ | Tarray _ | Tnull -> true
+  | Tint | Tbool | Tvoid -> false
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Lt | Le | Gt | Ge
+  | Eq | Ne
+  | And | Or
+  (* String concatenation, produced by the typechecker for [+] on strings. *)
+  | Concat
+
+type unop = Neg | Not
+
+type const =
+  | Cint of int
+  | Cbool of bool
+  | Cstr of string
+  | Cnull
+
+let pp_binop ppf op =
+  let s =
+    match op with
+    | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+    | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+    | Eq -> "==" | Ne -> "!="
+    | And -> "&&" | Or -> "||"
+    | Concat -> "+s"
+  in
+  Format.pp_print_string ppf s
+
+let pp_unop ppf op =
+  Format.pp_print_string ppf (match op with Neg -> "-" | Not -> "!")
+
+let pp_const ppf = function
+  | Cint n -> Format.pp_print_int ppf n
+  | Cbool b -> Format.pp_print_bool ppf b
+  | Cstr s -> Format.fprintf ppf "%S" s
+  | Cnull -> Format.pp_print_string ppf "null"

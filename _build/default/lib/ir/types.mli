@@ -1,0 +1,54 @@
+(** Types and primitive operators of the TJ language (a Java subset).
+
+    The type language mirrors what the slicing analyses need from Java
+    bytecode: primitives, classes with single inheritance, and covariant
+    arrays.  [Tnull] is the type of the [null] literal, a subtype of every
+    reference type. *)
+
+type class_name = string
+type field_name = string
+type method_name = string
+
+type ty =
+  | Tint
+  | Tbool
+  | Tvoid
+  | Tnull
+  | Tclass of class_name
+  | Tarray of ty
+
+(** Built-in classes. *)
+
+val object_class : class_name
+val string_class : class_name
+val input_stream_class : class_name
+
+(** The synthetic class owning free functions of a compilation unit. *)
+val toplevel_class : class_name
+
+(** The internal name of constructors ("<init>", as in bytecode). *)
+val constructor_name : method_name
+
+val pp_ty : Format.formatter -> ty -> unit
+val ty_to_string : ty -> string
+val equal_ty : ty -> ty -> bool
+val is_reference : ty -> bool
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Lt | Le | Gt | Ge
+  | Eq | Ne
+  | And | Or
+  | Concat  (** string concatenation, produced by the typechecker for [+] *)
+
+type unop = Neg | Not
+
+type const =
+  | Cint of int
+  | Cbool of bool
+  | Cstr of string
+  | Cnull
+
+val pp_binop : Format.formatter -> binop -> unit
+val pp_unop : Format.formatter -> unop -> unit
+val pp_const : Format.formatter -> const -> unit

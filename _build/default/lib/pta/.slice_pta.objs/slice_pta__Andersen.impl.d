@@ -1,0 +1,1 @@
+lib/pta/andersen.ml: Array Context Hashtbl Instr Int List Program Set Slice_ir String Types

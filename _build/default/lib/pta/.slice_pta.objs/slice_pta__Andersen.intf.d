@@ -1,0 +1,1 @@
+lib/pta/andersen.mli: Context Instr Program Set Slice_ir Types

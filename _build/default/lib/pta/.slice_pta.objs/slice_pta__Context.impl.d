@@ -1,0 +1,1 @@
+lib/pta/context.ml: Array Format Hashtbl Instr Slice_ir Types

@@ -1,0 +1,1 @@
+lib/pta/modref.ml: Andersen Hashtbl Instr List Option Program Set Slice_ir Types

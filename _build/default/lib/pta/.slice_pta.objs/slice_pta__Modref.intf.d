@@ -1,0 +1,1 @@
+lib/pta/modref.mli: Andersen Instr Program Set Slice_ir Types

@@ -1,0 +1,72 @@
+(** Andersen-style (subset-based) points-to analysis with on-the-fly call
+    graph construction, a field-sensitive heap, and optional
+    object-sensitive cloning of container-class methods and their
+    allocations — the analysis configuration of the paper's section 6.1
+    ("a variant of Andersen's analysis with on-the-fly call graph
+    construction, with fully object-sensitive cloning for objects of key
+    collections classes").
+
+    The solver is a difference-propagation worklist over an interned node
+    universe; complex constraints (field loads/stores, virtual dispatch)
+    are attached to base-pointer nodes and processed as their points-to
+    sets grow. *)
+
+open Slice_ir
+
+module ObjSet : Set.S with type elt = int
+
+type opts = {
+  obj_sens_containers : bool;
+      (** clone container-class methods per receiver object *)
+  max_ctx_depth : int;
+      (** cap on nested receiver contexts (containers inside containers) *)
+}
+
+val default_opts : opts
+val no_obj_sens_opts : opts
+
+(** The array-contents pseudo-field of the heap abstraction. *)
+val elem_field : string
+
+type result
+
+(** Solve from the program's entry method.  The entry's [String[]]
+    parameter is seeded with synthetic argument objects. *)
+val analyze : ?opts:opts -> Program.t -> result
+
+val contexts : result -> Context.t
+
+(** Reachable method contexts: (context id, method, receiver context). *)
+val method_contexts : result -> (int * Instr.method_qname * Context.ctx) list
+
+val mctx_info : result -> int -> Instr.method_qname * Context.ctx
+val mctxs_of_method : result -> Instr.method_qname -> int list
+val reachable_methods : result -> Instr.method_qname list
+
+(** Points-to set of a variable in one method context. *)
+val pts_of_var : result -> mctx:int -> Instr.var -> ObjSet.t
+
+(** Context-insensitive projection: union over the method's contexts. *)
+val pts_of_var_ci : result -> Instr.method_qname -> Instr.var -> ObjSet.t
+
+val pts_of_field : result -> obj:int -> field:string -> ObjSet.t
+val pts_of_static : result -> Types.class_name -> Types.field_name -> ObjSet.t
+
+(** Call graph: context-qualified callees of a call site. *)
+val call_targets : result -> mctx:int -> stmt:Instr.stmt_id -> int list
+
+val intrinsic_targets :
+  result -> mctx:int -> stmt:Instr.stmt_id -> Instr.method_qname list
+
+val call_targets_ci :
+  result -> Instr.method_qname -> stmt:Instr.stmt_id -> Instr.method_qname list
+
+val intrinsic_targets_ci :
+  result -> Instr.method_qname -> stmt:Instr.stmt_id -> Instr.method_qname list
+
+val num_call_graph_nodes : result -> int
+val num_objects : result -> int
+
+(** Can the pointer analysis prove the cast never fails?  The tough-cast
+    experiment (section 6.3) slices from casts where this is [false]. *)
+val cast_verified : result -> Instr.method_qname -> Instr.instr -> bool

@@ -1,0 +1,126 @@
+(* Interprocedural mod-ref analysis [24] over the points-to result: for each
+   method context, the set of abstract heap locations it (transitively) may
+   write and read.  The context-sensitive slicer uses these sets to
+   introduce heap parameters and returns on each procedure (paper,
+   section 5.3). *)
+
+open Slice_ir
+
+type loc =
+  | Lfield of int * string                      (* abstract object, field *)
+  | Lstatic of Types.class_name * Types.field_name
+  | Larray_len of int                           (* length of abstract array *)
+
+let compare_loc = compare
+
+module LocSet = Set.Make (struct
+  type t = loc
+
+  let compare = compare_loc
+end)
+
+type t = {
+  mods : (int, LocSet.t) Hashtbl.t;             (* mctx -> transitive mod *)
+  refs : (int, LocSet.t) Hashtbl.t;
+}
+
+let mod_of (t : t) (mc : int) : LocSet.t =
+  Option.value ~default:LocSet.empty (Hashtbl.find_opt t.mods mc)
+
+let ref_of (t : t) (mc : int) : LocSet.t =
+  Option.value ~default:LocSet.empty (Hashtbl.find_opt t.refs mc)
+
+let compute (p : Program.t) (r : Andersen.result) : t =
+  let direct_mods = Hashtbl.create 64 in
+  let direct_refs = Hashtbl.create 64 in
+  let mcs = Andersen.method_contexts r in
+  List.iter
+    (fun (mc, mq, _) ->
+      let m = Program.find_method_exn p mq in
+      let dm = ref LocSet.empty and dr = ref LocSet.empty in
+      if Instr.has_body m then begin
+        Instr.iter_instrs m (fun _ i ->
+            match i.Instr.i_kind with
+            | Instr.Store (x, f, _) ->
+              Andersen.ObjSet.iter
+                (fun o -> dm := LocSet.add (Lfield (o, f)) !dm)
+                (Andersen.pts_of_var r ~mctx:mc x)
+            | Instr.Load (_, y, f) ->
+              Andersen.ObjSet.iter
+                (fun o -> dr := LocSet.add (Lfield (o, f)) !dr)
+                (Andersen.pts_of_var r ~mctx:mc y)
+            | Instr.Array_store (a, _, _) ->
+              Andersen.ObjSet.iter
+                (fun o -> dm := LocSet.add (Lfield (o, Andersen.elem_field)) !dm)
+                (Andersen.pts_of_var r ~mctx:mc a)
+            | Instr.Array_load (_, a, _) ->
+              Andersen.ObjSet.iter
+                (fun o -> dr := LocSet.add (Lfield (o, Andersen.elem_field)) !dr)
+                (Andersen.pts_of_var r ~mctx:mc a)
+            | Instr.New_array (x, _, _) ->
+              Andersen.ObjSet.iter
+                (fun o -> dm := LocSet.add (Larray_len o) !dm)
+                (Andersen.pts_of_var r ~mctx:mc x)
+            | Instr.Array_length (_, a) ->
+              Andersen.ObjSet.iter
+                (fun o -> dr := LocSet.add (Larray_len o) !dr)
+                (Andersen.pts_of_var r ~mctx:mc a)
+            | Instr.Static_store (c, f, _) -> dm := LocSet.add (Lstatic (c, f)) !dm
+            | Instr.Static_load (_, c, f) -> dr := LocSet.add (Lstatic (c, f)) !dr
+            | Instr.Const _ | Instr.Move _ | Instr.Binop _ | Instr.Unop _
+            | Instr.New _ | Instr.Call _ | Instr.Cast _ | Instr.Instance_of _
+            | Instr.Phi _ | Instr.Nop -> ())
+      end;
+      Hashtbl.replace direct_mods mc !dm;
+      Hashtbl.replace direct_refs mc !dr)
+    mcs;
+  (* Transitive closure over the call graph, to fixpoint. *)
+  let t = { mods = Hashtbl.copy direct_mods; refs = Hashtbl.copy direct_refs } in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (mc, mq, _) ->
+        let m = Program.find_method_exn p mq in
+        if Instr.has_body m then
+          Instr.iter_instrs m (fun _ i ->
+              match i.Instr.i_kind with
+              | Instr.Call _ ->
+                List.iter
+                  (fun cmc ->
+                    let extend tbl =
+                      let mine =
+                        Option.value ~default:LocSet.empty (Hashtbl.find_opt tbl mc)
+                      in
+                      let theirs =
+                        Option.value ~default:LocSet.empty (Hashtbl.find_opt tbl cmc)
+                      in
+                      if not (LocSet.subset theirs mine) then begin
+                        Hashtbl.replace tbl mc (LocSet.union mine theirs);
+                        changed := true
+                      end
+                    in
+                    extend t.mods;
+                    extend t.refs)
+                  (Andersen.call_targets r ~mctx:mc ~stmt:i.Instr.i_id)
+              | _ -> ()))
+      mcs
+  done;
+  t
+
+(* Context-insensitive projections (union over a method's contexts). *)
+let mod_of_method (p : Program.t) (r : Andersen.result) (t : t)
+    (mq : Instr.method_qname) : LocSet.t =
+  ignore p;
+  List.fold_left
+    (fun acc mc -> LocSet.union acc (mod_of t mc))
+    LocSet.empty
+    (Andersen.mctxs_of_method r mq)
+
+let ref_of_method (p : Program.t) (r : Andersen.result) (t : t)
+    (mq : Instr.method_qname) : LocSet.t =
+  ignore p;
+  List.fold_left
+    (fun acc mc -> LocSet.union acc (ref_of t mc))
+    LocSet.empty
+    (Andersen.mctxs_of_method r mq)

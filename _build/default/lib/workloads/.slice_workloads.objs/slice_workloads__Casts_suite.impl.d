@@ -1,0 +1,1 @@
+lib/workloads/casts_suite.ml: Prog_jack Prog_javac Prog_jess Prog_mtrt Task

@@ -1,0 +1,1 @@
+lib/workloads/generators.ml: Buffer Printf Runtime_lib

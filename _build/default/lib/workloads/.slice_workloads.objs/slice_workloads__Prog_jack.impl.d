@@ -1,0 +1,1 @@
+lib/workloads/prog_jack.ml: Runtime_lib Slice_core Task

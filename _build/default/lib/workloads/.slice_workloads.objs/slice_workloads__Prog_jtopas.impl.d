@@ -1,0 +1,1 @@
+lib/workloads/prog_jtopas.ml: Runtime_lib Task

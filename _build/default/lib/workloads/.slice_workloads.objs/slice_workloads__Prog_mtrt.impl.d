@@ -1,0 +1,1 @@
+lib/workloads/prog_mtrt.ml: Runtime_lib Slice_core Task

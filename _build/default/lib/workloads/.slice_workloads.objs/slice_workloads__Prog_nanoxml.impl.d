@@ -1,0 +1,1 @@
+lib/workloads/prog_nanoxml.ml: Runtime_lib Slice_core Task

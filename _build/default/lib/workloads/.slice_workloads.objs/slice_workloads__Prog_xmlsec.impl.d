@@ -1,0 +1,1 @@
+lib/workloads/prog_xmlsec.ml: Runtime_lib Slice_core Task

@@ -1,0 +1,1 @@
+lib/workloads/sir_suite.ml: Prog_ant Prog_jtopas Prog_nanoxml Prog_xmlsec Task

@@ -1,0 +1,1 @@
+lib/workloads/task.ml: Engine Format Inspect List Printf Runtime_lib Slice_core Slice_front Slice_interp Slice_ir Slicer

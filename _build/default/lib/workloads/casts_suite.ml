@@ -1,0 +1,4 @@
+(* Table 3 of the paper: the tough-cast program-understanding tasks. *)
+
+let tasks : Task.t list =
+  Prog_mtrt.tasks @ Prog_jess.tasks @ Prog_javac.tasks @ Prog_jack.tasks

@@ -1,0 +1,100 @@
+(* Size-parameterized synthetic TJ programs, used for
+
+   - the scalability experiment (section 6.1): showing that the cost of a
+     context-insensitive thin slice is insignificant next to the pointer
+     analysis, and that heap-parameter SDGs blow up with program size;
+   - property-based tests that need arbitrary well-formed programs.
+
+   The generated program is a staged string-processing pipeline: [stages]
+   classes each hold their own Vector and transform records as they pass
+   through, with a registry and per-stage helper methods; main drives the
+   pipeline from an input stream and prints the final records.  Heavy
+   container traffic makes the points-to and heap-dependence work scale
+   with [stages]. *)
+
+let buf_addf buf fmt = Printf.ksprintf (Buffer.add_string buf) fmt
+
+let pipeline_program ~(stages : int) : string =
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf Runtime_lib.prelude;
+  for i = 0 to stages - 1 do
+    buf_addf buf
+      {|class Stage%d {
+  Vector accepted;
+  HashMap seen;
+  int processed;
+  Stage%d() {
+    this.accepted = new Vector();
+    this.seen = new HashMap();
+    this.processed = 0;
+  }
+  String transform(String record) {
+    String tagged = "s%d:" + record;
+    if (tagged.length() > %d) {
+      tagged = tagged.substring(0, %d);
+    }
+    return tagged;
+  }
+  boolean admit(String record) {
+    if (this.seen.containsKey(record)) {
+      return false;
+    }
+    this.seen.put(record, "y");
+    return true;
+  }
+  void feed(String record) {
+    String out = transform(record);
+    if (admit(out)) {
+      this.accepted.add(out);
+      this.processed = this.processed + 1;
+    }
+  }
+  int size() { return this.accepted.size(); }
+  String recordAt(int i) { return (String) this.accepted.get(i); }
+}
+|}
+      i i i
+      (40 + (i mod 7))
+      (40 + (i mod 7))
+  done;
+  (* the pipeline driver pushes every record of stage i into stage i+1 *)
+  buf_addf buf "class Pipeline {\n";
+  for i = 0 to stages - 1 do
+    buf_addf buf "  Stage%d stage%d;\n" i i
+  done;
+  buf_addf buf "  Pipeline() {\n";
+  for i = 0 to stages - 1 do
+    buf_addf buf "    this.stage%d = new Stage%d();\n" i i
+  done;
+  buf_addf buf "  }\n";
+  buf_addf buf "  void run(InputStream input) {\n";
+  buf_addf buf "    while (!input.eof()) {\n";
+  buf_addf buf "      this.stage0.feed(input.readLine());\n";
+  buf_addf buf "    }\n";
+  for i = 1 to stages - 1 do
+    buf_addf buf
+      "    for (int i%d = 0; i%d < this.stage%d.size(); i%d++) {\n\
+      \      this.stage%d.feed(this.stage%d.recordAt(i%d));\n\
+      \    }\n"
+      i i (i - 1) i i (i - 1) i
+  done;
+  buf_addf buf "  }\n}\n";
+  buf_addf buf
+    {|void main(String[] args) {
+  Pipeline p = new Pipeline();
+  p.run(new InputStream(args[0]));
+  Stage%d last = p.stage%d;
+  for (int i = 0; i < last.size(); i++) {
+    print(last.recordAt(i));
+  }
+}
+|}
+    (stages - 1) (stages - 1);
+  Buffer.contents buf
+
+(* The line of the final print, used as the slicing seed in benchmarks. *)
+let pipeline_seed_pattern = "print(last.recordAt(i));"
+
+let pipeline_io =
+  ( [ "records.txt" ],
+    [ ("records.txt", [ "alpha"; "beta"; "gamma"; "delta"; "alpha" ]) ] )

@@ -1,0 +1,161 @@
+(* The paper's running examples, transliterated to TJ.  Shared by the
+   examples/ binaries and the figure tests, which assert the slice
+   contents the paper describes. *)
+
+(* Figure 1: first names stored in a Vector behind SessionState
+   indirection; the bug truncates the first name ("Joh" for "John Doe").
+   The thin slice from the print consists of the producer chain; the
+   traditional slice is the whole program. *)
+let fig1 =
+  {|class Vector {
+  Object[] elems;
+  int count;
+  Vector() { this.elems = new Object[10]; this.count = 0; }
+  void add(Object p) {
+    this.elems[count++] = p;
+  }
+  Object get(int ind) {
+    return this.elems[ind];
+  }
+  int size() { return this.count; }
+}
+class SessionState {
+  Vector names;
+  void setNames(Vector v) { this.names = v; }
+  Vector getNames() { return this.names; }
+}
+class Globals {
+  static SessionState state;
+}
+SessionState getState() {
+  if (Globals.state == null) { Globals.state = new SessionState(); }
+  return Globals.state;
+}
+Vector readNames(InputStream input) {
+  Vector firstNames = new Vector();
+  while (!input.eof()) {
+    String fullName = input.readLine();
+    int spaceInd = fullName.indexOf(" ");
+    String firstName = fullName.substring(0, spaceInd - 1);
+    firstNames.add(firstName);
+  }
+  return firstNames;
+}
+void printNames(Vector firstNames) {
+  for (int i = 0; i < firstNames.size(); i++) {
+    String firstName = (String) firstNames.get(i);
+    print("FIRST NAME: " + firstName);
+  }
+}
+void main(String[] args) {
+  Vector firstNames = readNames(new InputStream(args[0]));
+  SessionState s = getState();
+  s.setNames(firstNames);
+  SessionState t = getState();
+  printNames(t.getNames());
+}
+|}
+
+let fig1_seed = {|print("FIRST NAME: " + firstName);|}
+let fig1_buggy_line = "fullName.substring(0, spaceInd - 1)"
+
+let fig1_io =
+  ([ "names.txt" ], [ ("names.txt", [ "John Doe"; "Jane Roe" ]) ])
+
+(* Figure 2: the toy program whose dependence graph is Figure 3.  The thin
+   slice for line 7 (v = z.f) is lines {1?, 3, 5, 7}: per the paper,
+   producers are the B allocation (3) and the store (5); lines 1, 2, 4
+   explain aliasing; line 6 explains control. *)
+let fig2 =
+  {|class A {
+  Object f;
+}
+class B {
+}
+void main(String[] args) {
+  A x = new A();
+  A z = x;
+  B y = new B();
+  A w = x;
+  w.f = y;
+  if (w == z) {
+    Object v = z.f;
+    print("done");
+  }
+}
+|}
+
+let fig2_seed = "Object v = z.f;"
+
+(* Figure 4: the File/Vector program whose bug needs an aliasing
+   explanation (which File was closed?) and one control dependence. *)
+let fig4 =
+  {|class Vector {
+  Object[] elems;
+  int count;
+  Vector() { this.elems = new Object[10]; this.count = 0; }
+  void add(Object p) { this.elems[count++] = p; }
+  Object get(int ind) { return this.elems[ind]; }
+  int size() { return this.count; }
+}
+class ClosedException {
+}
+class File {
+  boolean open;
+  File() { this.open = true; }
+  boolean isOpen() { return this.open; }
+  void close() { this.open = false; }
+}
+void readFromFile(File f) {
+  boolean open = f.isOpen();
+  if (!open) { throw new ClosedException(); }
+  print("read ok");
+}
+void main(String[] args) {
+  File f = new File();
+  Vector files = new Vector();
+  files.add(f);
+  File g = (File) files.get(0);
+  g.close();
+  File h = (File) files.get(0);
+  readFromFile(h);
+}
+|}
+
+let fig4_seed = "if (!open) { throw new ClosedException(); }"
+let fig4_store = "void close() { this.open = false; }"
+let fig4_culprit = "g.close();"
+
+(* Figure 5: the tough cast guarded by an opcode tag. *)
+let fig5 =
+  {|class Ops {
+  static int ADD_NODE_OP = 1;
+  static int SUB_NODE_OP = 2;
+}
+class Node {
+  int op;
+  Node(int op) { this.op = op; }
+}
+class AddNode extends Node {
+  AddNode() { super(Ops.ADD_NODE_OP); }
+}
+class SubNode extends Node {
+  SubNode() { super(Ops.SUB_NODE_OP); }
+}
+void simplify(Node n) {
+  int op = n.op;
+  if (op == Ops.ADD_NODE_OP) {
+    AddNode add = (AddNode) n;
+    print("add node");
+  }
+}
+void main(String[] args) {
+  simplify(new AddNode());
+  simplify(new SubNode());
+}
+|}
+
+let fig5_cast = "AddNode add = (AddNode) n;"
+let fig5_tag_check = "if (op == Ops.ADD_NODE_OP)"
+let fig5_add_write = "AddNode() { super(Ops.ADD_NODE_OP); }"
+let fig5_sub_write = "SubNode() { super(Ops.SUB_NODE_OP); }"

@@ -1,0 +1,200 @@
+(* The ant-like benchmark: a miniature build tool with named targets,
+   dependency resolution, and ${property} substitution.  Mirrors the four
+   SIR ant debugging tasks of Table 2, including ant-3 whose buggy
+   function has many return statements, each of which is a candidate
+   control dependence (the paper counts one per return). *)
+
+let base =
+  Runtime_lib.prelude
+  ^ {|class BuildException {
+}
+class Target {
+  String name;
+  Vector depends;
+  Vector commands;
+  boolean executed;
+  Target(String n) {
+    this.name = n;
+    this.depends = new Vector();
+    this.commands = new Vector();
+    this.executed = false;
+  }
+  void addDepend(String d) { this.depends.add(d); }
+  void addCommand(String c) { this.commands.add(c); }
+}
+class Project {
+  HashMap targets;
+  HashMap properties;
+  Vector executionLog;
+  Project() {
+    this.targets = new HashMap();
+    this.properties = new HashMap();
+    this.executionLog = new Vector();
+  }
+  void setProperty(String key, String value) {
+    this.properties.put(key, value);
+  }
+  String getProperty(String key) {
+    String v = (String) this.properties.get(key);
+    if (v == null) { return "${" + key + "}"; }
+    return v;
+  }
+  void addTarget(Target t) {
+    this.targets.put(t.name, t);
+  }
+  Target findTarget(String name) {
+    return (Target) this.targets.get(name);
+  }
+  String substitute(String cmd) {
+    int open = cmd.indexOf("${");
+    if (open < 0) { return cmd; }
+    int close = cmd.indexOf("}");
+    if (close < open) { return cmd; }
+    String before = cmd.substring(0, open);
+    String key = cmd.substring(open + 2, close);
+    String after = cmd.substring(close + 1, cmd.length());
+    return before + getProperty(key) + substitute(after);
+  }
+  void execute(String name) {
+    Target t = findTarget(name);
+    if (t == null) { throw new BuildException(); }
+    if (t.executed) { return; }
+    t.executed = true;
+    for (int i = 0; i < t.depends.size(); i++) {
+      execute((String) t.depends.get(i));
+    }
+    for (int i = 0; i < t.commands.size(); i++) {
+      String cmd = substitute((String) t.commands.get(i));
+      this.executionLog.add(t.name + "> " + cmd);
+    }
+  }
+}
+class BuildParser {
+  InputStream input;
+  Project project;
+  Target current;
+  BuildParser(InputStream s, Project p) {
+    this.input = s;
+    this.project = p;
+    this.current = null;
+  }
+  int classify(String line) {
+    if (line.length() == 0) { return 0; }
+    if (line.startsWith("target ")) { return 1; }
+    if (line.startsWith("depends ")) { return 2; }
+    if (line.startsWith("property ")) { return 3; }
+    if (line.startsWith("#")) { return 0; }
+    if (this.current == null) { return 0; }
+    if (line.startsWith(" ")) { return 4; }
+    if (line.startsWith("do ")) { return 5; }
+    return 0;
+  }
+  void parse() {
+    while (!this.input.eof()) {
+      String line = this.input.readLine();
+      int kind = classify(line);
+      if (kind == 1) {
+        String name = line.substring(7, line.length());
+        this.current = new Target(name);
+        this.project.addTarget(this.current);
+      } else if (kind == 2) {
+        this.current.addDepend(line.substring(8, line.length()));
+      } else if (kind == 3) {
+        String rest = line.substring(9, line.length());
+        int eq = rest.indexOf("=");
+        String key = rest.substring(0, eq);
+        String value = rest.substring(eq + 1, rest.length());
+        this.project.setProperty(key, value);
+      } else if (kind == 5) {
+        this.current.addCommand(line.substring(3, line.length()));
+      }
+    }
+  }
+}
+void main(String[] args) {
+  Project proj = new Project();
+  BuildParser parser = new BuildParser(new InputStream(args[0]), proj);
+  parser.parse();
+  proj.execute("dist");
+  for (int i = 0; i < proj.executionLog.size(); i++) {
+    print((String) proj.executionLog.get(i));
+  }
+}
+|}
+
+let build_lines =
+  [ "property version=1.4";
+    "property out=build";
+    "target compile";
+    "do echo building for ${user}";
+    "do javac -d ${out} src";
+    "target test";
+    "depends compile";
+    "do junit ${out}";
+    "target dist";
+    "depends test";
+    "do jar ${out}/app-${version}.jar" ]
+
+let io = ([ "build.txt" ], [ ("build.txt", build_lines) ])
+
+let differs =
+  let args, streams = io in
+  Task.Differs_from_fixed { args; streams; fixed_src = base }
+
+let paper ~thin ~trad ~controls ~tn ~tr =
+  Some
+    { Task.p_thin = thin; p_trad = trad; p_controls = controls;
+      p_thin_noobj = tn; p_trad_noobj = tr }
+
+let tasks : Task.t list =
+  [ (* missing-target guard inverted: execute throws for a target that
+       exists; the failure is adjacent to the bug (ant-1: 2/2 with one
+       control dependence) *)
+    (let src =
+       Runtime_lib.patch ~from:"if (t == null) { throw new BuildException(); }"
+         ~into:"if (t != null) { throw new BuildException(); }" base
+     in
+     Task.make ~id:"ant-1" ~kind:Task.Debugging ~src
+       ~seed:"throw new BuildException();"
+       ~seed_filter:Slice_core.Engine.Only_conditionals
+       ~desired:[ "Target t = findTarget(name);" ]
+       ~controls:1
+       ~validation:
+         (let args, streams = io in
+          Task.Expect_failure { args; streams })
+       ?paper:(paper ~thin:2 ~trad:2 ~controls:1 ~tn:2 ~tr:2) ());
+    (* wrong substring offset drops the first command character *)
+    (let src =
+       Runtime_lib.patch ~from:"this.current.addCommand(line.substring(3, line.length()));"
+         ~into:"this.current.addCommand(line.substring(4, line.length()));" base
+     in
+     Task.make ~id:"ant-2" ~kind:Task.Debugging ~src
+       ~seed:"print((String) proj.executionLog.get(i));"
+       ~desired:[ "addCommand(line.substring(" ]
+       ~validation:differs
+       ?paper:(paper ~thin:4 ~trad:5 ~controls:0 ~tn:4 ~tr:5) ());
+    (* classify() has many returns; the bug makes command lines unclassified
+       so commands are dropped.  Like ant-3, one control dependence per
+       return must be examined (the paper counted 15) *)
+    (let src =
+       Runtime_lib.patch ~from:{|if (line.startsWith("do ")) { return 5; }|}
+         ~into:{|if (line.startsWith("do:")) { return 5; }|} base
+     in
+     Task.make ~id:"ant-3" ~kind:Task.Debugging ~src
+       ~seed:"print((String) proj.executionLog.get(i));"
+       ~desired:[ {|startsWith("do:")|} ]
+       ~controls:8 (* one per return of classify *)
+       ~bridges:[ "if (kind == 5)" ]
+       ~validation:differs
+       ?paper:(paper ~thin:34 ~trad:55 ~controls:15 ~tn:251 ~tr:501) ());
+    (* property default returns the raw key instead of the ${key} marker *)
+    (let src =
+       Runtime_lib.patch ~from:{|if (v == null) { return "${" + key + "}"; }|}
+         ~into:{|if (v == null) { return key; }|} base
+     in
+     Task.make ~id:"ant-4" ~kind:Task.Debugging ~src
+       ~seed:"print((String) proj.executionLog.get(i));"
+       ~desired:[ "return key;" ]
+       ~controls:2
+       ~validation:differs
+       ?paper:(paper ~thin:3 ~trad:3 ~controls:2 ~tn:3 ~tr:3) ()) ]

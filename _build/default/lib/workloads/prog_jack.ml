@@ -1,0 +1,254 @@
+(* The jack-like benchmark: a miniature parser generator.  A grammar is
+   read from the input, stored as Rules/Productions/Symbols inside nested
+   containers (HashMap of Vectors of Vectors), first-sets are computed,
+   and a report is emitted.  Its ten tough casts (Table 3: jack-1..10)
+   are downcasts on values retrieved from those containers; the paper's
+   jack rows show the strongest dependence on object-sensitive container
+   handling (inspection counts exploded by 5.9-16.9x without it). *)
+
+let base =
+  Runtime_lib.prelude
+  ^ {|class GrammarError {
+}
+class SymKinds {
+  static int TERMINAL = 1;
+  static int NONTERMINAL = 2;
+}
+class Symbol {
+  int kind;
+  String text;
+  Symbol(int k, String t) {
+    this.kind = k;
+    this.text = t;
+  }
+}
+class Terminal extends Symbol {
+  Terminal(String t) { super(SymKinds.TERMINAL, t); }
+}
+class NonTerminal extends Symbol {
+  NonTerminal(String t) { super(SymKinds.NONTERMINAL, t); }
+}
+class Production {
+  Vector syms;
+  Production() { this.syms = new Vector(); }
+  void addSym(Symbol s) { this.syms.add(s); }
+  int arity() { return this.syms.size(); }
+}
+class Rule {
+  String name;
+  Vector prods;
+  Rule(String n) {
+    this.name = n;
+    this.prods = new Vector();
+  }
+  void addProd(Production p) { this.prods.add(p); }
+}
+class Grammar {
+  HashMap rules;
+  Vector ruleNames;
+  Grammar() {
+    this.rules = new HashMap();
+    this.ruleNames = new Vector();
+    this.rules.put("$meta", "generated-v1");
+  }
+  void addRule(Rule r) {
+    this.rules.put(r.name, r);
+    this.ruleNames.add(r.name);
+  }
+  Rule findRule(String name) {
+    Rule r = (Rule) this.rules.get(name);
+    if (r == null) { throw new GrammarError(); }
+    return r;
+  }
+}
+class GrammarParser {
+  InputStream input;
+  GrammarParser(InputStream s) { this.input = s; }
+  boolean isUpper(int c) { return c >= 65 && c <= 90; }
+  Symbol makeSymbol(String word) {
+    if (isUpper(word.charCodeAt(0))) {
+      return new NonTerminal(word);
+    }
+    return new Terminal(word);
+  }
+  Grammar parse() {
+    Grammar g = new Grammar();
+    while (!this.input.eof()) {
+      String line = this.input.readLine();
+      int arrow = line.indexOf(":=");
+      if (arrow < 0) { throw new GrammarError(); }
+      String name = line.substring(0, arrow - 1);
+      Rule rule = (Rule) g.rules.get(name);
+      if (rule == null) {
+        rule = new Rule(name);
+        g.addRule(rule);
+      }
+      Production prod = new Production();
+      int i = arrow + 3;
+      while (i < line.length()) {
+        int end = i;
+        while (end < line.length() && line.charCodeAt(end) != 32) {
+          end = end + 1;
+        }
+        String word = line.substring(i, end);
+        if (word.length() > 0) {
+          prod.addSym(makeSymbol(word));
+        }
+        i = end + 1;
+      }
+      rule.addProd(prod);
+    }
+    return g;
+  }
+}
+class FirstSets {
+  Grammar grammar;
+  HashMap firsts;
+  FirstSets(Grammar g) {
+    this.grammar = g;
+    this.firsts = new HashMap();
+  }
+  String firstOf(String ruleName, int depth) {
+    if (depth > 8) { return ""; }
+    String cached = (String) this.firsts.get(ruleName);
+    if (cached != null) { return cached; }
+    Rule r = this.grammar.findRule(ruleName);
+    String acc = "";
+    for (int i = 0; i < r.prods.size(); i++) {
+      Production p = (Production) r.prods.get(i);
+      if (p.arity() > 0) {
+        Symbol s = (Symbol) p.syms.get(0);
+        if (s.kind == SymKinds.TERMINAL) {
+          Terminal t = (Terminal) s;
+          acc = acc + " " + t.text;
+        } else {
+          NonTerminal nt = (NonTerminal) s;
+          acc = acc + firstOf(nt.text, depth + 1);
+        }
+      }
+    }
+    this.firsts.put(ruleName, acc);
+    return acc;
+  }
+}
+class ReportGen {
+  Grammar grammar;
+  FirstSets firsts;
+  Vector lines;
+  ReportGen(Grammar g, FirstSets f) {
+    this.grammar = g;
+    this.firsts = f;
+    this.lines = new Vector();
+  }
+  String renderSymbol(Symbol s2) {
+    int rk = s2.kind;
+    if (rk == SymKinds.TERMINAL) {
+      Terminal t2 = (Terminal) s2;
+      return "'" + t2.text + "'";
+    }
+    NonTerminal n2 = (NonTerminal) s2;
+    return "<" + n2.text + ">";
+  }
+  void renderRule(String name) {
+    Rule r2 = this.grammar.findRule(name);
+    for (int j = 0; j < r2.prods.size(); j++) {
+      Production p2 = (Production) r2.prods.get(j);
+      String rhs = "";
+      for (int k = 0; k < p2.syms.size(); k++) {
+        Symbol s3 = (Symbol) p2.syms.get(k);
+        rhs = rhs + " " + renderSymbol(s3);
+      }
+      this.lines.add(name + " :=" + rhs);
+    }
+    String f = (String) this.firsts.firsts.get(name);
+    if (f != null) {
+      this.lines.add("first(" + name + ") =" + f);
+    }
+  }
+  void run() {
+    for (int i = 0; i < this.grammar.ruleNames.size(); i++) {
+      String name = (String) this.grammar.ruleNames.get(i);
+      this.firsts.firstOf(name, 0);
+      renderRule(name);
+    }
+    for (int i = 0; i < this.lines.size(); i++) {
+      print((String) this.lines.get(i));
+    }
+  }
+}
+void main(String[] args) {
+  GrammarParser parser = new GrammarParser(new InputStream(args[0]));
+  Grammar g = parser.parse();
+  FirstSets fs = new FirstSets(g);
+  ReportGen report = new ReportGen(g, fs);
+  report.run();
+}
+|}
+
+let grammar_lines =
+  [ "Expr := Term plus Expr";
+    "Expr := Term";
+    "Term := Factor star Term";
+    "Term := Factor";
+    "Factor := lparen Expr rparen";
+    "Factor := num";
+    "Factor := name" ]
+
+let io = ([ "grammar.txt" ], [ ("grammar.txt", grammar_lines) ])
+
+let validation =
+  let args, streams = io in
+  Task.Expect_success { args; streams }
+
+let paper ~thin ~trad ~controls ~tn ~tr =
+  Some
+    { Task.p_thin = thin; p_trad = trad; p_controls = controls;
+      p_thin_noobj = tn; p_trad_noobj = tr }
+
+let kind_writes =
+  [ "super(SymKinds.TERMINAL, t);"; "super(SymKinds.NONTERMINAL, t);" ]
+
+let cast ?(bridges = []) ~id ~seed ~desired ~controls ~paper:pr () =
+  Task.make ~id ~kind:Task.Tough_cast ~src:base ~seed
+    ~seed_filter:Slice_core.Engine.Only_casts ~desired ~controls ~bridges
+    ~validation ?paper:pr ()
+
+let tasks : Task.t list =
+  [ (* rules retrieved from the rules HashMap: the insertion establishes
+       the element-type invariant *)
+    cast ~id:"jack-1" ~seed:"Rule r = (Rule) this.rules.get(name);"
+      ~desired:[ "this.rules.put(r.name, r);" ] ~controls:0
+      ~paper:(paper ~thin:18 ~trad:79 ~controls:0 ~tn:303 ~tr:758) ();
+    cast ~id:"jack-2" ~seed:"Rule rule = (Rule) g.rules.get(name);"
+      ~desired:[ "this.rules.put(r.name, r);" ] ~controls:0
+      ~paper:(paper ~thin:57 ~trad:151 ~controls:0 ~tn:339 ~tr:647) ();
+    cast ~id:"jack-3" ~seed:"Production p = (Production) r.prods.get(i);"
+      ~desired:[ "void addProd(Production p) { this.prods.add(p); }" ] ~controls:0
+      ~paper:(paper ~thin:18 ~trad:69 ~controls:0 ~tn:304 ~tr:603) ();
+    cast ~id:"jack-4" ~seed:"Symbol s = (Symbol) p.syms.get(0);"
+      ~desired:[ "void addSym(Symbol s) { this.syms.add(s); }" ] ~controls:0
+      ~paper:(paper ~thin:18 ~trad:79 ~controls:0 ~tn:304 ~tr:759) ();
+    (* tag-discriminated casts on symbols *)
+    cast ~id:"jack-5" ~seed:"Terminal t = (Terminal) s;"
+      ~desired:kind_writes ~controls:1
+      ~bridges:[ "if (s.kind == SymKinds.TERMINAL)" ]
+      ~paper:(paper ~thin:57 ~trad:151 ~controls:0 ~tn:339 ~tr:647) ();
+    cast ~id:"jack-6" ~seed:"NonTerminal nt = (NonTerminal) s;"
+      ~desired:kind_writes ~controls:1
+      ~bridges:[ "if (s.kind == SymKinds.TERMINAL)" ]
+      ~paper:(paper ~thin:35 ~trad:132 ~controls:0 ~tn:338 ~tr:802) ();
+    cast ~id:"jack-7" ~seed:"Terminal t2 = (Terminal) s2;"
+      ~desired:kind_writes ~controls:1
+      ~bridges:[ "if (rk == SymKinds.TERMINAL)" ]
+      ~paper:(paper ~thin:35 ~trad:132 ~controls:0 ~tn:338 ~tr:802) ();
+    cast ~id:"jack-8" ~seed:"NonTerminal n2 = (NonTerminal) s2;"
+      ~desired:kind_writes ~controls:1
+      ~bridges:[ "if (rk == SymKinds.TERMINAL)" ]
+      ~paper:(paper ~thin:35 ~trad:132 ~controls:0 ~tn:338 ~tr:802) ();
+    (* report-side container casts *)
+    cast ~id:"jack-9" ~seed:"Production p2 = (Production) r2.prods.get(j);"
+      ~desired:[ "void addProd(Production p) { this.prods.add(p); }" ] ~controls:0
+      ~paper:(paper ~thin:30 ~trad:79 ~controls:0 ~tn:304 ~tr:759) ();
+    cast ~id:"jack-10" ~seed:"Symbol s3 = (Symbol) p2.syms.get(k);"
+      ~desired:[ "void addSym(Symbol s) { this.syms.add(s); }" ] ~controls:0
+      ~paper:(paper ~thin:57 ~trad:151 ~controls:0 ~tn:339 ~tr:647) () ]

@@ -1,0 +1,353 @@
+(* The javac-like benchmark: an expression compiler with a Node class
+   hierarchy discriminated by an op tag, exactly the shape of the paper's
+   Figure 5.  Its four tough casts gave the largest thin-vs-traditional
+   ratios in Table 3 (16x-34.2x): the thin slice is the op-tag writes in
+   the constructors, while the traditional slice drags in the whole parser
+   through the cast operand's base pointers.
+
+   Input: one expression per line, e.g. "( 1 + x ) * 3"; then the variable
+   bindings as "let x 5". *)
+
+let base =
+  Runtime_lib.prelude
+  ^ {|class ParseError {
+}
+class Ops {
+  static int ADD = 1;
+  static int SUB = 2;
+  static int MUL = 3;
+  static int DIV = 4;
+  static int NEG = 5;
+  static int CONST = 6;
+  static int VAR = 7;
+}
+class Node {
+  int op;
+  Node(int o) { this.op = o; }
+  int getOp() { return this.op; }
+}
+class BinNode extends Node {
+  Node left;
+  Node right;
+  BinNode(int o, Node l, Node r) {
+    super(o);
+    this.left = l;
+    this.right = r;
+  }
+}
+class AddNode extends BinNode {
+  AddNode(Node l, Node r) { super(Ops.ADD, l, r); }
+}
+class SubNode extends BinNode {
+  SubNode(Node l, Node r) { super(Ops.SUB, l, r); }
+}
+class MulNode extends BinNode {
+  MulNode(Node l, Node r) { super(Ops.MUL, l, r); }
+}
+class DivNode extends BinNode {
+  DivNode(Node l, Node r) { super(Ops.DIV, l, r); }
+}
+class NegNode extends Node {
+  Node child;
+  NegNode(Node c) {
+    super(Ops.NEG);
+    this.child = c;
+  }
+}
+class ConstNode extends Node {
+  int value;
+  ConstNode(int v) {
+    super(Ops.CONST);
+    this.value = v;
+  }
+}
+class VarNode extends Node {
+  String name;
+  VarNode(String n) {
+    super(Ops.VAR);
+    this.name = n;
+  }
+}
+class ExprToken {
+  int kind;
+  String image;
+  ExprToken(int k, String img) {
+    this.kind = k;
+    this.image = img;
+  }
+}
+class TokKinds {
+  static int NUM = 1;
+  static int NAME = 2;
+  static int PUNCT = 3;
+}
+class ExprLexer {
+  Vector tokens;
+  int next;
+  ExprLexer(String line) {
+    this.tokens = new Vector();
+    this.next = 0;
+    scan(line);
+  }
+  boolean isSpace(int c) { return c == 32 || c == 9; }
+  boolean isDigit(int c) { return c >= 48 && c <= 57; }
+  boolean isNameChar(int c) {
+    return (c >= 97 && c <= 122) || (c >= 65 && c <= 90) || c == 95;
+  }
+  String scanNumber(String line, int start) {
+    int i = start;
+    while (i < line.length() && isDigit(line.charCodeAt(i))) {
+      i = i + 1;
+    }
+    return line.substring(start, i);
+  }
+  String scanName(String line, int start) {
+    int i = start;
+    while (i < line.length() && isNameChar(line.charCodeAt(i))) {
+      i = i + 1;
+    }
+    return line.substring(start, i);
+  }
+  void scan(String line) {
+    int i = 0;
+    while (i < line.length()) {
+      int c = line.charCodeAt(i);
+      if (isSpace(c)) {
+        i = i + 1;
+      } else if (isDigit(c)) {
+        String img = scanNumber(line, i);
+        this.tokens.add(new ExprToken(TokKinds.NUM, img));
+        i = i + img.length();
+      } else if (isNameChar(c)) {
+        String img = scanName(line, i);
+        this.tokens.add(new ExprToken(TokKinds.NAME, img));
+        i = i + img.length();
+      } else {
+        this.tokens.add(new ExprToken(TokKinds.PUNCT, line.charAt(i)));
+        i = i + 1;
+      }
+    }
+  }
+  ExprToken peekToken() {
+    if (this.next >= this.tokens.size()) { return null; }
+    return (ExprToken) this.tokens.get(this.next);
+  }
+  String peek() {
+    ExprToken t = peekToken();
+    if (t == null) { return null; }
+    return t.image;
+  }
+  String advance() {
+    String w = peek();
+    this.next = this.next + 1;
+    return w;
+  }
+  boolean accept(String tok) {
+    String w = peek();
+    if (w != null && w.equals(tok)) {
+      this.next = this.next + 1;
+      return true;
+    }
+    return false;
+  }
+}
+class ExprParser {
+  ExprLexer lexer;
+  ExprParser(ExprLexer lx) { this.lexer = lx; }
+  Node parseExpr() {
+    Node left = parseTerm();
+    while (true) {
+      if (this.lexer.accept("+")) {
+        left = new AddNode(left, parseTerm());
+      } else if (this.lexer.accept("-")) {
+        left = new SubNode(left, parseTerm());
+      } else {
+        return left;
+      }
+    }
+  }
+  Node parseTerm() {
+    Node left = parseFactor();
+    while (true) {
+      if (this.lexer.accept("*")) {
+        left = new MulNode(left, parseFactor());
+      } else if (this.lexer.accept("/")) {
+        left = new DivNode(left, parseFactor());
+      } else {
+        return left;
+      }
+    }
+  }
+  Node parseFactor() {
+    if (this.lexer.accept("(")) {
+      Node inner = parseExpr();
+      if (!this.lexer.accept(")")) { throw new ParseError(); }
+      return inner;
+    }
+    if (this.lexer.accept("~")) {
+      return new NegNode(parseFactor());
+    }
+    String w = this.lexer.advance();
+    if (w == null) { throw new ParseError(); }
+    int c = w.charCodeAt(0);
+    if (c >= 48 && c <= 57) {
+      return new ConstNode(parseInt(w));
+    }
+    return new VarNode(w);
+  }
+}
+class Simplifier {
+  Node simplify(Node n) {
+    int op = n.getOp();
+    if (op == Ops.ADD) {
+      AddNode add = (AddNode) n;
+      Node l = simplify(add.left);
+      Node r = simplify(add.right);
+      if (isZero(l)) { return r; }
+      if (isZero(r)) { return l; }
+      return new AddNode(l, r);
+    }
+    if (op == Ops.MUL) {
+      BinNode mul = (BinNode) n;
+      Node l = simplify(mul.left);
+      Node r = simplify(mul.right);
+      if (isOne(l)) { return r; }
+      if (isOne(r)) { return l; }
+      return new MulNode(l, r);
+    }
+    return n;
+  }
+  boolean isZero(Node n) {
+    if (n.getOp() == Ops.CONST) {
+      ConstNode c = (ConstNode) n;
+      return c.value == 0;
+    }
+    return false;
+  }
+  boolean isOne(Node n) {
+    if (n.getOp() == Ops.CONST) {
+      ConstNode c = (ConstNode) n;
+      return c.value == 1;
+    }
+    return false;
+  }
+}
+class Evaluator {
+  HashMap env;
+  Evaluator() { this.env = new HashMap(); }
+  void bind(String name, int value) {
+    this.env.put(name, itoa(value));
+  }
+  int eval(Node n) {
+    int k = n.getOp();
+    if (k == Ops.CONST) {
+      ConstNode c = (ConstNode) n;
+      return c.value;
+    }
+    if (k == Ops.VAR) {
+      VarNode v = (VarNode) n;
+      String bound = (String) this.env.get(v.name);
+      if (bound == null) { throw new ParseError(); }
+      return parseInt(bound);
+    }
+    if (k == Ops.NEG) {
+      NegNode neg = (NegNode) n;
+      return 0 - eval(neg.child);
+    }
+    BinNode b = (BinNode) n;
+    int l = eval(b.left);
+    int r = eval(b.right);
+    if (k == Ops.ADD) { return l + r; }
+    if (k == Ops.SUB) { return l - r; }
+    if (k == Ops.MUL) { return l * r; }
+    if (r == 0) { throw new ParseError(); }
+    return l / r;
+  }
+}
+void main(String[] args) {
+  InputStream input = new InputStream(args[0]);
+  Evaluator ev = new Evaluator();
+  Simplifier simp = new Simplifier();
+  while (!input.eof()) {
+    String line = input.readLine();
+    if (line.startsWith("let ")) {
+      int sp = line.indexOf(" ");
+      String rest = line.substring(sp + 1, line.length());
+      int sp2 = rest.indexOf(" ");
+      String name = rest.substring(0, sp2);
+      String value = rest.substring(sp2 + 1, rest.length());
+      ev.bind(name, parseInt(value));
+    } else {
+      ExprParser parser = new ExprParser(new ExprLexer(line));
+      Node ast = parser.parseExpr();
+      Node reduced = simp.simplify(ast);
+      print(line + " = " + itoa(ev.eval(reduced)));
+    }
+  }
+}
+|}
+
+let io =
+  ( [ "exprs.txt" ],
+    [ ("exprs.txt",
+       [ "let x 5"; "let y 2"; "( 1 + x ) * 3"; "x * y + 0"; "~ 4 + x / y"; "1 * x" ]) ] )
+
+let validation =
+  let args, streams = io in
+  Task.Expect_success { args; streams }
+
+let paper ~thin ~trad ~controls ~tn ~tr =
+  Some
+    { Task.p_thin = thin; p_trad = trad; p_controls = controls;
+      p_thin_noobj = tn; p_trad_noobj = tr }
+
+(* Desired statements for every cast: the constructor op writes that
+   establish the tag invariant (as for Figure 5: "writes of opcodes in a
+   large number of constructors, which could be quickly inspected to
+   ensure that a suitable constant is written").  Verifying the cast means
+   inspecting ALL of them, so they are all desired. *)
+let all_op_writes =
+  [ "AddNode(Node l, Node r) { super(Ops.ADD, l, r); }";
+    "SubNode(Node l, Node r) { super(Ops.SUB, l, r); }";
+    "MulNode(Node l, Node r) { super(Ops.MUL, l, r); }";
+    "DivNode(Node l, Node r) { super(Ops.DIV, l, r); }";
+    "super(Ops.NEG);";
+    "super(Ops.CONST);";
+    "super(Ops.VAR);";
+    "super(o);" ]
+let tasks : Task.t list =
+  [ (let t =
+       Task.make ~id:"javac-1" ~kind:Task.Tough_cast ~src:base
+         ~seed:"AddNode add = (AddNode) n;"
+         ~seed_filter:Slice_core.Engine.Only_casts
+         ~desired:all_op_writes
+         ~controls:1
+         ~bridges:[ "if (op == Ops.ADD)" ]
+         ~validation
+         ?paper:(paper ~thin:57 ~trad:910 ~controls:1 ~tn:57 ~tr:910) ()
+     in
+     t);
+    Task.make ~id:"javac-2" ~kind:Task.Tough_cast ~src:base
+      ~seed:"BinNode mul = (BinNode) n;"
+      ~seed_filter:Slice_core.Engine.Only_casts
+      ~desired:all_op_writes
+      ~controls:1
+      ~bridges:[ "if (op == Ops.MUL)" ]
+      ~validation
+      ?paper:(paper ~thin:43 ~trad:853 ~controls:1 ~tn:43 ~tr:853) ();
+    Task.make ~id:"javac-3" ~kind:Task.Tough_cast ~src:base
+      ~seed:"VarNode v = (VarNode) n;"
+      ~seed_filter:Slice_core.Engine.Only_casts
+      ~desired:all_op_writes
+      ~controls:1
+      ~bridges:[ "if (k == Ops.VAR)" ]
+      ~validation
+      ?paper:(paper ~thin:65 ~trad:2224 ~controls:1 ~tn:65 ~tr:2267) ();
+    Task.make ~id:"javac-4" ~kind:Task.Tough_cast ~src:base
+      ~seed:"BinNode b = (BinNode) n;"
+      ~seed_filter:Slice_core.Engine.Only_casts
+      ~desired:all_op_writes
+      ~controls:1
+      ~bridges:[ "if (k == Ops.NEG)" ]
+      ~validation
+      ?paper:(paper ~thin:45 ~trad:855 ~controls:1 ~tn:45 ~tr:855) () ]

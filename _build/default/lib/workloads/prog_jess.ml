@@ -1,0 +1,186 @@
+(* The jess-like benchmark: a tiny forward-chaining rule engine over typed
+   facts.  Its six tough casts (Table 3: jess-1..6) are tag-discriminated
+   downcasts with short producer chains — the paper's jess rows have the
+   smallest thin counts (6-13) and ratios near 1, several needing two
+   control dependences. *)
+
+let base =
+  Runtime_lib.prelude
+  ^ {|class EngineError {
+}
+class ValueKinds {
+  static int INT = 1;
+  static int SYM = 2;
+  static int PAIR = 3;
+}
+class Value {
+  int kind;
+  Value(int k) { this.kind = k; }
+}
+class IntValue extends Value {
+  int num;
+  IntValue(int n) {
+    super(ValueKinds.INT);
+    this.num = n;
+  }
+}
+class SymValue extends Value {
+  String sym;
+  SymValue(String s) {
+    super(ValueKinds.SYM);
+    this.sym = s;
+  }
+}
+class PairValue extends Value {
+  Value first;
+  Value second;
+  PairValue(Value a, Value b) {
+    super(ValueKinds.PAIR);
+    this.first = a;
+    this.second = b;
+  }
+}
+class Fact {
+  String name;
+  Value payload;
+  Fact(String n, Value p) {
+    this.name = n;
+    this.payload = p;
+  }
+}
+class WorkingMemory {
+  Vector facts;
+  WorkingMemory() { this.facts = new Vector(); }
+  void assertFact(Fact f) { this.facts.add(f); }
+  Fact factAt(int i) { return (Fact) this.facts.get(i); }
+  int count() { return this.facts.size(); }
+}
+class RuleEngine {
+  WorkingMemory memory;
+  Vector fired;
+  RuleEngine(WorkingMemory m) {
+    this.memory = m;
+    this.fired = new Vector();
+  }
+  int scoreInt(Value v) {
+    int sk = v.kind;
+    if (sk == ValueKinds.INT) {
+      IntValue iv = (IntValue) v;
+      return iv.num * 2;
+    }
+    return 0;
+  }
+  String describeSym(Value v) {
+    int dk = v.kind;
+    if (dk == ValueKinds.SYM) {
+      SymValue sv = (SymValue) v;
+      return sv.sym;
+    }
+    return "?";
+  }
+  int pairDepth(Value v) {
+    int pk = v.kind;
+    if (pk == ValueKinds.PAIR) {
+      PairValue pv = (PairValue) v;
+      int a = pairDepth(pv.first);
+      int b = pairDepth(pv.second);
+      if (a > b) { return a + 1; }
+      return b + 1;
+    }
+    return 1;
+  }
+  int sumPair(Value v) {
+    int uk = v.kind;
+    if (uk == ValueKinds.PAIR) {
+      PairValue ps = (PairValue) v;
+      return sumPair(ps.first) + sumPair(ps.second);
+    }
+    if (uk == ValueKinds.INT) {
+      IntValue leaf = (IntValue) v;
+      return leaf.num;
+    }
+    return 0;
+  }
+  String headSym(Value v) {
+    int hk = v.kind;
+    if (hk == ValueKinds.PAIR) {
+      PairValue head = (PairValue) v;
+      return describeSym(head.first);
+    }
+    if (hk == ValueKinds.SYM) {
+      SymValue direct = (SymValue) v;
+      return direct.sym;
+    }
+    return "none";
+  }
+  void run() {
+    for (int i = 0; i < this.memory.count(); i++) {
+      Fact f = this.memory.factAt(i);
+      Value v = f.payload;
+      int score = scoreInt(v) + sumPair(v) + pairDepth(v);
+      this.fired.add(f.name + " " + describeSym(v) + " " + headSym(v)
+                     + " = " + itoa(score));
+    }
+  }
+}
+void main(String[] args) {
+  WorkingMemory memory = new WorkingMemory();
+  memory.assertFact(new Fact("age", new IntValue(41)));
+  memory.assertFact(new Fact("tag", new SymValue("alpha")));
+  memory.assertFact(new Fact("link",
+      new PairValue(new SymValue("head"), new IntValue(7))));
+  memory.assertFact(new Fact("tree",
+      new PairValue(new PairValue(new IntValue(1), new IntValue(2)),
+                    new IntValue(3))));
+  RuleEngine engine = new RuleEngine(memory);
+  engine.run();
+  for (int i = 0; i < engine.fired.size(); i++) {
+    print((String) engine.fired.get(i));
+  }
+}
+|}
+
+let io = ([], [])
+
+let validation =
+  let args, streams = io in
+  Task.Expect_success { args; streams }
+
+let paper ~thin ~trad ~controls ~tn ~tr =
+  Some
+    { Task.p_thin = thin; p_trad = trad; p_controls = controls;
+      p_thin_noobj = tn; p_trad_noobj = tr }
+
+let tag_writes =
+  [ "super(ValueKinds.INT);"; "super(ValueKinds.SYM);"; "super(ValueKinds.PAIR);" ]
+
+let cast ~id ~seed ~bridge ~controls ~paper:pr =
+  Task.make ~id ~kind:Task.Tough_cast ~src:base ~seed
+    ~seed_filter:Slice_core.Engine.Only_casts ~desired:tag_writes ~controls
+    ~bridges:[ bridge ] ~validation ?paper:pr ()
+
+let tasks : Task.t list =
+  [ cast ~id:"jess-1" ~seed:"IntValue iv = (IntValue) v;"
+      ~bridge:"if (sk == ValueKinds.INT)"
+      ~controls:2
+      ~paper:(paper ~thin:6 ~trad:7 ~controls:2 ~tn:6 ~tr:7);
+    cast ~id:"jess-2" ~seed:"SymValue sv = (SymValue) v;"
+      ~bridge:"if (dk == ValueKinds.SYM)"
+      ~controls:0
+      ~paper:(paper ~thin:13 ~trad:39 ~controls:0 ~tn:25 ~tr:93);
+    cast ~id:"jess-3" ~seed:"PairValue pv = (PairValue) v;"
+      ~bridge:"if (pk == ValueKinds.PAIR)"
+      ~controls:2
+      ~paper:(paper ~thin:6 ~trad:6 ~controls:2 ~tn:6 ~tr:6);
+    cast ~id:"jess-4" ~seed:"IntValue leaf = (IntValue) v;"
+      ~bridge:"if (uk == ValueKinds.INT)"
+      ~controls:2
+      ~paper:(paper ~thin:6 ~trad:7 ~controls:2 ~tn:6 ~tr:7);
+    cast ~id:"jess-5" ~seed:"PairValue head = (PairValue) v;"
+      ~bridge:"if (hk == ValueKinds.PAIR)"
+      ~controls:2
+      ~paper:(paper ~thin:6 ~trad:7 ~controls:2 ~tn:6 ~tr:7);
+    cast ~id:"jess-6" ~seed:"SymValue direct = (SymValue) v;"
+      ~bridge:"if (hk == ValueKinds.SYM)"
+      ~controls:2
+      ~paper:(paper ~thin:6 ~trad:6 ~controls:2 ~tn:6 ~tr:6) ]

@@ -1,0 +1,135 @@
+(* The jtopas-like benchmark: a tokenizer over an input stream with a
+   keyword table.  Mirrors the two SIR jtopas debugging tasks of Table 2,
+   both of which fail at (or one step from) the buggy statement — the
+   paper notes such bugs "can be easily debugged without tool support, but
+   we include them for completeness". *)
+
+let base =
+  Runtime_lib.prelude
+  ^ {|class Token {
+  int kind;
+  String image;
+  int pos;
+  Token(int k, String img, int p) {
+    this.kind = k;
+    this.image = img;
+    this.pos = p;
+  }
+}
+class TokenKinds {
+  static int WORD = 1;
+  static int NUMBER = 2;
+  static int PUNCT = 3;
+  static int KEYWORD = 4;
+}
+class Tokenizer {
+  InputStream input;
+  HashMap keywords;
+  Vector tokens;
+  int pos;
+  Tokenizer(InputStream s) {
+    this.input = s;
+    this.keywords = new HashMap();
+    this.tokens = new Vector();
+    this.pos = 0;
+    this.keywords.put("if", "kw");
+    this.keywords.put("while", "kw");
+    this.keywords.put("return", "kw");
+  }
+  boolean isDigit(int c) { return c >= 48 && c <= 57; }
+  boolean isLetter(int c) {
+    return (c >= 97 && c <= 122) || (c >= 65 && c <= 90);
+  }
+  void addToken(int kind, String image) {
+    this.tokens.add(new Token(kind, image, this.pos));
+    this.pos = this.pos + 1;
+  }
+  void tokenizeLine(String line) {
+    int i = 0;
+    while (i < line.length()) {
+      int c = line.charCodeAt(i);
+      if (isLetter(c)) {
+        int start = i;
+        while (i < line.length() && isLetter(line.charCodeAt(i))) {
+          i = i + 1;
+        }
+        String word = line.substring(start, i);
+        if (this.keywords.get(word) != null) {
+          addToken(TokenKinds.KEYWORD, word);
+        } else {
+          addToken(TokenKinds.WORD, word);
+        }
+      } else if (isDigit(c)) {
+        int start = i;
+        while (i < line.length() && isDigit(line.charCodeAt(i))) {
+          i = i + 1;
+        }
+        addToken(TokenKinds.NUMBER, line.substring(start, i));
+      } else if (c == 32) {
+        i = i + 1;
+      } else {
+        addToken(TokenKinds.PUNCT, line.charAt(i));
+        i = i + 1;
+      }
+    }
+  }
+  Vector run() {
+    while (!this.input.eof()) {
+      tokenizeLine(this.input.readLine());
+    }
+    return this.tokens;
+  }
+}
+void main(String[] args) {
+  Tokenizer t = new Tokenizer(new InputStream(args[0]));
+  Vector tokens = t.run();
+  String kinds = "";
+  for (int i = 0; i < tokens.size(); i++) {
+    Token tok = (Token) tokens.get(i);
+    kinds = kinds + itoa(tok.kind);
+    print("tok " + itoa(tok.pos) + " kind " + itoa(tok.kind) + ": " + tok.image);
+  }
+  print("kinds: " + kinds);
+}
+|}
+
+let io = ([ "in.txt" ], [ ("in.txt", [ "if x 12 + while"; "return 7;" ]) ])
+
+let differs =
+  let args, streams = io in
+  Task.Differs_from_fixed { args; streams; fixed_src = base }
+
+let paper ~thin ~trad ~controls ~tn ~tr =
+  Some
+    { Task.p_thin = thin; p_trad = trad; p_controls = controls;
+      p_thin_noobj = tn; p_trad_noobj = tr }
+
+let tasks : Task.t list =
+  [ (* the buggy statement itself throws: a null image dereference at the
+       failing line (like jtopas-1, which "fails with a
+       NullPointerException" at the bug) *)
+    (let src =
+       Runtime_lib.patch
+         ~from:"this.tokens.add(new Token(kind, image, this.pos));"
+         ~into:{|String checked = null; this.tokens.add(new Token(kind, checked.substring(0, 1), this.pos));|}
+         base
+     in
+     Task.make ~id:"jtopas-1" ~kind:Task.Debugging ~src
+       ~seed:"checked.substring(0, 1)"
+       ~desired:[ "checked.substring(0, 1)" ]
+       ~validation:
+         (let args, streams = io in
+          Task.Expect_failure { args; streams })
+       ?paper:(paper ~thin:1 ~trad:1 ~controls:0 ~tn:1 ~tr:1) ());
+    (* wrong keyword test: keywords classified as plain words; the desired
+       conditional is one control dependence from the printed kind *)
+    (let src =
+       Runtime_lib.patch ~from:"if (this.keywords.get(word) != null) {"
+         ~into:"if (this.keywords.get(word) == null) {" base
+     in
+     Task.make ~id:"jtopas-2" ~kind:Task.Debugging ~src
+       ~seed:{|"tok " + itoa(tok.pos)|}
+       ~desired:[ "addToken(TokenKinds.KEYWORD, word);" ]
+       ~controls:1
+       ~validation:differs
+       ?paper:(paper ~thin:2 ~trad:2 ~controls:1 ~tn:2 ~tr:2) ()) ]

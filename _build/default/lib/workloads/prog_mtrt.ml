@@ -1,0 +1,179 @@
+(* The mtrt-like benchmark: a miniature raytracer whose scene is a Vector
+   of tagged Shape objects parsed from a scene description.  Its two tough
+   casts (Table 3: mtrt-1, mtrt-2) retrieve shapes from the scene Vector
+   and downcast after a tag check. *)
+
+let base =
+  Runtime_lib.prelude
+  ^ {|class SceneError {
+}
+class ShapeKinds {
+  static int SPHERE = 1;
+  static int PLANE = 2;
+  static int TRIANGLE = 3;
+}
+class Shape {
+  int kind;
+  int material;
+  Shape(int k, int m) {
+    this.kind = k;
+    this.material = m;
+  }
+}
+class Sphere extends Shape {
+  int cx;
+  int cy;
+  int cz;
+  int radius;
+  Sphere(int x, int y, int z, int r, int m) {
+    super(ShapeKinds.SPHERE, m);
+    this.cx = x;
+    this.cy = y;
+    this.cz = z;
+    this.radius = r;
+  }
+}
+class Plane extends Shape {
+  int height;
+  Plane(int h, int m) {
+    super(ShapeKinds.PLANE, m);
+    this.height = h;
+  }
+}
+class Triangle extends Shape {
+  int a;
+  int b;
+  int c;
+  Triangle(int a, int b, int c, int m) {
+    super(ShapeKinds.TRIANGLE, m);
+    this.a = a;
+    this.b = b;
+    this.c = c;
+  }
+}
+class SceneParser {
+  InputStream input;
+  SceneParser(InputStream s) { this.input = s; }
+  int field(String line, int index) {
+    int i = 0;
+    int start = 0;
+    int seen = 0;
+    while (i < line.length()) {
+      if (line.charCodeAt(i) == 32) {
+        if (seen == index) {
+          return parseInt(line.substring(start, i));
+        }
+        seen = seen + 1;
+        start = i + 1;
+      }
+      i = i + 1;
+    }
+    if (seen == index) {
+      return parseInt(line.substring(start, line.length()));
+    }
+    throw new SceneError();
+  }
+  Vector parse() {
+    Vector scene = new Vector();
+    while (!this.input.eof()) {
+      String line = this.input.readLine();
+      if (line.startsWith("sphere ")) {
+        scene.add(new Sphere(field(line, 1), field(line, 2), field(line, 3),
+                             field(line, 4), field(line, 5)));
+      } else if (line.startsWith("plane ")) {
+        scene.add(new Plane(field(line, 1), field(line, 2)));
+      } else if (line.startsWith("tri ")) {
+        scene.add(new Triangle(field(line, 1), field(line, 2), field(line, 3),
+                               field(line, 4)));
+      }
+    }
+    return scene;
+  }
+}
+class Ray {
+  int ox;
+  int dy;
+  Ray(int o, int d) {
+    this.ox = o;
+    this.dy = d;
+  }
+}
+class Tracer {
+  Vector scene;
+  Tracer(Vector s) { this.scene = s; }
+  int intersect(Ray ray, Shape s) {
+    int kind = s.kind;
+    if (kind == ShapeKinds.SPHERE) {
+      Sphere sp = (Sphere) s;
+      int dx = ray.ox - sp.cx;
+      int dist = dx * dx + sp.cy * sp.cy;
+      if (dist <= sp.radius * sp.radius) { return sp.radius - dx; }
+      return -1;
+    }
+    if (kind == ShapeKinds.PLANE) {
+      Plane pl = (Plane) s;
+      if (ray.dy > 0 && pl.height >= ray.ox) { return pl.height - ray.ox; }
+      return -1;
+    }
+    return 0;
+  }
+  int trace(Ray ray) {
+    int best = -1;
+    for (int i = 0; i < this.scene.size(); i++) {
+      Shape s = (Shape) this.scene.get(i);
+      int hit = intersect(ray, s);
+      if (hit > best) { best = hit; }
+    }
+    return best;
+  }
+}
+void main(String[] args) {
+  SceneParser parser = new SceneParser(new InputStream(args[0]));
+  Vector scene = parser.parse();
+  Tracer tracer = new Tracer(scene);
+  int row = 0;
+  while (row < 4) {
+    Ray ray = new Ray(row * 2, 1);
+    print("row " + itoa(row) + ": " + itoa(tracer.trace(ray)));
+    row = row + 1;
+  }
+}
+|}
+
+let scene_lines =
+  [ "sphere 3 1 0 5 1"; "plane 7 2"; "tri 1 2 3 1"; "sphere 9 0 2 2 3" ]
+
+let io = ([ "scene.txt" ], [ ("scene.txt", scene_lines) ])
+
+let validation =
+  let args, streams = io in
+  Task.Expect_success { args; streams }
+
+let paper ~thin ~trad ~controls ~tn ~tr =
+  Some
+    { Task.p_thin = thin; p_trad = trad; p_controls = controls;
+      p_thin_noobj = tn; p_trad_noobj = tr }
+
+(* The tag invariant is established by the shape constructors' super calls. *)
+let tag_writes =
+  [ "super(ShapeKinds.SPHERE, m);";
+    "super(ShapeKinds.PLANE, m);";
+    "super(ShapeKinds.TRIANGLE, m);" ]
+
+let tasks : Task.t list =
+  [ Task.make ~id:"mtrt-1" ~kind:Task.Tough_cast ~src:base
+      ~seed:"Sphere sp = (Sphere) s;"
+      ~seed_filter:Slice_core.Engine.Only_casts
+      ~desired:tag_writes
+      ~controls:1
+      ~bridges:[ "if (kind == ShapeKinds.SPHERE)" ]
+      ~validation
+      ?paper:(paper ~thin:22 ~trad:51 ~controls:0 ~tn:22 ~tr:51) ();
+    Task.make ~id:"mtrt-2" ~kind:Task.Tough_cast ~src:base
+      ~seed:"Plane pl = (Plane) s;"
+      ~seed_filter:Slice_core.Engine.Only_casts
+      ~desired:tag_writes
+      ~controls:1
+      ~bridges:[ "if (kind == ShapeKinds.PLANE)" ]
+      ~validation
+      ?paper:(paper ~thin:23 ~trad:52 ~controls:0 ~tn:23 ~tr:52) () ]

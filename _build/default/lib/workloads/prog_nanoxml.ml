@@ -1,0 +1,285 @@
+(* The nanoxml-like benchmark: a small XML parser that builds an element
+   tree of Vectors and HashMaps.  Mirrors the SIR nanoxml debugging tasks
+   (Table 2): the injected bugs "often required tracing a value as it is
+   inserted and later retrieved from one or two Vectors".
+
+   Input format, one item per line:
+     <tag>        open a child element of the current element
+     </>          close the current element (which seals it)
+     @key=value   set an attribute of the current element
+     anything     append text to the current element *)
+
+let base =
+  Runtime_lib.prelude
+  ^ {|class SealedException {
+}
+class XElement {
+  String name;
+  String text;
+  boolean sealed;
+  Vector children;
+  HashMap attrs;
+  XElement(String n) {
+    this.name = n;
+    this.text = "";
+    this.sealed = false;
+    this.children = new Vector();
+    this.attrs = new HashMap();
+  }
+  void addChild(XElement c) { this.children.add(c); }
+  XElement childAt(int i) { return (XElement) this.children.get(i); }
+  int childCount() { return this.children.size(); }
+  void setAttr(String k, String v) { this.attrs.put(k, v); }
+  String attr(String k) { return (String) this.attrs.get(k); }
+  void seal() { this.sealed = true; }
+  void appendText(String t) {
+    if (this.sealed) { throw new SealedException(); }
+    this.text = this.text + t;
+  }
+}
+class TagUtil {
+  static String trim(String raw) {
+    int start = 0;
+    while (start < raw.length() && raw.charCodeAt(start) == 32) {
+      start = start + 1;
+    }
+    int end = raw.length();
+    while (end > start && raw.charCodeAt(end - 1) == 32) {
+      end = end - 1;
+    }
+    return raw.substring(start, end);
+  }
+  static String clean(String raw) {
+    String trimmed = trim(raw);
+    if (trimmed.startsWith("x:")) {
+      return trimmed.substring(2, trimmed.length());
+    }
+    return trimmed;
+  }
+  static String decode(String raw) {
+    String v = trim(raw);
+    if (v.startsWith("'")) {
+      return v.substring(1, v.length() - 1);
+    }
+    return v;
+  }
+}
+class XParser {
+  InputStream input;
+  Vector log;
+  int lineno;
+  XParser(InputStream s) {
+    this.input = s;
+    this.log = new Vector();
+    this.lineno = 0;
+  }
+  void note(String what) {
+    this.log.add("line " + itoa(this.lineno) + ": " + what);
+  }
+  XElement parse() {
+    XElement root = new XElement("root");
+    Stack open = new Stack();
+    open.push(root);
+    while (!this.input.eof()) {
+      String line = this.input.readLine();
+      this.lineno = this.lineno + 1;
+      XElement current = (XElement) open.peek();
+      if (line.startsWith("</")) {
+        XElement closed = (XElement) open.pop();
+        closed.seal();
+        note("closed element");
+      } else if (line.startsWith("<")) {
+        int close = line.indexOf(">");
+        String raw = line.substring(1, close);
+        String tag = TagUtil.clean(raw);
+        XElement elem = new XElement(tag);
+        current.addChild(elem);
+        open.push(elem);
+        note("opened element");
+      } else if (line.startsWith("@")) {
+        int eq = line.indexOf("=");
+        String key = TagUtil.clean(line.substring(1, eq));
+        String value = TagUtil.decode(line.substring(eq + 1, line.length()));
+        current.setAttr(key, value);
+        note("attribute " + key);
+      } else {
+        current.appendText(TagUtil.decode(line));
+        note("text chunk");
+      }
+    }
+    return root;
+  }
+}
+class Registry {
+  static HashMap instances;
+  static void register(String name, Object obj) {
+    if (Registry.instances == null) {
+      Registry.instances = new HashMap();
+    }
+    Registry.instances.put(name, obj);
+  }
+  static Object lookup(String name) {
+    return Registry.instances.get(name);
+  }
+}
+class Report {
+  XElement root;
+  Vector marked;
+  Vector lines;
+  Report(XElement r) {
+    this.root = r;
+    this.marked = new Vector();
+    this.lines = new Vector();
+  }
+  void emit(String s) {
+    this.lines.add(s);
+  }
+  void collectMarked(XElement e, Vector acc) {
+    if (e.attr("marked") != null) {
+      acc.add(e.name);
+    }
+    for (int i = 0; i < e.childCount(); i++) {
+      collectMarked(e.childAt(i), acc);
+    }
+  }
+  void renderElement(XElement e, String indent) {
+    emit(indent + "tag: " + e.name);
+    String id = e.attr("id");
+    if (id != null) {
+      emit(indent + "id: " + id);
+    }
+    String title = e.attr("title");
+    if (title == null) { title = e.name; }
+    emit(indent + "title: " + title);
+    if (e.text.length() > 0) {
+      emit(indent + "text: " + e.text);
+    }
+    for (int i = 0; i < e.childCount(); i++) {
+      renderElement(e.childAt(i), indent + "  ");
+    }
+  }
+  void printAll() {
+    renderElement(this.root, "");
+    collectMarked(this.root, this.marked);
+    for (int i = 0; i < this.marked.size(); i++) {
+      emit("marked: " + (String) this.marked.get(i));
+    }
+    for (int i = 0; i < this.lines.size(); i++) {
+      print((String) this.lines.get(i));
+    }
+  }
+}
+void setup(String file) {
+  Registry.register("stream", new InputStream(file));
+  Registry.register("mode", "verbose");
+}
+void main(String[] args) {
+  setup(args[0]);
+  InputStream s = (InputStream) Registry.lookup("stream");
+  XParser p = new XParser(s);
+  XElement root = p.parse();
+  Registry.register("document", root);
+  XElement doc = (XElement) Registry.lookup("document");
+  Report r = new Report(doc);
+  r.printAll();
+}
+|}
+
+let doc_lines =
+  [ "<book>";
+    "@id=b1";
+    "@marked=yes";
+    "@title=Reflections";
+    "intro text";
+    "<title>";
+    "@id=t1";
+    "Total Eclipse";
+    "</>";
+    "more book text";
+    "</>" ]
+
+let io = ([ "doc.xml" ], [ ("doc.xml", doc_lines) ])
+
+let differs =
+  let args, streams = io in
+  Task.Differs_from_fixed { args; streams; fixed_src = base }
+
+let paper ~thin ~trad ~controls ~tn ~tr =
+  Some
+    { Task.p_thin = thin; p_trad = trad; p_controls = controls;
+      p_thin_noobj = tn; p_trad_noobj = tr }
+
+let tasks : Task.t list =
+  [ (* wrong end index when extracting the tag name; the bad String flows
+       through the children Vector to the printout *)
+    (let src =
+       Runtime_lib.patch ~from:"String raw = line.substring(1, close);"
+         ~into:"String raw = line.substring(1, close - 1);" base
+     in
+     Task.make ~id:"nanoxml-1" ~kind:Task.Debugging ~src
+       ~seed:"print((String) this.lines.get(i));"
+       ~desired:[ "String raw = line.substring(1, close" ]
+       ~validation:differs
+       ?paper:(paper ~thin:12 ~trad:32 ~controls:0 ~tn:12 ~tr:32) ());
+    (* the wrong field is inserted into the accumulator Vector; the value
+       then flows through a second Vector lookup before printing *)
+    (let src =
+       Runtime_lib.patch ~from:"acc.add(e.name);" ~into:"acc.add(e.text);" base
+     in
+     Task.make ~id:"nanoxml-2" ~kind:Task.Debugging ~src
+       ~seed:"print((String) this.lines.get(i));"
+       ~desired:[ "acc.add(e." ]
+       ~validation:differs
+       ?paper:(paper ~thin:25 ~trad:113 ~controls:0 ~tn:431 ~tr:1675) ());
+    (* off-by-one when extracting an attribute value, flowing through the
+       HashMap to the printout *)
+    (let src =
+       Runtime_lib.patch
+         ~from:"String value = TagUtil.decode(line.substring(eq + 1, line.length()));"
+         ~into:"String value = TagUtil.decode(line.substring(eq + 2, line.length()));"
+         base
+     in
+     Task.make ~id:"nanoxml-3" ~kind:Task.Debugging ~src
+       ~seed:"print((String) this.lines.get(i));"
+       ~desired:[ "line.substring(eq +" ]
+       ~validation:differs
+       ?paper:(paper ~thin:29 ~trad:123 ~controls:0 ~tn:472 ~tr:1883) ());
+    (* flipped null test on the title default; the desired statement is the
+       control-dependent assignment, found via one control dependence *)
+    (let src =
+       Runtime_lib.patch ~from:"if (title == null) { title = e.name; }"
+         ~into:"if (title != null) { title = e.name; }" base
+     in
+     Task.make ~id:"nanoxml-4" ~kind:Task.Debugging ~src
+       ~seed:"print((String) this.lines.get(i));"
+       ~desired:[ "title = e.name" ]
+       ~controls:1
+       ~validation:differs
+       ?paper:(paper ~thin:12 ~trad:33 ~controls:1 ~tn:17 ~tr:44) ());
+    (* the element is erroneously sealed when opened; text appended later
+       hits the sealed check and throws.  Understanding the failure needs
+       one level of aliasing explanation (which seal() call?) — the paper's
+       nanoxml-5 / Figure 4 situation *)
+    (let src =
+       Runtime_lib.patch ~from:"open.push(elem);"
+         ~into:"open.push(elem); elem.seal();" base
+     in
+     Task.make ~id:"nanoxml-5" ~kind:Task.Debugging ~src
+       ~seed:"if (this.sealed) { throw new SealedException(); }"
+       ~seed_filter:Slice_core.Engine.Only_conditionals
+       ~desired:[ "elem.seal()" ]
+       ~controls:1 ~alias_level:1
+       ~validation:
+         (let args, streams = io in
+          Task.Expect_failure { args; streams })
+       ?paper:(paper ~thin:35 ~trad:156 ~controls:1 ~tn:159 ~tr:45) ());
+    (* text chunks concatenated in the wrong order *)
+    (let src =
+       Runtime_lib.patch ~from:"this.text = this.text + t;"
+         ~into:"this.text = t + this.text;" base
+     in
+     Task.make ~id:"nanoxml-6" ~kind:Task.Debugging ~src
+       ~seed:"print((String) this.lines.get(i));"
+       ~desired:[ "= t + this.text" ]
+       ~validation:differs
+       ?paper:(paper ~thin:12 ~trad:52 ~controls:0 ~tn:35 ~tr:90) ()) ]

@@ -1,0 +1,131 @@
+(* The xml-security-like benchmark: canonicalization plus a rolling hash
+   whose value is checked against an expected constant.  Mirrors the one
+   xml-security task that appears in Table 2 (a failure adjacent to the
+   bug) and the five excluded ones: bugs buried inside computeHash()
+   cannot be localized by any slicer, because slicing from the failed
+   check "will inevitably bring in most or all of the code that computes
+   the hash function" (section 6.2).  The excluded shape is exercised by
+   [unhelpful_task], used in tests and discussed in EXPERIMENTS.md. *)
+
+let base =
+  Runtime_lib.prelude
+  ^ {|class VerifyException {
+}
+class Canonicalizer {
+  String normalizeLine(String line) {
+    String out = TrimUtil.trim(line);
+    if (out.startsWith("<?")) { return ""; }
+    return out;
+  }
+}
+class TrimUtil {
+  static String trim(String raw) {
+    int start = 0;
+    while (start < raw.length() && raw.charCodeAt(start) == 32) {
+      start = start + 1;
+    }
+    int end = raw.length();
+    while (end > start && raw.charCodeAt(end - 1) == 32) {
+      end = end - 1;
+    }
+    return raw.substring(start, end);
+  }
+}
+class Digest {
+  int state;
+  int rounds;
+  Digest() {
+    this.state = 7;
+    this.rounds = 0;
+  }
+  void update(int value) {
+    int mixed = value * 31 + this.state;
+    mixed = mixed % 65536;
+    int rotated = mixed * 2 + mixed / 32768;
+    this.state = rotated % 65536;
+    this.rounds = this.rounds + 1;
+  }
+  void updateString(String chunk) {
+    for (int i = 0; i < chunk.length(); i++) {
+      update(chunk.charCodeAt(i));
+    }
+  }
+  int finish() {
+    int result = this.state * 17 + this.rounds;
+    return result % 65536;
+  }
+}
+class Signer {
+  Canonicalizer canon;
+  Digest digest;
+  Signer() {
+    this.canon = new Canonicalizer();
+    this.digest = new Digest();
+  }
+  int computeHash(InputStream input) {
+    while (!input.eof()) {
+      String line = input.readLine();
+      String normalized = this.canon.normalizeLine(line);
+      this.digest.updateString(normalized);
+    }
+    return this.digest.finish();
+  }
+}
+void main(String[] args) {
+  InputStream input = new InputStream(args[0]);
+  Signer signer = new Signer();
+  int expected = parseInt(args[1]);
+  int hash = signer.computeHash(input);
+  if (hash != expected) { throw new VerifyException(); }
+  print("signature ok: " + itoa(hash));
+}
+|}
+
+(* The canonical document and the hash the FIXED program computes for it
+   (derived by running the interpreter; asserted in the test suite). *)
+let doc = [ "<?xml?>"; "  <signed>  "; "payload data"; "</signed>" ]
+let expected_hash = 64986
+
+(* args.(2) is a decoy value the injected bug reads instead of args.(1) *)
+let io =
+  ([ "doc.xml"; string_of_int expected_hash; "99999" ], [ ("doc.xml", doc) ])
+
+let paper ~thin ~trad ~controls ~tn ~tr =
+  Some
+    { Task.p_thin = thin; p_trad = trad; p_controls = controls;
+      p_thin_noobj = tn; p_trad_noobj = tr }
+
+let tasks : Task.t list =
+  [ (* the expected-hash argument is read from the wrong position: the
+       failure (VerifyException) is one control dependence from the bug *)
+    (let src =
+       Runtime_lib.patch ~from:"int expected = parseInt(args[1]);"
+         ~into:"int expected = parseInt(args[2]);" base
+     in
+     Task.make ~id:"xml-security-1" ~kind:Task.Debugging ~src
+       ~seed:"if (hash != expected) { throw new VerifyException(); }"
+       ~seed_filter:Slice_core.Engine.Only_conditionals
+       ~desired:[ "int expected = parseInt(args[" ]
+       ~controls:1
+       ~validation:
+         (let args, streams = io in
+          Task.Expect_failure { args; streams })
+       ?paper:(paper ~thin:2 ~trad:2 ~controls:1 ~tn:2 ~tr:2) ()) ]
+
+(* One of the excluded xml-security bugs: a wrong constant deep inside the
+   digest.  Slicing from the failed check pulls in the whole hash
+   computation for thin and traditional alike — the case where "slicing of
+   course is not a panacea". *)
+let unhelpful_task : Task.t =
+  let src =
+    Runtime_lib.patch ~from:"int mixed = value * 31 + this.state;"
+      ~into:"int mixed = value * 37 + this.state;" base
+  in
+  Task.make ~id:"xml-security-x" ~kind:Task.Debugging ~src
+    ~seed:"if (hash != expected) { throw new VerifyException(); }"
+    ~seed_filter:Slice_core.Engine.Only_conditionals
+    ~desired:[ "int mixed = value *" ]
+    ~validation:
+      (let args, streams = io in
+       Task.Expect_failure { args; streams })
+    ()

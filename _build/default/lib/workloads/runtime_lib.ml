@@ -1,0 +1,181 @@
+(* The TJ runtime library: container classes written in TJ itself, standing
+   in for the JDK collections the paper's benchmarks exercise.  Programs
+   prepend [prelude] (or a subset) to their own source.
+
+   These classes are on the default container list, so the points-to
+   analysis clones their methods per receiver object when object
+   sensitivity is enabled (paper, section 6.1). *)
+
+let vector_src =
+  {|class Vector {
+  Object[] elems;
+  int count;
+  Vector() {
+    this.elems = new Object[8];
+    this.count = 0;
+  }
+  void ensure(int n) {
+    if (n > this.elems.length) {
+      Object[] bigger = new Object[n * 2];
+      for (int i = 0; i < this.count; i++) {
+        bigger[i] = this.elems[i];
+      }
+      this.elems = bigger;
+    }
+  }
+  void add(Object p) {
+    ensure(this.count + 1);
+    this.elems[this.count] = p;
+    this.count = this.count + 1;
+  }
+  void set(int ind, Object p) {
+    this.elems[ind] = p;
+  }
+  Object get(int ind) {
+    return this.elems[ind];
+  }
+  Object remove(int ind) {
+    Object old = this.elems[ind];
+    for (int i = ind; i < this.count - 1; i++) {
+      this.elems[i] = this.elems[i + 1];
+    }
+    this.count = this.count - 1;
+    return old;
+  }
+  int size() {
+    return this.count;
+  }
+  boolean isEmpty() {
+    return this.count == 0;
+  }
+}
+|}
+
+let hashmap_src =
+  {|class MapEntry {
+  String key;
+  Object value;
+  MapEntry next;
+  MapEntry(String k, Object v, MapEntry n) {
+    this.key = k;
+    this.value = v;
+    this.next = n;
+  }
+}
+class HashMap {
+  MapEntry[] buckets;
+  int entries;
+  HashMap() {
+    this.buckets = new MapEntry[16];
+    this.entries = 0;
+  }
+  int bucketOf(String key) {
+    int h = 0;
+    for (int i = 0; i < key.length(); i++) {
+      h = h * 31 + key.charCodeAt(i);
+    }
+    int b = h % this.buckets.length;
+    if (b < 0) { b = 0 - b; }
+    return b;
+  }
+  void put(String key, Object value) {
+    int b = bucketOf(key);
+    MapEntry e = this.buckets[b];
+    while (e != null) {
+      if (e.key.equals(key)) {
+        e.value = value;
+        return;
+      }
+      e = e.next;
+    }
+    this.buckets[b] = new MapEntry(key, value, this.buckets[b]);
+    this.entries = this.entries + 1;
+  }
+  Object get(String key) {
+    int b = bucketOf(key);
+    MapEntry e = this.buckets[b];
+    while (e != null) {
+      if (e.key.equals(key)) {
+        return e.value;
+      }
+      e = e.next;
+    }
+    return null;
+  }
+  boolean containsKey(String key) {
+    return get(key) != null;
+  }
+  int size() {
+    return this.entries;
+  }
+}
+|}
+
+let stack_src =
+  {|class Stack {
+  Object[] cells;
+  int top;
+  Stack() {
+    this.cells = new Object[16];
+    this.top = 0;
+  }
+  void push(Object p) {
+    if (this.top == this.cells.length) {
+      Object[] bigger = new Object[this.top * 2];
+      for (int i = 0; i < this.top; i++) {
+        bigger[i] = this.cells[i];
+      }
+      this.cells = bigger;
+    }
+    this.cells[this.top] = p;
+    this.top = this.top + 1;
+  }
+  Object pop() {
+    this.top = this.top - 1;
+    return this.cells[this.top];
+  }
+  Object peek() {
+    return this.cells[this.top - 1];
+  }
+  boolean isEmpty() {
+    return this.top == 0;
+  }
+}
+|}
+
+(* All containers, for programs that want everything. *)
+let prelude = vector_src ^ hashmap_src ^ stack_src
+
+(* Patch a source: replace the unique occurrence of [from] with [into];
+   raises if [from] is absent or ambiguous.  Used to inject bugs. *)
+let patch ~(from : string) ~(into : string) (src : string) : string =
+  let flen = String.length from in
+  let occurrences = ref [] in
+  for i = 0 to String.length src - flen do
+    if String.sub src i flen = from then occurrences := i :: !occurrences
+  done;
+  match !occurrences with
+  | [ i ] ->
+    String.sub src 0 i ^ into ^ String.sub src (i + flen) (String.length src - i - flen)
+  | [] -> invalid_arg (Printf.sprintf "Runtime_lib.patch: %S not found" from)
+  | _ -> invalid_arg (Printf.sprintf "Runtime_lib.patch: %S is ambiguous" from)
+
+(* 1-based line number of the unique line containing [pattern]. *)
+let line_of ~(src : string) ~(pattern : string) : int =
+  let lines = String.split_on_char '\n' src in
+  let contains l =
+    let ll = String.length l and pl = String.length pattern in
+    let rec go i = i + pl <= ll && (String.sub l i pl = pattern || go (i + 1)) in
+    go 0
+  in
+  let hits =
+    List.mapi (fun i l -> (i + 1, l)) lines |> List.filter (fun (_, l) -> contains l)
+  in
+  match hits with
+  | [ (n, _) ] -> n
+  | [] -> invalid_arg (Printf.sprintf "Runtime_lib.line_of: %S not found" pattern)
+  | (n, _) :: _ ->
+    (* several hits: fall back to the first, but only if the others are
+       identical lines (common for closing braces); otherwise ambiguous *)
+    if List.for_all (fun (_, l) -> l = snd (List.hd hits)) hits then n
+    else invalid_arg (Printf.sprintf "Runtime_lib.line_of: %S is ambiguous" pattern)

@@ -1,0 +1,8 @@
+(* Table 2 of the paper: the debugging tasks, in the paper's row order. *)
+
+let tasks : Task.t list =
+  Prog_nanoxml.tasks @ Prog_jtopas.tasks @ Prog_ant.tasks @ Prog_xmlsec.tasks
+
+(* The excluded xml-security-style bug where no slicer helps (section 6.2);
+   kept out of the table, exercised separately. *)
+let unhelpful = Prog_xmlsec.unhelpful_task

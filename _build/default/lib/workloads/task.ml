@@ -1,0 +1,177 @@
+(* Evaluation tasks: a program with a seed statement, a set of desired
+   statements, and the bookkeeping the paper's methodology needs
+   (section 6.1) — the number of relevant control dependences (counted as
+   inspected for BOTH slicers), whether a one-level aliasing expansion is
+   required (as for nanoxml-5), and the paper's own numbers for the
+   paper-vs-measured comparison in EXPERIMENTS.md. *)
+
+open Slice_core
+
+type kind = Debugging | Tough_cast
+
+(* Validation under the interpreter: the buggy program must actually fail
+   (or print wrong output), tying each task to observable behaviour. *)
+type validation =
+  | Expect_failure of { args : string list; streams : (string * string list) list }
+  (* The buggy program must behave differently from the fixed program (and
+     the fixed program must succeed): the workload analogue of running the
+     SIR test suites to expose each injected bug. *)
+  | Differs_from_fixed of {
+      args : string list;
+      streams : (string * string list) list;
+      fixed_src : string;
+    }
+  (* Cast programs do not fail; they must run to completion. *)
+  | Expect_success of { args : string list; streams : (string * string list) list }
+  | No_validation
+
+type paper_row = {
+  p_thin : int;
+  p_trad : int;
+  p_controls : int;
+  p_thin_noobj : int;
+  p_trad_noobj : int;
+}
+
+type t = {
+  id : string;
+  kind : kind;
+  src : string;
+  seed_pattern : string;             (* unique substring of the seed line *)
+  seed_filter : Engine.seed_filter;
+  desired_patterns : string list;    (* unique substrings of desired lines *)
+  controls : int;                    (* manually identified control deps *)
+  (* Lines of manually exposed control dependences: the user notices the
+     governing conditional near a slice statement (paper, section 4.2) and
+     takes a further slice from it.  These become additional BFS seeds for
+     BOTH slicers; their count is part of [controls]. *)
+  bridge_patterns : string list;
+  alias_level : int;                 (* 0 = plain thin slice *)
+  paper : paper_row option;
+  validation : validation;
+}
+
+let make ?(seed_filter = Engine.Any) ?(controls = 0) ?(bridges = [])
+    ?(alias_level = 0) ?paper ?(validation = No_validation) ~id ~kind ~src
+    ~seed ~desired () : t =
+  { id;
+    kind;
+    src;
+    seed_pattern = seed;
+    seed_filter;
+    desired_patterns = desired;
+    controls;
+    bridge_patterns = bridges;
+    alias_level;
+    paper;
+    validation }
+
+type measurement = {
+  m_task : t;
+  m_thin : int;                      (* inspected, thin (+controls) *)
+  m_trad : int;                      (* inspected, traditional (+controls) *)
+  m_thin_found : bool;
+  m_trad_found : bool;
+  m_thin_slice_size : int;
+  m_trad_slice_size : int;
+  m_thin_noobj : int;
+  m_trad_noobj : int;
+  m_seed_line : int;
+  m_desired_lines : int list;
+}
+
+let ratio (m : measurement) : float =
+  if m.m_thin = 0 then 0.0 else float_of_int m.m_trad /. float_of_int m.m_thin
+
+let thin_mode (task : t) : Slicer.mode =
+  if task.alias_level > 0 then Slicer.Thin_with_aliasing task.alias_level
+  else Slicer.Thin
+
+(* Measure one task under one analysis (object-sensitive or not). *)
+let measure_with (task : t) (a : Engine.analysis) : Inspect.report * Inspect.report * int * int list =
+  let seed_line = Runtime_lib.line_of ~src:task.src ~pattern:task.seed_pattern in
+  let desired =
+    List.map
+      (fun pat -> Runtime_lib.line_of ~src:task.src ~pattern:pat)
+      task.desired_patterns
+  in
+  let seeds =
+    Engine.seeds_at_line_exn ~filter:task.seed_filter a seed_line
+    @ List.concat_map
+        (fun pat ->
+          Engine.seeds_at_line_exn a (Runtime_lib.line_of ~src:task.src ~pattern:pat))
+        task.bridge_patterns
+  in
+  let thin = Inspect.bfs a.Engine.sdg ~seeds ~desired (thin_mode task) in
+  let trad = Inspect.bfs a.Engine.sdg ~seeds ~desired Slicer.Traditional_data in
+  (thin, trad, seed_line, desired)
+
+let measure (task : t) : measurement =
+  let p () = Slice_front.Frontend.load_exn ~file:(task.id ^ ".tj") task.src in
+  let a = Engine.analyze ~obj_sens:true (p ()) in
+  let a_no = Engine.analyze ~obj_sens:false (p ()) in
+  let thin, trad, seed_line, desired = measure_with task a in
+  let thin_no, trad_no, _, _ = measure_with task a_no in
+  { m_task = task;
+    m_thin = thin.Inspect.inspected + task.controls;
+    m_trad = trad.Inspect.inspected + task.controls;
+    m_thin_found = thin.Inspect.found;
+    m_trad_found = trad.Inspect.found;
+    m_thin_slice_size = thin.Inspect.slice_size;
+    m_trad_slice_size = trad.Inspect.slice_size;
+    m_thin_noobj = thin_no.Inspect.inspected + task.controls;
+    m_trad_noobj = trad_no.Inspect.inspected + task.controls;
+    m_seed_line = seed_line;
+    m_desired_lines = desired }
+
+(* Run the buggy program in the interpreter and check it misbehaves as the
+   task promises.  Returns an error description on mismatch. *)
+let validate (task : t) : (unit, string) result =
+  match task.validation with
+  | No_validation -> Ok ()
+  | Expect_success { args; streams } -> (
+    let p = Slice_front.Frontend.load_exn ~file:(task.id ^ ".tj") task.src in
+    let config = { Slice_interp.Interp.default_config with args; streams } in
+    match (Slice_interp.Interp.run config p).Slice_interp.Interp.result with
+    | Ok () -> Ok ()
+    | Error f ->
+      Error
+        (Printf.sprintf "%s: program failed: %s" task.id
+           (Format.asprintf "%a" Slice_interp.Interp.pp_failure f)))
+  | Expect_failure { args; streams } -> (
+    let p = Slice_front.Frontend.load_exn ~file:(task.id ^ ".tj") task.src in
+    let config = { Slice_interp.Interp.default_config with args; streams } in
+    match (Slice_interp.Interp.run config p).Slice_interp.Interp.result with
+    | Error f ->
+      let seed_line = Runtime_lib.line_of ~src:task.src ~pattern:task.seed_pattern in
+      let fail_line = f.Slice_interp.Interp.f_loc.Slice_ir.Loc.line in
+      if fail_line = seed_line then Ok ()
+      else
+        Error
+          (Printf.sprintf "%s: failed at line %d, expected seed line %d" task.id
+             fail_line seed_line)
+    | Ok () -> Error (Printf.sprintf "%s: expected a runtime failure, but run succeeded" task.id))
+  | Differs_from_fixed { args; streams; fixed_src } -> (
+    let run src name =
+      let p = Slice_front.Frontend.load_exn ~file:name src in
+      let config = { Slice_interp.Interp.default_config with args; streams } in
+      Slice_interp.Interp.run config p
+    in
+    let buggy = run task.src (task.id ^ ".tj") in
+    let fixed = run fixed_src (task.id ^ "-fixed.tj") in
+    match fixed.Slice_interp.Interp.result with
+    | Error f ->
+      Error
+        (Printf.sprintf "%s: the FIXED program fails: %s" task.id
+           (Format.asprintf "%a" Slice_interp.Interp.pp_failure f))
+    | Ok () ->
+      let same_output =
+        buggy.Slice_interp.Interp.output = fixed.Slice_interp.Interp.output
+      in
+      let buggy_ok =
+        match buggy.Slice_interp.Interp.result with Ok () -> true | Error _ -> false
+      in
+      if buggy_ok && same_output then
+        Error
+          (Printf.sprintf "%s: buggy and fixed programs behave identically" task.id)
+      else Ok ())

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Format Printf Runtime_lib Slice_core Slice_front Slice_interp Slice_workloads

@@ -1,0 +1,1 @@
+test/test_dynamic.ml: Alcotest Hashtbl Helpers Int List Option Paper_figures Printf Set Slice_core Slice_interp Slice_ir Slice_workloads String

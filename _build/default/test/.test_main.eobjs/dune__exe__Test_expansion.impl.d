@@ -1,0 +1,1 @@
+test/test_expansion.ml: Alcotest Engine Expansion Generators Helpers Int List Paper_figures Printf Prog_jtopas QCheck2 QCheck_alcotest Sdg Set Slice_core Slice_ir Slice_pta Slice_workloads Slicer

@@ -1,0 +1,1 @@
+test/test_forward.ml: Alcotest Engine Helpers Int List Paper_figures Sdg Set Slice_core Slice_ir Slice_workloads Slicer

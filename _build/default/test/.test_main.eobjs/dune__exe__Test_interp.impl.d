@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Helpers Slice_interp Slice_ir Slice_workloads

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Cfg Dominance Instr List Loc Program Slice_ir Types

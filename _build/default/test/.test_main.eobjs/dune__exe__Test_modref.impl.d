@@ -1,0 +1,1 @@
+test/test_modref.ml: Alcotest Andersen Helpers Instr Modref Slice_ir Slice_pta Types

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Ast Format List Parser Printf Slice_front Slice_ir String

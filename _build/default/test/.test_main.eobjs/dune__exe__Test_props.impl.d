@@ -1,0 +1,1 @@
+test/test_props.ml: Format Generators Hashtbl Helpers Int List Printf QCheck2 QCheck_alcotest Runtime_lib Set Slice_core Slice_interp Slice_ir Slice_workloads

@@ -1,0 +1,1 @@
+test/test_pta.ml: Alcotest Andersen Array Context Hashtbl Helpers Instr List Program Slice_core Slice_interp Slice_ir Slice_pta Slice_workloads String Types

@@ -1,0 +1,1 @@
+test/test_sdg.ml: Alcotest Engine Helpers List Paper_figures Sdg Slice_core Slice_ir Slice_workloads Slicer String

@@ -1,0 +1,1 @@
+test/test_slicer.ml: Alcotest Engine Helpers Inspect Int List Paper_figures Prog_nanoxml Set Slice_core Slice_workloads Slicer

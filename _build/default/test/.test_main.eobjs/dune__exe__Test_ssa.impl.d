@@ -1,0 +1,1 @@
+test/test_ssa.ml: Alcotest Array Cfg Dominance Hashtbl Helpers Instr List Option Program QCheck2 QCheck_alcotest Slice_ir Slice_workloads Ssa

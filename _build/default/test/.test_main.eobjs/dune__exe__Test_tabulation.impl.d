@@ -1,0 +1,1 @@
+test/test_tabulation.ml: Alcotest Engine Helpers Int List Paper_figures Prog_jtopas Prog_nanoxml Set Slice_core Slice_pta Slice_workloads Slicer Tabulation

@@ -1,0 +1,1 @@
+test/test_tasks.ml: Alcotest Casts_suite Hashtbl List Runtime_lib Sir_suite Slice_core Slice_front Slice_ir Slice_workloads Task

@@ -1,0 +1,136 @@
+(* Dynamic slicing tests: the dynamic thin slice (producer events only)
+   versus the dynamic data slice and the static thin slice. *)
+
+open Slice_workloads
+open Helpers
+
+module IntSet = Set.Make (Int)
+
+let traced_run ?(args = []) ?(streams = []) src =
+  let p = load src in
+  let trace = Slice_interp.Dyntrace.create () in
+  let o =
+    Slice_interp.Interp.run
+      { Slice_interp.Interp.default_config with args; streams; trace = Some trace }
+      p
+  in
+  (p, trace, o)
+
+(* statement id of the unique statement matching [pred] on [line] *)
+let stmt_on_line p ~line ~pred =
+  let tbl = Slice_ir.Program.build_stmt_table p in
+  Hashtbl.fold
+    (fun id si acc ->
+      if
+        (Slice_ir.Program.stmt_loc si).Slice_ir.Loc.line = line
+        && pred si.Slice_ir.Program.s_site
+      then Some id
+      else acc)
+    tbl None
+
+let is_call = function
+  | Slice_ir.Program.Site_instr
+      { Slice_ir.Instr.i_kind = Slice_ir.Instr.Call _; _ } ->
+    true
+  | _ -> false
+
+let test_thin_subset_of_data () =
+  let src = Paper_figures.fig1 in
+  let args, streams = Paper_figures.fig1_io in
+  let p, trace, _ = traced_run ~args ~streams src in
+  let seed_line = line_of ~src ~pattern:Paper_figures.fig1_seed in
+  match stmt_on_line p ~line:seed_line ~pred:is_call with
+  | None -> Alcotest.fail "seed not found"
+  | Some stmt -> (
+    match
+      ( Slice_interp.Dyntrace.dynamic_thin_slice trace stmt,
+        Slice_interp.Dyntrace.dynamic_data_slice trace stmt )
+    with
+    | Some thin, Some data ->
+      Alcotest.(check bool) "thin subset of data" true
+        (IntSet.subset (IntSet.of_list thin) (IntSet.of_list data));
+      Alcotest.(check bool) "thin nonempty" true (thin <> [])
+    | _ -> Alcotest.fail "seed never executed")
+
+let test_dynamic_within_static () =
+  let src = Paper_figures.fig1 in
+  let args, streams = Paper_figures.fig1_io in
+  let p, trace, _ = traced_run ~args ~streams src in
+  let a = Slice_core.Engine.analyze p in
+  let seed_line = line_of ~src ~pattern:Paper_figures.fig1_seed in
+  let static_lines =
+    Slice_core.Engine.slice_from_line a ~line:seed_line Slice_core.Slicer.Thin
+  in
+  match stmt_on_line p ~line:seed_line ~pred:is_call with
+  | None -> Alcotest.fail "seed not found"
+  | Some stmt -> (
+    match Slice_interp.Dyntrace.dynamic_thin_slice trace stmt with
+    | None -> Alcotest.fail "seed never executed"
+    | Some stmts ->
+      let tbl = Slice_ir.Program.build_stmt_table p in
+      List.iter
+        (fun s ->
+          match Hashtbl.find_opt tbl s with
+          | Some si ->
+            let l = (Slice_ir.Program.stmt_loc si).Slice_ir.Loc.line in
+            if l > 0 && not (List.mem l static_lines) then
+              Alcotest.failf "dynamic line %d outside the static thin slice" l
+          | None -> ())
+        stmts)
+
+let test_dynamic_distinguishes_runs () =
+  (* with a different input, the erroneous branch is never taken, and its
+     statements stay out of the dynamic slice *)
+  let src =
+    {|void main(String[] args) {
+  int x = parseInt(args[0]);
+  String msg = "small";
+  if (x > 100) {
+    msg = "big";
+  }
+  print(msg);
+}|}
+  in
+  let check args expect_big =
+    let p, trace, _ = traced_run ~args src in
+    let seed_line = line_of ~src ~pattern:"print(msg);" in
+    match stmt_on_line p ~line:seed_line ~pred:is_call with
+    | None -> Alcotest.fail "seed not found"
+    | Some stmt -> (
+      match Slice_interp.Dyntrace.dynamic_thin_slice trace stmt with
+      | None -> Alcotest.fail "not executed"
+      | Some stmts ->
+        let tbl = Slice_ir.Program.build_stmt_table p in
+        let lines =
+          List.filter_map
+            (fun s ->
+              Option.map
+                (fun si -> (Slice_ir.Program.stmt_loc si).Slice_ir.Loc.line)
+                (Hashtbl.find_opt tbl s))
+            stmts
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "big-branch for args %s" (String.concat "," args))
+          expect_big
+          (List.mem (line_of ~src ~pattern:{|msg = "big";|}) lines))
+  in
+  check [ "5" ] false;
+  check [ "500" ] true
+
+let test_trace_overflow () =
+  let p = load (Helpers.expr_main "while (true) { int x = 1; }") in
+  let trace = Slice_interp.Dyntrace.create ~max_events:100 () in
+  let o =
+    Slice_interp.Interp.run
+      { Slice_interp.Interp.default_config with trace = Some trace }
+      p
+  in
+  (* the interpreter surfaces the overflow as an exception to the host *)
+  match o.Slice_interp.Interp.result with
+  | exception Slice_interp.Dyntrace.Trace_overflow -> ()
+  | _ -> ()
+
+let suite =
+  [ Alcotest.test_case "thin subset of data" `Quick test_thin_subset_of_data;
+    Alcotest.test_case "dynamic within static" `Quick test_dynamic_within_static;
+    Alcotest.test_case "distinguishes runs" `Quick test_dynamic_distinguishes_runs ]

@@ -1,0 +1,151 @@
+(* Expansion tests: aliasing explanations (Figure 4), control exposure,
+   and the hierarchical-expansion-to-fixpoint property ("yielding a
+   traditional slice in the limit"). *)
+
+open Slice_core
+open Slice_workloads
+open Helpers
+
+module IntSet = Set.Make (Int)
+
+let test_fig4_aliasing_explanation () =
+  let src = Paper_figures.fig4 in
+  let a = analysis src in
+  let g = a.Engine.sdg in
+  let seed_line = line_of ~src ~pattern:Paper_figures.fig4_seed in
+  let seeds = Engine.seeds_at_line_exn ~filter:Engine.Only_conditionals a seed_line in
+  let thin = Slicer.slice g ~seeds Slicer.Thin in
+  (* the thin slice has the open-flag load/store, but NOT the culprit *)
+  let lines =
+    List.filter_map
+      (fun n ->
+        if Sdg.node_countable g n then Some (Sdg.node_loc g n).Slice_ir.Loc.line
+        else None)
+      thin
+  in
+  let store_line = line_of ~src ~pattern:Paper_figures.fig4_store in
+  let culprit_line = line_of ~src ~pattern:Paper_figures.fig4_culprit in
+  Alcotest.(check bool) "store in thin slice" true (List.mem store_line lines);
+  Alcotest.(check bool) "culprit NOT in thin slice" false
+    (List.mem culprit_line lines);
+  (* explain every heap read/write pair; some explanation must reveal the
+     culprit close() call *)
+  let pairs =
+    List.concat_map
+      (fun n ->
+        List.filter_map
+          (fun (dep, kind) ->
+            if kind = Sdg.Producer_heap && List.mem dep thin then Some (n, dep)
+            else None)
+          (Sdg.deps g n))
+      thin
+  in
+  Alcotest.(check bool) "heap pairs exist" true (pairs <> []);
+  let revealed =
+    List.exists
+      (fun (read, write) ->
+        let e = Expansion.explain_aliasing g ~read ~write in
+        (not (Slice_pta.Andersen.ObjSet.is_empty e.Expansion.common_objects))
+        && List.exists
+             (fun n -> (Sdg.node_loc g n).Slice_ir.Loc.line = culprit_line)
+             (e.Expansion.read_flow @ e.Expansion.write_flow))
+      pairs
+  in
+  Alcotest.(check bool) "culprit close() call revealed" true revealed
+
+let test_filtering_drops_unrelated () =
+  (* flow of objects unrelated to the aliased pair must be filtered out:
+     a second, independent File is handled identically but should not show
+     up in the explanation *)
+  let src =
+    {|class File {
+  boolean open;
+  File() { this.open = true; }
+  boolean isOpen() { return this.open; }
+  void close() { this.open = false; }
+}
+void main(String[] args) {
+  File other = new File();
+  other.close();
+  File f = new File();
+  f.close();
+  boolean o = f.isOpen();
+  print(o);
+}|}
+  in
+  let a = analysis src in
+  let g = a.Engine.sdg in
+  let seed_line = line_of ~src ~pattern:"boolean o = f.isOpen();" in
+  let seeds = Engine.seeds_at_line_exn a seed_line in
+  let thin = Slicer.slice g ~seeds Slicer.Thin in
+  let pairs =
+    List.concat_map
+      (fun n ->
+        List.filter_map
+          (fun (dep, kind) ->
+            if kind = Sdg.Producer_heap && List.mem dep thin then Some (n, dep)
+            else None)
+          (Sdg.deps g n))
+      thin
+  in
+  Alcotest.(check bool) "heap pairs exist" true (pairs <> []);
+  List.iter
+    (fun (read, write) ->
+      let e = Expansion.explain_aliasing g ~read ~write in
+      let expl_lines =
+        List.map
+          (fun n -> (Sdg.node_loc g n).Slice_ir.Loc.line)
+          (e.Expansion.read_flow @ e.Expansion.write_flow)
+      in
+      Alcotest.(check bool) "unrelated File filtered" false
+        (List.mem (line_of ~src ~pattern:"File other = new File();") expl_lines))
+    pairs
+
+let test_explain_control () =
+  let src = Paper_figures.fig2 in
+  let a = analysis src in
+  let g = a.Engine.sdg in
+  let seed_line = line_of ~src ~pattern:Paper_figures.fig2_seed in
+  let seeds = Engine.seeds_at_line_exn ~filter:Engine.Only_loads a seed_line in
+  let ctl = Expansion.explain_control g (List.hd seeds) in
+  Alcotest.(check int) "one governor" 1 (List.length ctl);
+  Alcotest.(check int) "governor is the if"
+    (line_of ~src ~pattern:"if (w == z)")
+    (Sdg.node_loc g (List.hd ctl)).Slice_ir.Loc.line
+
+(* "In the limit, hierarchically expanding a thin slice ... yields a
+   traditional slice" (paper, section 1). *)
+let check_fixpoint_equals_traditional src seed_pattern =
+  let a = analysis src in
+  let g = a.Engine.sdg in
+  let line = line_of ~src ~pattern:seed_pattern in
+  let seeds = Engine.seeds_at_line_exn a line in
+  let expanded = IntSet.of_list (Expansion.expand_to_fixpoint g ~seeds) in
+  let full = IntSet.of_list (Slicer.slice g ~seeds Slicer.Traditional_full) in
+  Alcotest.(check bool)
+    (Printf.sprintf "fixpoint = traditional for %s" seed_pattern)
+    true (IntSet.equal expanded full)
+
+let test_expansion_fixpoint () =
+  check_fixpoint_equals_traditional Paper_figures.fig1 Paper_figures.fig1_seed;
+  check_fixpoint_equals_traditional Paper_figures.fig2 Paper_figures.fig2_seed;
+  check_fixpoint_equals_traditional Paper_figures.fig4
+    "boolean open = f.isOpen();";
+  check_fixpoint_equals_traditional Prog_jtopas.base {|print("kinds: " + kinds);|}
+
+let prop_fixpoint_on_pipelines =
+  QCheck2.Test.make ~count:6 ~name:"expansion fixpoint = traditional (pipelines)"
+    QCheck2.Gen.(2 -- 8)
+    (fun stages ->
+      let src = Generators.pipeline_program ~stages in
+      check_fixpoint_equals_traditional src Generators.pipeline_seed_pattern;
+      true)
+
+let suite =
+  [ Alcotest.test_case "fig4 aliasing explanation" `Quick
+      test_fig4_aliasing_explanation;
+    Alcotest.test_case "filtering drops unrelated flow" `Quick
+      test_filtering_drops_unrelated;
+    Alcotest.test_case "explain control" `Quick test_explain_control;
+    Alcotest.test_case "expansion fixpoint" `Quick test_expansion_fixpoint;
+    QCheck_alcotest.to_alcotest prop_fixpoint_on_pipelines ]

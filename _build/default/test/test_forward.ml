@@ -1,0 +1,81 @@
+(* Forward slicing and chopping tests. *)
+
+open Slice_core
+open Slice_workloads
+open Helpers
+
+module IntSet = Set.Make (Int)
+
+let lines_of g nodes =
+  nodes
+  |> List.filter (Sdg.node_countable g)
+  |> List.map (fun n -> (Sdg.node_loc g n).Slice_ir.Loc.line)
+  |> List.sort_uniq compare
+
+let test_forward_reaches_consumers () =
+  let src = Paper_figures.fig1 in
+  let a = analysis src in
+  let g = a.Engine.sdg in
+  (* forward from the buggy substring: its value reaches the print *)
+  let line = line_of ~src ~pattern:Paper_figures.fig1_buggy_line in
+  let seeds = Engine.seeds_at_line_exn a line in
+  let fwd = lines_of g (Slicer.forward_slice g ~seeds Slicer.Thin) in
+  Alcotest.(check bool) "reaches the print" true
+    (List.mem (line_of ~src ~pattern:Paper_figures.fig1_seed) fwd);
+  Alcotest.(check bool) "reaches the Vector store" true
+    (List.mem (line_of ~src ~pattern:"this.elems[count++] = p;") fwd);
+  (* but not unrelated statements like getState *)
+  Alcotest.(check bool) "not the session plumbing" false
+    (List.mem (line_of ~src ~pattern:"return Globals.state;") fwd)
+
+let test_forward_backward_duality () =
+  (* n is in forward(seed) iff seed is in backward(n) *)
+  let src = Paper_figures.fig2 in
+  let a = analysis src in
+  let g = a.Engine.sdg in
+  for n = 0 to Sdg.num_nodes g - 1 do
+    let fwd = Slicer.forward_slice g ~seeds:[ n ] Slicer.Thin in
+    List.iter
+      (fun m ->
+        let back = Slicer.slice g ~seeds:[ m ] Slicer.Thin in
+        if not (List.mem n back) then
+          Alcotest.failf "duality violated between nodes %d and %d" n m)
+      fwd
+  done
+
+let test_chop () =
+  let src = Paper_figures.fig1 in
+  let a = analysis src in
+  let g = a.Engine.sdg in
+  let source =
+    Engine.seeds_at_line_exn a (line_of ~src ~pattern:Paper_figures.fig1_buggy_line)
+  in
+  let sink =
+    Engine.seeds_at_line_exn a (line_of ~src ~pattern:Paper_figures.fig1_seed)
+  in
+  let chop_lines = lines_of g (Slicer.chop g ~source ~sink Slicer.Thin) in
+  (* the chop is the value's route: through add, the array, and get *)
+  List.iter
+    (fun pat ->
+      Alcotest.(check bool) (pat ^ " on the route") true
+        (List.mem (line_of ~src ~pattern:pat) chop_lines))
+    [ "firstNames.add(firstName);";
+      "this.elems[count++] = p;";
+      "return this.elems[ind];";
+      "String firstName = (String) firstNames.get(i);" ];
+  (* and excludes producers of the source itself (upstream of the chop) *)
+  Alcotest.(check bool) "readLine upstream excluded" false
+    (List.mem
+       (line_of ~src ~pattern:"String fullName = input.readLine();")
+       chop_lines);
+  (* the chop is contained in both slices *)
+  let back = lines_of g (Slicer.slice g ~seeds:sink Slicer.Thin) in
+  Alcotest.(check bool) "chop within backward slice" true
+    (IntSet.subset (IntSet.of_list chop_lines) (IntSet.of_list back))
+
+let suite =
+  [ Alcotest.test_case "forward reaches consumers" `Quick
+      test_forward_reaches_consumers;
+    Alcotest.test_case "forward/backward duality" `Quick
+      test_forward_backward_duality;
+    Alcotest.test_case "chop" `Quick test_chop ]

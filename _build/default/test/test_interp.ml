@@ -1,0 +1,262 @@
+(* Interpreter tests: language semantics, runtime failures, intrinsics. *)
+
+open Helpers
+
+let test_arithmetic () =
+  check_lines "arith"
+    [ "7"; "-1"; "12"; "2"; "1" ]
+    (run_ok
+       (expr_main
+          "print(itoa(3 + 4));\n\
+           print(itoa(3 - 4));\n\
+           print(itoa(3 * 4));\n\
+           print(itoa(11 / 4));\n\
+           print(itoa(13 % 4));"))
+
+let test_comparisons_and_bools () =
+  check_lines "bools"
+    [ "true"; "false"; "true"; "true"; "false"; "true" ]
+    (run_ok
+       (expr_main
+          "print(1 < 2);\n\
+           print(2 < 1);\n\
+           print(2 <= 2);\n\
+           print(1 == 1);\n\
+           print(1 != 1);\n\
+           print(!false);"))
+
+let test_short_circuit () =
+  (* the right operand must not run when the left decides: the index-out-of
+     bounds guard pattern must be safe *)
+  check_lines "guard" [ "ok" ]
+    (run_ok
+       (expr_main
+          "int[] a = new int[2];\n\
+           int i = 5;\n\
+           if (i < 2 && a[i] == 0) { print(\"bad\"); }\n\
+           if (i >= 2 || a[i] == 1) { print(\"ok\"); }"))
+
+let test_postincrement () =
+  check_lines "postincr" [ "0"; "1"; "5" ]
+    (run_ok
+       (expr_main
+          "int i = 0;\n\
+           print(itoa(i++));\n\
+           print(itoa(i));\n\
+           int[] a = new int[3];\n\
+           int j = 1;\n\
+           a[j++] = 5;\n\
+           print(itoa(a[1]));"))
+
+let test_strings () =
+  check_lines "strings"
+    [ "hello world"; "5"; "ell"; "2"; "true"; "false"; "108"; "42"; "x" ]
+    (run_ok
+       (expr_main
+          {|String h = "hello";
+            print(h + " world");
+            print(itoa(h.length()));
+            print(h.substring(1, 4));
+            print(itoa(h.indexOf("ll")));
+            print(h.equals("hello"));
+            print(h.equals("world"));
+            print(itoa(h.charCodeAt(2)));
+            print(itoa(parseInt(" 42 ")));
+            print("x".charAt(0));|}))
+
+let test_objects_and_dispatch () =
+  check_lines "dispatch" [ "woof"; "meow"; "woof" ]
+    (run_ok
+       {|class Animal {
+  String speak() { return "..."; }
+}
+class Dog extends Animal {
+  String speak() { return "woof"; }
+}
+class Cat extends Animal {
+  String speak() { return "meow"; }
+}
+void main(String[] args) {
+  Animal a = new Dog();
+  print(a.speak());
+  a = new Cat();
+  print(a.speak());
+  Animal[] pen = new Animal[1];
+  pen[0] = new Dog();
+  print(pen[0].speak());
+}|})
+
+let test_constructor_chaining () =
+  (* implicit super() must run the superclass constructor *)
+  check_lines "ctor chain" [ "7"; "9" ]
+    (run_ok
+       {|class Base {
+  int x;
+  Base() { this.x = 7; }
+}
+class Derived extends Base {
+  int y;
+  Derived() { this.y = this.x + 2; }
+}
+void main(String[] args) {
+  Derived d = new Derived();
+  print(itoa(d.x));
+  print(itoa(d.y));
+}|})
+
+let test_static_fields () =
+  check_lines "statics" [ "1"; "43" ]
+    (run_ok
+       {|class Counter {
+  static int count = 1;
+  static int BASE = 42;
+}
+void main(String[] args) {
+  print(itoa(Counter.count));
+  Counter.count = Counter.count + Counter.BASE;
+  print(itoa(Counter.count));
+}|})
+
+let test_instanceof () =
+  check_lines "instanceof" [ "true"; "false"; "true"; "false" ]
+    (run_ok
+       {|class A { }
+class B extends A { }
+void main(String[] args) {
+  A x = new B();
+  print(x instanceof B);
+  A y = new A();
+  print(y instanceof B);
+  print(y instanceof A);
+  A z = null;
+  print(z instanceof A);
+}|})
+
+let test_streams () =
+  check_lines "streams" [ "one"; "two"; "done" ]
+    (run_ok ~args:[ "f" ]
+       ~streams:[ ("f", [ "one"; "two" ]) ]
+       {|void main(String[] args) {
+  InputStream s = new InputStream(args[0]);
+  while (!s.eof()) { print(s.readLine()); }
+  print("done");
+}|})
+
+let failure_kind f = f.Slice_interp.Interp.f_kind
+
+let test_failures () =
+  (match
+     failure_kind
+       (run_fail (expr_main "String s = null;\nprint(itoa(s.length()));"))
+   with
+  | Slice_interp.Interp.Null_pointer -> ()
+  | k -> Alcotest.failf "expected NPE, got %s" (Slice_interp.Interp.failure_kind_to_string k));
+  (match
+     failure_kind (run_fail (expr_main "int[] a = new int[2];\nprint(itoa(a[5]));"))
+   with
+  | Slice_interp.Interp.Index_out_of_bounds (5, 2) -> ()
+  | k -> Alcotest.failf "expected bounds, got %s" (Slice_interp.Interp.failure_kind_to_string k));
+  (match failure_kind (run_fail (expr_main "int z = 0;\nprint(itoa(1 / z));")) with
+  | Slice_interp.Interp.Division_by_zero -> ()
+  | k -> Alcotest.failf "expected div0, got %s" (Slice_interp.Interp.failure_kind_to_string k));
+  (match
+     failure_kind
+       (run_fail
+          {|class A { }
+class B extends A { }
+class C extends A { }
+void main(String[] args) {
+  A x = new C();
+  B y = (B) x;
+  print("no");
+}|})
+   with
+  | Slice_interp.Interp.Class_cast ("C", _) -> ()
+  | k -> Alcotest.failf "expected cast, got %s" (Slice_interp.Interp.failure_kind_to_string k));
+  match
+    failure_kind
+      (run_fail
+         {|class Boom { }
+void main(String[] args) { throw new Boom(); }|})
+  with
+  | Slice_interp.Interp.User_throw "Boom" -> ()
+  | k -> Alcotest.failf "expected throw, got %s" (Slice_interp.Interp.failure_kind_to_string k)
+
+let test_failure_location () =
+  let f =
+    run_fail
+      {|void main(String[] args) {
+  int x = 1;
+  String s = null;
+  print(s.substring(0, x));
+}|}
+  in
+  Alcotest.(check int) "failure line" 4 f.Slice_interp.Interp.f_loc.Slice_ir.Loc.line
+
+let test_step_limit () =
+  let p = load (expr_main "while (true) { int x = 1; }") in
+  let o =
+    Slice_interp.Interp.run
+      { Slice_interp.Interp.default_config with max_steps = 1000 }
+      p
+  in
+  match o.Slice_interp.Interp.result with
+  | Error { Slice_interp.Interp.f_kind = Slice_interp.Interp.Step_limit_exceeded; _ } ->
+    ()
+  | _ -> Alcotest.fail "expected step limit"
+
+let test_recursion () =
+  check_lines "fib" [ "55" ]
+    (run_ok
+       {|int fib(int n) {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+void main(String[] args) { print(itoa(fib(10))); }|})
+
+let test_vector_growth () =
+  (* the Vector prelude must survive growth past its initial capacity *)
+  let src =
+    Slice_workloads.Runtime_lib.vector_src
+    ^ {|void main(String[] args) {
+  Vector v = new Vector();
+  for (int i = 0; i < 30; i++) { v.add(itoa(i * i)); }
+  print((String) v.get(25));
+  print(itoa(v.size()));
+}|}
+  in
+  check_lines "growth" [ "625"; "30" ] (run_ok src)
+
+let test_hashmap () =
+  let src =
+    Slice_workloads.Runtime_lib.hashmap_src
+    ^ {|void main(String[] args) {
+  HashMap m = new HashMap();
+  m.put("alpha", "1");
+  m.put("beta", "2");
+  m.put("alpha", "3");
+  print((String) m.get("alpha"));
+  print((String) m.get("beta"));
+  print(itoa(m.size()));
+  print(m.containsKey("gamma"));
+}|}
+  in
+  check_lines "hashmap" [ "3"; "2"; "2"; "false" ] (run_ok src)
+
+let suite =
+  [ Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+    Alcotest.test_case "comparisons and bools" `Quick test_comparisons_and_bools;
+    Alcotest.test_case "short circuit" `Quick test_short_circuit;
+    Alcotest.test_case "post-increment" `Quick test_postincrement;
+    Alcotest.test_case "strings" `Quick test_strings;
+    Alcotest.test_case "objects and dispatch" `Quick test_objects_and_dispatch;
+    Alcotest.test_case "constructor chaining" `Quick test_constructor_chaining;
+    Alcotest.test_case "static fields" `Quick test_static_fields;
+    Alcotest.test_case "instanceof" `Quick test_instanceof;
+    Alcotest.test_case "streams" `Quick test_streams;
+    Alcotest.test_case "failures" `Quick test_failures;
+    Alcotest.test_case "failure location" `Quick test_failure_location;
+    Alcotest.test_case "step limit" `Quick test_step_limit;
+    Alcotest.test_case "recursion" `Quick test_recursion;
+    Alcotest.test_case "vector growth" `Quick test_vector_growth;
+    Alcotest.test_case "hashmap" `Quick test_hashmap ]

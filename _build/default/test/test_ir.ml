@@ -1,0 +1,120 @@
+(* IR-level tests: def/use classification, CFG, dominance, postdominance. *)
+
+open Slice_ir
+
+let dummy_instr kind = { Instr.i_id = 0; i_kind = kind; i_loc = Loc.none }
+
+let test_def_use () =
+  let i = dummy_instr (Instr.Load (3, 4, "f")) in
+  Alcotest.(check (option int)) "load def" (Some 3) (Instr.def_of_instr i);
+  Alcotest.(check (list int)) "load uses" [ 4 ] (Instr.uses_of_instr i);
+  let s = dummy_instr (Instr.Store (1, "f", 2)) in
+  Alcotest.(check (option int)) "store def" None (Instr.def_of_instr s);
+  Alcotest.(check (list int)) "store uses" [ 1; 2 ] (Instr.uses_of_instr s)
+
+let test_use_classification () =
+  (* x = y.f : y is a base pointer, not a direct use (paper section 2) *)
+  let load = dummy_instr (Instr.Load (0, 1, "f")) in
+  Alcotest.(check bool) "load base" true
+    (List.mem (1, Instr.Use_base) (Instr.classified_uses load));
+  (* a[i] = v : a base, i index, v value *)
+  let st = dummy_instr (Instr.Array_store (1, 2, 3)) in
+  let cls = Instr.classified_uses st in
+  Alcotest.(check bool) "array base" true (List.mem (1, Instr.Use_base) cls);
+  Alcotest.(check bool) "array index" true (List.mem (2, Instr.Use_index) cls);
+  Alcotest.(check bool) "array value" true (List.mem (3, Instr.Use_value) cls);
+  (* call arguments are value uses (producers into the callee) *)
+  let call =
+    dummy_instr (Instr.Call { lhs = None; kind = Instr.Virtual "m"; args = [ 7; 8 ] })
+  in
+  Alcotest.(check bool) "call args are values" true
+    (List.for_all (fun (_, c) -> c = Instr.Use_value) (Instr.classified_uses call))
+
+(* Build a small diamond CFG by hand:
+     B0 -> B1, B2;  B1 -> B3;  B2 -> B3;  B3 -> exit *)
+let diamond_method () =
+  let p = Program.create () in
+  let mk_term kind = { Instr.t_id = Program.fresh_stmt_id p; t_kind = kind; t_loc = Loc.none } in
+  let cond_var = 0 in
+  let blocks =
+    [| { Instr.b_label = 0; b_instrs = []; b_term = mk_term (Instr.If (cond_var, 1, 2)) };
+       { Instr.b_label = 1; b_instrs = []; b_term = mk_term (Instr.Goto 3) };
+       { Instr.b_label = 2; b_instrs = []; b_term = mk_term (Instr.Goto 3) };
+       { Instr.b_label = 3; b_instrs = []; b_term = mk_term (Instr.Return None) } |]
+  in
+  { Instr.m_qname = { Instr.mq_class = "T"; mq_name = "m" };
+    m_static = true;
+    m_params = [ 0 ];
+    m_param_tys = [ Types.Tbool ];
+    m_ret_ty = Types.Tvoid;
+    m_vars = [| { Instr.vi_name = "c"; vi_kind = Instr.Vparam 0; vi_ty = Types.Tbool } |];
+    m_body = Instr.Body { blocks; entry = 0 };
+    m_loc = Loc.none }
+
+let test_cfg () =
+  let m = diamond_method () in
+  let g = Cfg.build m in
+  Alcotest.(check (list int)) "succ of 0" [ 1; 2 ] (Cfg.successors g 0);
+  Alcotest.(check (list int)) "pred of 3" [ 1; 2 ]
+    (List.sort compare (Cfg.predecessors g 3));
+  Alcotest.(check (list int)) "exits" [ 3 ] g.Cfg.exits;
+  Alcotest.(check int) "rpo head" 0 (List.hd (Cfg.reverse_postorder g))
+
+let test_dominators () =
+  let m = diamond_method () in
+  let g = Cfg.build m in
+  let d = Dominance.compute (Dominance.forward_graph g) in
+  Alcotest.(check (option int)) "idom 1" (Some 0) (Dominance.idom d 1);
+  Alcotest.(check (option int)) "idom 2" (Some 0) (Dominance.idom d 2);
+  Alcotest.(check (option int)) "idom 3" (Some 0) (Dominance.idom d 3);
+  Alcotest.(check bool) "0 dominates 3" true (Dominance.dominates d ~dom:0 ~node:3);
+  Alcotest.(check bool) "1 does not dominate 3" false
+    (Dominance.dominates d ~dom:1 ~node:3);
+  let df = Dominance.dominance_frontiers d in
+  Alcotest.(check (list int)) "df of 1" [ 3 ] df.(1);
+  Alcotest.(check (list int)) "df of 2" [ 3 ] df.(2)
+
+let test_postdominators () =
+  let m = diamond_method () in
+  let g = Cfg.build m in
+  let pd = Dominance.compute (Dominance.backward_graph g) in
+  (* B3 postdominates everything; B1/B2 postdominate nothing else *)
+  Alcotest.(check bool) "3 postdominates 0" true
+    (Dominance.dominates pd ~dom:3 ~node:0);
+  Alcotest.(check bool) "1 does not postdominate 0" false
+    (Dominance.dominates pd ~dom:1 ~node:0);
+  (* B1 and B2 are control dependent on B0 (their pdf is {B0}) *)
+  let pdf = Dominance.dominance_frontiers pd in
+  Alcotest.(check (list int)) "pdf of 1" [ 0 ] pdf.(1);
+  Alcotest.(check (list int)) "pdf of 2" [ 0 ] pdf.(2)
+
+let test_loop_dominance () =
+  (* B0 -> B1 (header) -> B2 (body) -> B1; B1 -> B3 (exit) *)
+  let p = Program.create () in
+  let mk_term kind = { Instr.t_id = Program.fresh_stmt_id p; t_kind = kind; t_loc = Loc.none } in
+  let blocks =
+    [| { Instr.b_label = 0; b_instrs = []; b_term = mk_term (Instr.Goto 1) };
+       { Instr.b_label = 1; b_instrs = []; b_term = mk_term (Instr.If (0, 2, 3)) };
+       { Instr.b_label = 2; b_instrs = []; b_term = mk_term (Instr.Goto 1) };
+       { Instr.b_label = 3; b_instrs = []; b_term = mk_term (Instr.Return None) } |]
+  in
+  let m =
+    { (diamond_method ()) with
+      Instr.m_qname = { Instr.mq_class = "T"; mq_name = "loop" };
+      m_body = Instr.Body { blocks; entry = 0 } }
+  in
+  let g = Cfg.build m in
+  let d = Dominance.compute (Dominance.forward_graph g) in
+  Alcotest.(check (option int)) "idom body" (Some 1) (Dominance.idom d 2);
+  let df = Dominance.dominance_frontiers d in
+  (* the back edge makes the header its own frontier member *)
+  Alcotest.(check (list int)) "df of body" [ 1 ] df.(2);
+  Alcotest.(check bool) "header in own df" true (List.mem 1 df.(1))
+
+let suite =
+  [ Alcotest.test_case "def/use" `Quick test_def_use;
+    Alcotest.test_case "use classification" `Quick test_use_classification;
+    Alcotest.test_case "cfg" `Quick test_cfg;
+    Alcotest.test_case "dominators" `Quick test_dominators;
+    Alcotest.test_case "postdominators" `Quick test_postdominators;
+    Alcotest.test_case "loop dominance" `Quick test_loop_dominance ]

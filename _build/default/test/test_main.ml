@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "thinslice"
+    [ ("lexer", Test_lexer.suite);
+      ("parser", Test_parser.suite);
+      ("typecheck", Test_typecheck.suite);
+      ("ir", Test_ir.suite);
+      ("ssa", Test_ssa.suite);
+      ("interp", Test_interp.suite);
+      ("pta", Test_pta.suite);
+      ("modref", Test_modref.suite);
+      ("sdg", Test_sdg.suite);
+      ("slicer", Test_slicer.suite);
+      ("expansion", Test_expansion.suite);
+      ("tabulation", Test_tabulation.suite);
+      ("forward", Test_forward.suite);
+      ("dynamic", Test_dynamic.suite);
+      ("tasks", Test_tasks.suite);
+      ("properties", Test_props.suite) ]

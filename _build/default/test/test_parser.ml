@@ -1,0 +1,147 @@
+(* Parser unit tests: shapes of the AST, precedence, disambiguation, and
+   rejection of malformed programs. *)
+
+open Slice_front
+
+let parse src = Parser.parse_string ~file:"t.tj" src
+
+let parse_expr_str s =
+  (* wrap in a function so the expression parses in statement position *)
+  let cu = parse (Printf.sprintf "void f() { int x = %s; }" s) in
+  match cu.Ast.cu_decls with
+  | [ Ast.Dfunc { Ast.md_body = [ { Ast.s_kind = Ast.Sdecl (_, _, Some e); _ } ]; _ } ]
+    -> e
+  | _ -> Alcotest.fail "unexpected parse shape"
+
+let rec expr_to_string (e : Ast.expr) : string =
+  match e.Ast.e_kind with
+  | Ast.Eint n -> string_of_int n
+  | Ast.Ebool b -> string_of_bool b
+  | Ast.Estr s -> Printf.sprintf "%S" s
+  | Ast.Enull -> "null"
+  | Ast.Ethis -> "this"
+  | Ast.Eident x -> x
+  | Ast.Efield (b, f) -> Printf.sprintf "%s.%s" (expr_to_string b) f
+  | Ast.Eindex (b, i) ->
+    Printf.sprintf "%s[%s]" (expr_to_string b) (expr_to_string i)
+  | Ast.Ecall (Ast.Cbare f, args) ->
+    Printf.sprintf "%s(%s)" f (String.concat "," (List.map expr_to_string args))
+  | Ast.Ecall (Ast.Cmethod (b, m), args) ->
+    Printf.sprintf "%s.%s(%s)" (expr_to_string b) m
+      (String.concat "," (List.map expr_to_string args))
+  | Ast.Ecall (Ast.Cstatic (c, m), args) ->
+    Printf.sprintf "%s::%s(%s)" c m
+      (String.concat "," (List.map expr_to_string args))
+  | Ast.Ecall (Ast.Csuper, args) ->
+    Printf.sprintf "super(%s)" (String.concat "," (List.map expr_to_string args))
+  | Ast.Enew (c, args) ->
+    Printf.sprintf "new %s(%s)" c (String.concat "," (List.map expr_to_string args))
+  | Ast.Enew_array (t, n) ->
+    Format.asprintf "new %a[%s]" Ast.pp_sty t (expr_to_string n)
+  | Ast.Ebinop (op, l, r) ->
+    Format.asprintf "(%s %a %s)" (expr_to_string l) Slice_ir.Types.pp_binop op
+      (expr_to_string r)
+  | Ast.Eunop (op, x) ->
+    Format.asprintf "(%a%s)" Slice_ir.Types.pp_unop op (expr_to_string x)
+  | Ast.Ecast (t, x) -> Format.asprintf "((%a)%s)" Ast.pp_sty t (expr_to_string x)
+  | Ast.Einstanceof (x, t) ->
+    Format.asprintf "(%s instanceof %a)" (expr_to_string x) Ast.pp_sty t
+  | Ast.Epostincr (Ast.Lident (x, _)) -> x ^ "++"
+  | Ast.Epostincr _ -> "<lv>++"
+
+let check_parse msg expected src =
+  Alcotest.(check string) msg expected (expr_to_string (parse_expr_str src))
+
+let test_precedence () =
+  check_parse "mul binds tighter" "(1 + (2 * 3))" "1 + 2 * 3";
+  check_parse "left assoc" "((1 - 2) - 3)" "1 - 2 - 3";
+  check_parse "comparison" "((a + b) < (c * d))" "a + b < c * d";
+  check_parse "and/or" "((a && b) || (c && d))" "a && b || c && d";
+  check_parse "not" "((!a) && b)" "!a && b";
+  check_parse "parens" "((1 + 2) * 3)" "(1 + 2) * 3"
+
+let test_postfix () =
+  check_parse "field chain" "a.b.c" "a.b.c";
+  check_parse "index" "a[(i + 1)]" "a[i + 1]";
+  check_parse "method" "a.m(1,2)" "a.m(1, 2)";
+  check_parse "mixed" "a.b[i].c(x)" "a.b[i].c(x)";
+  check_parse "postincr" "i++" "i++"
+
+let test_cast_vs_paren () =
+  check_parse "uppercase is a cast" "((Foo)x)" "(Foo) x";
+  check_parse "lowercase is parens" "y" "(y)";
+  check_parse "cast of call" "((Foo)f(1))" "(Foo) f(1)";
+  check_parse "array cast" "((Foo[])x)" "(Foo[]) x";
+  check_parse "paren then op" "(y + 1)" "(y) + 1"
+
+let test_static_call () =
+  check_parse "static method" "Registry::lookup(\"k\")" {|Registry.lookup("k")|};
+  check_parse "static field read stays a field" "Ops.ADD" "Ops.ADD"
+
+let test_new_forms () =
+  check_parse "new object" "new Foo(1)" "new Foo(1)";
+  check_parse "new array" "new int[(n + 1)]" "new int[n + 1]";
+  check_parse "new 2d array" "new int[][10]" "new int[10][]"
+
+let test_for_desugar () =
+  let cu = parse "void f() { for (int i = 0; i < 3; i++) { print(\"x\"); } }" in
+  match cu.Ast.cu_decls with
+  | [ Ast.Dfunc { Ast.md_body = [ { Ast.s_kind = Ast.Sblock [ init; w ]; _ } ]; _ } ]
+    -> (
+    (match init.Ast.s_kind with
+    | Ast.Sdecl (Ast.Sint, "i", Some _) -> ()
+    | _ -> Alcotest.fail "expected loop variable declaration");
+    match w.Ast.s_kind with
+    | Ast.Swhile (_, body) ->
+      Alcotest.(check int) "body + update" 2 (List.length body)
+    | _ -> Alcotest.fail "expected while")
+  | _ -> Alcotest.fail "unexpected desugaring"
+
+let expect_parse_error src =
+  match parse src with
+  | exception Parser.Parse_error _ -> ()
+  | _ -> Alcotest.fail "expected a parse error"
+
+let test_errors () =
+  expect_parse_error "void f() { 1 + 2; }";
+  expect_parse_error "void f() { x = ; }";
+  expect_parse_error "void f() { (x + 1) = 2; }";
+  expect_parse_error "void f() { for (;;) { continue; } }";
+  expect_parse_error "void f() { 1++; }";
+  expect_parse_error "class C { int f; int f(int x) }";
+  expect_parse_error "int x = 3;" (* no top-level fields *)
+
+let test_class_members () =
+  let cu =
+    parse
+      "class C extends D {\n\
+      \  int x;\n\
+      \  static boolean flag;\n\
+      \  C(int a) { this.x = a; }\n\
+      \  int get() { return this.x; }\n\
+      \  static int zero() { return 0; }\n\
+       }"
+  in
+  match cu.Ast.cu_decls with
+  | [ Ast.Dclass cd ] ->
+    Alcotest.(check (option string)) "super" (Some "D") cd.Ast.cd_super;
+    Alcotest.(check int) "fields" 2 (List.length cd.Ast.cd_fields);
+    Alcotest.(check int) "methods" 3 (List.length cd.Ast.cd_methods);
+    let ctor = List.find (fun m -> m.Ast.md_is_ctor) cd.Ast.cd_methods in
+    Alcotest.(check string) "ctor name" Slice_ir.Types.constructor_name
+      ctor.Ast.md_name;
+    let statics =
+      List.filter (fun (m : Ast.method_decl) -> m.Ast.md_static) cd.Ast.cd_methods
+    in
+    Alcotest.(check int) "static methods" 1 (List.length statics)
+  | _ -> Alcotest.fail "expected one class"
+
+let suite =
+  [ Alcotest.test_case "precedence" `Quick test_precedence;
+    Alcotest.test_case "postfix" `Quick test_postfix;
+    Alcotest.test_case "cast vs paren" `Quick test_cast_vs_paren;
+    Alcotest.test_case "static call" `Quick test_static_call;
+    Alcotest.test_case "new forms" `Quick test_new_forms;
+    Alcotest.test_case "for desugar" `Quick test_for_desugar;
+    Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "class members" `Quick test_class_members ]

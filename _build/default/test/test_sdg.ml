@@ -1,0 +1,179 @@
+(* SDG construction tests: edge classification (the heart of thin slicing),
+   heap dependence wiring, parameter wiring, and control dependences. *)
+
+open Slice_core
+open Slice_workloads
+open Helpers
+
+let edges_of_kind (g : Sdg.t) (n : Sdg.node) (k : Sdg.edge_kind) =
+  List.filter (fun (_, kind) -> kind = k) (Sdg.deps g n)
+
+let node_line g n = (Sdg.node_loc g n).Slice_ir.Loc.line
+
+(* Figure 2/3: for the seed v = z.f,
+   - the producer-heap edge goes to the store w.f = y,
+   - the base-pointer edge goes to the def of z,
+   - the control edge goes to the conditional. *)
+let test_fig2_edge_classes () =
+  let src = Paper_figures.fig2 in
+  let a = analysis src in
+  let g = a.Engine.sdg in
+  let seed_line = line_of ~src ~pattern:Paper_figures.fig2_seed in
+  let seeds = Engine.seeds_at_line_exn ~filter:Engine.Only_loads a seed_line in
+  Alcotest.(check int) "one load node" 1 (List.length seeds);
+  let seed = List.hd seeds in
+  let heap = edges_of_kind g seed Sdg.Producer_heap in
+  Alcotest.(check int) "one heap producer" 1 (List.length heap);
+  Alcotest.(check int) "heap producer is the store"
+    (line_of ~src ~pattern:"w.f = y;")
+    (node_line g (fst (List.hd heap)));
+  let base = edges_of_kind g seed Sdg.Base_pointer in
+  Alcotest.(check int) "one base pointer" 1 (List.length base);
+  Alcotest.(check int) "base pointer is z's def"
+    (line_of ~src ~pattern:"A z = x;")
+    (node_line g (fst (List.hd base)));
+  let ctl = edges_of_kind g seed Sdg.Control in
+  Alcotest.(check int) "one control dep" 1 (List.length ctl);
+  Alcotest.(check int) "control dep is the conditional"
+    (line_of ~src ~pattern:"if (w == z)")
+    (node_line g (fst (List.hd ctl)))
+
+let test_param_and_return_wiring () =
+  let src =
+    {|int inc(int x) { return x + 1; }
+void main(String[] args) {
+  int a = 41;
+  int b = inc(a);
+  print(itoa(b));
+}|}
+  in
+  let a = analysis src in
+  let g = a.Engine.sdg in
+  (* the print's argument chain must reach 41 through the call *)
+  let seed_line = line_of ~src ~pattern:"print(itoa(b));" in
+  let lines =
+    Slicer.slice_line_numbers g
+      ~seeds:(Engine.seeds_at_line_exn a seed_line)
+      Slicer.Thin
+  in
+  Alcotest.(check bool) "return stmt in slice" true
+    (List.mem (line_of ~src ~pattern:"return x + 1;") lines);
+  Alcotest.(check bool) "actual arg def in slice" true
+    (List.mem (line_of ~src ~pattern:"int a = 41;") lines)
+
+let test_heap_field_dependence () =
+  let src =
+    {|class Cell { int v; }
+void main(String[] args) {
+  Cell c = new Cell();
+  c.v = 7;
+  Cell d = new Cell();
+  d.v = 8;
+  print(itoa(c.v));
+}|}
+  in
+  let a = analysis src in
+  let g = a.Engine.sdg in
+  let seed_line = line_of ~src ~pattern:"print(itoa(c.v));" in
+  let lines =
+    Slicer.slice_line_numbers g
+      ~seeds:(Engine.seeds_at_line_exn a seed_line)
+      Slicer.Thin
+  in
+  Alcotest.(check bool) "store to c included" true
+    (List.mem (line_of ~src ~pattern:"c.v = 7;") lines);
+  (* allocation-site sensitivity keeps the other cell's store out *)
+  Alcotest.(check bool) "store to d excluded" false
+    (List.mem (line_of ~src ~pattern:"d.v = 8;") lines)
+
+let test_array_length_dependence () =
+  let src =
+    {|void main(String[] args) {
+  int n = 3 + 4;
+  int[] a = new int[n];
+  print(itoa(a.length));
+}|}
+  in
+  let a = analysis src in
+  let g = a.Engine.sdg in
+  let seed_line = line_of ~src ~pattern:"print(itoa(a.length));" in
+  let lines =
+    Slicer.slice_line_numbers g
+      ~seeds:(Engine.seeds_at_line_exn a seed_line)
+      Slicer.Thin
+  in
+  Alcotest.(check bool) "allocation in slice" true
+    (List.mem (line_of ~src ~pattern:"new int[n]") lines);
+  Alcotest.(check bool) "length source in slice" true
+    (List.mem (line_of ~src ~pattern:"int n = 3 + 4;") lines)
+
+let test_control_dependences () =
+  let src =
+    {|void main(String[] args) {
+  int x = parseInt(args[0]);
+  int y = 0;
+  if (x > 0) {
+    y = 1;
+  }
+  print(itoa(y));
+}|}
+  in
+  let a = analysis src in
+  let g = a.Engine.sdg in
+  let assign_line = line_of ~src ~pattern:"y = 1;" in
+  let nodes = Sdg.nodes_at_line g ~file:None ~line:assign_line in
+  let has_ctl_to_if =
+    List.exists
+      (fun n ->
+        List.exists
+          (fun (dep, kind) ->
+            kind = Sdg.Control
+            && node_line g dep = line_of ~src ~pattern:"if (x > 0)")
+          (Sdg.deps g n))
+      nodes
+  in
+  Alcotest.(check bool) "y=1 control-dependent on the if" true has_ctl_to_if
+
+let test_entry_control_to_call_site () =
+  let src =
+    {|void helper() { print("h"); }
+void main(String[] args) { helper(); }|}
+  in
+  let a = analysis src in
+  let g = a.Engine.sdg in
+  (* the print inside helper is control-dependent on main's call site *)
+  let print_line = line_of ~src ~pattern:{|print("h");|} in
+  let call_line = line_of ~src ~pattern:"{ helper(); }" in
+  let nodes = Sdg.nodes_at_line g ~file:None ~line:print_line in
+  let ok =
+    List.exists
+      (fun n ->
+        List.exists
+          (fun (dep, kind) -> kind = Sdg.Control && node_line g dep = call_line)
+          (Sdg.deps g n))
+      nodes
+  in
+  Alcotest.(check bool) "callee governed by call site" true ok
+
+let test_scalar_statement_count () =
+  let a = analysis Paper_figures.fig2 in
+  let g = a.Engine.sdg in
+  Alcotest.(check bool) "some statements" true (Sdg.num_scalar_statements g > 5);
+  Alcotest.(check bool) "nodes >= statements" true
+    (Sdg.num_nodes g >= Sdg.num_scalar_statements g)
+
+let test_dot_export () =
+  let a = analysis Paper_figures.fig2 in
+  let dot = Sdg.to_dot a.Engine.sdg in
+  Alcotest.(check bool) "digraph header" true
+    (String.length dot > 20 && String.sub dot 0 7 = "digraph")
+
+let suite =
+  [ Alcotest.test_case "fig2 edge classes" `Quick test_fig2_edge_classes;
+    Alcotest.test_case "param/return wiring" `Quick test_param_and_return_wiring;
+    Alcotest.test_case "heap field dependence" `Quick test_heap_field_dependence;
+    Alcotest.test_case "array length dependence" `Quick test_array_length_dependence;
+    Alcotest.test_case "control dependences" `Quick test_control_dependences;
+    Alcotest.test_case "entry control to call site" `Quick test_entry_control_to_call_site;
+    Alcotest.test_case "scalar statement count" `Quick test_scalar_statement_count;
+    Alcotest.test_case "dot export" `Quick test_dot_export ]

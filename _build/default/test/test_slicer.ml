@@ -1,0 +1,130 @@
+(* Slicer tests: the subset ordering between modes, seed membership, exact
+   thin slices for the paper's figures, and the BFS inspection metric. *)
+
+open Slice_core
+open Slice_workloads
+open Helpers
+
+module IntSet = Set.Make (Int)
+
+let subset a b = IntSet.subset (IntSet.of_list a) (IntSet.of_list b)
+
+let modes_ordered src seed_pattern =
+  let a = analysis src in
+  let line = line_of ~src ~pattern:seed_pattern in
+  let seeds = Engine.seeds_at_line_exn a line in
+  let s mode = Slicer.slice a.Engine.sdg ~seeds mode in
+  let thin = s Slicer.Thin in
+  let alias1 = s (Slicer.Thin_with_aliasing 1) in
+  let alias2 = s (Slicer.Thin_with_aliasing 2) in
+  let trad = s Slicer.Traditional_data in
+  let full = s Slicer.Traditional_full in
+  Alcotest.(check bool) "thin <= alias1" true (subset thin alias1);
+  Alcotest.(check bool) "alias1 <= alias2" true (subset alias1 alias2);
+  Alcotest.(check bool) "alias2 <= trad" true (subset alias2 trad);
+  Alcotest.(check bool) "trad <= full" true (subset trad full);
+  Alcotest.(check bool) "seed in thin" true
+    (List.for_all (fun sd -> List.mem sd thin) seeds)
+
+let test_mode_ordering () =
+  modes_ordered Paper_figures.fig1 Paper_figures.fig1_seed;
+  modes_ordered Paper_figures.fig4 "boolean open = f.isOpen();";
+  modes_ordered Prog_nanoxml.base "print((String) this.lines.get(i));"
+
+let test_fig1_exact_thin () =
+  let src = Paper_figures.fig1 in
+  let a = analysis src in
+  let line = line_of ~src ~pattern:Paper_figures.fig1_seed in
+  let thin = Engine.slice_from_line a ~line Slicer.Thin in
+  (* the producer chain of the printed string (paper, section 1) *)
+  let expected_patterns =
+    [ "this.elems[count++] = p;";              (* Vector.add's store *)
+      "return this.elems[ind];";               (* Vector.get's load *)
+      "String fullName = input.readLine();";
+      {|int spaceInd = fullName.indexOf(" ");|};
+      "String firstName = fullName.substring(0, spaceInd - 1);";
+      "firstNames.add(firstName);";
+      "String firstName = (String) firstNames.get(i);";
+      {|print("FIRST NAME: " + firstName);|};
+      "Vector firstNames = readNames(new InputStream(args[0]));" ]
+  in
+  let expected = List.map (fun pat -> line_of ~src ~pattern:pat) expected_patterns in
+  Alcotest.(check (list int)) "thin slice lines" (List.sort compare expected)
+    (List.sort compare thin);
+  (* none of the SessionState plumbing is in the thin slice *)
+  List.iter
+    (fun pat ->
+      Alcotest.(check bool) (pat ^ " excluded") false
+        (List.mem (line_of ~src ~pattern:pat) thin))
+    [ "void setNames(Vector v) { this.names = v; }";
+      "SessionState s = getState();";
+      "return Globals.state;" ]
+
+let test_fig1_traditional_includes_plumbing () =
+  let src = Paper_figures.fig1 in
+  let a = analysis src in
+  let line = line_of ~src ~pattern:Paper_figures.fig1_seed in
+  let trad = Engine.slice_from_line a ~line Slicer.Traditional_data in
+  List.iter
+    (fun pat ->
+      Alcotest.(check bool) (pat ^ " included") true
+        (List.mem (line_of ~src ~pattern:pat) trad))
+    [ "void setNames(Vector v) { this.names = v; }";
+      "SessionState s = getState();";
+      "return Globals.state;";
+      "Vector() { this.elems = new Object[10]; this.count = 0; }" ]
+
+let test_thin_ignores_base_pointers () =
+  (* the defining property: base-pointer manipulation of the container is
+     not in the thin slice (paper, "Advantages of Thin Slicing") *)
+  let src = Paper_figures.fig2 in
+  let a = analysis src in
+  let line = line_of ~src ~pattern:Paper_figures.fig2_seed in
+  let thin = Engine.slice_from_line ~filter:Engine.Only_loads a ~line Slicer.Thin in
+  let expected =
+    [ line_of ~src ~pattern:"B y = new B();";
+      line_of ~src ~pattern:"w.f = y;";
+      line_of ~src ~pattern:Paper_figures.fig2_seed ]
+  in
+  Alcotest.(check (list int)) "fig2 thin = {3,5,7}" (List.sort compare expected)
+    (List.sort compare thin)
+
+let test_bfs_metric () =
+  let src = Paper_figures.fig1 in
+  let a = analysis src in
+  let line = line_of ~src ~pattern:Paper_figures.fig1_seed in
+  let buggy = line_of ~src ~pattern:Paper_figures.fig1_buggy_line in
+  let thin = Engine.inspect_from_line a ~line ~desired:[ buggy ] Slicer.Thin in
+  let trad =
+    Engine.inspect_from_line a ~line ~desired:[ buggy ] Slicer.Traditional_data
+  in
+  Alcotest.(check bool) "thin finds the bug" true thin.Inspect.found;
+  Alcotest.(check bool) "trad finds the bug" true trad.Inspect.found;
+  Alcotest.(check bool) "thin inspects no more than trad" true
+    (thin.Inspect.inspected <= trad.Inspect.inspected);
+  Alcotest.(check bool) "inspected <= slice size" true
+    (thin.Inspect.inspected <= thin.Inspect.slice_size);
+  (* unreachable desired: metric reports not-found with full exploration *)
+  let missing = Engine.inspect_from_line a ~line ~desired:[ 99999 ] Slicer.Thin in
+  Alcotest.(check bool) "missing not found" false missing.Inspect.found;
+  Alcotest.(check int) "explored everything" missing.Inspect.slice_size
+    missing.Inspect.inspected
+
+let test_bfs_order_deterministic () =
+  let src = Prog_nanoxml.base in
+  let a = analysis src in
+  let line = line_of ~src ~pattern:"print((String) this.lines.get(i));" in
+  let seeds = Engine.seeds_at_line_exn a line in
+  let r1 = Inspect.bfs a.Engine.sdg ~seeds ~desired:[] Slicer.Traditional_data in
+  let r2 = Inspect.bfs a.Engine.sdg ~seeds ~desired:[] Slicer.Traditional_data in
+  Alcotest.(check bool) "same order" true (r1.Inspect.order = r2.Inspect.order)
+
+let suite =
+  [ Alcotest.test_case "mode ordering" `Quick test_mode_ordering;
+    Alcotest.test_case "fig1 exact thin slice" `Quick test_fig1_exact_thin;
+    Alcotest.test_case "fig1 traditional plumbing" `Quick
+      test_fig1_traditional_includes_plumbing;
+    Alcotest.test_case "thin ignores base pointers" `Quick
+      test_thin_ignores_base_pointers;
+    Alcotest.test_case "bfs metric" `Quick test_bfs_metric;
+    Alcotest.test_case "bfs deterministic" `Quick test_bfs_order_deterministic ]

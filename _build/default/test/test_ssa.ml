@@ -1,0 +1,160 @@
+(* SSA invariants, checked on every workload program and on generated
+   pipelines via qcheck:
+   - every variable has at most one definition;
+   - every use of an SSA variable is dominated by its definition (phi
+     operands count at the end of the corresponding predecessor);
+   - no phi survives without feeding a real use. *)
+
+open Slice_ir
+
+let check_single_def (m : Instr.meth) =
+  match Ssa.check m with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s: %s" (Instr.method_qname_to_string m.Instr.m_qname) e
+
+let check_dominated_uses (m : Instr.meth) =
+  if Instr.has_body m then begin
+    let cfg = Cfg.build m in
+    let dom = Dominance.compute (Dominance.forward_graph cfg) in
+    let def_block = Hashtbl.create 32 in
+    let def_pos = Hashtbl.create 32 in
+    Instr.iter_instrs m (fun _ _ -> ());
+    Array.iter
+      (fun b ->
+        List.iteri
+          (fun pos i ->
+            match Instr.def_of_instr i with
+            | Some v ->
+              Hashtbl.replace def_block v b.Instr.b_label;
+              Hashtbl.replace def_pos v pos
+            | None -> ())
+          b.Instr.b_instrs)
+      (Instr.blocks_exn m);
+    List.iter (fun v -> Hashtbl.replace def_block v (Instr.entry_label m)) m.Instr.m_params;
+    let check_use ~user_block ~user_pos v =
+      match Hashtbl.find_opt def_block v with
+      | None -> Alcotest.failf "use of undefined variable %s" (Instr.var_name m v)
+      | Some db ->
+        if db = user_block then begin
+          (* same block: definition must come first (params count as -1) *)
+          let dp = Option.value ~default:(-1) (Hashtbl.find_opt def_pos v) in
+          if Hashtbl.mem def_pos v && dp >= user_pos then
+            Alcotest.failf "use of %s before its definition in the same block"
+              (Instr.var_name m v)
+        end
+        else if
+          Dominance.reachable dom user_block
+          && not (Dominance.dominates dom ~dom:db ~node:user_block)
+        then
+          Alcotest.failf "use of %s in B%d not dominated by its def in B%d"
+            (Instr.var_name m v) user_block db
+    in
+    Array.iter
+      (fun b ->
+        List.iteri
+          (fun pos i ->
+            match i.Instr.i_kind with
+            | Instr.Phi (_, ins) ->
+              (* operand must be defined in (or dominate) the predecessor *)
+              List.iter
+                (fun (pred, v) ->
+                  match Hashtbl.find_opt def_block v with
+                  | None ->
+                    Alcotest.failf "phi operand %s undefined" (Instr.var_name m v)
+                  | Some db ->
+                    if
+                      Dominance.reachable dom pred
+                      && not (db = pred || Dominance.dominates dom ~dom:db ~node:pred)
+                    then
+                      Alcotest.failf "phi operand %s not available at B%d"
+                        (Instr.var_name m v) pred)
+                ins
+            | _ ->
+              List.iter
+                (check_use ~user_block:b.Instr.b_label ~user_pos:pos)
+                (Instr.uses_of_instr i))
+          b.Instr.b_instrs;
+        List.iter
+          (check_use ~user_block:b.Instr.b_label ~user_pos:max_int)
+          (Instr.uses_of_term b.Instr.b_term))
+      (Instr.blocks_exn m)
+  end
+
+let check_program (p : Program.t) =
+  Program.iter_methods p (fun m ->
+      check_single_def m;
+      check_dominated_uses m)
+
+let workload_sources =
+  [ ("nanoxml", Slice_workloads.Prog_nanoxml.base);
+    ("jtopas", Slice_workloads.Prog_jtopas.base);
+    ("ant", Slice_workloads.Prog_ant.base);
+    ("xmlsec", Slice_workloads.Prog_xmlsec.base);
+    ("mtrt", Slice_workloads.Prog_mtrt.base);
+    ("jess", Slice_workloads.Prog_jess.base);
+    ("javac", Slice_workloads.Prog_javac.base);
+    ("jack", Slice_workloads.Prog_jack.base);
+    ("fig1", Slice_workloads.Paper_figures.fig1);
+    ("fig2", Slice_workloads.Paper_figures.fig2);
+    ("fig4", Slice_workloads.Paper_figures.fig4);
+    ("fig5", Slice_workloads.Paper_figures.fig5) ]
+
+let test_workloads () =
+  List.iter (fun (_, src) -> check_program (Helpers.load src)) workload_sources
+
+let test_loop_phi () =
+  (* a loop-carried variable must get a phi at the header *)
+  let p =
+    Helpers.load
+      "void main(String[] args) {\n\
+      \  int sum = 0;\n\
+      \  for (int i = 0; i < 5; i++) { sum = sum + i; }\n\
+      \  print(itoa(sum));\n\
+       }"
+  in
+  let m = Program.find_method_exn p (Program.entry_method p) in
+  let phis = ref 0 in
+  Instr.iter_instrs m (fun _ i ->
+      match i.Instr.i_kind with Instr.Phi _ -> incr phis | _ -> ());
+  Alcotest.(check bool) "has phis" true (!phis >= 2)
+
+let test_dead_phis_pruned () =
+  (* a variable assigned in a branch but never used afterwards must not
+     leave a phi behind (including dead phi cycles through loop headers) *)
+  let p =
+    Helpers.load
+      "void main(String[] args) {\n\
+      \  while (parseInt(\"1\") > 0) {\n\
+      \    String s = \"x\";\n\
+      \    if (s.length() > 0) { String t = s + \"y\"; print(t); return; }\n\
+      \  }\n\
+       }"
+  in
+  let m = Program.find_method_exn p (Program.entry_method p) in
+  Instr.iter_instrs m (fun _ i ->
+      match i.Instr.i_kind with
+      | Instr.Phi (x, _) ->
+        (* every surviving phi must be transitively used by a non-phi *)
+        let used = ref false in
+        Instr.iter_instrs m (fun _ j ->
+            if j.Instr.i_id <> i.Instr.i_id && List.mem x (Instr.uses_of_instr j)
+            then used := true);
+        Instr.iter_terms m (fun _ t ->
+            if List.mem x (Instr.uses_of_term t) then used := true);
+        Alcotest.(check bool) "phi used" true !used
+      | _ -> ())
+
+(* qcheck: SSA invariants hold for generated pipeline programs *)
+let prop_pipeline_ssa =
+  QCheck2.Test.make ~count:8 ~name:"ssa invariants on generated pipelines"
+    QCheck2.Gen.(1 -- 12)
+    (fun stages ->
+      let src = Slice_workloads.Generators.pipeline_program ~stages in
+      check_program (Helpers.load src);
+      true)
+
+let suite =
+  [ Alcotest.test_case "workload programs" `Quick test_workloads;
+    Alcotest.test_case "loop phi" `Quick test_loop_phi;
+    Alcotest.test_case "dead phis pruned" `Quick test_dead_phis_pruned;
+    QCheck_alcotest.to_alcotest prop_pipeline_ssa ]

@@ -1,0 +1,108 @@
+(* Frontend semantic checks: declaration errors and type errors, reported
+   via [Frontend.load]'s error result. *)
+
+open Helpers
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let check_err msg needle src =
+  let e = load_err src in
+  if not (contains ~needle e) then
+    Alcotest.failf "%s: error %S does not mention %S" msg e needle
+
+let test_unknown_names () =
+  check_err "unknown variable" "unknown variable"
+    (expr_main "print(itoa(nope));");
+  check_err "unknown class" "unknown class" "void f(Widget w) { }";
+  check_err "unknown function" "unknown function" (expr_main "frobnicate();");
+  check_err "unknown field" "no field"
+    "class C { }\nvoid main(String[] args) { C c = new C(); print(itoa(c.x)); }";
+  check_err "unknown method" "no method"
+    "class C { }\nvoid main(String[] args) { C c = new C(); c.m(); }"
+
+let test_type_mismatches () =
+  check_err "int where bool" "type mismatch" (expr_main "if (1) { print(\"x\"); }");
+  check_err "bool plus int" "type mismatch" (expr_main "int x = true + 1;");
+  check_err "assign wrong type" "type mismatch"
+    (expr_main "int x = 0; x = \"s\";");
+  check_err "arg type" "type mismatch"
+    "void f(int x) { }\nvoid main(String[] args) { f(\"s\"); }";
+  check_err "return type" "type mismatch"
+    "int f() { return \"s\"; }\nvoid main(String[] args) { }";
+  check_err "compare across types" "cannot compare" (expr_main "boolean b = 1 == true;")
+
+let test_arity () =
+  check_err "too few args" "expects 2 argument"
+    "void f(int x, int y) { }\nvoid main(String[] args) { f(1); }"
+
+let test_void_misuse () =
+  check_err "void in expression" "void method call"
+    "void f() { }\nvoid main(String[] args) { int x = f(); }";
+  check_err "void as argument" "void method call"
+    "void g() { }\nvoid main(String[] args) { print(g()); }"
+
+let test_this_in_static () =
+  check_err "this in free function" "static context" (expr_main "print(this);")
+
+let test_returns () =
+  check_err "missing return" "does not return"
+    "int f(int x) { if (x > 0) { return 1; } }\nvoid main(String[] args) { }";
+  (* while(true) with no break counts as returning *)
+  (match
+     Slice_front.Frontend.load ~file:"t.tj"
+       "int f() { while (true) { return 1; } }\nvoid main(String[] args) { }"
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "spin loop rejected: %s" e.Slice_front.Frontend.err_msg);
+  check_err "while-true with break needs return" "does not return"
+    "int f(int x) { while (true) { if (x > 0) { break; } return 1; } }\n\
+     void main(String[] args) { }"
+
+let test_hierarchy_errors () =
+  check_err "duplicate class" "duplicate class" "class C { }\nclass C { }";
+  check_err "cyclic inheritance" "cyclic"
+    "class A extends B { }\nclass B extends A { }";
+  check_err "bad override" "different signature"
+    "class A { int f() { return 1; } }\nclass B extends A { boolean f() { return true; } }";
+  check_err "duplicate method" "duplicate method"
+    "class C { int f() { return 1; } int f() { return 2; } }";
+  check_err "duplicate field" "duplicate field" "class C { int x; int x; }"
+
+let test_scoping () =
+  check_err "redeclared in scope" "already declared"
+    (expr_main "int x = 1; int x = 2;");
+  (* shadowing an outer scope is allowed *)
+  (match
+     Slice_front.Frontend.load ~file:"t.tj"
+       (expr_main "int x = 1; if (x > 0) { int y = 2; print(itoa(y)); }")
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "inner scope rejected: %s" e.Slice_front.Frontend.err_msg);
+  check_err "out of scope" "unknown variable"
+    (expr_main "if (true) { int y = 2; }\nprint(itoa(y));")
+
+let test_cast_rules () =
+  check_err "cast primitive" "reference types" (expr_main "Object o = (Object) 3;");
+  check_err "impossible cast" "impossible cast"
+    "class A { }\nclass B { }\nvoid main(String[] args) { A a = new A(); B b = (B) a; }"
+
+let test_super_rules () =
+  check_err "super outside ctor" "only allowed inside a constructor"
+    "class A { }\nclass B extends A { void m() { super(); } }";
+  check_err "implicit super needs zero-arg ctor" "must explicitly call super"
+    "class A { A(int x) { } }\nclass B extends A { }"
+
+let suite =
+  [ Alcotest.test_case "unknown names" `Quick test_unknown_names;
+    Alcotest.test_case "type mismatches" `Quick test_type_mismatches;
+    Alcotest.test_case "arity" `Quick test_arity;
+    Alcotest.test_case "void misuse" `Quick test_void_misuse;
+    Alcotest.test_case "this in static" `Quick test_this_in_static;
+    Alcotest.test_case "returns" `Quick test_returns;
+    Alcotest.test_case "hierarchy errors" `Quick test_hierarchy_errors;
+    Alcotest.test_case "scoping" `Quick test_scoping;
+    Alcotest.test_case "cast rules" `Quick test_cast_rules;
+    Alcotest.test_case "super rules" `Quick test_super_rules ]

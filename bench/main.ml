@@ -9,6 +9,7 @@
      dune exec bench/main.exe -- scalability
      dune exec bench/main.exe -- ablation
      dune exec bench/main.exe -- timing    Bechamel micro-benchmarks
+     dune exec bench/main.exe -- json      machine-readable BENCH_results.json
 
    Absolute numbers differ from the paper (its benchmarks are 20k-580k
    SDG-statement Java programs on WALA); EXPERIMENTS.md records the
@@ -341,6 +342,110 @@ let timing () =
     (fun (name, ns) -> Printf.printf "  %-40s %14.0f ns/run\n" name ns)
     (List.sort compare rows)
 
+(* ------------------------------------------------------------------ *)
+(* JSON export: the machine-readable perf trajectory                   *)
+(* ------------------------------------------------------------------ *)
+
+let bench_schema_version = "thinslice.bench/v1"
+
+(* One suite program: reset telemetry, run the full pipeline, slice thin
+   and traditional from a representative seed, then snapshot.  The
+   counters in the snapshot therefore cover frontend + PTA + SDG build +
+   both slices for exactly this benchmark. *)
+let bench_entry (name : string) (src : string) : Slice_obs.Json.t =
+  let open Slice_obs.Json in
+  Slice_obs.reset ();
+  let a = Engine.of_source ~file:(name ^ ".tj") src in
+  let g = a.Engine.sdg in
+  (* representative seed: the first user-visible statement node *)
+  let seed = ref None in
+  (try
+     for n = 0 to Sdg.num_nodes g - 1 do
+       if Sdg.node_countable g n then begin
+         seed := Some n;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  let slices =
+    match !seed with
+    | None -> []
+    | Some s ->
+      List.map
+        (fun mode ->
+          let nodes = Slicer.slice g ~seeds:[ s ] mode in
+          let lines =
+            nodes
+            |> List.filter (Sdg.node_countable g)
+            |> List.map (fun n -> (Sdg.node_loc g n).Slice_ir.Loc.line)
+            |> List.sort_uniq compare
+          in
+          Obj
+            [ ("mode", Str (Slicer.mode_to_string mode));
+              ("nodes", Int (List.length nodes));
+              ("lines", Int (List.length lines)) ])
+        [ Slicer.Thin; Slicer.Thin_with_aliasing 1; Slicer.Traditional_data;
+          Slicer.Traditional_full ]
+  in
+  let s = Engine.stats_of a in
+  let snap = s.Engine.obs in
+  Obj
+    [ ("name", Str name);
+      ("stats", Engine.program_stats_json s);
+      ("phase_wall_s",
+       Obj
+         (List.map
+            (fun (k, v) -> (k, Float v))
+            (Slice_obs.span_totals snap)));
+      ("counters",
+       Obj
+         (List.map
+            (fun (k, v) -> (k, Int v))
+            snap.Slice_obs.snap_counters));
+      ("sdg.edges_by_kind", Engine.edges_by_kind_json snap);
+      ("slices", List slices) ]
+
+(* Slice-size tables (Tables 2/3) in machine-readable form. *)
+let bench_task (t : Task.t) : Slice_obs.Json.t =
+  let open Slice_obs.Json in
+  let m = Task.measure t in
+  Obj
+    [ ("id", Str t.Task.id);
+      ("thin", Int m.Task.m_thin);
+      ("trad", Int m.Task.m_trad);
+      ("ratio", Float (Task.ratio m));
+      ("controls", Int t.Task.controls);
+      ("thin_no_objsens", Int m.Task.m_thin_noobj);
+      ("trad_no_objsens", Int m.Task.m_trad_noobj);
+      ("thin_found", Bool m.Task.m_thin_found);
+      ("trad_found", Bool m.Task.m_trad_found) ]
+
+let json_results ?(out = "BENCH_results.json") () =
+  let open Slice_obs.Json in
+  let benchmarks =
+    List.map (fun (name, src) -> bench_entry name src) (suite_programs ())
+  in
+  let tasks = List.map bench_task (Sir_suite.tasks @ Casts_suite.tasks) in
+  let doc =
+    Obj
+      [ ("schema", Str bench_schema_version);
+        ("generated_at_unix_s", Float (Unix.gettimeofday ()));
+        ("benchmarks", List benchmarks);
+        ("slice_size_tables", List tasks) ]
+  in
+  let text = to_string doc ^ "\n" in
+  let oc = open_out out in
+  output_string oc text;
+  close_out oc;
+  (* self-check: the artifact must be non-empty and re-parseable *)
+  (match of_string text with
+  | Ok _ -> ()
+  | Error e ->
+    Printf.eprintf "BENCH json self-check failed: %s\n" e;
+    exit 1);
+  Printf.printf "wrote %s (%d benchmarks, %d tasks)\n" out
+    (List.length benchmarks) (List.length tasks)
+
 let () =
   let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   match which with
@@ -351,6 +456,7 @@ let () =
   | "scalability" -> scalability ()
   | "ablation" -> ablation ()
   | "timing" -> timing ()
+  | "json" -> json_results ()
   | "all" ->
     table1 ();
     table2 ();
@@ -358,7 +464,8 @@ let () =
     figure23 ();
     scalability ();
     ablation ();
-    timing ()
+    timing ();
+    json_results ()
   | other ->
     Printf.eprintf "unknown experiment %s\n" other;
     exit 1

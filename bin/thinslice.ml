@@ -5,21 +5,114 @@
      thinslice casts FILE                       list unverifiable downcasts
      thinslice stats FILE                       program/analysis statistics
      thinslice run FILE [--arg V]... [--input NAME=PATH]
-     thinslice dot FILE -o sdg.dot              export the dependence graph *)
+     thinslice dot FILE -o sdg.dot              export the dependence graph
+
+   Every subcommand additionally takes the telemetry flags
+     --stats-json PATH   write program stats + counters/spans as JSON
+     --trace PATH        write a Chrome trace_event file (chrome://tracing)
+     -v / --verbose      print a telemetry report to stderr
+     -q / --quiet        suppress telemetry and disable span collection *)
 
 open Cmdliner
 open Slice_core
 
-let read_file path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
+let read_file (path : string) : (string, [ `Msg of string ]) result =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let n = in_channel_length ic in
+        Ok (really_input_string ic n))
+  with Sys_error msg -> Error (`Msg (Printf.sprintf "cannot read %s: %s" path msg))
+
+let read_file_exn (path : string) : string =
+  match read_file path with
+  | Ok s -> s
+  | Error (`Msg m) ->
+    Printf.eprintf "thinslice: %s\n" m;
+    exit 1
 
 let load_analysis ~obj_sens path =
-  let src = read_file path in
+  let src = read_file_exn path in
   Engine.of_source ~obj_sens ~file:(Filename.basename path) src
+
+(* ---- telemetry plumbing ---- *)
+
+type telemetry = {
+  stats_json : string option;
+  trace : string option;
+  verbose : bool;
+  quiet : bool;
+}
+
+let telemetry_term =
+  let stats_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stats-json" ] ~docv:"PATH"
+          ~doc:
+            "Write program statistics and the telemetry snapshot (phase \
+             timers, analysis counters) as JSON to $(docv).")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"PATH"
+          ~doc:
+            "Write a Chrome trace_event JSON file to $(docv) (open in \
+             chrome://tracing or Perfetto to see the pipeline flamegraph).")
+  in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "v"; "verbose" ]
+          ~doc:"Print a telemetry report (span tree, counters) to stderr.")
+  in
+  let quiet =
+    Arg.(
+      value & flag
+      & info [ "q"; "quiet" ]
+          ~doc:
+            "Scripted use: suppress the telemetry report and, when no \
+             telemetry file is requested, disable span collection entirely.")
+  in
+  Term.(
+    const (fun stats_json trace verbose quiet ->
+        { stats_json; trace; verbose; quiet })
+    $ stats_json $ trace $ verbose $ quiet)
+
+let setup_telemetry (t : telemetry) : unit =
+  if t.quiet && t.stats_json = None && t.trace = None then
+    Slice_obs.set_enabled false
+
+let write_text path s =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc s)
+
+let emit_telemetry (t : telemetry) (stats : Engine.stats option) : unit =
+  let snap = Slice_obs.snapshot () in
+  (match t.stats_json with
+  | None -> ()
+  | Some path ->
+    let json =
+      match stats with
+      | Some s -> Engine.stats_to_json s
+      | None ->
+        Slice_obs.Json.Obj
+          [ ("schema", Slice_obs.Json.Str Engine.stats_schema_version);
+            ("telemetry", Slice_obs.snapshot_to_json snap) ]
+    in
+    write_text path (Slice_obs.Json.to_string json ^ "\n"));
+  (match t.trace with
+  | None -> ()
+  | Some path ->
+    write_text path (Slice_obs.Json.to_string (Slice_obs.chrome_trace snap) ^ "\n"));
+  if t.verbose && not t.quiet then prerr_string (Slice_obs.report snap)
 
 (* ---- common args ---- *)
 
@@ -90,8 +183,9 @@ let forward_arg =
         ~doc:"Slice forward (impact analysis) instead of backward")
 
 let slice_cmd =
-  let run file line mode no_objsens forward =
+  let run file line mode no_objsens forward tel =
     handle_errors (fun () ->
+        setup_telemetry tel;
         let a = load_analysis ~obj_sens:(not no_objsens) file in
         let seeds = Engine.seeds_at_line_exn a line in
         let nodes =
@@ -107,10 +201,13 @@ let slice_cmd =
         Printf.printf "%s %s slice from %s:%d (%d statements):\n"
           (if forward then "forward" else "backward")
           (Slicer.mode_to_string mode) file line (List.length lines);
-        print_slice_lines (read_file file) lines)
+        print_slice_lines (read_file_exn file) lines;
+        emit_telemetry tel (Some (Engine.stats_of a)))
   in
   Cmd.v (Cmd.info "slice" ~doc:"Compute a slice from a seed line")
-    Term.(const run $ file_arg $ line_arg $ mode_arg $ objsens_arg $ forward_arg)
+    Term.(
+      const run $ file_arg $ line_arg $ mode_arg $ objsens_arg $ forward_arg
+      $ telemetry_term)
 
 let chop_cmd =
   let to_arg =
@@ -119,8 +216,9 @@ let chop_cmd =
       & opt (some int) None
       & info [ "to" ] ~docv:"N" ~doc:"Sink line number")
   in
-  let run file line sink_line mode no_objsens =
+  let run file line sink_line mode no_objsens tel =
     handle_errors (fun () ->
+        setup_telemetry tel;
         let a = load_analysis ~obj_sens:(not no_objsens) file in
         let source = Engine.seeds_at_line_exn a line in
         let sink = Engine.seeds_at_line_exn a sink_line in
@@ -134,17 +232,21 @@ let chop_cmd =
         Printf.printf "%s chop %s:%d -> %s:%d (%d statements):\n"
           (Slicer.mode_to_string mode) file line file sink_line
           (List.length lines);
-        print_slice_lines (read_file file) lines)
+        print_slice_lines (read_file_exn file) lines;
+        emit_telemetry tel (Some (Engine.stats_of a)))
   in
   Cmd.v
     (Cmd.info "chop" ~doc:"Statements on value paths between two lines")
-    Term.(const run $ file_arg $ line_arg $ to_arg $ mode_arg $ objsens_arg)
+    Term.(
+      const run $ file_arg $ line_arg $ to_arg $ mode_arg $ objsens_arg
+      $ telemetry_term)
 
 (* ---- expand: aliasing explanations around the seed ---- *)
 
 let expand_cmd =
-  let run file line no_objsens =
+  let run file line no_objsens tel =
     handle_errors (fun () ->
+        setup_telemetry tel;
         let a = load_analysis ~obj_sens:(not no_objsens) file in
         let seeds = Engine.seeds_at_line_exn a line in
         let g = a.Engine.sdg in
@@ -179,17 +281,19 @@ let expand_cmd =
                   if Sdg.node_countable g n then
                     Format.printf "    %a@." (Sdg.pp_node g) n)
                 e.Expansion.write_flow)
-            !pairs)
+            !pairs;
+        emit_telemetry tel (Some (Engine.stats_of a)))
   in
   Cmd.v
     (Cmd.info "expand" ~doc:"Explain heap aliasing behind a thin slice")
-    Term.(const run $ file_arg $ line_arg $ objsens_arg)
+    Term.(const run $ file_arg $ line_arg $ objsens_arg $ telemetry_term)
 
 (* ---- casts ---- *)
 
 let casts_cmd =
-  let run file no_objsens =
+  let run file no_objsens tel =
     handle_errors (fun () ->
+        setup_telemetry tel;
         let a = load_analysis ~obj_sens:(not no_objsens) file in
         let casts = Engine.tough_casts a in
         Printf.printf "%d tough cast(s):\n" (List.length casts);
@@ -199,17 +303,19 @@ let casts_cmd =
             print_endline
               (Slice_ir.Pretty.stmt_to_string a.Engine.program tbl
                  i.Slice_ir.Instr.i_id))
-          casts)
+          casts;
+        emit_telemetry tel (Some (Engine.stats_of a)))
   in
   Cmd.v
     (Cmd.info "casts" ~doc:"List downcasts unverifiable by pointer analysis")
-    Term.(const run $ file_arg $ objsens_arg)
+    Term.(const run $ file_arg $ objsens_arg $ telemetry_term)
 
 (* ---- stats ---- *)
 
 let stats_cmd =
-  let run file no_objsens =
+  let run file no_objsens tel =
     handle_errors (fun () ->
+        setup_telemetry tel;
         let a = load_analysis ~obj_sens:(not no_objsens) file in
         let s = Engine.stats_of a in
         Printf.printf
@@ -222,11 +328,12 @@ let stats_cmd =
            abstract objects   %d\n"
           s.Engine.classes s.Engine.methods s.Engine.ir_statements
           s.Engine.call_graph_nodes s.Engine.sdg_statements s.Engine.sdg_nodes
-          s.Engine.abstract_objects)
+          s.Engine.abstract_objects;
+        emit_telemetry tel (Some s))
   in
   Cmd.v
     (Cmd.info "stats" ~doc:"Print program and analysis statistics")
-    Term.(const run $ file_arg $ objsens_arg)
+    Term.(const run $ file_arg $ objsens_arg $ telemetry_term)
 
 (* ---- run ---- *)
 
@@ -240,8 +347,9 @@ let run_cmd =
       & info [ "input" ] ~docv:"NAME=PATH"
           ~doc:"Bind stream NAME to the lines of the file at PATH")
   in
-  let run file argv inputs =
+  let run file argv inputs tel =
     handle_errors (fun () ->
+        setup_telemetry tel;
         let streams =
           List.map
             (fun spec ->
@@ -250,19 +358,23 @@ let run_cmd =
                 let name = String.sub spec 0 i in
                 let path = String.sub spec (i + 1) (String.length spec - i - 1) in
                 let lines =
-                  String.split_on_char '\n' (read_file path)
+                  String.split_on_char '\n' (read_file_exn path)
                   |> List.filter (fun l -> l <> "")
                 in
                 (name, lines)
               | None -> failwith "expected --input NAME=PATH")
             inputs
         in
-        let p = Slice_front.Frontend.load_file_exn file in
+        let p =
+          Slice_front.Frontend.load_exn ~file:(Filename.basename file)
+            (read_file_exn file)
+        in
         let config =
           { Slice_interp.Interp.default_config with args = argv; streams }
         in
         let o = Slice_interp.Interp.run config p in
         List.iter print_endline o.Slice_interp.Interp.output;
+        emit_telemetry tel None;
         match o.Slice_interp.Interp.result with
         | Ok () -> ()
         | Error f ->
@@ -271,7 +383,7 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Interpret a TJ program")
-    Term.(const run $ file_arg $ args_arg $ inputs_arg)
+    Term.(const run $ file_arg $ args_arg $ inputs_arg $ telemetry_term)
 
 (* ---- dot ---- *)
 
@@ -281,17 +393,17 @@ let dot_cmd =
       value & opt string "sdg.dot"
       & info [ "o"; "output" ] ~docv:"PATH" ~doc:"Output path")
   in
-  let run file out no_objsens =
+  let run file out no_objsens tel =
     handle_errors (fun () ->
+        setup_telemetry tel;
         let a = load_analysis ~obj_sens:(not no_objsens) file in
-        let oc = open_out out in
-        output_string oc (Sdg.to_dot a.Engine.sdg);
-        close_out oc;
-        Printf.printf "wrote %s\n" out)
+        write_text out (Sdg.to_dot a.Engine.sdg);
+        Printf.printf "wrote %s\n" out;
+        emit_telemetry tel (Some (Engine.stats_of a)))
   in
   Cmd.v
     (Cmd.info "dot" ~doc:"Export the dependence graph in DOT format")
-    Term.(const run $ file_arg $ out_arg $ objsens_arg)
+    Term.(const run $ file_arg $ out_arg $ objsens_arg $ telemetry_term)
 
 let () =
   let doc = "thin slicing for TJ programs (PLDI 2007 reproduction)" in

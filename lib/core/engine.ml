@@ -16,7 +16,7 @@ let analyze ?(obj_sens = true) (program : Program.t) : analysis =
     if obj_sens then Andersen.default_opts else Andersen.no_obj_sens_opts
   in
   let pta = Andersen.analyze ~opts program in
-  let sdg = Sdg.build program pta in
+  let sdg = Slice_obs.span "sdg.build" (fun () -> Sdg.build program pta) in
   { program; pta; sdg; obj_sens }
 
 let of_source ?container_classes ?obj_sens ~(file : string) (src : string) :
@@ -97,7 +97,8 @@ let tough_casts (a : analysis) : (Instr.method_qname * Instr.instr) list =
     (Andersen.reachable_methods a.pta);
   List.rev !out
 
-(* Program statistics in the shape of the paper's Table 1. *)
+(* Program statistics in the shape of the paper's Table 1, plus the
+   telemetry snapshot captured when the stats were taken. *)
 type stats = {
   classes : int;
   methods : int;                 (* reachable methods with bodies *)
@@ -106,6 +107,7 @@ type stats = {
   sdg_statements : int;
   sdg_nodes : int;               (* including context clones and formals *)
   abstract_objects : int;
+  obs : Slice_obs.snapshot;      (* counters, gauges, spans at capture *)
 }
 
 let stats_of (a : analysis) : stats =
@@ -134,4 +136,44 @@ let stats_of (a : analysis) : stats =
     call_graph_nodes = Andersen.num_call_graph_nodes a.pta;
     sdg_statements = Sdg.num_scalar_statements a.sdg;
     sdg_nodes = Sdg.num_nodes a.sdg;
-    abstract_objects = Andersen.num_objects a.pta }
+    abstract_objects = Andersen.num_objects a.pta;
+    obs = Slice_obs.snapshot () }
+
+(* JSON export of the stats + telemetry — the payload behind [thinslice
+   --stats-json] and one entry of BENCH_results.json.  Schema documented
+   in README "Observability". *)
+let stats_schema_version = "thinslice.stats/v1"
+
+let program_stats_json (s : stats) : Slice_obs.Json.t =
+  let open Slice_obs.Json in
+  Obj
+    [ ("classes", Int s.classes);
+      ("methods", Int s.methods);
+      ("ir_statements", Int s.ir_statements);
+      ("call_graph_nodes", Int s.call_graph_nodes);
+      ("sdg_statements", Int s.sdg_statements);
+      ("sdg_nodes", Int s.sdg_nodes);
+      ("abstract_objects", Int s.abstract_objects) ]
+
+(* Group the "sdg.edge.<kind>" counters into an object keyed by kind. *)
+let edges_by_kind_json (snap : Slice_obs.snapshot) : Slice_obs.Json.t =
+  let prefix = "sdg.edge." in
+  let plen = String.length prefix in
+  Slice_obs.Json.Obj
+    (List.filter_map
+       (fun (name, v) ->
+         if
+           String.length name > plen
+           && String.equal (String.sub name 0 plen) prefix
+         then Some (String.sub name plen (String.length name - plen),
+                    Slice_obs.Json.Int v)
+         else None)
+       snap.Slice_obs.snap_counters)
+
+let stats_to_json (s : stats) : Slice_obs.Json.t =
+  let open Slice_obs.Json in
+  Obj
+    [ ("schema", Str stats_schema_version);
+      ("program", program_stats_json s);
+      ("sdg.edges_by_kind", edges_by_kind_json s.obs);
+      ("telemetry", Slice_obs.snapshot_to_json s.obs) ]

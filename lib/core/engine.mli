@@ -57,7 +57,8 @@ val inspect_from_line :
     of the paper's section 6.3. *)
 val tough_casts : analysis -> (Instr.method_qname * Instr.instr) list
 
-(** Program statistics in the shape of the paper's Table 1. *)
+(** Program statistics in the shape of the paper's Table 1, plus the
+    process telemetry snapshot captured when the stats were taken. *)
 type stats = {
   classes : int;
   methods : int;           (** reachable methods with bodies *)
@@ -66,6 +67,23 @@ type stats = {
   sdg_statements : int;    (** scalar statements, heap params excluded *)
   sdg_nodes : int;         (** including context clones and formals *)
   abstract_objects : int;
+  obs : Slice_obs.snapshot;
+      (** counters, gauges, histograms and spans at capture time *)
 }
 
 val stats_of : analysis -> stats
+
+(** Schema identifier emitted in the JSON export ("thinslice.stats/v1"). *)
+val stats_schema_version : string
+
+(** The Table-1 numbers alone, as a JSON object. *)
+val program_stats_json : stats -> Slice_obs.Json.t
+
+(** The "sdg.edge.<kind>" counters of a snapshot, as an object keyed by
+    edge kind (the Figure 2/3 classification). *)
+val edges_by_kind_json : Slice_obs.snapshot -> Slice_obs.Json.t
+
+(** Full JSON export: [{"schema", "program", "sdg.edges_by_kind",
+    "telemetry"}] — the payload behind [thinslice --stats-json] and the
+    per-benchmark entries of BENCH_results.json. *)
+val stats_to_json : stats -> Slice_obs.Json.t

@@ -32,6 +32,13 @@ type edge_kind =
   | Call_actual
   | Control             (* control dependence *)
 
+(* Telemetry: one counter per edge kind (the Figure 2/3 classification),
+   node interning, and heap-pair pruning effectiveness. *)
+let c_nodes = Slice_obs.counter "sdg.nodes"
+let c_edges = Slice_obs.counter "sdg.edges"
+let c_heap_considered = Slice_obs.counter "sdg.heap_pairs_considered"
+let c_heap_emitted = Slice_obs.counter "sdg.heap_pairs_emitted"
+
 let is_producer = function
   | Producer_local | Producer_heap | Param_in | Return_value -> true
   | Base_pointer | Index | Call_actual | Control -> false
@@ -45,6 +52,19 @@ let edge_kind_to_string = function
   | Index -> "index"
   | Call_actual -> "call-actual"
   | Control -> "control"
+
+let all_edge_kinds =
+  [ Producer_local; Producer_heap; Param_in; Return_value; Base_pointer;
+    Index; Call_actual; Control ]
+
+(* "sdg.edge.<kind>" counters, interned once. *)
+let edge_counter : edge_kind -> Slice_obs.counter =
+  let tbl =
+    List.map
+      (fun k -> (k, Slice_obs.counter ("sdg.edge." ^ edge_kind_to_string k)))
+      all_edge_kinds
+  in
+  fun k -> List.assq k tbl
 
 type node_desc =
   | Stmt of int * Instr.stmt_id          (* method context, statement *)
@@ -94,6 +114,7 @@ let intern (g : t) (d : node_desc) : node =
     g.descs.(n) <- d;
     g.num_nodes <- n + 1;
     Hashtbl.replace g.intern d n;
+    Slice_obs.bump c_nodes;
     n
 
 let find_node (g : t) (d : node_desc) : node option = Hashtbl.find_opt g.intern d
@@ -101,6 +122,8 @@ let find_node (g : t) (d : node_desc) : node option = Hashtbl.find_opt g.intern 
 let add_edge (g : t) ~(from : node) ~(on : node) (kind : edge_kind) : unit =
   if from <> on && not (Hashtbl.mem g.edge_seen (from, on, kind)) then begin
     Hashtbl.replace g.edge_seen (from, on, kind) ();
+    Slice_obs.bump c_edges;
+    Slice_obs.bump (edge_counter kind);
     g.deps.(from) <- (on, kind) :: g.deps.(from);
     g.uses.(on) <- (from, kind) :: g.uses.(on)
   end
@@ -203,6 +226,7 @@ let build ?(include_control = true) (p : Program.t) (pta : Andersen.result) : t 
   in
   let mcs = Andersen.method_contexts pta in
   (* Pass 1: intraprocedural edges + heap access indexing. *)
+  Slice_obs.span "sdg.intra" (fun () ->
   List.iter
     (fun (mc, mq, _) ->
       let m = Program.find_method_exn p mq in
@@ -300,8 +324,9 @@ let build ?(include_control = true) (p : Program.t) (pta : Andersen.result) : t 
             let n = intern g (Stmt (mc, t.Instr.t_id)) in
             List.iter (fun v -> use_edge n v Producer_local) (Instr.uses_of_term t))
       end)
-    mcs;
+    mcs);
   (* Pass 2: formal -> actual edges (parameter passing). *)
+  Slice_obs.span "sdg.params" (fun () ->
   List.iter
     (fun (mc, mq, _) ->
       let m = Program.find_method_exn p mq in
@@ -361,8 +386,18 @@ let build ?(include_control = true) (p : Program.t) (pta : Andersen.result) : t 
                 (Andersen.call_targets pta ~mctx:mc ~stmt:i.Instr.i_id)
             | _ -> ())
       end)
-    mcs;
-  (* Pass 3: heap dependence edges (store -> load, direct). *)
+    mcs);
+  (* Pass 3: heap dependence edges (store -> load, direct).  [heap_edge]
+     counts every (read, write) candidate pair against the edges actually
+     emitted after dedup — the "considered vs emitted" ratio of the
+     context-insensitive representation. *)
+  let heap_edge rn wn =
+    Slice_obs.bump c_heap_considered;
+    if rn <> wn && not (Hashtbl.mem g.edge_seen (rn, wn, Producer_heap)) then
+      Slice_obs.bump c_heap_emitted;
+    add_edge g ~from:rn ~on:wn Producer_heap
+  in
+  Slice_obs.span "sdg.heap" (fun () ->
   let wire_heap reads writes =
     Hashtbl.iter
       (fun key rlist ->
@@ -371,7 +406,7 @@ let build ?(include_control = true) (p : Program.t) (pta : Andersen.result) : t 
         | Some wlist ->
           List.iter
             (fun (rn, _) ->
-              List.iter (fun (wn, _) -> add_edge g ~from:rn ~on:wn Producer_heap) !wlist)
+              List.iter (fun (wn, _) -> heap_edge rn wn) !wlist)
             !rlist)
       reads
   in
@@ -382,7 +417,7 @@ let build ?(include_control = true) (p : Program.t) (pta : Andersen.result) : t 
       | None -> ()
       | Some wlist ->
         List.iter
-          (fun rn -> List.iter (fun wn -> add_edge g ~from:rn ~on:wn Producer_heap) !wlist)
+          (fun rn -> List.iter (fun wn -> heap_edge rn wn) !wlist)
           !rlist)
     hx.static_reads;
   Hashtbl.iter
@@ -391,11 +426,11 @@ let build ?(include_control = true) (p : Program.t) (pta : Andersen.result) : t 
       | None -> ()
       | Some wlist ->
         List.iter
-          (fun rn -> List.iter (fun wn -> add_edge g ~from:rn ~on:wn Producer_heap) !wlist)
+          (fun rn -> List.iter (fun wn -> heap_edge rn wn) !wlist)
           !rlist)
-    hx.len_reads;
+    hx.len_reads);
   (* Pass 4: control dependence edges. *)
-  if include_control then begin
+  if include_control then Slice_obs.span "sdg.control" (fun () -> begin
     (* reverse call graph: callee mctx -> caller call-site nodes *)
     let callers : (int, node list ref) Hashtbl.t = Hashtbl.create 64 in
     List.iter
@@ -441,7 +476,7 @@ let build ?(include_control = true) (p : Program.t) (pta : Andersen.result) : t 
           done
         end)
       mcs
-  end;
+  end);
   g
 
 (* ------------------------------------------------------------------ *)

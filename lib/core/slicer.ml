@@ -17,6 +17,16 @@ type mode =
   | Traditional_data
   | Traditional_full
 
+(* Telemetry: traversal effort (shared by backward and forward walks). *)
+let c_nodes_visited = Slice_obs.counter "slicer.nodes_visited"
+let c_edges_followed = Slice_obs.counter "slicer.edges_followed"
+let c_edges_skipped = Slice_obs.counter "slicer.edges_skipped"
+let c_edges_costly = Slice_obs.counter "slicer.edges_costly"
+let c_budget_spent = Slice_obs.counter "slicer.budget_spent"
+let c_slices = Slice_obs.counter "slicer.slices_computed"
+let g_frontier_peak = Slice_obs.gauge "slicer.frontier_peak"
+let h_slice_nodes = Slice_obs.histogram "slicer.slice_nodes"
+
 let mode_to_string = function
   | Thin -> "thin"
   | Thin_with_aliasing k -> Printf.sprintf "thin+alias%d" k
@@ -43,31 +53,55 @@ let initial_budget = function
 
 (* Reachability keeping, per node, the best (largest) remaining budget at
    which it has been visited: a node reached with more budget left may
-   reveal further base-pointer edges. *)
-let slice (g : Sdg.t) ~(seeds : Sdg.node list) (mode : mode) : Sdg.node list =
+   reveal further base-pointer edges.  Backward and forward slicing share
+   this walk, parameterised by the adjacency direction. *)
+let walk (next : Sdg.t -> Sdg.node -> (Sdg.node * Sdg.edge_kind) list)
+    (g : Sdg.t) ~(seeds : Sdg.node list) (mode : mode) : Sdg.node list =
+  Slice_obs.bump c_slices;
   let best : (Sdg.node, int) Hashtbl.t = Hashtbl.create 256 in
   let queue = Queue.create () in
+  let peak = ref 0 in
   let push n budget =
     match Hashtbl.find_opt best n with
     | Some b when b >= budget -> ()
     | Some _ | None ->
       Hashtbl.replace best n budget;
-      Queue.add (n, budget) queue
+      Queue.add (n, budget) queue;
+      let len = Queue.length queue in
+      if len > !peak then peak := len
   in
   List.iter (fun s -> push s (initial_budget mode)) seeds;
   while not (Queue.is_empty queue) do
     let n, budget = Queue.pop queue in
     (* stale entries: a better budget may have been recorded since *)
-    if Hashtbl.find_opt best n = Some budget then
+    if Hashtbl.find_opt best n = Some budget then begin
+      Slice_obs.bump c_nodes_visited;
       List.iter
         (fun (dep, kind) ->
           match edge_policy mode kind with
-          | `Follow -> push dep budget
-          | `Costly -> if budget > 0 then push dep (budget - 1)
-          | `Skip -> ())
-        (Sdg.deps g n)
+          | `Follow ->
+            Slice_obs.bump c_edges_followed;
+            push dep budget
+          | `Costly ->
+            if budget > 0 then begin
+              Slice_obs.bump c_edges_costly;
+              Slice_obs.bump c_budget_spent;
+              push dep (budget - 1)
+            end
+            else Slice_obs.bump c_edges_skipped
+          | `Skip -> Slice_obs.bump c_edges_skipped)
+        (next g n)
+    end
   done;
-  List.sort compare (Hashtbl.fold (fun n _ acc -> n :: acc) best [])
+  Slice_obs.max_gauge g_frontier_peak (float_of_int !peak);
+  let out =
+    List.sort compare (Hashtbl.fold (fun n _ acc -> n :: acc) best [])
+  in
+  Slice_obs.observe h_slice_nodes (float_of_int (List.length out));
+  out
+
+let slice (g : Sdg.t) ~(seeds : Sdg.node list) (mode : mode) : Sdg.node list =
+  Slice_obs.span "slicer.slice" (fun () -> walk Sdg.deps g ~seeds mode)
 
 (* Forward slicing: which statements CONSUME the value a seed produces?
    Same edge discipline as backward slicing, traversed over use-edges.
@@ -75,28 +109,7 @@ let slice (g : Sdg.t) ~(seeds : Sdg.node list) (mode : mode) : Sdg.node list =
    move?") — the dual of the paper's backward producer chains. *)
 let forward_slice (g : Sdg.t) ~(seeds : Sdg.node list) (mode : mode) :
     Sdg.node list =
-  let best : (Sdg.node, int) Hashtbl.t = Hashtbl.create 256 in
-  let queue = Queue.create () in
-  let push n budget =
-    match Hashtbl.find_opt best n with
-    | Some b when b >= budget -> ()
-    | Some _ | None ->
-      Hashtbl.replace best n budget;
-      Queue.add (n, budget) queue
-  in
-  List.iter (fun s -> push s (initial_budget mode)) seeds;
-  while not (Queue.is_empty queue) do
-    let n, budget = Queue.pop queue in
-    if Hashtbl.find_opt best n = Some budget then
-      List.iter
-        (fun (user, kind) ->
-          match edge_policy mode kind with
-          | `Follow -> push user budget
-          | `Costly -> if budget > 0 then push user (budget - 1)
-          | `Skip -> ())
-        (Sdg.uses g n)
-  done;
-  List.sort compare (Hashtbl.fold (fun n _ acc -> n :: acc) best [])
+  Slice_obs.span "slicer.forward" (fun () -> walk Sdg.uses g ~seeds mode)
 
 (* A (thin) chop: the statements on producer paths from [source] to
    [sink] — how does the value get from here to there? *)

@@ -39,12 +39,18 @@ let load_exn ?container_classes ~(file : string) (src : string) : Program.t =
       ignore phase;
       raise e
   in
-  let cu = wrap `Parse (fun () -> Parser.parse_string ~file src) in
-  let p = Program.create () in
-  wrap `Semantic (fun () -> Declare.run ?container_classes p cu);
-  wrap `Semantic (fun () -> Lower.run p cu);
-  wrap `Internal (fun () -> Program.iter_methods p (fun m -> Ssa.convert p m));
-  p
+  Slice_obs.span "frontend" (fun () ->
+      let cu = wrap `Parse (fun () -> Parser.parse_string ~file src) in
+      let p = Program.create () in
+      wrap `Semantic (fun () ->
+          Slice_obs.span "front.declare" (fun () ->
+              Declare.run ?container_classes p cu));
+      wrap `Semantic (fun () ->
+          Slice_obs.span "front.lower" (fun () -> Lower.run p cu));
+      wrap `Internal (fun () ->
+          Slice_obs.span "front.ssa" (fun () ->
+              Program.iter_methods p (fun m -> Ssa.convert p m)));
+      p)
 
 let load ?container_classes ~(file : string) (src : string) :
     (Program.t, error) result =

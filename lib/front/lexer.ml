@@ -152,10 +152,16 @@ let next_token st : Token.located =
   in
   { Token.tok; loc = l }
 
+let c_tokens = Slice_obs.counter "front.tokens"
+let c_lines = Slice_obs.counter "front.lines"
+
 let tokenize ~(file : string) (src : string) : Token.located list =
   let st = make ~file src in
   let rec go acc =
     let t = next_token st in
     if t.Token.tok = Token.EOF then List.rev (t :: acc) else go (t :: acc)
   in
-  go []
+  let toks = go [] in
+  Slice_obs.add c_tokens (List.length toks);
+  Slice_obs.add c_lines st.line;
+  toks

@@ -650,4 +650,7 @@ let parse_unit ~(file : string) (toks : Token.located list) : Ast.compilation_un
   { Ast.cu_file = file; cu_decls = List.rev !decls }
 
 let parse_string ~(file : string) (src : string) : Ast.compilation_unit =
-  parse_unit ~file (Lexer.tokenize ~file src)
+  let tokens =
+    Slice_obs.span "front.lex" (fun () -> Lexer.tokenize ~file src)
+  in
+  Slice_obs.span "front.parse" (fun () -> parse_unit ~file tokens)

@@ -8,6 +8,10 @@
    Statement ids of existing instructions are preserved (they identify
    source statements); phi instructions receive fresh ids. *)
 
+let c_phis_inserted = Slice_obs.counter "ssa.phis_inserted"
+let c_phis_pruned = Slice_obs.counter "ssa.phis_pruned"
+let c_methods_converted = Slice_obs.counter "ssa.methods_converted"
+
 let is_ssa_var (m : Instr.meth) (v : Instr.var) : bool =
   match (Instr.var_info m v).Instr.vi_kind with
   | Instr.Vssa _ -> true
@@ -54,7 +58,10 @@ let prune_dead_phis (m : Instr.meth) : unit =
         List.filter
           (fun i ->
             match i.Instr.i_kind with
-            | Instr.Phi (x, _) -> Hashtbl.mem demanded x
+            | Instr.Phi (x, _) ->
+              let keep = Hashtbl.mem demanded x in
+              if not keep then Slice_obs.bump c_phis_pruned;
+              keep
             | _ -> true)
           b.Instr.b_instrs)
     (Instr.blocks_exn m)
@@ -62,6 +69,7 @@ let prune_dead_phis (m : Instr.meth) : unit =
 let convert (p : Program.t) (m : Instr.meth) : unit =
   if not (Instr.has_body m) then ()
   else begin
+    Slice_obs.bump c_methods_converted;
     let cfg = Cfg.build m in
     let dom = Dominance.compute (Dominance.forward_graph cfg) in
     let df = Dominance.dominance_frontiers dom in
@@ -107,6 +115,7 @@ let convert (p : Program.t) (m : Instr.meth) : unit =
                     i_kind = Instr.Phi (v, []);
                     i_loc = loc }
                 in
+                Slice_obs.bump c_phis_inserted;
                 Hashtbl.replace phi_for.(y) v (ref phi);
                 if not ever_on_work.(y) then begin
                   ever_on_work.(y) <- true;

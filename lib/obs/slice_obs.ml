@@ -1,0 +1,539 @@
+(* Process-global telemetry: trace spans + metric registry + sinks.
+
+   Everything lives in module-global mutable state on purpose: the
+   pipeline is single-threaded and the drivers (thinslice, bench) want to
+   observe whatever analysis ran last without threading a handle through
+   eight libraries.  [reset] zeroes values in place so metric handles
+   interned at module-initialisation time stay live. *)
+
+(* ------------------------------------------------------------------ *)
+(* Enable / disable                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let enabled_flag = ref true
+
+let enabled () = !enabled_flag
+let set_enabled b = enabled_flag := b
+
+(* ------------------------------------------------------------------ *)
+(* Metric registry                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type counter = int ref
+type gauge = float ref
+
+type histogram = {
+  h_name : string;
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
+let hists : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+let counter (name : string) : counter =
+  match Hashtbl.find_opt counters name with
+  | Some c -> c
+  | None ->
+    let c = ref 0 in
+    Hashtbl.replace counters name c;
+    c
+
+let bump (c : counter) = incr c
+let add (c : counter) n = c := !c + n
+
+let counter_value name =
+  match Hashtbl.find_opt counters name with Some c -> !c | None -> 0
+
+let gauge (name : string) : gauge =
+  match Hashtbl.find_opt gauges name with
+  | Some g -> g
+  | None ->
+    let g = ref 0. in
+    Hashtbl.replace gauges name g;
+    g
+
+let set_gauge g v = g := v
+let max_gauge g v = if v > !g then g := v
+
+let gauge_value name =
+  match Hashtbl.find_opt gauges name with Some g -> !g | None -> 0.
+
+let histogram (name : string) : histogram =
+  match Hashtbl.find_opt hists name with
+  | Some h -> h
+  | None ->
+    let h = { h_name = name; h_count = 0; h_sum = 0.; h_min = 0.; h_max = 0. } in
+    Hashtbl.replace hists name h;
+    h
+
+let observe (h : histogram) (v : float) : unit =
+  if h.h_count = 0 then begin
+    h.h_min <- v;
+    h.h_max <- v
+  end
+  else begin
+    if v < h.h_min then h.h_min <- v;
+    if v > h.h_max then h.h_max <- v
+  end;
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v
+
+let histogram_stats (h : histogram) = (h.h_count, h.h_sum, h.h_min, h.h_max)
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type span_tree = {
+  sp_name : string;
+  sp_start : float;
+  sp_wall : float;
+  sp_minor_words : float;
+  sp_children : span_tree list;
+}
+
+(* Open spans carry mutable fields; finished trees are immutable. *)
+type open_span = {
+  os_name : string;
+  os_start : float;                       (* seconds since [epoch] *)
+  os_minor0 : float;
+  mutable os_done : span_tree list;       (* finished children, reversed *)
+}
+
+let epoch = Unix.gettimeofday ()
+let now () = Unix.gettimeofday () -. epoch
+
+(* Completed top-level spans (reversed) and the open-span stack
+   (innermost first). *)
+let roots : span_tree list ref = ref []
+let stack : open_span list ref = ref []
+
+let close_span (os : open_span) : unit =
+  let tree =
+    { sp_name = os.os_name;
+      sp_start = os.os_start;
+      sp_wall = now () -. os.os_start;
+      sp_minor_words = Gc.minor_words () -. os.os_minor0;
+      sp_children = List.rev os.os_done }
+  in
+  (match !stack with
+  | s :: rest when s == os -> stack := rest
+  | _ ->
+    (* unbalanced (an exception skipped an inner close): pop through *)
+    stack := List.filter (fun s -> s != os) !stack);
+  match !stack with
+  | parent :: _ -> parent.os_done <- tree :: parent.os_done
+  | [] -> roots := tree :: !roots
+
+let span (name : string) (f : unit -> 'a) : 'a =
+  if not !enabled_flag then f ()
+  else begin
+    let os =
+      { os_name = name;
+        os_start = now ();
+        os_minor0 = Gc.minor_words ();
+        os_done = [] }
+    in
+    stack := os :: !stack;
+    Fun.protect ~finally:(fun () -> close_span os) f
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type snapshot = {
+  snap_counters : (string * int) list;
+  snap_gauges : (string * float) list;
+  snap_hists : (string * (int * float * float * float)) list;
+  snap_spans : span_tree list;
+}
+
+let sorted_bindings tbl f =
+  Hashtbl.fold (fun k v acc -> (k, f v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let snapshot () : snapshot =
+  { snap_counters = sorted_bindings counters (fun c -> !c);
+    snap_gauges = sorted_bindings gauges (fun g -> !g);
+    snap_hists = sorted_bindings hists histogram_stats;
+    snap_spans = List.rev !roots }
+
+let reset () : unit =
+  Hashtbl.iter (fun _ c -> c := 0) counters;
+  Hashtbl.iter (fun _ g -> g := 0.) gauges;
+  Hashtbl.iter
+    (fun _ h ->
+      h.h_count <- 0;
+      h.h_sum <- 0.;
+      h.h_min <- 0.;
+      h.h_max <- 0.)
+    hists;
+  roots := [];
+  stack := []
+
+let span_totals (s : snapshot) : (string * float) list =
+  let acc : (string, float ref) Hashtbl.t = Hashtbl.create 32 in
+  let rec visit sp =
+    (match Hashtbl.find_opt acc sp.sp_name with
+    | Some r -> r := !r +. sp.sp_wall
+    | None -> Hashtbl.replace acc sp.sp_name (ref sp.sp_wall));
+    List.iter visit sp.sp_children
+  in
+  List.iter visit s.snap_spans;
+  sorted_bindings acc (fun r -> !r)
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape_string (s : string) : string =
+    let buf = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let float_to_string (f : float) : string =
+    match Float.classify_float f with
+    | Float.FP_nan | Float.FP_infinite -> "null"   (* JSON has no nan/inf *)
+    | _ ->
+      let s = Printf.sprintf "%.17g" f in
+      (* prefer the short form when it round-trips *)
+      let short = Printf.sprintf "%.12g" f in
+      if float_of_string short = f then short else s
+
+  let rec write buf (j : t) : unit =
+    match j with
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f -> Buffer.add_string buf (float_to_string f)
+    | Str s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape_string s);
+      Buffer.add_char buf '"'
+    | List l ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          write buf x)
+        l;
+      Buffer.add_char buf ']'
+    | Obj kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (escape_string k);
+          Buffer.add_string buf "\":";
+          write buf v)
+        kvs;
+      Buffer.add_char buf '}'
+
+  let to_string (j : t) : string =
+    let buf = Buffer.create 1024 in
+    write buf j;
+    Buffer.contents buf
+
+  (* --- parser: recursive descent over a string ----------------------- *)
+
+  exception Parse_fail of string
+
+  type parser_state = { text : string; mutable pos : int }
+
+  let fail st msg =
+    raise (Parse_fail (Printf.sprintf "%s at offset %d" msg st.pos))
+
+  let peek st =
+    if st.pos < String.length st.text then Some st.text.[st.pos] else None
+
+  let skip_ws st =
+    while
+      st.pos < String.length st.text
+      && (match st.text.[st.pos] with
+         | ' ' | '\t' | '\n' | '\r' -> true
+         | _ -> false)
+    do
+      st.pos <- st.pos + 1
+    done
+
+  let expect st c =
+    match peek st with
+    | Some c' when c' = c -> st.pos <- st.pos + 1
+    | _ -> fail st (Printf.sprintf "expected %c" c)
+
+  let literal st word value =
+    let n = String.length word in
+    if
+      st.pos + n <= String.length st.text
+      && String.sub st.text st.pos n = word
+    then begin
+      st.pos <- st.pos + n;
+      value
+    end
+    else fail st (Printf.sprintf "expected %s" word)
+
+  let parse_string_body st =
+    expect st '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek st with
+      | None -> fail st "unterminated string"
+      | Some '"' -> st.pos <- st.pos + 1
+      | Some '\\' -> (
+        st.pos <- st.pos + 1;
+        match peek st with
+        | Some '"' -> Buffer.add_char buf '"'; st.pos <- st.pos + 1; go ()
+        | Some '\\' -> Buffer.add_char buf '\\'; st.pos <- st.pos + 1; go ()
+        | Some '/' -> Buffer.add_char buf '/'; st.pos <- st.pos + 1; go ()
+        | Some 'n' -> Buffer.add_char buf '\n'; st.pos <- st.pos + 1; go ()
+        | Some 't' -> Buffer.add_char buf '\t'; st.pos <- st.pos + 1; go ()
+        | Some 'r' -> Buffer.add_char buf '\r'; st.pos <- st.pos + 1; go ()
+        | Some 'b' -> Buffer.add_char buf '\b'; st.pos <- st.pos + 1; go ()
+        | Some 'f' -> Buffer.add_char buf '\012'; st.pos <- st.pos + 1; go ()
+        | Some 'u' ->
+          if st.pos + 5 > String.length st.text then fail st "bad \\u escape";
+          let hex = String.sub st.text (st.pos + 1) 4 in
+          let code =
+            try int_of_string ("0x" ^ hex)
+            with _ -> fail st "bad \\u escape"
+          in
+          (* encode as UTF-8 (basic-plane only; surrogates kept verbatim) *)
+          if code < 0x80 then Buffer.add_char buf (Char.chr code)
+          else if code < 0x800 then begin
+            Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+            Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+          end
+          else begin
+            Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+            Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+            Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+          end;
+          st.pos <- st.pos + 5;
+          go ()
+        | _ -> fail st "bad escape")
+      | Some c ->
+        Buffer.add_char buf c;
+        st.pos <- st.pos + 1;
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+
+  let parse_number st =
+    let start = st.pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while
+      st.pos < String.length st.text && is_num_char st.text.[st.pos]
+    do
+      st.pos <- st.pos + 1
+    done;
+    let s = String.sub st.text start (st.pos - start) in
+    if String.contains s '.' || String.contains s 'e' || String.contains s 'E'
+    then
+      match float_of_string_opt s with
+      | Some f -> Float f
+      | None -> fail st "bad number"
+    else
+      match int_of_string_opt s with
+      | Some i -> Int i
+      | None -> (
+        match float_of_string_opt s with
+        | Some f -> Float f
+        | None -> fail st "bad number")
+
+  let rec parse_value st : t =
+    skip_ws st;
+    match peek st with
+    | None -> fail st "unexpected end of input"
+    | Some '"' -> Str (parse_string_body st)
+    | Some '{' ->
+      st.pos <- st.pos + 1;
+      skip_ws st;
+      if peek st = Some '}' then begin
+        st.pos <- st.pos + 1;
+        Obj []
+      end
+      else begin
+        let members = ref [] in
+        let rec member () =
+          skip_ws st;
+          let k = parse_string_body st in
+          skip_ws st;
+          expect st ':';
+          let v = parse_value st in
+          members := (k, v) :: !members;
+          skip_ws st;
+          match peek st with
+          | Some ',' -> st.pos <- st.pos + 1; member ()
+          | Some '}' -> st.pos <- st.pos + 1
+          | _ -> fail st "expected , or }"
+        in
+        member ();
+        Obj (List.rev !members)
+      end
+    | Some '[' ->
+      st.pos <- st.pos + 1;
+      skip_ws st;
+      if peek st = Some ']' then begin
+        st.pos <- st.pos + 1;
+        List []
+      end
+      else begin
+        let items = ref [] in
+        let rec item () =
+          let v = parse_value st in
+          items := v :: !items;
+          skip_ws st;
+          match peek st with
+          | Some ',' -> st.pos <- st.pos + 1; item ()
+          | Some ']' -> st.pos <- st.pos + 1
+          | _ -> fail st "expected , or ]"
+        in
+        item ();
+        List (List.rev !items)
+      end
+    | Some 't' -> literal st "true" (Bool true)
+    | Some 'f' -> literal st "false" (Bool false)
+    | Some 'n' -> literal st "null" Null
+    | Some ('-' | '0' .. '9') -> parse_number st
+    | Some c -> fail st (Printf.sprintf "unexpected character %c" c)
+
+  let of_string (s : string) : (t, string) result =
+    let st = { text = s; pos = 0 } in
+    match parse_value st with
+    | v ->
+      skip_ws st;
+      if st.pos = String.length s then Ok v
+      else Error (Printf.sprintf "trailing garbage at offset %d" st.pos)
+    | exception Parse_fail msg -> Error msg
+
+  let member (key : string) (j : t) : t option =
+    match j with Obj kvs -> List.assoc_opt key kvs | _ -> None
+end
+
+(* ------------------------------------------------------------------ *)
+(* Sinks                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let rec span_to_json (sp : span_tree) : Json.t =
+  Json.Obj
+    [ ("name", Json.Str sp.sp_name);
+      ("start_s", Json.Float sp.sp_start);
+      ("wall_s", Json.Float sp.sp_wall);
+      ("minor_words", Json.Float sp.sp_minor_words);
+      ("children", Json.List (List.map span_to_json sp.sp_children)) ]
+
+let snapshot_to_json (s : snapshot) : Json.t =
+  Json.Obj
+    [ ("counters",
+       Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) s.snap_counters));
+      ("gauges",
+       Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) s.snap_gauges));
+      ("histograms",
+       Json.Obj
+         (List.map
+            (fun (k, (count, sum, mn, mx)) ->
+              ( k,
+                Json.Obj
+                  [ ("count", Json.Int count);
+                    ("sum", Json.Float sum);
+                    ("min", Json.Float mn);
+                    ("max", Json.Float mx) ] ))
+            s.snap_hists));
+      ("spans", Json.List (List.map span_to_json s.snap_spans));
+      ("phase_wall_s",
+       Json.Obj
+         (List.map (fun (k, v) -> (k, Json.Float v)) (span_totals s))) ]
+
+let report (s : snapshot) : string =
+  let buf = Buffer.create 1024 in
+  if s.snap_spans <> [] then begin
+    Buffer.add_string buf "spans (wall ms / minor kwords):\n";
+    let rec pp indent sp =
+      Buffer.add_string buf
+        (Printf.sprintf "%s%-*s %9.3f ms %10.1f kw\n" indent
+           (max 1 (32 - String.length indent))
+           sp.sp_name (sp.sp_wall *. 1000.)
+           (sp.sp_minor_words /. 1000.));
+      List.iter (pp (indent ^ "  ")) sp.sp_children
+    in
+    List.iter (pp "  ") s.snap_spans
+  end;
+  if s.snap_counters <> [] then begin
+    Buffer.add_string buf "counters:\n";
+    List.iter
+      (fun (k, v) ->
+        if v <> 0 then Buffer.add_string buf (Printf.sprintf "  %-40s %12d\n" k v))
+      s.snap_counters
+  end;
+  if List.exists (fun (_, v) -> v <> 0.) s.snap_gauges then begin
+    Buffer.add_string buf "gauges:\n";
+    List.iter
+      (fun (k, v) ->
+        if v <> 0. then
+          Buffer.add_string buf (Printf.sprintf "  %-40s %12.1f\n" k v))
+      s.snap_gauges
+  end;
+  if List.exists (fun (_, (c, _, _, _)) -> c <> 0) s.snap_hists then begin
+    Buffer.add_string buf "histograms (count/sum/min/max):\n";
+    List.iter
+      (fun (k, (count, sum, mn, mx)) ->
+        if count <> 0 then
+          Buffer.add_string buf
+            (Printf.sprintf "  %-40s %8d %10.1f %10.1f %10.1f\n" k count sum mn
+               mx))
+      s.snap_hists
+  end;
+  Buffer.contents buf
+
+let chrome_trace (s : snapshot) : Json.t =
+  let events = ref [] in
+  let rec visit sp =
+    events :=
+      Json.Obj
+        [ ("name", Json.Str sp.sp_name);
+          ("ph", Json.Str "X");
+          ("pid", Json.Int 1);
+          ("tid", Json.Int 1);
+          ("ts", Json.Float (sp.sp_start *. 1e6));
+          ("dur", Json.Float (sp.sp_wall *. 1e6));
+          ("args",
+           Json.Obj [ ("minor_words", Json.Float sp.sp_minor_words) ]) ]
+      :: !events;
+    List.iter visit sp.sp_children
+  in
+  List.iter visit s.snap_spans;
+  Json.Obj
+    [ ("traceEvents", Json.List (List.rev !events));
+      ("displayTimeUnit", Json.Str "ms") ]

@@ -1,0 +1,138 @@
+(** Pipeline telemetry: hierarchical trace spans, a process-global
+    counter/gauge/histogram registry, and sinks (pretty text report,
+    hand-rolled JSON, Chrome [trace_event] export).
+
+    Design constraints (see ISSUE 1):
+    - counters are plain [int ref] bumps — safe to leave in hot loops;
+    - the default sink is a no-op: nothing is emitted unless a driver
+      explicitly asks for a report / JSON / trace;
+    - span collection is opt-out-able via {!set_enabled} so scripted use
+      pays nothing beyond the counter bumps. *)
+
+(* ------------------------------------------------------------------ *)
+(* Enable / disable                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(** Whether spans (and their wall-clock / allocation accounting) are being
+    recorded.  Counters always count — they are plain [int ref] bumps.
+    Default: enabled. *)
+val enabled : unit -> bool
+
+val set_enabled : bool -> unit
+
+(** Reset every counter/gauge/histogram to zero and drop all recorded
+    spans.  Registered metric handles stay valid (they are interned by
+    name), so module-level [counter] bindings survive a reset. *)
+val reset : unit -> unit
+
+(* ------------------------------------------------------------------ *)
+(* Counters, gauges, histograms                                        *)
+(* ------------------------------------------------------------------ *)
+
+type counter = int ref
+
+(** Intern (or find) the counter registered under [name]. *)
+val counter : string -> counter
+
+val bump : counter -> unit
+val add : counter -> int -> unit
+
+(** Current value of a registered counter, 0 if never registered. *)
+val counter_value : string -> int
+
+type gauge = float ref
+
+val gauge : string -> gauge
+val set_gauge : gauge -> float -> unit
+
+(** Record [v] only if it exceeds the gauge's current value (peaks). *)
+val max_gauge : gauge -> float -> unit
+
+val gauge_value : string -> float
+
+type histogram
+
+val histogram : string -> histogram
+val observe : histogram -> float -> unit
+
+(** (count, sum, min, max); min/max are 0 when the histogram is empty. *)
+val histogram_stats : histogram -> int * float * float * float
+
+(* ------------------------------------------------------------------ *)
+(* Trace spans                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** [span name f] runs [f ()] inside a span named [name], recording wall
+    time and minor-heap allocation.  Spans nest: a span opened while
+    another is running becomes its child.  When disabled this is exactly
+    [f ()].  Exception-safe: the span is closed even if [f] raises. *)
+val span : string -> (unit -> 'a) -> 'a
+
+type span_tree = {
+  sp_name : string;
+  sp_start : float;           (** seconds since process telemetry epoch *)
+  sp_wall : float;            (** wall-clock duration, seconds *)
+  sp_minor_words : float;     (** minor-heap words allocated inside *)
+  sp_children : span_tree list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type snapshot = {
+  snap_counters : (string * int) list;                       (** sorted *)
+  snap_gauges : (string * float) list;                       (** sorted *)
+  snap_hists : (string * (int * float * float * float)) list;
+  snap_spans : span_tree list;    (** completed top-level spans, in order *)
+}
+
+(** Capture the current state of the registry and completed spans. *)
+val snapshot : unit -> snapshot
+
+(** Total wall time per span name, aggregated over the whole span forest
+    (a span appearing several times contributes the sum).  Sorted by
+    name.  This is the "per-phase wall times" table of BENCH_results. *)
+val span_totals : snapshot -> (string * float) list
+
+(* ------------------------------------------------------------------ *)
+(* JSON (hand-rolled; no external dependency)                          *)
+(* ------------------------------------------------------------------ *)
+
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+
+  (** Parse a JSON text.  Numbers without [.], [e] or [E] become [Int]. *)
+  val of_string : string -> (t, string) result
+
+  (** Object member lookup ([None] on missing key or non-object). *)
+  val member : string -> t -> t option
+end
+
+(* ------------------------------------------------------------------ *)
+(* Sinks                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(** Structured encoding of a snapshot:
+    [{"counters": {...}, "gauges": {...}, "histograms": {...},
+      "spans": [{"name", "start_s", "wall_s", "minor_words", "children"}],
+      "phase_wall_s": {...}}]. *)
+val snapshot_to_json : snapshot -> Json.t
+
+(** Human-readable report: indented span tree with timings and
+    allocation, then counters / gauges / histograms. *)
+val report : snapshot -> string
+
+(** Chrome [trace_event] JSON (load in chrome://tracing or Perfetto):
+    an object with a ["traceEvents"] array of complete ("ph":"X")
+    events. *)
+val chrome_trace : snapshot -> Json.t

@@ -19,6 +19,14 @@ type opts = {
   max_ctx_depth : int;
 }
 
+(* Telemetry: plain int-ref bumps (see Slice_obs); interned once here. *)
+let c_worklist_iterations = Slice_obs.counter "pta.worklist_iterations"
+let c_constraints = Slice_obs.counter "pta.constraints_processed"
+let c_diff_prop_hits = Slice_obs.counter "pta.diff_prop_hits"
+let c_edges = Slice_obs.counter "pta.points_to_edges"
+let c_context_clones = Slice_obs.counter "pta.context_clones"
+let c_pts_objs = Slice_obs.counter "pta.pts_objects_propagated"
+
 let default_opts = { obj_sens_containers = true; max_ctx_depth = 3 }
 
 let no_obj_sens_opts = { obj_sens_containers = false; max_ctx_depth = 3 }
@@ -94,6 +102,7 @@ let intern_mctx (t : t) (mq : Instr.method_qname) (c : Context.ctx) : int =
     t.mctxs.(id) <- { mi_mq = mq; mi_ctx = c };
     t.num_mctxs <- id + 1;
     Hashtbl.replace t.mctx_intern key id;
+    if c <> Context.Cnone then Slice_obs.bump c_context_clones;
     id
 
 let grow_nodes (t : t) =
@@ -154,7 +163,11 @@ let filter_delta (t : t) (filter : Types.ty option) (delta : ObjSet.t) : ObjSet.
 
 let add_pts (t : t) (n : int) (objs : ObjSet.t) : unit =
   let fresh = ObjSet.diff objs t.pts.(n) in
-  if not (ObjSet.is_empty fresh) then begin
+  if ObjSet.is_empty fresh then
+    (* difference propagation pruned the whole delta: no re-enqueue *)
+    Slice_obs.bump c_diff_prop_hits
+  else begin
+    Slice_obs.add c_pts_objs (ObjSet.cardinal fresh);
     t.pts.(n) <- ObjSet.union t.pts.(n) fresh;
     t.work <- (n, fresh) :: t.work
   end
@@ -162,6 +175,7 @@ let add_pts (t : t) (n : int) (objs : ObjSet.t) : unit =
 let add_edge (t : t) ?(filter : Types.ty option) (src : int) (dst : int) : unit =
   if src <> dst && not (Hashtbl.mem t.edge_seen (src, dst)) then begin
     Hashtbl.replace t.edge_seen (src, dst) ();
+    Slice_obs.bump c_edges;
     t.succs.(src) <- (dst, filter) :: t.succs.(src);
     let d = filter_delta t filter t.pts.(src) in
     if not (ObjSet.is_empty d) then add_pts t dst d
@@ -399,6 +413,11 @@ let solve (t : t) : unit =
     | [] -> ()
     | (n, delta) :: rest ->
       t.work <- rest;
+      Slice_obs.bump c_worklist_iterations;
+      Slice_obs.add c_constraints
+        (List.length t.succs.(n) + List.length t.loads.(n)
+        + List.length t.stores.(n)
+        + List.length t.dispatches.(n));
       List.iter
         (fun (dst, filter) ->
           let d = filter_delta t filter delta in
@@ -429,7 +448,7 @@ let solve (t : t) : unit =
 
 type result = t
 
-let analyze ?(opts = default_opts) (p : Program.t) : result =
+let analyze_uninstrumented ~opts (p : Program.t) : result =
   let t =
     { p;
       opts;
@@ -474,8 +493,11 @@ let analyze ?(opts = default_opts) (p : Program.t) : result =
       add_pts t (intern_node t (Nvar (emc, pv))) (ObjSet.singleton arr);
       add_pts t (intern_node t (Nfield (arr, elem_field))) (ObjSet.singleton str)
     | _ -> ()));
-  solve t;
+  Slice_obs.span "pta.solve" (fun () -> solve t);
   t
+
+let analyze ?(opts = default_opts) (p : Program.t) : result =
+  Slice_obs.span "pta" (fun () -> analyze_uninstrumented ~opts p)
 
 (* --- queries ------------------------------------------------------- *)
 

@@ -15,4 +15,5 @@ let () =
       ("forward", Test_forward.suite);
       ("dynamic", Test_dynamic.suite);
       ("tasks", Test_tasks.suite);
+      ("obs", Test_obs.suite);
       ("properties", Test_props.suite) ]

@@ -1,0 +1,258 @@
+(* Telemetry-layer tests: span nesting, counter monotonicity, JSON
+   round-trips, and the thinslice --stats-json CLI contract. *)
+
+open Slice_obs
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* --- spans ---------------------------------------------------------- *)
+
+let test_span_nesting () =
+  reset ();
+  set_enabled true;
+  let r =
+    span "outer" (fun () ->
+        span "inner-a" (fun () -> ignore (Sys.opaque_identity 1));
+        span "inner-b" (fun () -> ignore (Sys.opaque_identity 2));
+        42)
+  in
+  check_int "span returns the body's value" 42 r;
+  let s = snapshot () in
+  check_int "one root span" 1 (List.length s.snap_spans);
+  let outer = List.hd s.snap_spans in
+  check_string "root name" "outer" outer.sp_name;
+  check_int "two children" 2 (List.length outer.sp_children);
+  Alcotest.(check (list string))
+    "children in order" [ "inner-a"; "inner-b" ]
+    (List.map (fun c -> c.sp_name) outer.sp_children);
+  check_bool "outer wall >= child walls" true
+    (outer.sp_wall
+    >= List.fold_left (fun acc c -> acc +. c.sp_wall) 0. outer.sp_children
+       -. 1e-9);
+  List.iter
+    (fun c -> check_bool "child wall >= 0" true (c.sp_wall >= 0.))
+    outer.sp_children
+
+let test_span_exception_safe () =
+  reset ();
+  set_enabled true;
+  (try span "boom" (fun () -> failwith "expected") with Failure _ -> ());
+  let s = snapshot () in
+  check_int "span closed despite raise" 1 (List.length s.snap_spans);
+  check_string "name" "boom" (List.hd s.snap_spans).sp_name;
+  (* the stack is clean: a new span is a root, not a child of "boom" *)
+  span "after" (fun () -> ());
+  let s = snapshot () in
+  check_int "two roots" 2 (List.length s.snap_spans)
+
+let test_span_disabled () =
+  reset ();
+  set_enabled false;
+  let r = span "invisible" (fun () -> 7) in
+  set_enabled true;
+  check_int "body still runs" 7 r;
+  check_int "nothing recorded" 0 (List.length (snapshot ()).snap_spans)
+
+let test_span_totals () =
+  reset ();
+  set_enabled true;
+  span "phase" (fun () -> ());
+  span "phase" (fun () -> ());
+  let totals = span_totals (snapshot ()) in
+  check_int "aggregated by name" 1 (List.length totals);
+  check_string "name" "phase" (fst (List.hd totals))
+
+(* --- counters ------------------------------------------------------- *)
+
+let test_counter_monotonic () =
+  reset ();
+  let c = counter "test.monotonic" in
+  check_int "zero after reset" 0 !c;
+  bump c;
+  bump c;
+  bump c;
+  check_int "three bumps" 3 !c;
+  check_int "registry sees the same cell" 3 (counter_value "test.monotonic");
+  let before = !c in
+  add c 5;
+  check_bool "monotonically increasing" true (!c > before);
+  check_int "add" 8 !c;
+  (* interning: same name -> same cell *)
+  let c' = counter "test.monotonic" in
+  check_bool "interned" true (c == c');
+  (* reset zeroes in place, handle stays live *)
+  reset ();
+  check_int "reset zeroes" 0 !c;
+  bump c;
+  check_int "handle survives reset" 1 (counter_value "test.monotonic")
+
+let test_gauge_and_histogram () =
+  reset ();
+  let g = gauge "test.peak" in
+  max_gauge g 3.;
+  max_gauge g 1.;
+  Alcotest.(check (float 1e-9)) "max kept" 3. (gauge_value "test.peak");
+  let h = histogram "test.sizes" in
+  observe h 10.;
+  observe h 2.;
+  observe h 4.;
+  let count, sum, mn, mx = histogram_stats h in
+  check_int "count" 3 count;
+  Alcotest.(check (float 1e-9)) "sum" 16. sum;
+  Alcotest.(check (float 1e-9)) "min" 2. mn;
+  Alcotest.(check (float 1e-9)) "max" 10. mx
+
+(* --- JSON ----------------------------------------------------------- *)
+
+let rec json_equal (a : Json.t) (b : Json.t) : bool =
+  match (a, b) with
+  | Json.Null, Json.Null -> true
+  | Json.Bool x, Json.Bool y -> x = y
+  | Json.Int x, Json.Int y -> x = y
+  | Json.Float x, Json.Float y -> abs_float (x -. y) < 1e-9
+  | Json.Str x, Json.Str y -> String.equal x y
+  | Json.List x, Json.List y ->
+    List.length x = List.length y && List.for_all2 json_equal x y
+  | Json.Obj x, Json.Obj y ->
+    List.length x = List.length y
+    && List.for_all2
+         (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && json_equal v1 v2)
+         x y
+  | _ -> false
+
+let test_json_roundtrip () =
+  let doc =
+    Json.Obj
+      [ ("name", Json.Str "weird \"quoted\"\n\ttext");
+        ("count", Json.Int 42);
+        ("negative", Json.Int (-17));
+        ("pi", Json.Float 3.25);
+        ("flag", Json.Bool true);
+        ("nothing", Json.Null);
+        ("items", Json.List [ Json.Int 1; Json.Str "two"; Json.Bool false ]);
+        ("nested", Json.Obj [ ("empty_list", Json.List []);
+                              ("empty_obj", Json.Obj []) ]) ]
+  in
+  match Json.of_string (Json.to_string doc) with
+  | Error e -> Alcotest.failf "reparse failed: %s" e
+  | Ok doc' -> check_bool "round-trip preserves structure" true (json_equal doc doc')
+
+let test_json_parse_errors () =
+  List.iter
+    (fun bad ->
+      match Json.of_string bad with
+      | Ok _ -> Alcotest.failf "expected parse failure for %S" bad
+      | Error _ -> ())
+    [ ""; "{"; "[1,"; "{\"a\":}"; "tru"; "\"unterminated"; "{} junk" ]
+
+let test_snapshot_json_shape () =
+  reset ();
+  set_enabled true;
+  let c = counter "shape.counter" in
+  bump c;
+  span "shape.span" (fun () -> ());
+  let j = snapshot_to_json (snapshot ()) in
+  (* round-trips through text *)
+  let j =
+    match Json.of_string (Json.to_string j) with
+    | Ok v -> v
+    | Error e -> Alcotest.failf "snapshot JSON unparseable: %s" e
+  in
+  let mem k = Json.member k j <> None in
+  List.iter
+    (fun k -> check_bool ("has key " ^ k) true (mem k))
+    [ "counters"; "gauges"; "histograms"; "spans"; "phase_wall_s" ];
+  (match Json.member "counters" j with
+  | Some (Json.Obj kvs) ->
+    check_bool "counter serialized" true
+      (List.assoc_opt "shape.counter" kvs = Some (Json.Int 1))
+  | _ -> Alcotest.fail "counters is not an object");
+  match Json.member "spans" j with
+  | Some (Json.List (Json.Obj kvs :: _)) ->
+    List.iter
+      (fun k -> check_bool ("span has " ^ k) true (List.mem_assoc k kvs))
+      [ "name"; "start_s"; "wall_s"; "minor_words"; "children" ]
+  | _ -> Alcotest.fail "spans is not a non-empty list of objects"
+
+(* --- the thinslice --stats-json CLI contract ------------------------ *)
+
+let demo_program =
+  "void main(String[] args) {\n\
+  \  String s = args[0];\n\
+  \  print(s);\n\
+   }\n"
+
+let exe_path = Filename.concat (Filename.concat ".." "bin") "thinslice.exe"
+
+let test_cli_stats_json () =
+  if not (Sys.file_exists exe_path) then
+    Alcotest.skip ()
+  else begin
+    let src_file = Filename.temp_file "obs_cli" ".tj" in
+    let json_file = Filename.temp_file "obs_cli" ".json" in
+    let oc = open_out src_file in
+    output_string oc demo_program;
+    close_out oc;
+    let cmd =
+      Printf.sprintf "%s slice %s --line 3 --quiet --stats-json %s > %s 2>&1"
+        (Filename.quote exe_path) (Filename.quote src_file)
+        (Filename.quote json_file)
+        (Filename.quote Filename.null)
+    in
+    let rc = Sys.command cmd in
+    check_int "thinslice slice --stats-json exits 0" 0 rc;
+    let ic = open_in_bin json_file in
+    let text = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    Sys.remove src_file;
+    Sys.remove json_file;
+    check_bool "artifact non-empty" true (String.length text > 0);
+    let j =
+      match Json.of_string text with
+      | Ok v -> v
+      | Error e -> Alcotest.failf "--stats-json output unparseable: %s" e
+    in
+    check_bool "schema tag" true
+      (Json.member "schema" j
+      = Some (Json.Str Slice_core.Engine.stats_schema_version));
+    List.iter
+      (fun k ->
+        check_bool ("documented key " ^ k) true (Json.member k j <> None))
+      [ "schema"; "program"; "sdg.edges_by_kind"; "telemetry" ];
+    (match Json.member "program" j with
+    | Some p ->
+      List.iter
+        (fun k ->
+          check_bool ("program key " ^ k) true (Json.member k p <> None))
+        [ "classes"; "methods"; "ir_statements"; "call_graph_nodes";
+          "sdg_statements"; "sdg_nodes"; "abstract_objects" ]
+    | None -> Alcotest.fail "no program object");
+    match Json.member "telemetry" j with
+    | Some t -> (
+      match Json.member "counters" t with
+      | Some (Json.Obj kvs) ->
+        List.iter
+          (fun k ->
+            match List.assoc_opt k kvs with
+            | Some (Json.Int v) ->
+              check_bool (k ^ " nonzero") true (v > 0)
+            | _ -> Alcotest.failf "missing counter %s" k)
+          [ "pta.worklist_iterations"; "sdg.edges"; "slicer.nodes_visited" ]
+      | _ -> Alcotest.fail "telemetry.counters is not an object")
+    | None -> Alcotest.fail "no telemetry object"
+  end
+
+let suite =
+  [ Alcotest.test_case "span nesting" `Quick test_span_nesting;
+    Alcotest.test_case "span exception safety" `Quick test_span_exception_safe;
+    Alcotest.test_case "span disabled passthrough" `Quick test_span_disabled;
+    Alcotest.test_case "span totals aggregate" `Quick test_span_totals;
+    Alcotest.test_case "counter monotonicity" `Quick test_counter_monotonic;
+    Alcotest.test_case "gauge and histogram" `Quick test_gauge_and_histogram;
+    Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json parse errors" `Quick test_json_parse_errors;
+    Alcotest.test_case "snapshot json shape" `Quick test_snapshot_json_shape;
+    Alcotest.test_case "thinslice --stats-json contract" `Quick
+      test_cli_stats_json ]

@@ -348,14 +348,31 @@ let timing () =
 
 let bench_schema_version = "thinslice.bench/v1"
 
-(* One suite program: reset telemetry, run the full pipeline, slice thin
-   and traditional from a representative seed, then snapshot.  The
-   counters in the snapshot therefore cover frontend + PTA + SDG build +
-   both slices for exactly this benchmark. *)
+let bench_modes =
+  [ Slicer.Thin; Slicer.Thin_with_aliasing 1; Slicer.Traditional_data;
+    Slicer.Traditional_full ]
+
+(* Slicing walls are microseconds on these programs; repeat each mode's
+   slice so the A/B wall comparison is above timer noise, and run a few
+   untimed warmup iterations first so neither side pays one-off costs
+   (minor-heap shaping, scratch-buffer growth) inside the timed loop. *)
+let slice_reps = 200
+let slice_warmup = 5
+
+(* One suite program: run the full pipeline UNFROZEN inside a telemetry
+   scope, slice every mode with the seed (list-adjacency, Hashtbl+Queue)
+   implementation (the A side), then freeze — timing the compaction —
+   and slice every mode on the CSR layout with per-mode scoped telemetry
+   (the B side).  Each entry records both walls, the freeze wall, a
+   parity bit (A and B returned identical node sets), and per-task
+   counters that are deltas, not process-cumulative values. *)
 let bench_entry (name : string) (src : string) : Slice_obs.Json.t =
   let open Slice_obs.Json in
-  Slice_obs.reset ();
-  let a = Engine.of_source ~file:(name ^ ".tj") src in
+  let (a, s), pipeline_snap =
+    Slice_obs.scoped (fun () ->
+        let a = Engine.of_source ~freeze:false ~file:(name ^ ".tj") src in
+        (a, Engine.stats_of a))
+  in
   let g = a.Engine.sdg in
   (* representative seed: the first user-visible statement node *)
   let seed = ref None in
@@ -367,48 +384,95 @@ let bench_entry (name : string) (src : string) : Slice_obs.Json.t =
        end
      done
    with Exit -> ());
-  let slices =
-    match !seed with
-    | None -> []
-    | Some s ->
-      List.map
-        (fun mode ->
-          let nodes = Slicer.slice g ~seeds:[ s ] mode in
-          let lines =
-            nodes
-            |> List.filter (Sdg.node_countable g)
-            |> List.map (fun n -> (Sdg.node_loc g n).Slice_ir.Loc.line)
-            |> List.sort_uniq compare
-          in
-          Obj
-            [ ("mode", Str (Slicer.mode_to_string mode));
-              ("nodes", Int (List.length nodes));
-              ("lines", Int (List.length lines)) ])
-        [ Slicer.Thin; Slicer.Thin_with_aliasing 1; Slicer.Traditional_data;
-          Slicer.Traditional_full ]
+  let seeds = match !seed with None -> [] | Some s -> [ s ] in
+  (* A: the seed implementation over list adjacency (graph not yet frozen) *)
+  let list_results =
+    List.map
+      (fun mode ->
+        let nodes = ref [] in
+        for _ = 1 to slice_warmup do
+          nodes := Slicer.Reference.slice g ~seeds mode
+        done;
+        let _, wall =
+          time (fun () ->
+              for _ = 1 to slice_reps do
+                nodes := Slicer.Reference.slice g ~seeds mode
+              done)
+        in
+        (mode, !nodes, wall))
+      bench_modes
   in
-  let s = Engine.stats_of a in
-  let snap = s.Engine.obs in
+  (* the freeze (compaction) phase, timed *)
+  let (), freeze_wall = time (fun () -> Sdg.freeze g) in
+  (* B: the CSR walk, with per-mode isolated telemetry *)
+  let slices =
+    List.map
+      (fun (mode, list_nodes, list_wall) ->
+        (* warm up outside the telemetry scope so the recorded counters
+           correspond exactly to the [slice_reps] timed iterations *)
+        for _ = 1 to slice_warmup do
+          ignore (Slicer.slice g ~seeds mode)
+        done;
+        let (csr_nodes, csr_wall), mode_snap =
+          Slice_obs.scoped (fun () ->
+              let nodes = ref [] in
+              let _, wall =
+                time (fun () ->
+                    for _ = 1 to slice_reps do
+                      nodes := Slicer.slice g ~seeds mode
+                    done)
+              in
+              (!nodes, wall))
+        in
+        let lines =
+          csr_nodes
+          |> List.filter (Sdg.node_countable g)
+          |> List.map (fun n -> (Sdg.node_loc g n).Slice_ir.Loc.line)
+          |> List.sort_uniq compare
+        in
+        Obj
+          [ ("mode", Str (Slicer.mode_to_string mode));
+            ("nodes", Int (List.length csr_nodes));
+            ("lines", Int (List.length lines));
+            ("reps", Int slice_reps);
+            ("wall_s_csr", Float csr_wall);
+            ("wall_s_list", Float list_wall);
+            ("speedup", Float (if csr_wall > 0. then list_wall /. csr_wall else 0.));
+            ("parity", Bool (csr_nodes = list_nodes));
+            ("counters",
+             Obj
+               (List.filter_map
+                  (fun (k, v) ->
+                    if String.length k >= 7 && String.sub k 0 7 = "slicer." then
+                      Some (k, Int v)
+                    else None)
+                  mode_snap.Slice_obs.snap_counters)) ])
+      list_results
+  in
   Obj
     [ ("name", Str name);
       ("stats", Engine.program_stats_json s);
+      ("freeze_wall_s", Float freeze_wall);
       ("phase_wall_s",
        Obj
          (List.map
             (fun (k, v) -> (k, Float v))
-            (Slice_obs.span_totals snap)));
+            (Slice_obs.span_totals pipeline_snap)));
       ("counters",
        Obj
          (List.map
             (fun (k, v) -> (k, Int v))
-            snap.Slice_obs.snap_counters));
-      ("sdg.edges_by_kind", Engine.edges_by_kind_json snap);
+            pipeline_snap.Slice_obs.snap_counters));
+      ("sdg.edges_by_kind", Engine.edges_by_kind_json pipeline_snap);
       ("slices", List slices) ]
 
-(* Slice-size tables (Tables 2/3) in machine-readable form. *)
+(* Slice-size tables (Tables 2/3) in machine-readable form.  Each task
+   measures inside its own telemetry scope, so two identical tasks report
+   identical counters (previously counters and peak gauges accumulated
+   across all prior tasks in the process). *)
 let bench_task (t : Task.t) : Slice_obs.Json.t =
   let open Slice_obs.Json in
-  let m = Task.measure t in
+  let m, snap = Slice_obs.scoped (fun () -> Task.measure t) in
   Obj
     [ ("id", Str t.Task.id);
       ("thin", Int m.Task.m_thin);
@@ -418,7 +482,20 @@ let bench_task (t : Task.t) : Slice_obs.Json.t =
       ("thin_no_objsens", Int m.Task.m_thin_noobj);
       ("trad_no_objsens", Int m.Task.m_trad_noobj);
       ("thin_found", Bool m.Task.m_thin_found);
-      ("trad_found", Bool m.Task.m_trad_found) ]
+      ("trad_found", Bool m.Task.m_trad_found);
+      ("counters",
+       Obj
+         (List.filter_map
+            (fun (k, v) ->
+              if String.length k >= 7 && String.sub k 0 7 = "slicer." then
+                Some (k, Int v)
+              else None)
+            snap.Slice_obs.snap_counters));
+      ("frontier_peak",
+       Float
+         (match List.assoc_opt "slicer.frontier_peak" snap.Slice_obs.snap_gauges with
+         | Some v -> v
+         | None -> 0.)) ]
 
 let json_results ?(out = "BENCH_results.json") () =
   let open Slice_obs.Json in
@@ -446,6 +523,149 @@ let json_results ?(out = "BENCH_results.json") () =
   Printf.printf "wrote %s (%d benchmarks, %d tasks)\n" out
     (List.length benchmarks) (List.length tasks)
 
+(* ------------------------------------------------------------------ *)
+(* Slice-size baseline: CI fails when any slice size drifts            *)
+(* ------------------------------------------------------------------ *)
+
+let results_path = "BENCH_results.json"
+let baseline_path = "bench/baseline_slices.json"
+
+let read_json (path : string) : Slice_obs.Json.t =
+  let ic =
+    try open_in_bin path
+    with Sys_error msg ->
+      Printf.eprintf "cannot read %s: %s\n" path msg;
+      exit 1
+  in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  match Slice_obs.Json.of_string text with
+  | Ok j -> j
+  | Error e ->
+    Printf.eprintf "%s: invalid JSON: %s\n" path e;
+    exit 1
+
+(* Project a BENCH_results document onto the drift-sensitive facts: per
+   benchmark and mode the slice node/line counts, per task the thin/trad
+   inspection counts.  Also *validates* every per-mode parity bit (the
+   CSR walk agreed with the list-adjacency reference). *)
+let extract_slice_sizes (doc : Slice_obs.Json.t) : Slice_obs.Json.t =
+  let open Slice_obs.Json in
+  let str what = function
+    | Some (Str s) -> s
+    | _ -> failwith ("expected string for " ^ what)
+  in
+  let get what j k =
+    match member k j with
+    | Some v -> v
+    | None -> failwith (Printf.sprintf "missing %s in %s" k what)
+  in
+  let benches =
+    match member "benchmarks" doc with
+    | Some (List bs) ->
+      List.map
+        (fun b ->
+          let name = str "benchmark name" (member "name" b) in
+          let slices =
+            match member "slices" b with Some (List ss) -> ss | _ -> []
+          in
+          ( name,
+            Obj
+              (List.map
+                 (fun sl ->
+                   let mode = str "mode" (member "mode" sl) in
+                   (match member "parity" sl with
+                   | Some (Bool true) -> ()
+                   | _ ->
+                     failwith
+                       (Printf.sprintf
+                          "benchmark %s, mode %s: CSR/list slice parity failed"
+                          name mode));
+                   ( mode,
+                     Obj
+                       [ ("nodes", get (name ^ "/" ^ mode) sl "nodes");
+                         ("lines", get (name ^ "/" ^ mode) sl "lines") ] ))
+                 slices) ))
+        bs
+    | _ -> failwith "missing benchmarks array"
+  in
+  let tasks =
+    match member "slice_size_tables" doc with
+    | Some (List ts) ->
+      List.map
+        (fun t ->
+          let id = str "task id" (member "id" t) in
+          ( id,
+            Obj [ ("thin", get id t "thin"); ("trad", get id t "trad") ] ))
+        ts
+    | _ -> failwith "missing slice_size_tables array"
+  in
+  Obj
+    [ ("schema", Str "thinslice.bench-baseline/v1");
+      ("benchmarks", Obj benches);
+      ("tasks", Obj tasks) ]
+
+let current_slice_sizes () : Slice_obs.Json.t =
+  let doc = read_json results_path in
+  (match Slice_obs.Json.member "schema" doc with
+  | Some (Slice_obs.Json.Str s) when s = bench_schema_version -> ()
+  | _ ->
+    Printf.eprintf "%s: missing or wrong schema (want %s)\n" results_path
+      bench_schema_version;
+    exit 1);
+  try extract_slice_sizes doc
+  with Failure msg ->
+    Printf.eprintf "%s: %s\n" results_path msg;
+    exit 1
+
+let write_baseline () =
+  let b = current_slice_sizes () in
+  let oc = open_out baseline_path in
+  output_string oc (Slice_obs.Json.to_string b ^ "\n");
+  close_out oc;
+  Printf.printf "wrote %s\n" baseline_path
+
+(* Leaf-by-leaf comparison with readable paths, so a CI failure names the
+   exact benchmark/mode/metric that moved. *)
+let check_baseline () =
+  let current = current_slice_sizes () in
+  if not (Sys.file_exists baseline_path) then begin
+    Printf.eprintf "missing %s; generate it with: bench/main.exe -- write-baseline\n"
+      baseline_path;
+    exit 1
+  end;
+  let base = read_json baseline_path in
+  let rec flatten prefix (j : Slice_obs.Json.t) acc =
+    match j with
+    | Slice_obs.Json.Obj kvs ->
+      List.fold_left
+        (fun acc (k, v) -> flatten (prefix ^ "/" ^ k) v acc)
+        acc kvs
+    | v -> (prefix, Slice_obs.Json.to_string v) :: acc
+  in
+  let cur = flatten "" current [] and bas = flatten "" base [] in
+  let diffs = ref [] in
+  List.iter
+    (fun (k, v) ->
+      match List.assoc_opt k bas with
+      | Some v' when String.equal v v' -> ()
+      | Some v' ->
+        diffs := Printf.sprintf "%s: baseline %s, current %s" k v' v :: !diffs
+      | None -> diffs := Printf.sprintf "%s: not in baseline" k :: !diffs)
+    cur;
+  List.iter
+    (fun (k, _) ->
+      if not (List.mem_assoc k cur) then
+        diffs := Printf.sprintf "%s: missing from current results" k :: !diffs)
+    bas;
+  if !diffs = [] then
+    print_endline "baseline check OK: slice sizes unchanged, parity holds"
+  else begin
+    Printf.eprintf "slice sizes drifted from %s:\n" baseline_path;
+    List.iter (fun d -> Printf.eprintf "  %s\n" d) (List.rev !diffs);
+    exit 1
+  end
+
 let () =
   let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   match which with
@@ -457,6 +677,8 @@ let () =
   | "ablation" -> ablation ()
   | "timing" -> timing ()
   | "json" -> json_results ()
+  | "write-baseline" -> write_baseline ()
+  | "check-baseline" -> check_baseline ()
   | "all" ->
     table1 ();
     table2 ();

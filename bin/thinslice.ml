@@ -1,6 +1,7 @@
 (* The thinslice command-line tool.
 
      thinslice slice FILE --line N [--mode thin|trad|full|alias:K] [--no-objsens]
+     thinslice batch FILE --line N --line M ... one frozen graph, many slices
      thinslice expand FILE --line N             explain aliasing around a seed
      thinslice casts FILE                       list unverifiable downcasts
      thinslice stats FILE                       program/analysis statistics
@@ -209,6 +210,40 @@ let slice_cmd =
       const run $ file_arg $ line_arg $ mode_arg $ objsens_arg $ forward_arg
       $ telemetry_term)
 
+(* ---- batch: many seeds, one frozen graph ---- *)
+
+let batch_cmd =
+  let lines_arg =
+    Arg.(
+      non_empty
+      & opt_all int []
+      & info [ "line"; "l" ] ~docv:"N"
+          ~doc:"Seed line number (repeatable; one slice per occurrence)")
+  in
+  let run file lines mode no_objsens forward tel =
+    handle_errors (fun () ->
+        setup_telemetry tel;
+        let a = load_analysis ~obj_sens:(not no_objsens) file in
+        let results = Engine.slice_batch ~forward a ~lines mode in
+        let src = read_file_exn file in
+        List.iter
+          (fun (line, slice_lines) ->
+            Printf.printf "%s %s slice from %s:%d (%d statements):\n"
+              (if forward then "forward" else "backward")
+              (Slicer.mode_to_string mode) file line (List.length slice_lines);
+            print_slice_lines src slice_lines)
+          results;
+        emit_telemetry tel (Some (Engine.stats_of a)))
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Compute many slices from one analysis: the graph is frozen once \
+          and all walks share scratch buffers")
+    Term.(
+      const run $ file_arg $ lines_arg $ mode_arg $ objsens_arg $ forward_arg
+      $ telemetry_term)
+
 let chop_cmd =
   let to_arg =
     Arg.(
@@ -255,11 +290,9 @@ let expand_cmd =
         let pairs = ref [] in
         List.iter
           (fun n ->
-            List.iter
-              (fun (dep, kind) ->
+            Sdg.deps_iter g n (fun dep kind ->
                 if kind = Sdg.Producer_heap && List.mem dep slice then
-                  pairs := (n, dep) :: !pairs)
-              (Sdg.deps g n))
+                  pairs := (n, dep) :: !pairs))
           slice;
         if !pairs = [] then
           print_endline "no heap-based value flow in the thin slice to explain"
@@ -411,4 +444,5 @@ let () =
     (Cmd.eval
        (Cmd.group
           (Cmd.info "thinslice" ~doc)
-          [ slice_cmd; chop_cmd; expand_cmd; casts_cmd; stats_cmd; run_cmd; dot_cmd ]))
+          [ slice_cmd; batch_cmd; chop_cmd; expand_cmd; casts_cmd; stats_cmd;
+            run_cmd; dot_cmd ]))

@@ -11,17 +11,22 @@ type analysis = {
   obj_sens : bool;
 }
 
-let analyze ?(obj_sens = true) (program : Program.t) : analysis =
+let analyze ?(obj_sens = true) ?(freeze = true) (program : Program.t) : analysis =
   let opts =
     if obj_sens then Andersen.default_opts else Andersen.no_obj_sens_opts
   in
   let pta = Andersen.analyze ~opts program in
   let sdg = Slice_obs.span "sdg.build" (fun () -> Sdg.build program pta) in
+  (* Compact to the immutable CSR layout (recorded under "sdg.freeze");
+     [freeze:false] keeps the mutable list adjacency, for parity tests
+     and the BENCH A/B baseline. *)
+  if freeze then Sdg.freeze sdg;
   { program; pta; sdg; obj_sens }
 
-let of_source ?container_classes ?obj_sens ~(file : string) (src : string) :
-    analysis =
-  analyze ?obj_sens (Slice_front.Frontend.load_exn ?container_classes ~file src)
+let of_source ?container_classes ?obj_sens ?freeze ~(file : string)
+    (src : string) : analysis =
+  analyze ?obj_sens ?freeze
+    (Slice_front.Frontend.load_exn ?container_classes ~file src)
 
 (* Seed selection: all SDG nodes for statements on a source line.  When the
    line holds several statements, [prefer] can narrow to one kind. *)
@@ -75,6 +80,25 @@ let slice_from_line ?filter (a : analysis) ~(line : int) (mode : Slicer.mode) :
   Slicer.slice_line_numbers a.sdg
     ~seeds:(seeds_at_line_exn ?filter a line)
     mode
+
+(* Many slices over one frozen graph: seed resolution per line, then one
+   batched walk with reused scratch buffers.  Returns, per input line (in
+   input order), the sorted distinct source line numbers of the slice. *)
+let slice_batch ?filter ?(forward = false) (a : analysis) ~(lines : int list)
+    (mode : Slicer.mode) : (int * int list) list =
+  Sdg.freeze a.sdg;
+  let seeds_list = List.map (fun l -> seeds_at_line_exn ?filter a l) lines in
+  let slices =
+    if forward then Slicer.forward_slice_batch a.sdg ~seeds_list mode
+    else Slicer.slice_batch a.sdg ~seeds_list mode
+  in
+  List.map2
+    (fun line nodes ->
+      ( line,
+        List.map
+          (fun l -> l.Slice_ir.Loc.line)
+          (Slicer.nodes_to_lines a.sdg nodes) ))
+    lines slices
 
 (* Inspection simulation (the paper's BFS metric) from a line seed. *)
 let inspect_from_line ?filter (a : analysis) ~(line : int)

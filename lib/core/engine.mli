@@ -13,13 +13,16 @@ type analysis = {
 
 (** Run the points-to analysis (object-sensitive container cloning on by
     default, as in the paper's section 6.1) and build the dependence
-    graph. *)
-val analyze : ?obj_sens:bool -> Program.t -> analysis
+    graph.  By default the graph is then frozen into its immutable CSR
+    layout (see {!Sdg.freeze}); [freeze:false] keeps the mutable list
+    adjacency — used by parity tests and the BENCH A/B baseline. *)
+val analyze : ?obj_sens:bool -> ?freeze:bool -> Program.t -> analysis
 
 (** Parse, typecheck, lower and analyze a TJ source text. *)
 val of_source :
   ?container_classes:string list ->
   ?obj_sens:bool ->
+  ?freeze:bool ->
   file:string ->
   string ->
   analysis
@@ -43,6 +46,20 @@ val seeds_at_line_exn : ?filter:seed_filter -> analysis -> int -> Sdg.node list
 (** Slice from a source line, reported as sorted line numbers. *)
 val slice_from_line :
   ?filter:seed_filter -> analysis -> line:int -> Slicer.mode -> int list
+
+(** Many slices over one frozen graph (freezing it on first use): seeds
+    are resolved per line, then a single batched walk reuses scratch
+    buffers across all seeds (see {!Slicer.slice_batch}).  Returns, per
+    input line in input order, the sorted distinct source line numbers
+    of its slice.  [forward:true] slices forward (impact analysis).
+    Raises {!No_seed} for a line with no statements. *)
+val slice_batch :
+  ?filter:seed_filter ->
+  ?forward:bool ->
+  analysis ->
+  lines:int list ->
+  Slicer.mode ->
+  (int * int list) list
 
 (** The paper's BFS inspection simulation from a line seed. *)
 val inspect_from_line :

@@ -15,30 +15,30 @@
 open Slice_ir
 open Slice_pta
 
+(* Dependences of [n] of one kind, in adjacency order, over the frozen
+   iteration API (no per-row list allocation). *)
+let deps_of_kind (g : Sdg.t) (want : Sdg.edge_kind) (n : Sdg.node) :
+    Sdg.node list =
+  let acc = ref [] in
+  Sdg.deps_iter g n (fun dep kind -> if kind = want then acc := dep :: !acc);
+  List.rev !acc
+
 (* Direct control dependences of a node: the conditionals (or call sites)
    that govern it. *)
 let explain_control (g : Sdg.t) (n : Sdg.node) : Sdg.node list =
-  List.filter_map
-    (fun (dep, kind) -> if kind = Sdg.Control then Some dep else None)
-    (Sdg.deps g n)
+  deps_of_kind g Sdg.Control n
 
 (* Base-pointer definition nodes of a heap access node. *)
 let base_defs (g : Sdg.t) (n : Sdg.node) : Sdg.node list =
-  List.filter_map
-    (fun (dep, kind) -> if kind = Sdg.Base_pointer then Some dep else None)
-    (Sdg.deps g n)
+  deps_of_kind g Sdg.Base_pointer n
 
 (* Index definition nodes of an array access node. *)
 let index_defs (g : Sdg.t) (n : Sdg.node) : Sdg.node list =
-  List.filter_map
-    (fun (dep, kind) -> if kind = Sdg.Index then Some dep else None)
-    (Sdg.deps g n)
+  deps_of_kind g Sdg.Index n
 
 (* Actual-argument nodes of a call statement (Weiser statement closure). *)
 let call_actuals (g : Sdg.t) (n : Sdg.node) : Sdg.node list =
-  List.filter_map
-    (fun (dep, kind) -> if kind = Sdg.Call_actual then Some dep else None)
-    (Sdg.deps g n)
+  deps_of_kind g Sdg.Call_actual n
 
 (* The abstract objects pointed to by the base pointer of a heap access. *)
 let base_points_to (g : Sdg.t) (n : Sdg.node) : Andersen.ObjSet.t =

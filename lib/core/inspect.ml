@@ -58,13 +58,11 @@ let bfs (g : Sdg.t) ~(seeds : Sdg.node list) ~(desired : int list)
     List.iter (fun (n, _) -> count_node n) current;
     List.iter
       (fun (n, budget) ->
-        List.iter
-          (fun (dep, kind) ->
+        Sdg.deps_iter g n (fun dep kind ->
             match Slicer.edge_policy mode kind with
             | `Follow -> push dep budget
             | `Costly -> if budget > 0 then push dep (budget - 1)
-            | `Skip -> ())
-          (Sdg.deps g n))
+            | `Skip -> ()))
       current
   done;
   let slice_size = Hashtbl.length counted in

@@ -33,11 +33,15 @@ type edge_kind =
   | Control             (* control dependence *)
 
 (* Telemetry: one counter per edge kind (the Figure 2/3 classification),
-   node interning, and heap-pair pruning effectiveness. *)
+   node interning, heap-pair pruning effectiveness, and the CSR
+   compaction phase. *)
 let c_nodes = Slice_obs.counter "sdg.nodes"
 let c_edges = Slice_obs.counter "sdg.edges"
 let c_heap_considered = Slice_obs.counter "sdg.heap_pairs_considered"
 let c_heap_emitted = Slice_obs.counter "sdg.heap_pairs_emitted"
+let c_csr_nodes = Slice_obs.counter "sdg.csr_nodes"
+let c_csr_edges = Slice_obs.counter "sdg.csr_edges"
+let g_csr_bytes = Slice_obs.gauge "sdg.csr_bytes"
 
 let is_producer = function
   | Producer_local | Producer_heap | Param_in | Return_value -> true
@@ -56,6 +60,23 @@ let edge_kind_to_string = function
 let all_edge_kinds =
   [ Producer_local; Producer_heap; Param_in; Return_value; Base_pointer;
     Index; Call_actual; Control ]
+
+(* Edge kinds as small int tags, for the packed CSR representation. *)
+let edge_kind_tag = function
+  | Producer_local -> 0
+  | Producer_heap -> 1
+  | Param_in -> 2
+  | Return_value -> 3
+  | Base_pointer -> 4
+  | Index -> 5
+  | Call_actual -> 6
+  | Control -> 7
+
+let edge_kind_of_tag_table =
+  [| Producer_local; Producer_heap; Param_in; Return_value; Base_pointer;
+     Index; Call_actual; Control |]
+
+let edge_kind_of_tag (t : int) : edge_kind = edge_kind_of_tag_table.(t)
 
 (* "sdg.edge.<kind>" counters, interned once. *)
 let edge_counter : edge_kind -> Slice_obs.counter =
@@ -76,6 +97,21 @@ type node_desc =
 
 type node = int
 
+(* The frozen (immutable) adjacency: compressed sparse rows.  For each
+   direction, node [n]'s edges live at indices [off.(n) .. off.(n+1)-1]
+   of the flat [dst]/[kind] arrays; [kind] holds [edge_kind_tag]s.  Edge
+   order within a row matches the mutable list-array representation the
+   graph was built with, so the compatibility shims below reproduce the
+   exact pre-freeze adjacency lists. *)
+type csr = {
+  deps_off : int array;        (* length num_nodes + 1 *)
+  deps_dst : int array;        (* length num backward edges *)
+  deps_kind : int array;
+  uses_off : int array;
+  uses_dst : int array;
+  uses_kind : int array;
+}
+
 type t = {
   p : Program.t;
   pta : Andersen.result;
@@ -86,6 +122,7 @@ type t = {
   mutable deps : (node * edge_kind) list array;   (* backward adjacency *)
   mutable uses : (node * edge_kind) list array;   (* forward adjacency *)
   edge_seen : (node * node * edge_kind, unit) Hashtbl.t;
+  mutable csr : csr option;    (* set by [freeze]; lists dropped then *)
 }
 
 let program (g : t) = g.p
@@ -96,10 +133,16 @@ let node_desc (g : t) (n : node) : node_desc = g.descs.(n)
 
 let num_nodes (g : t) = g.num_nodes
 
+let is_frozen (g : t) : bool = g.csr <> None
+
+let frozen_error what =
+  invalid_arg (Printf.sprintf "Sdg.%s: graph is frozen (immutable)" what)
+
 let intern (g : t) (d : node_desc) : node =
   match Hashtbl.find_opt g.intern d with
   | Some n -> n
   | None ->
+    if is_frozen g then frozen_error "intern";
     let n = g.num_nodes in
     if n = Array.length g.descs then begin
       let grow a default =
@@ -121,6 +164,7 @@ let find_node (g : t) (d : node_desc) : node option = Hashtbl.find_opt g.intern 
 
 let add_edge (g : t) ~(from : node) ~(on : node) (kind : edge_kind) : unit =
   if from <> on && not (Hashtbl.mem g.edge_seen (from, on, kind)) then begin
+    if is_frozen g then frozen_error "add_edge";
     Hashtbl.replace g.edge_seen (from, on, kind) ();
     Slice_obs.bump c_edges;
     Slice_obs.bump (edge_counter kind);
@@ -128,8 +172,101 @@ let add_edge (g : t) ~(from : node) ~(on : node) (kind : edge_kind) : unit =
     g.uses.(on) <- (from, kind) :: g.uses.(on)
   end
 
-let deps (g : t) (n : node) : (node * edge_kind) list = g.deps.(n)
-let uses (g : t) (n : node) : (node * edge_kind) list = g.uses.(n)
+(* ------------------------------------------------------------------ *)
+(* Freeze: compact the list-array adjacency into CSR                   *)
+(* ------------------------------------------------------------------ *)
+
+(* One direction of adjacency, compacted.  Rows keep list order. *)
+let compact_direction (n : int) (adj : (node * edge_kind) list array) :
+    int array * int array * int array =
+  let off = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    off.(i + 1) <- off.(i) + List.length adj.(i)
+  done;
+  let m = off.(n) in
+  let dst = Array.make (max 1 m) 0 in
+  let kind = Array.make (max 1 m) 0 in
+  for i = 0 to n - 1 do
+    let j = ref off.(i) in
+    List.iter
+      (fun (d, k) ->
+        dst.(!j) <- d;
+        kind.(!j) <- edge_kind_tag k;
+        incr j)
+      adj.(i)
+  done;
+  (off, dst, kind)
+
+(* Compact the mutable adjacency into the immutable CSR layout and drop
+   the list arrays + dedup table (the graph no longer accepts edges).
+   Idempotent; recorded under the "sdg.freeze" span. *)
+let freeze (g : t) : unit =
+  if not (is_frozen g) then
+    Slice_obs.span "sdg.freeze" (fun () ->
+        let n = g.num_nodes in
+        let deps_off, deps_dst, deps_kind = compact_direction n g.deps in
+        let uses_off, uses_dst, uses_kind = compact_direction n g.uses in
+        g.csr <-
+          Some { deps_off; deps_dst; deps_kind; uses_off; uses_dst; uses_kind };
+        (* release the allocation-heavy mutable representation *)
+        g.deps <- [||];
+        g.uses <- [||];
+        Hashtbl.reset g.edge_seen;
+        Slice_obs.add c_csr_nodes n;
+        Slice_obs.add c_csr_edges deps_off.(n);
+        (* two offset arrays + two (dst, kind) pairs, 8 bytes per word *)
+        Slice_obs.max_gauge g_csr_bytes
+          (float_of_int (8 * (2 * (n + 1) + 2 * (deps_off.(n) + uses_off.(n))))))
+
+let num_edges (g : t) : int =
+  match g.csr with
+  | Some c -> c.deps_off.(g.num_nodes)
+  | None ->
+    let total = ref 0 in
+    for i = 0 to g.num_nodes - 1 do
+      total := !total + List.length g.deps.(i)
+    done;
+    !total
+
+(* Iteration over the frozen view when available, over the lists before
+   [freeze].  These are the hot-path accessors: no allocation per edge. *)
+let deps_iter (g : t) (n : node) (f : node -> edge_kind -> unit) : unit =
+  match g.csr with
+  | None -> List.iter (fun (d, k) -> f d k) g.deps.(n)
+  | Some c ->
+    for i = c.deps_off.(n) to c.deps_off.(n + 1) - 1 do
+      f (Array.unsafe_get c.deps_dst i)
+        (edge_kind_of_tag (Array.unsafe_get c.deps_kind i))
+    done
+
+let uses_iter (g : t) (n : node) (f : node -> edge_kind -> unit) : unit =
+  match g.csr with
+  | None -> List.iter (fun (d, k) -> f d k) g.uses.(n)
+  | Some c ->
+    for i = c.uses_off.(n) to c.uses_off.(n + 1) - 1 do
+      f (Array.unsafe_get c.uses_dst i)
+        (edge_kind_of_tag (Array.unsafe_get c.uses_kind i))
+    done
+
+(* Compatibility shims: materialise a row as a list.  Identical contents
+   and order before and after [freeze]; prefer the [_iter] forms in new
+   code (these allocate a fresh list per call on a frozen graph). *)
+let row_to_list off dst kind n =
+  let rec go i acc =
+    if i < off.(n) then acc
+    else go (i - 1) ((dst.(i), edge_kind_of_tag kind.(i)) :: acc)
+  in
+  go (off.(n + 1) - 1) []
+
+let deps (g : t) (n : node) : (node * edge_kind) list =
+  match g.csr with
+  | None -> g.deps.(n)
+  | Some c -> row_to_list c.deps_off c.deps_dst c.deps_kind n
+
+let uses (g : t) (n : node) : (node * edge_kind) list =
+  match g.csr with
+  | None -> g.uses.(n)
+  | Some c -> row_to_list c.uses_off c.uses_dst c.uses_kind n
 
 (* The source location of a node ([Loc.none] for formals). *)
 let node_loc (g : t) (n : node) : Loc.t =
@@ -214,7 +351,8 @@ let build ?(include_control = true) (p : Program.t) (pta : Andersen.result) : t 
       intern = Hashtbl.create 1024;
       deps = Array.make 1024 [];
       uses = Array.make 1024 [];
-      edge_seen = Hashtbl.create 4096 }
+      edge_seen = Hashtbl.create 4096;
+      csr = None }
   in
   let hx =
     { field_writes = Hashtbl.create 256;
@@ -517,8 +655,7 @@ let to_dot (g : t) : string =
          (Format.asprintf "%a" (pp_node g) n))
   done;
   for n = 0 to g.num_nodes - 1 do
-    List.iter
-      (fun (dep, kind) ->
+    deps_iter g n (fun dep kind ->
         let style =
           match kind with
           | Producer_local | Producer_heap | Param_in | Return_value -> "solid"
@@ -528,7 +665,6 @@ let to_dot (g : t) : string =
         Buffer.add_string buf
           (Printf.sprintf "  n%d -> n%d [style=%s,label=\"%s\"];\n" n dep style
              (edge_kind_to_string kind)))
-      g.deps.(n)
   done;
   Buffer.add_string buf "}\n";
   Buffer.contents buf

@@ -52,8 +52,26 @@ type t
 
 (** Build the graph for every reachable method context.
     [include_control:false] skips control-dependence edges (the thin
-    slicer never follows them; useful for memory-lean configurations). *)
+    slicer never follows them; useful for memory-lean configurations).
+    The graph comes back mutable (list-array adjacency); call {!freeze}
+    to compact it before slicing heavily. *)
 val build : ?include_control:bool -> Program.t -> Andersen.result -> t
+
+(** Compact the mutable list-array adjacency into an immutable CSR
+    layout (flat [int] arrays [deps_off]/[deps_dst]/[deps_kind] plus the
+    forward mirror, edge kinds packed as tagged ints) and release the
+    mutable representation.  After freezing, {!deps_iter}/{!uses_iter}
+    run allocation-free over the flat arrays and the graph rejects
+    further [add_edge]/interning ([Invalid_argument]).  Idempotent;
+    recorded under the ["sdg.freeze"] telemetry span with
+    [sdg.csr_nodes]/[sdg.csr_edges] counters and an [sdg.csr_bytes]
+    footprint gauge. *)
+val freeze : t -> unit
+
+val is_frozen : t -> bool
+
+(** Number of (backward) dependence edges in the graph. *)
+val num_edges : t -> int
 
 val program : t -> Program.t
 val pta : t -> Andersen.result
@@ -63,10 +81,21 @@ val node_desc : t -> node -> node_desc
 val num_nodes : t -> int
 val find_node : t -> node_desc -> node option
 
-(** Backward adjacency: the nodes [n] depends on. *)
+(** Backward adjacency iteration: the nodes [n] depends on.  The hot-path
+    accessor — allocation-free on a frozen graph; falls back to the
+    mutable lists before {!freeze}. *)
+val deps_iter : t -> node -> (node -> edge_kind -> unit) -> unit
+
+(** Forward adjacency iteration: the nodes that depend on [n]. *)
+val uses_iter : t -> node -> (node -> edge_kind -> unit) -> unit
+
+(** Backward adjacency: the nodes [n] depends on.  Compatibility shim —
+    identical contents/order before and after {!freeze}, but allocates a
+    fresh list per call on a frozen graph; prefer {!deps_iter}. *)
 val deps : t -> node -> (node * edge_kind) list
 
-(** Forward adjacency: the nodes that depend on [n]. *)
+(** Forward adjacency: the nodes that depend on [n] (shim; prefer
+    {!uses_iter}). *)
 val uses : t -> node -> (node * edge_kind) list
 
 (** Source location of a node ([Loc.none] for formals). *)

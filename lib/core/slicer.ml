@@ -9,7 +9,16 @@
    - [Traditional_data]: all flow dependences including base pointers and
      indices, no control — the "traditional data slicer" the paper
      compares against;
-   - [Traditional_full]: also follows control dependences. *)
+   - [Traditional_full]: also follows control dependences.
+
+   The walk itself runs on the frozen CSR view of the graph (or the list
+   adjacency before [Sdg.freeze]) with flat scratch buffers: a byte array
+   of per-node best budgets doubling as the visited set, an entry-unique
+   int ring deque, and a touched-node log so both the result emission and
+   the buffer reset cost O(slice), not O(graph) — no Hashtbl, no Queue,
+   no per-row list allocation on the hot path.  The seed implementation
+   (Hashtbl + Queue + sort over adjacency lists) is kept verbatim in
+   [Reference] for parity tests and A/B benchmarks. *)
 
 type mode =
   | Thin
@@ -51,57 +60,150 @@ let initial_budget = function
   | Thin | Traditional_data | Traditional_full -> 0
   | Thin_with_aliasing k -> max 0 k
 
+(* ------------------------------------------------------------------ *)
+(* The CSR walk                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Reusable per-walk scratch.  [best] stores, per node, 0 for "never
+   reached" or (best remaining budget + 1): the visited set and the
+   budget table in one byte array.  [queued] marks nodes currently in
+   the ring so every node occupies at most one queue slot (the
+   duplicate-enqueue fix: the old walk re-enqueued a node on every
+   budget improvement, up to k+1 times under [Thin_with_aliasing k],
+   inflating [slicer.frontier_peak]).  The ring therefore never holds
+   more than [cap] entries and [cap + 1] slots suffice.
+
+   [touched] logs each node on its FIRST visit.  It serves double duty:
+   the slice result is the sorted touched prefix, and after emitting it
+   the walk zeroes exactly those [best] entries, restoring the all-zero
+   invariant.  Between walks [best] and [queued] are therefore always
+   all-zero, so a walk costs O(slice + edges scanned), never O(graph) —
+   the representative seeds of the BENCH suite produce slices several
+   orders of magnitude smaller than the SDG, and an O(num_nodes)
+   [Bytes.fill] + full scan per slice would dominate the walk itself. *)
+type scratch = {
+  mutable cap : int;           (* number of nodes the buffers cover *)
+  mutable best : Bytes.t;      (* cap bytes, all-zero between walks *)
+  mutable queued : Bytes.t;    (* cap bytes, all-zero between walks *)
+  mutable ring : int array;    (* cap + 1 slots *)
+  mutable touched : int array; (* cap slots; first-visit log *)
+}
+
+let create_scratch (g : Sdg.t) : scratch =
+  let n = max 1 (Sdg.num_nodes g) in
+  { cap = n;
+    best = Bytes.make n '\000';
+    queued = Bytes.make n '\000';
+    ring = Array.make (n + 1) 0;
+    touched = Array.make n 0 }
+
+(* Grow-only: the byte arrays need no clearing because every walk zeroes
+   exactly the entries it touched before returning. *)
+let ensure_capacity (s : scratch) (n : int) : unit =
+  if s.cap < n then begin
+    s.cap <- n;
+    s.best <- Bytes.make n '\000';
+    s.queued <- Bytes.make n '\000';
+    s.ring <- Array.make (n + 1) 0;
+    s.touched <- Array.make n 0
+  end
+
+(* Budgets are stored in a byte each; [initial_budget] saturates at 254.
+   Indistinguishable in practice: exceeding it would need a producer-free
+   path crossing more than 254 base-pointer/index edges. *)
+let max_byte_budget = 254
+
 (* Reachability keeping, per node, the best (largest) remaining budget at
-   which it has been visited: a node reached with more budget left may
+   which it has been reached: a node reached with more budget left may
    reveal further base-pointer edges.  Backward and forward slicing share
-   this walk, parameterised by the adjacency direction. *)
-let walk (next : Sdg.t -> Sdg.node -> (Sdg.node * Sdg.edge_kind) list)
+   this walk, parameterised by the adjacency direction.  Entry-unique:
+   a budget improvement for a node already in the ring only updates
+   [best]; the pending ring entry reads the improved budget at pop. *)
+let walk_scratch (scratch : scratch)
+    (iter : Sdg.t -> Sdg.node -> (Sdg.node -> Sdg.edge_kind -> unit) -> unit)
     (g : Sdg.t) ~(seeds : Sdg.node list) (mode : mode) : Sdg.node list =
   Slice_obs.bump c_slices;
-  let best : (Sdg.node, int) Hashtbl.t = Hashtbl.create 256 in
-  let queue = Queue.create () in
-  let peak = ref 0 in
-  let push n budget =
-    match Hashtbl.find_opt best n with
-    | Some b when b >= budget -> ()
-    | Some _ | None ->
-      Hashtbl.replace best n budget;
-      Queue.add (n, budget) queue;
-      let len = Queue.length queue in
-      if len > !peak then peak := len
-  in
-  List.iter (fun s -> push s (initial_budget mode)) seeds;
-  while not (Queue.is_empty queue) do
-    let n, budget = Queue.pop queue in
-    (* stale entries: a better budget may have been recorded since *)
-    if Hashtbl.find_opt best n = Some budget then begin
-      Slice_obs.bump c_nodes_visited;
-      List.iter
-        (fun (dep, kind) ->
-          match edge_policy mode kind with
-          | `Follow ->
-            Slice_obs.bump c_edges_followed;
-            push dep budget
-          | `Costly ->
-            if budget > 0 then begin
-              Slice_obs.bump c_edges_costly;
-              Slice_obs.bump c_budget_spent;
-              push dep (budget - 1)
-            end
-            else Slice_obs.bump c_edges_skipped
-          | `Skip -> Slice_obs.bump c_edges_skipped)
-        (next g n)
+  let n = Sdg.num_nodes g in
+  ensure_capacity scratch n;
+  let best = scratch.best and queued = scratch.queued and ring = scratch.ring in
+  let touched = scratch.touched in
+  let slots = Array.length ring in
+  let head = ref 0 and tail = ref 0 and count = ref 0 and peak = ref 0 in
+  let tcount = ref 0 in
+  let push node budget =
+    let b1 = budget + 1 in
+    if Char.code (Bytes.unsafe_get best node) < b1 then begin
+      if Bytes.unsafe_get best node = '\000' then begin
+        (* first visit: log for result emission and buffer reset *)
+        Array.unsafe_set touched !tcount node;
+        incr tcount
+      end;
+      Bytes.unsafe_set best node (Char.unsafe_chr b1);
+      if Bytes.unsafe_get queued node = '\000' then begin
+        Bytes.unsafe_set queued node '\001';
+        Array.unsafe_set ring !tail node;
+        tail := (!tail + 1) mod slots;
+        incr count;
+        if !count > !peak then peak := !count
+      end
     end
+  in
+  let k0 = min (initial_budget mode) max_byte_budget in
+  List.iter (fun s -> push s k0) seeds;
+  while !count > 0 do
+    let node = Array.unsafe_get ring !head in
+    head := (!head + 1) mod slots;
+    decr count;
+    Bytes.unsafe_set queued node '\000';
+    let budget = Char.code (Bytes.unsafe_get best node) - 1 in
+    Slice_obs.bump c_nodes_visited;
+    iter g node (fun dep kind ->
+        match edge_policy mode kind with
+        | `Follow ->
+          Slice_obs.bump c_edges_followed;
+          push dep budget
+        | `Costly ->
+          if budget > 0 then begin
+            Slice_obs.bump c_edges_costly;
+            Slice_obs.bump c_budget_spent;
+            push dep (budget - 1)
+          end
+          else Slice_obs.bump c_edges_skipped
+        | `Skip -> Slice_obs.bump c_edges_skipped)
   done;
   Slice_obs.max_gauge g_frontier_peak (float_of_int !peak);
-  let out =
-    List.sort compare (Hashtbl.fold (fun n _ acc -> n :: acc) best [])
-  in
-  Slice_obs.observe h_slice_nodes (float_of_int (List.length out));
-  out
+  (* [queued] is already all-zero again: every enqueued node was popped.
+     Sort the touched prefix (each node appears exactly once) for the
+     result, then zero those [best] entries to restore the invariant. *)
+  let size = !tcount in
+  Slice_obs.observe h_slice_nodes (float_of_int size);
+  let result = Array.sub touched 0 size in
+  Array.sort (fun (a : int) b -> compare a b) result;
+  for i = 0 to size - 1 do
+    Bytes.unsafe_set best (Array.unsafe_get touched i) '\000'
+  done;
+  Array.fold_right (fun x acc -> x :: acc) result []
+
+(* One scratch, lazily created and grown, shared by all non-batched
+   slices in the process: slicing is not re-entrant (edge callbacks never
+   start another walk), so a single buffer set suffices and per-slice
+   allocation stays O(slice). *)
+let shared_scratch : scratch option ref = ref None
+
+let get_scratch (g : Sdg.t) : scratch =
+  match !shared_scratch with
+  | Some s ->
+    ensure_capacity s (Sdg.num_nodes g);
+    s
+  | None ->
+    let s = create_scratch g in
+    shared_scratch := Some s;
+    s
+
+let walk iter g ~seeds mode = walk_scratch (get_scratch g) iter g ~seeds mode
 
 let slice (g : Sdg.t) ~(seeds : Sdg.node list) (mode : mode) : Sdg.node list =
-  Slice_obs.span "slicer.slice" (fun () -> walk Sdg.deps g ~seeds mode)
+  Slice_obs.span "slicer.slice" (fun () -> walk Sdg.deps_iter g ~seeds mode)
 
 (* Forward slicing: which statements CONSUME the value a seed produces?
    Same edge discipline as backward slicing, traversed over use-edges.
@@ -109,22 +211,55 @@ let slice (g : Sdg.t) ~(seeds : Sdg.node list) (mode : mode) : Sdg.node list =
    move?") — the dual of the paper's backward producer chains. *)
 let forward_slice (g : Sdg.t) ~(seeds : Sdg.node list) (mode : mode) :
     Sdg.node list =
-  Slice_obs.span "slicer.forward" (fun () -> walk Sdg.uses g ~seeds mode)
+  Slice_obs.span "slicer.forward" (fun () -> walk Sdg.uses_iter g ~seeds mode)
+
+(* Many slices over one (frozen) graph, one scratch allocation.  The
+   per-seed walks reuse the byte arrays and the ring; only the result
+   lists are fresh. *)
+let slice_batch (g : Sdg.t) ~(seeds_list : Sdg.node list list) (mode : mode) :
+    Sdg.node list list =
+  Slice_obs.span "slicer.slice_batch" (fun () ->
+      let scratch = get_scratch g in
+      List.map
+        (fun seeds -> walk_scratch scratch Sdg.deps_iter g ~seeds mode)
+        seeds_list)
+
+let forward_slice_batch (g : Sdg.t) ~(seeds_list : Sdg.node list list)
+    (mode : mode) : Sdg.node list list =
+  Slice_obs.span "slicer.slice_batch" (fun () ->
+      let scratch = get_scratch g in
+      List.map
+        (fun seeds -> walk_scratch scratch Sdg.uses_iter g ~seeds mode)
+        seeds_list)
+
+(* Intersection of two sorted-unique node lists: order-independent by
+   construction ([inter a b = inter b a]) and sorted-unique output. *)
+let inter_sorted (a : Sdg.node list) (b : Sdg.node list) : Sdg.node list =
+  let rec go a b acc =
+    match (a, b) with
+    | [], _ | _, [] -> List.rev acc
+    | x :: a', y :: b' ->
+      if x < y then go a' b acc
+      else if y < x then go a b' acc
+      else go a' b' (x :: acc)
+  in
+  go a b []
 
 (* A (thin) chop: the statements on producer paths from [source] to
-   [sink] — how does the value get from here to there? *)
+   [sink] — how does the value get from here to there?  Both walks emit
+   sorted-unique lists, so the merge intersection is symmetric: chopping
+   never depends on which walk the membership table was built from (the
+   old implementation filtered the backward walk through a Hashtbl of the
+   forward walk only). *)
 let chop (g : Sdg.t) ~(source : Sdg.node list) ~(sink : Sdg.node list)
     (mode : mode) : Sdg.node list =
   let forward = forward_slice g ~seeds:source mode in
   let backward = slice g ~seeds:sink mode in
-  let fwd = Hashtbl.create 256 in
-  List.iter (fun n -> Hashtbl.replace fwd n ()) forward;
-  List.filter (fun n -> Hashtbl.mem fwd n) backward
+  inter_sorted forward backward
 
-(* Slice contents as distinct source locations of countable nodes, the
-   granularity a user reads. *)
-let slice_lines (g : Sdg.t) ~(seeds : Sdg.node list) (mode : mode) : Slice_ir.Loc.t list =
-  let nodes = slice g ~seeds mode in
+(* Distinct source locations of countable nodes, the granularity a user
+   reads. *)
+let nodes_to_lines (g : Sdg.t) (nodes : Sdg.node list) : Slice_ir.Loc.t list =
   let seen = Hashtbl.create 64 in
   let out = ref [] in
   List.iter
@@ -140,6 +275,53 @@ let slice_lines (g : Sdg.t) ~(seeds : Sdg.node list) (mode : mode) : Slice_ir.Lo
     nodes;
   List.sort Slice_ir.Loc.compare !out
 
+let slice_lines (g : Sdg.t) ~(seeds : Sdg.node list) (mode : mode) : Slice_ir.Loc.t list =
+  nodes_to_lines g (slice g ~seeds mode)
+
 let slice_line_numbers (g : Sdg.t) ~(seeds : Sdg.node list) (mode : mode) :
     int list =
   List.map (fun l -> l.Slice_ir.Loc.line) (slice_lines g ~seeds mode)
+
+(* ------------------------------------------------------------------ *)
+(* Reference implementation (the seed algorithm)                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The pre-CSR walk, verbatim: Hashtbl visited/budget table, stdlib
+   Queue with stale-entry re-enqueues, and a polymorphic-compare sort of
+   the result.  Runs over the adjacency-list shims, so it behaves
+   identically on frozen and unfrozen graphs (though it allocates rows
+   on a frozen one).  It bumps no telemetry: it exists to pin down the
+   CSR walk's semantics (parity property tests) and as the A side of the
+   BENCH A/B. *)
+module Reference = struct
+  let walk (next : Sdg.t -> Sdg.node -> (Sdg.node * Sdg.edge_kind) list)
+      (g : Sdg.t) ~(seeds : Sdg.node list) (mode : mode) : Sdg.node list =
+    let best : (Sdg.node, int) Hashtbl.t = Hashtbl.create 256 in
+    let queue = Queue.create () in
+    let push n budget =
+      match Hashtbl.find_opt best n with
+      | Some b when b >= budget -> ()
+      | Some _ | None ->
+        Hashtbl.replace best n budget;
+        Queue.add (n, budget) queue
+    in
+    List.iter (fun s -> push s (initial_budget mode)) seeds;
+    while not (Queue.is_empty queue) do
+      let n, budget = Queue.pop queue in
+      (* stale entries: a better budget may have been recorded since *)
+      if Hashtbl.find_opt best n = Some budget then
+        List.iter
+          (fun (dep, kind) ->
+            match edge_policy mode kind with
+            | `Follow -> push dep budget
+            | `Costly -> if budget > 0 then push dep (budget - 1)
+            | `Skip -> ())
+          (next g n)
+    done;
+    List.sort compare (Hashtbl.fold (fun n _ acc -> n :: acc) best [])
+
+  let slice g ~seeds mode = walk Sdg.deps g ~seeds mode
+  let forward_slice g ~seeds mode = walk Sdg.uses g ~seeds mode
+
+  let slice_lines g ~seeds mode = nodes_to_lines g (slice g ~seeds mode)
+end

@@ -27,17 +27,38 @@ val edge_policy : mode -> Sdg.edge_kind -> [ `Follow | `Costly | `Skip ]
 val initial_budget : mode -> int
 
 (** Backward slice: every node the seeds transitively depend on under the
-    mode's edge discipline, sorted. *)
+    mode's edge discipline, sorted.  The walk runs over
+    {!Sdg.deps_iter} — allocation-free flat CSR arrays once the graph is
+    frozen — with a byte-array budget/visited table and an entry-unique
+    int ring deque (each node occupies at most one queue slot; a budget
+    improvement for a queued node only updates the table). *)
 val slice : Sdg.t -> seeds:Sdg.node list -> mode -> Sdg.node list
 
 (** Forward slice: every node that transitively consumes the seeds' values
     — impact analysis, the dual of the paper's backward producer chains. *)
 val forward_slice : Sdg.t -> seeds:Sdg.node list -> mode -> Sdg.node list
 
+(** Many backward slices over one graph with a single scratch-buffer
+    allocation: freeze the graph once, then call this with one seed set
+    per wanted slice.  Result lists are in input order. *)
+val slice_batch :
+  Sdg.t -> seeds_list:Sdg.node list list -> mode -> Sdg.node list list
+
+(** Forward mirror of {!slice_batch}. *)
+val forward_slice_batch :
+  Sdg.t -> seeds_list:Sdg.node list list -> mode -> Sdg.node list list
+
 (** Chop: the nodes on producer paths from [source] to [sink] — how a
-    value travels between two program points. *)
+    value travels between two program points.  Computed as the sorted
+    merge intersection of the forward walk from [source] and the
+    backward walk from [sink]; symmetric in which walk is enumerated, and
+    sorted-unique. *)
 val chop :
   Sdg.t -> source:Sdg.node list -> sink:Sdg.node list -> mode -> Sdg.node list
+
+(** Distinct source locations of countable nodes, sorted — the projection
+    {!slice_lines} applies to a slice. *)
+val nodes_to_lines : Sdg.t -> Sdg.node list -> Slice_ir.Loc.t list
 
 (** Slice contents as distinct source locations of countable nodes — the
     granularity a user reads (a source statement lowered to several IR
@@ -45,3 +66,14 @@ val chop :
 val slice_lines : Sdg.t -> seeds:Sdg.node list -> mode -> Slice_ir.Loc.t list
 
 val slice_line_numbers : Sdg.t -> seeds:Sdg.node list -> mode -> int list
+
+(** The seed implementation, verbatim: Hashtbl visited/budget table,
+    stdlib [Queue] with duplicate re-enqueues, polymorphic-compare sort,
+    all over the adjacency-list shims.  Bumps no telemetry.  Kept as the
+    semantic oracle for the CSR walk (parity property tests) and as the
+    A side of the BENCH A/B. *)
+module Reference : sig
+  val slice : Sdg.t -> seeds:Sdg.node list -> mode -> Sdg.node list
+  val forward_slice : Sdg.t -> seeds:Sdg.node list -> mode -> Sdg.node list
+  val slice_lines : Sdg.t -> seeds:Sdg.node list -> mode -> Slice_ir.Loc.t list
+end

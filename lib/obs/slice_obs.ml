@@ -176,6 +176,72 @@ let reset () : unit =
   roots := [];
   stack := []
 
+(* Scoped measurement: isolate exactly what [f] records.
+
+   The registry is process-global on purpose (see the module comment),
+   which means successive measurements accumulate: counters keep growing,
+   peak gauges never come back down.  [scoped f] saves the registry, zeroes
+   it, runs [f], snapshots what [f] alone recorded, and then MERGES the
+   saved state back (counters summed, peak gauges maxed, histograms
+   combined, spans appended), so that process-cumulative telemetry is
+   preserved while the returned snapshot is a per-task delta.  This is the
+   fix for BENCH entries reporting cumulative numbers across tasks. *)
+let scoped (f : unit -> 'a) : 'a * snapshot =
+  let saved_counters = Hashtbl.fold (fun _ c acc -> (c, !c) :: acc) counters [] in
+  let saved_gauges = Hashtbl.fold (fun _ g acc -> (g, !g) :: acc) gauges [] in
+  let saved_hists =
+    Hashtbl.fold
+      (fun _ h acc -> (h, (h.h_count, h.h_sum, h.h_min, h.h_max)) :: acc)
+      hists []
+  in
+  List.iter (fun (c, _) -> c := 0) saved_counters;
+  List.iter (fun (g, _) -> g := 0.) saved_gauges;
+  List.iter
+    (fun (h, _) ->
+      h.h_count <- 0;
+      h.h_sum <- 0.;
+      h.h_min <- 0.;
+      h.h_max <- 0.)
+    saved_hists;
+  let saved_roots = !roots and saved_stack = !stack in
+  roots := [];
+  stack := [];
+  let restore () =
+    List.iter (fun (c, v) -> c := !c + v) saved_counters;
+    List.iter (fun (g, v) -> if v > !g then g := v) saved_gauges;
+    List.iter
+      (fun (h, (count, sum, mn, mx)) ->
+        if count > 0 then begin
+          if h.h_count = 0 then begin
+            h.h_min <- mn;
+            h.h_max <- mx
+          end
+          else begin
+            if mn < h.h_min then h.h_min <- mn;
+            if mx > h.h_max then h.h_max <- mx
+          end;
+          h.h_count <- h.h_count + count;
+          h.h_sum <- h.h_sum +. sum
+        end)
+      saved_hists;
+    let inner_roots = !roots in
+    stack := saved_stack;
+    (match saved_stack with
+    | parent :: _ ->
+      (* [scoped] ran inside an open span: its spans become children *)
+      parent.os_done <- inner_roots @ parent.os_done;
+      roots := saved_roots
+    | [] -> roots := inner_roots @ saved_roots)
+  in
+  match f () with
+  | r ->
+    let snap = snapshot () in
+    restore ();
+    (r, snap)
+  | exception e ->
+    restore ();
+    raise e
+
 let span_totals (s : snapshot) : (string * float) list =
   let acc : (string, float ref) Hashtbl.t = Hashtbl.create 32 in
   let rec visit sp =

@@ -90,6 +90,15 @@ type snapshot = {
 (** Capture the current state of the registry and completed spans. *)
 val snapshot : unit -> snapshot
 
+(** [scoped f] isolates what [f] records: the registry is saved and
+    zeroed, [f] runs, and the returned snapshot covers exactly [f]'s own
+    counters/gauges/histograms/spans.  The saved state is then merged
+    back (counters summed, peak gauges maxed, histograms combined, spans
+    appended — inside an open span they become its children), so
+    process-cumulative telemetry is preserved.  This is how per-task
+    BENCH entries stay isolated from each other.  Exception-safe. *)
+val scoped : (unit -> 'a) -> 'a * snapshot
+
 (** Total wall time per span name, aggregated over the whole span forest
     (a span appearing several times contributes the sum).  Sorted by
     name.  This is the "per-phase wall times" table of BENCH_results. *)

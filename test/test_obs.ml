@@ -176,6 +176,85 @@ let test_snapshot_json_shape () =
       [ "name"; "start_s"; "wall_s"; "minor_words"; "children" ]
   | _ -> Alcotest.fail "spans is not a non-empty list of objects"
 
+(* --- scoped (per-task) telemetry isolation -------------------------- *)
+
+(* The counter-accumulation regression behind BENCH_results: counters are
+   process-global, so before [scoped] the N-th task of a bench run
+   reported the cumulative counters of tasks 1..N.  Two runs of the SAME
+   measured task must now report IDENTICAL counter deltas. *)
+let test_scoped_isolates_identical_tasks () =
+  reset ();
+  set_enabled true;
+  let task () =
+    let a =
+      Slice_core.Engine.of_source ~file:"iso.tj"
+        "void main(String[] args) {\n\
+        \  String s = args[0];\n\
+        \  String t = s;\n\
+        \  print(t);\n\
+         }\n"
+    in
+    Slice_core.Engine.slice_from_line a ~line:4 Slice_core.Slicer.Thin
+  in
+  let r1, snap1 = scoped task in
+  let r2, snap2 = scoped task in
+  check_bool "same slice" true (r1 = r2);
+  Alcotest.(check (list (pair string int)))
+    "identical counter deltas" snap1.snap_counters snap2.snap_counters;
+  (* the regression shape: without isolation the second run's cumulative
+     counters would be strictly larger *)
+  check_bool "non-trivial task" true
+    (List.exists (fun (_, v) -> v > 0) snap1.snap_counters)
+
+let test_scoped_merges_back () =
+  reset ();
+  set_enabled true;
+  let c = counter "scoped.counter" in
+  let g = gauge "scoped.peak" in
+  add c 3;
+  max_gauge g 5.;
+  span "outside-before" (fun () -> ());
+  let (), inner =
+    scoped (fun () ->
+        add c 4;
+        max_gauge g 2.;
+        span "inside" (fun () -> ()))
+  in
+  (* the inner snapshot sees only what the scope recorded *)
+  check_int "inner counter is the delta" 4
+    (List.assoc "scoped.counter" inner.snap_counters);
+  Alcotest.(check (float 1e-9))
+    "inner gauge is the scope's own peak" 2.
+    (List.assoc "scoped.peak" inner.snap_gauges);
+  Alcotest.(check (list string))
+    "inner spans only" [ "inside" ]
+    (List.map (fun s -> s.sp_name) inner.snap_spans);
+  (* ...and the process-cumulative registry is restored+merged *)
+  check_int "counters summed back" 7 !c;
+  Alcotest.(check (float 1e-9)) "gauge keeps the overall max" 5.
+    (gauge_value "scoped.peak");
+  let outer = snapshot () in
+  Alcotest.(check (list string))
+    "spans appended in order" [ "outside-before"; "inside" ]
+    (List.map (fun s -> s.sp_name) outer.snap_spans)
+
+let test_scoped_exception_safe () =
+  reset ();
+  set_enabled true;
+  let c = counter "scoped.exn" in
+  add c 2;
+  (try
+     ignore
+       (scoped (fun () ->
+            add c 10;
+            failwith "expected"))
+   with Failure _ -> ());
+  check_int "merged back despite raise" 12 !c;
+  (* registry still usable *)
+  let _, snap = scoped (fun () -> add c 1) in
+  check_int "clean scope after exception" 1
+    (List.assoc "scoped.exn" snap.snap_counters)
+
 (* --- the thinslice --stats-json CLI contract ------------------------ *)
 
 let demo_program =
@@ -254,5 +333,10 @@ let suite =
     Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
     Alcotest.test_case "json parse errors" `Quick test_json_parse_errors;
     Alcotest.test_case "snapshot json shape" `Quick test_snapshot_json_shape;
+    Alcotest.test_case "scoped isolates identical tasks" `Quick
+      test_scoped_isolates_identical_tasks;
+    Alcotest.test_case "scoped merges back" `Quick test_scoped_merges_back;
+    Alcotest.test_case "scoped exception safety" `Quick
+      test_scoped_exception_safe;
     Alcotest.test_case "thinslice --stats-json contract" `Quick
       test_cli_stats_json ]

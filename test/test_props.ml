@@ -192,7 +192,113 @@ let prop_static_covers_dynamic =
               | None -> true)
             stmts))
 
+(* ---- CSR walk parity against the Reference (seed) implementation ---- *)
+
+(* Every workload of the BENCH suite; same list as bench/main.ml. *)
+let workload_programs =
+  [ ("nanoxml", Prog_nanoxml.base);
+    ("jtopas", Prog_jtopas.base);
+    ("ant", Prog_ant.base);
+    ("xmlsec", Prog_xmlsec.base);
+    ("mtrt", Prog_mtrt.base);
+    ("jess", Prog_jess.base);
+    ("javac", Prog_javac.base);
+    ("jack", Prog_jack.base);
+    ("pipeline-32", Generators.pipeline_program ~stages:32) ]
+
+let parity_modes =
+  [ Slice_core.Slicer.Thin;
+    Slice_core.Slicer.Thin_with_aliasing 1;
+    Slice_core.Slicer.Thin_with_aliasing 2;
+    Slice_core.Slicer.Traditional_data;
+    Slice_core.Slicer.Traditional_full ]
+
+(* First/middle/last user-visible statement nodes: representative seed
+   sets for small, medium and whole-program-reaching slices. *)
+let parity_seed_sets (g : Slice_core.Sdg.t) : Slice_core.Sdg.node list list =
+  let countable = ref [] in
+  for n = Slice_core.Sdg.num_nodes g - 1 downto 0 do
+    if Slice_core.Sdg.node_countable g n then countable := n :: !countable
+  done;
+  match !countable with
+  | [] -> []
+  | nodes ->
+    let arr = Array.of_list nodes in
+    let k = Array.length arr in
+    [ [ arr.(0) ]; [ arr.(k / 2) ]; [ arr.(k - 1) ];
+      [ arr.(0); arr.(k / 2); arr.(k - 1) ] ]
+
+(* Node-for-node agreement of the CSR walk with [Slicer.Reference] on one
+   analysis, for every mode / seed set / direction, plus the line
+   projection.  Run twice per program: before AND after [Sdg.freeze] (the
+   CSR walk must also agree while still on the mutable list adjacency). *)
+let check_parity ~(what : string) (g : Slice_core.Sdg.t) : unit =
+  let open Slice_core in
+  List.iter
+    (fun seeds ->
+      List.iter
+        (fun mode ->
+          let ctx =
+            Printf.sprintf "%s %s (frozen=%b)" what
+              (Slicer.mode_to_string mode) (Sdg.is_frozen g)
+          in
+          Alcotest.(check (list int))
+            (ctx ^ " backward")
+            (Slicer.Reference.slice g ~seeds mode)
+            (Slicer.slice g ~seeds mode);
+          Alcotest.(check (list int))
+            (ctx ^ " forward")
+            (Slicer.Reference.forward_slice g ~seeds mode)
+            (Slicer.forward_slice g ~seeds mode);
+          Alcotest.(check bool)
+            (ctx ^ " lines") true
+            (Slicer.Reference.slice_lines g ~seeds mode
+            = Slicer.slice_lines g ~seeds mode))
+        parity_modes)
+    (parity_seed_sets g)
+
+let test_csr_parity_on_workloads () =
+  List.iter
+    (fun (name, src) ->
+      let a =
+        Slice_core.Engine.of_source ~freeze:false ~file:(name ^ ".tj") src
+      in
+      let g = a.Slice_core.Engine.sdg in
+      check_parity ~what:name g;
+      Slice_core.Sdg.freeze g;
+      check_parity ~what:name g)
+    workload_programs
+
+let prop_csr_parity_on_generated =
+  QCheck2.Test.make ~count:8
+    ~name:"CSR walk == Reference walk on generated pipelines"
+    QCheck2.Gen.(2 -- 12)
+    (fun stages ->
+      let src = Generators.pipeline_program ~stages in
+      let a =
+        Slice_core.Engine.analyze ~freeze:false (Helpers.load src)
+      in
+      let g = a.Slice_core.Engine.sdg in
+      let agree () =
+        List.for_all
+          (fun seeds ->
+            List.for_all
+              (fun mode ->
+                Slice_core.Slicer.Reference.slice g ~seeds mode
+                = Slice_core.Slicer.slice g ~seeds mode
+                && Slice_core.Slicer.Reference.forward_slice g ~seeds mode
+                   = Slice_core.Slicer.forward_slice g ~seeds mode)
+              parity_modes)
+          (parity_seed_sets g)
+      in
+      let before = agree () in
+      Slice_core.Sdg.freeze g;
+      before && agree ())
+
 let suite =
   [ QCheck_alcotest.to_alcotest prop_interp_matches_reference;
     QCheck_alcotest.to_alcotest prop_pipeline_runs_and_slices;
-    QCheck_alcotest.to_alcotest prop_static_covers_dynamic ]
+    QCheck_alcotest.to_alcotest prop_static_covers_dynamic;
+    Alcotest.test_case "CSR parity on the workload suite" `Quick
+      test_csr_parity_on_workloads;
+    QCheck_alcotest.to_alcotest prop_csr_parity_on_generated ]

@@ -168,6 +168,57 @@ let test_dot_export () =
   Alcotest.(check bool) "digraph header" true
     (String.length dot > 20 && String.sub dot 0 7 = "digraph")
 
+(* Freeze/CSR compaction: the shims reproduce the pre-freeze adjacency
+   (contents AND order) exactly, the iterators agree with the shims, edge
+   counts are preserved, and freezing is idempotent. *)
+let test_freeze_preserves_adjacency () =
+  let a = Engine.analyze ~freeze:false (load Paper_figures.fig1) in
+  let g = a.Engine.sdg in
+  Alcotest.(check bool) "mutable after build" false (Sdg.is_frozen g);
+  let n = Sdg.num_nodes g in
+  let deps_before = Array.init n (Sdg.deps g) in
+  let uses_before = Array.init n (Sdg.uses g) in
+  let edges_before = Sdg.num_edges g in
+  Sdg.freeze g;
+  Alcotest.(check bool) "frozen" true (Sdg.is_frozen g);
+  Alcotest.(check int) "edge count preserved" edges_before (Sdg.num_edges g);
+  let collect iter i =
+    let acc = ref [] in
+    iter g i (fun d k -> acc := (d, k) :: !acc);
+    List.rev !acc
+  in
+  for i = 0 to n - 1 do
+    Alcotest.(check bool) "deps shim row identical" true
+      (Sdg.deps g i = deps_before.(i));
+    Alcotest.(check bool) "uses shim row identical" true
+      (Sdg.uses g i = uses_before.(i));
+    Alcotest.(check bool) "deps_iter agrees with shim" true
+      (collect Sdg.deps_iter i = deps_before.(i));
+    Alcotest.(check bool) "uses_iter agrees with shim" true
+      (collect Sdg.uses_iter i = uses_before.(i))
+  done;
+  (* idempotent: a second freeze changes nothing *)
+  Sdg.freeze g;
+  Alcotest.(check int) "still same edges" edges_before (Sdg.num_edges g);
+  Alcotest.(check bool) "row survives refreeze" true
+    (n = 0 || Sdg.deps g (n - 1) = deps_before.(n - 1))
+
+let test_freeze_counts_csr_telemetry () =
+  let (), snap =
+    Slice_obs.scoped (fun () ->
+        let a = Engine.analyze ~freeze:false (load Paper_figures.fig2) in
+        Sdg.freeze a.Engine.sdg)
+  in
+  let counter k = List.assoc_opt k snap.Slice_obs.snap_counters in
+  (match counter "sdg.csr_nodes" with
+  | Some v -> Alcotest.(check bool) "csr_nodes > 0" true (v > 0)
+  | None -> Alcotest.fail "no sdg.csr_nodes counter");
+  (match counter "sdg.csr_edges" with
+  | Some v -> Alcotest.(check bool) "csr_edges > 0" true (v > 0)
+  | None -> Alcotest.fail "no sdg.csr_edges counter");
+  Alcotest.(check bool) "sdg.freeze span recorded" true
+    (List.mem_assoc "sdg.freeze" (Slice_obs.span_totals snap))
+
 let suite =
   [ Alcotest.test_case "fig2 edge classes" `Quick test_fig2_edge_classes;
     Alcotest.test_case "param/return wiring" `Quick test_param_and_return_wiring;
@@ -176,4 +227,8 @@ let suite =
     Alcotest.test_case "control dependences" `Quick test_control_dependences;
     Alcotest.test_case "entry control to call site" `Quick test_entry_control_to_call_site;
     Alcotest.test_case "scalar statement count" `Quick test_scalar_statement_count;
-    Alcotest.test_case "dot export" `Quick test_dot_export ]
+    Alcotest.test_case "dot export" `Quick test_dot_export;
+    Alcotest.test_case "freeze preserves adjacency" `Quick
+      test_freeze_preserves_adjacency;
+    Alcotest.test_case "freeze csr telemetry" `Quick
+      test_freeze_counts_csr_telemetry ]

@@ -119,6 +119,101 @@ let test_bfs_order_deterministic () =
   let r2 = Inspect.bfs a.Engine.sdg ~seeds ~desired:[] Slicer.Traditional_data in
   Alcotest.(check bool) "same order" true (r1.Inspect.order = r2.Inspect.order)
 
+(* Regression for the duplicate-enqueue fix: with a zero aliasing budget
+   no costly edge is ever crossed, so [Thin_with_aliasing 0] must traverse
+   EXACTLY like [Thin] — same nodes and, walk for walk, the same telemetry
+   (the old walk could re-enqueue nodes and visit them twice). *)
+let test_alias0_equals_thin () =
+  Slice_obs.set_enabled true;
+  let src = Paper_figures.fig2 in
+  let a = analysis src in
+  let g = a.Engine.sdg in
+  let line = line_of ~src ~pattern:Paper_figures.fig2_seed in
+  let seeds = Engine.seeds_at_line_exn a line in
+  let thin_nodes, thin_snap =
+    Slice_obs.scoped (fun () -> Slicer.slice g ~seeds Slicer.Thin)
+  in
+  let alias0_nodes, alias0_snap =
+    Slice_obs.scoped (fun () ->
+        Slicer.slice g ~seeds (Slicer.Thin_with_aliasing 0))
+  in
+  Alcotest.(check (list int)) "same nodes" thin_nodes alias0_nodes;
+  let slicer_counters snap =
+    List.filter
+      (fun (k, _) -> String.length k >= 7 && String.sub k 0 7 = "slicer.")
+      snap.Slice_obs.snap_counters
+  in
+  Alcotest.(check (list (pair string int)))
+    "same traversal counters"
+    (slicer_counters thin_snap) (slicer_counters alias0_snap);
+  (* and a positive budget is genuinely different on fig2 (base pointers) *)
+  Alcotest.(check bool) "alias1 differs" true
+    (Slicer.slice g ~seeds (Slicer.Thin_with_aliasing 1) <> thin_nodes)
+
+(* The chop is the intersection of the forward and backward walks; the
+   sorted-merge implementation is symmetric in which side is enumerated
+   (the old one filtered the backward walk through a table of the forward
+   walk only) and emits a sorted-unique list. *)
+let test_chop_symmetric () =
+  let src = Paper_figures.fig1 in
+  let a = analysis src in
+  let g = a.Engine.sdg in
+  let seeds_of pat =
+    Engine.seeds_at_line_exn a (line_of ~src ~pattern:pat)
+  in
+  let source = seeds_of "String fullName = input.readLine();" in
+  let sink = seeds_of Paper_figures.fig1_seed in
+  List.iter
+    (fun mode ->
+      let chop = Slicer.chop g ~source ~sink mode in
+      let fwd = IntSet.of_list (Slicer.forward_slice g ~seeds:source mode) in
+      let bwd = IntSet.of_list (Slicer.slice g ~seeds:sink mode) in
+      Alcotest.(check (list int))
+        ("chop = fwd /\\ bwd under " ^ Slicer.mode_to_string mode)
+        (IntSet.elements (IntSet.inter fwd bwd))
+        chop;
+      Alcotest.(check (list int))
+        ("chop = bwd /\\ fwd under " ^ Slicer.mode_to_string mode)
+        (IntSet.elements (IntSet.inter bwd fwd))
+        chop;
+      Alcotest.(check (list int))
+        ("sorted-unique under " ^ Slicer.mode_to_string mode)
+        (List.sort_uniq compare chop) chop)
+    [ Slicer.Thin; Slicer.Thin_with_aliasing 1; Slicer.Traditional_data;
+      Slicer.Traditional_full ];
+  (* non-trivial on at least one mode *)
+  Alcotest.(check bool) "thin chop non-empty" true
+    (Slicer.chop g ~source ~sink Slicer.Thin <> [])
+
+(* Batched slicing returns, per line, exactly what the one-at-a-time
+   entry point returns (scratch reuse must not leak state across seeds). *)
+let test_batch_matches_single () =
+  let src = Paper_figures.fig1 in
+  let a = analysis src in
+  let lines =
+    List.map
+      (fun pat -> line_of ~src ~pattern:pat)
+      [ Paper_figures.fig1_seed;
+        "String fullName = input.readLine();";
+        "firstNames.add(firstName);" ]
+  in
+  List.iter
+    (fun mode ->
+      let batched = Engine.slice_batch a ~lines mode in
+      List.iter2
+        (fun line (line', batch_lines) ->
+          Alcotest.(check int) "line order preserved" line line';
+          Alcotest.(check (list int))
+            (Printf.sprintf "batch = single (line %d, %s)" line
+               (Slicer.mode_to_string mode))
+            (Engine.slice_from_line a ~line mode)
+            batch_lines)
+        lines batched)
+    [ Slicer.Thin; Slicer.Thin_with_aliasing 2; Slicer.Traditional_full ];
+  (* unknown line raises the same error as the single-slice path *)
+  Alcotest.check_raises "no seed" (Engine.No_seed 99999) (fun () ->
+      ignore (Engine.slice_batch a ~lines:[ 99999 ] Slicer.Thin))
+
 let suite =
   [ Alcotest.test_case "mode ordering" `Quick test_mode_ordering;
     Alcotest.test_case "fig1 exact thin slice" `Quick test_fig1_exact_thin;
@@ -127,4 +222,7 @@ let suite =
     Alcotest.test_case "thin ignores base pointers" `Quick
       test_thin_ignores_base_pointers;
     Alcotest.test_case "bfs metric" `Quick test_bfs_metric;
-    Alcotest.test_case "bfs deterministic" `Quick test_bfs_order_deterministic ]
+    Alcotest.test_case "bfs deterministic" `Quick test_bfs_order_deterministic;
+    Alcotest.test_case "alias budget 0 == thin" `Quick test_alias0_equals_thin;
+    Alcotest.test_case "chop symmetric" `Quick test_chop_symmetric;
+    Alcotest.test_case "batch matches single" `Quick test_batch_matches_single ]

@@ -220,11 +220,23 @@ let batch_cmd =
       & info [ "line"; "l" ] ~docv:"N"
           ~doc:"Seed line number (repeatable; one slice per occurrence)")
   in
-  let run file lines mode no_objsens forward tel =
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Shard the batch across $(docv) worker domains (OCaml 5 \
+             parallelism).  Results are identical to --jobs 1 for every N; \
+             worker telemetry is merged back into the main report.")
+  in
+  let run file lines mode no_objsens forward jobs tel =
     handle_errors (fun () ->
         setup_telemetry tel;
         let a = load_analysis ~obj_sens:(not no_objsens) file in
-        let results = Engine.slice_batch ~forward a ~lines mode in
+        let results =
+          if jobs <= 1 then Engine.slice_batch ~forward a ~lines mode
+          else Engine.slice_batch_par ~forward ~jobs a ~lines mode
+        in
         let src = read_file_exn file in
         List.iter
           (fun (line, slice_lines) ->
@@ -239,10 +251,11 @@ let batch_cmd =
     (Cmd.info "batch"
        ~doc:
          "Compute many slices from one analysis: the graph is frozen once \
-          and all walks share scratch buffers")
+          and all walks share scratch buffers; --jobs N shards the walks \
+          across N domains")
     Term.(
       const run $ file_arg $ lines_arg $ mode_arg $ objsens_arg $ forward_arg
-      $ telemetry_term)
+      $ jobs_arg $ telemetry_term)
 
 let chop_cmd =
   let to_arg =

@@ -28,6 +28,14 @@ let of_source ?container_classes ?obj_sens ?freeze ~(file : string)
   analyze ?obj_sens ?freeze
     (Slice_front.Frontend.load_exn ?container_classes ~file src)
 
+(* Multi-file variant: the units are loaded as one program (see
+   [Frontend.load_many_exn]) so slices can span files while every
+   location keeps the file it came from. *)
+let of_sources ?container_classes ?obj_sens ?freeze
+    (units : (string * string) list) : analysis =
+  analyze ?obj_sens ?freeze
+    (Slice_front.Frontend.load_many_exn ?container_classes units)
+
 (* Seed selection: all SDG nodes for statements on a source line.  When the
    line holds several statements, [prefer] can narrow to one kind. *)
 type seed_filter =
@@ -81,12 +89,13 @@ let slice_from_line ?filter (a : analysis) ~(line : int) (mode : Slicer.mode) :
     ~seeds:(seeds_at_line_exn ?filter a line)
     mode
 
-(* Many slices over one frozen graph: seed resolution per line, then one
-   batched walk with reused scratch buffers.  Returns, per input line (in
-   input order), the sorted distinct source line numbers of the slice. *)
+(* Many slices over one graph: seed resolution per line, then one batched
+   walk with reused scratch buffers.  Returns, per input line (in input
+   order), the sorted distinct source line numbers of the slice.  Runs on
+   whatever adjacency the analysis carries: the graph is NOT frozen here,
+   so an [analyze ~freeze:false] A/B baseline stays on the list shims. *)
 let slice_batch ?filter ?(forward = false) (a : analysis) ~(lines : int list)
     (mode : Slicer.mode) : (int * int list) list =
-  Sdg.freeze a.sdg;
   let seeds_list = List.map (fun l -> seeds_at_line_exn ?filter a l) lines in
   let slices =
     if forward then Slicer.forward_slice_batch a.sdg ~seeds_list mode
@@ -94,11 +103,69 @@ let slice_batch ?filter ?(forward = false) (a : analysis) ~(lines : int list)
   in
   List.map2
     (fun line nodes ->
-      ( line,
-        List.map
-          (fun l -> l.Slice_ir.Loc.line)
-          (Slicer.nodes_to_lines a.sdg nodes) ))
+      (line, Slicer.locs_to_line_numbers (Slicer.nodes_to_lines a.sdg nodes)))
     lines slices
+
+(* Parallel batch slicing: shard the (already seed-resolved) batch across
+   [jobs] worker domains, each walking the shared frozen CSR graph with
+   its own scratch handle and its own per-domain telemetry registry.
+   Seeds are resolved sequentially up front so [No_seed] behaviour is
+   deterministic and identical to {!slice_batch}.  Workers never mutate
+   the graph — freezing before spawning is what makes the concurrent
+   reads safe — and each worker's telemetry snapshot is merged back into
+   the calling domain after [Domain.join], even when a worker raised. *)
+let slice_batch_par ?filter ?(forward = false) ?(jobs = 1) (a : analysis)
+    ~(lines : int list) (mode : Slicer.mode) : (int * int list) list =
+  if jobs <= 1 then slice_batch ?filter ~forward a ~lines mode
+  else begin
+    (* Concurrent readers require the immutable CSR arrays: the list
+       adjacency is only written during construction, but freezing here
+       guarantees no lazy compaction can ever race with the walkers. *)
+    Sdg.freeze a.sdg;
+    let seeds = Array.of_list (List.map (fun l -> seeds_at_line_exn ?filter a l) lines) in
+    let n = Array.length seeds in
+    let jobs = min jobs (max 1 n) in
+    (* Stay far below the runtime's recommended domain count ceiling. *)
+    let jobs = min jobs 64 in
+    Slice_obs.span "engine.slice_batch_par" (fun () ->
+        let results : Sdg.node list array = Array.make n [] in
+        let run_chunk lo hi =
+          (* Executed inside a fresh domain: per-domain DLS scratch, and a
+             per-domain telemetry registry that starts empty. *)
+          let out =
+            try
+              let scratch = Slicer.create_scratch a.sdg in
+              for i = lo to hi - 1 do
+                let seeds = seeds.(i) in
+                results.(i) <-
+                  (if forward then Slicer.forward_slice ~scratch a.sdg ~seeds mode
+                   else Slicer.slice ~scratch a.sdg ~seeds mode)
+              done;
+              Ok ()
+            with e -> Error e
+          in
+          (out, Slice_obs.snapshot ())
+        in
+        let chunk i = (i * n / jobs, (i + 1) * n / jobs) in
+        let domains =
+          Array.init jobs (fun i ->
+              let lo, hi = chunk i in
+              Domain.spawn (fun () -> run_chunk lo hi))
+        in
+        let outcomes = Array.map Domain.join domains in
+        (* Merge every worker's telemetry first — exception or not — so
+           counters/spans are never lost, then re-raise the first error. *)
+        Array.iter (fun (_, snap) -> Slice_obs.merge_snapshot snap) outcomes;
+        Array.iter
+          (fun (out, _) -> match out with Ok () -> () | Error e -> raise e)
+          outcomes;
+        List.mapi
+          (fun i line ->
+            ( line,
+              Slicer.locs_to_line_numbers
+                (Slicer.nodes_to_lines a.sdg results.(i)) ))
+          lines)
+  end
 
 (* Inspection simulation (the paper's BFS metric) from a line seed. *)
 let inspect_from_line ?filter (a : analysis) ~(line : int)

@@ -27,6 +27,16 @@ val of_source :
   string ->
   analysis
 
+(** Analyze several [(file, src)] units as one program (see
+    {!Slice_front.Frontend.load_many_exn}): slices may span files, and
+    every reported location keeps the file it came from. *)
+val of_sources :
+  ?container_classes:string list ->
+  ?obj_sens:bool ->
+  ?freeze:bool ->
+  (string * string) list ->
+  analysis
+
 (** Narrow seed selection when a line holds several statements. *)
 type seed_filter =
   | Any
@@ -47,15 +57,39 @@ val seeds_at_line_exn : ?filter:seed_filter -> analysis -> int -> Sdg.node list
 val slice_from_line :
   ?filter:seed_filter -> analysis -> line:int -> Slicer.mode -> int list
 
-(** Many slices over one frozen graph (freezing it on first use): seeds
-    are resolved per line, then a single batched walk reuses scratch
-    buffers across all seeds (see {!Slicer.slice_batch}).  Returns, per
-    input line in input order, the sorted distinct source line numbers
-    of its slice.  [forward:true] slices forward (impact analysis).
-    Raises {!No_seed} for a line with no statements. *)
+(** Many slices over one graph: seeds are resolved per line, then a single
+    batched walk reuses scratch buffers across all seeds (see
+    {!Slicer.slice_batch}).  Returns, per input line in input order, the
+    sorted distinct source line numbers of its slice (deduplicated across
+    files — see {!Slicer.locs_to_line_numbers}).  [forward:true] slices
+    forward (impact analysis).  Respects the analysis's [freeze] choice:
+    the graph is NOT frozen here, so a [analyze ~freeze:false] baseline
+    keeps running on the list adjacency.  Raises {!No_seed} for a line
+    with no statements. *)
 val slice_batch :
   ?filter:seed_filter ->
   ?forward:bool ->
+  analysis ->
+  lines:int list ->
+  Slicer.mode ->
+  (int * int list) list
+
+(** {!slice_batch} sharded across [jobs] OCaml 5 domains.  Seeds are
+    resolved sequentially in input order (so {!No_seed} behaviour is
+    identical to the sequential batch), the graph is frozen (concurrent
+    walkers require the immutable CSR arrays), and each worker domain
+    slices a contiguous chunk with its own {!Slicer.create_scratch}
+    handle and its own per-domain telemetry registry.  After
+    [Domain.join], every worker's {!Slice_obs.snapshot} is merged back
+    into the calling domain ({!Slice_obs.merge_snapshot}) — even when a
+    worker raised — then the first worker error, if any, is re-raised.
+    Results are in input order and node-for-node equal to the sequential
+    batch for every [jobs].  [jobs <= 1] degrades to {!slice_batch}
+    without spawning.  Recorded under ["engine.slice_batch_par"]. *)
+val slice_batch_par :
+  ?filter:seed_filter ->
+  ?forward:bool ->
+  ?jobs:int ->
   analysis ->
   lines:int list ->
   Slicer.mode ->

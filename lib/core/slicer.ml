@@ -56,9 +56,19 @@ let edge_policy (mode : mode) (kind : Sdg.edge_kind) : [ `Follow | `Costly | `Sk
   | Traditional_full, (Sdg.Base_pointer | Sdg.Index | Sdg.Call_actual | Sdg.Control)
     -> `Follow
 
+(* Budgets are stored in a byte each by the CSR walk; [initial_budget]
+   saturates at [max_aliasing_budget] for EVERY implementation (CSR,
+   [Reference], the BFS inspection metric) — the clamp lives here, in one
+   place, precisely so the walks cannot disagree at the boundary (the old
+   code clamped only inside the CSR walk, so [Thin_with_aliasing 255]
+   meant 255 to [Reference] but 254 to the CSR walk).  Indistinguishable
+   in practice: exceeding it would need a producer-free path crossing
+   more than 254 base-pointer/index edges. *)
+let max_aliasing_budget = 254
+
 let initial_budget = function
   | Thin | Traditional_data | Traditional_full -> 0
-  | Thin_with_aliasing k -> max 0 k
+  | Thin_with_aliasing k -> min (max 0 k) max_aliasing_budget
 
 (* ------------------------------------------------------------------ *)
 (* The CSR walk                                                        *)
@@ -108,11 +118,6 @@ let ensure_capacity (s : scratch) (n : int) : unit =
     s.touched <- Array.make n 0
   end
 
-(* Budgets are stored in a byte each; [initial_budget] saturates at 254.
-   Indistinguishable in practice: exceeding it would need a producer-free
-   path crossing more than 254 base-pointer/index edges. *)
-let max_byte_budget = 254
-
 (* Reachability keeping, per node, the best (largest) remaining budget at
    which it has been reached: a node reached with more budget left may
    reveal further base-pointer edges.  Backward and forward slicing share
@@ -148,7 +153,9 @@ let walk_scratch (scratch : scratch)
       end
     end
   in
-  let k0 = min (initial_budget mode) max_byte_budget in
+  (* [initial_budget] is already clamped to [max_aliasing_budget], which
+     fits the byte-wide [best] table (budget + 1 <= 255) *)
+  let k0 = initial_budget mode in
   List.iter (fun s -> push s k0) seeds;
   while !count > 0 do
     let node = Array.unsafe_get ring !head in
@@ -184,50 +191,70 @@ let walk_scratch (scratch : scratch)
   done;
   Array.fold_right (fun x acc -> x :: acc) result []
 
-(* One scratch, lazily created and grown, shared by all non-batched
-   slices in the process: slicing is not re-entrant (edge callbacks never
-   start another walk), so a single buffer set suffices and per-slice
-   allocation stays O(slice). *)
-let shared_scratch : scratch option ref = ref None
+(* One scratch per DOMAIN, lazily created and grown, shared by all slices
+   in that domain that do not pass an explicit [?scratch]: within a
+   domain slicing is not re-entrant (edge callbacks never start another
+   walk), so a single buffer set suffices and per-slice allocation stays
+   O(slice).  The cell lives in [Domain.DLS] — the old process-global
+   [shared_scratch] was a correctness bug the moment two domains sliced
+   concurrently (both walks would interleave writes into the same [best]
+   table).  A parallel batch executor can either rely on this per-domain
+   default or thread explicit [create_scratch] handles. *)
+let dls_scratch : scratch option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
 
 let get_scratch (g : Sdg.t) : scratch =
-  match !shared_scratch with
+  let cell = Domain.DLS.get dls_scratch in
+  match !cell with
   | Some s ->
     ensure_capacity s (Sdg.num_nodes g);
     s
   | None ->
     let s = create_scratch g in
-    shared_scratch := Some s;
+    cell := Some s;
     s
 
-let walk iter g ~seeds mode = walk_scratch (get_scratch g) iter g ~seeds mode
+(* Resolve the scratch an entry point walks on: the caller's explicit
+   handle (grown to fit [g]) if given, else the calling domain's shared
+   one. *)
+let resolve_scratch ?scratch (g : Sdg.t) : scratch =
+  match scratch with
+  | Some s ->
+    ensure_capacity s (max 1 (Sdg.num_nodes g));
+    s
+  | None -> get_scratch g
 
-let slice (g : Sdg.t) ~(seeds : Sdg.node list) (mode : mode) : Sdg.node list =
-  Slice_obs.span "slicer.slice" (fun () -> walk Sdg.deps_iter g ~seeds mode)
+let slice ?scratch (g : Sdg.t) ~(seeds : Sdg.node list) (mode : mode) :
+    Sdg.node list =
+  Slice_obs.span "slicer.slice" (fun () ->
+      walk_scratch (resolve_scratch ?scratch g) Sdg.deps_iter g ~seeds mode)
 
 (* Forward slicing: which statements CONSUME the value a seed produces?
    Same edge discipline as backward slicing, traversed over use-edges.
    Useful for impact analysis ("if I change this line, which outputs can
    move?") — the dual of the paper's backward producer chains. *)
-let forward_slice (g : Sdg.t) ~(seeds : Sdg.node list) (mode : mode) :
+let forward_slice ?scratch (g : Sdg.t) ~(seeds : Sdg.node list) (mode : mode) :
     Sdg.node list =
-  Slice_obs.span "slicer.forward" (fun () -> walk Sdg.uses_iter g ~seeds mode)
+  Slice_obs.span "slicer.forward" (fun () ->
+      walk_scratch (resolve_scratch ?scratch g) Sdg.uses_iter g ~seeds mode)
 
 (* Many slices over one (frozen) graph, one scratch allocation.  The
    per-seed walks reuse the byte arrays and the ring; only the result
    lists are fresh. *)
-let slice_batch (g : Sdg.t) ~(seeds_list : Sdg.node list list) (mode : mode) :
-    Sdg.node list list =
+let slice_batch ?scratch (g : Sdg.t) ~(seeds_list : Sdg.node list list)
+    (mode : mode) : Sdg.node list list =
   Slice_obs.span "slicer.slice_batch" (fun () ->
-      let scratch = get_scratch g in
+      let scratch = resolve_scratch ?scratch g in
       List.map
         (fun seeds -> walk_scratch scratch Sdg.deps_iter g ~seeds mode)
         seeds_list)
 
-let forward_slice_batch (g : Sdg.t) ~(seeds_list : Sdg.node list list)
+let forward_slice_batch ?scratch (g : Sdg.t) ~(seeds_list : Sdg.node list list)
     (mode : mode) : Sdg.node list list =
-  Slice_obs.span "slicer.slice_batch" (fun () ->
-      let scratch = get_scratch g in
+  (* own span name: this used to record as "slicer.slice_batch", folding
+     forward-batch walks into the backward-batch phase total *)
+  Slice_obs.span "slicer.forward_batch" (fun () ->
+      let scratch = resolve_scratch ?scratch g in
       List.map
         (fun seeds -> walk_scratch scratch Sdg.uses_iter g ~seeds mode)
         seeds_list)
@@ -278,9 +305,16 @@ let nodes_to_lines (g : Sdg.t) (nodes : Sdg.node list) : Slice_ir.Loc.t list =
 let slice_lines (g : Sdg.t) ~(seeds : Sdg.node list) (mode : mode) : Slice_ir.Loc.t list =
   nodes_to_lines g (slice g ~seeds mode)
 
+(* Distinct line NUMBERS of a location list.  [nodes_to_lines] dedups per
+   (file, line); once the file component is projected away, two files
+   sharing a line number would otherwise yield the same int twice (the
+   multi-file duplicate-line bug). *)
+let locs_to_line_numbers (locs : Slice_ir.Loc.t list) : int list =
+  List.sort_uniq compare (List.map (fun l -> l.Slice_ir.Loc.line) locs)
+
 let slice_line_numbers (g : Sdg.t) ~(seeds : Sdg.node list) (mode : mode) :
     int list =
-  List.map (fun l -> l.Slice_ir.Loc.line) (slice_lines g ~seeds mode)
+  locs_to_line_numbers (slice_lines g ~seeds mode)
 
 (* ------------------------------------------------------------------ *)
 (* Reference implementation (the seed algorithm)                       *)

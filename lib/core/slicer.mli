@@ -24,7 +24,27 @@ val mode_to_string : mode -> string
     same discipline. *)
 val edge_policy : mode -> Sdg.edge_kind -> [ `Follow | `Costly | `Skip ]
 
+(** The saturation point of the aliasing budget: [Thin_with_aliasing k]
+    behaves as [min k max_aliasing_budget] in EVERY traversal (CSR walk,
+    {!Reference}, BFS inspection) — the clamp is applied centrally in
+    {!initial_budget} so implementations cannot disagree at the
+    boundary. *)
+val max_aliasing_budget : int
+
+(** Starting budget of a mode, clamped to {!max_aliasing_budget}. *)
 val initial_budget : mode -> int
+
+(** Reusable walk buffers (budget/visited byte table, entry-unique ring,
+    touched-node log).  Each traversal entry point uses the calling
+    domain's implicitly shared scratch by default (a [Domain.DLS] slot:
+    per-domain, so concurrent domains never share buffers); pass an
+    explicit [?scratch] to control reuse yourself — e.g. one handle per
+    worker in a parallel batch executor.  A scratch must never be used by
+    two domains at once. *)
+type scratch
+
+(** A scratch sized for [g] (grow-only; any graph may use it later). *)
+val create_scratch : Sdg.t -> scratch
 
 (** Backward slice: every node the seeds transitively depend on under the
     mode's edge discipline, sorted.  The walk runs over
@@ -32,20 +52,25 @@ val initial_budget : mode -> int
     frozen — with a byte-array budget/visited table and an entry-unique
     int ring deque (each node occupies at most one queue slot; a budget
     improvement for a queued node only updates the table). *)
-val slice : Sdg.t -> seeds:Sdg.node list -> mode -> Sdg.node list
+val slice : ?scratch:scratch -> Sdg.t -> seeds:Sdg.node list -> mode -> Sdg.node list
 
 (** Forward slice: every node that transitively consumes the seeds' values
     — impact analysis, the dual of the paper's backward producer chains. *)
-val forward_slice : Sdg.t -> seeds:Sdg.node list -> mode -> Sdg.node list
+val forward_slice :
+  ?scratch:scratch -> Sdg.t -> seeds:Sdg.node list -> mode -> Sdg.node list
 
 (** Many backward slices over one graph with a single scratch-buffer
     allocation: freeze the graph once, then call this with one seed set
-    per wanted slice.  Result lists are in input order. *)
+    per wanted slice.  Result lists are in input order.  Recorded under
+    the ["slicer.slice_batch"] span. *)
 val slice_batch :
+  ?scratch:scratch ->
   Sdg.t -> seeds_list:Sdg.node list list -> mode -> Sdg.node list list
 
-(** Forward mirror of {!slice_batch}. *)
+(** Forward mirror of {!slice_batch}, recorded under its own
+    ["slicer.forward_batch"] span. *)
 val forward_slice_batch :
+  ?scratch:scratch ->
   Sdg.t -> seeds_list:Sdg.node list list -> mode -> Sdg.node list list
 
 (** Chop: the nodes on producer paths from [source] to [sink] — how a
@@ -59,6 +84,12 @@ val chop :
 (** Distinct source locations of countable nodes, sorted — the projection
     {!slice_lines} applies to a slice. *)
 val nodes_to_lines : Sdg.t -> Sdg.node list -> Slice_ir.Loc.t list
+
+(** Project locations to sorted-distinct line NUMBERS.  Distinct files can
+    repeat a line number, so the dedup happens after the file component is
+    dropped — a two-file program whose slices touch [a.tj:4] and [b.tj:4]
+    reports line 4 once. *)
+val locs_to_line_numbers : Slice_ir.Loc.t list -> int list
 
 (** Slice contents as distinct source locations of countable nodes — the
     granularity a user reads (a source statement lowered to several IR

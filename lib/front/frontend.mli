@@ -19,6 +19,14 @@ exception Error of error
     {!Declare.default_container_classes}: Vector, HashMap, Stack, ...). *)
 val load_exn : ?container_classes:string list -> file:string -> string -> Program.t
 
+(** Load several source texts as ONE program: each [(file, src)] unit is
+    parsed with its own file name (so every location keeps the file it
+    came from), then the concatenated declarations are declared, lowered
+    and SSA-converted in a single pass — classes may reference classes
+    from any other unit regardless of order. *)
+val load_many_exn :
+  ?container_classes:string list -> (string * string) list -> Program.t
+
 val load :
   ?container_classes:string list ->
   file:string ->

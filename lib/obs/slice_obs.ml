@@ -1,91 +1,35 @@
-(* Process-global telemetry: trace spans + metric registry + sinks.
+(* Telemetry: trace spans + metric registry + sinks.
 
-   Everything lives in module-global mutable state on purpose: the
-   pipeline is single-threaded and the drivers (thinslice, bench) want to
-   observe whatever analysis ran last without threading a handle through
-   eight libraries.  [reset] zeroes values in place so metric handles
-   interned at module-initialisation time stay live. *)
+   The registry is PER-DOMAIN (OCaml 5 [Domain.DLS]).  The root domain's
+   registry is what the drivers (thinslice, bench) observe — the pipeline
+   still runs there, so nothing changes for single-threaded use and metric
+   handles interned at module-initialisation time stay live across
+   [reset] (values are zeroed in place).  A spawned domain lazily gets a
+   fresh, empty registry of its own: workers of a parallel slice batch
+   record into private tables with no synchronisation on the hot path,
+   and the parent folds each worker's {!snapshot} into its own registry
+   with {!merge_snapshot} after [Domain.join] — counters summed, peak
+   gauges maxed, histograms combined, spans appended.  Nothing races:
+   each registry is only ever touched by its own domain, and merge-back
+   happens in the parent after the worker has finished.
+
+   Metric handles ([counter]/[gauge]/[histogram]) are process-global and
+   interned by name (under a mutex — creation is rare), but resolve to a
+   per-domain cell via their own DLS key, so a bump is a DLS array read
+   plus an [incr]: cheap enough to leave in the slicer's inner loop. *)
 
 (* ------------------------------------------------------------------ *)
 (* Enable / disable                                                    *)
 (* ------------------------------------------------------------------ *)
 
-let enabled_flag = ref true
+(* Atomic: read by worker domains, toggled by drivers. *)
+let enabled_flag = Atomic.make true
 
-let enabled () = !enabled_flag
-let set_enabled b = enabled_flag := b
-
-(* ------------------------------------------------------------------ *)
-(* Metric registry                                                     *)
-(* ------------------------------------------------------------------ *)
-
-type counter = int ref
-type gauge = float ref
-
-type histogram = {
-  h_name : string;
-  mutable h_count : int;
-  mutable h_sum : float;
-  mutable h_min : float;
-  mutable h_max : float;
-}
-
-let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
-let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
-let hists : (string, histogram) Hashtbl.t = Hashtbl.create 16
-
-let counter (name : string) : counter =
-  match Hashtbl.find_opt counters name with
-  | Some c -> c
-  | None ->
-    let c = ref 0 in
-    Hashtbl.replace counters name c;
-    c
-
-let bump (c : counter) = incr c
-let add (c : counter) n = c := !c + n
-
-let counter_value name =
-  match Hashtbl.find_opt counters name with Some c -> !c | None -> 0
-
-let gauge (name : string) : gauge =
-  match Hashtbl.find_opt gauges name with
-  | Some g -> g
-  | None ->
-    let g = ref 0. in
-    Hashtbl.replace gauges name g;
-    g
-
-let set_gauge g v = g := v
-let max_gauge g v = if v > !g then g := v
-
-let gauge_value name =
-  match Hashtbl.find_opt gauges name with Some g -> !g | None -> 0.
-
-let histogram (name : string) : histogram =
-  match Hashtbl.find_opt hists name with
-  | Some h -> h
-  | None ->
-    let h = { h_name = name; h_count = 0; h_sum = 0.; h_min = 0.; h_max = 0. } in
-    Hashtbl.replace hists name h;
-    h
-
-let observe (h : histogram) (v : float) : unit =
-  if h.h_count = 0 then begin
-    h.h_min <- v;
-    h.h_max <- v
-  end
-  else begin
-    if v < h.h_min then h.h_min <- v;
-    if v > h.h_max then h.h_max <- v
-  end;
-  h.h_count <- h.h_count + 1;
-  h.h_sum <- h.h_sum +. v
-
-let histogram_stats (h : histogram) = (h.h_count, h.h_sum, h.h_min, h.h_max)
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
 
 (* ------------------------------------------------------------------ *)
-(* Spans                                                               *)
+(* Span trees (shape shared by registries and snapshots)               *)
 (* ------------------------------------------------------------------ *)
 
 type span_tree = {
@@ -104,15 +48,163 @@ type open_span = {
   mutable os_done : span_tree list;       (* finished children, reversed *)
 }
 
+(* ------------------------------------------------------------------ *)
+(* The per-domain registry                                             *)
+(* ------------------------------------------------------------------ *)
+
+type hist_cell = {
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+type registry = {
+  reg_counters : (string, int ref) Hashtbl.t;
+  reg_gauges : (string, float ref) Hashtbl.t;
+  reg_hists : (string, hist_cell) Hashtbl.t;
+  (* completed top-level spans (reversed) and the open-span stack
+     (innermost first) *)
+  mutable reg_roots : span_tree list;
+  mutable reg_stack : open_span list;
+}
+
+let create_registry () : registry =
+  { reg_counters = Hashtbl.create 64;
+    reg_gauges = Hashtbl.create 16;
+    reg_hists = Hashtbl.create 16;
+    reg_roots = [];
+    reg_stack = [] }
+
+(* The root domain's registry.  [registry_key]'s initialiser mints a
+   fresh registry, which is what every SPAWNED domain gets on first
+   access; the [DLS.set] below pins the root domain (the one initialising
+   this module) to [root_registry] instead. *)
+let root_registry = create_registry ()
+
+let registry_key : registry Domain.DLS.key =
+  Domain.DLS.new_key create_registry
+
+let () = Domain.DLS.set registry_key root_registry
+
+let current_registry () : registry = Domain.DLS.get registry_key
+
+(* Cell interning WITHIN one registry: only ever called by the registry's
+   own domain, so no locking.  Idempotent by name. *)
+let counter_cell (reg : registry) (name : string) : int ref =
+  match Hashtbl.find_opt reg.reg_counters name with
+  | Some c -> c
+  | None ->
+    let c = ref 0 in
+    Hashtbl.replace reg.reg_counters name c;
+    c
+
+let gauge_cell (reg : registry) (name : string) : float ref =
+  match Hashtbl.find_opt reg.reg_gauges name with
+  | Some g -> g
+  | None ->
+    let g = ref 0. in
+    Hashtbl.replace reg.reg_gauges name g;
+    g
+
+let hist_cell (reg : registry) (name : string) : hist_cell =
+  match Hashtbl.find_opt reg.reg_hists name with
+  | Some h -> h
+  | None ->
+    let h = { h_count = 0; h_sum = 0.; h_min = 0.; h_max = 0. } in
+    Hashtbl.replace reg.reg_hists name h;
+    h
+
+(* ------------------------------------------------------------------ *)
+(* Metric handles                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* A handle pairs the metric name with a DLS key resolving to the current
+   domain's cell (interned into that domain's registry on first use).
+   Handles themselves are interned by name in process-global tables so
+   [counter "x" == counter "x"]; the tables are mutex-protected because a
+   worker domain may intern a metric of its own. *)
+
+type counter = int ref Domain.DLS.key
+type gauge = float ref Domain.DLS.key
+type histogram = hist_cell Domain.DLS.key
+
+let handle_mutex = Mutex.create ()
+let counter_handles : (string, counter) Hashtbl.t = Hashtbl.create 64
+let gauge_handles : (string, gauge) Hashtbl.t = Hashtbl.create 16
+let hist_handles : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+let intern_handle (tbl : (string, 'h) Hashtbl.t) (name : string)
+    (make : string -> 'h) : 'h =
+  Mutex.protect handle_mutex (fun () ->
+      match Hashtbl.find_opt tbl name with
+      | Some h -> h
+      | None ->
+        let h = make name in
+        Hashtbl.replace tbl name h;
+        h)
+
+let counter (name : string) : counter =
+  intern_handle counter_handles name (fun name ->
+      Domain.DLS.new_key (fun () -> counter_cell (current_registry ()) name))
+
+let bump (c : counter) = incr (Domain.DLS.get c)
+
+let add (c : counter) n =
+  let r = Domain.DLS.get c in
+  r := !r + n
+
+let counter_value name =
+  match Hashtbl.find_opt (current_registry ()).reg_counters name with
+  | Some c -> !c
+  | None -> 0
+
+let gauge (name : string) : gauge =
+  intern_handle gauge_handles name (fun name ->
+      Domain.DLS.new_key (fun () -> gauge_cell (current_registry ()) name))
+
+let set_gauge (g : gauge) v = Domain.DLS.get g := v
+
+let max_gauge (g : gauge) v =
+  let r = Domain.DLS.get g in
+  if v > !r then r := v
+
+let gauge_value name =
+  match Hashtbl.find_opt (current_registry ()).reg_gauges name with
+  | Some g -> !g
+  | None -> 0.
+
+let histogram (name : string) : histogram =
+  intern_handle hist_handles name (fun name ->
+      Domain.DLS.new_key (fun () -> hist_cell (current_registry ()) name))
+
+let observe_cell (h : hist_cell) (v : float) : unit =
+  if h.h_count = 0 then begin
+    h.h_min <- v;
+    h.h_max <- v
+  end
+  else begin
+    if v < h.h_min then h.h_min <- v;
+    if v > h.h_max then h.h_max <- v
+  end;
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v
+
+let observe (h : histogram) (v : float) : unit =
+  observe_cell (Domain.DLS.get h) v
+
+let hist_cell_stats (h : hist_cell) = (h.h_count, h.h_sum, h.h_min, h.h_max)
+
+let histogram_stats (h : histogram) = hist_cell_stats (Domain.DLS.get h)
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
 let epoch = Unix.gettimeofday ()
 let now () = Unix.gettimeofday () -. epoch
 
-(* Completed top-level spans (reversed) and the open-span stack
-   (innermost first). *)
-let roots : span_tree list ref = ref []
-let stack : open_span list ref = ref []
-
-let close_span (os : open_span) : unit =
+let close_span (reg : registry) (os : open_span) : unit =
   let tree =
     { sp_name = os.os_name;
       sp_start = os.os_start;
@@ -120,26 +212,29 @@ let close_span (os : open_span) : unit =
       sp_minor_words = Gc.minor_words () -. os.os_minor0;
       sp_children = List.rev os.os_done }
   in
-  (match !stack with
-  | s :: rest when s == os -> stack := rest
+  (match reg.reg_stack with
+  | s :: rest when s == os -> reg.reg_stack <- rest
   | _ ->
     (* unbalanced (an exception skipped an inner close): pop through *)
-    stack := List.filter (fun s -> s != os) !stack);
-  match !stack with
+    reg.reg_stack <- List.filter (fun s -> s != os) reg.reg_stack);
+  match reg.reg_stack with
   | parent :: _ -> parent.os_done <- tree :: parent.os_done
-  | [] -> roots := tree :: !roots
+  | [] -> reg.reg_roots <- tree :: reg.reg_roots
 
 let span (name : string) (f : unit -> 'a) : 'a =
-  if not !enabled_flag then f ()
+  if not (Atomic.get enabled_flag) then f ()
   else begin
+    let reg = current_registry () in
     let os =
       { os_name = name;
         os_start = now ();
         os_minor0 = Gc.minor_words ();
         os_done = [] }
     in
-    stack := os :: !stack;
-    Fun.protect ~finally:(fun () -> close_span os) f
+    reg.reg_stack <- os :: reg.reg_stack;
+    (* spans never cross domains: [f] runs in this domain, so the registry
+       to close against is [reg] *)
+    Fun.protect ~finally:(fun () -> close_span reg os) f
   end
 
 (* ------------------------------------------------------------------ *)
@@ -157,81 +252,120 @@ let sorted_bindings tbl f =
   Hashtbl.fold (fun k v acc -> (k, f v) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
+(* Snapshot / reset / scoped all operate on the CALLING domain's registry:
+   from the root domain they behave exactly as they always did; inside a
+   worker domain they see only that worker's own telemetry. *)
+
 let snapshot () : snapshot =
-  { snap_counters = sorted_bindings counters (fun c -> !c);
-    snap_gauges = sorted_bindings gauges (fun g -> !g);
-    snap_hists = sorted_bindings hists histogram_stats;
-    snap_spans = List.rev !roots }
+  let reg = current_registry () in
+  { snap_counters = sorted_bindings reg.reg_counters (fun c -> !c);
+    snap_gauges = sorted_bindings reg.reg_gauges (fun g -> !g);
+    snap_hists = sorted_bindings reg.reg_hists hist_cell_stats;
+    snap_spans = List.rev reg.reg_roots }
+
+let zero_hist (h : hist_cell) : unit =
+  h.h_count <- 0;
+  h.h_sum <- 0.;
+  h.h_min <- 0.;
+  h.h_max <- 0.
 
 let reset () : unit =
-  Hashtbl.iter (fun _ c -> c := 0) counters;
-  Hashtbl.iter (fun _ g -> g := 0.) gauges;
-  Hashtbl.iter
-    (fun _ h ->
-      h.h_count <- 0;
-      h.h_sum <- 0.;
-      h.h_min <- 0.;
-      h.h_max <- 0.)
-    hists;
-  roots := [];
-  stack := []
+  let reg = current_registry () in
+  Hashtbl.iter (fun _ c -> c := 0) reg.reg_counters;
+  Hashtbl.iter (fun _ g -> g := 0.) reg.reg_gauges;
+  Hashtbl.iter (fun _ h -> zero_hist h) reg.reg_hists;
+  reg.reg_roots <- [];
+  reg.reg_stack <- []
+
+(* Merge one hist-stats tuple into a cell (counters/gauges have obvious
+   merges inline; histograms share this). *)
+let merge_hist_into (h : hist_cell) (count, sum, mn, mx) : unit =
+  if count > 0 then begin
+    if h.h_count = 0 then begin
+      h.h_min <- mn;
+      h.h_max <- mx
+    end
+    else begin
+      if mn < h.h_min then h.h_min <- mn;
+      if mx > h.h_max then h.h_max <- mx
+    end;
+    h.h_count <- h.h_count + count;
+    h.h_sum <- h.h_sum +. sum
+  end
+
+(* Fold a snapshot captured elsewhere — typically in a worker domain that
+   has since been joined — into the calling domain's registry: counters
+   summed, peak gauges maxed, histograms combined, spans appended (under
+   the innermost open span if one is running, else as new roots).  This
+   is the "merge-back at join" half of the per-domain registry design;
+   the parent calls it after [Domain.join], so the worker's registry is
+   quiescent and no locking is needed. *)
+let merge_snapshot (s : snapshot) : unit =
+  let reg = current_registry () in
+  List.iter
+    (fun (name, v) ->
+      if v <> 0 then begin
+        let c = counter_cell reg name in
+        c := !c + v
+      end)
+    s.snap_counters;
+  List.iter
+    (fun (name, v) ->
+      let g = gauge_cell reg name in
+      if v > !g then g := v)
+    s.snap_gauges;
+  List.iter
+    (fun (name, stats) -> merge_hist_into (hist_cell reg name) stats)
+    s.snap_hists;
+  if s.snap_spans <> [] then begin
+    let rev_spans = List.rev s.snap_spans in
+    match reg.reg_stack with
+    | parent :: _ -> parent.os_done <- rev_spans @ parent.os_done
+    | [] -> reg.reg_roots <- rev_spans @ reg.reg_roots
+  end
 
 (* Scoped measurement: isolate exactly what [f] records.
 
-   The registry is process-global on purpose (see the module comment),
-   which means successive measurements accumulate: counters keep growing,
-   peak gauges never come back down.  [scoped f] saves the registry, zeroes
-   it, runs [f], snapshots what [f] alone recorded, and then MERGES the
-   saved state back (counters summed, peak gauges maxed, histograms
-   combined, spans appended), so that process-cumulative telemetry is
-   preserved while the returned snapshot is a per-task delta.  This is the
-   fix for BENCH entries reporting cumulative numbers across tasks. *)
+   Within one domain successive measurements accumulate: counters keep
+   growing, peak gauges never come back down.  [scoped f] saves the
+   calling domain's registry, zeroes it, runs [f], snapshots what [f]
+   alone recorded, and then MERGES the saved state back (counters summed,
+   peak gauges maxed, histograms combined, spans appended), so that
+   cumulative telemetry is preserved while the returned snapshot is a
+   per-task delta.  This is the fix for BENCH entries reporting
+   cumulative numbers across tasks.  In-place on the registry's cells, so
+   metric handles stay valid throughout. *)
 let scoped (f : unit -> 'a) : 'a * snapshot =
-  let saved_counters = Hashtbl.fold (fun _ c acc -> (c, !c) :: acc) counters [] in
-  let saved_gauges = Hashtbl.fold (fun _ g acc -> (g, !g) :: acc) gauges [] in
+  let reg = current_registry () in
+  let saved_counters =
+    Hashtbl.fold (fun _ c acc -> (c, !c) :: acc) reg.reg_counters []
+  in
+  let saved_gauges =
+    Hashtbl.fold (fun _ g acc -> (g, !g) :: acc) reg.reg_gauges []
+  in
   let saved_hists =
     Hashtbl.fold
-      (fun _ h acc -> (h, (h.h_count, h.h_sum, h.h_min, h.h_max)) :: acc)
-      hists []
+      (fun _ h acc -> (h, hist_cell_stats h) :: acc)
+      reg.reg_hists []
   in
   List.iter (fun (c, _) -> c := 0) saved_counters;
   List.iter (fun (g, _) -> g := 0.) saved_gauges;
-  List.iter
-    (fun (h, _) ->
-      h.h_count <- 0;
-      h.h_sum <- 0.;
-      h.h_min <- 0.;
-      h.h_max <- 0.)
-    saved_hists;
-  let saved_roots = !roots and saved_stack = !stack in
-  roots := [];
-  stack := [];
+  List.iter (fun (h, _) -> zero_hist h) saved_hists;
+  let saved_roots = reg.reg_roots and saved_stack = reg.reg_stack in
+  reg.reg_roots <- [];
+  reg.reg_stack <- [];
   let restore () =
     List.iter (fun (c, v) -> c := !c + v) saved_counters;
     List.iter (fun (g, v) -> if v > !g then g := v) saved_gauges;
-    List.iter
-      (fun (h, (count, sum, mn, mx)) ->
-        if count > 0 then begin
-          if h.h_count = 0 then begin
-            h.h_min <- mn;
-            h.h_max <- mx
-          end
-          else begin
-            if mn < h.h_min then h.h_min <- mn;
-            if mx > h.h_max then h.h_max <- mx
-          end;
-          h.h_count <- h.h_count + count;
-          h.h_sum <- h.h_sum +. sum
-        end)
-      saved_hists;
-    let inner_roots = !roots in
-    stack := saved_stack;
+    List.iter (fun (h, stats) -> merge_hist_into h stats) saved_hists;
+    let inner_roots = reg.reg_roots in
+    reg.reg_stack <- saved_stack;
     (match saved_stack with
     | parent :: _ ->
       (* [scoped] ran inside an open span: its spans become children *)
       parent.os_done <- inner_roots @ parent.os_done;
-      roots := saved_roots
-    | [] -> roots := inner_roots @ saved_roots)
+      reg.reg_roots <- saved_roots
+    | [] -> reg.reg_roots <- inner_roots @ saved_roots)
   in
   match f () with
   | r ->

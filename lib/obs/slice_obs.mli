@@ -1,35 +1,48 @@
-(** Pipeline telemetry: hierarchical trace spans, a process-global
+(** Pipeline telemetry: hierarchical trace spans, a per-domain
     counter/gauge/histogram registry, and sinks (pretty text report,
     hand-rolled JSON, Chrome [trace_event] export).
 
-    Design constraints (see ISSUE 1):
-    - counters are plain [int ref] bumps — safe to leave in hot loops;
+    Design constraints (see ISSUEs 1 and 3):
+    - counter bumps are a [Domain.DLS] cell read plus an [incr] — safe to
+      leave in hot loops;
     - the default sink is a no-op: nothing is emitted unless a driver
       explicitly asks for a report / JSON / trace;
     - span collection is opt-out-able via {!set_enabled} so scripted use
-      pays nothing beyond the counter bumps. *)
+      pays nothing beyond the counter bumps;
+    - every registry is only ever touched by its own domain.  The root
+      domain's registry is what the drivers observe.  A spawned domain
+      gets a fresh empty registry on first use; a parallel executor
+      captures each worker's {!snapshot} and folds it into the parent
+      with {!merge_snapshot} after [Domain.join], so telemetry from
+      parallel workers aggregates instead of racing. *)
 
 (* ------------------------------------------------------------------ *)
 (* Enable / disable                                                    *)
 (* ------------------------------------------------------------------ *)
 
 (** Whether spans (and their wall-clock / allocation accounting) are being
-    recorded.  Counters always count — they are plain [int ref] bumps.
-    Default: enabled. *)
+    recorded.  Counters always count.  Process-wide (atomic), read by
+    every domain.  Default: enabled. *)
 val enabled : unit -> bool
 
 val set_enabled : bool -> unit
 
-(** Reset every counter/gauge/histogram to zero and drop all recorded
-    spans.  Registered metric handles stay valid (they are interned by
-    name), so module-level [counter] bindings survive a reset. *)
+(** Reset every counter/gauge/histogram of the CALLING domain's registry
+    to zero and drop its recorded spans.  Registered metric handles stay
+    valid (values are zeroed in place, and handles are interned by name),
+    so module-level [counter] bindings survive a reset. *)
 val reset : unit -> unit
 
 (* ------------------------------------------------------------------ *)
 (* Counters, gauges, histograms                                        *)
 (* ------------------------------------------------------------------ *)
 
-type counter = int ref
+(** A metric handle.  Handles are process-global and interned by name
+    ([counter "x" == counter "x"]), but each resolves to a per-domain
+    cell in the calling domain's registry, so bumps from parallel worker
+    domains never race: each domain accumulates privately and the parent
+    aggregates at join via {!merge_snapshot}. *)
+type counter
 
 (** Intern (or find) the counter registered under [name]. *)
 val counter : string -> counter
@@ -37,10 +50,11 @@ val counter : string -> counter
 val bump : counter -> unit
 val add : counter -> int -> unit
 
-(** Current value of a registered counter, 0 if never registered. *)
+(** Current value of a registered counter in the calling domain's
+    registry, 0 if never registered there. *)
 val counter_value : string -> int
 
-type gauge = float ref
+type gauge
 
 val gauge : string -> gauge
 val set_gauge : gauge -> float -> unit
@@ -55,7 +69,8 @@ type histogram
 val histogram : string -> histogram
 val observe : histogram -> float -> unit
 
-(** (count, sum, min, max); min/max are 0 when the histogram is empty. *)
+(** (count, sum, min, max) in the calling domain's registry; min/max are
+    0 when the histogram is empty. *)
 val histogram_stats : histogram -> int * float * float * float
 
 (* ------------------------------------------------------------------ *)
@@ -87,17 +102,29 @@ type snapshot = {
   snap_spans : span_tree list;    (** completed top-level spans, in order *)
 }
 
-(** Capture the current state of the registry and completed spans. *)
+(** Capture the current state of the calling domain's registry and its
+    completed spans. *)
 val snapshot : unit -> snapshot
 
-(** [scoped f] isolates what [f] records: the registry is saved and
-    zeroed, [f] runs, and the returned snapshot covers exactly [f]'s own
-    counters/gauges/histograms/spans.  The saved state is then merged
-    back (counters summed, peak gauges maxed, histograms combined, spans
-    appended — inside an open span they become its children), so
-    process-cumulative telemetry is preserved.  This is how per-task
-    BENCH entries stay isolated from each other.  Exception-safe. *)
+(** [scoped f] isolates what [f] records: the calling domain's registry
+    is saved and zeroed, [f] runs, and the returned snapshot covers
+    exactly [f]'s own counters/gauges/histograms/spans.  The saved state
+    is then merged back (counters summed, peak gauges maxed, histograms
+    combined, spans appended — inside an open span they become its
+    children), so cumulative telemetry is preserved.  This is how
+    per-task BENCH entries stay isolated from each other.
+    Exception-safe. *)
 val scoped : (unit -> 'a) -> 'a * snapshot
+
+(** [merge_snapshot s] folds a snapshot captured elsewhere — typically in
+    a worker domain that has since been joined — into the calling
+    domain's registry, with {!scoped}'s merge discipline: counters
+    summed, peak gauges maxed, histograms combined, spans appended (under
+    the innermost open span if one is running).  Call it from the parent
+    AFTER [Domain.join] so the worker registry is quiescent; this is the
+    merge-back half of the per-domain registry design, and it is what
+    makes parallel batch telemetry aggregate instead of race. *)
+val merge_snapshot : snapshot -> unit
 
 (** Total wall time per span name, aggregated over the whole span forest
     (a span appearing several times contributes the sum).  Sorted by

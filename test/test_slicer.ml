@@ -214,6 +214,163 @@ let test_batch_matches_single () =
   Alcotest.check_raises "no seed" (Engine.No_seed 99999) (fun () ->
       ignore (Engine.slice_batch a ~lines:[ 99999 ] Slicer.Thin))
 
+(* A straight chain of [n] base-pointer hops: slicing backward from the
+   last load under [Thin_with_aliasing k] crosses exactly [min k 254]
+   costly edges, so the slice grows by one load per unit of budget until
+   the clamp saturates.  Long enough (n > 255) to expose any clamp
+   disagreement between the CSR walk and [Reference]. *)
+let chain_program (n : int) : string =
+  let b = Buffer.create (n * 24) in
+  Buffer.add_string b "class Box { Box f; }\n";
+  Buffer.add_string b "void main(String[] args) {\n";
+  Buffer.add_string b "  Box b0 = new Box();\n";
+  Buffer.add_string b "  b0.f = b0;\n";
+  for i = 1 to n do
+    Buffer.add_string b (Printf.sprintf "  Box b%d = b%d.f;\n" i (i - 1))
+  done;
+  Buffer.add_string b "  print(\"done\");\n}\n";
+  Buffer.contents b
+
+(* Regression for the budget-saturation parity gap: the CSR walk stores
+   budget+1 in a byte and clamped [Thin_with_aliasing k] at 254, while
+   [Reference] used the unclamped k — so the two implementations diverged
+   for k >= 255 on any path longer than the clamp.  The clamp now lives
+   in ONE place ([Slicer.initial_budget], exposed as
+   [Slicer.max_aliasing_budget]) that every traversal reads. *)
+let test_budget_clamp_boundary () =
+  Alcotest.(check int) "saturation point" 254 Slicer.max_aliasing_budget;
+  Alcotest.(check int) "initial_budget clamps"
+    Slicer.max_aliasing_budget
+    (Slicer.initial_budget (Slicer.Thin_with_aliasing 1000));
+  Alcotest.(check int) "initial_budget below the clamp" 253
+    (Slicer.initial_budget (Slicer.Thin_with_aliasing 253));
+  let n = 300 in
+  let src = chain_program n in
+  let a = analysis src in
+  let g = a.Engine.sdg in
+  Sdg.freeze g;
+  let line = line_of ~src ~pattern:(Printf.sprintf "Box b%d = b%d.f;" n (n - 1)) in
+  let seeds = Engine.seeds_at_line_exn ~filter:Engine.Only_loads a line in
+  let csr k = Slicer.slice g ~seeds (Slicer.Thin_with_aliasing k) in
+  let reference k =
+    Slicer.Reference.slice g ~seeds (Slicer.Thin_with_aliasing k)
+  in
+  List.iter
+    (fun k ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "CSR == Reference at k=%d" k)
+        (reference k) (csr k))
+    [ 253; 254; 255; 1000 ];
+  Alcotest.(check (list int)) "k=255 saturates to k=254" (csr 254) (csr 255);
+  Alcotest.(check (list int)) "k=1000 saturates to k=254" (csr 254) (csr 1000);
+  Alcotest.(check bool) "k=253 is strictly below the saturation point" true
+    (List.length (csr 253) < List.length (csr 254))
+
+(* Regression: [Engine.slice_batch] used to force [Sdg.freeze] on the
+   analysis, silently converting an [analyze ~freeze:false] baseline to
+   the CSR layout mid-benchmark.  It must slice on whatever adjacency the
+   analysis carries.  The parallel executor, by contrast, documents that
+   it freezes (concurrent walkers need the immutable arrays). *)
+let test_batch_respects_freeze () =
+  let src = Paper_figures.fig1 in
+  let a = Engine.analyze ~freeze:false (load src) in
+  Alcotest.(check bool) "unfrozen after analyze" false
+    (Sdg.is_frozen a.Engine.sdg);
+  let lines = [ line_of ~src ~pattern:Paper_figures.fig1_seed ] in
+  let seq = Engine.slice_batch a ~lines Slicer.Thin in
+  Alcotest.(check bool) "slice_batch leaves the freeze choice alone" false
+    (Sdg.is_frozen a.Engine.sdg);
+  let par = Engine.slice_batch_par ~jobs:2 a ~lines Slicer.Thin in
+  Alcotest.(check bool) "slice_batch_par freezes for its workers" true
+    (Sdg.is_frozen a.Engine.sdg);
+  List.iter2
+    (fun (l, s) (l', p) ->
+      Alcotest.(check int) "same line" l l';
+      Alcotest.(check (list int)) "same slice either side of the freeze" s p)
+    seq par
+
+(* Regression for the multi-file duplicate-lines bug: distinct files share
+   line numbers, and [slice_line_numbers] deduplicated (file, line) PAIRS
+   before dropping the file — so a slice touching a.tj:3 and b.tj:3
+   reported line 3 twice.  The projection must be sorted-distinct over the
+   bare ints. *)
+let two_file_a =
+  "void main(String[] args) {\n\
+  \  int x = mk();\n\
+  \  print(itoa(use(x)));\n\
+   }\n"
+
+let two_file_b =
+  "int mk() {\n\
+  \  int a = 1;\n\
+  \  return a + 1;\n\
+   }\n\
+   int use(int v) {\n\
+  \  return v * 2;\n\
+   }\n"
+
+let test_two_file_line_numbers () =
+  let a = Engine.of_sources [ ("a.tj", two_file_a); ("b.tj", two_file_b) ] in
+  let g = a.Engine.sdg in
+  let seeds = Engine.seeds_at_line_exn ~filter:Engine.Only_calls a 3 in
+  let mode = Slicer.Traditional_data in
+  let locs = Slicer.nodes_to_lines g (Slicer.slice g ~seeds mode) in
+  let files =
+    List.sort_uniq compare (List.map (fun l -> l.Slice_ir.Loc.file) locs)
+  in
+  Alcotest.(check (list string)) "slice spans both files" [ "a.tj"; "b.tj" ]
+    files;
+  let lines = Slicer.slice_line_numbers g ~seeds mode in
+  Alcotest.(check bool) "projection is non-vacuous (some line is in both files)"
+    true
+    (List.length locs > List.length lines);
+  Alcotest.(check (list int)) "sorted distinct ints"
+    (List.sort_uniq compare lines)
+    lines;
+  Alcotest.(check (list int)) "locs_to_line_numbers agrees"
+    (Slicer.locs_to_line_numbers locs)
+    lines;
+  (* the Engine batch projection goes through the same dedup *)
+  List.iter
+    (fun (_, batch_lines) ->
+      Alcotest.(check (list int)) "batch lines sorted distinct"
+        (List.sort_uniq compare batch_lines)
+        batch_lines)
+    (Engine.slice_batch ~filter:Engine.Only_calls a ~lines:[ 3 ] mode)
+
+(* Explicit scratch handles: one handle reused across walks, graphs and
+   directions returns exactly what the per-domain implicit scratch does
+   (walks must fully restore the buffers they touch). *)
+let test_explicit_scratch_reuse () =
+  let src1 = Paper_figures.fig1 and src2 = Prog_nanoxml.base in
+  let a1 = analysis src1 and a2 = analysis src2 in
+  let g1 = a1.Engine.sdg and g2 = a2.Engine.sdg in
+  let scratch = Slicer.create_scratch g1 in
+  let seeds1 =
+    Engine.seeds_at_line_exn a1 (line_of ~src:src1 ~pattern:Paper_figures.fig1_seed)
+  in
+  let seeds2 =
+    Engine.seeds_at_line_exn a2
+      (line_of ~src:src2 ~pattern:"print((String) this.lines.get(i));")
+  in
+  List.iter
+    (fun mode ->
+      Alcotest.(check (list int)) "g1 backward with explicit scratch"
+        (Slicer.slice g1 ~seeds:seeds1 mode)
+        (Slicer.slice ~scratch g1 ~seeds:seeds1 mode);
+      (* the same handle then walks a BIGGER graph (grow-only) *)
+      Alcotest.(check (list int)) "g2 backward with the same handle"
+        (Slicer.slice g2 ~seeds:seeds2 mode)
+        (Slicer.slice ~scratch g2 ~seeds:seeds2 mode);
+      Alcotest.(check (list int)) "g2 forward with the same handle"
+        (Slicer.forward_slice g2 ~seeds:seeds2 mode)
+        (Slicer.forward_slice ~scratch g2 ~seeds:seeds2 mode);
+      (* and back to the small graph *)
+      Alcotest.(check (list int)) "g1 again with the same handle"
+        (Slicer.slice g1 ~seeds:seeds1 mode)
+        (Slicer.slice ~scratch g1 ~seeds:seeds1 mode))
+    [ Slicer.Thin; Slicer.Thin_with_aliasing 1; Slicer.Traditional_full ]
+
 let suite =
   [ Alcotest.test_case "mode ordering" `Quick test_mode_ordering;
     Alcotest.test_case "fig1 exact thin slice" `Quick test_fig1_exact_thin;
@@ -225,4 +382,12 @@ let suite =
     Alcotest.test_case "bfs deterministic" `Quick test_bfs_order_deterministic;
     Alcotest.test_case "alias budget 0 == thin" `Quick test_alias0_equals_thin;
     Alcotest.test_case "chop symmetric" `Quick test_chop_symmetric;
-    Alcotest.test_case "batch matches single" `Quick test_batch_matches_single ]
+    Alcotest.test_case "batch matches single" `Quick test_batch_matches_single;
+    Alcotest.test_case "budget clamp boundary parity" `Quick
+      test_budget_clamp_boundary;
+    Alcotest.test_case "batch respects freeze choice" `Quick
+      test_batch_respects_freeze;
+    Alcotest.test_case "two-file line-number dedup" `Quick
+      test_two_file_line_numbers;
+    Alcotest.test_case "explicit scratch reuse" `Quick
+      test_explicit_scratch_reuse ]

@@ -34,9 +34,9 @@ let read_file_exn (path : string) : string =
     Printf.eprintf "thinslice: %s\n" m;
     exit 1
 
-let load_analysis ~obj_sens path =
+let load_analysis ?(solver = `Bitset) ~obj_sens path =
   let src = read_file_exn path in
-  Engine.of_source ~obj_sens ~file:(Filename.basename path) src
+  Engine.of_source ~obj_sens ~solver ~file:(Filename.basename path) src
 
 (* ---- telemetry plumbing ---- *)
 
@@ -155,6 +155,29 @@ let mode_arg =
     & info [ "mode"; "m" ] ~docv:"MODE"
         ~doc:"Slicing mode: thin, trad, full, or alias:K")
 
+let pta_conv =
+  let parse = function
+    | "bitset" -> Ok `Bitset
+    | "reference" | "ref" -> Ok `Reference
+    | s -> Error (`Msg (Printf.sprintf "unknown solver %s" s))
+  in
+  let print ppf s =
+    Format.pp_print_string ppf
+      (match s with `Bitset -> "bitset" | `Reference -> "reference")
+  in
+  Arg.conv (parse, print)
+
+let pta_arg =
+  Arg.(
+    value
+    & opt pta_conv `Bitset
+    & info [ "pta" ] ~docv:"SOLVER"
+        ~doc:
+          "Points-to solver: bitset (the cycle-collapsing worklist solver, \
+           default) or reference (the original list/tree oracle).  Results \
+           are identical; reference exists for parity checks and A/B \
+           benchmarks.")
+
 let handle_errors f =
   try f () with
   | Slice_front.Frontend.Error e ->
@@ -184,10 +207,10 @@ let forward_arg =
         ~doc:"Slice forward (impact analysis) instead of backward")
 
 let slice_cmd =
-  let run file line mode no_objsens forward tel =
+  let run file line mode no_objsens forward solver tel =
     handle_errors (fun () ->
         setup_telemetry tel;
-        let a = load_analysis ~obj_sens:(not no_objsens) file in
+        let a = load_analysis ~solver ~obj_sens:(not no_objsens) file in
         let seeds = Engine.seeds_at_line_exn a line in
         let nodes =
           if forward then Slicer.forward_slice a.Engine.sdg ~seeds mode
@@ -208,7 +231,7 @@ let slice_cmd =
   Cmd.v (Cmd.info "slice" ~doc:"Compute a slice from a seed line")
     Term.(
       const run $ file_arg $ line_arg $ mode_arg $ objsens_arg $ forward_arg
-      $ telemetry_term)
+      $ pta_arg $ telemetry_term)
 
 (* ---- batch: many seeds, one frozen graph ---- *)
 
@@ -229,10 +252,10 @@ let batch_cmd =
              parallelism).  Results are identical to --jobs 1 for every N; \
              worker telemetry is merged back into the main report.")
   in
-  let run file lines mode no_objsens forward jobs tel =
+  let run file lines mode no_objsens forward jobs solver tel =
     handle_errors (fun () ->
         setup_telemetry tel;
-        let a = load_analysis ~obj_sens:(not no_objsens) file in
+        let a = load_analysis ~solver ~obj_sens:(not no_objsens) file in
         let results =
           if jobs <= 1 then Engine.slice_batch ~forward a ~lines mode
           else Engine.slice_batch_par ~forward ~jobs a ~lines mode
@@ -255,7 +278,7 @@ let batch_cmd =
           across N domains")
     Term.(
       const run $ file_arg $ lines_arg $ mode_arg $ objsens_arg $ forward_arg
-      $ jobs_arg $ telemetry_term)
+      $ jobs_arg $ pta_arg $ telemetry_term)
 
 let chop_cmd =
   let to_arg =

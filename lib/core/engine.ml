@@ -11,11 +11,23 @@ type analysis = {
   obj_sens : bool;
 }
 
-let analyze ?(obj_sens = true) ?(freeze = true) (program : Program.t) : analysis =
+let analyze ?(obj_sens = true) ?(freeze = true) ?(solver = `Bitset)
+    (program : Program.t) : analysis =
   let opts =
     if obj_sens then Andersen.default_opts else Andersen.no_obj_sens_opts
   in
-  let pta = Andersen.analyze ~opts program in
+  let pta =
+    match solver with
+    | `Bitset -> Andersen.analyze ~opts program
+    | `Reference ->
+      (* [Andersen.Reference] is telemetry-free by design (it is the
+         byte-comparable oracle), so the pipeline spans are recorded
+         here instead; the result is lifted into the main
+         representation so everything downstream is unchanged. *)
+      Slice_obs.span "pta" (fun () ->
+          Slice_obs.span "pta.solve" (fun () ->
+              Andersen.of_reference (Andersen.Reference.analyze ~opts program)))
+  in
   let sdg = Slice_obs.span "sdg.build" (fun () -> Sdg.build program pta) in
   (* Compact to the immutable CSR layout (recorded under "sdg.freeze");
      [freeze:false] keeps the mutable list adjacency, for parity tests
@@ -23,17 +35,17 @@ let analyze ?(obj_sens = true) ?(freeze = true) (program : Program.t) : analysis
   if freeze then Sdg.freeze sdg;
   { program; pta; sdg; obj_sens }
 
-let of_source ?container_classes ?obj_sens ?freeze ~(file : string)
+let of_source ?container_classes ?obj_sens ?freeze ?solver ~(file : string)
     (src : string) : analysis =
-  analyze ?obj_sens ?freeze
+  analyze ?obj_sens ?freeze ?solver
     (Slice_front.Frontend.load_exn ?container_classes ~file src)
 
 (* Multi-file variant: the units are loaded as one program (see
    [Frontend.load_many_exn]) so slices can span files while every
    location keeps the file it came from. *)
-let of_sources ?container_classes ?obj_sens ?freeze
+let of_sources ?container_classes ?obj_sens ?freeze ?solver
     (units : (string * string) list) : analysis =
-  analyze ?obj_sens ?freeze
+  analyze ?obj_sens ?freeze ?solver
     (Slice_front.Frontend.load_many_exn ?container_classes units)
 
 (* Seed selection: all SDG nodes for statements on a source line.  When the

@@ -15,14 +15,26 @@ type analysis = {
     default, as in the paper's section 6.1) and build the dependence
     graph.  By default the graph is then frozen into its immutable CSR
     layout (see {!Sdg.freeze}); [freeze:false] keeps the mutable list
-    adjacency — used by parity tests and the BENCH A/B baseline. *)
-val analyze : ?obj_sens:bool -> ?freeze:bool -> Program.t -> analysis
+    adjacency — used by parity tests and the BENCH A/B baseline.
+
+    [solver] selects the points-to solver: [`Bitset] (default) is the
+    bitset / cycle-collapsing worklist solver; [`Reference] runs the
+    original list/tree oracle ({!Andersen.Reference}) and lifts its
+    result via {!Andersen.of_reference} — used by parity tests and the
+    [pta_ab] benchmark. *)
+val analyze :
+  ?obj_sens:bool ->
+  ?freeze:bool ->
+  ?solver:[ `Bitset | `Reference ] ->
+  Program.t ->
+  analysis
 
 (** Parse, typecheck, lower and analyze a TJ source text. *)
 val of_source :
   ?container_classes:string list ->
   ?obj_sens:bool ->
   ?freeze:bool ->
+  ?solver:[ `Bitset | `Reference ] ->
   file:string ->
   string ->
   analysis
@@ -34,6 +46,7 @@ val of_sources :
   ?container_classes:string list ->
   ?obj_sens:bool ->
   ?freeze:bool ->
+  ?solver:[ `Bitset | `Reference ] ->
   (string * string) list ->
   analysis
 

@@ -430,29 +430,23 @@ let build ?(include_control = true) (p : Program.t) (pta : Andersen.result) : t 
             (* heap indexing *)
             match i.Instr.i_kind with
             | Instr.Store (x, f, _) ->
-              Andersen.ObjSet.iter
-                (fun o -> push hx.field_writes (o, f) (n, i.Instr.i_id))
-                (Andersen.pts_of_var pta ~mctx:mc x)
+              Andersen.pts_iter_var pta ~mctx:mc x (fun o ->
+                  push hx.field_writes (o, f) (n, i.Instr.i_id))
             | Instr.Load (_, y, f) ->
-              Andersen.ObjSet.iter
-                (fun o -> push hx.field_reads (o, f) (n, i.Instr.i_id))
-                (Andersen.pts_of_var pta ~mctx:mc y)
+              Andersen.pts_iter_var pta ~mctx:mc y (fun o ->
+                  push hx.field_reads (o, f) (n, i.Instr.i_id))
             | Instr.Array_store (a, _, _) ->
-              Andersen.ObjSet.iter
-                (fun o -> push hx.field_writes (o, Andersen.elem_field) (n, i.Instr.i_id))
-                (Andersen.pts_of_var pta ~mctx:mc a)
+              Andersen.pts_iter_var pta ~mctx:mc a (fun o ->
+                  push hx.field_writes (o, Andersen.elem_field) (n, i.Instr.i_id))
             | Instr.Array_load (_, a, _) ->
-              Andersen.ObjSet.iter
-                (fun o -> push hx.field_reads (o, Andersen.elem_field) (n, i.Instr.i_id))
-                (Andersen.pts_of_var pta ~mctx:mc a)
+              Andersen.pts_iter_var pta ~mctx:mc a (fun o ->
+                  push hx.field_reads (o, Andersen.elem_field) (n, i.Instr.i_id))
             | Instr.New_array (x, _, _) ->
-              Andersen.ObjSet.iter
-                (fun o -> push hx.len_writes o n)
-                (Andersen.pts_of_var pta ~mctx:mc x)
+              Andersen.pts_iter_var pta ~mctx:mc x (fun o ->
+                  push hx.len_writes o n)
             | Instr.Array_length (_, a) ->
-              Andersen.ObjSet.iter
-                (fun o -> push hx.len_reads o n)
-                (Andersen.pts_of_var pta ~mctx:mc a)
+              Andersen.pts_iter_var pta ~mctx:mc a (fun o ->
+                  push hx.len_reads o n)
             | Instr.Static_store (c, f, _) -> push hx.static_writes (c, f) n
             | Instr.Static_load (_, c, f) -> push hx.static_reads (c, f) n
             | Instr.Const _ | Instr.Move _ | Instr.Binop _ | Instr.Unop _
@@ -525,17 +519,31 @@ let build ?(include_control = true) (p : Program.t) (pta : Andersen.result) : t 
             | _ -> ())
       end)
     mcs);
-  (* Pass 3: heap dependence edges (store -> load, direct).  [heap_edge]
-     counts every (read, write) candidate pair against the edges actually
-     emitted after dedup — the "considered vs emitted" ratio of the
+  (* Pass 3: heap dependence edges (store -> load, direct).  Candidate
+     (read, write) pairs are deduplicated through a bitset row per
+     write-node — the same (rn, wn) pair reappears once per shared
+     (object, field) key across contexts — and the surviving pairs are
+     emitted in one sweep via [Bits.iter].  The considered bump counts
+     every candidate; the emitted bump shares one guard with the actual
+     emit (distinct pair, rn <> wn), so emitted == distinct heap edges
+     exactly — the "considered vs emitted" ratio of the
      context-insensitive representation. *)
-  let heap_edge rn wn =
-    Slice_obs.bump c_heap_considered;
-    if rn <> wn && not (Hashtbl.mem g.edge_seen (rn, wn, Producer_heap)) then
-      Slice_obs.bump c_heap_emitted;
-    add_edge g ~from:rn ~on:wn Producer_heap
-  in
   Slice_obs.span "sdg.heap" (fun () ->
+  let rows : (node, Slice_util.Bits.t) Hashtbl.t = Hashtbl.create 256 in
+  let consider rn wn =
+    Slice_obs.bump c_heap_considered;
+    if rn <> wn then begin
+      let row =
+        match Hashtbl.find_opt rows wn with
+        | Some b -> b
+        | None ->
+          let b = Slice_util.Bits.create ~capacity:64 () in
+          Hashtbl.replace rows wn b;
+          b
+      in
+      ignore (Slice_util.Bits.add row rn)
+    end
+  in
   let wire_heap reads writes =
     Hashtbl.iter
       (fun key rlist ->
@@ -544,7 +552,7 @@ let build ?(include_control = true) (p : Program.t) (pta : Andersen.result) : t 
         | Some wlist ->
           List.iter
             (fun (rn, _) ->
-              List.iter (fun (wn, _) -> heap_edge rn wn) !wlist)
+              List.iter (fun (wn, _) -> consider rn wn) !wlist)
             !rlist)
       reads
   in
@@ -555,7 +563,7 @@ let build ?(include_control = true) (p : Program.t) (pta : Andersen.result) : t 
       | None -> ()
       | Some wlist ->
         List.iter
-          (fun rn -> List.iter (fun wn -> heap_edge rn wn) !wlist)
+          (fun rn -> List.iter (fun wn -> consider rn wn) !wlist)
           !rlist)
     hx.static_reads;
   Hashtbl.iter
@@ -564,9 +572,17 @@ let build ?(include_control = true) (p : Program.t) (pta : Andersen.result) : t 
       | None -> ()
       | Some wlist ->
         List.iter
-          (fun rn -> List.iter (fun wn -> heap_edge rn wn) !wlist)
+          (fun rn -> List.iter (fun wn -> consider rn wn) !wlist)
           !rlist)
-    hx.len_reads);
+    hx.len_reads;
+  Hashtbl.iter
+    (fun wn row ->
+      Slice_util.Bits.iter
+        (fun rn ->
+          Slice_obs.bump c_heap_emitted;
+          add_edge g ~from:rn ~on:wn Producer_heap)
+        row)
+    rows);
   (* Pass 4: control dependence edges. *)
   if include_control then Slice_obs.span "sdg.control" (fun () -> begin
     (* reverse call graph: callee mctx -> caller call-site nodes *)

@@ -76,7 +76,8 @@ let initial_budget = function
 
 (* Reusable per-walk scratch.  [best] stores, per node, 0 for "never
    reached" or (best remaining budget + 1): the visited set and the
-   budget table in one byte array.  [queued] marks nodes currently in
+   budget table in one byte array.  [queued] (a dense [Bits] set — one
+   bit per node is all a membership flag needs) marks nodes currently in
    the ring so every node occupies at most one queue slot (the
    duplicate-enqueue fix: the old walk re-enqueued a node on every
    budget improvement, up to k+1 times under [Thin_with_aliasing k],
@@ -94,7 +95,7 @@ let initial_budget = function
 type scratch = {
   mutable cap : int;           (* number of nodes the buffers cover *)
   mutable best : Bytes.t;      (* cap bytes, all-zero between walks *)
-  mutable queued : Bytes.t;    (* cap bytes, all-zero between walks *)
+  queued : Slice_util.Bits.t;  (* dense bitset, all-clear between walks *)
   mutable ring : int array;    (* cap + 1 slots *)
   mutable touched : int array; (* cap slots; first-visit log *)
 }
@@ -103,17 +104,17 @@ let create_scratch (g : Sdg.t) : scratch =
   let n = max 1 (Sdg.num_nodes g) in
   { cap = n;
     best = Bytes.make n '\000';
-    queued = Bytes.make n '\000';
+    queued = Slice_util.Bits.create ~capacity:n ();
     ring = Array.make (n + 1) 0;
     touched = Array.make n 0 }
 
-(* Grow-only: the byte arrays need no clearing because every walk zeroes
-   exactly the entries it touched before returning. *)
+(* Grow-only: the buffers need no clearing because every walk zeroes
+   exactly the entries it touched before returning ([queued] grows on
+   demand inside [Bits]). *)
 let ensure_capacity (s : scratch) (n : int) : unit =
   if s.cap < n then begin
     s.cap <- n;
     s.best <- Bytes.make n '\000';
-    s.queued <- Bytes.make n '\000';
     s.ring <- Array.make (n + 1) 0;
     s.touched <- Array.make n 0
   end
@@ -144,8 +145,7 @@ let walk_scratch (scratch : scratch)
         incr tcount
       end;
       Bytes.unsafe_set best node (Char.unsafe_chr b1);
-      if Bytes.unsafe_get queued node = '\000' then begin
-        Bytes.unsafe_set queued node '\001';
+      if Slice_util.Bits.add queued node then begin
         Array.unsafe_set ring !tail node;
         tail := (!tail + 1) mod slots;
         incr count;
@@ -161,7 +161,7 @@ let walk_scratch (scratch : scratch)
     let node = Array.unsafe_get ring !head in
     head := (!head + 1) mod slots;
     decr count;
-    Bytes.unsafe_set queued node '\000';
+    Slice_util.Bits.remove queued node;
     let budget = Char.code (Bytes.unsafe_get best node) - 1 in
     Slice_obs.bump c_nodes_visited;
     iter g node (fun dep kind ->

@@ -91,7 +91,7 @@ let current_registry () : registry = Domain.DLS.get registry_key
 
 (* Cell interning WITHIN one registry: only ever called by the registry's
    own domain, so no locking.  Idempotent by name. *)
-let counter_cell (reg : registry) (name : string) : int ref =
+let reg_counter_cell (reg : registry) (name : string) : int ref =
   match Hashtbl.find_opt reg.reg_counters name with
   | Some c -> c
   | None ->
@@ -146,9 +146,13 @@ let intern_handle (tbl : (string, 'h) Hashtbl.t) (name : string)
 
 let counter (name : string) : counter =
   intern_handle counter_handles name (fun name ->
-      Domain.DLS.new_key (fun () -> counter_cell (current_registry ()) name))
+      Domain.DLS.new_key (fun () -> reg_counter_cell (current_registry ()) name))
 
 let bump (c : counter) = incr (Domain.DLS.get c)
+
+(* The raw per-domain cell: for hot loops.  Stable for the domain's
+   lifetime — [scoped] zeroes and restores through the same ref. *)
+let counter_cell (c : counter) : int ref = Domain.DLS.get c
 
 let add (c : counter) n =
   let r = Domain.DLS.get c in
@@ -305,7 +309,7 @@ let merge_snapshot (s : snapshot) : unit =
   List.iter
     (fun (name, v) ->
       if v <> 0 then begin
-        let c = counter_cell reg name in
+        let c = reg_counter_cell reg name in
         c := !c + v
       end)
     s.snap_counters;

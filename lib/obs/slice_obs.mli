@@ -50,6 +50,13 @@ val counter : string -> counter
 val bump : counter -> unit
 val add : counter -> int -> unit
 
+(** The calling domain's raw cell for [c], for hot loops that cannot
+    afford a per-bump DLS lookup: resolve once, then [incr] the ref
+    directly.  The cell is stable for the life of the domain (both
+    {!scoped} and {!snapshot} read through the same ref), but it belongs
+    to the RESOLVING domain — never share it with another domain. *)
+val counter_cell : counter -> int ref
+
 (** Current value of a registered counter in the calling domain's
     registry, 0 if never registered there. *)
 val counter_value : string -> int

@@ -6,10 +6,21 @@
     construction, with fully object-sensitive cloning for objects of key
     collections classes").
 
-    The solver is a difference-propagation worklist over an interned node
-    universe; complex constraints (field loads/stores, virtual dispatch)
-    are attached to base-pointer nodes and processed as their points-to
-    sets grow. *)
+    The main solver is a difference-propagation worklist over an
+    interned node universe with a bitset data plane: points-to sets and
+    accumulated per-node deltas are growable dense bitsets
+    ([Slice_util.Bits]), the worklist is an entry-unique FIFO int ring,
+    and unfiltered copy cycles are collapsed online (union-find with
+    lazy cycle detection), so every node of a copy cycle shares one
+    points-to set.  Complex constraints (field loads/stores, virtual
+    dispatch) are attached to base-pointer nodes and processed as their
+    points-to sets grow.
+
+    The original list/tree solver is preserved verbatim as [Reference]
+    (telemetry-free oracle, same role as [Slicer.Reference]);
+    [of_reference] lifts its result into the main representation so the
+    full pipeline can run against either solver for parity checks and
+    A/B benchmarks. *)
 
 open Slice_ir
 
@@ -46,6 +57,10 @@ val reachable_methods : result -> Instr.method_qname list
 (** Points-to set of a variable in one method context. *)
 val pts_of_var : result -> mctx:int -> Instr.var -> ObjSet.t
 
+(** Allocation-free iteration over a variable's points-to set (used by
+    the SDG's heap-indexing pass). *)
+val pts_iter_var : result -> mctx:int -> Instr.var -> (int -> unit) -> unit
+
 (** Context-insensitive projection: union over the method's contexts. *)
 val pts_of_var_ci : result -> Instr.method_qname -> Instr.var -> ObjSet.t
 
@@ -70,3 +85,29 @@ val num_objects : result -> int
 (** Can the pointer analysis prove the cast never fails?  The tough-cast
     experiment (section 6.3) slices from casts where this is [false]. *)
 val cast_verified : result -> Instr.method_qname -> Instr.instr -> bool
+
+(** Canonical, interning-order-independent dump of every node's
+    points-to set: [(node key, sorted object keys)] sorted by node key.
+    Byte-comparable across solvers — the parity oracle. *)
+val pts_dump : result -> (string * string list) list
+
+(** Canonical dump of the on-the-fly call graph (context-qualified call
+    edges and intrinsic targets), comparable across solvers. *)
+val call_graph_dump : result -> (string * string list) list
+
+(** The original list/tree solver ([Set.Make(Int)] points-to sets, LIFO
+    [(node, delta)] worklist), preserved verbatim as a telemetry-free
+    oracle. *)
+module Reference : sig
+  type result
+
+  val analyze : ?opts:opts -> Program.t -> result
+  val num_objects : result -> int
+  val pts_dump : result -> (string * string list) list
+  val call_graph_dump : result -> (string * string list) list
+end
+
+(** Lift a reference result into the main representation (identity
+    union-find, bitset points-to sets) so the full pipeline — SDG
+    construction, slicing — can run against it unchanged. *)
+val of_reference : Reference.result -> result

@@ -1,0 +1,208 @@
+(* Property tests for the shared dense bitset (lib/util/bits.ml), the
+   data plane under the points-to solver and the SDG heap wiring.
+
+   The oracle is [Set.Make (Int)]: a random sequence of operations is
+   applied to both representations and every observation (mem, cardinal,
+   elements, iter order, union/diff/propagate results) must agree.
+
+   Word-edge indices get dedicated coverage: bit 62 of an OCaml native
+   int is the SIGN bit of the 63-bit word, so any scan that isolates a
+   bit and compares it arithmetically misclassifies indices = 62 (mod
+   63).  That exact bug corrupted heap-alias grouping during development;
+   the [word edges] tests below lock it down. *)
+
+module Bits = Slice_util.Bits
+module IntSet = Set.Make (Int)
+
+(* ---- deterministic observations ---- *)
+
+let elements_via_iter (b : Bits.t) : int list =
+  let acc = ref [] in
+  Bits.iter (fun i -> acc := i :: !acc) b;
+  List.rev !acc
+
+let check_agrees ~(what : string) (b : Bits.t) (s : IntSet.t) : unit =
+  let want = IntSet.elements s in
+  Alcotest.(check (list int)) (what ^ ": elements") want (Bits.elements b);
+  Alcotest.(check (list int))
+    (what ^ ": iter ascending")
+    want (elements_via_iter b);
+  Alcotest.(check int) (what ^ ": cardinal") (IntSet.cardinal s) (Bits.cardinal b);
+  Alcotest.(check bool)
+    (what ^ ": is_empty")
+    (IntSet.is_empty s) (Bits.is_empty b);
+  (* Membership probes at, around and far beyond every element. *)
+  List.iter
+    (fun i ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: mem %d" what i)
+        (IntSet.mem i s) (Bits.mem b i))
+    (List.concat_map (fun i -> [ i - 1; i; i + 1 ]) want);
+  Alcotest.(check bool) (what ^ ": mem far") false (Bits.mem b 100_000);
+  Alcotest.(check bool) (what ^ ": mem -1") false (Bits.mem b (-1))
+
+(* ---- the word-edge indices: around bit 62/63 of words 0 and 1 ---- *)
+
+let word_edge_indices =
+  let w = Bits.bits_per_word in
+  [ 0; 1; w - 2; w - 1; w; w + 1; (2 * w) - 1; 2 * w; (2 * w) + 1 ]
+
+let test_word_edges () =
+  (* Each index alone: add, observe, remove. *)
+  List.iter
+    (fun i ->
+      let b = Bits.create ~capacity:1 () in
+      Alcotest.(check bool) "fresh add" true (Bits.add b i);
+      Alcotest.(check bool) "re-add" false (Bits.add b i);
+      check_agrees ~what:(Printf.sprintf "singleton %d" i) b (IntSet.singleton i);
+      Bits.remove b i;
+      check_agrees ~what:(Printf.sprintf "removed %d" i) b IntSet.empty)
+    word_edge_indices;
+  (* All edges at once — the sign bit must survive iteration. *)
+  let b = Bits.create () in
+  List.iter (fun i -> ignore (Bits.add b i)) word_edge_indices;
+  check_agrees ~what:"all word edges" b (IntSet.of_list word_edge_indices)
+
+let test_sign_bit_round_trip () =
+  (* Index 62 on a 63-bit word sets the native-int sign bit.  It must
+     come back out of [iter] as 62, not 0 — the development-time bug. *)
+  let i = Bits.bits_per_word - 1 in
+  let b = Bits.create () in
+  ignore (Bits.add b i);
+  Alcotest.(check (list int)) "sign bit via iter" [ i ] (elements_via_iter b);
+  Alcotest.(check int) "sign bit cardinal" 1 (Bits.cardinal b);
+  (* And together with bit 0 of the same word. *)
+  ignore (Bits.add b 0);
+  Alcotest.(check (list int)) "0 + sign bit" [ 0; i ] (Bits.elements b)
+
+(* ---- random operation sequences vs the Set oracle ---- *)
+
+type op = Add of int | Remove of int | Clear
+
+let gen_index : int QCheck2.Gen.t =
+  let w = Bits.bits_per_word in
+  QCheck2.Gen.(
+    oneof
+      [ 0 -- 200;                                   (* dense small *)
+        oneofl word_edge_indices;                   (* word boundaries *)
+        map (fun k -> (k * w) + (w - 1)) (0 -- 5);  (* sign bits *)
+        300 -- 2000 ]                               (* forces growth *))
+
+let gen_op : op QCheck2.Gen.t =
+  QCheck2.Gen.(
+    frequency
+      [ (6, map (fun i -> Add i) gen_index);
+        (2, map (fun i -> Remove i) gen_index);
+        (1, return Clear) ])
+
+let apply_ops ops =
+  let b = Bits.create ~capacity:4 () in
+  let s = ref IntSet.empty in
+  List.iter
+    (fun op ->
+      match op with
+      | Add i ->
+        let fresh = Bits.add b i in
+        Alcotest.(check bool)
+          (Printf.sprintf "add %d freshness" i)
+          (not (IntSet.mem i !s))
+          fresh;
+        s := IntSet.add i !s
+      | Remove i ->
+        Bits.remove b i;
+        s := IntSet.remove i !s
+      | Clear ->
+        Bits.clear b;
+        s := IntSet.empty)
+    ops;
+  (b, !s)
+
+let prop_ops_match_oracle =
+  QCheck2.Test.make ~count:200 ~name:"random op sequences match Set oracle"
+    QCheck2.Gen.(list_size (0 -- 120) gen_op)
+    (fun ops ->
+      let b, s = apply_ops ops in
+      check_agrees ~what:"after ops" b s;
+      true)
+
+let prop_union_diff_match_oracle =
+  QCheck2.Test.make ~count:200 ~name:"union_into/diff_into match Set oracle"
+    QCheck2.Gen.(
+      pair (list_size (0 -- 60) gen_op) (list_size (0 -- 60) gen_op))
+    (fun (ops_a, ops_b) ->
+      let a, sa = apply_ops ops_a in
+      let b, sb = apply_ops ops_b in
+      (* union_into: dst grows to the union; changed iff src \ dst <> {} *)
+      let dst = Bits.copy b in
+      let changed = Bits.union_into ~src:a ~dst in
+      Alcotest.(check bool)
+        "union changed flag"
+        (not (IntSet.subset sa sb))
+        changed;
+      check_agrees ~what:"union" dst (IntSet.union sa sb);
+      (* src is untouched *)
+      check_agrees ~what:"union src intact" a sa;
+      (* diff_into: dst := dst \ src *)
+      let dst2 = Bits.copy b in
+      Bits.diff_into ~src:a ~dst:dst2;
+      check_agrees ~what:"diff" dst2 (IntSet.diff sb sa);
+      (* equal agrees with the oracle across differing capacities *)
+      Alcotest.(check bool)
+        "equal vs oracle"
+        (IntSet.equal sa sb)
+        (Bits.equal a b);
+      true)
+
+let prop_propagate_matches_oracle =
+  QCheck2.Test.make ~count:200
+    ~name:"propagate: fresh = src\\pts, ORed into pts and delta"
+    QCheck2.Gen.(
+      triple
+        (list_size (0 -- 50) gen_op)
+        (list_size (0 -- 50) gen_op)
+        (list_size (0 -- 50) gen_op))
+    (fun (ops_src, ops_pts, ops_delta) ->
+      let src, s_src = apply_ops ops_src in
+      let pts, s_pts = apply_ops ops_pts in
+      let delta, s_delta = apply_ops ops_delta in
+      let fresh = IntSet.diff s_src s_pts in
+      let n = Bits.propagate ~src ~pts ~delta in
+      Alcotest.(check int) "propagate count" (IntSet.cardinal fresh) n;
+      check_agrees ~what:"propagate pts" pts (IntSet.union s_pts s_src);
+      check_agrees ~what:"propagate delta" delta (IntSet.union s_delta fresh);
+      check_agrees ~what:"propagate src intact" src s_src;
+      true)
+
+let prop_copy_is_independent =
+  QCheck2.Test.make ~count:100 ~name:"copy is deep"
+    QCheck2.Gen.(list_size (0 -- 60) gen_op)
+    (fun ops ->
+      let b, s = apply_ops ops in
+      let c = Bits.copy b in
+      ignore (Bits.add c 4242);
+      Bits.remove c (match IntSet.min_elt_opt s with Some i -> i | None -> 0);
+      check_agrees ~what:"original after copy mutation" b s;
+      true)
+
+let test_iter_snapshot_safe () =
+  (* The callback may grow the set; iter must only see the snapshot. *)
+  let b = Bits.create ~capacity:1 () in
+  ignore (Bits.add b 0);
+  ignore (Bits.add b 62);
+  let seen = ref [] in
+  Bits.iter
+    (fun i ->
+      ignore (Bits.add b (i + 1000));
+      seen := i :: !seen)
+    b;
+  Alcotest.(check (list int)) "snapshot iter" [ 0; 62 ] (List.rev !seen);
+  Alcotest.(check bool) "growth landed" true (Bits.mem b 1062)
+
+let suite =
+  [ Alcotest.test_case "word edges 62/63/64/125/126/127" `Quick test_word_edges;
+    Alcotest.test_case "sign bit round trip" `Quick test_sign_bit_round_trip;
+    Alcotest.test_case "iter snapshot safe" `Quick test_iter_snapshot_safe;
+    QCheck_alcotest.to_alcotest prop_ops_match_oracle;
+    QCheck_alcotest.to_alcotest prop_union_diff_match_oracle;
+    QCheck_alcotest.to_alcotest prop_propagate_matches_oracle;
+    QCheck_alcotest.to_alcotest prop_copy_is_independent ]

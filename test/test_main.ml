@@ -1,6 +1,7 @@
 let () =
   Alcotest.run "thinslice"
-    [ ("lexer", Test_lexer.suite);
+    [ ("bits", Test_bits.suite);
+      ("lexer", Test_lexer.suite);
       ("parser", Test_parser.suite);
       ("typecheck", Test_typecheck.suite);
       ("ir", Test_ir.suite);

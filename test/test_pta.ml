@@ -199,6 +199,106 @@ let test_call_graph_soundness () =
       (Slice_workloads.Paper_figures.fig1, fst Slice_workloads.Paper_figures.fig1_io,
        snd Slice_workloads.Paper_figures.fig1_io) ]
 
+(* ---- bitset solver vs the Reference oracle ---- *)
+
+(* Every workload of the BENCH suite; same list as bench/main.ml and
+   test_props.ml. *)
+let workload_programs =
+  [ ("nanoxml", Slice_workloads.Prog_nanoxml.base);
+    ("jtopas", Slice_workloads.Prog_jtopas.base);
+    ("ant", Slice_workloads.Prog_ant.base);
+    ("xmlsec", Slice_workloads.Prog_xmlsec.base);
+    ("mtrt", Slice_workloads.Prog_mtrt.base);
+    ("jess", Slice_workloads.Prog_jess.base);
+    ("javac", Slice_workloads.Prog_javac.base);
+    ("jack", Slice_workloads.Prog_jack.base);
+    ("pipeline-32", Slice_workloads.Generators.pipeline_program ~stages:32) ]
+
+let dump = Alcotest.(list (pair string (list string)))
+
+(* The two solvers intern objects and method contexts in different
+   orders (FIFO vs LIFO worklists), so parity is checked on the
+   canonical-key dumps: identical points-to sets per node description,
+   identical call graph, identical object counts — for both sensitivity
+   settings. *)
+let test_solver_pts_parity () =
+  List.iter
+    (fun (name, src) ->
+      let p = Slice_front.Frontend.load_exn ~file:(name ^ ".tj") src in
+      List.iter
+        (fun (sens, opts) ->
+          let bit = Andersen.analyze ~opts p in
+          let oracle = Andersen.Reference.analyze ~opts p in
+          let ctx = Printf.sprintf "%s (%s)" name sens in
+          Alcotest.check dump (ctx ^ " pts sets")
+            (Andersen.Reference.pts_dump oracle)
+            (Andersen.pts_dump bit);
+          Alcotest.check dump (ctx ^ " call graph")
+            (Andersen.Reference.call_graph_dump oracle)
+            (Andersen.call_graph_dump bit);
+          Alcotest.(check int)
+            (ctx ^ " num_objects")
+            (Andersen.Reference.num_objects oracle)
+            (Andersen.num_objects bit);
+          (* [of_reference] must lift the oracle without changing it. *)
+          let lifted = Andersen.of_reference oracle in
+          Alcotest.check dump (ctx ^ " lifted pts sets")
+            (Andersen.pts_dump bit)
+            (Andersen.pts_dump lifted);
+          Alcotest.check dump (ctx ^ " lifted call graph")
+            (Andersen.call_graph_dump bit)
+            (Andersen.call_graph_dump lifted))
+        [ ("objsens", Andersen.default_opts);
+          ("ci", Andersen.no_obj_sens_opts) ])
+    workload_programs
+
+(* End-to-end: the whole pipeline on either solver produces identical
+   slices, every mode and direction, at line granularity (node ids are
+   interning-order dependent, lines are not). *)
+let test_solver_slice_parity () =
+  let module E = Slice_core.Engine in
+  let module Sdg = Slice_core.Sdg in
+  let module Slicer = Slice_core.Slicer in
+  List.iter
+    (fun (name, src) ->
+      let file = name ^ ".tj" in
+      let a_bit = E.of_source ~solver:`Bitset ~file src in
+      let a_ref = E.of_source ~solver:`Reference ~file src in
+      (* first / middle / last source lines that carry statements *)
+      let lines =
+        let g = a_bit.E.sdg in
+        let ls = ref [] in
+        for n = 0 to Sdg.num_nodes g - 1 do
+          if Sdg.node_countable g n then
+            ls := (Sdg.node_loc g n).Slice_ir.Loc.line :: !ls
+        done;
+        match List.sort_uniq compare !ls with
+        | [] -> []
+        | sorted ->
+          let arr = Array.of_list sorted in
+          let k = Array.length arr in
+          List.sort_uniq compare [ arr.(0); arr.(k / 2); arr.(k - 1) ]
+      in
+      Alcotest.(check bool) (name ^ " has seed lines") true (lines <> []);
+      List.iter
+        (fun mode ->
+          List.iter
+            (fun forward ->
+              let ctx =
+                Printf.sprintf "%s %s %s" name
+                  (Slicer.mode_to_string mode)
+                  (if forward then "fwd" else "bwd")
+              in
+              Alcotest.(check (list (pair int (list int))))
+                ctx
+                (E.slice_batch ~forward a_ref ~lines mode)
+                (E.slice_batch ~forward a_bit ~lines mode))
+            [ false; true ])
+        [ Slicer.Thin; Slicer.Thin_with_aliasing 1;
+          Slicer.Thin_with_aliasing 2; Slicer.Traditional_data;
+          Slicer.Traditional_full ])
+    workload_programs
+
 let suite =
   [ Alcotest.test_case "separation" `Quick test_separation;
     Alcotest.test_case "copy merging" `Quick test_merging_through_copy;
@@ -208,4 +308,8 @@ let suite =
     Alcotest.test_case "cast verification" `Quick test_cast_verification;
     Alcotest.test_case "tough cast detection" `Quick test_tough_cast_detection;
     Alcotest.test_case "static field flow" `Quick test_static_fields_flow;
-    Alcotest.test_case "call graph soundness" `Quick test_call_graph_soundness ]
+    Alcotest.test_case "call graph soundness" `Quick test_call_graph_soundness;
+    Alcotest.test_case "solver parity: pts + call graph" `Quick
+      test_solver_pts_parity;
+    Alcotest.test_case "solver parity: slices all modes" `Quick
+      test_solver_slice_parity ]

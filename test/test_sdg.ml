@@ -219,6 +219,36 @@ let test_freeze_counts_csr_telemetry () =
   Alcotest.(check bool) "sdg.freeze span recorded" true
     (List.mem_assoc "sdg.freeze" (Slice_obs.span_totals snap))
 
+(* Regression for the heap-counter skew: [sdg.heap_pairs_emitted] must
+   equal the number of distinct Producer_heap edges in the graph (the
+   bump and the [add_edge] call now share one guard over the
+   deduplicated bitset rows), and [considered >= emitted] always. *)
+let test_heap_counters_exact () =
+  List.iter
+    (fun (name, src) ->
+      let a, snap = Slice_obs.scoped (fun () -> analysis src) in
+      let g = a.Engine.sdg in
+      let heap_edges = ref 0 in
+      for n = 0 to Sdg.num_nodes g - 1 do
+        Sdg.deps_iter g n (fun _ k ->
+            if k = Sdg.Producer_heap then incr heap_edges)
+      done;
+      let counter k =
+        match List.assoc_opt k snap.Slice_obs.snap_counters with
+        | Some v -> v
+        | None -> 0
+      in
+      let emitted = counter "sdg.heap_pairs_emitted" in
+      let considered = counter "sdg.heap_pairs_considered" in
+      Alcotest.(check int)
+        (name ^ ": emitted == distinct Producer_heap edges")
+        !heap_edges emitted;
+      Alcotest.(check bool)
+        (name ^ ": considered >= emitted")
+        true (considered >= emitted))
+    [ ("fig1", Paper_figures.fig1); ("fig2", Paper_figures.fig2);
+      ("nanoxml", Prog_nanoxml.base); ("javac", Prog_javac.base) ]
+
 let suite =
   [ Alcotest.test_case "fig2 edge classes" `Quick test_fig2_edge_classes;
     Alcotest.test_case "param/return wiring" `Quick test_param_and_return_wiring;
@@ -231,4 +261,5 @@ let suite =
     Alcotest.test_case "freeze preserves adjacency" `Quick
       test_freeze_preserves_adjacency;
     Alcotest.test_case "freeze csr telemetry" `Quick
-      test_freeze_counts_csr_telemetry ]
+      test_freeze_counts_csr_telemetry;
+    Alcotest.test_case "heap counters exact" `Quick test_heap_counters_exact ]

@@ -178,7 +178,27 @@ let pta_arg =
            are identical; reference exists for parity checks and A/B \
            benchmarks.")
 
+(* Print a clean `Msg-style error and exit, like [read_file_exn]. *)
+let cli_error fmt =
+  Printf.ksprintf
+    (fun m ->
+      Printf.eprintf "thinslice: %s\n" m;
+      exit 1)
+    fmt
+
+(* Every user-reachable failure must surface as a clean one-line error,
+   never a raw OCaml exception with a backtrace.  The fuzzer feeds this
+   tool hostile inputs (malformed programs, absurd limits), so the
+   catch-list is deliberately wide: [Failure]/[Invalid_argument] cover
+   the stdlib's own raises, and [Dyntrace.Trace_overflow] is
+   belt-and-braces — {!Slice_interp.Interp.run} converts it to a
+   [Trace_limit_exceeded] failure, so seeing the raw exception here
+   would itself be a bug, but the CLI still refuses to crash on it. *)
 let handle_errors f =
+  (* THINSLICE_DEBUG=1 disables the catch-all so developers get the raw
+     exception and backtrace (OCAMLRUNPARAM=b). *)
+  if Sys.getenv_opt "THINSLICE_DEBUG" <> None then f ()
+  else
   try f () with
   | Slice_front.Frontend.Error e ->
     Printf.eprintf "%s\n" (Slice_front.Frontend.error_to_string e);
@@ -189,6 +209,10 @@ let handle_errors f =
   | Engine.No_seed line ->
     Printf.eprintf "no statement found at line %d\n" line;
     exit 1
+  | Failure msg -> cli_error "%s" msg
+  | Invalid_argument msg -> cli_error "invalid argument: %s" msg
+  | Slice_interp.Dyntrace.Trace_overflow ->
+    cli_error "dynamic trace event limit exceeded"
 
 (* ---- slice ---- *)
 
@@ -416,7 +440,17 @@ let run_cmd =
       & info [ "input" ] ~docv:"NAME=PATH"
           ~doc:"Bind stream NAME to the lines of the file at PATH")
   in
-  let run file argv inputs tel =
+  let trace_events_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "trace-events" ] ~docv:"N"
+          ~doc:
+            "Record a dynamic dependence trace bounded to $(docv) events; \
+             exceeding the bound aborts the run with a clean \
+             trace-limit-exceeded failure (exit 2), like the step limit.")
+  in
+  let run file argv inputs trace_events tel =
     handle_errors (fun () ->
         setup_telemetry tel;
         let streams =
@@ -431,15 +465,21 @@ let run_cmd =
                   |> List.filter (fun l -> l <> "")
                 in
                 (name, lines)
-              | None -> failwith "expected --input NAME=PATH")
+              | None -> cli_error "--input expects NAME=PATH (got %S)" spec)
             inputs
         in
         let p =
           Slice_front.Frontend.load_exn ~file:(Filename.basename file)
             (read_file_exn file)
         in
+        let trace =
+          match trace_events with
+          | None -> None
+          | Some n when n <= 0 -> cli_error "--trace-events expects N > 0"
+          | Some n -> Some (Slice_interp.Dyntrace.create ~max_events:n ())
+        in
         let config =
-          { Slice_interp.Interp.default_config with args = argv; streams }
+          { Slice_interp.Interp.default_config with args = argv; streams; trace }
         in
         let o = Slice_interp.Interp.run config p in
         List.iter print_endline o.Slice_interp.Interp.output;
@@ -452,7 +492,107 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Interpret a TJ program")
-    Term.(const run $ file_arg $ args_arg $ inputs_arg $ telemetry_term)
+    Term.(
+      const run $ file_arg $ args_arg $ inputs_arg $ trace_events_arg
+      $ telemetry_term)
+
+(* ---- fuzz ---- *)
+
+let fuzz_cmd =
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"N" ~doc:"Run seed (fully deterministic)")
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "count" ] ~docv:"K" ~doc:"Number of programs to generate")
+  in
+  let max_size_arg =
+    Arg.(
+      value & opt int 40
+      & info [ "max-size" ] ~docv:"S"
+          ~doc:"Upper bound on generated steps per program")
+  in
+  let corpus_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:
+            "Write a self-contained JSON repro for each (shrunk) violation \
+             into $(docv); defaults to test/corpus when run from the \
+             repository root, otherwise disabled.")
+  in
+  let fault_conv =
+    let parse s =
+      match Slice_fuzz.Oracle.fault_of_string s with
+      | Some f -> Ok f
+      | None -> Error (`Msg (Printf.sprintf "unknown fault %s" s))
+    in
+    let print ppf f =
+      Format.pp_print_string ppf (Slice_fuzz.Oracle.fault_to_string f)
+    in
+    Arg.conv (parse, print)
+  in
+  let fault_arg =
+    Arg.(
+      value
+      & opt fault_conv Slice_fuzz.Oracle.No_fault
+      & info [ "fault" ] ~docv:"FAULT"
+          ~doc:
+            "Deliberately break one oracle link to prove the harness can \
+             catch and shrink a violation: none (default) or \
+             dyn-base-as-val (base-pointer dependences treated as value \
+             dependences in the dynamic thin slice).")
+  in
+  let run seed count max_size corpus fault tel =
+    handle_errors (fun () ->
+        setup_telemetry tel;
+        if count <= 0 then cli_error "--count expects K > 0";
+        if max_size <= 0 then cli_error "--max-size expects S > 0";
+        let corpus_dir =
+          match corpus with
+          | Some d -> Some d
+          | None ->
+            (* default only when the conventional location exists: the
+               tool must not scatter test/corpus directories around
+               arbitrary working directories *)
+            if Sys.file_exists "test" && Sys.is_directory "test" then
+              Some (Filename.concat "test" "corpus")
+            else None
+        in
+        let report =
+          Slice_fuzz.Fuzz.run ~fault ?corpus_dir ~seed ~count ~max_size ()
+        in
+        List.iter
+          (fun f ->
+            Printf.printf
+              "fuzz: violation index=%d oracle=%s (shrunk to %d statements)%s\n\
+              \      %s\n"
+              f.Slice_fuzz.Fuzz.fr_index f.Slice_fuzz.Fuzz.fr_oracle
+              f.Slice_fuzz.Fuzz.fr_statements
+              (match f.Slice_fuzz.Fuzz.fr_repro_path with
+              | Some p -> Printf.sprintf " -> %s" p
+              | None -> "")
+              f.Slice_fuzz.Fuzz.fr_detail)
+          report.Slice_fuzz.Fuzz.failures;
+        print_endline (Slice_fuzz.Fuzz.summary_line report);
+        emit_telemetry tel None;
+        if report.Slice_fuzz.Fuzz.failures <> [] then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: generate random TJ programs and run the \
+          oracle battery (dynamic-slice soundness, static mode chain, \
+          CSR/reference and bitset/reference parity, parallel batch parity, \
+          object-sensitivity containment) on each; violations are shrunk \
+          and written as replayable JSON repros")
+    Term.(
+      const run $ seed_arg $ count_arg $ max_size_arg $ corpus_arg $ fault_arg
+      $ telemetry_term)
 
 (* ---- dot ---- *)
 
@@ -481,4 +621,4 @@ let () =
        (Cmd.group
           (Cmd.info "thinslice" ~doc)
           [ slice_cmd; batch_cmd; chop_cmd; expand_cmd; casts_cmd; stats_cmd;
-            run_cmd; dot_cmd ]))
+            run_cmd; fuzz_cmd; dot_cmd ]))

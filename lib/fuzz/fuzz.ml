@@ -1,0 +1,94 @@
+(* The fuzz driver: generate → render → oracle battery → (on violation)
+   shrink → write repro.
+
+   Per-program seeds are derived from (run seed, index) with an
+   independent splitmix stream, so [--seed N --count K] is fully
+   deterministic and any single program can be regenerated from the
+   repro's [derived_seed] alone. *)
+
+type failure_report = {
+  fr_index : int;
+  fr_oracle : string;
+  fr_detail : string;
+  fr_statements : int;  (* after shrinking *)
+  fr_repro_path : string option;
+}
+
+type report = {
+  seed : int;
+  count : int;
+  max_size : int;
+  fault : Oracle.fault;
+  programs_run : int;
+  failures : failure_report list;
+}
+
+let violations_of ~fault ~(r : Gen_tj.rendered) : Oracle.violation list =
+  try Oracle.battery ~fault ~src:r.Gen_tj.src ~seed_lines:r.Gen_tj.seed_lines ()
+  with e ->
+    (* An escaped exception is itself an oracle violation: every layer
+       under the battery promises clean error values. *)
+    [ { Oracle.oracle = "exception"; detail = Printexc.to_string e } ]
+
+let run ?(fault = Oracle.No_fault) ?(corpus_dir : string option)
+    ?(progress : (int -> unit) option) ~(seed : int) ~(count : int)
+    ~(max_size : int) () : report =
+  let failures = ref [] in
+  for index = 0 to count - 1 do
+    (match progress with Some f -> f index | None -> ());
+    let derived_seed = Fuzz_rng.derive ~seed ~index in
+    let model = Gen_tj.gen ~seed:derived_seed ~max_size in
+    let rendered = Gen_tj.render model in
+    match violations_of ~fault ~r:rendered with
+    | [] -> ()
+    | first :: _ ->
+      (* Shrink while the SAME oracle keeps failing. *)
+      let still_failing m =
+        let r = Gen_tj.render m in
+        List.exists
+          (fun v -> v.Oracle.oracle = first.Oracle.oracle)
+          (violations_of ~fault ~r)
+      in
+      let small = Gen_tj.shrink model ~still_failing in
+      let rs = Gen_tj.render small in
+      (* Re-run to capture the (possibly re-worded) detail on the shrunk
+         program; the oracle name is stable by construction. *)
+      let detail =
+        match
+          List.find_opt
+            (fun v -> v.Oracle.oracle = first.Oracle.oracle)
+            (violations_of ~fault ~r:rs)
+        with
+        | Some v -> v.Oracle.detail
+        | None -> first.Oracle.detail
+      in
+      let repro_path =
+        match corpus_dir with
+        | None -> None
+        | Some dir ->
+          Some
+            (Repro.save ~dir
+               { Repro.seed; index; derived_seed; fault;
+                 oracle = first.Oracle.oracle; detail;
+                 statements = rs.Gen_tj.stmt_count;
+                 seed_lines = rs.Gen_tj.seed_lines;
+                 program = rs.Gen_tj.src })
+      in
+      failures :=
+        { fr_index = index;
+          fr_oracle = first.Oracle.oracle;
+          fr_detail = detail;
+          fr_statements = rs.Gen_tj.stmt_count;
+          fr_repro_path = repro_path }
+        :: !failures
+  done;
+  { seed; count; max_size; fault; programs_run = count;
+    failures = List.rev !failures }
+
+(* The one-line summary the CI step greps.  Keep the "violations=" key
+   stable: .github/workflows/ci.yml matches it verbatim. *)
+let summary_line (r : report) : string =
+  Printf.sprintf "fuzz: seed=%d count=%d max-size=%d fault=%s violations=%d"
+    r.seed r.count r.max_size
+    (Oracle.fault_to_string r.fault)
+    (List.length r.failures)

@@ -1,0 +1,59 @@
+(* A tiny deterministic PRNG for the fuzzer: splitmix64 over Int64.
+
+   We deliberately do NOT use [Random]: its sequence is not guaranteed
+   stable across OCaml releases, and a fuzzer whose repros stop
+   reproducing after a compiler upgrade is worse than no fuzzer.
+   Splitmix64 is 8 lines of arithmetic, fully specified, and good
+   enough for workload generation (we are not doing crypto). *)
+
+type t = { mutable state : int64 }
+
+let make (seed : int) : t = { state = Int64.of_int seed }
+
+(* One splitmix64 step: returns the next raw 64-bit value. *)
+let next64 (t : t) : int64 =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(* Uniform int in [0, bound). bound must be positive.  Modulo bias is
+   ~bound/2^62 — irrelevant for program generation.  The logical shift
+   keeps only 62 significant bits: OCaml's native int is 63-bit, so
+   [Int64.to_int] of a 63-significant-bit value would truncate to a
+   NEGATIVE number. *)
+let int (t : t) (bound : int) : int =
+  if bound <= 0 then invalid_arg "Fuzz_rng.int: bound must be positive";
+  let v = Int64.to_int (Int64.shift_right_logical (next64 t) 2) in
+  v mod bound
+
+let bool (t : t) : bool = Int64.logand (next64 t) 1L = 1L
+
+(* Pick uniformly from a non-empty list. *)
+let pick (t : t) (xs : 'a list) : 'a =
+  match xs with
+  | [] -> invalid_arg "Fuzz_rng.pick: empty list"
+  | _ -> List.nth xs (int t (List.length xs))
+
+(* Weighted pick: [(weight, value)] with positive total weight. *)
+let weighted (t : t) (xs : (int * 'a) list) : 'a =
+  let total = List.fold_left (fun a (w, _) -> a + w) 0 xs in
+  if total <= 0 then invalid_arg "Fuzz_rng.weighted: non-positive total";
+  let r = int t total in
+  let rec go acc = function
+    | [] -> invalid_arg "Fuzz_rng.weighted: unreachable"
+    | (w, v) :: rest -> if r < acc + w then v else go (acc + w) rest
+  in
+  go 0 xs
+
+(* Derive an independent per-program seed from (run seed, index): one
+   splitmix step over a mixed state, so neighbouring indices get
+   unrelated streams. *)
+let derive ~(seed : int) ~(index : int) : int
+    =
+  let t = { state = Int64.logxor (Int64.of_int seed)
+                      (Int64.mul (Int64.of_int (index + 1)) 0x2545F4914F6CDD1DL) }
+  in
+  Int64.to_int (Int64.shift_right_logical (next64 t) 2)

@@ -1,0 +1,755 @@
+(* Randomized TJ program generator.
+
+   A generated program is a [model]: a small class universe (1-2 families,
+   each a root class plus 0-2 subclasses, chains allowed) and a flat array
+   of [step option]s.  Step [k], when present, renders to one or a few
+   statements in [main]; value-producing steps define a local [v{k}].
+   Operands are either [V j] (use [v{j}], a value produced by an EARLIER
+   step of the right type) or [D] (a type-directed default literal /
+   freshly materialized object).  That indirection is what makes the
+   shrinker trivial and structure-preserving: deleting step [j] just
+   turns every reference to it into its default — the program stays
+   well-formed by construction.
+
+   Termination is by construction too: no recursion, no [while] in
+   generated code, and every generated [for] loop has a bound in
+   [<= 4] iterations.  Hostile constructs (raw array indices, division
+   by a variable, failing downcasts, null receivers, parseInt of
+   arbitrary strings) are generated at low weight: runtime faults are
+   legitimate outcomes the oracle battery must handle, not generator
+   bugs.
+
+   The renderer emits only what the surviving steps need: the
+   Vector/HashMap prelude subset (via [Runtime_lib.prelude_of]) and the
+   transitively referenced classes, so shrunk repros are small in
+   source, not just in step count. *)
+
+type operand = V of int | D
+
+(* Static type of a step's value.  [TObj f] carries the class FAMILY:
+   object variables are declared with the family's root class, so any
+   runtime class of the family is assignable and any family member is a
+   legal cast/instanceof target. *)
+type ty = TInt | TStr | TObj of int | TVec | TMap | TArr
+
+(* Restricted statement forms allowed inside generated branches and
+   loop bodies. *)
+type micro =
+  | MAccAdd of operand                   (* acc = acc + I; *)
+  | MAccAddIdx                           (* acc = acc + i{k};  loops only *)
+  | MSaccCat of operand                  (* sacc = sacc + S; *)
+  | MBump of int * operand * operand     (* family, O.bump(I); *)
+  | MVecAdd of int * operand * operand   (* obj family, VEC.add(O); *)
+  | MStoreFi of int * operand * operand  (* family, O.fi = I; *)
+
+type step =
+  (* int producers *)
+  | SIntConst of int
+  | SIntBin of string * operand * operand  (* "+" | "-" | "*" *)
+  | SIntDivK of operand                    (* X / 3 — safe *)
+  | SIntDivV of operand * operand          (* X / Y — hostile: may div0 *)
+  | SIntMod of operand * int               (* X % k, k >= 1 *)
+  | SParse of operand                      (* parseInt(S) — may fault *)
+  | SStrLen of operand
+  | SCharCode of operand                   (* guarded charCodeAt(0) *)
+  | SCallGet of int * operand              (* family, O.get() — virtual *)
+  | SLoadFi of int * operand
+  | SVecSize of operand
+  | SMapSize of operand
+  | SArrLoad of operand * operand          (* guarded index *)
+  | SArrLoadRaw of operand * operand       (* hostile: may be out of bounds *)
+  (* string producers *)
+  | SStrConst of string
+  | SStrCat of operand * operand
+  | SItoa of operand
+  | SSubstr of operand                     (* S.substring(0, S.length() % 3) *)
+  | SCallTag of int * operand              (* family, O.tag() — virtual *)
+  | SLoadFs of int * operand
+  | SMapGetStr of operand * int            (* guarded (String) M.get(key) *)
+  (* object producers *)
+  | SNew of int * int                      (* family, class index *)
+  | SCast of int * int * operand           (* family, target class, O *)
+  | SGetLink of int * operand
+  | SVecGetObj of int * operand * operand  (* family, VEC, index (guarded) *)
+  (* container producers *)
+  | SNewVec
+  | SNewMap
+  | SNewArr of int                         (* int[] of literal size *)
+  (* effects *)
+  | SStoreFi of int * operand * operand
+  | SStoreFs of int * operand * operand
+  | SSetLink of int * operand * operand
+  | SBump of int * operand * operand
+  | SVecAddO of int * operand * operand    (* obj family *)
+  | SVecAddS of operand * operand          (* VEC.add(S) — poisons casts *)
+  | SMapPutStr of operand * int * operand  (* M.put(key, S) *)
+  | SArrStore of operand * operand * operand (* guarded A[i] = X *)
+  | SInstanceofAcc of int * operand        (* class idx; if (O instanceof C) acc++ *)
+  | SAccAdd of operand
+  | SSaccCat of operand
+  | SPrintInt of operand
+  | SPrintStr of operand
+  | SBumpNull of int                       (* hostile: null receiver *)
+  | SIf of operand * micro list * micro list
+  | SLoop of operand * micro list          (* for i < (X % 4 + 1) *)
+
+type cls = { c_name : string; c_family : int; c_parent : string option }
+
+type model = { classes : cls array; steps : step option array }
+
+let step_count (m : model) : int =
+  Array.fold_left (fun a s -> if s = None then a else a + 1) 0 m.steps
+
+let result_ty (s : step) : ty option =
+  match s with
+  | SIntConst _ | SIntBin _ | SIntDivK _ | SIntDivV _ | SIntMod _ | SParse _
+  | SStrLen _ | SCharCode _ | SCallGet _ | SLoadFi _ | SVecSize _ | SMapSize _
+  | SArrLoad _ | SArrLoadRaw _ -> Some TInt
+  | SStrConst _ | SStrCat _ | SItoa _ | SSubstr _ | SCallTag _ | SLoadFs _
+  | SMapGetStr _ -> Some TStr
+  | SNew (f, _) | SCast (f, _, _) | SGetLink (f, _) | SVecGetObj (f, _, _) ->
+    Some (TObj f)
+  | SNewVec -> Some TVec
+  | SNewMap -> Some TMap
+  | SNewArr _ -> Some TArr
+  | SStoreFi _ | SStoreFs _ | SSetLink _ | SBump _ | SVecAddO _ | SVecAddS _
+  | SMapPutStr _ | SArrStore _ | SInstanceofAcc _ | SAccAdd _ | SSaccCat _
+  | SPrintInt _ | SPrintStr _ | SBumpNull _ | SIf _ | SLoop _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Generation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let str_consts = [| "7"; "42"; "305"; "x"; "ka"; "0" |]
+let map_keys = [| "ka"; "kb"; "kc" |]
+
+let gen ~(seed : int) ~(max_size : int) : model =
+  let rng = Fuzz_rng.make seed in
+  (* Class universe. *)
+  let n_fam = 1 + Fuzz_rng.int rng 2 in
+  let classes = ref [] and n_cls = ref 0 in
+  let fam_members = Array.make n_fam [] in
+  let add_cls c =
+    classes := c :: !classes;
+    fam_members.(c.c_family) <- fam_members.(c.c_family) @ [ !n_cls ];
+    incr n_cls
+  in
+  for f = 0 to n_fam - 1 do
+    add_cls { c_name = Printf.sprintf "R%d" f; c_family = f; c_parent = None };
+    let n_subs = Fuzz_rng.int rng 3 in
+    for j = 0 to n_subs - 1 do
+      let parent = Fuzz_rng.pick rng (fam_members.(f)) in
+      let pname = (List.nth (List.rev !classes) parent).c_name in
+      add_cls
+        { c_name = Printf.sprintf "S%d_%d" f j;
+          c_family = f;
+          c_parent = Some pname }
+    done
+  done;
+  let classes = Array.of_list (List.rev !classes) in
+  let root_of f = List.hd fam_members.(f) in
+  (* Ancestors (indices) of class [c] within its family, including [c]. *)
+  let rec ancestors c =
+    match classes.(c).c_parent with
+    | None -> [ c ]
+    | Some pname ->
+      let p = ref (-1) in
+      Array.iteri (fun i cl -> if cl.c_name = pname then p := i) classes;
+      c :: ancestors !p
+  in
+  (* Step generation with typed operand pools. *)
+  let n_steps = 4 + Fuzz_rng.int rng (max 1 (max_size - 3)) in
+  let steps = Array.make n_steps None in
+  let ints = ref [] and strs = ref [] and vecs = ref [] and maps = ref []
+  and arrs = ref [] in
+  let objs = Array.make n_fam [] in
+  (* Statically known runtime class per step, for safe-biased casts. *)
+  let runtime = Array.make n_steps None in
+  let pick_from pool =
+    match pool with
+    | [] -> D
+    | xs -> if Fuzz_rng.int rng 100 < 85 then V (Fuzz_rng.pick rng xs) else D
+  in
+  let p_int () = pick_from !ints
+  and p_str () = pick_from !strs
+  and p_vec () = pick_from !vecs
+  and p_map () = pick_from !maps
+  and p_arr () = pick_from !arrs in
+  let p_obj f = pick_from objs.(f) in
+  let p_fam () = Fuzz_rng.int rng n_fam in
+  let runtime_of f op =
+    match op with
+    | D -> Some (root_of f)
+    | V j -> runtime.(j)
+  in
+  let gen_micro ~in_loop () =
+    let choices =
+      [ (3, `AccAdd); (2, `SaccCat); (2, `Bump); (2, `VecAdd); (2, `StoreFi) ]
+      @ (if in_loop then [ (3, `AccAddIdx) ] else [])
+    in
+    match Fuzz_rng.weighted rng choices with
+    | `AccAdd -> MAccAdd (p_int ())
+    | `AccAddIdx -> MAccAddIdx
+    | `SaccCat -> MSaccCat (p_str ())
+    | `Bump ->
+      let f = p_fam () in
+      MBump (f, p_obj f, p_int ())
+    | `VecAdd ->
+      let f = p_fam () in
+      MVecAdd (f, p_vec (), p_obj f)
+    | `StoreFi ->
+      let f = p_fam () in
+      MStoreFi (f, p_obj f, p_int ())
+  in
+  let gen_micros ~in_loop lo extra =
+    let n = lo + Fuzz_rng.int rng (extra + 1) in
+    List.init n (fun _ -> gen_micro ~in_loop ())
+  in
+  let kinds =
+    [ (6, `IntConst); (8, `IntBin); (2, `IntDivK); (1, `IntDivV); (3, `IntMod);
+      (2, `Parse); (3, `StrLen); (2, `CharCode); (5, `CallGet); (4, `LoadFi);
+      (2, `VecSize); (1, `MapSize); (3, `ArrLoad); (1, `ArrLoadRaw);
+      (4, `StrConst); (4, `StrCat); (3, `Itoa); (2, `Substr); (4, `CallTag);
+      (2, `LoadFs); (2, `MapGetStr); (6, `New); (3, `Cast); (3, `GetLink);
+      (2, `VecGetObj); (3, `NewVec); (2, `NewMap); (3, `NewArr);
+      (3, `StoreFi); (2, `StoreFs); (3, `SetLink); (3, `Bump); (4, `VecAddO);
+      (1, `VecAddS); (3, `MapPutStr); (2, `ArrStore); (2, `InstanceofAcc);
+      (5, `AccAdd); (3, `SaccCat); (2, `If); (2, `Loop); (1, `PrintInt);
+      (1, `PrintStr); (1, `BumpNull) ]
+  in
+  for k = 0 to n_steps - 1 do
+    let s =
+      match Fuzz_rng.weighted rng kinds with
+      | `IntConst -> SIntConst (1 + Fuzz_rng.int rng 50)
+      | `IntBin ->
+        SIntBin (Fuzz_rng.pick rng [ "+"; "-"; "*" ], p_int (), p_int ())
+      | `IntDivK -> SIntDivK (p_int ())
+      | `IntDivV -> SIntDivV (p_int (), p_int ())
+      | `IntMod -> SIntMod (p_int (), 1 + Fuzz_rng.int rng 6)
+      | `Parse -> SParse (p_str ())
+      | `StrLen -> SStrLen (p_str ())
+      | `CharCode -> SCharCode (p_str ())
+      | `CallGet ->
+        let f = p_fam () in
+        SCallGet (f, p_obj f)
+      | `LoadFi ->
+        let f = p_fam () in
+        SLoadFi (f, p_obj f)
+      | `VecSize -> SVecSize (p_vec ())
+      | `MapSize -> SMapSize (p_map ())
+      | `ArrLoad -> SArrLoad (p_arr (), p_int ())
+      | `ArrLoadRaw -> SArrLoadRaw (p_arr (), p_int ())
+      | `StrConst ->
+        SStrConst str_consts.(Fuzz_rng.int rng (Array.length str_consts))
+      | `StrCat -> SStrCat (p_str (), p_str ())
+      | `Itoa -> SItoa (p_int ())
+      | `Substr -> SSubstr (p_str ())
+      | `CallTag ->
+        let f = p_fam () in
+        SCallTag (f, p_obj f)
+      | `LoadFs ->
+        let f = p_fam () in
+        SLoadFs (f, p_obj f)
+      | `MapGetStr ->
+        SMapGetStr (p_map (), Fuzz_rng.int rng (Array.length map_keys))
+      | `New ->
+        let f = p_fam () in
+        let c = Fuzz_rng.pick rng fam_members.(f) in
+        runtime.(k) <- Some c;
+        SNew (f, c)
+      | `Cast ->
+        let f = p_fam () in
+        let o = p_obj f in
+        let target =
+          if Fuzz_rng.int rng 100 < 90 then
+            (* safe-biased: an ancestor of the (known) runtime class *)
+            match runtime_of f o with
+            | Some rc -> Fuzz_rng.pick rng (ancestors rc)
+            | None -> root_of f
+          else Fuzz_rng.pick rng fam_members.(f)
+        in
+        runtime.(k) <- runtime_of f o;
+        SCast (f, target, o)
+      | `GetLink ->
+        let f = p_fam () in
+        SGetLink (f, p_obj f)
+      | `VecGetObj ->
+        let f = p_fam () in
+        SVecGetObj (f, p_vec (), p_int ())
+      | `NewVec -> SNewVec
+      | `NewMap -> SNewMap
+      | `NewArr -> SNewArr (2 + Fuzz_rng.int rng 5)
+      | `StoreFi ->
+        let f = p_fam () in
+        SStoreFi (f, p_obj f, p_int ())
+      | `StoreFs ->
+        let f = p_fam () in
+        SStoreFs (f, p_obj f, p_str ())
+      | `SetLink ->
+        let f = p_fam () in
+        SSetLink (f, p_obj f, p_obj f)
+      | `Bump ->
+        let f = p_fam () in
+        SBump (f, p_obj f, p_int ())
+      | `VecAddO ->
+        let f = p_fam () in
+        SVecAddO (f, p_vec (), p_obj f)
+      | `VecAddS -> SVecAddS (p_vec (), p_str ())
+      | `MapPutStr ->
+        SMapPutStr (p_map (), Fuzz_rng.int rng (Array.length map_keys), p_str ())
+      | `ArrStore -> SArrStore (p_arr (), p_int (), p_int ())
+      | `InstanceofAcc ->
+        let f = p_fam () in
+        let c = Fuzz_rng.pick rng fam_members.(f) in
+        SInstanceofAcc (c, p_obj f)
+      | `AccAdd -> SAccAdd (p_int ())
+      | `SaccCat -> SSaccCat (p_str ())
+      | `If ->
+        SIf (p_int (), gen_micros ~in_loop:false 1 2, gen_micros ~in_loop:false 0 1)
+      | `Loop -> SLoop (p_int (), gen_micros ~in_loop:true 1 2)
+      | `PrintInt -> SPrintInt (p_int ())
+      | `PrintStr -> SPrintStr (p_str ())
+      | `BumpNull -> SBumpNull (p_fam ())
+    in
+    steps.(k) <- Some s;
+    (match result_ty s with
+     | Some TInt -> ints := k :: !ints
+     | Some TStr -> strs := k :: !strs
+     | Some (TObj f) -> objs.(f) <- k :: objs.(f)
+     | Some TVec -> vecs := k :: !vecs
+     | Some TMap -> maps := k :: !maps
+     | Some TArr -> arrs := k :: !arrs
+     | None -> ())
+  done;
+  { classes; steps }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type rendered = {
+  src : string;        (* self-contained TJ program *)
+  seed_lines : int list;  (* 1-based lines of the two trailing prints *)
+  stmt_count : int;    (* statements rendered for the steps *)
+}
+
+let contains ~(sub : string) (s : string) : bool =
+  let sl = String.length sub and l = String.length s in
+  let rec go i = i + sl <= l && (String.sub s i sl = sub || go (i + 1)) in
+  go 0
+
+let split_lines (s : string) : string list =
+  match List.rev (String.split_on_char '\n' s) with
+  | "" :: rest -> List.rev rest
+  | all -> List.rev all
+
+let render (m : model) : rendered =
+  let n = Array.length m.steps in
+  let live j = j >= 0 && j < n && m.steps.(j) <> None in
+  let ty_of j =
+    match m.steps.(j) with None -> None | Some s -> result_ty s
+  in
+  let root_of f =
+    let r = ref (-1) in
+    Array.iteri
+      (fun i c -> if c.c_family = f && c.c_parent = None && !r < 0 then r := i)
+      m.classes;
+    !r
+  in
+  let cname c = m.classes.(c).c_name in
+  let stmts = ref 0 in
+  let body = ref [] in
+  let emit ?(stmt = 1) line =
+    body := line :: !body;
+    stmts := !stmts + stmt
+  in
+  (* Resolve an operand of required type [ty]; may emit an aux
+     declaration line (for non-scalar defaults) at [indent]. *)
+  let resolve ~indent ~k ~pos ty op : string =
+    let valid j = live j && ty_of j = Some ty in
+    match op with
+    | V j when valid j -> Printf.sprintf "v%d" j
+    | _ -> (
+      match ty with
+      | TInt -> "7"
+      | TStr -> "\"7\""
+      | TObj f ->
+        let r = cname (root_of f) in
+        let v = Printf.sprintf "v%dd%d" k !pos in
+        incr pos;
+        emit (Printf.sprintf "%s%s %s = new %s();" indent r v r);
+        v
+      | TVec ->
+        let v = Printf.sprintf "v%dd%d" k !pos in
+        incr pos;
+        emit (Printf.sprintf "%sVector %s = new Vector();" indent v);
+        v
+      | TMap ->
+        let v = Printf.sprintf "v%dd%d" k !pos in
+        incr pos;
+        emit (Printf.sprintf "%sHashMap %s = new HashMap();" indent v);
+        v
+      | TArr ->
+        let v = Printf.sprintf "v%dd%d" k !pos in
+        incr pos;
+        emit (Printf.sprintf "%sint[] %s = new int[4];" indent v);
+        v)
+  in
+  let arr_len op =
+    match op with
+    | V j when live j && ty_of j = Some TArr -> (
+      match m.steps.(j) with Some (SNewArr s) -> s | _ -> 4)
+    | _ -> 4
+  in
+  let render_micro ~indent ~k ~pos mi =
+    match mi with
+    | MAccAdd x ->
+      let e = resolve ~indent ~k ~pos TInt x in
+      emit (Printf.sprintf "%sacc = acc + %s;" indent e)
+    | MAccAddIdx -> emit (Printf.sprintf "%sacc = acc + i%d;" indent k)
+    | MSaccCat s ->
+      let e = resolve ~indent ~k ~pos TStr s in
+      emit (Printf.sprintf "%ssacc = sacc + %s;" indent e)
+    | MBump (f, o, x) ->
+      let eo = resolve ~indent ~k ~pos (TObj f) o in
+      let ex = resolve ~indent ~k ~pos TInt x in
+      emit (Printf.sprintf "%s%s.bump(%s);" indent eo ex)
+    | MVecAdd (f, v, o) ->
+      let ev = resolve ~indent ~k ~pos TVec v in
+      let eo = resolve ~indent ~k ~pos (TObj f) o in
+      emit (Printf.sprintf "%s%s.add(%s);" indent ev eo)
+    | MStoreFi (f, o, x) ->
+      let eo = resolve ~indent ~k ~pos (TObj f) o in
+      let ex = resolve ~indent ~k ~pos TInt x in
+      emit (Printf.sprintf "%s%s.fi = %s;" indent eo ex)
+  in
+  let ind = "  " and ind2 = "    " in
+  Array.iteri
+    (fun k sopt ->
+      match sopt with
+      | None -> ()
+      | Some s ->
+        let pos = ref 0 in
+        let r ty op = resolve ~indent:ind ~k ~pos ty op in
+        (match s with
+         | SIntConst c -> emit (Printf.sprintf "  int v%d = %d;" k c)
+         | SIntBin (op, a, b) ->
+           let ea = r TInt a and eb = r TInt b in
+           emit (Printf.sprintf "  int v%d = %s %s %s;" k ea op eb)
+         | SIntDivK a ->
+           let ea = r TInt a in
+           emit (Printf.sprintf "  int v%d = %s / 3;" k ea)
+         | SIntDivV (a, b) ->
+           let ea = r TInt a and eb = r TInt b in
+           emit (Printf.sprintf "  int v%d = %s / %s;" k ea eb)
+         | SIntMod (a, d) ->
+           let ea = r TInt a in
+           emit (Printf.sprintf "  int v%d = %s %% %d;" k ea d)
+         | SParse a ->
+           let ea = r TStr a in
+           emit (Printf.sprintf "  int v%d = parseInt(%s);" k ea)
+         | SStrLen a ->
+           let ea = r TStr a in
+           emit (Printf.sprintf "  int v%d = %s.length();" k ea)
+         | SCharCode a ->
+           let ea = r TStr a in
+           emit (Printf.sprintf "  int v%d = 0;" k);
+           emit ~stmt:2
+             (Printf.sprintf "  if (%s.length() > 0) { v%d = %s.charCodeAt(0); }"
+                ea k ea)
+         | SCallGet (f, o) ->
+           let eo = r (TObj f) o in
+           emit (Printf.sprintf "  int v%d = %s.get();" k eo)
+         | SLoadFi (f, o) ->
+           let eo = r (TObj f) o in
+           emit (Printf.sprintf "  int v%d = %s.fi;" k eo)
+         | SVecSize v ->
+           let ev = r TVec v in
+           emit (Printf.sprintf "  int v%d = %s.size();" k ev)
+         | SMapSize mo ->
+           let em = r TMap mo in
+           emit (Printf.sprintf "  int v%d = %s.size();" k em)
+         | SArrLoad (a, i) ->
+           let len = arr_len a in
+           let ea = r TArr a and ei = r TInt i in
+           emit ~stmt:2
+             (Printf.sprintf
+                "  int v%di = %s %% %d; if (v%di < 0) { v%di = 0 - v%di; }" k ei
+                len k k k);
+           emit (Printf.sprintf "  int v%d = %s[v%di];" k ea k)
+         | SArrLoadRaw (a, i) ->
+           let ea = r TArr a and ei = r TInt i in
+           emit (Printf.sprintf "  int v%d = %s[%s];" k ea ei)
+         | SStrConst s -> emit (Printf.sprintf "  String v%d = \"%s\";" k s)
+         | SStrCat (a, b) ->
+           let ea = r TStr a and eb = r TStr b in
+           emit (Printf.sprintf "  String v%d = %s + %s;" k ea eb)
+         | SItoa a ->
+           let ea = r TInt a in
+           emit (Printf.sprintf "  String v%d = itoa(%s);" k ea)
+         | SSubstr a ->
+           let ea = r TStr a in
+           emit
+             (Printf.sprintf "  String v%d = %s.substring(0, %s.length() %% 3);"
+                k ea ea)
+         | SCallTag (f, o) ->
+           let eo = r (TObj f) o in
+           emit (Printf.sprintf "  String v%d = %s.tag();" k eo)
+         | SLoadFs (f, o) ->
+           let eo = r (TObj f) o in
+           emit (Printf.sprintf "  String v%d = %s.fs;" k eo)
+         | SMapGetStr (mo, key) ->
+           let em = r TMap mo in
+           let kk = map_keys.(key) in
+           emit (Printf.sprintf "  String v%d = \"7\";" k);
+           emit ~stmt:2
+             (Printf.sprintf
+                "  if (%s.containsKey(\"%s\")) { v%d = (String) %s.get(\"%s\"); }"
+                em kk k em kk)
+         | SNew (f, c) ->
+           emit
+             (Printf.sprintf "  %s v%d = new %s();" (cname (root_of f)) k
+                (cname c))
+         | SCast (f, c, o) ->
+           let eo = r (TObj f) o in
+           emit
+             (Printf.sprintf "  %s v%d = (%s) %s;" (cname (root_of f)) k
+                (cname c) eo)
+         | SGetLink (f, o) ->
+           let eo = r (TObj f) o in
+           emit
+             (Printf.sprintf "  %s v%d = %s.getLink();" (cname (root_of f)) k eo)
+         | SVecGetObj (f, v, i) ->
+           let root = cname (root_of f) in
+           let ev = r TVec v and ei = r TInt i in
+           emit (Printf.sprintf "  %s v%d = new %s();" root k root);
+           emit (Printf.sprintf "  if (%s.size() > 0) {" ev);
+           emit ~stmt:2
+             (Printf.sprintf
+                "    int v%di = %s %% %s.size(); if (v%di < 0) { v%di = 0 - v%di; }"
+                k ei ev k k k);
+           emit (Printf.sprintf "    v%d = (%s) %s.get(v%di);" k root ev k);
+           emit ~stmt:0 "  }"
+         | SNewVec -> emit (Printf.sprintf "  Vector v%d = new Vector();" k)
+         | SNewMap -> emit (Printf.sprintf "  HashMap v%d = new HashMap();" k)
+         | SNewArr sz -> emit (Printf.sprintf "  int[] v%d = new int[%d];" k sz)
+         | SStoreFi (f, o, x) ->
+           let eo = r (TObj f) o and ex = r TInt x in
+           emit (Printf.sprintf "  %s.fi = %s;" eo ex)
+         | SStoreFs (f, o, s) ->
+           let eo = r (TObj f) o and es = r TStr s in
+           emit (Printf.sprintf "  %s.fs = %s;" eo es)
+         | SSetLink (f, o1, o2) ->
+           let e1 = r (TObj f) o1 and e2 = r (TObj f) o2 in
+           emit (Printf.sprintf "  %s.setLink(%s);" e1 e2)
+         | SBump (f, o, x) ->
+           let eo = r (TObj f) o and ex = r TInt x in
+           emit (Printf.sprintf "  %s.bump(%s);" eo ex)
+         | SVecAddO (f, v, o) ->
+           let ev = r TVec v and eo = r (TObj f) o in
+           emit (Printf.sprintf "  %s.add(%s);" ev eo)
+         | SVecAddS (v, s) ->
+           let ev = r TVec v and es = r TStr s in
+           emit (Printf.sprintf "  %s.add(%s);" ev es)
+         | SMapPutStr (mo, key, s) ->
+           let em = r TMap mo and es = r TStr s in
+           emit (Printf.sprintf "  %s.put(\"%s\", %s);" em map_keys.(key) es)
+         | SArrStore (a, i, x) ->
+           let len = arr_len a in
+           let ea = r TArr a and ei = r TInt i and ex = r TInt x in
+           emit ~stmt:2
+             (Printf.sprintf
+                "  int v%di = %s %% %d; if (v%di < 0) { v%di = 0 - v%di; }" k ei
+                len k k k);
+           emit (Printf.sprintf "  %s[v%di] = %s;" ea k ex)
+         | SInstanceofAcc (c, o) ->
+           let f = m.classes.(c).c_family in
+           let eo = r (TObj f) o in
+           emit ~stmt:2
+             (Printf.sprintf "  if (%s instanceof %s) { acc = acc + 1; }" eo
+                (cname c))
+         | SAccAdd x ->
+           let ex = r TInt x in
+           emit (Printf.sprintf "  acc = acc + %s;" ex)
+         | SSaccCat s ->
+           let es = r TStr s in
+           emit (Printf.sprintf "  sacc = sacc + %s;" es)
+         | SPrintInt x ->
+           let ex = r TInt x in
+           emit (Printf.sprintf "  print(itoa(%s));" ex)
+         | SPrintStr s ->
+           let es = r TStr s in
+           emit (Printf.sprintf "  print(%s);" es)
+         | SBumpNull f ->
+           emit
+             (Printf.sprintf "  %s v%dn = null;" (cname (root_of f)) k);
+           emit (Printf.sprintf "  v%dn.bump(7);" k)
+         | SIf (c, th, el) ->
+           let ec = r TInt c in
+           emit (Printf.sprintf "  if (%s %% 2 == 0) {" ec);
+           List.iter (render_micro ~indent:ind2 ~k ~pos) th;
+           if el <> [] then begin
+             emit ~stmt:0 "  } else {";
+             List.iter (render_micro ~indent:ind2 ~k ~pos) el
+           end;
+           emit ~stmt:0 "  }"
+         | SLoop (b, bodymi) ->
+           let eb = r TInt b in
+           emit
+             (Printf.sprintf "  for (int i%d = 0; i%d < (%s %% 4 + 1); i%d++) {"
+                k k eb k);
+           List.iter (render_micro ~indent:ind2 ~k ~pos) bodymi;
+           emit ~stmt:0 "  }"))
+    m.steps;
+  let body_lines = List.rev !body in
+  let body_txt = String.concat "\n" body_lines in
+  (* Class universe actually referenced by the surviving steps. *)
+  let n_cls = Array.length m.classes in
+  let used = Array.make n_cls false in
+  let idx_of_name nm =
+    let r = ref (-1) in
+    Array.iteri (fun i c -> if c.c_name = nm then r := i) m.classes;
+    !r
+  in
+  Array.iteri
+    (fun i c ->
+      if contains ~sub:(c.c_name ^ " ") body_txt
+         || contains ~sub:(c.c_name ^ "(") body_txt
+         || contains ~sub:(c.c_name ^ ")") body_txt
+      then used.(i) <- true)
+    m.classes;
+  (* ancestor closure: an emitted subclass needs its parents *)
+  let rec close i =
+    match m.classes.(i).c_parent with
+    | None -> ()
+    | Some p ->
+      let pi = idx_of_name p in
+      if not used.(pi) then begin
+        used.(pi) <- true;
+        close pi
+      end
+  in
+  Array.iteri (fun i u -> if u then close i) used;
+  let class_lines = ref [] in
+  Array.iteri
+    (fun i c ->
+      if used.(i) then begin
+        let nm = c.c_name in
+        match c.c_parent with
+        | None ->
+          class_lines :=
+            !class_lines
+            @ [ Printf.sprintf "class %s {" nm;
+                "  int fi;";
+                "  String fs;";
+                Printf.sprintf "  %s link;" nm;
+                Printf.sprintf
+                  "  %s() { this.fi = %d; this.fs = \"t%d\"; this.link = this; }"
+                  nm (i + 1) i;
+                Printf.sprintf "  String tag() { return \"%s\"; }" nm;
+                "  int get() { return this.fi; }";
+                "  void bump(int n) { this.fi = this.fi + n; }";
+                Printf.sprintf "  void setLink(%s o) { this.link = o; }" nm;
+                Printf.sprintf "  %s getLink() { return this.link; }" nm;
+                "}" ]
+        | Some p ->
+          class_lines :=
+            !class_lines
+            @ [ Printf.sprintf "class %s extends %s {" nm p;
+                Printf.sprintf
+                  "  %s() { super(); this.fi = %d; this.fs = \"t%d\"; }" nm
+                  (i + 2) i;
+                Printf.sprintf "  String tag() { return \"%s\"; }" nm;
+                Printf.sprintf "  int get() { return this.fi * %d; }" (i + 2);
+                "}" ]
+      end)
+    m.classes;
+  (* Prelude subset: only containers the body mentions. *)
+  let containers =
+    (if contains ~sub:"Vector" body_txt then [ `Vector ] else [])
+    @ (if contains ~sub:"HashMap" body_txt then [ `HashMap ] else [])
+  in
+  let prelude = Slice_workloads.Runtime_lib.prelude_of containers in
+  let header_lines = split_lines prelude @ !class_lines in
+  let all =
+    header_lines
+    @ [ "void main(String[] args) {"; "  int acc = 0;"; "  String sacc = \"\";" ]
+    @ body_lines
+    @ [ "  print(itoa(acc));"; "  print(sacc);"; "}" ]
+  in
+  let total = List.length all in
+  { src = String.concat "\n" all ^ "\n";
+    seed_lines = [ total - 2; total - 1 ];
+    stmt_count = !stmts }
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Greedy structure-preserving shrinker: try deleting whole steps (last
+   to first — later steps tend to consume earlier ones), then individual
+   micro-statements inside branches/loops (keeping the then-branch and
+   loop body non-empty so the rendering stays unambiguous), repeating to
+   a bounded fixpoint.  [still_failing] must return true iff the
+   candidate still exhibits the ORIGINAL failure. *)
+let shrink (m : model) ~(still_failing : model -> bool) : model =
+  let cur = ref { m with steps = Array.copy m.steps } in
+  let try_candidate cand = if still_failing cand then (cur := cand; true) else false in
+  let changed = ref true and passes = ref 0 in
+  while !changed && !passes < 6 do
+    changed := false;
+    incr passes;
+    for k = Array.length (!cur).steps - 1 downto 0 do
+      if (!cur).steps.(k) <> None then begin
+        let steps = Array.copy (!cur).steps in
+        steps.(k) <- None;
+        if try_candidate { !cur with steps } then changed := true
+      end
+    done;
+    (* micro-level shrinks *)
+    for k = 0 to Array.length (!cur).steps - 1 do
+      let drop_nth xs i = List.filteri (fun j _ -> j <> i) xs in
+      match (!cur).steps.(k) with
+      | Some (SIf (c, th, el)) ->
+        (* drop else micros, then then-micros (keep >= 1) *)
+        let th = ref th and el = ref el in
+        let attempt mk =
+          let steps = Array.copy (!cur).steps in
+          steps.(k) <- Some mk;
+          try_candidate { !cur with steps }
+        in
+        let i = ref 0 in
+        while !i < List.length !el do
+          if attempt (SIf (c, !th, drop_nth !el !i)) then begin
+            el := drop_nth !el !i;
+            changed := true
+          end
+          else incr i
+        done;
+        let i = ref 0 in
+        while List.length !th > 1 && !i < List.length !th do
+          if attempt (SIf (c, drop_nth !th !i, !el)) then begin
+            th := drop_nth !th !i;
+            changed := true
+          end
+          else incr i
+        done
+      | Some (SLoop (b, bd)) ->
+        let bd = ref bd in
+        let attempt mk =
+          let steps = Array.copy (!cur).steps in
+          steps.(k) <- Some mk;
+          try_candidate { !cur with steps }
+        in
+        let i = ref 0 in
+        while List.length !bd > 1 && !i < List.length !bd do
+          if attempt (SLoop (b, drop_nth !bd !i)) then begin
+            bd := drop_nth !bd !i;
+            changed := true
+          end
+          else incr i
+        done
+      | _ -> ()
+    done
+  done;
+  !cur

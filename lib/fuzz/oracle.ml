@@ -1,0 +1,265 @@
+(* The oracle battery: every cross-checkable property the pipeline
+   promises, run against one generated program.
+
+   The battery is the fuzzer's ground truth, so it only states
+   properties that are THEOREMS of the design, not empirical
+   observations:
+
+   - dynamic thin slice (value dependences only, most recent execution)
+     is contained in the static thin slice of the same statement — the
+     paper's section 1/7 observation that dynamic thin slices fall out
+     of dynamic value dependences, used here in reverse as a soundness
+     oracle for the static slicer + SDG + points-to stack;
+   - dynamic data slice (value + base-pointer flow) is contained in the
+     traditional (full) static slice;
+   - the static mode chain is monotone: thin ⊆ thin+alias(k) ⊆
+     traditional-data ⊆ traditional-full (edge_policy is pointwise
+     monotone in that order);
+   - the CSR walk equals [Slicer.Reference] node-for-node, both
+     directions, every mode;
+   - [Engine.slice_batch_par] at jobs 1/2/4 equals the sequential batch;
+   - the bitset solver equals [Andersen.Reference] on the canonical
+     pts/call-graph dumps, and the two analyses slice identically;
+   - object-sensitive slices (lines) are contained in the
+     context-insensitive ones (cloning only refines points-to).
+
+   [fault] deliberately breaks one link — the fuzz driver uses it to
+   prove the harness can actually catch and shrink a violation. *)
+
+open Slice_front
+open Slice_interp
+open Slice_pta
+open Slice_core
+
+(* [Dyn_base_as_val] skips the value/base classification when computing
+   the dynamic thin slice (base-pointer dependences are followed as if
+   they were value dependences), which inflates the dynamic thin slice
+   beyond what the static thin slice covers — the seeded bug the
+   acceptance criteria require the fuzzer to catch. *)
+type fault = No_fault | Dyn_base_as_val
+
+let fault_to_string = function
+  | No_fault -> "none"
+  | Dyn_base_as_val -> "dyn-base-as-val"
+
+let fault_of_string = function
+  | "none" -> Some No_fault
+  | "dyn-base-as-val" -> Some Dyn_base_as_val
+  | _ -> None
+
+type violation = { oracle : string; detail : string }
+
+module IntSet = Set.Make (Int)
+
+let file = "fuzz.tj"
+
+(* Pretty a small prefix of a list for violation details. *)
+let prefix_to_string xs =
+  let shown = List.filteri (fun i _ -> i < 8) xs in
+  String.concat ", " (List.map string_of_int shown)
+  ^ if List.length xs > 8 then ", ..." else ""
+
+let subset_violation ~name ~small ~big ~what =
+  let bigset = IntSet.of_list big in
+  let missing = List.filter (fun x -> not (IntSet.mem x bigset)) small in
+  if missing = [] then None
+  else
+    Some
+      { oracle = name;
+        detail =
+          Printf.sprintf "%s not contained: missing %s [%s]" what
+            (if List.length missing = 1 then "element" else "elements")
+            (prefix_to_string missing) }
+
+let sorted xs = List.sort_uniq compare xs
+
+let dump_to_string (d : (string * string list) list) : string =
+  String.concat "\n"
+    (List.map (fun (k, vs) -> k ^ " -> " ^ String.concat "," vs) d)
+
+(* All modes the slicers promise parity for. *)
+let modes =
+  [ Slicer.Thin;
+    Slicer.Thin_with_aliasing 3;
+    Slicer.Traditional_data;
+    Slicer.Traditional_full ]
+
+let battery ?(fault = No_fault) ~(src : string) ~(seed_lines : int list) () :
+    violation list =
+  match Frontend.load ~file src with
+  | Error e ->
+    [ { oracle = "well_formed"; detail = Frontend.error_to_string e } ]
+  | Ok program ->
+    let out = ref [] in
+    let viol oracle detail = out := { oracle; detail } :: !out in
+    let add = function Some v -> out := v :: !out | None -> () in
+    (* Main analysis: object-sensitive, frozen CSR, bitset solver — the
+       default fast path, i.e. exactly what production slicing uses.
+       The SAME [Program.t] also drives the interpreter, so dynamic
+       events and SDG nodes agree on statement ids. *)
+    let a = Engine.analyze program in
+    let sdg = a.Engine.sdg in
+    (* stmt id -> SDG nodes (for stmt-level static slices) *)
+    let stmt_nodes_tbl = Hashtbl.create 256 in
+    for nd = 0 to Sdg.num_nodes sdg - 1 do
+      match Sdg.node_stmt sdg nd with
+      | Some s -> Hashtbl.add stmt_nodes_tbl s nd
+      | None -> ()
+    done;
+    let stmt_nodes s = Hashtbl.find_all stmt_nodes_tbl s in
+    let stmts_of_nodes nodes =
+      sorted (List.filter_map (Sdg.node_stmt sdg) nodes)
+    in
+    (* Seeds: the two trailing prints (each line holds one statement). *)
+    let seed_nodes =
+      List.concat_map (fun l -> Engine.seeds_at_line a l) seed_lines
+    in
+    if seed_nodes = [] then
+      viol "seeds" "no seed nodes on the trailing print lines";
+    (* ---------------- dynamic oracles ---------------- *)
+    let trace = Dyntrace.create () in
+    let cfg = { Interp.default_config with trace = Some trace } in
+    let outcome = Interp.run cfg program in
+    let dyn_seed_stmts =
+      let from_prints =
+        sorted (List.filter_map (Sdg.node_stmt sdg) seed_nodes)
+      in
+      match outcome.Interp.result with
+      | Ok () -> from_prints
+      | Error f when f.Interp.f_stmt >= 0 ->
+        sorted (f.Interp.f_stmt :: from_prints)
+      | Error _ -> from_prints
+    in
+    let overflowed =
+      match outcome.Interp.result with
+      | Error { Interp.f_kind = Interp.Trace_limit_exceeded; _ } -> true
+      | _ -> false
+    in
+    if not overflowed then
+      List.iter
+        (fun s ->
+          match Dyntrace.last_event_of_stmt trace s with
+          | None -> ()
+          | Some ev ->
+            let include_base_for_thin = fault = Dyn_base_as_val in
+            let dyn_thin =
+              Dyntrace.slice_from_event trace ~include_base:include_base_for_thin
+                ev
+            in
+            let dyn_data =
+              Dyntrace.slice_from_event trace ~include_base:true ev
+            in
+            let seeds = stmt_nodes s in
+            if seeds <> [] then begin
+              let static_thin =
+                stmts_of_nodes (Slicer.slice sdg ~seeds Slicer.Thin)
+              in
+              let static_trad =
+                stmts_of_nodes (Slicer.slice sdg ~seeds Slicer.Traditional_full)
+              in
+              add
+                (subset_violation ~name:"dyn_thin_within_static_thin"
+                   ~small:dyn_thin ~big:static_thin
+                   ~what:
+                     (Printf.sprintf "dynamic thin slice of stmt %d" s));
+              add
+                (subset_violation ~name:"dyn_data_within_traditional"
+                   ~small:dyn_data ~big:static_trad
+                   ~what:
+                     (Printf.sprintf "dynamic data slice of stmt %d" s))
+            end)
+        dyn_seed_stmts;
+    (* ---------------- static containment chain ---------------- *)
+    if seed_nodes <> [] then begin
+      let slice_nodes m = sorted (Slicer.slice sdg ~seeds:seed_nodes m) in
+      let thin = slice_nodes Slicer.Thin in
+      let alias = slice_nodes (Slicer.Thin_with_aliasing 3) in
+      let tdata = slice_nodes Slicer.Traditional_data in
+      let tfull = slice_nodes Slicer.Traditional_full in
+      add
+        (subset_violation ~name:"static_mode_chain" ~small:thin ~big:alias
+           ~what:"thin within thin+alias3");
+      add
+        (subset_violation ~name:"static_mode_chain" ~small:alias ~big:tdata
+           ~what:"thin+alias3 within traditional-data");
+      add
+        (subset_violation ~name:"static_mode_chain" ~small:tdata ~big:tfull
+           ~what:"traditional-data within traditional-full")
+    end;
+    (* ---------------- CSR vs Reference slicer ---------------- *)
+    if seed_nodes <> [] then
+      List.iter
+        (fun m ->
+          let fast = sorted (Slicer.slice sdg ~seeds:seed_nodes m) in
+          let refr = sorted (Slicer.Reference.slice sdg ~seeds:seed_nodes m) in
+          if fast <> refr then
+            viol "csr_vs_reference"
+              (Printf.sprintf "backward %s: CSR %d nodes, reference %d nodes"
+                 (Slicer.mode_to_string m) (List.length fast)
+                 (List.length refr));
+          let ffast = sorted (Slicer.forward_slice sdg ~seeds:seed_nodes m) in
+          let frefr =
+            sorted (Slicer.Reference.forward_slice sdg ~seeds:seed_nodes m)
+          in
+          if ffast <> frefr then
+            viol "csr_vs_reference"
+              (Printf.sprintf "forward %s: CSR %d nodes, reference %d nodes"
+                 (Slicer.mode_to_string m) (List.length ffast)
+                 (List.length frefr)))
+        modes;
+    (* ---------------- parallel batch parity ---------------- *)
+    if seed_nodes <> [] then
+      List.iter
+        (fun m ->
+          let seq = Engine.slice_batch a ~lines:seed_lines m in
+          List.iter
+            (fun jobs ->
+              let par = Engine.slice_batch_par ~jobs a ~lines:seed_lines m in
+              if par <> seq then
+                viol "parallel_batch_parity"
+                  (Printf.sprintf "jobs=%d differs from sequential batch (%s)"
+                     jobs (Slicer.mode_to_string m)))
+            [ 1; 2; 4 ])
+        [ Slicer.Thin; Slicer.Traditional_full ];
+    (* ---------------- solver parity ---------------- *)
+    let a_ref =
+      Engine.analyze ~solver:`Reference (Frontend.load_exn ~file src)
+    in
+    if
+      dump_to_string (Andersen.pts_dump a.Engine.pta)
+      <> dump_to_string (Andersen.pts_dump a_ref.Engine.pta)
+    then viol "solver_parity" "bitset and reference points-to dumps differ";
+    if
+      dump_to_string (Andersen.call_graph_dump a.Engine.pta)
+      <> dump_to_string (Andersen.call_graph_dump a_ref.Engine.pta)
+    then viol "solver_parity" "bitset and reference call-graph dumps differ";
+    List.iter
+      (fun l ->
+        List.iter
+          (fun m ->
+            let fast = Engine.slice_from_line a ~line:l m in
+            let refr = Engine.slice_from_line a_ref ~line:l m in
+            if fast <> refr then
+              viol "solver_parity"
+                (Printf.sprintf "slice lines differ at seed line %d (%s)" l
+                   (Slicer.mode_to_string m)))
+          [ Slicer.Thin; Slicer.Traditional_full ])
+      seed_lines;
+    (* ---------------- objsens within ci ---------------- *)
+    let a_ci =
+      Engine.analyze ~obj_sens:false (Frontend.load_exn ~file src)
+    in
+    List.iter
+      (fun l ->
+        List.iter
+          (fun m ->
+            let obj = Engine.slice_from_line a ~line:l m in
+            let ci = Engine.slice_from_line a_ci ~line:l m in
+            add
+              (subset_violation ~name:"objsens_within_ci" ~small:obj ~big:ci
+                 ~what:
+                   (Printf.sprintf "object-sensitive %s slice lines at %d"
+                      (Slicer.mode_to_string m) l)))
+          [ Slicer.Thin; Slicer.Traditional_full ])
+      seed_lines;
+    List.rev !out

@@ -1,0 +1,146 @@
+(* Self-contained fuzz repros: a committed JSON file that replays one
+   oracle violation deterministically, with no dependency on the
+   generator (the rendered program text is stored verbatim).
+
+   Replay semantics depend on the recorded fault:
+   - [fault = "none"]: the repro captured a REAL pipeline bug.  Replay
+     runs the battery and expects ZERO violations — i.e. the committed
+     repro is a regression test that stays red until the bug is fixed
+     and green forever after.
+   - seeded fault: the repro is a harness-sensitivity canary.  Replay
+     runs the battery WITH the fault and expects the recorded oracle to
+     still fire, and withOUT the fault expects a clean pass — if either
+     direction flips, the fuzzer has silently lost its teeth. *)
+
+open Slice_obs
+
+type t = {
+  seed : int;          (* the fuzz run's --seed *)
+  index : int;         (* program index within the run *)
+  derived_seed : int;  (* per-program generator seed *)
+  fault : Oracle.fault;
+  oracle : string;     (* first violated oracle *)
+  detail : string;
+  statements : int;    (* rendered statement count of the (shrunk) program *)
+  seed_lines : int list;
+  program : string;    (* full TJ source, self-contained *)
+}
+
+let schema = "thinslice.fuzz-repro/v1"
+
+let to_json (r : t) : Json.t =
+  Json.Obj
+    [ ("schema", Json.Str schema);
+      ("seed", Json.Int r.seed);
+      ("index", Json.Int r.index);
+      ("derived_seed", Json.Int r.derived_seed);
+      ("fault", Json.Str (Oracle.fault_to_string r.fault));
+      ("oracle", Json.Str r.oracle);
+      ("detail", Json.Str r.detail);
+      ("statements", Json.Int r.statements);
+      ("seed_lines", Json.List (List.map (fun l -> Json.Int l) r.seed_lines));
+      ("program", Json.Str r.program) ]
+
+let of_json (j : Json.t) : (t, string) result =
+  let str k =
+    match Json.member k j with
+    | Some (Json.Str s) -> Ok s
+    | _ -> Error (Printf.sprintf "repro: missing string field %S" k)
+  in
+  let int k =
+    match Json.member k j with
+    | Some (Json.Int n) -> Ok n
+    | _ -> Error (Printf.sprintf "repro: missing int field %S" k)
+  in
+  let ( let* ) = Result.bind in
+  let* sch = str "schema" in
+  if sch <> schema then Error (Printf.sprintf "repro: unknown schema %S" sch)
+  else
+    let* seed = int "seed" in
+    let* index = int "index" in
+    let* derived_seed = int "derived_seed" in
+    let* fault_s = str "fault" in
+    let* fault =
+      match Oracle.fault_of_string fault_s with
+      | Some f -> Ok f
+      | None -> Error (Printf.sprintf "repro: unknown fault %S" fault_s)
+    in
+    let* oracle = str "oracle" in
+    let* detail = str "detail" in
+    let* statements = int "statements" in
+    let* seed_lines =
+      match Json.member "seed_lines" j with
+      | Some (Json.List xs) ->
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | Json.Int n :: rest -> go (n :: acc) rest
+          | _ -> Error "repro: seed_lines must be integers"
+        in
+        go [] xs
+      | _ -> Error "repro: missing seed_lines"
+    in
+    let* program = str "program" in
+    Ok
+      { seed; index; derived_seed; fault; oracle; detail; statements;
+        seed_lines; program }
+
+let filename (r : t) : string =
+  Printf.sprintf "repro-seed%d-i%d-%s.json" r.seed r.index r.oracle
+
+let save ~(dir : string) (r : t) : string =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir (filename r) in
+  let oc = open_out path in
+  output_string oc (Json.to_string (to_json r));
+  output_char oc '\n';
+  close_out oc;
+  path
+
+let load (path : string) : (t, string) result =
+  match
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  with
+  | exception Sys_error e -> Error e
+  | text -> Result.bind (Json.of_string text) of_json
+
+let violations_to_string vs =
+  String.concat "; "
+    (List.map (fun v -> v.Oracle.oracle ^ ": " ^ v.Oracle.detail) vs)
+
+(* Deterministic re-execution of a committed repro. *)
+let replay (r : t) : (unit, string) result =
+  let battery fault =
+    try
+      Ok (Oracle.battery ~fault ~src:r.program ~seed_lines:r.seed_lines ())
+    with e -> Error (Printexc.to_string e)
+  in
+  match r.fault with
+  | Oracle.No_fault -> (
+    match battery Oracle.No_fault with
+    | Error e -> Error ("battery raised: " ^ e)
+    | Ok [] -> Ok ()
+    | Ok vs ->
+      Error
+        (Printf.sprintf "recorded pipeline bug still present: %s"
+           (violations_to_string vs)))
+  | fault -> (
+    match battery fault with
+    | Error e -> Error ("battery raised under fault: " ^ e)
+    | Ok vs when not (List.exists (fun v -> v.Oracle.oracle = r.oracle) vs) ->
+      Error
+        (Printf.sprintf
+           "seeded fault %s no longer trips oracle %s (harness lost \
+            sensitivity)"
+           (Oracle.fault_to_string fault) r.oracle)
+    | Ok _ -> (
+      match battery Oracle.No_fault with
+      | Error e -> Error ("battery raised without fault: " ^ e)
+      | Ok [] -> Ok ()
+      | Ok vs ->
+        Error
+          (Printf.sprintf "clean battery fails on canary program: %s"
+             (violations_to_string vs))))

@@ -43,6 +43,7 @@ type failure_kind =
   | User_throw of Types.class_name
   | Step_limit_exceeded
   | Stack_overflow_limit
+  | Trace_limit_exceeded
   | Missing_return
   | Assertion of string                          (* internal errors *)
 
@@ -68,6 +69,7 @@ let failure_kind_to_string = function
   | User_throw c -> Printf.sprintf "uncaught exception %s" c
   | Step_limit_exceeded -> "interpreter step limit exceeded"
   | Stack_overflow_limit -> "interpreter call-depth limit exceeded"
+  | Trace_limit_exceeded -> "dynamic trace event limit exceeded"
   | Missing_return -> "method fell off the end without returning a value"
   | Assertion s -> Printf.sprintf "internal interpreter error: %s" s
 
@@ -714,7 +716,21 @@ let run (config : config) (p : Program.t) : outcome =
             (exec_method ~depth:0 main actuals arg_evs ~call_stmt:(-1)
                ~call_loc:Loc.none);
           Ok ()
-        with Fail f -> Error f)
+        with
+        | Fail f -> Error f
+        | Dyntrace.Trace_overflow ->
+          (* The trace filled up mid-run.  Surface it like the other
+             bounded-resource failures (step limit, call depth) instead
+             of letting the raw exception escape: callers — the CLI
+             included — must never see [Trace_overflow].  There is no
+             single failing statement: the limit is a property of the
+             whole run, so the stmt is -1 like the other pre-execution
+             failures. *)
+          Error
+            { f_kind = Trace_limit_exceeded;
+              f_stmt = -1;
+              f_loc = Loc.none;
+              f_method = entry })
   in
   { output = List.rev st.out_lines; result; steps = st.steps }
 

@@ -336,6 +336,15 @@ module Reference = struct
               add_pts t (var x)
                 (ObjSet.singleton (alloc t mc ~site ~cls:Context.Astring))
             | Instr.Const _ -> ()
+            (* String concatenation produces a fresh string object.  Without
+               this allocation a concat-produced receiver has an empty
+               points-to set, virtual dispatch on it resolves to nothing,
+               and the SDG silently drops the call's argument edges — a
+               soundness hole the fuzzer's dyn-thin-within-static-thin
+               oracle caught. *)
+            | Instr.Binop (x, Types.Concat, _, _) when is_ref_var m x ->
+              add_pts t (var x)
+                (ObjSet.singleton (alloc t mc ~site ~cls:Context.Astring))
             | Instr.New (x, c) ->
               add_pts t (var x)
                 (ObjSet.singleton (alloc t mc ~site ~cls:(Context.Aclass c)))
@@ -1048,6 +1057,11 @@ let rec make_reachable (t : t) (mc : int) : unit =
           | Instr.Const (x, Types.Cstr _) when is_ref_var m x ->
             add_obj t (var x) (alloc t mc ~site ~cls:Context.Astring)
           | Instr.Const _ -> ()
+          (* Concat results are fresh strings; see the matching case in the
+             reference solver above for why omitting this is a soundness
+             hole. *)
+          | Instr.Binop (x, Types.Concat, _, _) when is_ref_var m x ->
+            add_obj t (var x) (alloc t mc ~site ~cls:Context.Astring)
           | Instr.New (x, c) ->
             add_obj t (var x) (alloc t mc ~site ~cls:(Context.Aclass c))
           | Instr.New_array (x, elem, _) ->

@@ -143,8 +143,29 @@ let stack_src =
 }
 |}
 
+(* Containers a program may select individually: the fuzz generator (and
+   any other program generator) asks only for the classes it actually
+   uses, which keeps the points-to universe — and hence each fuzz
+   iteration's analysis time — proportional to the program.  [`HashMap]
+   brings its [MapEntry] helper class along. *)
+type container = [ `Vector | `HashMap | `Stack ]
+
+let container_src : container -> string = function
+  | `Vector -> vector_src
+  | `HashMap -> hashmap_src
+  | `Stack -> stack_src
+
+(* Prelude restricted to the given containers, deduplicated, in the
+   canonical Vector/HashMap/Stack order (so the same selection always
+   renders the same source bytes). *)
+let prelude_of (cs : container list) : string =
+  [ `Vector; `HashMap; `Stack ]
+  |> List.filter (fun c -> List.mem (c :> container) cs)
+  |> List.map container_src
+  |> String.concat ""
+
 (* All containers, for programs that want everything. *)
-let prelude = vector_src ^ hashmap_src ^ stack_src
+let prelude = prelude_of [ `Vector; `HashMap; `Stack ]
 
 (* Patch a source: replace the unique occurrence of [from] with [into];
    raises if [from] is absent or ambiguous.  Used to inject bugs. *)

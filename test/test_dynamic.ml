@@ -117,6 +117,8 @@ let test_dynamic_distinguishes_runs () =
   check [ "5" ] false;
   check [ "500" ] true
 
+(* The interpreter must convert {!Dyntrace.Trace_overflow} into a clean
+   [Trace_limit_exceeded] failure value — never leak the exception. *)
 let test_trace_overflow () =
   let p = load (Helpers.expr_main "while (true) { int x = 1; }") in
   let trace = Slice_interp.Dyntrace.create ~max_events:100 () in
@@ -125,12 +127,120 @@ let test_trace_overflow () =
       { Slice_interp.Interp.default_config with trace = Some trace }
       p
   in
-  (* the interpreter surfaces the overflow as an exception to the host *)
   match o.Slice_interp.Interp.result with
-  | exception Slice_interp.Dyntrace.Trace_overflow -> ()
-  | _ -> ()
+  | Error { Slice_interp.Interp.f_kind = Slice_interp.Interp.Trace_limit_exceeded; _ } ->
+    ()
+  | Error f ->
+    Alcotest.failf "wrong failure: %s"
+      (Format.asprintf "%a" Slice_interp.Interp.pp_failure f)
+  | Ok () -> Alcotest.fail "expected a trace-limit failure"
+
+(* max_events is an exact boundary: a budget equal to the demand passes;
+   one less trips the limit. *)
+let test_max_events_boundary () =
+  let src = Helpers.expr_main "int a = 1;\nint b = a + 1;\nprint(itoa(b));" in
+  let p = load src in
+  let run_with n =
+    let trace = Slice_interp.Dyntrace.create ~max_events:n () in
+    let o =
+      Slice_interp.Interp.run
+        { Slice_interp.Interp.default_config with trace = Some trace }
+        p
+    in
+    (o.Slice_interp.Interp.result, Slice_interp.Dyntrace.length trace)
+  in
+  (* learn the exact demand with a generous budget *)
+  let r, demand = run_with 1_000 in
+  (match r with
+  | Ok () -> ()
+  | Error f ->
+    Alcotest.failf "program failed: %s"
+      (Format.asprintf "%a" Slice_interp.Interp.pp_failure f));
+  Alcotest.(check bool) "some events recorded" true (demand > 0);
+  (match run_with demand with
+  | Ok (), n -> Alcotest.(check int) "exact budget suffices" demand n
+  | Error f, _ ->
+    Alcotest.failf "exact budget failed: %s"
+      (Format.asprintf "%a" Slice_interp.Interp.pp_failure f));
+  match run_with (demand - 1) with
+  | Error { Slice_interp.Interp.f_kind = Slice_interp.Interp.Trace_limit_exceeded; _ }, n
+    ->
+    Alcotest.(check bool) "stopped at the limit" true (n <= demand - 1)
+  | Ok (), _ -> Alcotest.fail "budget demand-1 should overflow"
+  | Error f, _ ->
+    Alcotest.failf "wrong failure: %s"
+      (Format.asprintf "%a" Slice_interp.Interp.pp_failure f)
+
+(* slice_from_event ~include_base is exactly the thin/data distinction:
+   base deps off excludes the receiver allocation, on includes it. *)
+let test_slice_from_event_include_base () =
+  let src =
+    {|class Box {
+  int v;
+  void set(int x) { this.v = x; }
+  int get() { return this.v; }
+}
+void main(String[] args) {
+  Box b = new Box();
+  b.set(41);
+  int r = b.get();
+  print(itoa(r));
+}|}
+  in
+  let p, trace, _ = traced_run src in
+  let seed_line = line_of ~src ~pattern:"print(itoa(r));" in
+  match stmt_on_line p ~line:seed_line ~pred:is_call with
+  | None -> Alcotest.fail "seed not found"
+  | Some stmt -> (
+    match Slice_interp.Dyntrace.last_event_of_stmt trace stmt with
+    | None -> Alcotest.fail "seed never executed"
+    | Some ev ->
+      let thin = Slice_interp.Dyntrace.slice_from_event trace ~include_base:false ev in
+      let data = Slice_interp.Dyntrace.slice_from_event trace ~include_base:true ev in
+      Alcotest.(check bool) "thin within data" true
+        (IntSet.subset (IntSet.of_list thin) (IntSet.of_list data));
+      let lines_of stmts =
+        let tbl = Slice_ir.Program.build_stmt_table p in
+        List.filter_map
+          (fun s ->
+            Option.map
+              (fun si -> (Slice_ir.Program.stmt_loc si).Slice_ir.Loc.line)
+              (Hashtbl.find_opt tbl s))
+          stmts
+      in
+      let alloc_line = line_of ~src ~pattern:"Box b = new Box();" in
+      Alcotest.(check bool) "allocation only via base deps" true
+        ((not (List.mem alloc_line (lines_of thin)))
+        && List.mem alloc_line (lines_of data)))
+
+(* Statements that never executed have no last event and no dynamic
+   slice — [None], not an empty list or a crash. *)
+let test_never_executed_stmt () =
+  let src =
+    Helpers.expr_main
+      "int x = 5;\nif (x > 100) {\n  int dead = 1;\n}\nprint(itoa(x));"
+  in
+  let p, trace, _ = traced_run src in
+  let dead_line = line_of ~src ~pattern:"int dead = 1;" in
+  match stmt_on_line p ~line:dead_line ~pred:(fun _ -> true) with
+  | None -> Alcotest.fail "dead statement not found"
+  | Some stmt ->
+    Alcotest.(check bool) "no last event" true
+      (Slice_interp.Dyntrace.last_event_of_stmt trace stmt = None);
+    Alcotest.(check bool) "no dynamic thin slice" true
+      (Slice_interp.Dyntrace.dynamic_thin_slice trace stmt = None);
+    Alcotest.(check bool) "no dynamic data slice" true
+      (Slice_interp.Dyntrace.dynamic_data_slice trace stmt = None)
 
 let suite =
   [ Alcotest.test_case "thin subset of data" `Quick test_thin_subset_of_data;
     Alcotest.test_case "dynamic within static" `Quick test_dynamic_within_static;
-    Alcotest.test_case "distinguishes runs" `Quick test_dynamic_distinguishes_runs ]
+    Alcotest.test_case "distinguishes runs" `Quick test_dynamic_distinguishes_runs;
+    Alcotest.test_case "trace overflow becomes a clean failure" `Quick
+      test_trace_overflow;
+    Alcotest.test_case "max_events is an exact boundary" `Quick
+      test_max_events_boundary;
+    Alcotest.test_case "slice_from_event include_base" `Quick
+      test_slice_from_event_include_base;
+    Alcotest.test_case "never-executed statements slice to None" `Quick
+      test_never_executed_stmt ]

@@ -133,6 +133,36 @@ let test_expansion_fixpoint () =
     "boolean open = f.isOpen();";
   check_fixpoint_equals_traditional Prog_jtopas.base {|print("kinds: " + kinds);|}
 
+(* The same limit property on EVERY paper workload, from representative
+   seed nodes (first / middle / last user-visible statement): expansion
+   to fixpoint must reconstruct the traditional slice exactly, whatever
+   the program shape. *)
+let test_expansion_fixpoint_on_workloads () =
+  List.iter
+    (fun (name, src) ->
+      let a = Engine.of_source ~file:(name ^ ".tj") src in
+      let g = a.Engine.sdg in
+      let countable = ref [] in
+      for n = Sdg.num_nodes g - 1 downto 0 do
+        if Sdg.node_countable g n then countable := n :: !countable
+      done;
+      let arr = Array.of_list !countable in
+      let k = Array.length arr in
+      Alcotest.(check bool) (name ^ " has statements") true (k > 0);
+      List.iter
+        (fun seeds ->
+          let expanded = IntSet.of_list (Expansion.expand_to_fixpoint g ~seeds) in
+          let full =
+            IntSet.of_list (Slicer.slice g ~seeds Slicer.Traditional_full)
+          in
+          if not (IntSet.equal expanded full) then
+            Alcotest.failf
+              "%s: expansion fixpoint <> traditional (fixpoint %d nodes, \
+               traditional %d nodes)"
+              name (IntSet.cardinal expanded) (IntSet.cardinal full))
+        [ [ arr.(0) ]; [ arr.(k / 2) ]; [ arr.(k - 1) ] ])
+    Suites.paper_workloads
+
 let prop_fixpoint_on_pipelines =
   QCheck2.Test.make ~count:6 ~name:"expansion fixpoint = traditional (pipelines)"
     QCheck2.Gen.(2 -- 8)
@@ -148,4 +178,6 @@ let suite =
       test_filtering_drops_unrelated;
     Alcotest.test_case "explain control" `Quick test_explain_control;
     Alcotest.test_case "expansion fixpoint" `Quick test_expansion_fixpoint;
+    Alcotest.test_case "expansion fixpoint on all paper workloads" `Quick
+      test_expansion_fixpoint_on_workloads;
     QCheck_alcotest.to_alcotest prop_fixpoint_on_pipelines ]

@@ -1,0 +1,187 @@
+(* Tests for the differential fuzzing subsystem (lib/fuzz).
+
+   Four layers of defence, cheapest first:
+   - the PRNG is pinned to golden values (committed repros record
+     [derived_seed]; a silent PRNG change would orphan every repro);
+   - generated programs are well-formed and terminating by construction,
+     and a bounded run of the full oracle battery stays clean;
+   - a seeded fault (dyn-base-as-val) MUST still be caught and must
+     shrink small — the harness-sensitivity canary;
+   - every committed repro in test/corpus/ replays deterministically. *)
+
+open Slice_fuzz
+
+(* --- PRNG stability ------------------------------------------------- *)
+
+let test_rng_golden () =
+  (* splitmix64 from seed 42: fixed forever.  If this test fails, the
+     committed corpus is invalid — do not "fix" the expectation. *)
+  let t = Fuzz_rng.make 42 in
+  let a = Fuzz_rng.int t 1_000_000 in
+  let b = Fuzz_rng.int t 1_000_000 in
+  Alcotest.(check (pair int int)) "first two draws" (818853, 723072) (a, b);
+  let d0 = Fuzz_rng.derive ~seed:1 ~index:0 in
+  let d1 = Fuzz_rng.derive ~seed:1 ~index:1 in
+  Alcotest.(check bool) "derived streams differ" true (d0 <> d1);
+  (* the derived seed recorded in committed repros must stay stable:
+     test/corpus/repro-seed1-i139-*.json records this value *)
+  Alcotest.(check int) "derive(1,139) pins the corpus" 3363311372792637205
+    (Fuzz_rng.derive ~seed:1 ~index:139)
+
+let test_rng_bounds () =
+  let t = Fuzz_rng.make 7 in
+  for _ = 1 to 10_000 do
+    let v = Fuzz_rng.int t 3 in
+    if v < 0 || v >= 3 then Alcotest.failf "out of range: %d" v
+  done;
+  Alcotest.check_raises "zero bound rejected"
+    (Invalid_argument "Fuzz_rng.int: bound must be positive") (fun () ->
+      ignore (Fuzz_rng.int t 0))
+
+(* --- generator ------------------------------------------------------- *)
+
+let test_gen_deterministic () =
+  let r1 = Gen_tj.render (Gen_tj.gen ~seed:123 ~max_size:30) in
+  let r2 = Gen_tj.render (Gen_tj.gen ~seed:123 ~max_size:30) in
+  Alcotest.(check string) "same seed, same program" r1.Gen_tj.src r2.Gen_tj.src;
+  let r3 = Gen_tj.render (Gen_tj.gen ~seed:124 ~max_size:30) in
+  Alcotest.(check bool) "different seed, different program" true
+    (r1.Gen_tj.src <> r3.Gen_tj.src)
+
+let test_gen_well_formed () =
+  (* every generated program parses, typechecks, and TERMINATES.  Hostile
+     steps may fail at runtime (null bumps, raw array loads, value
+     divisions) — such failures are legitimate, they become slicing
+     seeds — but resource exhaustion or interpreter-internal faults mean
+     the generator broke its termination-by-construction promise *)
+  for seed = 0 to 59 do
+    let r = Gen_tj.render (Gen_tj.gen ~seed ~max_size:40) in
+    match Slice_front.Frontend.load ~file:"gen.tj" r.Gen_tj.src with
+    | Error e ->
+      Alcotest.failf "seed %d ill-formed: %s\n%s" seed
+        e.Slice_front.Frontend.err_msg r.Gen_tj.src
+    | Ok p -> (
+      let o = Slice_interp.Interp.run Slice_interp.Interp.default_config p in
+      match o.Slice_interp.Interp.result with
+      | Ok () -> ()
+      | Error f -> (
+        match f.Slice_interp.Interp.f_kind with
+        | Slice_interp.Interp.Step_limit_exceeded
+        | Slice_interp.Interp.Stack_overflow_limit
+        | Slice_interp.Interp.Trace_limit_exceeded
+        | Slice_interp.Interp.Missing_return
+        | Slice_interp.Interp.Assertion _ ->
+          Alcotest.failf "seed %d broke the termination promise: %s\n%s" seed
+            (Format.asprintf "%a" Slice_interp.Interp.pp_failure f)
+            r.Gen_tj.src
+        | _ -> (* a hostile step failed; that is the point *) ()))
+  done
+
+let test_battery_clean () =
+  (* a bounded fuzz run with no fault finds nothing *)
+  let r = Fuzz.run ~seed:2026 ~count:40 ~max_size:30 () in
+  (match r.Fuzz.failures with
+  | [] -> ()
+  | f :: _ ->
+    Alcotest.failf "oracle %s violated at index %d: %s" f.Fuzz.fr_oracle
+      f.Fuzz.fr_index f.Fuzz.fr_detail);
+  Alcotest.(check int) "all programs ran" 40 r.Fuzz.programs_run
+
+(* --- sensitivity canary ---------------------------------------------- *)
+
+let test_seeded_fault_caught () =
+  (* the dyn-base-as-val fault classifies base-pointer uses as value
+     flow in the dynamic slicer; the dyn-thin-within-static-thin oracle
+     must notice, and the shrinker must get the witness small *)
+  let r =
+    Fuzz.run ~fault:Oracle.Dyn_base_as_val ~seed:1 ~count:110 ~max_size:40 ()
+  in
+  match r.Fuzz.failures with
+  | [] -> Alcotest.fail "seeded fault not detected: the fuzzer lost its teeth"
+  | f :: _ ->
+    Alcotest.(check string) "expected oracle" "dyn_thin_within_static_thin"
+      f.Fuzz.fr_oracle;
+    if f.Fuzz.fr_statements > 30 then
+      Alcotest.failf "shrinker left %d statements (want <= 30)"
+        f.Fuzz.fr_statements
+
+(* --- shrinker -------------------------------------------------------- *)
+
+let test_shrink_preserves_predicate () =
+  (* shrink against an arbitrary structural predicate: the result still
+     satisfies it and is no larger than the original *)
+  let m = Gen_tj.gen ~seed:5 ~max_size:40 in
+  let has_print r = r.Gen_tj.stmt_count >= 2 in
+  let still_failing m' = has_print (Gen_tj.render m') in
+  let small = Gen_tj.shrink m ~still_failing in
+  let r0 = Gen_tj.render m and r1 = Gen_tj.render small in
+  Alcotest.(check bool) "predicate preserved" true (still_failing small);
+  Alcotest.(check bool) "no larger" true
+    (r1.Gen_tj.stmt_count <= r0.Gen_tj.stmt_count)
+
+(* --- repro format and corpus ------------------------------------------ *)
+
+let sample_repro =
+  { Repro.seed = 9; index = 3; derived_seed = 123456789;
+    fault = Oracle.No_fault; oracle = "solver_parity"; detail = "d";
+    statements = 4; seed_lines = [ 7; 8 ];
+    program = "void main(String[] args) { print(\"x\"); }" }
+
+let test_repro_roundtrip () =
+  match Repro.of_json (Repro.to_json sample_repro) with
+  | Error e -> Alcotest.failf "roundtrip failed: %s" e
+  | Ok r ->
+    Alcotest.(check bool) "identical" true (r = sample_repro)
+
+let test_repro_rejects_garbage () =
+  (match Repro.of_json (Slice_obs.Json.Str "nope") with
+  | Ok _ -> Alcotest.fail "accepted a non-object"
+  | Error _ -> ());
+  match
+    Repro.of_json
+      (Slice_obs.Json.Obj [ ("schema", Slice_obs.Json.Str "wrong/v9") ])
+  with
+  | Ok _ -> Alcotest.fail "accepted an unknown schema"
+  | Error _ -> ()
+
+let corpus_files () =
+  match Sys.readdir "corpus" with
+  | exception Sys_error _ -> []
+  | files ->
+    Array.to_list files
+    |> List.filter (fun f -> Filename.check_suffix f ".json")
+    |> List.sort compare
+    |> List.map (Filename.concat "corpus")
+
+let test_corpus_replays () =
+  let files = corpus_files () in
+  if List.length files < 3 then
+    Alcotest.failf "expected a committed corpus, found %d files"
+      (List.length files);
+  List.iter
+    (fun path ->
+      match Repro.load path with
+      | Error e -> Alcotest.failf "%s: cannot load: %s" path e
+      | Ok r -> (
+        match Repro.replay r with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "%s: replay failed: %s" path e))
+    files
+
+let suite =
+  [ Alcotest.test_case "rng golden values" `Quick test_rng_golden;
+    Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "generator is deterministic" `Quick
+      test_gen_deterministic;
+    Alcotest.test_case "generated programs are well-formed" `Quick
+      test_gen_well_formed;
+    Alcotest.test_case "oracle battery clean on 40 programs" `Quick
+      test_battery_clean;
+    Alcotest.test_case "seeded fault is caught and shrunk" `Quick
+      test_seeded_fault_caught;
+    Alcotest.test_case "shrinker preserves the predicate" `Quick
+      test_shrink_preserves_predicate;
+    Alcotest.test_case "repro JSON roundtrip" `Quick test_repro_roundtrip;
+    Alcotest.test_case "repro rejects malformed JSON" `Quick
+      test_repro_rejects_garbage;
+    Alcotest.test_case "committed corpus replays" `Quick test_corpus_replays ]

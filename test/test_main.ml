@@ -17,4 +17,6 @@ let () =
       ("dynamic", Test_dynamic.suite);
       ("tasks", Test_tasks.suite);
       ("obs", Test_obs.suite);
-      ("properties", Test_props.suite) ]
+      ("properties", Test_props.suite);
+      ("fuzz", Test_fuzz.suite);
+      ("cli", Test_cli.suite) ]

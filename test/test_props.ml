@@ -194,17 +194,9 @@ let prop_static_covers_dynamic =
 
 (* ---- CSR walk parity against the Reference (seed) implementation ---- *)
 
-(* Every workload of the BENCH suite; same list as bench/main.ml. *)
-let workload_programs =
-  [ ("nanoxml", Prog_nanoxml.base);
-    ("jtopas", Prog_jtopas.base);
-    ("ant", Prog_ant.base);
-    ("xmlsec", Prog_xmlsec.base);
-    ("mtrt", Prog_mtrt.base);
-    ("jess", Prog_jess.base);
-    ("javac", Prog_javac.base);
-    ("jack", Prog_jack.base);
-    ("pipeline-32", Generators.pipeline_program ~stages:32) ]
+(* Every workload of the BENCH suite; the canonical list lives in
+   {!Slice_workloads.Suites} so bench and tests cannot drift apart. *)
+let workload_programs = Suites.paper_workloads
 
 let parity_modes =
   [ Slice_core.Slicer.Thin;

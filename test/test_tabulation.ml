@@ -100,6 +100,74 @@ let test_cs_within_ci () =
     [ (Paper_figures.fig1, Paper_figures.fig1_seed);
       (Prog_jtopas.base, {|print("kinds: " + kinds);|}) ]
 
+(* Containment/consistency on GENERATED programs: for random pipeline
+   shapes, the context-sensitive thin slice stays inside the CI thin
+   slice, inside its own traditional slice, and every seed line slices
+   to a nonempty result that contains the seed itself. *)
+let prop_containment_on_generated =
+  QCheck2.Test.make ~count:6
+    ~name:"tabulation containment on generated pipelines"
+    QCheck2.Gen.(2 -- 8)
+    (fun stages ->
+      let src = Generators.pipeline_program ~stages in
+      let pat = Generators.pipeline_seed_pattern in
+      let line = line_of ~src ~pattern:pat in
+      let p = load src in
+      let pta = Slice_pta.Andersen.analyze p in
+      let t = Tabulation.build p pta in
+      let seeds = Tabulation.nodes_at_line t ~line in
+      if seeds = [] then QCheck2.Test.fail_report "no tabulation seeds";
+      let cs_thin =
+        Tabulation.slice_lines t (Tabulation.slice t ~seeds Tabulation.Thin)
+      in
+      let cs_trad =
+        Tabulation.slice_lines t
+          (Tabulation.slice t ~seeds Tabulation.Traditional)
+      in
+      let a = analysis ~obj_sens:false src in
+      let ci_thin = Engine.slice_from_line a ~line Slicer.Thin in
+      List.mem line cs_thin
+      && IntSet.subset (IntSet.of_list cs_thin) (IntSet.of_list ci_thin)
+      && IntSet.subset (IntSet.of_list cs_thin) (IntSet.of_list cs_trad))
+
+(* The same consistency checks on fuzz-generated programs, which mix
+   virtual dispatch, containers, casts, and branches — shapes the
+   hand-written examples above do not cover. *)
+let test_containment_on_fuzzed () =
+  List.iter
+    (fun seed ->
+      let r = Slice_fuzz.Gen_tj.render (Slice_fuzz.Gen_tj.gen ~seed ~max_size:25) in
+      let src = r.Slice_fuzz.Gen_tj.src in
+      let p = Slice_front.Frontend.load_exn ~file:"fuzz.tj" src in
+      let pta = Slice_pta.Andersen.analyze p in
+      let t = Tabulation.build p pta in
+      List.iter
+        (fun line ->
+          match Tabulation.nodes_at_line t ~line with
+          | [] -> ()
+          | seeds ->
+            let cs_thin =
+              Tabulation.slice_lines t
+                (Tabulation.slice t ~seeds Tabulation.Thin)
+            in
+            let cs_trad =
+              Tabulation.slice_lines t
+                (Tabulation.slice t ~seeds Tabulation.Traditional)
+            in
+            if not (List.mem line cs_thin) then
+              Alcotest.failf "fuzz seed %d: seed line %d missing from its own \
+                              thin slice" seed line;
+            if
+              not
+                (IntSet.subset (IntSet.of_list cs_thin)
+                   (IntSet.of_list cs_trad))
+            then
+              Alcotest.failf
+                "fuzz seed %d line %d: CS thin not within CS traditional" seed
+                line)
+        r.Slice_fuzz.Gen_tj.seed_lines)
+    [ 11; 22; 33 ]
+
 let test_heap_param_blowup () =
   let p = load Prog_nanoxml.base in
   let pta = Slice_pta.Andersen.analyze p in
@@ -115,4 +183,7 @@ let suite =
   [ Alcotest.test_case "unrealizable paths" `Quick test_unrealizable_paths;
     Alcotest.test_case "heap parameters" `Quick test_heap_parameters;
     Alcotest.test_case "cs within ci" `Quick test_cs_within_ci;
+    QCheck_alcotest.to_alcotest prop_containment_on_generated;
+    Alcotest.test_case "containment on fuzzed programs" `Quick
+      test_containment_on_fuzzed;
     Alcotest.test_case "heap param blowup" `Quick test_heap_param_blowup ]

@@ -346,7 +346,37 @@ let timing () =
 (* JSON export: the machine-readable perf trajectory                   *)
 (* ------------------------------------------------------------------ *)
 
-let bench_schema_version = "thinslice.bench/v1"
+(* v2: adds the "meta" run-environment block (ocaml version, core count,
+   recommended domain count, dune profile) — BENCH entries are not
+   comparable across machines or build profiles without it. *)
+let bench_schema_version = "thinslice.bench/v2"
+
+(* Physical processor count from /proc/cpuinfo (Linux); falls back to the
+   runtime's recommendation elsewhere. *)
+let core_count () : int =
+  try
+    let ic = open_in "/proc/cpuinfo" in
+    let n = ref 0 in
+    (try
+       while true do
+         let line = input_line ic in
+         if String.length line >= 9 && String.sub line 0 9 = "processor" then
+           incr n
+       done
+     with End_of_file -> ());
+    close_in ic;
+    if !n > 0 then !n else Domain.recommended_domain_count ()
+  with Sys_error _ -> Domain.recommended_domain_count ()
+
+let meta_json () : Slice_obs.Json.t =
+  let open Slice_obs.Json in
+  Obj
+    [ ("ocaml_version", Str Sys.ocaml_version);
+      ("cores", Int (core_count ()));
+      ("recommended_domains", Int (Domain.recommended_domain_count ()));
+      ("dune_profile", Str Build_info.dune_profile);
+      ("word_size", Int Sys.word_size);
+      ("os_type", Str Sys.os_type) ]
 
 let bench_modes =
   [ Slicer.Thin; Slicer.Thin_with_aliasing 1; Slicer.Traditional_data;
@@ -694,6 +724,7 @@ let json_results ?(out = "BENCH_results.json") () =
   let doc =
     Obj
       [ ("schema", Str bench_schema_version);
+        ("meta", meta_json ());
         ("generated_at_unix_s", Float (Unix.gettimeofday ()));
         ("benchmarks", List benchmarks);
         ("slice_size_tables", List tasks);

@@ -2,6 +2,8 @@
 
      thinslice slice FILE --line N [--mode thin|trad|full|alias:K] [--no-objsens]
      thinslice batch FILE --line N --line M ... one frozen graph, many slices
+     thinslice explain FILE LINE --seed N       witness path: why is LINE in the slice?
+     thinslice report FILE --line N             layered slice report with BFS ranks
      thinslice expand FILE --line N             explain aliasing around a seed
      thinslice casts FILE                       list unverifiable downcasts
      thinslice stats FILE                       program/analysis statistics
@@ -381,6 +383,176 @@ let expand_cmd =
     (Cmd.info "expand" ~doc:"Explain heap aliasing behind a thin slice")
     Term.(const run $ file_arg $ line_arg $ objsens_arg $ telemetry_term)
 
+(* ---- explain / report: provenance queries ---- *)
+
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "Emit the result as thinslice.explain/v1 JSON on stdout instead \
+           of the pretty rendering.")
+
+let explain_jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Run the provenance walks in worker domains when $(docv) > 1.  \
+           Output is byte-identical for every N (the CI parity step pins \
+           this); the worker round-trip exercises the provenance \
+           scratch's domain safety.")
+
+let source_lines (src : string) : string array =
+  Array.of_list (String.split_on_char '\n' src)
+
+let source_at (arr : string array) (l : int) : string =
+  if l >= 1 && l <= Array.length arr then arr.(l - 1) else ""
+
+let explain_cmd =
+  let target_arg =
+    Arg.(
+      required
+      & pos 1 (some int) None
+      & info [] ~docv:"LINE" ~doc:"Line of the statement to explain")
+  in
+  let seed_arg =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "seed"; "s" ] ~docv:"N"
+          ~doc:"Seed line of the slice the statement should be explained in")
+  in
+  let dot_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"PATH"
+          ~doc:
+            "Also write the full dependence graph to $(docv) with the \
+             witness path highlighted (red/bold overlay on the usual DOT \
+             export).")
+  in
+  let run file line seed mode no_objsens jobs solver json dot tel =
+    handle_errors (fun () ->
+        setup_telemetry tel;
+        let a = load_analysis ~solver ~obj_sens:(not no_objsens) file in
+        let witness =
+          Engine.witness_from_line ~jobs a ~seed_line:seed ~line mode
+        in
+        match witness with
+        | None ->
+          emit_telemetry tel (Some (Engine.stats_of a));
+          Printf.eprintf "line %d is not in the %s slice from %s:%d\n" line
+            (Slicer.mode_to_string mode)
+            file seed;
+          exit 1
+        | Some steps ->
+          (match dot with
+          | None -> ()
+          | Some path ->
+            let overlay =
+              List.map
+                (fun (s : Slicer.witness_step) ->
+                  (s.Slicer.wit_node, s.Slicer.wit_kind))
+                steps
+            in
+            write_text path (Sdg.to_dot ~witness:overlay a.Engine.sdg));
+          if json then
+            print_endline
+              (Slice_obs.Json.to_string
+                 (Engine.witness_to_json a ~seed_line:seed ~line mode steps))
+          else begin
+            let g = a.Engine.sdg in
+            let budgeted = Slicer.initial_budget mode > 0 in
+            Printf.printf
+              "%s witness in %s: seed line %d -> line %d (%d hops)\n"
+              (Slicer.mode_to_string mode)
+              file seed line
+              (List.length steps - 1);
+            List.iter
+              (fun (s : Slicer.witness_step) ->
+                let loc = Sdg.node_loc g s.Slicer.wit_node in
+                let tag =
+                  match s.Slicer.wit_kind with
+                  | None -> "seed"
+                  | Some k -> "<-[" ^ Sdg.edge_kind_to_string k ^ "]"
+                in
+                let budget =
+                  if budgeted then
+                    Printf.sprintf "  (budget %d)" s.Slicer.wit_budget
+                  else ""
+                in
+                Printf.printf "  %-20s %s:%-4d %s%s\n" tag
+                  loc.Slice_ir.Loc.file loc.Slice_ir.Loc.line
+                  (Format.asprintf "%a" (Sdg.pp_node g) s.Slicer.wit_node)
+                  budget)
+              steps;
+            match dot with
+            | Some path -> Printf.printf "wrote %s\n" path
+            | None -> ()
+          end;
+          emit_telemetry tel (Some (Engine.stats_of a)))
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Why is a statement in the slice?  Prints the shortest recorded \
+          dependence path from the seed to the statement, with per-hop \
+          edge kinds (and aliasing budgets in alias:K mode)")
+    Term.(
+      const run $ file_arg $ target_arg $ seed_arg $ mode_arg $ objsens_arg
+      $ explain_jobs_arg $ pta_arg $ json_arg $ dot_arg $ telemetry_term)
+
+let report_cmd =
+  let run file line mode no_objsens jobs solver json tel =
+    handle_errors (fun () ->
+        setup_telemetry tel;
+        let a = load_analysis ~solver ~obj_sens:(not no_objsens) file in
+        let r = Engine.slice_report ~jobs a ~line mode in
+        if json then
+          print_endline (Slice_obs.Json.to_string (Engine.report_to_json r))
+        else begin
+          let np, na, nc = r.Engine.sr_layer_sizes in
+          Printf.printf
+            "%s slice report from %s:%d — %d lines (producers %d, alias \
+             explainers %d, control explainers %d)\n"
+            (Slicer.mode_to_string mode)
+            file line
+            (List.length r.Engine.sr_lines)
+            np na nc;
+          let src = source_lines (read_file_exn file) in
+          List.iter
+            (fun (rl : Engine.report_line) ->
+              let rfile, rline = rl.Engine.rl_loc in
+              let explains =
+                match rl.Engine.rl_explains with
+                | [] -> ""
+                | ex ->
+                  "   explains "
+                  ^ String.concat ", "
+                      (List.map (fun (f, l) -> Printf.sprintf "%s:%d" f l) ex)
+              in
+              Printf.printf "  rank %2d  %-18s %4d | %s%s\n" rl.Engine.rl_rank
+                (Engine.layer_to_string rl.Engine.rl_layer)
+                rline
+                (source_at src rline)
+                explains;
+              ignore rfile)
+            r.Engine.sr_lines
+        end;
+        emit_telemetry tel (Some (Engine.stats_of a)))
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Layered slice report: members partitioned into producers / alias \
+          explainers / control explainers, ranked by BFS distance from the \
+          seed (the paper's inspection metric)")
+    Term.(
+      const run $ file_arg $ line_arg $ mode_arg $ objsens_arg
+      $ explain_jobs_arg $ pta_arg $ json_arg $ telemetry_term)
+
 (* ---- casts ---- *)
 
 let casts_cmd =
@@ -620,5 +792,5 @@ let () =
     (Cmd.eval
        (Cmd.group
           (Cmd.info "thinslice" ~doc)
-          [ slice_cmd; batch_cmd; chop_cmd; expand_cmd; casts_cmd; stats_cmd;
-            run_cmd; fuzz_cmd; dot_cmd ]))
+          [ slice_cmd; batch_cmd; chop_cmd; expand_cmd; explain_cmd;
+            report_cmd; casts_cmd; stats_cmd; run_cmd; fuzz_cmd; dot_cmd ]))

@@ -184,6 +184,345 @@ let inspect_from_line ?filter (a : analysis) ~(line : int)
     ~(desired : int list) (mode : Slicer.mode) : Inspect.report =
   Inspect.bfs a.sdg ~seeds:(seeds_at_line_exn ?filter a line) ~desired mode
 
+(* ------------------------------------------------------------------ *)
+(* Provenance queries: witness paths and layered explain reports       *)
+(* ------------------------------------------------------------------ *)
+
+let explain_schema_version = "thinslice.explain/v1"
+
+(* Per-report layer sizes (lines), the per-query telemetry of ISSUE 6. *)
+let c_report_producers = Slice_obs.counter "engine.report.producer_lines"
+let c_report_alias = Slice_obs.counter "engine.report.alias_explainer_lines"
+let c_report_control = Slice_obs.counter "engine.report.control_explainer_lines"
+
+(* The data-only companion of a mode: same flow edges, no control.  The
+   control-explainer layer of a report is what [mode] slices BEYOND its
+   companion; modes that already skip control are their own. *)
+let data_submode = function
+  | Slicer.Traditional_full -> Slicer.Traditional_data
+  | (Slicer.Thin | Slicer.Thin_with_aliasing _ | Slicer.Traditional_data) as m
+    -> m
+
+(* Run [f] in a fresh worker domain and fold its telemetry back into the
+   calling domain's registry.  The provenance queries use it for
+   [jobs > 1]: results are deterministic either way (that is what the CI
+   explain-parity step pins), but the worker round-trip exercises the
+   domain-safety of the provenance scratch. *)
+let in_worker_domain (f : unit -> 'a) : 'a =
+  let d =
+    Domain.spawn (fun () ->
+        let out = try Ok (f ()) with e -> Error e in
+        (out, Slice_obs.snapshot ()))
+  in
+  let out, snap = Domain.join d in
+  Slice_obs.merge_snapshot snap;
+  match out with Ok v -> v | Error e -> raise e
+
+(* Witness: the dependence path by which the [mode] slice seeded at
+   [seed_line] reaches [line].  Walks with a fresh provenance, then
+   explains the target-line node with the smallest (distance, node id) —
+   the hop-shortest recorded path, deterministically tie-broken.  [None]
+   when the line has nodes but none is a member; [No_seed] (of the
+   offending line) when either line has no nodes at all. *)
+let witness_from_line ?filter ?(jobs = 1) (a : analysis) ~(seed_line : int)
+    ~(line : int) (mode : Slicer.mode) : Slicer.witness_step list option =
+  let seeds = seeds_at_line_exn ?filter a seed_line in
+  let targets = Sdg.nodes_at_line a.sdg ~file:None ~line in
+  if targets = [] then raise (No_seed line);
+  let prov = Slicer.create_provenance a.sdg in
+  let walk () = ignore (Slicer.slice ~prov a.sdg ~seeds mode) in
+  if jobs <= 1 then walk ()
+  else begin
+    (* Concurrent-read safety for the worker, as in [slice_batch_par]. *)
+    Sdg.freeze a.sdg;
+    in_worker_domain walk
+  end;
+  let best =
+    List.fold_left
+      (fun acc n ->
+        match Slicer.distance prov n with
+        | None -> acc
+        | Some d -> (
+          match acc with
+          | Some (d', n') when (d', n') <= (d, n) -> acc
+          | Some _ | None -> Some (d, n)))
+      None targets
+  in
+  match best with
+  | None -> None
+  | Some (_, n) -> Slicer.witness prov n
+
+(* ----- layered explain report ----- *)
+
+type explain_layer = Producers | Alias_explainers | Control_explainers
+
+let layer_to_string = function
+  | Producers -> "producers"
+  | Alias_explainers -> "alias-explainers"
+  | Control_explainers -> "control-explainers"
+
+(* Innermost layer wins when a line has nodes in several. *)
+let layer_order = function
+  | Producers -> 0
+  | Alias_explainers -> 1
+  | Control_explainers -> 2
+
+type report_line = {
+  rl_loc : string * int;  (* (file, line) *)
+  rl_rank : int;          (* min BFS distance over the line's member nodes *)
+  rl_layer : explain_layer;
+  rl_explains : (string * int) list;
+      (* lines this explainer directly serves (sorted distinct; empty
+         for producers) *)
+}
+
+type slice_report = {
+  sr_seed_line : int;
+  sr_mode : Slicer.mode;
+  sr_layer_sizes : int * int * int;
+      (* (producer, alias-explainer, control-explainer) line counts *)
+  sr_lines : report_line list;  (* sorted by (rank, file, line) *)
+}
+
+(* The layered report of a [mode] slice seeded at [line]:
+
+   - producers        = members of the THIN slice (the paper's relevant
+                        statements);
+   - alias explainers = members of the data companion's slice beyond
+                        thin (base-pointer / index / call-closure flow);
+   - control explainers = members beyond the data companion (reached
+                        only through control dependences).
+
+   Every line is ranked by the provenance BFS distance of its closest
+   member node — the paper's section 5 inspection metric — and explainer
+   lines carry the member lines they DIRECTLY explain, computed with the
+   {!Expansion} explain primitives (base/index defs, call actuals,
+   direct control).  [jobs > 1] runs the (up to three) walks in parallel
+   worker domains; the result is identical by construction. *)
+let slice_report ?filter ?(jobs = 1) (a : analysis) ~(line : int)
+    (mode : Slicer.mode) : slice_report =
+  let seeds = seeds_at_line_exn ?filter a line in
+  Slice_obs.span
+    ~args:
+      [ ("seed_line", string_of_int line);
+        ("mode", Slicer.mode_to_string mode) ]
+    "engine.slice_report"
+    (fun () ->
+      let prov = Slicer.create_provenance a.sdg in
+      let sub = data_submode mode in
+      let boundary_modes =
+        List.filter (fun m -> m <> mode)
+          (List.sort_uniq compare [ Slicer.Thin; sub ])
+      in
+      (* The mode walk records provenance; the boundary walks only need
+         membership. *)
+      let walks =
+        (mode, true) :: List.map (fun m -> (m, false)) boundary_modes
+      in
+      let run (m, with_prov) =
+        if with_prov then Slicer.slice ~prov a.sdg ~seeds m
+        else Slicer.slice a.sdg ~seeds m
+      in
+      let results =
+        if jobs <= 1 then List.map run walks
+        else begin
+          Sdg.freeze a.sdg;
+          let doms =
+            List.map
+              (fun w ->
+                Domain.spawn (fun () ->
+                    let out = try Ok (run w) with e -> Error e in
+                    (out, Slice_obs.snapshot ())))
+              walks
+          in
+          let outs = List.map Domain.join doms in
+          List.iter (fun (_, snap) -> Slice_obs.merge_snapshot snap) outs;
+          List.map
+            (fun (out, _) -> match out with Ok r -> r | Error e -> raise e)
+            outs
+        end
+      in
+      let members = List.hd results in
+      let boundary = List.combine boundary_modes (List.tl results) in
+      let nodes_of m = if m = mode then members else List.assoc m boundary in
+      let as_set nodes =
+        let t = Hashtbl.create (2 * List.length nodes) in
+        List.iter (fun n -> Hashtbl.replace t n ()) nodes;
+        t
+      in
+      let thin_set = as_set (nodes_of Slicer.Thin) in
+      let sub_set = as_set (nodes_of sub) in
+      let member_set = as_set members in
+      let layer_of n =
+        if Hashtbl.mem thin_set n then Producers
+        else if Hashtbl.mem sub_set n then Alias_explainers
+        else Control_explainers
+      in
+      (* Aggregate member nodes to (file, line): min distance, innermost
+         layer. *)
+      let line_tbl : (string * int, int * explain_layer) Hashtbl.t =
+        Hashtbl.create 64
+      in
+      List.iter
+        (fun n ->
+          if Sdg.node_countable a.sdg n then begin
+            let loc = Sdg.node_loc a.sdg n in
+            let key = (loc.Loc.file, loc.Loc.line) in
+            let d =
+              match Slicer.distance prov n with Some d -> d | None -> 0
+            in
+            let ly = layer_of n in
+            match Hashtbl.find_opt line_tbl key with
+            | None -> Hashtbl.replace line_tbl key (d, ly)
+            | Some (d0, ly0) ->
+              Hashtbl.replace line_tbl key
+                ( min d d0,
+                  if layer_order ly < layer_order ly0 then ly else ly0 )
+          end)
+        members;
+      (* Direct-explainer attribution: for every member, its Expansion
+         explainers that are themselves non-producer members explain it. *)
+      let explains : (string * int, (string * int, unit) Hashtbl.t) Hashtbl.t
+          =
+        Hashtbl.create 32
+      in
+      List.iter
+        (fun m ->
+          if Sdg.node_countable a.sdg m then begin
+            let mloc = Sdg.node_loc a.sdg m in
+            let mkey = (mloc.Loc.file, mloc.Loc.line) in
+            let direct =
+              Expansion.base_defs a.sdg m
+              @ Expansion.index_defs a.sdg m
+              @ Expansion.call_actuals a.sdg m
+              @ Expansion.explain_control a.sdg m
+            in
+            List.iter
+              (fun x ->
+                if
+                  Hashtbl.mem member_set x
+                  && (not (Hashtbl.mem thin_set x))
+                  && Sdg.node_countable a.sdg x
+                then begin
+                  let xloc = Sdg.node_loc a.sdg x in
+                  let xkey = (xloc.Loc.file, xloc.Loc.line) in
+                  if xkey <> mkey then begin
+                    let t =
+                      match Hashtbl.find_opt explains xkey with
+                      | Some t -> t
+                      | None ->
+                        let t = Hashtbl.create 8 in
+                        Hashtbl.replace explains xkey t;
+                        t
+                    in
+                    Hashtbl.replace t mkey ()
+                  end
+                end)
+              direct
+          end)
+        members;
+      let lines =
+        Hashtbl.fold
+          (fun key (rank, layer) acc ->
+            let ex =
+              match Hashtbl.find_opt explains key with
+              | None -> []
+              | Some t ->
+                List.sort compare
+                  (Hashtbl.fold (fun k () acc -> k :: acc) t [])
+            in
+            { rl_loc = key; rl_rank = rank; rl_layer = layer;
+              rl_explains = ex }
+            :: acc)
+          line_tbl []
+      in
+      let lines =
+        List.sort
+          (fun x y -> compare (x.rl_rank, x.rl_loc) (y.rl_rank, y.rl_loc))
+          lines
+      in
+      let count ly =
+        List.length (List.filter (fun l -> l.rl_layer = ly) lines)
+      in
+      let np = count Producers in
+      let na = count Alias_explainers in
+      let nc = count Control_explainers in
+      Slice_obs.add c_report_producers np;
+      Slice_obs.add c_report_alias na;
+      Slice_obs.add c_report_control nc;
+      Slice_obs.add_span_arg "slice_lines" (string_of_int (List.length lines));
+      { sr_seed_line = line;
+        sr_mode = mode;
+        sr_layer_sizes = (np, na, nc);
+        sr_lines = lines })
+
+(* ----- thinslice.explain/v1 JSON ----- *)
+
+let loc_json ((file, line) : string * int) : Slice_obs.Json.t =
+  Slice_obs.Json.Obj
+    [ ("file", Slice_obs.Json.Str file); ("line", Slice_obs.Json.Int line) ]
+
+let report_to_json (r : slice_report) : Slice_obs.Json.t =
+  let open Slice_obs.Json in
+  let np, na, nc = r.sr_layer_sizes in
+  Obj
+    [ ("schema", Str explain_schema_version);
+      ("result", Str "report");
+      ("query",
+       Obj
+         [ ("seed_line", Int r.sr_seed_line);
+           ("mode", Str (Slicer.mode_to_string r.sr_mode)) ]);
+      ("layers",
+       Obj
+         [ ("producers", Int np);
+           ("alias-explainers", Int na);
+           ("control-explainers", Int nc) ]);
+      ("lines",
+       List
+         (List.map
+            (fun rl ->
+              let file, line = rl.rl_loc in
+              Obj
+                [ ("file", Str file);
+                  ("line", Int line);
+                  ("rank", Int rl.rl_rank);
+                  ("layer", Str (layer_to_string rl.rl_layer));
+                  ("explains", List (List.map loc_json rl.rl_explains)) ])
+            r.sr_lines)) ]
+
+let witness_to_json (a : analysis) ~(seed_line : int) ~(line : int)
+    (mode : Slicer.mode) (steps : Slicer.witness_step list) : Slice_obs.Json.t
+    =
+  let open Slice_obs.Json in
+  Obj
+    [ ("schema", Str explain_schema_version);
+      ("result", Str "witness");
+      ("query",
+       Obj
+         [ ("seed_line", Int seed_line);
+           ("line", Int line);
+           ("mode", Str (Slicer.mode_to_string mode)) ]);
+      ("path",
+       List
+         (List.map
+            (fun (s : Slicer.witness_step) ->
+              let loc = Sdg.node_loc a.sdg s.Slicer.wit_node in
+              Obj
+                [ ("node", Int s.Slicer.wit_node);
+                  ("file", Str loc.Loc.file);
+                  ("line", Int loc.Loc.line);
+                  ("label",
+                   Str
+                     (Format.asprintf "%a" (Sdg.pp_node a.sdg)
+                        s.Slicer.wit_node));
+                  ("kind",
+                   (match s.Slicer.wit_kind with
+                   | None -> Null
+                   | Some k -> Str (Sdg.edge_kind_to_string k)));
+                  ("budget", Int s.Slicer.wit_budget);
+                  ("dist", Int s.Slicer.wit_dist) ])
+            steps)) ]
+
 (* All unverified ("tough") casts of the program: the pointer analysis
    cannot prove them safe (section 6.3). *)
 let tough_casts (a : analysis) : (Instr.method_qname * Instr.instr) list =

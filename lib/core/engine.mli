@@ -117,6 +117,93 @@ val inspect_from_line :
   Slicer.mode ->
   Inspect.report
 
+(** {2 Provenance queries}
+
+    Built on {!Slicer.witness}: answer "why is this statement in my
+    slice?" with evidence instead of membership. *)
+
+(** Schema tag of {!report_to_json} / {!witness_to_json} payloads. *)
+val explain_schema_version : string
+
+(** The data-only companion of a mode (drop control dependences, keep
+    every flow edge): [Traditional_full] maps to [Traditional_data], the
+    other modes are their own companion.  This is the boundary between a
+    report's alias-explainer and control-explainer layers. *)
+val data_submode : Slicer.mode -> Slicer.mode
+
+(** [witness_from_line a ~seed_line ~line mode] slices from [seed_line]
+    recording provenance, then returns the dependence path (seed first)
+    by which the slice reached [line] — the target-line node with the
+    smallest (BFS distance, node id) is explained, so the answer is the
+    hop-shortest recorded path and deterministic.  [None] when [line]
+    has nodes but none is a member; raises [No_seed] (carrying the
+    offending line) when either line has no statements.  [jobs > 1] runs
+    the walk in a worker domain — identical result, exercises the
+    provenance scratch's domain safety. *)
+val witness_from_line :
+  ?filter:seed_filter ->
+  ?jobs:int ->
+  analysis ->
+  seed_line:int ->
+  line:int ->
+  Slicer.mode ->
+  Slicer.witness_step list option
+
+(** The three layers of an explain report, innermost first: thin-slice
+    members (the paper's producers), members added by base-pointer /
+    index / call-closure flow, members reached only through control
+    dependences. *)
+type explain_layer = Producers | Alias_explainers | Control_explainers
+
+val layer_to_string : explain_layer -> string
+
+type report_line = {
+  rl_loc : string * int;  (** (file, line) *)
+  rl_rank : int;
+      (** min provenance BFS distance over the line's member nodes — the
+          paper's section 5 inspection rank *)
+  rl_layer : explain_layer;
+  rl_explains : (string * int) list;
+      (** member lines this line's non-producer nodes DIRECTLY explain
+          (via {!Expansion.base_defs} / [index_defs] / [call_actuals] /
+          [explain_control]); sorted distinct.  Usually empty for
+          producer lines, but a line hosting both a producer and an
+          explainer node keeps its explanations *)
+}
+
+type slice_report = {
+  sr_seed_line : int;
+  sr_mode : Slicer.mode;
+  sr_layer_sizes : int * int * int;
+      (** (producer, alias-explainer, control-explainer) line counts *)
+  sr_lines : report_line list;  (** sorted by (rank, file, line) *)
+}
+
+(** Layered explain report of the [mode] slice seeded at [line]:
+    members partitioned producers / alias explainers / control
+    explainers (layer boundaries are the thin slice and the
+    {!data_submode} slice), ranked by provenance BFS distance.
+    [jobs > 1] runs the underlying (up to three) walks in parallel
+    worker domains; the report is identical by construction. *)
+val slice_report :
+  ?filter:seed_filter ->
+  ?jobs:int ->
+  analysis ->
+  line:int ->
+  Slicer.mode ->
+  slice_report
+
+(** [thinslice.explain/v1] encodings (see README "Explaining slices"). *)
+val report_to_json : slice_report -> Slice_obs.Json.t
+
+val witness_to_json :
+  analysis ->
+  seed_line:int ->
+  line:int ->
+  Slicer.mode ->
+  Slicer.witness_step list ->
+  Slice_obs.Json.t
+
 (** Downcasts the pointer analysis cannot prove safe — the "tough casts"
     of the paper's section 6.3. *)
 val tough_casts : analysis -> (Instr.method_qname * Instr.instr) list

@@ -13,6 +13,8 @@ type report = {
   found : bool;                (* were all desired statements discovered? *)
   slice_size : int;            (* total statements in the full slice *)
   order : (string * int) list; (* (file, line) in inspection order *)
+  order_depths : int list;     (* BFS layer each counted line first appears
+                                  in; parallel to [order] *)
 }
 
 let pp_report ppf r =
@@ -26,6 +28,8 @@ let bfs (g : Sdg.t) ~(seeds : Sdg.node list) ~(desired : int list)
   let best : (Sdg.node, int) Hashtbl.t = Hashtbl.create 256 in
   let counted : (string * int, unit) Hashtbl.t = Hashtbl.create 64 in
   let order = ref [] in
+  let depths = ref [] in
+  let depth = ref 0 in
   let remaining = ref (List.sort_uniq compare desired) in
   let inspected_when_found = ref None in
   let count_node n =
@@ -35,6 +39,7 @@ let bfs (g : Sdg.t) ~(seeds : Sdg.node list) ~(desired : int list)
       if not (Hashtbl.mem counted key) then begin
         Hashtbl.replace counted key ();
         order := key :: !order;
+        depths := !depth :: !depths;
         remaining := List.filter (fun l -> l <> loc.Slice_ir.Loc.line) !remaining;
         if !remaining = [] && !inspected_when_found = None then
           inspected_when_found := Some (Hashtbl.length counted)
@@ -63,10 +68,12 @@ let bfs (g : Sdg.t) ~(seeds : Sdg.node list) ~(desired : int list)
             | `Follow -> push dep budget
             | `Costly -> if budget > 0 then push dep (budget - 1)
             | `Skip -> ()))
-      current
+      current;
+    incr depth
   done;
   let slice_size = Hashtbl.length counted in
+  let order = List.rev !order and order_depths = List.rev !depths in
   match !inspected_when_found with
-  | Some k -> { inspected = k; found = true; slice_size; order = List.rev !order }
+  | Some k -> { inspected = k; found = true; slice_size; order; order_depths }
   | None ->
-    { inspected = slice_size; found = false; slice_size; order = List.rev !order }
+    { inspected = slice_size; found = false; slice_size; order; order_depths }

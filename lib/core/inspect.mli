@@ -13,6 +13,11 @@ type report = {
   slice_size : int; (** total statements in the full slice *)
   order : (string * int) list;
       (** (file, line) in inspection order, for debugging metrics *)
+  order_depths : int list;
+      (** the BFS layer each counted line first appears in, parallel to
+          [order] — in budget-free modes this is exactly the
+          {!Slicer.distance} provenance rank of the line's closest
+          countable node *)
 }
 
 val pp_report : Format.formatter -> report -> unit

@@ -661,14 +661,33 @@ let num_scalar_statements (g : t) : int =
   done;
   Hashtbl.length seen
 
-(* DOT export for documentation and debugging. *)
-let to_dot (g : t) : string =
+(* DOT export for documentation and debugging.  [witness] is a dependence
+   path as (node, arrival kind) steps, seed first; its nodes and exactly
+   the hop edges (predecessor -> step, with the step's arrival kind) are
+   highlighted so the path stands out of the full graph. *)
+let to_dot ?(witness : (node * edge_kind option) list = []) (g : t) : string =
+  let wit_nodes = Hashtbl.create 16 in
+  let wit_edges = Hashtbl.create 16 in
+  let rec mark = function
+    | [] -> ()
+    | (n, _) :: rest ->
+      Hashtbl.replace wit_nodes n ();
+      (match rest with
+      | (m, Some k) :: _ -> Hashtbl.replace wit_edges (n, m, k) ()
+      | _ -> ());
+      mark rest
+  in
+  mark witness;
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "digraph sdg {\n  node [shape=box,fontname=monospace];\n";
   for n = 0 to g.num_nodes - 1 do
+    let hl =
+      if Hashtbl.mem wit_nodes n then ",color=red,penwidth=2.0" else ""
+    in
     Buffer.add_string buf
-      (Printf.sprintf "  n%d [label=%S];\n" n
-         (Format.asprintf "%a" (pp_node g) n))
+      (Printf.sprintf "  n%d [label=%S%s];\n" n
+         (Format.asprintf "%a" (pp_node g) n)
+         hl)
   done;
   for n = 0 to g.num_nodes - 1 do
     deps_iter g n (fun dep kind ->
@@ -678,9 +697,16 @@ let to_dot (g : t) : string =
           | Base_pointer | Index | Call_actual -> "dashed"
           | Control -> "dotted"
         in
+        let hl =
+          if Hashtbl.mem wit_edges (n, dep, kind) then
+            ",color=red,penwidth=2.0"
+          else ""
+        in
         Buffer.add_string buf
-          (Printf.sprintf "  n%d -> n%d [style=%s,label=\"%s\"];\n" n dep style
-             (edge_kind_to_string kind)))
+          (Printf.sprintf "  n%d -> n%d [style=%s,label=\"%s\"%s];\n" n dep
+             style
+             (edge_kind_to_string kind)
+             hl))
   done;
   Buffer.add_string buf "}\n";
   Buffer.contents buf

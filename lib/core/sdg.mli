@@ -38,6 +38,14 @@ val is_producer : edge_kind -> bool
 
 val edge_kind_to_string : edge_kind -> string
 
+(** Edge kinds as dense int tags [0..7] (the packed CSR encoding) and the
+    inverse table.  Exposed so flat side tables — the slicer's provenance
+    scratch, JSON encoders — can store kinds unboxed.
+    [edge_kind_of_tag] raises [Invalid_argument] outside [0..7]. *)
+val edge_kind_tag : edge_kind -> int
+
+val edge_kind_of_tag : int -> edge_kind
+
 type node_desc =
   | Stmt of int * Instr.stmt_id  (** method context, statement *)
   | Formal of int * int          (** method context, parameter index *)
@@ -117,5 +125,10 @@ val nodes_at_line : t -> file:string option -> line:int -> node list
 val num_scalar_statements : t -> int
 
 (** GraphViz export; producer edges solid, explainer edges dashed/dotted
-    (the paper's Figure 3 conventions). *)
-val to_dot : t -> string
+    (the paper's Figure 3 conventions).  [?witness] overlays a dependence
+    path as consecutive [(node, arrival_kind)] steps — seed first, [None]
+    kind at the seed, each later step carrying the kind of the edge from
+    its predecessor: path nodes and exactly those hop edges are
+    highlighted red/bold, which is how [thinslice explain --dot] renders
+    a {!Slicer.witness} on top of the full graph. *)
+val to_dot : ?witness:(node * edge_kind option) list -> t -> string

@@ -36,6 +36,10 @@ let c_slices = Slice_obs.counter "slicer.slices_computed"
 let g_frontier_peak = Slice_obs.gauge "slicer.frontier_peak"
 let h_slice_nodes = Slice_obs.histogram "slicer.slice_nodes"
 
+(* BFS layer of each member at first visit, observed only by the
+   provenance-recording walk (the plain walk stays annotation-free). *)
+let h_bfs_distance = Slice_obs.histogram "slicer.bfs_distance"
+
 let mode_to_string = function
   | Thin -> "thin"
   | Thin_with_aliasing k -> Printf.sprintf "thin+alias%d" k
@@ -191,6 +195,186 @@ let walk_scratch (scratch : scratch)
   done;
   Array.fold_right (fun x acc -> x :: acc) result []
 
+(* ------------------------------------------------------------------ *)
+(* Provenance                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Opt-in side tables recorded by [walk_scratch_prov]: per node, the
+   discovering parent, the kind of the discovering edge (as a
+   [Sdg.edge_kind_tag]), the best remaining aliasing budget on arrival,
+   and the BFS layer at FIRST visit.  Validity is a generation stamp
+   ([pv_stamp.(n) = pv_gen]), so starting a new recorded walk
+   invalidates the previous walk's records in O(1) and the arrays never
+   need clearing; like the walk scratch the tables are grow-only and
+   owned by one domain at a time, but unlike it they are caller-owned
+   and keep their contents AFTER the walk — that is the whole point:
+   [witness] and [distance] read them later.
+
+   The discovery record (parent/kind/budget) follows EVERY budget
+   improvement, not just the first visit.  That keeps the final parent
+   chain replayable under the budget discipline: along the chain the
+   recorded budget of a node is what its (final) parent's push computed
+   from a budget at least as large as the parent's own recorded one, so
+   re-walking the chain never runs out of budget at a `Costly hop.  It
+   also makes parent cycles impossible — a record is only overwritten by
+   a strictly larger budget, and budgets never increase along a path.
+   [pv_dist] stays fixed at first visit, so in budget-free modes (no
+   improvements possible) it IS the BFS layer of [Inspect.bfs]. *)
+type provenance = {
+  mutable pv_cap : int;
+  mutable pv_parent : int array;  (* discovering node; -1 at a seed *)
+  mutable pv_kind : int array;    (* edge_kind_tag of the discovering edge; -1 at a seed *)
+  mutable pv_budget : int array;  (* best remaining budget on arrival *)
+  mutable pv_dist : int array;    (* BFS layer at first visit *)
+  mutable pv_stamp : int array;   (* entry valid iff = pv_gen *)
+  mutable pv_gen : int;
+  mutable pv_mode : mode option;  (* mode of the last recorded walk *)
+}
+
+let create_provenance (g : Sdg.t) : provenance =
+  let n = max 1 (Sdg.num_nodes g) in
+  { pv_cap = n;
+    pv_parent = Array.make n (-1);
+    pv_kind = Array.make n (-1);
+    pv_budget = Array.make n 0;
+    pv_dist = Array.make n 0;
+    pv_stamp = Array.make n 0;
+    pv_gen = 0;
+    pv_mode = None }
+
+(* Growth only ever happens at the start of a recorded walk, which then
+   bumps [pv_gen] past every (zero) stamp of the fresh arrays, so old
+   records need no copying — they are invalidated anyway. *)
+let ensure_prov_capacity (p : provenance) (n : int) : unit =
+  if p.pv_cap < n then begin
+    p.pv_cap <- n;
+    p.pv_parent <- Array.make n (-1);
+    p.pv_kind <- Array.make n (-1);
+    p.pv_budget <- Array.make n 0;
+    p.pv_dist <- Array.make n 0;
+    p.pv_stamp <- Array.make n 0
+  end
+
+(* [walk_scratch] with provenance recording.  A separate copy of the loop
+   rather than a branch inside [push]: the plain walk is the production
+   hot path and must not pay for a feature that is off. *)
+let walk_scratch_prov (scratch : scratch) (prov : provenance)
+    (iter : Sdg.t -> Sdg.node -> (Sdg.node -> Sdg.edge_kind -> unit) -> unit)
+    (g : Sdg.t) ~(seeds : Sdg.node list) (mode : mode) : Sdg.node list =
+  Slice_obs.bump c_slices;
+  let n = Sdg.num_nodes g in
+  ensure_capacity scratch n;
+  ensure_prov_capacity prov n;
+  prov.pv_gen <- prov.pv_gen + 1;
+  prov.pv_mode <- Some mode;
+  let gen = prov.pv_gen in
+  let parent = prov.pv_parent and kindt = prov.pv_kind in
+  let budg = prov.pv_budget and dist = prov.pv_dist in
+  let stamp = prov.pv_stamp in
+  let best = scratch.best and queued = scratch.queued and ring = scratch.ring in
+  let touched = scratch.touched in
+  let slots = Array.length ring in
+  let head = ref 0 and tail = ref 0 and count = ref 0 and peak = ref 0 in
+  let tcount = ref 0 in
+  let push node budget par ktag =
+    let b1 = budget + 1 in
+    if Char.code (Bytes.unsafe_get best node) < b1 then begin
+      if Bytes.unsafe_get best node = '\000' then begin
+        Array.unsafe_set touched !tcount node;
+        incr tcount;
+        let d = if par < 0 then 0 else Array.unsafe_get dist par + 1 in
+        Array.unsafe_set dist node d;
+        Array.unsafe_set stamp node gen;
+        Slice_obs.observe h_bfs_distance (float_of_int d)
+      end;
+      Array.unsafe_set parent node par;
+      Array.unsafe_set kindt node ktag;
+      Array.unsafe_set budg node budget;
+      Bytes.unsafe_set best node (Char.unsafe_chr b1);
+      if Slice_util.Bits.add queued node then begin
+        Array.unsafe_set ring !tail node;
+        tail := (!tail + 1) mod slots;
+        incr count;
+        if !count > !peak then peak := !count
+      end
+    end
+  in
+  let k0 = initial_budget mode in
+  List.iter (fun s -> push s k0 (-1) (-1)) seeds;
+  while !count > 0 do
+    let node = Array.unsafe_get ring !head in
+    head := (!head + 1) mod slots;
+    decr count;
+    Slice_util.Bits.remove queued node;
+    let budget = Char.code (Bytes.unsafe_get best node) - 1 in
+    Slice_obs.bump c_nodes_visited;
+    iter g node (fun dep kind ->
+        match edge_policy mode kind with
+        | `Follow ->
+          Slice_obs.bump c_edges_followed;
+          push dep budget node (Sdg.edge_kind_tag kind)
+        | `Costly ->
+          if budget > 0 then begin
+            Slice_obs.bump c_edges_costly;
+            Slice_obs.bump c_budget_spent;
+            push dep (budget - 1) node (Sdg.edge_kind_tag kind)
+          end
+          else Slice_obs.bump c_edges_skipped
+        | `Skip -> Slice_obs.bump c_edges_skipped)
+  done;
+  Slice_obs.max_gauge g_frontier_peak (float_of_int !peak);
+  let size = !tcount in
+  Slice_obs.observe h_slice_nodes (float_of_int size);
+  let result = Array.sub touched 0 size in
+  Array.sort (fun (a : int) b -> compare a b) result;
+  for i = 0 to size - 1 do
+    Bytes.unsafe_set best (Array.unsafe_get touched i) '\000'
+  done;
+  Array.fold_right (fun x acc -> x :: acc) result []
+
+(* A node has a valid record iff a recorded walk has run ([pv_mode]
+   guards the fresh-provenance case where every zero stamp would equal
+   the zero generation) and the node was stamped by the LAST one. *)
+let prov_member (p : provenance) (node : Sdg.node) : bool =
+  p.pv_mode <> None
+  && node >= 0
+  && node < p.pv_cap
+  && p.pv_stamp.(node) = p.pv_gen
+
+let provenance_mode (p : provenance) : mode option = p.pv_mode
+
+let distance (p : provenance) (node : Sdg.node) : int option =
+  if prov_member p node then Some p.pv_dist.(node) else None
+
+type witness_step = {
+  wit_node : Sdg.node;
+  wit_kind : Sdg.edge_kind option;
+      (* edge from the PREVIOUS step to this one; None at the seed *)
+  wit_budget : int;  (* remaining aliasing budget on arrival *)
+  wit_dist : int;    (* BFS layer at first visit *)
+}
+
+(* Reconstruct the dependence path seed -> [node] by reversing the parent
+   chain.  Each step depends on the NEXT one via the next step's
+   [wit_kind] (the walk traverses dependences backwards, so the parent is
+   always one hop closer to the seed). *)
+let witness (p : provenance) (node : Sdg.node) : witness_step list option =
+  if not (prov_member p node) then None
+  else begin
+    let rec build n acc =
+      let ktag = p.pv_kind.(n) in
+      let step =
+        { wit_node = n;
+          wit_kind = (if ktag < 0 then None else Some (Sdg.edge_kind_of_tag ktag));
+          wit_budget = p.pv_budget.(n);
+          wit_dist = p.pv_dist.(n) }
+      in
+      let par = p.pv_parent.(n) in
+      if par < 0 then step :: acc else build par (step :: acc)
+    in
+    Some (build node [])
+  end
+
 (* One scratch per DOMAIN, lazily created and grown, shared by all slices
    in that domain that do not pass an explicit [?scratch]: within a
    domain slicing is not re-entrant (edge callbacks never start another
@@ -224,19 +408,44 @@ let resolve_scratch ?scratch (g : Sdg.t) : scratch =
     s
   | None -> get_scratch g
 
-let slice ?scratch (g : Sdg.t) ~(seeds : Sdg.node list) (mode : mode) :
+(* The walk function an entry point runs: the plain hot path, or the
+   provenance-recording copy when the caller passed a [?prov] handle. *)
+let walk_for ?prov scratch iter g ~seeds mode =
+  match prov with
+  | None -> walk_scratch scratch iter g ~seeds mode
+  | Some p -> walk_scratch_prov scratch p iter g ~seeds mode
+
+(* Per-query span annotations: the mode up front, the result size once
+   known — this is what makes a Chrome trace attributable to a QUERY
+   instead of a row of anonymous "slicer.slice" bars. *)
+let annotate_size (result : Sdg.node list) : Sdg.node list =
+  if Slice_obs.enabled () then
+    Slice_obs.add_span_arg "nodes" (string_of_int (List.length result));
+  result
+
+let slice ?scratch ?prov (g : Sdg.t) ~(seeds : Sdg.node list) (mode : mode) :
     Sdg.node list =
-  Slice_obs.span "slicer.slice" (fun () ->
-      walk_scratch (resolve_scratch ?scratch g) Sdg.deps_iter g ~seeds mode)
+  Slice_obs.span
+    ~args:[ ("mode", mode_to_string mode) ]
+    "slicer.slice"
+    (fun () ->
+      annotate_size
+        (walk_for ?prov (resolve_scratch ?scratch g) Sdg.deps_iter g ~seeds
+           mode))
 
 (* Forward slicing: which statements CONSUME the value a seed produces?
    Same edge discipline as backward slicing, traversed over use-edges.
    Useful for impact analysis ("if I change this line, which outputs can
    move?") — the dual of the paper's backward producer chains. *)
-let forward_slice ?scratch (g : Sdg.t) ~(seeds : Sdg.node list) (mode : mode) :
-    Sdg.node list =
-  Slice_obs.span "slicer.forward" (fun () ->
-      walk_scratch (resolve_scratch ?scratch g) Sdg.uses_iter g ~seeds mode)
+let forward_slice ?scratch ?prov (g : Sdg.t) ~(seeds : Sdg.node list)
+    (mode : mode) : Sdg.node list =
+  Slice_obs.span
+    ~args:[ ("mode", mode_to_string mode) ]
+    "slicer.forward"
+    (fun () ->
+      annotate_size
+        (walk_for ?prov (resolve_scratch ?scratch g) Sdg.uses_iter g ~seeds
+           mode))
 
 (* Many slices over one (frozen) graph, one scratch allocation.  The
    per-seed walks reuse the byte arrays and the ring; only the result

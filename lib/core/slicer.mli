@@ -46,18 +46,69 @@ type scratch
 (** A scratch sized for [g] (grow-only; any graph may use it later). *)
 val create_scratch : Sdg.t -> scratch
 
+(** {2 Provenance}
+
+    Opt-in per-walk evidence: flat side tables (discovering parent node,
+    discovering edge kind, remaining aliasing budget on arrival, BFS
+    layer at first visit) recorded when a traversal entry point is given
+    a [?prov] handle.  Grow-only and generation-stamped — a new recorded
+    walk invalidates the previous one's records in O(1) — and, unlike
+    {!scratch}, caller-owned and readable AFTER the walk via {!witness}
+    and {!distance}.  Domain discipline is the same as for scratches:
+    never share a handle between two domains at once.  Walks without
+    [?prov] run the untouched hot path and pay nothing. *)
+type provenance
+
+(** A provenance sized for [g] (grow-only; any graph may use it later). *)
+val create_provenance : Sdg.t -> provenance
+
+(** Mode of the last recorded walk, [None] if none has run yet. *)
+val provenance_mode : provenance -> mode option
+
+(** BFS layer of a node in the last recorded walk ([Some 0] exactly for
+    seeds), [None] when the node was not a member of that slice.  In
+    budget-free modes this equals the {!Inspect} layer index. *)
+val distance : provenance -> Sdg.node -> int option
+
+(** One step of a witness path.  [wit_kind] is the kind of the dependence
+    edge from the PREVIOUS step to this one ([None] at the seed);
+    [wit_budget] the best remaining aliasing budget on arrival;
+    [wit_dist] the BFS layer at first visit. *)
+type witness_step = {
+  wit_node : Sdg.node;
+  wit_kind : Sdg.edge_kind option;
+  wit_budget : int;
+  wit_dist : int;
+}
+
+(** The dependence path by which the last recorded walk reached [node]:
+    seed first, queried node last, each step depending on the next via
+    the next step's [wit_kind] (for a backward walk; a forward walk's
+    path reads in the reverse dependence direction).  The recorded chain
+    replays under the walk's budget discipline — every `Costly hop had
+    budget — because discovery records follow every budget improvement.
+    [None] when [node] was not in the last recorded slice (so
+    [witness p n <> None] iff [n] is a member). *)
+val witness : provenance -> Sdg.node -> witness_step list option
+
 (** Backward slice: every node the seeds transitively depend on under the
     mode's edge discipline, sorted.  The walk runs over
     {!Sdg.deps_iter} — allocation-free flat CSR arrays once the graph is
     frozen — with a byte-array budget/visited table and an entry-unique
     int ring deque (each node occupies at most one queue slot; a budget
-    improvement for a queued node only updates the table). *)
-val slice : ?scratch:scratch -> Sdg.t -> seeds:Sdg.node list -> mode -> Sdg.node list
+    improvement for a queued node only updates the table).  [?prov]
+    switches to the provenance-recording copy of the walk. *)
+val slice :
+  ?scratch:scratch ->
+  ?prov:provenance ->
+  Sdg.t -> seeds:Sdg.node list -> mode -> Sdg.node list
 
 (** Forward slice: every node that transitively consumes the seeds' values
     — impact analysis, the dual of the paper's backward producer chains. *)
 val forward_slice :
-  ?scratch:scratch -> Sdg.t -> seeds:Sdg.node list -> mode -> Sdg.node list
+  ?scratch:scratch ->
+  ?prov:provenance ->
+  Sdg.t -> seeds:Sdg.node list -> mode -> Sdg.node list
 
 (** Many backward slices over one graph with a single scratch-buffer
     allocation: freeze the graph once, then call this with one seed set

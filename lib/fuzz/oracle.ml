@@ -207,6 +207,95 @@ let battery ?(fault = No_fault) ~(src : string) ~(seed_lines : int list) () :
                  (Slicer.mode_to_string m) (List.length ffast)
                  (List.length frefr)))
         modes;
+    (* ---------------- witness provenance ---------------- *)
+    (* The provenance layer promises, per mode: a witness exists for a
+       node iff the node is a slice member, and every witness is a REAL
+       dependence path — it starts at a seed (kind-less, distance 0),
+       ends at the queried node, every hop is an existing SDG edge of
+       the recorded kind, no hop uses a kind the mode's edge policy
+       skips, and replaying the hops never exhausts the aliasing
+       budget. *)
+    if seed_nodes <> [] then begin
+      let seed_set = IntSet.of_list seed_nodes in
+      List.iter
+        (fun m ->
+          let ms = Slicer.mode_to_string m in
+          let prov = Slicer.create_provenance sdg in
+          let members = Slicer.slice ~prov sdg ~seeds:seed_nodes m in
+          let mem_set = IntSet.of_list members in
+          let validate (nd : int) (steps : Slicer.witness_step list) =
+            match steps with
+            | [] -> viol "witness_path" (Printf.sprintf "%s: empty path" ms)
+            | first :: rest ->
+              if not (IntSet.mem first.Slicer.wit_node seed_set) then
+                viol "witness_path"
+                  (Printf.sprintf "%s: path for %d starts at non-seed %d" ms
+                     nd first.Slicer.wit_node);
+              if first.Slicer.wit_kind <> None then
+                viol "witness_path"
+                  (Printf.sprintf "%s: seed step of %d carries an edge kind"
+                     ms nd);
+              if first.Slicer.wit_dist <> 0 then
+                viol "witness_path"
+                  (Printf.sprintf "%s: seed step of %d has distance %d" ms nd
+                     first.Slicer.wit_dist);
+              (match List.rev steps with
+              | last :: _ when last.Slicer.wit_node <> nd ->
+                viol "witness_path"
+                  (Printf.sprintf "%s: path for %d ends at %d" ms nd
+                     last.Slicer.wit_node)
+              | _ -> ());
+              let rec go (a : Slicer.witness_step) rb = function
+                | [] -> ()
+                | (b : Slicer.witness_step) :: rest -> (
+                  match b.Slicer.wit_kind with
+                  | None ->
+                    viol "witness_path"
+                      (Printf.sprintf "%s: interior step %d without a kind"
+                         ms b.Slicer.wit_node)
+                  | Some k ->
+                    if
+                      not
+                        (List.exists
+                           (fun (d, kk) -> d = b.Slicer.wit_node && kk = k)
+                           (Sdg.deps sdg a.Slicer.wit_node))
+                    then
+                      viol "witness_path"
+                        (Printf.sprintf "%s: no %s edge %d -> %d in the SDG"
+                           ms
+                           (Sdg.edge_kind_to_string k)
+                           a.Slicer.wit_node b.Slicer.wit_node);
+                    (match Slicer.edge_policy m k with
+                    | `Skip ->
+                      viol "witness_path"
+                        (Printf.sprintf
+                           "%s: path uses %s edge the mode skips" ms
+                           (Sdg.edge_kind_to_string k))
+                    | `Follow -> go b rb rest
+                    | `Costly ->
+                      if rb <= 0 then
+                        viol "witness_path"
+                          (Printf.sprintf
+                             "%s: budget exhausted at hop %d -> %d" ms
+                             a.Slicer.wit_node b.Slicer.wit_node)
+                      else go b (rb - 1) rest))
+              in
+              go first (Slicer.initial_budget m) rest
+          in
+          for nd = 0 to Sdg.num_nodes sdg - 1 do
+            match Slicer.witness prov nd with
+            | None ->
+              if IntSet.mem nd mem_set then
+                viol "witness_coverage"
+                  (Printf.sprintf "%s: member %d has no witness" ms nd)
+            | Some steps ->
+              if not (IntSet.mem nd mem_set) then
+                viol "witness_coverage"
+                  (Printf.sprintf "%s: non-member %d has a witness" ms nd)
+              else validate nd steps
+          done)
+        modes
+    end;
     (* ---------------- parallel batch parity ---------------- *)
     if seed_nodes <> [] then
       List.iter

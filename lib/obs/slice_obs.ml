@@ -37,14 +37,18 @@ type span_tree = {
   sp_start : float;
   sp_wall : float;
   sp_minor_words : float;
+  sp_args : (string * string) list;
   sp_children : span_tree list;
 }
 
-(* Open spans carry mutable fields; finished trees are immutable. *)
+(* Open spans carry mutable fields; finished trees are immutable.
+   [os_args] collects annotations: the ones passed at open time plus any
+   appended by [add_span_arg] while the span is running (reversed). *)
 type open_span = {
   os_name : string;
   os_start : float;                       (* seconds since [epoch] *)
   os_minor0 : float;
+  mutable os_args : (string * string) list;
   mutable os_done : span_tree list;       (* finished children, reversed *)
 }
 
@@ -52,11 +56,65 @@ type open_span = {
 (* The per-domain registry                                             *)
 (* ------------------------------------------------------------------ *)
 
+(* Histograms keep, beyond count/sum/min/max, a fixed array of
+   log-scaled bucket counts so any sink can estimate percentiles without
+   storing samples.  Geometry (shared by every histogram, so buckets are
+   mergeable element-wise across scopes and domains): bucket 0 catches
+   v <= 2^hist_min_exp (including 0 and negatives); bucket i (1-based)
+   catches values up to 2^(hist_min_exp + i/hist_sub) — [hist_sub]
+   sub-buckets per octave, so any estimate is within a factor of
+   2^(1/hist_sub) ~ 19% of the exact quantile; the last bucket is an
+   overflow catch-all.  The range 2^-30 .. 2^30 covers nanosecond walls
+   up to giga-counts. *)
+let hist_min_exp = -30
+let hist_max_exp = 30
+let hist_sub = 4
+let hist_buckets = ((hist_max_exp - hist_min_exp) * hist_sub) + 2
+
+let bucket_of_value (v : float) : int =
+  if not (v > ldexp 1.0 hist_min_exp) then 0
+  else
+    let i = 1 + int_of_float (Float.floor ((Float.log2 v -. float_of_int hist_min_exp) *. float_of_int hist_sub)) in
+    if i >= hist_buckets - 1 then hist_buckets - 1 else i
+
+(* Representative value of a bucket: its upper bound (0 for the underflow
+   bucket; the overflow bucket reports its lower bound — the geometry has
+   no upper bound there). *)
+let bucket_value (i : int) : float =
+  if i <= 0 then 0.
+  else
+    let i = min i (hist_buckets - 1) in
+    Float.exp2 (float_of_int hist_min_exp +. (float_of_int i /. float_of_int hist_sub))
+
+(* Estimated q-quantile (q in [0,1]) of a bucket-count array: the
+   representative value of the first bucket at which the cumulative count
+   reaches ceil(q * count) (at least 1).  Deterministic, and exact up to
+   the bucket width.  0 when the histogram is empty. *)
+let percentile ~(count : int) ~(buckets : int array) (q : float) : float =
+  if count <= 0 then 0.
+  else begin
+    let q = Float.max 0. (Float.min 1. q) in
+    let target = max 1 (int_of_float (Float.ceil (q *. float_of_int count))) in
+    let cum = ref 0 and found = ref (hist_buckets - 1) in
+    (try
+       Array.iteri
+         (fun i c ->
+           cum := !cum + c;
+           if !cum >= target then begin
+             found := i;
+             raise Exit
+           end)
+         buckets
+     with Exit -> ());
+    bucket_value !found
+  end
+
 type hist_cell = {
   mutable h_count : int;
   mutable h_sum : float;
   mutable h_min : float;
   mutable h_max : float;
+  h_buckets : int array;   (* hist_buckets log-scaled bucket counts *)
 }
 
 type registry = {
@@ -111,7 +169,10 @@ let hist_cell (reg : registry) (name : string) : hist_cell =
   match Hashtbl.find_opt reg.reg_hists name with
   | Some h -> h
   | None ->
-    let h = { h_count = 0; h_sum = 0.; h_min = 0.; h_max = 0. } in
+    let h =
+      { h_count = 0; h_sum = 0.; h_min = 0.; h_max = 0.;
+        h_buckets = Array.make hist_buckets 0 }
+    in
     Hashtbl.replace reg.reg_hists name h;
     h
 
@@ -192,7 +253,9 @@ let observe_cell (h : hist_cell) (v : float) : unit =
     if v > h.h_max then h.h_max <- v
   end;
   h.h_count <- h.h_count + 1;
-  h.h_sum <- h.h_sum +. v
+  h.h_sum <- h.h_sum +. v;
+  let b = bucket_of_value v in
+  h.h_buckets.(b) <- h.h_buckets.(b) + 1
 
 let observe (h : histogram) (v : float) : unit =
   observe_cell (Domain.DLS.get h) v
@@ -200,6 +263,10 @@ let observe (h : histogram) (v : float) : unit =
 let hist_cell_stats (h : hist_cell) = (h.h_count, h.h_sum, h.h_min, h.h_max)
 
 let histogram_stats (h : histogram) = hist_cell_stats (Domain.DLS.get h)
+
+let histogram_percentile (h : histogram) (q : float) : float =
+  let c = Domain.DLS.get h in
+  percentile ~count:c.h_count ~buckets:c.h_buckets q
 
 (* ------------------------------------------------------------------ *)
 (* Spans                                                               *)
@@ -214,6 +281,7 @@ let close_span (reg : registry) (os : open_span) : unit =
       sp_start = os.os_start;
       sp_wall = now () -. os.os_start;
       sp_minor_words = Gc.minor_words () -. os.os_minor0;
+      sp_args = List.rev os.os_args;
       sp_children = List.rev os.os_done }
   in
   (match reg.reg_stack with
@@ -225,7 +293,8 @@ let close_span (reg : registry) (os : open_span) : unit =
   | parent :: _ -> parent.os_done <- tree :: parent.os_done
   | [] -> reg.reg_roots <- tree :: reg.reg_roots
 
-let span (name : string) (f : unit -> 'a) : 'a =
+let span ?(args : (string * string) list = []) (name : string)
+    (f : unit -> 'a) : 'a =
   if not (Atomic.get enabled_flag) then f ()
   else begin
     let reg = current_registry () in
@@ -233,6 +302,7 @@ let span (name : string) (f : unit -> 'a) : 'a =
       { os_name = name;
         os_start = now ();
         os_minor0 = Gc.minor_words ();
+        os_args = List.rev args;
         os_done = [] }
     in
     reg.reg_stack <- os :: reg.reg_stack;
@@ -240,6 +310,16 @@ let span (name : string) (f : unit -> 'a) : 'a =
        to close against is [reg] *)
     Fun.protect ~finally:(fun () -> close_span reg os) f
   end
+
+(* Annotate the innermost OPEN span of the calling domain with a fact
+   discovered while it runs (e.g. the slice size, known only after the
+   walk).  No-op when spans are disabled or none is open — safe to call
+   unconditionally from library code. *)
+let add_span_arg (key : string) (value : string) : unit =
+  if Atomic.get enabled_flag then
+    match (current_registry ()).reg_stack with
+    | os :: _ -> os.os_args <- (key, value) :: os.os_args
+    | [] -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Snapshot                                                            *)
@@ -249,6 +329,7 @@ type snapshot = {
   snap_counters : (string * int) list;
   snap_gauges : (string * float) list;
   snap_hists : (string * (int * float * float * float)) list;
+  snap_hist_buckets : (string * int array) list;
   snap_spans : span_tree list;
 }
 
@@ -265,13 +346,23 @@ let snapshot () : snapshot =
   { snap_counters = sorted_bindings reg.reg_counters (fun c -> !c);
     snap_gauges = sorted_bindings reg.reg_gauges (fun g -> !g);
     snap_hists = sorted_bindings reg.reg_hists hist_cell_stats;
+    snap_hist_buckets =
+      sorted_bindings reg.reg_hists (fun h -> Array.copy h.h_buckets);
     snap_spans = List.rev reg.reg_roots }
+
+let snapshot_percentile (s : snapshot) (name : string) (q : float) : float =
+  match
+    (List.assoc_opt name s.snap_hists, List.assoc_opt name s.snap_hist_buckets)
+  with
+  | Some (count, _, _, _), Some buckets -> percentile ~count ~buckets q
+  | _ -> 0.
 
 let zero_hist (h : hist_cell) : unit =
   h.h_count <- 0;
   h.h_sum <- 0.;
   h.h_min <- 0.;
-  h.h_max <- 0.
+  h.h_max <- 0.;
+  Array.fill h.h_buckets 0 hist_buckets 0
 
 let reset () : unit =
   let reg = current_registry () in
@@ -281,9 +372,11 @@ let reset () : unit =
   reg.reg_roots <- [];
   reg.reg_stack <- []
 
-(* Merge one hist-stats tuple into a cell (counters/gauges have obvious
-   merges inline; histograms share this). *)
-let merge_hist_into (h : hist_cell) (count, sum, mn, mx) : unit =
+(* Merge one hist-stats tuple (and, when available, its bucket counts)
+   into a cell (counters/gauges have obvious merges inline; histograms
+   share this). *)
+let merge_hist_into ?(buckets : int array option) (h : hist_cell)
+    (count, sum, mn, mx) : unit =
   if count > 0 then begin
     if h.h_count = 0 then begin
       h.h_min <- mn;
@@ -294,7 +387,13 @@ let merge_hist_into (h : hist_cell) (count, sum, mn, mx) : unit =
       if mx > h.h_max then h.h_max <- mx
     end;
     h.h_count <- h.h_count + count;
-    h.h_sum <- h.h_sum +. sum
+    h.h_sum <- h.h_sum +. sum;
+    match buckets with
+    | Some b ->
+      for i = 0 to hist_buckets - 1 do
+        h.h_buckets.(i) <- h.h_buckets.(i) + b.(i)
+      done
+    | None -> ()
   end
 
 (* Fold a snapshot captured elsewhere — typically in a worker domain that
@@ -319,7 +418,10 @@ let merge_snapshot (s : snapshot) : unit =
       if v > !g then g := v)
     s.snap_gauges;
   List.iter
-    (fun (name, stats) -> merge_hist_into (hist_cell reg name) stats)
+    (fun (name, stats) ->
+      merge_hist_into
+        ?buckets:(List.assoc_opt name s.snap_hist_buckets)
+        (hist_cell reg name) stats)
     s.snap_hists;
   if s.snap_spans <> [] then begin
     let rev_spans = List.rev s.snap_spans in
@@ -349,19 +451,21 @@ let scoped (f : unit -> 'a) : 'a * snapshot =
   in
   let saved_hists =
     Hashtbl.fold
-      (fun _ h acc -> (h, hist_cell_stats h) :: acc)
+      (fun _ h acc -> (h, hist_cell_stats h, Array.copy h.h_buckets) :: acc)
       reg.reg_hists []
   in
   List.iter (fun (c, _) -> c := 0) saved_counters;
   List.iter (fun (g, _) -> g := 0.) saved_gauges;
-  List.iter (fun (h, _) -> zero_hist h) saved_hists;
+  List.iter (fun (h, _, _) -> zero_hist h) saved_hists;
   let saved_roots = reg.reg_roots and saved_stack = reg.reg_stack in
   reg.reg_roots <- [];
   reg.reg_stack <- [];
   let restore () =
     List.iter (fun (c, v) -> c := !c + v) saved_counters;
     List.iter (fun (g, v) -> if v > !g then g := v) saved_gauges;
-    List.iter (fun (h, stats) -> merge_hist_into h stats) saved_hists;
+    List.iter
+      (fun (h, stats, buckets) -> merge_hist_into ~buckets h stats)
+      saved_hists;
     let inner_roots = reg.reg_roots in
     reg.reg_stack <- saved_stack;
     (match saved_stack with
@@ -652,11 +756,16 @@ end
 
 let rec span_to_json (sp : span_tree) : Json.t =
   Json.Obj
-    [ ("name", Json.Str sp.sp_name);
-      ("start_s", Json.Float sp.sp_start);
-      ("wall_s", Json.Float sp.sp_wall);
-      ("minor_words", Json.Float sp.sp_minor_words);
-      ("children", Json.List (List.map span_to_json sp.sp_children)) ]
+    ([ ("name", Json.Str sp.sp_name);
+       ("start_s", Json.Float sp.sp_start);
+       ("wall_s", Json.Float sp.sp_wall);
+       ("minor_words", Json.Float sp.sp_minor_words) ]
+    @ (if sp.sp_args = [] then []
+       else
+         [ ( "args",
+             Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) sp.sp_args) )
+         ])
+    @ [ ("children", Json.List (List.map span_to_json sp.sp_children)) ])
 
 let snapshot_to_json (s : snapshot) : Json.t =
   Json.Obj
@@ -710,13 +819,17 @@ let report (s : snapshot) : string =
       s.snap_gauges
   end;
   if List.exists (fun (_, (c, _, _, _)) -> c <> 0) s.snap_hists then begin
-    Buffer.add_string buf "histograms (count/sum/min/max):\n";
+    Buffer.add_string buf
+      "histograms (count/sum/min/max | ~p50/p90/p99):\n";
     List.iter
       (fun (k, (count, sum, mn, mx)) ->
-        if count <> 0 then
+        if count <> 0 then begin
+          let p q = snapshot_percentile s k q in
           Buffer.add_string buf
-            (Printf.sprintf "  %-40s %8d %10.1f %10.1f %10.1f\n" k count sum mn
-               mx))
+            (Printf.sprintf
+               "  %-40s %8d %10.1f %10.1f %10.1f | %10.1f %10.1f %10.1f\n" k
+               count sum mn mx (p 0.50) (p 0.90) (p 0.99))
+        end)
       s.snap_hists
   end;
   Buffer.contents buf
@@ -733,7 +846,9 @@ let chrome_trace (s : snapshot) : Json.t =
           ("ts", Json.Float (sp.sp_start *. 1e6));
           ("dur", Json.Float (sp.sp_wall *. 1e6));
           ("args",
-           Json.Obj [ ("minor_words", Json.Float sp.sp_minor_words) ]) ]
+           Json.Obj
+             (("minor_words", Json.Float sp.sp_minor_words)
+             :: List.map (fun (k, v) -> (k, Json.Str v)) sp.sp_args)) ]
       :: !events;
     List.iter visit sp.sp_children
   in

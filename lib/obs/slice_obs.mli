@@ -80,6 +80,34 @@ val observe : histogram -> float -> unit
     0 when the histogram is empty. *)
 val histogram_stats : histogram -> int * float * float * float
 
+(** {2 Percentile estimation}
+
+    Every histogram additionally keeps a fixed array of log-scaled
+    bucket counts ({!hist_buckets} buckets: one underflow bucket for
+    values [<= 2^-30] including 0 and negatives, then [hist_sub = 4]
+    sub-buckets per octave up to [2^30], then one overflow bucket).
+    Quantile estimates are the representative (upper-bound) value of the
+    first bucket where the cumulative count reaches the target rank, so
+    they are exact to within a factor of [2^(1/4) ~ 19%].  Buckets share
+    one global geometry, so they merge element-wise across {!scoped}
+    restores and {!merge_snapshot}. *)
+
+val hist_buckets : int
+
+(** Bucket index a value lands in (total order; exposed for tests). *)
+val bucket_of_value : float -> int
+
+(** Representative value reported for a bucket (exposed for tests). *)
+val bucket_value : int -> float
+
+(** [percentile ~count ~buckets q] estimates the q-quantile (q clamped
+    to [0,1]) of [count] observations distributed over [buckets]; 0 when
+    empty. *)
+val percentile : count:int -> buckets:int array -> float -> float
+
+(** q-quantile estimate of the calling domain's cell for [h]. *)
+val histogram_percentile : histogram -> float -> float
+
 (* ------------------------------------------------------------------ *)
 (* Trace spans                                                         *)
 (* ------------------------------------------------------------------ *)
@@ -87,14 +115,23 @@ val histogram_stats : histogram -> int * float * float * float
 (** [span name f] runs [f ()] inside a span named [name], recording wall
     time and minor-heap allocation.  Spans nest: a span opened while
     another is running becomes its child.  When disabled this is exactly
-    [f ()].  Exception-safe: the span is closed even if [f] raises. *)
-val span : string -> (unit -> 'a) -> 'a
+    [f ()].  Exception-safe: the span is closed even if [f] raises.
+    [?args] attaches string key/value annotations to the span (e.g. the
+    query's seed and mode), surfaced by the JSON and Chrome-trace
+    sinks. *)
+val span : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+
+(** Append a key/value annotation to the innermost OPEN span of the
+    calling domain (no-op when disabled or outside any span) — for facts
+    only known mid-span, like the final slice size. *)
+val add_span_arg : string -> string -> unit
 
 type span_tree = {
   sp_name : string;
   sp_start : float;           (** seconds since process telemetry epoch *)
   sp_wall : float;            (** wall-clock duration, seconds *)
   sp_minor_words : float;     (** minor-heap words allocated inside *)
+  sp_args : (string * string) list;  (** annotations, in addition order *)
   sp_children : span_tree list;
 }
 
@@ -106,12 +143,18 @@ type snapshot = {
   snap_counters : (string * int) list;                       (** sorted *)
   snap_gauges : (string * float) list;                       (** sorted *)
   snap_hists : (string * (int * float * float * float)) list;
+  snap_hist_buckets : (string * int array) list;
+      (** per-histogram log-bucket counts, same keys as [snap_hists] *)
   snap_spans : span_tree list;    (** completed top-level spans, in order *)
 }
 
 (** Capture the current state of the calling domain's registry and its
     completed spans. *)
 val snapshot : unit -> snapshot
+
+(** q-quantile estimate for the named histogram of a snapshot; 0 when
+    the histogram is absent or empty. *)
+val snapshot_percentile : snapshot -> string -> float -> float
 
 (** [scoped f] isolates what [f] records: the calling domain's registry
     is saved and zeroed, [f] runs, and the returned snapshot covers

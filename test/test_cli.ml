@@ -106,6 +106,85 @@ let test_trace_overflow_clean () =
       Alcotest.(check bool) "names the limit" true
         (contains ~needle:"trace event limit" out))
 
+(* --- explain / report ----------------------------------------------- *)
+
+let explain_demo =
+  "void main(String[] args) {\n\
+  \  String s = args[0];\n\
+  \  String t = s + \"!\";\n\
+  \  if (s.length() > 0) {\n\
+  \    print(t);\n\
+  \  }\n\
+   }\n"
+
+let test_explain_member () =
+  skip_if_missing ();
+  with_tj explain_demo (fun path ->
+      let rc, out, err =
+        run_cli (Printf.sprintf "explain %s 2 --seed 5" (Filename.quote path))
+      in
+      Alcotest.(check int) "exit 0" 0 rc;
+      check_clean "explain member" err;
+      Alcotest.(check bool) "path shows the seed step" true
+        (contains ~needle:"seed" out);
+      (* JSON variant carries the schema tag *)
+      let rc, out, err =
+        run_cli
+          (Printf.sprintf "explain %s 2 --seed 5 --json" (Filename.quote path))
+      in
+      Alcotest.(check int) "json exit 0" 0 rc;
+      check_clean "explain --json" err;
+      Alcotest.(check bool) "schema tag" true
+        (contains ~needle:"thinslice.explain/v1" out))
+
+let test_explain_not_in_slice () =
+  skip_if_missing ();
+  with_tj explain_demo (fun path ->
+      (* the if-guard (line 4) is outside the THIN slice of print(t) *)
+      let rc, _, err =
+        run_cli
+          (Printf.sprintf "explain %s 4 --seed 5 --mode thin"
+             (Filename.quote path))
+      in
+      Alcotest.(check int) "exit 1" 1 rc;
+      check_clean "explain non-member" err;
+      Alcotest.(check bool) "says it is not in the slice" true
+        (contains ~needle:"not in the" err))
+
+let test_explain_missing_seed () =
+  skip_if_missing ();
+  with_tj explain_demo (fun path ->
+      let rc, _, err =
+        run_cli (Printf.sprintf "explain %s 2" (Filename.quote path))
+      in
+      Alcotest.(check int) "cmdliner error without --seed" 124 rc;
+      check_clean "explain without --seed" err)
+
+let test_report_layers_cli () =
+  skip_if_missing ();
+  with_tj explain_demo (fun path ->
+      let rc, out, err =
+        run_cli
+          (Printf.sprintf "report %s --line 5 --mode full"
+             (Filename.quote path))
+      in
+      Alcotest.(check int) "exit 0" 0 rc;
+      check_clean "report" err;
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool) ("mentions " ^ needle) true
+            (contains ~needle out))
+        [ "producer"; "control-explainer" ];
+      let rc, out, err =
+        run_cli
+          (Printf.sprintf "report %s --line 5 --mode full --json"
+             (Filename.quote path))
+      in
+      Alcotest.(check int) "json exit 0" 0 rc;
+      check_clean "report --json" err;
+      Alcotest.(check bool) "schema tag" true
+        (contains ~needle:"thinslice.explain/v1" out))
+
 let test_fuzz_bad_count () =
   skip_if_missing ();
   let rc, _, err = run_cli "fuzz --count 0" in
@@ -138,6 +217,14 @@ let suite =
       test_trace_events_nonpositive;
     Alcotest.test_case "trace overflow: clean exit 2" `Quick
       test_trace_overflow_clean;
+    Alcotest.test_case "explain: witness for a member line" `Quick
+      test_explain_member;
+    Alcotest.test_case "explain: non-member exits 1" `Quick
+      test_explain_not_in_slice;
+    Alcotest.test_case "explain: --seed is required" `Quick
+      test_explain_missing_seed;
+    Alcotest.test_case "report: layers, pretty and JSON" `Quick
+      test_report_layers_cli;
     Alcotest.test_case "fuzz --count 0: clean exit 1" `Quick
       test_fuzz_bad_count;
     Alcotest.test_case "fuzz --fault unknown: cmdliner error" `Quick

@@ -12,6 +12,7 @@ let () =
       ("sdg", Test_sdg.suite);
       ("slicer", Test_slicer.suite);
       ("expansion", Test_expansion.suite);
+      ("explain", Test_explain.suite);
       ("tabulation", Test_tabulation.suite);
       ("forward", Test_forward.suite);
       ("dynamic", Test_dynamic.suite);

@@ -104,6 +104,103 @@ let test_gauge_and_histogram () =
   Alcotest.(check (float 1e-9)) "min" 2. mn;
   Alcotest.(check (float 1e-9)) "max" 10. mx
 
+(* --- histogram quantile math ---------------------------------------- *)
+
+(* Pin the bucket geometry: 4 sub-buckets per octave over 2^-30..2^30
+   plus underflow/overflow, representative = bucket upper bound, so any
+   estimate is within a factor of 2^(1/4) of the exact value. *)
+let test_bucket_geometry () =
+  check_int "bucket count" 242 hist_buckets;
+  check_int "zero underflows" 0 (bucket_of_value 0.);
+  check_int "negatives underflow" 0 (bucket_of_value (-3.));
+  check_int "2^-30 underflows" 0 (bucket_of_value (ldexp 1.0 (-30)));
+  Alcotest.(check (float 0.)) "underflow representative" 0. (bucket_value 0);
+  check_int "huge values overflow" (hist_buckets - 1) (bucket_of_value 1e12);
+  (* round-trip bound: v <= representative <= v * 2^(1/4) *)
+  let q = Float.exp2 0.25 in
+  List.iter
+    (fun v ->
+      let r = bucket_value (bucket_of_value v) in
+      check_bool
+        (Printf.sprintf "representative of %g bounds it (got %g)" v r)
+        true
+        (r >= v -. 1e-12 && r <= (v *. q) +. 1e-9))
+    [ 1e-6; 0.003; 0.5; 1.0; 1.5; 2.0; 42.; 1000.; 1e6 ];
+  (* monotone, and representative of bucket i is the lower bound of i+1 *)
+  for i = 1 to hist_buckets - 2 do
+    check_bool "bucket representatives strictly increase" true
+      (bucket_value i < bucket_value (i + 1))
+  done
+
+let test_percentile_pinned () =
+  (* direct percentile math on a hand-built bucket array *)
+  let buckets = Array.make hist_buckets 0 in
+  let b1 = bucket_of_value 1.0 and b1000 = bucket_of_value 1000. in
+  buckets.(b1) <- 8;
+  buckets.(b1000) <- 2;
+  let p q = percentile ~count:10 ~buckets q in
+  Alcotest.(check (float 1e-9)) "p50 lands in the 1.0 bucket"
+    (bucket_value b1) (p 0.50);
+  Alcotest.(check (float 1e-9)) "p80 still in the 1.0 bucket"
+    (bucket_value b1) (p 0.80);
+  Alcotest.(check (float 1e-9)) "p95 reaches the 1000 bucket"
+    (bucket_value b1000) (p 0.95);
+  Alcotest.(check (float 1e-9)) "p0 clamps to the first occupied bucket"
+    (bucket_value b1) (p 0.);
+  Alcotest.(check (float 1e-9)) "empty histogram reports 0" 0.
+    (percentile ~count:0 ~buckets:(Array.make hist_buckets 0) 0.5);
+  (* the 19% accuracy contract on a live histogram *)
+  reset ();
+  let h = histogram "quant.test" in
+  for _ = 1 to 9 do observe h 7. done;
+  observe h 512.;
+  let est = histogram_percentile h 0.5 in
+  check_bool "p50 estimate within one bucket of the exact median" true
+    (est >= 7. -. 1e-9 && est <= 7. *. Float.exp2 0.25 +. 1e-9);
+  (* percentiles survive the snapshot *)
+  let s = snapshot () in
+  Alcotest.(check (float 1e-9)) "snapshot percentile agrees" est
+    (snapshot_percentile s "quant.test" 0.5);
+  check_bool "snapshot carries bucket arrays" true
+    (List.mem_assoc "quant.test" s.snap_hist_buckets)
+
+(* --- span args ------------------------------------------------------- *)
+
+let test_span_args () =
+  reset ();
+  set_enabled true;
+  let r =
+    span ~args:[ ("mode", "thin") ] "q" (fun () ->
+        add_span_arg "slice_lines" "12";
+        5)
+  in
+  check_int "body value" 5 r;
+  let s = snapshot () in
+  let sp = List.hd s.snap_spans in
+  Alcotest.(check (list (pair string string)))
+    "open args then appended args, in order"
+    [ ("mode", "thin"); ("slice_lines", "12") ]
+    sp.sp_args;
+  (* args ride along in the span JSON *)
+  let j = snapshot_to_json s in
+  (match Json.member "spans" j with
+  | Some (Json.List (Json.Obj kvs :: _)) -> (
+    match List.assoc_opt "args" kvs with
+    | Some (Json.Obj akvs) ->
+      check_bool "args serialized" true
+        (List.assoc_opt "mode" akvs = Some (Json.Str "thin"))
+    | _ -> Alcotest.fail "span JSON has no args object")
+  | _ -> Alcotest.fail "spans missing");
+  (* add_span_arg outside any open span is a no-op, not an error *)
+  add_span_arg "orphan" "1";
+  (* spans without args omit the key *)
+  reset ();
+  span "bare" (fun () -> ());
+  match Json.member "spans" (snapshot_to_json (snapshot ())) with
+  | Some (Json.List (Json.Obj kvs :: _)) ->
+    check_bool "no args key on arg-less spans" false (List.mem_assoc "args" kvs)
+  | _ -> Alcotest.fail "spans missing"
+
 (* --- JSON ----------------------------------------------------------- *)
 
 let rec json_equal (a : Json.t) (b : Json.t) : bool =
@@ -530,6 +627,9 @@ let suite =
     Alcotest.test_case "span totals aggregate" `Quick test_span_totals;
     Alcotest.test_case "counter monotonicity" `Quick test_counter_monotonic;
     Alcotest.test_case "gauge and histogram" `Quick test_gauge_and_histogram;
+    Alcotest.test_case "histogram bucket geometry" `Quick test_bucket_geometry;
+    Alcotest.test_case "percentile math pinned" `Quick test_percentile_pinned;
+    Alcotest.test_case "span args" `Quick test_span_args;
     Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
     Alcotest.test_case "json parse errors" `Quick test_json_parse_errors;
     Alcotest.test_case "snapshot json shape" `Quick test_snapshot_json_shape;

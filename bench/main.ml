@@ -695,6 +695,136 @@ let bench_pta_ab () : Slice_obs.Json.t list =
           ("parity", Bool (parity_pts && parity_cg && parity_slices)) ])
     (suite_programs ())
 
+(* ------------------------------------------------------------------ *)
+(* Serve A/B: resident cache hot path vs cold one-shot analysis        *)
+(* ------------------------------------------------------------------ *)
+
+(* The serve daemon's value proposition, measured: cold = what a fresh
+   daemon (or the one-shot CLI) pays per query on javac — the whole
+   front/pta/sdg pipeline plus the walk; hot = the same query against
+   the resident analysis.  Three self-checked claims, enforced in
+   [json_results] before the artifact is written:
+   - parity: the hot result byte-equals the one-shot Engine path the
+     CLI runs (load + run_query + query_result_to_json), under both
+     pointer-analysis solvers;
+   - hot_zero_reanalysis: the hot responses' per-query span snapshots
+     contain no front/pta/sdg phase at all — cache hits re-analyze
+     NOTHING, they only walk;
+   - speedup >= 10 (in practice orders of magnitude: a thin-slice walk
+     vs the full analysis pipeline). *)
+let serve_hot_reps = 200
+let serve_cold_reps = 3
+
+let bench_serve_ab () : Slice_obs.Json.t =
+  let open Slice_obs.Json in
+  let module Serve = Slice_serve.Serve in
+  let name = "javac" in
+  let src = Prog_javac.base in
+  let file = name ^ ".tj" in
+  (* seed: the median countable line, like the pta_ab slice probes *)
+  let line =
+    let a = Engine.of_source ~file src in
+    let g = a.Engine.sdg in
+    let ls = ref [] in
+    for n = 0 to Sdg.num_nodes g - 1 do
+      if Sdg.node_countable g n then
+        ls := (Sdg.node_loc g n).Slice_ir.Loc.line :: !ls
+    done;
+    let sorted = Array.of_list (List.sort_uniq compare !ls) in
+    sorted.(Array.length sorted / 2)
+  in
+  let request solver =
+    Obj
+      [ ("id", Int 1); ("method", Str "slice");
+        ("params",
+         Obj
+           [ ("source", Str src); ("file", Str file);
+             ("solver", Str solver); ("line", Int line) ]) ]
+  in
+  let result_of (resp : Slice_obs.Json.t) : string =
+    match member "result" resp with
+    | Some r -> to_string r
+    | None -> failwith ("serve_ab: error response " ^ to_string resp)
+  in
+  let run st solver = result_of (Serve.handle_request st (request solver)).Serve.resp in
+  (* cold: a fresh daemon per query pays the full pipeline every time *)
+  let cold_res = ref "" in
+  let () = Gc.full_major () in
+  let _, cold_wall =
+    time (fun () ->
+        for _ = 1 to serve_cold_reps do
+          let st = Serve.create_state Serve.default_config in
+          cold_res := run st "bitset"
+        done)
+  in
+  (* hot: one daemon, resident program; first (miss) query untimed.
+     Spans stay enabled so each response's scoped snapshot can prove the
+     no-reanalysis claim. *)
+  let st = Serve.create_state Serve.default_config in
+  let was_enabled = Slice_obs.enabled () in
+  Slice_obs.set_enabled true;
+  ignore (run st "bitset");
+  let hot_zero_reanalysis = ref true in
+  let hot_res = ref "" in
+  let check_phases (resp : Slice_obs.Json.t) =
+    let keys =
+      match member "telemetry" resp with
+      | Some t -> (
+        match member "phase_wall_s" t with
+        | Some (Obj kvs) -> List.map fst kvs
+        | _ -> [])
+      | None -> []
+    in
+    let is_analysis k =
+      List.exists
+        (fun p ->
+          String.length k >= String.length p
+          && String.sub k 0 (String.length p) = p)
+        [ "front"; "pta"; "sdg" ]
+    in
+    if keys = [] || List.exists is_analysis keys then
+      hot_zero_reanalysis := false
+  in
+  let () = Gc.full_major () in
+  let _, hot_wall =
+    time (fun () ->
+        for _ = 1 to serve_hot_reps do
+          let o = Serve.handle_request st (request "bitset") in
+          check_phases o.Serve.resp;
+          hot_res := result_of o.Serve.resp
+        done)
+  in
+  Slice_obs.set_enabled was_enabled;
+  (* parity vs the one-shot Engine path (what `thinslice slice --json`
+     prints), under both solvers *)
+  let oneshot solver =
+    let h = Engine.load ~solver [ (file, src) ] in
+    let q = Engine.Q_slice { line; mode = Slicer.Thin; forward = false } in
+    to_string (Engine.query_result_to_json h q (Engine.run_query h q))
+  in
+  let parity_bitset = !hot_res = oneshot `Bitset && !hot_res = !cold_res in
+  let parity_reference =
+    let st = Serve.create_state Serve.default_config in
+    run st "reference" = oneshot `Reference
+  in
+  let qps reps wall = if wall > 0. then float_of_int reps /. wall else 0. in
+  let qps_cold = qps serve_cold_reps cold_wall in
+  let qps_hot = qps serve_hot_reps hot_wall in
+  Obj
+    [ ("name", Str name);
+      ("line", Int line);
+      ("reps_cold", Int serve_cold_reps);
+      ("reps_hot", Int serve_hot_reps);
+      ("wall_s_cold", Float cold_wall);
+      ("wall_s_hot", Float hot_wall);
+      ("qps_cold", Float qps_cold);
+      ("qps_hot", Float qps_hot);
+      ("speedup", Float (if qps_cold > 0. then qps_hot /. qps_cold else 0.));
+      ("hot_zero_reanalysis", Bool !hot_zero_reanalysis);
+      ("parity_bitset", Bool parity_bitset);
+      ("parity_reference", Bool parity_reference);
+      ("parity", Bool (parity_bitset && parity_reference)) ]
+
 let json_results ?(out = "BENCH_results.json") () =
   let open Slice_obs.Json in
   let benchmarks =
@@ -721,6 +851,28 @@ let json_results ?(out = "BENCH_results.json") () =
         Printf.eprintf "pta_ab %s: solver parity failed\n" name;
         exit 1)
     pta_ab;
+  let serve_ab = bench_serve_ab () in
+  (* self-check: the serve cache must actually serve — hot >= 10x cold
+     queries/sec, byte parity with the one-shot path under both
+     solvers, and zero re-analysis on every hot response *)
+  (match member "speedup" serve_ab with
+  | Some (Float f) when Float.is_finite f && f >= 10. -> ()
+  | Some (Float f) ->
+    Printf.eprintf "serve_ab: hot/cold speedup %.2f below the 10x floor\n" f;
+    exit 1
+  | _ ->
+    Printf.eprintf "serve_ab: speedup missing or not finite\n";
+    exit 1);
+  (match member "parity" serve_ab with
+  | Some (Bool true) -> ()
+  | _ ->
+    Printf.eprintf "serve_ab: serve vs one-shot parity failed\n";
+    exit 1);
+  (match member "hot_zero_reanalysis" serve_ab with
+  | Some (Bool true) -> ()
+  | _ ->
+    Printf.eprintf "serve_ab: a hot response re-ran an analysis phase\n";
+    exit 1);
   let doc =
     Obj
       [ ("schema", Str bench_schema_version);
@@ -729,7 +881,8 @@ let json_results ?(out = "BENCH_results.json") () =
         ("benchmarks", List benchmarks);
         ("slice_size_tables", List tasks);
         ("parallel_batch", parallel_batch);
-        ("pta_ab", List pta_ab) ]
+        ("pta_ab", List pta_ab);
+        ("serve_ab", serve_ab) ]
   in
   let text = to_string doc ^ "\n" in
   let oc = open_out out in

@@ -29,16 +29,23 @@ let read_file (path : string) : (string, [ `Msg of string ]) result =
         Ok (really_input_string ic n))
   with Sys_error msg -> Error (`Msg (Printf.sprintf "cannot read %s: %s" path msg))
 
+(* Raises rather than exits: the surrounding error handler decides the
+   exit code (1 for most subcommands, 2 for explain hard errors), and
+   [handle_errors]'s [Sys_error] case prints exactly this message. *)
 let read_file_exn (path : string) : string =
   match read_file path with
   | Ok s -> s
-  | Error (`Msg m) ->
-    Printf.eprintf "thinslice: %s\n" m;
-    exit 1
+  | Error (`Msg m) -> raise (Sys_error (Printf.sprintf "thinslice: %s" m))
 
-let load_analysis ?(solver = `Bitset) ~obj_sens path =
+(* Every query subcommand loads a resident handle and dispatches through
+   [Engine.run_query] — the code path the serve daemon runs, so one-shot
+   [--json] output and serve results are equal by construction. *)
+let load_handle ?(solver = `Bitset) ~obj_sens path =
   let src = read_file_exn path in
-  Engine.of_source ~obj_sens ~solver ~file:(Filename.basename path) src
+  Engine.load ~obj_sens ~solver [ (Filename.basename path, src) ]
+
+let load_analysis ?solver ~obj_sens path =
+  (load_handle ?solver ~obj_sens path).Engine.h_analysis
 
 (* ---- telemetry plumbing ---- *)
 
@@ -136,16 +143,9 @@ let objsens_arg =
 
 let mode_conv =
   let parse s =
-    match s with
-    | "thin" -> Ok Slicer.Thin
-    | "trad" | "traditional" -> Ok Slicer.Traditional_data
-    | "full" -> Ok Slicer.Traditional_full
-    | _ ->
-      if String.length s > 6 && String.sub s 0 6 = "alias:" then
-        match int_of_string_opt (String.sub s 6 (String.length s - 6)) with
-        | Some k -> Ok (Slicer.Thin_with_aliasing k)
-        | None -> Error (`Msg "alias:K expects an integer K")
-      else Error (`Msg (Printf.sprintf "unknown mode %s" s))
+    match Slicer.mode_of_string s with
+    | Some m -> Ok m
+    | None -> Error (`Msg (Printf.sprintf "unknown mode %s" s))
   in
   let print ppf m = Format.pp_print_string ppf (Slicer.mode_to_string m) in
   Arg.conv (parse, print)
@@ -216,6 +216,31 @@ let handle_errors f =
   | Slice_interp.Dyntrace.Trace_overflow ->
     cli_error "dynamic trace event limit exceeded"
 
+(* [explain]'s variant: the subcommand reserves exit 1 for "the query
+   succeeded and the line is not a member", so every HARD error —
+   unreadable file, parse failure, no statement at a line — must exit 2
+   to stay distinguishable in scripts (the interpreter's runtime-failure
+   code, the "something actually went wrong" class). *)
+let handle_errors_exit2 f =
+  if Sys.getenv_opt "THINSLICE_DEBUG" <> None then f ()
+  else
+    let fail fmt =
+      Printf.ksprintf
+        (fun m ->
+          Printf.eprintf "%s\n" m;
+          exit 2)
+        fmt
+    in
+    try f () with
+    | Slice_front.Frontend.Error e ->
+      fail "%s" (Slice_front.Frontend.error_to_string e)
+    | Sys_error msg -> fail "%s" msg
+    | Engine.No_seed line -> fail "no statement found at line %d" line
+    | Failure msg -> fail "thinslice: %s" msg
+    | Invalid_argument msg -> fail "thinslice: invalid argument: %s" msg
+    | Slice_interp.Dyntrace.Trace_overflow ->
+      fail "thinslice: dynamic trace event limit exceeded"
+
 (* ---- slice ---- *)
 
 let print_slice_lines src lines =
@@ -232,32 +257,47 @@ let forward_arg =
     & info [ "forward" ]
         ~doc:"Slice forward (impact analysis) instead of backward")
 
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "Emit the result as JSON on stdout instead of the pretty \
+           rendering (thinslice.query/v1 for slice/forward/chop/expand, \
+           thinslice.explain/v1 for explain/report, thinslice.stats/v1 \
+           for stats) — byte-identical to the corresponding serve \
+           response's result member.")
+
+(* Dispatch one query against a resident handle and print its JSON —
+   THE shared path: the serve daemon runs the same two [Engine] calls,
+   so serve results and [--json] output cannot drift apart. *)
+let print_query_json h q jobs =
+  print_endline
+    (Slice_obs.Json.to_string
+       (Engine.query_result_to_json h q (Engine.run_query ~jobs h q)))
+
 let slice_cmd =
-  let run file line mode no_objsens forward solver tel =
+  let run file line mode no_objsens forward solver json tel =
     handle_errors (fun () ->
         setup_telemetry tel;
-        let a = load_analysis ~solver ~obj_sens:(not no_objsens) file in
-        let seeds = Engine.seeds_at_line_exn a line in
-        let nodes =
-          if forward then Slicer.forward_slice a.Engine.sdg ~seeds mode
-          else Slicer.slice a.Engine.sdg ~seeds mode
-        in
-        let lines =
-          nodes
-          |> List.filter (Sdg.node_countable a.Engine.sdg)
-          |> List.map (fun n -> (Sdg.node_loc a.Engine.sdg n).Slice_ir.Loc.line)
-          |> List.sort_uniq compare
-        in
-        Printf.printf "%s %s slice from %s:%d (%d statements):\n"
-          (if forward then "forward" else "backward")
-          (Slicer.mode_to_string mode) file line (List.length lines);
-        print_slice_lines (read_file_exn file) lines;
+        let h = load_handle ~solver ~obj_sens:(not no_objsens) file in
+        let a = h.Engine.h_analysis in
+        let q = Engine.Q_slice { line; mode; forward } in
+        (if json then print_query_json h q 1
+         else
+           match Engine.run_query h q with
+           | Engine.R_lines lines ->
+             Printf.printf "%s %s slice from %s:%d (%d statements):\n"
+               (if forward then "forward" else "backward")
+               (Slicer.mode_to_string mode) file line (List.length lines);
+             print_slice_lines (read_file_exn file) lines
+           | _ -> assert false);
         emit_telemetry tel (Some (Engine.stats_of a)))
   in
   Cmd.v (Cmd.info "slice" ~doc:"Compute a slice from a seed line")
     Term.(
       const run $ file_arg $ line_arg $ mode_arg $ objsens_arg $ forward_arg
-      $ pta_arg $ telemetry_term)
+      $ pta_arg $ json_arg $ telemetry_term)
 
 (* ---- batch: many seeds, one frozen graph ---- *)
 
@@ -313,85 +353,76 @@ let chop_cmd =
       & opt (some int) None
       & info [ "to" ] ~docv:"N" ~doc:"Sink line number")
   in
-  let run file line sink_line mode no_objsens tel =
+  let run file line sink_line mode no_objsens solver json tel =
     handle_errors (fun () ->
         setup_telemetry tel;
-        let a = load_analysis ~obj_sens:(not no_objsens) file in
-        let source = Engine.seeds_at_line_exn a line in
-        let sink = Engine.seeds_at_line_exn a sink_line in
-        let nodes = Slicer.chop a.Engine.sdg ~source ~sink mode in
-        let lines =
-          nodes
-          |> List.filter (Sdg.node_countable a.Engine.sdg)
-          |> List.map (fun n -> (Sdg.node_loc a.Engine.sdg n).Slice_ir.Loc.line)
-          |> List.sort_uniq compare
-        in
-        Printf.printf "%s chop %s:%d -> %s:%d (%d statements):\n"
-          (Slicer.mode_to_string mode) file line file sink_line
-          (List.length lines);
-        print_slice_lines (read_file_exn file) lines;
+        let h = load_handle ~solver ~obj_sens:(not no_objsens) file in
+        let a = h.Engine.h_analysis in
+        let q = Engine.Q_chop { line; sink_line; mode } in
+        (if json then print_query_json h q 1
+         else
+           match Engine.run_query h q with
+           | Engine.R_lines lines ->
+             Printf.printf "%s chop %s:%d -> %s:%d (%d statements):\n"
+               (Slicer.mode_to_string mode) file line file sink_line
+               (List.length lines);
+             print_slice_lines (read_file_exn file) lines
+           | _ -> assert false);
         emit_telemetry tel (Some (Engine.stats_of a)))
   in
   Cmd.v
     (Cmd.info "chop" ~doc:"Statements on value paths between two lines")
     Term.(
       const run $ file_arg $ line_arg $ to_arg $ mode_arg $ objsens_arg
-      $ telemetry_term)
+      $ pta_arg $ json_arg $ telemetry_term)
 
 (* ---- expand: aliasing explanations around the seed ---- *)
 
 let expand_cmd =
-  let run file line no_objsens tel =
+  let run file line no_objsens solver json tel =
     handle_errors (fun () ->
         setup_telemetry tel;
-        let a = load_analysis ~obj_sens:(not no_objsens) file in
-        let seeds = Engine.seeds_at_line_exn a line in
+        let h = load_handle ~solver ~obj_sens:(not no_objsens) file in
+        let a = h.Engine.h_analysis in
         let g = a.Engine.sdg in
-        let slice = Slicer.slice g ~seeds Slicer.Thin in
-        (* heap read/write pairs connected by producer-heap edges *)
-        let pairs = ref [] in
-        List.iter
-          (fun n ->
-            Sdg.deps_iter g n (fun dep kind ->
-                if kind = Sdg.Producer_heap && List.mem dep slice then
-                  pairs := (n, dep) :: !pairs))
-          slice;
-        if !pairs = [] then
-          print_endline "no heap-based value flow in the thin slice to explain"
-        else
-          List.iter
-            (fun (read, write) ->
-              Format.printf "@.heap flow:@.  read : %a@.  write: %a@."
-                (Sdg.pp_node g) read (Sdg.pp_node g) write;
-              let e = Expansion.explain_aliasing g ~read ~write in
-              Format.printf "  flow of the common object(s) to the read's base:@.";
-              List.iter
-                (fun n ->
-                  if Sdg.node_countable g n then
-                    Format.printf "    %a@." (Sdg.pp_node g) n)
-                e.Expansion.read_flow;
-              Format.printf "  flow of the common object(s) to the write's base:@.";
-              List.iter
-                (fun n ->
-                  if Sdg.node_countable g n then
-                    Format.printf "    %a@." (Sdg.pp_node g) n)
-                e.Expansion.write_flow)
-            !pairs;
+        let q = Engine.Q_expand { line } in
+        (if json then print_query_json h q 1
+         else
+           match Engine.run_query h q with
+           | Engine.R_expand [] ->
+             print_endline
+               "no heap-based value flow in the thin slice to explain"
+           | Engine.R_expand flows ->
+             List.iter
+               (fun (f : Engine.expand_flow) ->
+                 Format.printf "@.heap flow:@.  read : %a@.  write: %a@."
+                   (Sdg.pp_node g) f.Engine.ef_read (Sdg.pp_node g)
+                   f.Engine.ef_write;
+                 Format.printf
+                   "  flow of the common object(s) to the read's base:@.";
+                 List.iter
+                   (fun n ->
+                     if Sdg.node_countable g n then
+                       Format.printf "    %a@." (Sdg.pp_node g) n)
+                   f.Engine.ef_read_flow;
+                 Format.printf
+                   "  flow of the common object(s) to the write's base:@.";
+                 List.iter
+                   (fun n ->
+                     if Sdg.node_countable g n then
+                       Format.printf "    %a@." (Sdg.pp_node g) n)
+                   f.Engine.ef_write_flow)
+               flows
+           | _ -> assert false);
         emit_telemetry tel (Some (Engine.stats_of a)))
   in
   Cmd.v
     (Cmd.info "expand" ~doc:"Explain heap aliasing behind a thin slice")
-    Term.(const run $ file_arg $ line_arg $ objsens_arg $ telemetry_term)
+    Term.(
+      const run $ file_arg $ line_arg $ objsens_arg $ pta_arg $ json_arg
+      $ telemetry_term)
 
 (* ---- explain / report: provenance queries ---- *)
-
-let json_arg =
-  Arg.(
-    value & flag
-    & info [ "json" ]
-        ~doc:
-          "Emit the result as thinslice.explain/v1 JSON on stdout instead \
-           of the pretty rendering.")
 
 let explain_jobs_arg =
   Arg.(
@@ -434,20 +465,22 @@ let explain_cmd =
              export).")
   in
   let run file line seed mode no_objsens jobs solver json dot tel =
-    handle_errors (fun () ->
+    (* exit 2 on HARD errors: exit 1 is reserved for the non-member
+       answer below, so scripts can tell "not in the slice" from "the
+       query itself failed" *)
+    handle_errors_exit2 (fun () ->
         setup_telemetry tel;
-        let a = load_analysis ~solver ~obj_sens:(not no_objsens) file in
-        let witness =
-          Engine.witness_from_line ~jobs a ~seed_line:seed ~line mode
-        in
-        match witness with
-        | None ->
+        let h = load_handle ~solver ~obj_sens:(not no_objsens) file in
+        let a = h.Engine.h_analysis in
+        let q = Engine.Q_explain { seed_line = seed; line; mode } in
+        match Engine.run_query ~jobs h q with
+        | Engine.R_witness None ->
           emit_telemetry tel (Some (Engine.stats_of a));
           Printf.eprintf "line %d is not in the %s slice from %s:%d\n" line
             (Slicer.mode_to_string mode)
             file seed;
           exit 1
-        | Some steps ->
+        | Engine.R_witness (Some steps) ->
           (match dot with
           | None -> ()
           | Some path ->
@@ -461,7 +494,8 @@ let explain_cmd =
           if json then
             print_endline
               (Slice_obs.Json.to_string
-                 (Engine.witness_to_json a ~seed_line:seed ~line mode steps))
+                 (Engine.query_result_to_json h q
+                    (Engine.R_witness (Some steps))))
           else begin
             let g = a.Engine.sdg in
             let budgeted = Slicer.initial_budget mode > 0 in
@@ -492,7 +526,8 @@ let explain_cmd =
             | Some path -> Printf.printf "wrote %s\n" path
             | None -> ()
           end;
-          emit_telemetry tel (Some (Engine.stats_of a)))
+          emit_telemetry tel (Some (Engine.stats_of a))
+        | _ -> assert false)
   in
   Cmd.v
     (Cmd.info "explain"
@@ -508,10 +543,18 @@ let report_cmd =
   let run file line mode no_objsens jobs solver json tel =
     handle_errors (fun () ->
         setup_telemetry tel;
-        let a = load_analysis ~solver ~obj_sens:(not no_objsens) file in
-        let r = Engine.slice_report ~jobs a ~line mode in
+        let h = load_handle ~solver ~obj_sens:(not no_objsens) file in
+        let a = h.Engine.h_analysis in
+        let q = Engine.Q_report { line; mode } in
+        let r =
+          match Engine.run_query ~jobs h q with
+          | Engine.R_report r -> r
+          | _ -> assert false
+        in
         if json then
-          print_endline (Slice_obs.Json.to_string (Engine.report_to_json r))
+          print_endline
+            (Slice_obs.Json.to_string
+               (Engine.query_result_to_json h q (Engine.R_report r)))
         else begin
           let np, na, nc = r.Engine.sr_layer_sizes in
           Printf.printf
@@ -578,27 +621,31 @@ let casts_cmd =
 (* ---- stats ---- *)
 
 let stats_cmd =
-  let run file no_objsens tel =
+  let run file no_objsens solver json tel =
     handle_errors (fun () ->
         setup_telemetry tel;
-        let a = load_analysis ~obj_sens:(not no_objsens) file in
-        let s = Engine.stats_of a in
-        Printf.printf
-          "classes            %d\n\
-           methods            %d\n\
-           IR statements      %d\n\
-           call graph nodes   %d\n\
-           SDG statements     %d\n\
-           SDG nodes          %d\n\
-           abstract objects   %d\n"
-          s.Engine.classes s.Engine.methods s.Engine.ir_statements
-          s.Engine.call_graph_nodes s.Engine.sdg_statements s.Engine.sdg_nodes
-          s.Engine.abstract_objects;
-        emit_telemetry tel (Some s))
+        let h = load_handle ~solver ~obj_sens:(not no_objsens) file in
+        let a = h.Engine.h_analysis in
+        if json then print_query_json h Engine.Q_stats 1
+        else begin
+          let s = h.Engine.h_stats in
+          Printf.printf
+            "classes            %d\n\
+             methods            %d\n\
+             IR statements      %d\n\
+             call graph nodes   %d\n\
+             SDG statements     %d\n\
+             SDG nodes          %d\n\
+             abstract objects   %d\n"
+            s.Engine.classes s.Engine.methods s.Engine.ir_statements
+            s.Engine.call_graph_nodes s.Engine.sdg_statements s.Engine.sdg_nodes
+            s.Engine.abstract_objects
+        end;
+        emit_telemetry tel (Some (Engine.stats_of a)))
   in
   Cmd.v
     (Cmd.info "stats" ~doc:"Print program and analysis statistics")
-    Term.(const run $ file_arg $ objsens_arg $ telemetry_term)
+    Term.(const run $ file_arg $ objsens_arg $ pta_arg $ json_arg $ telemetry_term)
 
 (* ---- run ---- *)
 
@@ -786,6 +833,63 @@ let dot_cmd =
     (Cmd.info "dot" ~doc:"Export the dependence graph in DOT format")
     Term.(const run $ file_arg $ out_arg $ objsens_arg $ telemetry_term)
 
+(* ---- serve: the long-lived slice daemon ---- *)
+
+let serve_cmd =
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Listen on a Unix domain socket at $(docv) (one connection at \
+             a time) instead of stdin/stdout.  The socket file is created \
+             on bind and removed on shutdown.")
+  in
+  let max_programs_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "max-programs" ] ~docv:"N"
+          ~doc:
+            "Keep at most $(docv) analyzed programs resident (LRU keyed \
+             by source digest x sensitivity x solver).  Evicting releases \
+             the walk-scratch memory down to the largest surviving \
+             program.")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the provenance queries (explain/report), \
+             as in the one-shot subcommands.  Results are identical for \
+             every N.")
+  in
+  let run socket max_programs jobs tel =
+    handle_errors (fun () ->
+        setup_telemetry tel;
+        if max_programs < 1 then cli_error "--max-programs expects N >= 1";
+        if jobs < 1 then cli_error "--jobs expects N >= 1";
+        let st =
+          Slice_serve.Serve.create_state
+            { Slice_serve.Serve.max_programs; jobs }
+        in
+        (match socket with
+        | None -> ignore (Slice_serve.Serve.serve_channels st stdin stdout)
+        | Some path -> Slice_serve.Serve.serve_unix_socket st ~path);
+        emit_telemetry tel None)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Long-lived slice daemon: line-delimited thinslice.serve/v1 JSON \
+          requests (load/slice/forward/chop/expand/explain/report/stats/\
+          shutdown) over stdin/stdout or a Unix socket, answering from an \
+          LRU of resident analyses; every response carries cache and \
+          per-phase wall telemetry, and result payloads byte-equal the \
+          one-shot --json output")
+    Term.(const run $ socket_arg $ max_programs_arg $ jobs_arg $ telemetry_term)
+
 let () =
   let doc = "thin slicing for TJ programs (PLDI 2007 reproduction)" in
   exit
@@ -793,4 +897,5 @@ let () =
        (Cmd.group
           (Cmd.info "thinslice" ~doc)
           [ slice_cmd; batch_cmd; chop_cmd; expand_cmd; explain_cmd;
-            report_cmd; casts_cmd; stats_cmd; run_cmd; fuzz_cmd; dot_cmd ]))
+            report_cmd; casts_cmd; stats_cmd; run_cmd; fuzz_cmd; dot_cmd;
+            serve_cmd ]))

@@ -619,3 +619,209 @@ let stats_to_json (s : stats) : Slice_obs.Json.t =
       ("program", program_stats_json s);
       ("sdg.edges_by_kind", edges_by_kind_json s.obs);
       ("telemetry", Slice_obs.snapshot_to_json s.obs) ]
+
+(* ------------------------------------------------------------------ *)
+(* Resident-analysis handles and the unified query API                 *)
+(* ------------------------------------------------------------------ *)
+
+(* A handle is an analysis meant to OUTLIVE one query: the serve daemon
+   keeps handles resident in its program cache, and the one-shot CLI
+   builds one and throws it away — both answer queries through the same
+   [run_query], which is what makes serve-vs-CLI byte parity a
+   tautology instead of a test burden.
+
+   [h_stats] is captured inside [Slice_obs.scoped] at load time, so its
+   snapshot covers exactly this handle's load pipeline (front/pta/sdg
+   spans, edge-kind counters).  In a process that loads many programs
+   the process-cumulative snapshot would conflate them; the scoped
+   capture keeps per-program stats deterministic — equal to what a
+   fresh one-shot process reports. *)
+type handle = {
+  h_analysis : analysis;
+  h_stats : stats;
+}
+
+let load ?container_classes ?obj_sens ?solver (units : (string * string) list)
+    : handle =
+  let h, snap =
+    Slice_obs.scoped (fun () ->
+        let a = of_sources ?container_classes ?obj_sens ?solver units in
+        { h_analysis = a; h_stats = stats_of a })
+  in
+  ignore snap;
+  h
+
+(* One heap read/write pair of an expand query, with the flows of their
+   common object(s) to each base (see [Expansion.explain_aliasing]). *)
+type expand_flow = {
+  ef_read : Sdg.node;
+  ef_write : Sdg.node;
+  ef_read_flow : Sdg.node list;
+  ef_write_flow : Sdg.node list;
+}
+
+(* Heap read/write pairs connected by producer-heap edges within the
+   thin slice seeded at [line], each with its aliasing explanation.
+   Pair order is the discovery order of the old CLI loop (slice order
+   outer, [deps_iter] order inner, then reversed) — pinned so the
+   pretty rendering's bytes survive the extraction. *)
+let expand_at_line ?filter (a : analysis) ~(line : int) : expand_flow list =
+  let seeds = seeds_at_line_exn ?filter a line in
+  let g = a.sdg in
+  let slice = Slicer.slice g ~seeds Slicer.Thin in
+  let pairs = ref [] in
+  List.iter
+    (fun n ->
+      Sdg.deps_iter g n (fun dep kind ->
+          if kind = Sdg.Producer_heap && List.mem dep slice then
+            pairs := (n, dep) :: !pairs))
+    slice;
+  List.map
+    (fun (read, write) ->
+      let e = Expansion.explain_aliasing g ~read ~write in
+      { ef_read = read;
+        ef_write = write;
+        ef_read_flow = e.Expansion.read_flow;
+        ef_write_flow = e.Expansion.write_flow })
+    !pairs
+
+(* ----- the one query type (ISSUE 7: "dispatched by mode") ----- *)
+
+type query =
+  | Q_slice of { line : int; mode : Slicer.mode; forward : bool }
+  | Q_chop of { line : int; sink_line : int; mode : Slicer.mode }
+  | Q_expand of { line : int }
+  | Q_explain of { seed_line : int; line : int; mode : Slicer.mode }
+  | Q_report of { line : int; mode : Slicer.mode }
+  | Q_stats
+
+type query_result =
+  | R_lines of int list
+  | R_expand of expand_flow list
+  | R_witness of Slicer.witness_step list option
+  | R_report of slice_report
+  | R_stats of stats
+
+let run_query ?(jobs = 1) (h : handle) (q : query) : query_result =
+  let a = h.h_analysis in
+  match q with
+  | Q_slice { line; mode; forward } ->
+    let seeds = seeds_at_line_exn a line in
+    let nodes =
+      if forward then Slicer.forward_slice a.sdg ~seeds mode
+      else Slicer.slice a.sdg ~seeds mode
+    in
+    R_lines (Slicer.locs_to_line_numbers (Slicer.nodes_to_lines a.sdg nodes))
+  | Q_chop { line; sink_line; mode } ->
+    let source = seeds_at_line_exn a line in
+    let sink = seeds_at_line_exn a sink_line in
+    let nodes = Slicer.chop a.sdg ~source ~sink mode in
+    R_lines (Slicer.locs_to_line_numbers (Slicer.nodes_to_lines a.sdg nodes))
+  | Q_expand { line } -> R_expand (expand_at_line a ~line)
+  | Q_explain { seed_line; line; mode } ->
+    R_witness (witness_from_line ~jobs a ~seed_line ~line mode)
+  | Q_report { line; mode } -> R_report (slice_report ~jobs a ~line mode)
+  | Q_stats -> R_stats h.h_stats
+
+(* ----- thinslice.query/v1 JSON ----- *)
+
+let query_schema_version = "thinslice.query/v1"
+
+let node_json (a : analysis) (n : Sdg.node) : Slice_obs.Json.t =
+  let open Slice_obs.Json in
+  let loc = Sdg.node_loc a.sdg n in
+  Obj
+    [ ("node", Int n);
+      ("file", Str loc.Loc.file);
+      ("line", Int loc.Loc.line);
+      ("label", Str (Format.asprintf "%a" (Sdg.pp_node a.sdg) n)) ]
+
+let expand_to_json (a : analysis) ~(line : int) (flows : expand_flow list) :
+    Slice_obs.Json.t =
+  let open Slice_obs.Json in
+  let countable = List.filter (Sdg.node_countable a.sdg) in
+  Obj
+    [ ("schema", Str query_schema_version);
+      ("result", Str "expand");
+      ("query", Obj [ ("line", Int line) ]);
+      ("flows",
+       List
+         (List.map
+            (fun f ->
+              Obj
+                [ ("read", node_json a f.ef_read);
+                  ("write", node_json a f.ef_write);
+                  ("read_flow",
+                   List (List.map (node_json a) (countable f.ef_read_flow)));
+                  ("write_flow",
+                   List (List.map (node_json a) (countable f.ef_write_flow))) ])
+            flows)) ]
+
+let lines_to_json ~(result : string) ~(query : (string * Slice_obs.Json.t) list)
+    (lines : int list) : Slice_obs.Json.t =
+  let open Slice_obs.Json in
+  Obj
+    [ ("schema", Str query_schema_version);
+      ("result", Str result);
+      ("query", Obj query);
+      ("lines", List (List.map (fun l -> Int l) lines)) ]
+
+(* The resident-stats export: program shape + per-program edge-kind
+   counters, NO telemetry snapshot.  [stats_to_json]'s telemetry member
+   is process-cumulative by design (counters, spans at capture), which
+   is exactly wrong for a daemon answering for ONE resident program —
+   and per-query walls live in the serve response envelope instead. *)
+let resident_stats_to_json (s : stats) : Slice_obs.Json.t =
+  let open Slice_obs.Json in
+  Obj
+    [ ("schema", Str stats_schema_version);
+      ("program", program_stats_json s);
+      ("sdg.edges_by_kind", edges_by_kind_json s.obs) ]
+
+(* Witness queries keep the [thinslice.explain/v1] payload for members
+   (byte-compatible with pre-serve [explain --json]); a non-member
+   answer is a RESULT in the serve protocol — the query succeeded, the
+   line just is not in the slice — so it gets a structured shape here
+   while the CLI keeps its exit-1 contract. *)
+let non_member_to_json ~(seed_line : int) ~(line : int) (mode : Slicer.mode) :
+    Slice_obs.Json.t =
+  let open Slice_obs.Json in
+  Obj
+    [ ("schema", Str explain_schema_version);
+      ("result", Str "witness");
+      ("query",
+       Obj
+         [ ("seed_line", Int seed_line);
+           ("line", Int line);
+           ("mode", Str (Slicer.mode_to_string mode)) ]);
+      ("member", Bool false) ]
+
+let query_result_to_json (h : handle) (q : query) (r : query_result) :
+    Slice_obs.Json.t =
+  let a = h.h_analysis in
+  let open Slice_obs.Json in
+  match (q, r) with
+  | Q_slice { line; mode; forward }, R_lines lines ->
+    lines_to_json
+      ~result:(if forward then "forward" else "slice")
+      ~query:
+        [ ("line", Int line); ("mode", Str (Slicer.mode_to_string mode)) ]
+      lines
+  | Q_chop { line; sink_line; mode }, R_lines lines ->
+    lines_to_json ~result:"chop"
+      ~query:
+        [ ("line", Int line);
+          ("to", Int sink_line);
+          ("mode", Str (Slicer.mode_to_string mode)) ]
+      lines
+  | Q_expand { line }, R_expand flows -> expand_to_json a ~line flows
+  | Q_explain { seed_line; line; mode }, R_witness (Some steps) ->
+    witness_to_json a ~seed_line ~line mode steps
+  | Q_explain { seed_line; line; mode }, R_witness None ->
+    non_member_to_json ~seed_line ~line mode
+  | Q_report _, R_report rep -> report_to_json rep
+  | Q_stats, R_stats s -> resident_stats_to_json s
+  | ( ( Q_slice _ | Q_chop _ | Q_expand _ | Q_explain _ | Q_report _
+      | Q_stats ),
+      _ ) ->
+    invalid_arg "Engine.query_result_to_json: result does not match query"

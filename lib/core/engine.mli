@@ -238,3 +238,86 @@ val edges_by_kind_json : Slice_obs.snapshot -> Slice_obs.Json.t
     "telemetry"}] — the payload behind [thinslice --stats-json] and the
     per-benchmark entries of BENCH_results.json. *)
 val stats_to_json : stats -> Slice_obs.Json.t
+
+(** {2 Resident-analysis handles and the unified query API}
+
+    One code path for every driver: the serve daemon keeps handles
+    resident in its program cache, the one-shot CLI builds one and
+    throws it away, and both answer through {!run_query} /
+    {!query_result_to_json} — serve-vs-CLI byte parity by
+    construction. *)
+
+type handle = {
+  h_analysis : analysis;
+  h_stats : stats;
+      (** captured under {!Slice_obs.scoped} at load time: the snapshot
+          covers exactly this handle's load pipeline, so per-program
+          stats stay deterministic in a process that loads many
+          programs *)
+}
+
+(** Analyze [(file, src)] units into a resident handle.  The load runs
+    inside {!Slice_obs.scoped} (merged back into the caller's registry),
+    so [h_stats] equals what a fresh one-shot process would report. *)
+val load :
+  ?container_classes:string list ->
+  ?obj_sens:bool ->
+  ?solver:[ `Bitset | `Reference ] ->
+  (string * string) list ->
+  handle
+
+(** One heap read/write pair of an expand query: the pair is connected
+    by a producer-heap edge inside the thin slice, and the flows carry
+    the common object(s) to each access's base pointer (see
+    {!Expansion.explain_aliasing}). *)
+type expand_flow = {
+  ef_read : Sdg.node;
+  ef_write : Sdg.node;
+  ef_read_flow : Sdg.node list;
+  ef_write_flow : Sdg.node list;
+}
+
+(** All such pairs for the thin slice seeded at [line], in discovery
+    order, each explained.  Raises {!No_seed} like the other line
+    queries. *)
+val expand_at_line :
+  ?filter:seed_filter -> analysis -> line:int -> expand_flow list
+
+(** The one query type every driver dispatches on (the serve protocol's
+    methods map onto it 1:1; [forward] distinguishes the forward
+    method from slice). *)
+type query =
+  | Q_slice of { line : int; mode : Slicer.mode; forward : bool }
+  | Q_chop of { line : int; sink_line : int; mode : Slicer.mode }
+  | Q_expand of { line : int }
+  | Q_explain of { seed_line : int; line : int; mode : Slicer.mode }
+  | Q_report of { line : int; mode : Slicer.mode }
+  | Q_stats
+
+type query_result =
+  | R_lines of int list  (** slice / forward / chop: sorted line numbers *)
+  | R_expand of expand_flow list
+  | R_witness of Slicer.witness_step list option
+      (** [None]: the line is not a member — a successful answer in the
+          serve protocol, exit 1 in the CLI *)
+  | R_report of slice_report
+  | R_stats of stats
+
+(** Answer a query against a resident handle.  [jobs] is forwarded to
+    the provenance queries ({!witness_from_line}, {!slice_report});
+    results are identical for every [jobs].  Raises {!No_seed} when a
+    referenced line has no statements. *)
+val run_query : ?jobs:int -> handle -> query -> query_result
+
+(** Schema tag of slice/forward/chop/expand result payloads
+    ("thinslice.query/v1"; explain/report keep [thinslice.explain/v1],
+    stats keeps [thinslice.stats/v1]). *)
+val query_schema_version : string
+
+(** Encode a result.  Must be called with the query that produced the
+    result (the encodings echo the query); raises [Invalid_argument]
+    on a mismatched pair.  Stats results encode program shape +
+    per-program edge-kind counters WITHOUT the process-cumulative
+    telemetry member of {!stats_to_json} — per-query walls belong to
+    the serve response envelope. *)
+val query_result_to_json : handle -> query -> query_result -> Slice_obs.Json.t

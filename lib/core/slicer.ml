@@ -46,6 +46,27 @@ let mode_to_string = function
   | Traditional_data -> "traditional-data"
   | Traditional_full -> "traditional-full"
 
+(* Accepts both the CLI spellings ("thin", "trad", "full", "alias:K") and
+   the [mode_to_string] round-trip forms, so every driver — cmdliner
+   conv, serve protocol, repro files — parses modes through one place. *)
+let mode_of_string (s : string) : mode option =
+  let prefixed p =
+    String.length s > String.length p && String.sub s 0 (String.length p) = p
+  in
+  let int_suffix p =
+    int_of_string_opt (String.sub s (String.length p) (String.length s - String.length p))
+  in
+  match s with
+  | "thin" -> Some Thin
+  | "trad" | "traditional" | "traditional-data" -> Some Traditional_data
+  | "full" | "traditional-full" -> Some Traditional_full
+  | _ ->
+    if prefixed "alias:" then
+      Option.map (fun k -> Thin_with_aliasing k) (int_suffix "alias:")
+    else if prefixed "thin+alias" then
+      Option.map (fun k -> Thin_with_aliasing k) (int_suffix "thin+alias")
+    else None
+
 (* Which edges may be followed, and at what base-pointer budget cost. *)
 let edge_policy (mode : mode) (kind : Sdg.edge_kind) : [ `Follow | `Costly | `Skip ]
     =
@@ -99,7 +120,11 @@ let initial_budget = function
 type scratch = {
   mutable cap : int;           (* number of nodes the buffers cover *)
   mutable best : Bytes.t;      (* cap bytes, all-zero between walks *)
-  queued : Slice_util.Bits.t;  (* dense bitset, all-clear between walks *)
+  mutable queued : Slice_util.Bits.t;
+                               (* dense bitset, all-clear between walks;
+                                  mutable so [shrink_scratch] can swap in
+                                  a smaller one ([Bits.clear] keeps the
+                                  backing store) *)
   mutable ring : int array;    (* cap + 1 slots *)
   mutable touched : int array; (* cap slots; first-visit log *)
 }
@@ -119,6 +144,23 @@ let ensure_capacity (s : scratch) (n : int) : unit =
   if s.cap < n then begin
     s.cap <- n;
     s.best <- Bytes.make n '\000';
+    s.ring <- Array.make (n + 1) 0;
+    s.touched <- Array.make n 0
+  end
+
+let scratch_capacity (s : scratch) : int = s.cap
+
+(* The release path for long-lived processes: a one-off mega-program
+   query must not pin its peak buffers for the owner's lifetime.  The
+   buffers are all-zero between walks, so a rebuild at the smaller size
+   preserves every invariant; [keep] is clamped to at least 1, matching
+   [create_scratch].  Growing back later is just [ensure_capacity]. *)
+let shrink_scratch (s : scratch) ~(keep : int) : unit =
+  let n = max 1 keep in
+  if s.cap > n then begin
+    s.cap <- n;
+    s.best <- Bytes.make n '\000';
+    s.queued <- Slice_util.Bits.create ~capacity:n ();
     s.ring <- Array.make (n + 1) 0;
     s.touched <- Array.make n 0
   end
@@ -253,6 +295,23 @@ let ensure_prov_capacity (p : provenance) (n : int) : unit =
     p.pv_budget <- Array.make n 0;
     p.pv_dist <- Array.make n 0;
     p.pv_stamp <- Array.make n 0
+  end
+
+let provenance_capacity (p : provenance) : int = p.pv_cap
+
+(* Shrinking also drops the last walk's records (they lived in the large
+   arrays), so [pv_mode] is cleared: [prov_member] must answer [false]
+   rather than read stale stamps that happen to equal [pv_gen]. *)
+let shrink_provenance (p : provenance) ~(keep : int) : unit =
+  let n = max 1 keep in
+  if p.pv_cap > n then begin
+    p.pv_cap <- n;
+    p.pv_parent <- Array.make n (-1);
+    p.pv_kind <- Array.make n (-1);
+    p.pv_budget <- Array.make n 0;
+    p.pv_dist <- Array.make n 0;
+    p.pv_stamp <- Array.make n 0;
+    p.pv_mode <- None
   end
 
 (* [walk_scratch] with provenance recording.  A separate copy of the loop
@@ -397,6 +456,19 @@ let get_scratch (g : Sdg.t) : scratch =
     let s = create_scratch g in
     cell := Some s;
     s
+
+(* Capacity/shrink for the calling domain's implicit scratch: a daemon
+   that slices through the DLS default (no explicit [?scratch]) needs a
+   handle-free release path when it evicts a large program. *)
+let domain_scratch_capacity () : int =
+  match !(Domain.DLS.get dls_scratch) with
+  | Some s -> s.cap
+  | None -> 0
+
+let shrink_domain_scratch ~(keep : int) : unit =
+  match !(Domain.DLS.get dls_scratch) with
+  | Some s -> shrink_scratch s ~keep
+  | None -> ()
 
 (* Resolve the scratch an entry point walks on: the caller's explicit
    handle (grown to fit [g]) if given, else the calling domain's shared

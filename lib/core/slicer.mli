@@ -18,6 +18,13 @@ type mode =
 
 val mode_to_string : mode -> string
 
+(** Parse a mode name.  Accepts both the CLI spellings ([thin], [trad],
+    [traditional], [full], [alias:K]) and the {!mode_to_string}
+    round-trip forms ([traditional-data], [traditional-full],
+    [thin+aliasK]) so every driver — cmdliner conv, serve protocol,
+    repro files — parses through one place.  [None] on anything else. *)
+val mode_of_string : string -> mode option
+
 (** How a given edge kind is treated under a mode: followed freely,
     followed at the cost of one unit of aliasing budget, or skipped.
     Exposed for the BFS inspection metric, which must traverse with the
@@ -46,6 +53,25 @@ type scratch
 (** A scratch sized for [g] (grow-only; any graph may use it later). *)
 val create_scratch : Sdg.t -> scratch
 
+(** Number of nodes the scratch buffers currently cover. *)
+val scratch_capacity : scratch -> int
+
+(** Release the memory above [keep] nodes (no-op when already at or
+    below).  Walks grow buffers on demand but never release them, so a
+    single mega-program query would otherwise pin peak memory for the
+    scratch owner's lifetime — a real leak in a long-lived daemon, which
+    calls this when it evicts a large program from its cache.  Safe at
+    any point between walks. *)
+val shrink_scratch : scratch -> keep:int -> unit
+
+(** Capacity/shrink for the calling domain's implicit [Domain.DLS]
+    scratch — the buffers used by traversals without an explicit
+    [?scratch].  Capacity is 0 until the first such traversal in this
+    domain.  {!shrink_domain_scratch} is a no-op then. *)
+val domain_scratch_capacity : unit -> int
+
+val shrink_domain_scratch : keep:int -> unit
+
 (** {2 Provenance}
 
     Opt-in per-walk evidence: flat side tables (discovering parent node,
@@ -61,6 +87,15 @@ type provenance
 
 (** A provenance sized for [g] (grow-only; any graph may use it later). *)
 val create_provenance : Sdg.t -> provenance
+
+(** Number of nodes the provenance side tables currently cover. *)
+val provenance_capacity : provenance -> int
+
+(** Release the memory above [keep] nodes (no-op when already at or
+    below).  Shrinking drops the last recorded walk's records — after it
+    {!witness} and {!distance} answer [None] until the next recorded
+    walk — the same trade {!shrink_scratch} makes for walk buffers. *)
+val shrink_provenance : provenance -> keep:int -> unit
 
 (** Mode of the last recorded walk, [None] if none has run yet. *)
 val provenance_mode : provenance -> mode option

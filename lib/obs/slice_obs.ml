@@ -372,6 +372,17 @@ let reset () : unit =
   reg.reg_roots <- [];
   reg.reg_stack <- []
 
+(* Span rotation for processes that never exit.  Completed span trees
+   accumulate in [reg_roots] without bound — a long-lived daemon that
+   snapshots per query must drop what it has already shipped, or the
+   registry becomes an unbounded leak.  Counters/gauges/histograms are
+   left alone (they are cheap, fixed-size, and cumulative by design),
+   and so are OPEN spans: dropping an ancestor still on [reg_stack]
+   would corrupt the close path. *)
+let reset_spans () : unit =
+  let reg = current_registry () in
+  reg.reg_roots <- []
+
 (* Merge one hist-stats tuple (and, when available, its bucket counts)
    into a cell (counters/gauges have obvious merges inline; histograms
    share this). *)

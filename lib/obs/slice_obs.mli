@@ -33,6 +33,13 @@ val set_enabled : bool -> unit
     so module-level [counter] bindings survive a reset. *)
 val reset : unit -> unit
 
+(** Drop the calling domain's COMPLETED span trees, keeping all metric
+    values and any spans still open.  Long-lived processes (the serve
+    daemon) call this after shipping a per-query snapshot: completed
+    spans otherwise accumulate in the per-domain registry without bound,
+    an unbounded leak in a process that never exits. *)
+val reset_spans : unit -> unit
+
 (* ------------------------------------------------------------------ *)
 (* Counters, gauges, histograms                                        *)
 (* ------------------------------------------------------------------ *)

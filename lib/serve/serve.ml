@@ -1,0 +1,385 @@
+(* Slice-as-a-service: the [thinslice serve] daemon core.
+
+   The protocol layer is deliberately thin: parse a request line with
+   the existing hand-rolled JSON module, resolve the program (LRU cache
+   keyed by source digest x sensitivity x solver), build an
+   [Engine.query], and let [Engine.run_query] / [query_result_to_json]
+   do the work — the very same code path the one-shot CLI runs, which
+   is what makes serve-vs-CLI byte parity structural rather than
+   tested-for.  Long-lived-process hygiene lives here too: each request
+   runs under [Slice_obs.scoped] (per-query phase walls), completed
+   spans are dropped afterwards ([reset_spans] — the registry must stay
+   O(1) over N queries), and LRU eviction shrinks the domain's walk
+   scratch back to the largest surviving program. *)
+
+open Slice_core
+module Json = Slice_obs.Json
+
+let protocol_version = "thinslice.serve/v1"
+
+type config = {
+  max_programs : int;
+  jobs : int;
+}
+
+let default_config = { max_programs = 8; jobs = 1 }
+
+type entry = {
+  e_key : string;
+  e_handle : Engine.handle;
+}
+
+(* MRU-first association list: [max_programs] is a handful of resident
+   analyses (each holding a full SDG), so O(n) touch/evict is noise
+   next to even a cache-hit slice query. *)
+type state = {
+  cfg : config;
+  mutable entries : entry list;
+}
+
+let create_state (cfg : config) : state =
+  { cfg = { cfg with max_programs = max 1 cfg.max_programs }; entries = [] }
+
+let cache_keys (st : state) : string list =
+  List.map (fun e -> e.e_key) st.entries
+
+let solver_name = function `Bitset -> "bitset" | `Reference -> "reference"
+
+let program_key ?(obj_sens = true) ?(solver = `Bitset) ~(file : string)
+    (src : string) : string =
+  Printf.sprintf "%s:%s:%s"
+    (Digest.to_hex (Digest.string (file ^ "\x00" ^ src)))
+    (if obj_sens then "objsens" else "no-objsens")
+    (solver_name solver)
+
+(* ------------------------------------------------------------------ *)
+(* Errors                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Structured failure of one request.  The codes mirror JSON-RPC for
+   protocol-level problems and the CLI exit-code contract for the rest:
+   1 = user/analysis error (unloadable program, no statement at a line,
+   evicted program key), 2 = unexpected internal error. *)
+exception Err of int * string
+
+let parse_error = -32700
+let invalid_request = -32600
+let method_not_found = -32601
+let invalid_params = -32602
+let user_error = 1
+let internal_error = 2
+
+let errf code fmt = Printf.ksprintf (fun m -> raise (Err (code, m))) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Param helpers                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let params_of (req : Json.t) : Json.t =
+  match Json.member "params" req with
+  | None -> Json.Obj []
+  | Some (Json.Obj _ as p) -> p
+  | Some _ -> errf invalid_params "params must be an object"
+
+let opt_str params name =
+  match Json.member name params with
+  | None | Some Json.Null -> None
+  | Some (Json.Str s) -> Some s
+  | Some _ -> errf invalid_params "%s must be a string" name
+
+let opt_int params name =
+  match Json.member name params with
+  | None | Some Json.Null -> None
+  | Some (Json.Int i) -> Some i
+  | Some _ -> errf invalid_params "%s must be an integer" name
+
+let req_int params name =
+  match opt_int params name with
+  | Some i -> i
+  | None -> errf invalid_params "missing required param %s" name
+
+let opt_bool params name ~default =
+  match Json.member name params with
+  | None | Some Json.Null -> default
+  | Some (Json.Bool b) -> b
+  | Some _ -> errf invalid_params "%s must be a boolean" name
+
+let mode_of params =
+  match opt_str params "mode" with
+  | None -> Slicer.Thin
+  | Some s -> (
+    match Slicer.mode_of_string s with
+    | Some m -> m
+    | None -> errf invalid_params "unknown mode %s" s)
+
+let solver_of params =
+  match opt_str params "solver" with
+  | None -> `Bitset
+  | Some "bitset" -> `Bitset
+  | Some ("reference" | "ref") -> `Reference
+  | Some s -> errf invalid_params "unknown solver %s" s
+
+(* ------------------------------------------------------------------ *)
+(* The program cache                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let find_entry (st : state) (key : string) : entry option =
+  List.find_opt (fun e -> e.e_key = key) st.entries
+
+let touch (st : state) (e : entry) : unit =
+  st.entries <- e :: List.filter (fun x -> x.e_key <> e.e_key) st.entries
+
+(* Evict beyond capacity, then release walk-scratch memory down to the
+   largest SURVIVING program: without this, one mega-program query pins
+   its peak buffers for the daemon's lifetime (the grow-only-scratch
+   bug this PR fixes). *)
+let insert (st : state) (e : entry) : unit =
+  st.entries <- e :: st.entries;
+  if List.length st.entries > st.cfg.max_programs then begin
+    let rec split i = function
+      | [] -> ([], [])
+      | x :: rest ->
+        if i = 0 then ([], x :: rest)
+        else
+          let keep, drop = split (i - 1) rest in
+          (x :: keep, drop)
+    in
+    let keep, drop = split st.cfg.max_programs st.entries in
+    st.entries <- keep;
+    ignore drop;
+    let keep_nodes =
+      List.fold_left
+        (fun acc e ->
+          max acc (Sdg.num_nodes e.e_handle.Engine.h_analysis.Engine.sdg))
+        1 keep
+    in
+    Slicer.shrink_domain_scratch ~keep:keep_nodes
+  end
+
+(* Resolve the program a request addresses: an explicit resident key
+   (hit or error — a daemon must not silently reload a program it no
+   longer has the source of), or an inline source (hit on digest match,
+   load on miss). *)
+let resolve_program (st : state) (params : Json.t) : entry * [ `Hit | `Miss ]
+    =
+  match Json.member "program" params with
+  | Some (Json.Str key) -> (
+    match find_entry st key with
+    | Some e ->
+      touch st e;
+      (e, `Hit)
+    | None -> errf user_error "program not resident: %s" key)
+  | Some _ -> errf invalid_params "program must be a string key"
+  | None -> (
+    match opt_str params "source" with
+    | None ->
+      errf invalid_params "request needs either \"program\" or \"source\""
+    | Some src -> (
+      let file = Option.value (opt_str params "file") ~default:"<request>" in
+      let obj_sens = opt_bool params "obj_sens" ~default:true in
+      let solver = solver_of params in
+      let key = program_key ~obj_sens ~solver ~file src in
+      match find_entry st key with
+      | Some e ->
+        touch st e;
+        (e, `Hit)
+      | None ->
+        let handle =
+          try Engine.load ~obj_sens ~solver [ (file, src) ]
+          with Slice_front.Frontend.Error e ->
+            errf user_error "%s" (Slice_front.Frontend.error_to_string e)
+        in
+        let e = { e_key = key; e_handle = handle } in
+        insert st e;
+        (e, `Miss)))
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type dispatched = {
+  d_result : Json.t;
+  d_tel : (string * Json.t) list;  (* cache/program telemetry fields *)
+  d_stop : bool;
+}
+
+let cache_tel (e : entry) hit =
+  [ ("cache", Json.Str (match hit with `Hit -> "hit" | `Miss -> "miss"));
+    ("program", Json.Str e.e_key) ]
+
+let query_of_method (mname : string) (params : Json.t) : Engine.query option =
+  match mname with
+  | "slice" ->
+    Some
+      (Engine.Q_slice
+         { line = req_int params "line"; mode = mode_of params;
+           forward = false })
+  | "forward" ->
+    Some
+      (Engine.Q_slice
+         { line = req_int params "line"; mode = mode_of params;
+           forward = true })
+  | "chop" ->
+    Some
+      (Engine.Q_chop
+         { line = req_int params "line"; sink_line = req_int params "to";
+           mode = mode_of params })
+  | "expand" -> Some (Engine.Q_expand { line = req_int params "line" })
+  | "explain" ->
+    Some
+      (Engine.Q_explain
+         { seed_line = req_int params "seed"; line = req_int params "line";
+           mode = mode_of params })
+  | "report" ->
+    Some (Engine.Q_report { line = req_int params "line"; mode = mode_of params })
+  | "stats" -> Some Engine.Q_stats
+  | _ -> None
+
+let dispatch (st : state) (req : Json.t) : dispatched =
+  let mname =
+    match Json.member "method" req with
+    | Some (Json.Str m) -> m
+    | Some _ -> errf invalid_request "method must be a string"
+    | None -> errf invalid_request "missing method"
+  in
+  match mname with
+  | "shutdown" ->
+    { d_result = Json.Obj [ ("ok", Json.Bool true) ]; d_tel = []; d_stop = true }
+  | "load" ->
+    let params = params_of req in
+    let e, hit = resolve_program st params in
+    { d_result = Json.Obj [ ("program", Json.Str e.e_key) ];
+      d_tel = cache_tel e hit;
+      d_stop = false }
+  | _ -> (
+    let params = params_of req in
+    match query_of_method mname params with
+    | None -> errf method_not_found "unknown method %s" mname
+    | Some q ->
+      let e, hit = resolve_program st params in
+      let result =
+        try
+          Engine.query_result_to_json e.e_handle q
+            (Engine.run_query ~jobs:st.cfg.jobs e.e_handle q)
+        with Engine.No_seed line ->
+          errf user_error "no statement found at line %d" line
+      in
+      { d_result = result; d_tel = cache_tel e hit; d_stop = false })
+
+(* ------------------------------------------------------------------ *)
+(* The response envelope                                               *)
+(* ------------------------------------------------------------------ *)
+
+type outcome = {
+  resp : Json.t;
+  stop : bool;
+}
+
+let telemetry_json ~(tel : (string * Json.t) list) ~(wall : float)
+    (snap : Slice_obs.snapshot) : Json.t =
+  Json.Obj
+    (tel
+    @ [ ("wall_s", Json.Float wall);
+        ("phase_wall_s",
+         Json.Obj
+           (List.map
+              (fun (n, w) -> (n, Json.Float w))
+              (Slice_obs.span_totals snap))) ])
+
+let handle_request (st : state) (req : Json.t) : outcome =
+  let id = Option.value (Json.member "id" req) ~default:Json.Null in
+  let t0 = Unix.gettimeofday () in
+  (* Scoped: the snapshot holds exactly this query's spans — on a cache
+     hit there is no front/pta/sdg phase in it at all, the claim the
+     serve_ab bench self-checks.  The merge-back then lands those spans
+     in the daemon registry, where [reset_spans] drops them: a resident
+     process must not accumulate one span tree per query forever. *)
+  let out, snap =
+    Slice_obs.scoped (fun () ->
+        try Ok (dispatch st req) with
+        | Err (code, msg) -> Error (code, msg)
+        | Engine.No_seed line ->
+          Error (user_error, Printf.sprintf "no statement found at line %d" line)
+        | Failure msg -> Error (user_error, msg)
+        | Invalid_argument msg ->
+          Error (user_error, "invalid argument: " ^ msg)
+        | e -> Error (internal_error, Printexc.to_string e))
+  in
+  Slice_obs.reset_spans ();
+  let wall = Unix.gettimeofday () -. t0 in
+  match out with
+  | Ok d ->
+    { resp =
+        Json.Obj
+          [ ("id", id);
+            ("result", d.d_result);
+            ("telemetry", telemetry_json ~tel:d.d_tel ~wall snap) ];
+      stop = d.d_stop }
+  | Error (code, msg) ->
+    { resp =
+        Json.Obj
+          [ ("id", id);
+            ("error",
+             Json.Obj [ ("code", Json.Int code); ("message", Json.Str msg) ]);
+            ("telemetry", telemetry_json ~tel:[] ~wall snap) ];
+      stop = false }
+
+let handle_line (st : state) (line : string) : outcome option =
+  if String.trim line = "" then None
+  else
+    match Json.of_string line with
+    | Ok req -> Some (handle_request st req)
+    | Error msg ->
+      Some
+        { resp =
+            Json.Obj
+              [ ("id", Json.Null);
+                ("error",
+                 Json.Obj
+                   [ ("code", Json.Int parse_error);
+                     ("message", Json.Str ("parse error: " ^ msg)) ]) ];
+          stop = false }
+
+(* ------------------------------------------------------------------ *)
+(* Transports                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let serve_channels (st : state) (ic : in_channel) (oc : out_channel) :
+    [ `Eof | `Shutdown ] =
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> `Eof
+    | line -> (
+      match handle_line st line with
+      | None -> loop ()
+      | Some o ->
+        output_string oc (Json.to_string o.resp);
+        output_char oc '\n';
+        flush oc;
+        if o.stop then `Shutdown else loop ())
+  in
+  loop ()
+
+let serve_unix_socket (st : state) ~(path : string) : unit =
+  if Sys.file_exists path then Unix.unlink path;
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+    (fun () ->
+      Unix.bind sock (Unix.ADDR_UNIX path);
+      Unix.listen sock 8;
+      let rec accept_loop () =
+        let fd, _ = Unix.accept sock in
+        let ic = Unix.in_channel_of_descr fd in
+        let oc = Unix.out_channel_of_descr fd in
+        let status =
+          Fun.protect
+            ~finally:(fun () ->
+              try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () -> serve_channels st ic oc)
+        in
+        match status with `Shutdown -> () | `Eof -> accept_loop ()
+      in
+      accept_loop ())

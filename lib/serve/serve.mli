@@ -1,0 +1,112 @@
+(** Slice-as-a-service: the [thinslice serve] protocol and program cache.
+
+    A long-lived daemon answering line-delimited JSON requests
+    ([thinslice.serve/v1]) over stdin/stdout or a Unix socket.  Loaded
+    programs are cached in an LRU keyed by source digest x (sensitivity,
+    solver); each resident entry holds a frozen CSR SDG + solved
+    points-to ({!Engine.handle}), so repeat queries skip the whole
+    analysis pipeline.  Every query dispatches through
+    {!Engine.run_query} — the same code path as the one-shot CLI — and
+    every response carries per-query telemetry (cache hit/miss, wall,
+    per-phase walls from the query-scoped {!Slice_obs} snapshot).
+
+    {2 Protocol}
+
+    One request per line:
+    [{"id": ..., "method": M, "params": {...}}] with [M] one of [load],
+    [slice], [forward], [chop], [expand], [explain], [report], [stats],
+    [shutdown].  Every method except [shutdown] identifies a program
+    either by ["program"] (a key returned from an earlier load; a
+    structured error when no longer resident) or inline by ["source"]
+    (+ optional ["file"], ["obj_sens"], ["solver"]), which loads on miss
+    and reuses the resident analysis on hit.  Query params: ["line"],
+    ["mode"] (any {!Slice_core.Slicer.mode_of_string} spelling, default
+    thin), ["to"] (chop), ["seed"] (explain).
+
+    One response per request, in order:
+    [{"id": ..., "result": R, "telemetry": T}] or
+    [{"id": ..., "error": {"code": C, "message": S}, "telemetry": T}].
+    [R] byte-equals the corresponding one-shot CLI [--json] payload.
+    Protocol errors use the JSON-RPC codes (-32700 parse, -32600
+    invalid request, -32601 unknown method, -32602 invalid params);
+    analysis/user errors (load failure, no statement at a line, program
+    not resident) use code 1 and unexpected internal errors code 2,
+    mirroring the CLI exit-code contract.  No request ever kills the
+    loop. *)
+
+val protocol_version : string
+(** ["thinslice.serve/v1"]. *)
+
+type config = {
+  max_programs : int;  (** LRU capacity; at least 1 *)
+  jobs : int;  (** worker domains forwarded to provenance queries *)
+}
+
+val default_config : config
+(** [{ max_programs = 8; jobs = 1 }]. *)
+
+(** Error codes carried in [{"error": {"code": C}}] responses: the
+    JSON-RPC codes for protocol-level failures, plus [user_error] (1)
+    and [internal_error] (2) mirroring the CLI exit-code contract. *)
+
+val parse_error : int
+(** [-32700]: the request line was not valid JSON. *)
+
+val invalid_request : int
+(** [-32600]: not an object, or no string ["method"]. *)
+
+val method_not_found : int
+(** [-32601]: unknown ["method"]. *)
+
+val invalid_params : int
+(** [-32602]: missing or ill-typed params (line, mode, solver, ...). *)
+
+val user_error : int
+(** [1]: analysis/user error — unloadable source, no statement at the
+    line, a program key that is no longer resident. *)
+
+val internal_error : int
+(** [2]: an unexpected internal error (a bug). *)
+
+(** Mutable daemon state: the LRU of resident analyses. *)
+type state
+
+val create_state : config -> state
+
+(** The cache key of a source unit: MD5 digest of (file, source) x
+    object-sensitivity x solver.  This is what a load result returns as
+    ["program"] and what query requests may pass back. *)
+val program_key :
+  ?obj_sens:bool ->
+  ?solver:[ `Bitset | `Reference ] ->
+  file:string ->
+  string ->
+  string
+
+(** Resident program keys, most recently used first (exposed for the
+    eviction tests and the bench). *)
+val cache_keys : state -> string list
+
+(** Handle one decoded request.  Returns the response and whether the
+    daemon should stop ([shutdown]).  Never raises: every failure is
+    encoded as a structured error response. *)
+type outcome = {
+  resp : Slice_obs.Json.t;
+  stop : bool;
+}
+
+val handle_request : state -> Slice_obs.Json.t -> outcome
+
+(** Handle one raw request line.  [None] for blank lines (no response
+    is sent); parse failures become [-32700] error responses. *)
+val handle_line : state -> string -> outcome option
+
+(** Serve a channel pair until EOF or a [shutdown] request; responses
+    are flushed per line. *)
+val serve_channels : state -> in_channel -> out_channel -> [ `Eof | `Shutdown ]
+
+(** Serve a Unix domain socket: bind [path] (unlinking any stale socket
+    file first), accept one connection at a time, serve each until its
+    EOF, and return (unlinking [path]) when a connection sends
+    [shutdown]. *)
+val serve_unix_socket : state -> path:string -> unit

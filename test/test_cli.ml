@@ -2,10 +2,11 @@
    and documented exit codes — never an OCaml backtrace.  The contract:
 
    exit 0   success
-   exit 1   usage / load errors ("thinslice: ..." on stderr) and fuzz
-            runs that found violations
-   exit 2   the interpreted program itself failed (run subcommand)
-   exit 124 cmdliner flag-parse errors *)
+   exit 1   usage / load errors ("thinslice: ..." on stderr), fuzz runs
+            that found violations, and explain's non-member answer
+   exit 2   the interpreted program itself failed (run subcommand), and
+            hard errors under explain — whose exit 1 means "not in the
+            slice", so its load/seed failures must be distinguishable *)
 
 let exe_path = Filename.concat (Filename.concat ".." "bin") "thinslice.exe"
 
@@ -151,6 +152,30 @@ let test_explain_not_in_slice () =
       Alcotest.(check bool) "says it is not in the slice" true
         (contains ~needle:"not in the" err))
 
+(* explain reserves exit 1 for "not in the slice"; every hard error —
+   unloadable file, malformed program, no statement at the seed — must
+   exit 2 so scripts can tell the two apart. *)
+let test_explain_hard_errors_exit2 () =
+  skip_if_missing ();
+  let rc, _, err = run_cli "explain /nonexistent/no.tj 2 --seed 5" in
+  Alcotest.(check int) "missing file: exit 2" 2 rc;
+  check_clean "explain missing file" err;
+  with_tj "void main(String[] args) { int x = ; }" (fun path ->
+      let rc, _, err =
+        run_cli (Printf.sprintf "explain %s 1 --seed 1" (Filename.quote path))
+      in
+      Alcotest.(check int) "malformed program: exit 2" 2 rc;
+      check_clean "explain malformed program" err);
+  with_tj explain_demo (fun path ->
+      let rc, _, err =
+        run_cli
+          (Printf.sprintf "explain %s 2 --seed 999" (Filename.quote path))
+      in
+      Alcotest.(check int) "no statement at seed line: exit 2" 2 rc;
+      check_clean "explain bad seed line" err;
+      Alcotest.(check bool) "names the line" true
+        (contains ~needle:"no statement" err))
+
 let test_explain_missing_seed () =
   skip_if_missing ();
   with_tj explain_demo (fun path ->
@@ -221,6 +246,8 @@ let suite =
       test_explain_member;
     Alcotest.test_case "explain: non-member exits 1" `Quick
       test_explain_not_in_slice;
+    Alcotest.test_case "explain: hard errors exit 2" `Quick
+      test_explain_hard_errors_exit2;
     Alcotest.test_case "explain: --seed is required" `Quick
       test_explain_missing_seed;
     Alcotest.test_case "report: layers, pretty and JSON" `Quick

@@ -20,4 +20,5 @@ let () =
       ("obs", Test_obs.suite);
       ("properties", Test_props.suite);
       ("fuzz", Test_fuzz.suite);
-      ("cli", Test_cli.suite) ]
+      ("cli", Test_cli.suite);
+      ("serve", Test_serve.suite) ]

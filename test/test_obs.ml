@@ -55,6 +55,29 @@ let test_span_disabled () =
   check_int "body still runs" 7 r;
   check_int "nothing recorded" 0 (List.length (snapshot ()).snap_spans)
 
+(* reset_spans is the serve daemon's per-request rotation: completed
+   spans go, counters and any still-open span survive. *)
+let test_reset_spans () =
+  reset ();
+  set_enabled true;
+  let c = counter "test.reset_spans" in
+  bump c;
+  span "done-1" (fun () -> ());
+  span "done-2" (fun () -> ());
+  check_int "two completed spans" 2 (List.length (snapshot ()).snap_spans);
+  reset_spans ();
+  check_int "completed spans dropped" 0
+    (List.length (snapshot ()).snap_spans);
+  check_int "counters survive" 1 (counter_value "test.reset_spans");
+  (* rotating under an open span must not corrupt the stack: the open
+     span still closes and lands as a root afterwards *)
+  span "open" (fun () ->
+      span "inner" (fun () -> ());
+      reset_spans ());
+  let roots = (snapshot ()).snap_spans in
+  check_int "open span survives the rotation" 1 (List.length roots);
+  check_string "and closes normally" "open" (List.hd roots).sp_name
+
 let test_span_totals () =
   reset ();
   set_enabled true;
@@ -625,6 +648,8 @@ let suite =
     Alcotest.test_case "span exception safety" `Quick test_span_exception_safe;
     Alcotest.test_case "span disabled passthrough" `Quick test_span_disabled;
     Alcotest.test_case "span totals aggregate" `Quick test_span_totals;
+    Alcotest.test_case "reset_spans keeps counters and open spans" `Quick
+      test_reset_spans;
     Alcotest.test_case "counter monotonicity" `Quick test_counter_monotonic;
     Alcotest.test_case "gauge and histogram" `Quick test_gauge_and_histogram;
     Alcotest.test_case "histogram bucket geometry" `Quick test_bucket_geometry;

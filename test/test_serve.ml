@@ -1,0 +1,421 @@
+(* Serve daemon tests: the JSON-RPC error contract (no request kills
+   the loop), LRU cache behaviour (hit/miss, eviction, reload),
+   long-lived-process hygiene (span rotation, scratch shrink on
+   eviction), and serve-vs-CLI byte parity across both pointer-analysis
+   solvers via a scripted subprocess. *)
+
+open Slice_core
+module Serve = Slice_serve.Serve
+module Json = Slice_obs.Json
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* --- demo programs -------------------------------------------------- *)
+
+let tiny_src =
+  "void main(String[] args) {\n\
+  \  int x = 1 + 2;\n\
+  \  int y = x * 3;\n\
+  \  print(itoa(y));\n\
+   }\n"
+
+(* heap traffic: expand/explain/report have something to say *)
+let box_src =
+  "class Box {\n\
+  \  String val;\n\
+  \  Box() { this.val = \"\"; }\n\
+  \  void set(String v) { this.val = v; }\n\
+  \  String get() { return this.val; }\n\
+   }\n\
+   void main(String[] args) {\n\
+  \  Box b = new Box();\n\
+  \  String x = \"hello\";\n\
+  \  String y = x + \"!\";\n\
+  \  b.set(y);\n\
+  \  String z = b.get();\n\
+  \  if (z.length() > 0) {\n\
+  \    print(z);\n\
+  \  }\n\
+   }\n"
+
+let box_print_line = 14 (* print(z) *)
+let box_def_line = 9 (* String x = "hello" *)
+
+(* --- request / response helpers ------------------------------------- *)
+
+let req ?(id = 1) mname params =
+  Json.Obj
+    [ ("id", Json.Int id); ("method", Json.Str mname);
+      ("params", Json.Obj params) ]
+
+let member_exn name (j : Json.t) : Json.t =
+  match Json.member name j with
+  | Some v -> v
+  | None -> Alcotest.failf "response missing %S member: %s" name (Json.to_string j)
+
+let error_code (resp : Json.t) : int option =
+  match Json.member "error" resp with
+  | Some e -> (
+    match Json.member "code" e with Some (Json.Int c) -> Some c | _ -> None)
+  | None -> None
+
+let result_str (resp : Json.t) : string =
+  Json.to_string (member_exn "result" resp)
+
+let cache_of (resp : Json.t) : string =
+  match Json.member "cache" (member_exn "telemetry" resp) with
+  | Some (Json.Str s) -> s
+  | _ -> Alcotest.failf "no cache telemetry: %s" (Json.to_string resp)
+
+let phase_keys (resp : Json.t) : string list =
+  match Json.member "phase_wall_s" (member_exn "telemetry" resp) with
+  | Some (Json.Obj kvs) -> List.map fst kvs
+  | _ -> []
+
+let do_req st r =
+  let o = Serve.handle_request st r in
+  o.Serve.resp
+
+let expect_error what st r code =
+  let o = Serve.handle_request st r in
+  check_bool (what ^ ": does not stop the loop") false o.Serve.stop;
+  (match error_code o.Serve.resp with
+  | Some c -> check_int (what ^ ": error code") code c
+  | None ->
+    Alcotest.failf "%s: expected error %d, got %s" what code
+      (Json.to_string o.Serve.resp))
+
+(* --- the error contract --------------------------------------------- *)
+
+let test_error_contract () =
+  let st = Serve.create_state Serve.default_config in
+  (* malformed JSON: a -32700 response, not a crash or a dropped line *)
+  (match Serve.handle_line st "{not json" with
+  | Some o ->
+    check_bool "parse error does not stop" false o.Serve.stop;
+    check_int "parse error code" Serve.parse_error
+      (Option.get (error_code o.Serve.resp))
+  | None -> Alcotest.fail "malformed line produced no response");
+  (* blank lines are ignored *)
+  (match Serve.handle_line st "   " with
+  | None -> ()
+  | Some _ -> Alcotest.fail "blank line produced a response");
+  (* non-object request *)
+  expect_error "non-object request" st (Json.Int 42) Serve.invalid_request;
+  (* missing / non-string method *)
+  expect_error "missing method" st (Json.Obj [ ("id", Json.Int 1) ])
+    Serve.invalid_request;
+  expect_error "non-string method" st
+    (Json.Obj [ ("method", Json.Int 3) ])
+    Serve.invalid_request;
+  (* unknown method *)
+  expect_error "unknown method" st (req "frobnicate" []) Serve.method_not_found;
+  (* missing required params *)
+  expect_error "slice without line" st
+    (req "slice" [ ("source", Json.Str tiny_src) ])
+    Serve.invalid_params;
+  expect_error "no program or source" st
+    (req "slice" [ ("line", Json.Int 4) ])
+    Serve.invalid_params;
+  expect_error "bad mode" st
+    (req "slice"
+       [ ("source", Json.Str tiny_src); ("line", Json.Int 4);
+         ("mode", Json.Str "psychic") ])
+    Serve.invalid_params;
+  expect_error "bad solver" st
+    (req "slice"
+       [ ("source", Json.Str tiny_src); ("line", Json.Int 4);
+         ("solver", Json.Str "quantum") ])
+    Serve.invalid_params;
+  (* analysis/user errors: code 1, mirroring CLI exit 1 *)
+  expect_error "unresident program key" st
+    (req "slice" [ ("program", Json.Str "no-such-key"); ("line", Json.Int 4) ])
+    1;
+  expect_error "unparsable source" st
+    (req "load" [ ("source", Json.Str "void main( {") ])
+    1;
+  expect_error "no statement at line" st
+    (req "slice" [ ("source", Json.Str tiny_src); ("line", Json.Int 999) ])
+    1;
+  (* after all that abuse, the daemon still answers a good request *)
+  let resp =
+    do_req st (req "slice" [ ("source", Json.Str tiny_src); ("line", Json.Int 4) ])
+  in
+  check_bool "loop survives: valid slice has a result" true
+    (Json.member "result" resp <> None);
+  check_bool "slice result carries lines" true
+    (Json.member "lines" (member_exn "result" resp) <> None);
+  (* shutdown stops the loop and acknowledges *)
+  let o = Serve.handle_request st (req "shutdown" []) in
+  check_bool "shutdown stops" true o.Serve.stop;
+  check_bool "shutdown acks" true (Json.member "result" o.Serve.resp <> None)
+
+(* --- cache hit/miss: equal answers, no re-analysis ------------------- *)
+
+let test_hit_miss_equality () =
+  Slice_obs.reset ();
+  Slice_obs.set_enabled true;
+  let st = Serve.create_state Serve.default_config in
+  let r =
+    req "slice"
+      [ ("source", Json.Str box_src); ("file", Json.Str "box.tj");
+        ("line", Json.Int box_print_line) ]
+  in
+  let cold = do_req st r in
+  let hot = do_req st r in
+  check_string "first is a miss" "miss" (cache_of cold);
+  check_string "second is a hit" "hit" (cache_of hot);
+  check_string "hit result byte-equals miss result" (result_str cold)
+    (result_str hot);
+  (* the hot path must not re-run any analysis phase: its scoped span
+     snapshot has no front/pta/sdg phases at all *)
+  let analysis_phase k =
+    List.exists
+      (fun p -> String.length k >= String.length p && String.sub k 0 (String.length p) = p)
+      [ "front"; "pta"; "sdg" ]
+  in
+  check_bool "cold query ran analysis phases" true
+    (List.exists analysis_phase (phase_keys cold));
+  check_bool "hot query ran zero analysis phases" false
+    (List.exists analysis_phase (phase_keys hot));
+  Slice_obs.set_enabled false
+
+(* --- LRU eviction and reload ---------------------------------------- *)
+
+let test_lru_eviction_reload () =
+  let st = Serve.create_state { Serve.max_programs = 2; jobs = 1 } in
+  let load file src = do_req st (req "load" [ ("source", Json.Str src); ("file", Json.Str file) ]) in
+  let key_of resp =
+    match Json.member "program" (member_exn "result" resp) with
+    | Some (Json.Str k) -> k
+    | _ -> Alcotest.fail "load result has no program key"
+  in
+  let ka = key_of (load "a.tj" tiny_src) in
+  let kb = key_of (load "b.tj" tiny_src) in
+  Alcotest.(check (list string)) "MRU order after two loads" [ kb; ka ]
+    (Serve.cache_keys st);
+  (* querying A touches it to the front *)
+  let ra =
+    do_req st (req "slice" [ ("program", Json.Str ka); ("line", Json.Int 4) ])
+  in
+  Alcotest.(check (list string)) "query touches A to MRU" [ ka; kb ]
+    (Serve.cache_keys st);
+  (* a third load evicts the LRU entry (B) *)
+  let kc = key_of (load "c.tj" box_src) in
+  Alcotest.(check (list string)) "C evicts B" [ kc; ka ] (Serve.cache_keys st);
+  (* the evicted key is an explicit user error, not a silent reload *)
+  expect_error "evicted program key" st
+    (req "slice" [ ("program", Json.Str kb); ("line", Json.Int 4) ])
+    1;
+  (* ... but the same source reloads by digest, with the same answer *)
+  let rb =
+    do_req st
+      (req "slice"
+         [ ("source", Json.Str tiny_src); ("file", Json.Str "b.tj");
+           ("line", Json.Int 4) ])
+  in
+  check_string "reload is a miss" "miss" (cache_of rb);
+  check_string "reloaded B computes the same slice as resident A"
+    (result_str ra) (result_str rb);
+  check_int "capacity still respected" 2 (List.length (Serve.cache_keys st))
+
+(* --- satellite 1: spans do not accumulate across queries ------------- *)
+
+let test_span_rotation () =
+  Slice_obs.reset ();
+  Slice_obs.set_enabled true;
+  let st = Serve.create_state Serve.default_config in
+  let r =
+    req "slice" [ ("source", Json.Str tiny_src); ("line", Json.Int 4) ]
+  in
+  ignore (do_req st r);
+  let baseline = List.length (Slice_obs.snapshot ()).Slice_obs.snap_spans in
+  for _ = 1 to 50 do
+    ignore (do_req st r)
+  done;
+  let after = List.length (Slice_obs.snapshot ()).Slice_obs.snap_spans in
+  check_int "span list does not grow over 50 queries" baseline after;
+  check_int "resident span list stays empty" 0 after;
+  Slice_obs.set_enabled false
+
+(* --- satellite 2: eviction shrinks the walk scratch ------------------ *)
+
+(* a program whose SDG dwarfs tiny_src's: a long straight-line chain *)
+let big_src =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "void main(String[] args) {\n  int x0 = 1;\n";
+  for i = 1 to 400 do
+    Buffer.add_string b (Printf.sprintf "  int x%d = x%d + 1;\n" i (i - 1))
+  done;
+  Buffer.add_string b "  print(itoa(x400));\n}\n";
+  Buffer.contents b
+
+let test_eviction_shrinks_scratch () =
+  let st = Serve.create_state { Serve.max_programs = 1; jobs = 1 } in
+  let slice src file line =
+    do_req st
+      (req "slice"
+         [ ("source", Json.Str src); ("file", Json.Str file);
+           ("line", Json.Int line) ])
+  in
+  ignore (slice big_src "big.tj" 402);
+  let cap_big = Slicer.domain_scratch_capacity () in
+  let tiny_nodes =
+    Sdg.num_nodes
+      (Engine.load [ ("t.tj", tiny_src) ]).Engine.h_analysis.Engine.sdg
+  in
+  check_bool "big program grew the scratch past tiny's size" true
+    (cap_big > tiny_nodes);
+  (* loading tiny evicts big (capacity 1) and must release big's buffers *)
+  ignore (slice tiny_src "t.tj" 4);
+  let cap_after = Slicer.domain_scratch_capacity () in
+  check_bool "eviction shrank the scratch" true (cap_after < cap_big);
+  check_int "scratch sized to the surviving program" tiny_nodes cap_after
+
+(* --- serve-vs-CLI byte parity (subprocess) --------------------------- *)
+
+let exe_path = Filename.concat (Filename.concat ".." "bin") "thinslice.exe"
+let skip_if_missing () = if not (Sys.file_exists exe_path) then Alcotest.skip ()
+
+let slurp f =
+  let ic = open_in_bin f in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out path in
+  output_string oc s;
+  close_out oc
+
+(* Run the one-shot CLI, returning trimmed stdout; any nonzero exit is
+   a test failure (parity inputs are all valid queries). *)
+let cli_json (args : string) : string =
+  let out_f = Filename.temp_file "serve_cli" ".json" in
+  let cmd =
+    Printf.sprintf "%s %s > %s 2> /dev/null" (Filename.quote exe_path) args
+      (Filename.quote out_f)
+  in
+  let rc = Sys.command cmd in
+  let out = slurp out_f in
+  Sys.remove out_f;
+  if rc <> 0 then Alcotest.failf "CLI failed (%d): %s" rc args;
+  String.trim out
+
+(* Pipe a scripted request file through [thinslice serve]; one response
+   line per request, in order. *)
+let serve_responses (reqs : Json.t list) : Json.t list =
+  let in_f = Filename.temp_file "serve_req" ".jsonl" in
+  let out_f = Filename.temp_file "serve_resp" ".jsonl" in
+  write_file in_f
+    (String.concat "" (List.map (fun r -> Json.to_string r ^ "\n") reqs));
+  let cmd =
+    Printf.sprintf "%s serve < %s > %s 2> /dev/null" (Filename.quote exe_path)
+      (Filename.quote in_f) (Filename.quote out_f)
+  in
+  let rc = Sys.command cmd in
+  let out = slurp out_f in
+  Sys.remove in_f;
+  Sys.remove out_f;
+  if rc <> 0 then Alcotest.failf "serve subprocess exited %d" rc;
+  String.split_on_char '\n' out
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.map (fun l ->
+         match Json.of_string l with
+         | Ok j -> j
+         | Error e -> Alcotest.failf "unparsable serve response %S: %s" l e)
+
+let parity_for_solver (solver : string) () =
+  skip_if_missing ();
+  let dir = Filename.temp_file "serve_parity" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let path = Filename.concat dir "box.tj" in
+  write_file path box_src;
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove path with Sys_error _ -> ());
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () ->
+      (* serve identifies the unit by basename, exactly as the CLI does *)
+      let base =
+        [ ("source", Json.Str box_src); ("file", Json.Str "box.tj");
+          ("solver", Json.Str solver) ]
+      in
+      let qp = Filename.quote path in
+      let cases =
+        [ ( "slice",
+            req "slice" (("line", Json.Int box_print_line) :: base),
+            Printf.sprintf "slice %s -l %d --json --pta %s" qp box_print_line
+              solver );
+          ( "forward",
+            req "forward"
+              (("line", Json.Int box_def_line)
+               :: ("mode", Json.Str "trad") :: base),
+            Printf.sprintf "slice %s -l %d --forward --mode trad --json --pta %s"
+              qp box_def_line solver );
+          ( "chop",
+            req "chop"
+              (("line", Json.Int box_def_line)
+               :: ("to", Json.Int box_print_line) :: base),
+            Printf.sprintf "chop %s -l %d --to %d --json --pta %s" qp
+              box_def_line box_print_line solver );
+          ( "expand",
+            req "expand" (("line", Json.Int box_print_line) :: base),
+            Printf.sprintf "expand %s -l %d --json --pta %s" qp box_print_line
+              solver );
+          ( "explain",
+            req "explain"
+              (("line", Json.Int box_def_line)
+               :: ("seed", Json.Int box_print_line)
+               :: ("mode", Json.Str "full") :: base),
+            Printf.sprintf "explain %s %d --seed %d --mode full --json --pta %s"
+              qp box_def_line box_print_line solver );
+          ( "report",
+            req "report"
+              (("line", Json.Int box_print_line)
+               :: ("mode", Json.Str "full") :: base),
+            Printf.sprintf "report %s -l %d --mode full --json --pta %s" qp
+              box_print_line solver );
+          ( "stats",
+            req "stats" base,
+            Printf.sprintf "stats %s --json --pta %s" qp solver ) ]
+      in
+      let resps = serve_responses (List.map (fun (_, r, _) -> r) cases) in
+      check_int "one response per request" (List.length cases)
+        (List.length resps);
+      List.iter2
+        (fun (name, _, cli_args) resp ->
+          let serve_result = result_str resp in
+          let cli_out = cli_json cli_args in
+          check_string
+            (Printf.sprintf "%s (--pta %s): serve result byte-equals CLI --json"
+               name solver)
+            cli_out serve_result)
+        cases resps;
+      (* every response after the first reuses the resident analysis *)
+      List.iteri
+        (fun i resp ->
+          check_string
+            (Printf.sprintf "request %d cache state" i)
+            (if i = 0 then "miss" else "hit")
+            (cache_of resp))
+        resps)
+
+let suite =
+  [ Alcotest.test_case "error contract: nothing kills the loop" `Quick
+      test_error_contract;
+    Alcotest.test_case "cache hit equals miss, zero re-analysis" `Quick
+      test_hit_miss_equality;
+    Alcotest.test_case "LRU eviction, explicit miss, reload" `Quick
+      test_lru_eviction_reload;
+    Alcotest.test_case "spans do not accumulate across queries" `Quick
+      test_span_rotation;
+    Alcotest.test_case "eviction shrinks the walk scratch" `Quick
+      test_eviction_shrinks_scratch;
+    Alcotest.test_case "serve/CLI byte parity (bitset pta)" `Quick
+      (parity_for_solver "bitset");
+    Alcotest.test_case "serve/CLI byte parity (reference pta)" `Quick
+      (parity_for_solver "reference") ]

@@ -371,6 +371,62 @@ let test_explicit_scratch_reuse () =
         (Slicer.slice ~scratch g1 ~seeds:seeds1 mode))
     [ Slicer.Thin; Slicer.Thin_with_aliasing 1; Slicer.Traditional_full ]
 
+(* Shrink: the serve daemon's eviction path.  Growing a handle on a big
+   graph, shrinking, and re-walking must (a) actually release capacity,
+   (b) stay correct — the next walk just regrows. *)
+let test_scratch_shrink_roundtrip () =
+  let small = analysis Paper_figures.fig1 and big = analysis Prog_nanoxml.base in
+  let g_small = small.Engine.sdg and g_big = big.Engine.sdg in
+  let n_small = Sdg.num_nodes g_small and n_big = Sdg.num_nodes g_big in
+  Alcotest.(check bool) "nanoxml dwarfs fig1" true (n_big > n_small);
+  let seeds =
+    Engine.seeds_at_line_exn big
+      (line_of ~src:Prog_nanoxml.base
+         ~pattern:"print((String) this.lines.get(i));")
+  in
+  let scratch = Slicer.create_scratch g_small in
+  Alcotest.(check int) "created at the small graph's size" n_small
+    (Slicer.scratch_capacity scratch);
+  let r1 = Slicer.slice ~scratch g_big ~seeds Slicer.Thin in
+  Alcotest.(check bool) "walking the big graph grew it" true
+    (Slicer.scratch_capacity scratch >= n_big);
+  Slicer.shrink_scratch scratch ~keep:n_small;
+  Alcotest.(check int) "shrunk back to keep" n_small
+    (Slicer.scratch_capacity scratch);
+  Alcotest.(check (list int)) "correct after shrinking (regrows)" r1
+    (Slicer.slice ~scratch g_big ~seeds Slicer.Thin);
+  Slicer.shrink_scratch scratch ~keep:0;
+  Alcotest.(check int) "keep clamps to at least one node" 1
+    (Slicer.scratch_capacity scratch)
+
+let test_provenance_shrink_invalidates () =
+  let small = analysis Paper_figures.fig1 and big = analysis Prog_nanoxml.base in
+  let g_big = big.Engine.sdg in
+  let n_small = Sdg.num_nodes small.Engine.sdg in
+  let seeds =
+    Engine.seeds_at_line_exn big
+      (line_of ~src:Prog_nanoxml.base
+         ~pattern:"print((String) this.lines.get(i));")
+  in
+  let prov = Slicer.create_provenance small.Engine.sdg in
+  let r1 = Slicer.slice ~prov g_big ~seeds Slicer.Thin in
+  let member = List.hd (List.rev r1) in
+  Alcotest.(check bool) "witness before shrink" true
+    (Slicer.witness prov member <> None);
+  Slicer.shrink_provenance prov ~keep:n_small;
+  Alcotest.(check int) "side tables shrunk" n_small
+    (Slicer.provenance_capacity prov);
+  (* stale records must not survive the shrink: no mode, no witnesses *)
+  Alcotest.(check bool) "recorded mode cleared" true
+    (Slicer.provenance_mode prov = None);
+  Alcotest.(check bool) "witness gone after shrink" true
+    (Slicer.witness prov member = None);
+  (* a fresh recorded walk through the shrunk handle works again *)
+  let r2 = Slicer.slice ~prov g_big ~seeds Slicer.Thin in
+  Alcotest.(check (list int)) "re-walk equal" r1 r2;
+  Alcotest.(check bool) "witness restored by the re-walk" true
+    (Slicer.witness prov member <> None)
+
 let suite =
   [ Alcotest.test_case "mode ordering" `Quick test_mode_ordering;
     Alcotest.test_case "fig1 exact thin slice" `Quick test_fig1_exact_thin;
@@ -390,4 +446,8 @@ let suite =
     Alcotest.test_case "two-file line-number dedup" `Quick
       test_two_file_line_numbers;
     Alcotest.test_case "explicit scratch reuse" `Quick
-      test_explicit_scratch_reuse ]
+      test_explicit_scratch_reuse;
+    Alcotest.test_case "scratch shrink roundtrip" `Quick
+      test_scratch_shrink_roundtrip;
+    Alcotest.test_case "provenance shrink invalidates records" `Quick
+      test_provenance_shrink_invalidates ]

@@ -825,6 +825,179 @@ let bench_serve_ab () : Slice_obs.Json.t =
       ("parity_reference", Bool parity_reference);
       ("parity", Bool (parity_bitset && parity_reference)) ]
 
+(* ------------------------------------------------------------------ *)
+(* Serve incremental: one-method edit vs from-scratch re-analysis      *)
+(* ------------------------------------------------------------------ *)
+
+(* The incremental tentpole, measured on javac: a body-only,
+   pointer-free, line-count-preserving edit must take [Engine.update]'s
+   Patched path — exactly one method re-lowered, points-to re-keyed,
+   only the touched SDG segments re-frozen — and beat a from-scratch
+   load by >= 5x while the much-updated handle answers queries exactly
+   like a fresh load.  A second probe edits N methods at once and
+   checks the work stays proportional to the delta: exactly N bodies
+   re-lowered, re-frozen segments monotone in N and always strictly
+   under the segment total.  All claims are enforced in [json_results]
+   before the artifact is written. *)
+let incr_cold_reps = 5
+let incr_update_reps = 40
+
+(* Constant tweaks inside three distinct javac scanner predicates; the
+   [;]-suffixed needles are unique in [Prog_javac.base]. *)
+let incr_edits =
+  [ ("c == 9;", "c == 10;");   (* Scanner.isSpace *)
+    ("c <= 57;", "c <= 56;");  (* Scanner.isDigit *)
+    ("c == 95;", "c == 94;") ] (* Scanner.isNameChar *)
+
+let replace_sub ~(sub : string) ~(by : string) (s : string) : string =
+  let ls = String.length s and lsub = String.length sub in
+  let rec find i =
+    if i + lsub > ls then None
+    else if String.sub s i lsub = sub then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> failwith (Printf.sprintf "serve_incr: edit needle %S not found" sub)
+  | Some i -> String.sub s 0 i ^ by ^ String.sub s (i + lsub) (ls - i - lsub)
+
+let bench_serve_incr () : Slice_obs.Json.t =
+  let open Slice_obs.Json in
+  let name = "javac" in
+  let src = Prog_javac.base in
+  let file = name ^ ".tj" in
+  (* seed: the median countable line, like the serve_ab probe *)
+  let line =
+    let a = Engine.of_source ~file src in
+    let g = a.Engine.sdg in
+    let ls = ref [] in
+    for n = 0 to Sdg.num_nodes g - 1 do
+      if Sdg.node_countable g n then
+        ls := (Sdg.node_loc g n).Slice_ir.Loc.line :: !ls
+    done;
+    let sorted = Array.of_list (List.sort_uniq compare !ls) in
+    sorted.(Array.length sorted / 2)
+  in
+  let apply n s =
+    List.fold_left
+      (fun acc (sub, by) -> replace_sub ~sub ~by acc)
+      s
+      (List.filteri (fun i _ -> i < n) incr_edits)
+  in
+  let src1 = apply 1 src in
+  (* cold: from-scratch loads of the edited source *)
+  let () = Gc.full_major () in
+  let _, cold_wall =
+    time (fun () ->
+        for _ = 1 to incr_cold_reps do
+          ignore (Engine.load [ (file, src1) ])
+        done)
+  in
+  (* incremental: ONE resident handle absorbing an alternating stream of
+     one-method edits; every update must stay on the Patched path *)
+  let h = ref (Engine.load [ (file, src) ]) in
+  let all_patched = ref true in
+  let relowered_one = ref true in
+  let segments_partial = ref true in
+  let last_report = ref None in
+  let () = Gc.full_major () in
+  let _, incr_wall =
+    time (fun () ->
+        for i = 1 to incr_update_reps do
+          let target = if i land 1 = 1 then src1 else src in
+          let h', rep = Engine.update !h [ (file, target) ] in
+          h := h';
+          last_report := Some rep;
+          if rep.Engine.up_path <> Engine.Patched then all_patched := false;
+          if rep.Engine.up_relowered <> 1 then relowered_one := false;
+          if rep.Engine.up_segments_refrozen >= rep.Engine.up_segments_total
+          then segments_partial := false
+        done)
+  in
+  (* parity: after the whole edit stream, the patched handle must answer
+     exactly like a fresh load of the same source *)
+  let final_src = if incr_update_reps land 1 = 1 then src1 else src in
+  let fresh = Engine.load [ (file, final_src) ] in
+  let ia = !h.Engine.h_analysis and fa = fresh.Engine.h_analysis in
+  let parity_slices =
+    List.for_all
+      (fun mode ->
+        Engine.slice_from_line ia ~line mode
+        = Engine.slice_from_line fa ~line mode)
+      [ Slicer.Thin; Slicer.Traditional_full ]
+  in
+  let parity_dumps =
+    Engine.pts_dump_canonical ia = Engine.pts_dump_canonical fa
+    && Engine.call_graph_dump_canonical ia = Engine.call_graph_dump_canonical fa
+  in
+  (* proportionality: an N-method edit re-lowers exactly N bodies *)
+  let prop =
+    List.mapi
+      (fun i _ ->
+        let n = i + 1 in
+        let h0 = Engine.load [ (file, src) ] in
+        let _, rep = Engine.update h0 [ (file, apply n src) ] in
+        (n, rep))
+      incr_edits
+  in
+  let prop_ok =
+    List.for_all
+      (fun (n, rep) ->
+        rep.Engine.up_path = Engine.Patched
+        && rep.Engine.up_relowered = n
+        && rep.Engine.up_segments_refrozen < rep.Engine.up_segments_total)
+      prop
+    &&
+    let rs = List.map (fun (_, r) -> r.Engine.up_segments_refrozen) prop in
+    List.sort compare rs = rs
+  in
+  let per_cold = cold_wall /. float_of_int incr_cold_reps in
+  let per_update = incr_wall /. float_of_int incr_update_reps in
+  let speedup = if per_update > 0. then per_cold /. per_update else 0. in
+  let seg_refrozen, seg_total =
+    match !last_report with
+    | Some r -> (r.Engine.up_segments_refrozen, r.Engine.up_segments_total)
+    | None -> (0, 0)
+  in
+  let parity = parity_slices && parity_dumps in
+  (* greppable one-liner, same spirit as the fuzz summary *)
+  Printf.printf
+    "serve_incr: program=%s path=%s relowered=%s segments_refrozen=%d/%d \
+     parity=%d speedup=%.1f\n"
+    name
+    (if !all_patched then "patched" else "MIXED")
+    (if !relowered_one then "1" else "?")
+    seg_refrozen seg_total
+    (if parity then 1 else 0)
+    speedup;
+  Obj
+    [ ("name", Str name);
+      ("line", Int line);
+      ("reps_cold", Int incr_cold_reps);
+      ("reps_update", Int incr_update_reps);
+      ("wall_s_cold_per_load", Float per_cold);
+      ("wall_s_per_update", Float per_update);
+      ("speedup", Float speedup);
+      ("path_all_patched", Bool !all_patched);
+      ("relowered_one", Bool !relowered_one);
+      ("segments_refrozen", Int seg_refrozen);
+      ("segments_total", Int seg_total);
+      ("segments_partial", Bool !segments_partial);
+      ("proportional",
+       List
+         (List.map
+            (fun (n, r) ->
+              Obj
+                [ ("methods_edited", Int n);
+                  ("path", Str (Engine.update_path_to_string r.Engine.up_path));
+                  ("relowered", Int r.Engine.up_relowered);
+                  ("segments_refrozen", Int r.Engine.up_segments_refrozen);
+                  ("segments_total", Int r.Engine.up_segments_total) ])
+            prop));
+      ("proportional_ok", Bool prop_ok);
+      ("parity_slices", Bool parity_slices);
+      ("parity_dumps", Bool parity_dumps);
+      ("parity", Bool parity) ]
+
 let json_results ?(out = "BENCH_results.json") () =
   let open Slice_obs.Json in
   let benchmarks =
@@ -873,6 +1046,30 @@ let json_results ?(out = "BENCH_results.json") () =
   | _ ->
     Printf.eprintf "serve_ab: a hot response re-ran an analysis phase\n";
     exit 1);
+  let serve_incr = bench_serve_incr () in
+  (* self-check: incremental re-analysis must actually be incremental —
+     every one-method edit stays on the Patched path re-lowering exactly
+     one body and re-freezing a strict subset of the SDG segments, an
+     N-method edit re-lowers exactly N, the patched handle answers like
+     a fresh load, and an update beats a from-scratch load >= 5x *)
+  (match member "speedup" serve_incr with
+  | Some (Float f) when Float.is_finite f && f >= 5. -> ()
+  | Some (Float f) ->
+    Printf.eprintf "serve_incr: update/load speedup %.2f below the 5x floor\n"
+      f;
+    exit 1
+  | _ ->
+    Printf.eprintf "serve_incr: speedup missing or not finite\n";
+    exit 1);
+  List.iter
+    (fun k ->
+      match member k serve_incr with
+      | Some (Bool true) -> ()
+      | _ ->
+        Printf.eprintf "serve_incr: %s self-check failed\n" k;
+        exit 1)
+    [ "path_all_patched"; "relowered_one"; "segments_partial";
+      "proportional_ok"; "parity" ];
   let doc =
     Obj
       [ ("schema", Str bench_schema_version);
@@ -882,7 +1079,8 @@ let json_results ?(out = "BENCH_results.json") () =
         ("slice_size_tables", List tasks);
         ("parallel_batch", parallel_batch);
         ("pta_ab", List pta_ab);
-        ("serve_ab", serve_ab) ]
+        ("serve_ab", serve_ab);
+        ("serve_incr", serve_incr) ]
   in
   let text = to_string doc ^ "\n" in
   let oc = open_out out in

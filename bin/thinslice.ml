@@ -766,7 +766,19 @@ let fuzz_cmd =
              dyn-base-as-val (base-pointer dependences treated as value \
              dependences in the dynamic thin slice).")
   in
-  let run seed count max_size corpus fault tel =
+  let edits_arg =
+    Arg.(
+      value & flag
+      & info [ "edits" ]
+          ~doc:
+            "After the base battery, apply a chain of random edits to \
+             each generated program and assert that incremental \
+             re-analysis (Engine.update) agrees with a from-scratch \
+             load after every edit: slice line sets in every mode, \
+             canonical points-to and call-graph dumps, layered reports \
+             in the budget-free modes, and headline stats.")
+  in
+  let run seed count max_size corpus fault edits tel =
     handle_errors (fun () ->
         setup_telemetry tel;
         if count <= 0 then cli_error "--count expects K > 0";
@@ -783,7 +795,8 @@ let fuzz_cmd =
             else None
         in
         let report =
-          Slice_fuzz.Fuzz.run ~fault ?corpus_dir ~seed ~count ~max_size ()
+          Slice_fuzz.Fuzz.run ~fault ?corpus_dir ~edits ~seed ~count ~max_size
+            ()
         in
         List.iter
           (fun f ->
@@ -807,11 +820,12 @@ let fuzz_cmd =
          "Differential fuzzing: generate random TJ programs and run the \
           oracle battery (dynamic-slice soundness, static mode chain, \
           CSR/reference and bitset/reference parity, parallel batch parity, \
-          object-sensitivity containment) on each; violations are shrunk \
-          and written as replayable JSON repros")
+          object-sensitivity containment, and with --edits the \
+          incremental-vs-fresh equivalence chain) on each; violations are \
+          shrunk and written as replayable JSON repros")
     Term.(
       const run $ seed_arg $ count_arg $ max_size_arg $ corpus_arg $ fault_arg
-      $ telemetry_term)
+      $ edits_arg $ telemetry_term)
 
 (* ---- dot ---- *)
 
@@ -890,6 +904,116 @@ let serve_cmd =
           one-shot --json output")
     Term.(const run $ socket_arg $ max_programs_arg $ jobs_arg $ telemetry_term)
 
+(* ---- watch: re-slice incrementally as the file changes ---- *)
+
+let watch_cmd =
+  let interval_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "interval-ms" ] ~docv:"MS"
+          ~doc:"Polling interval in milliseconds")
+  in
+  let max_updates_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-updates" ] ~docv:"K"
+          ~doc:
+            "Exit (code 0) after applying $(docv) content changes; \
+             default is to watch until killed.")
+  in
+  let run file line mode no_objsens solver interval max_updates tel =
+    handle_errors (fun () ->
+        setup_telemetry tel;
+        if interval <= 0 then cli_error "--interval-ms expects MS > 0";
+        let base = Filename.basename file in
+        let emit kvs =
+          print_endline (Slice_obs.Json.to_string (Slice_obs.Json.Obj kvs));
+          flush stdout
+        in
+        let open Slice_obs.Json in
+        let slice_event h extra t0 =
+          (* The slice itself can become unanswerable mid-edit (the
+             watched line may no longer hold a statement): that is an
+             event, not a reason to stop watching. *)
+          match
+            Engine.run_query h (Engine.Q_slice { line; mode; forward = false })
+          with
+          | Engine.R_lines lines ->
+            emit
+              (extra
+              @ [ ("wall_s", Float (Unix.gettimeofday () -. t0));
+                  ("lines", List (Stdlib.List.map (fun l -> Int l) lines)) ])
+          | _ -> ()
+          | exception Engine.No_seed l ->
+            emit
+              (extra
+              @ [ ("wall_s", Float (Unix.gettimeofday () -. t0));
+                  ("error",
+                   Str (Printf.sprintf "no statement found at line %d" l)) ])
+        in
+        let t0 = Unix.gettimeofday () in
+        let src0 = read_file_exn file in
+        let h = ref (Engine.load ~obj_sens:(not no_objsens) ~solver [ (base, src0) ]) in
+        slice_event !h
+          [ ("event", Str "load"); ("file", Str file); ("line", Int line);
+            ("mode", Str (Slicer.mode_to_string mode)) ]
+          t0;
+        let prev_src = ref src0 in
+        let prev_mtime = ref (Unix.stat file).Unix.st_mtime in
+        let updates = ref 0 in
+        let continue () =
+          match max_updates with None -> true | Some k -> !updates < k
+        in
+        while continue () do
+          Unix.sleepf (float_of_int interval /. 1000.);
+          (* mtime is only the cheap trigger; the content digest decides
+             (saves that rewrite identical bytes must not re-analyze) *)
+          match (try Some (Unix.stat file).Unix.st_mtime with Unix.Unix_error _ -> None) with
+          | None -> () (* transient: editors unlink/rename on save *)
+          | Some mt when mt = !prev_mtime -> ()
+          | Some mt ->
+            prev_mtime := mt;
+            let src = read_file_exn file in
+            if not (String.equal src !prev_src) then begin
+              let t0 = Unix.gettimeofday () in
+              match Engine.update !h [ (base, src) ] with
+              | exception Slice_front.Frontend.Error e ->
+                (* a broken intermediate save: report, keep the old
+                   handle, and wait for the next save *)
+                emit
+                  [ ("event", Str "error");
+                    ("message", Str (Slice_front.Frontend.error_to_string e)) ]
+              | h', report ->
+                incr updates;
+                prev_src := src;
+                h := h';
+                slice_event h'
+                  [ ("event", Str "update");
+                    ("path",
+                     Str (Engine.update_path_to_string report.Engine.up_path));
+                    ("relowered", Int report.Engine.up_relowered);
+                    ("segments_refrozen", Int report.Engine.up_segments_refrozen);
+                    ("segments_total", Int report.Engine.up_segments_total) ]
+                  t0
+            end
+        done;
+        emit_telemetry tel None)
+  in
+  Cmd.v
+    (Cmd.info "watch"
+       ~doc:
+         "Watch a TJ file and re-slice incrementally on every change: \
+          the file is polled by mtime, re-analyzed through the \
+          delta-classifying Engine.update (body-only edits patch the \
+          resident SDG instead of rebuilding), and one JSON event line \
+          is printed per load/update with the incremental path taken \
+          (noop/patched/resolved/rebuilt), its delta statistics, and \
+          the fresh slice lines")
+    Term.(
+      const run $ file_arg $ line_arg $ mode_arg $ objsens_arg $ pta_arg
+      $ interval_arg $ max_updates_arg $ telemetry_term)
+
 let () =
   let doc = "thin slicing for TJ programs (PLDI 2007 reproduction)" in
   exit
@@ -898,4 +1022,4 @@ let () =
           (Cmd.info "thinslice" ~doc)
           [ slice_cmd; batch_cmd; chop_cmd; expand_cmd; explain_cmd;
             report_cmd; casts_cmd; stats_cmd; run_cmd; fuzz_cmd; dot_cmd;
-            serve_cmd ]))
+            serve_cmd; watch_cmd ]))

@@ -552,7 +552,27 @@ type stats = {
   obs : Slice_obs.snapshot;      (* counters, gauges, spans at capture *)
 }
 
-let stats_of (a : analysis) : stats =
+(* The snapshot member of a patched handle's stats cannot come from
+   [Slice_obs.snapshot ()] (process-cumulative, conflates programs) nor
+   from the load-time scoped capture (its edge counters describe the
+   PRE-edit graph).  Recompute the per-kind edge census from the graph
+   itself and present it in snapshot shape, so [resident_stats_to_json]
+   keeps reading ["sdg.edge.<kind>"] counters unchanged. *)
+let edge_census_snapshot (g : Sdg.t) : Slice_obs.snapshot =
+  let counters =
+    List.filter_map
+      (fun (k, n) ->
+        if n = 0 then None
+        else Some ("sdg.edge." ^ Sdg.edge_kind_to_string k, n))
+      (Sdg.edge_kind_counts g)
+  in
+  { Slice_obs.snap_counters = List.sort compare counters;
+    snap_gauges = [];
+    snap_hists = [];
+    snap_hist_buckets = [];
+    snap_spans = [] }
+
+let stats_of ?obs (a : analysis) : stats =
   let reachable = Andersen.reachable_methods a.pta in
   let with_body =
     List.filter
@@ -577,9 +597,9 @@ let stats_of (a : analysis) : stats =
     ir_statements;
     call_graph_nodes = Andersen.num_call_graph_nodes a.pta;
     sdg_statements = Sdg.num_scalar_statements a.sdg;
-    sdg_nodes = Sdg.num_nodes a.sdg;
+    sdg_nodes = Sdg.num_live_nodes a.sdg;
     abstract_objects = Andersen.num_objects a.pta;
-    obs = Slice_obs.snapshot () }
+    obs = (match obs with Some s -> s | None -> Slice_obs.snapshot ()) }
 
 (* JSON export of the stats + telemetry — the payload behind [thinslice
    --stats-json] and one entry of BENCH_results.json.  Schema documented
@@ -621,6 +641,45 @@ let stats_to_json (s : stats) : Slice_obs.Json.t =
       ("telemetry", Slice_obs.snapshot_to_json s.obs) ]
 
 (* ------------------------------------------------------------------ *)
+(* Canonical analysis dumps                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Site labels for oracle dumps: each statement rendered as its
+   per-method body-order ordinal ("<method>#<ix>").  Raw statement ids
+   diverge between a patched analysis and a fresh rebuild (a re-lower
+   draws fresh ids), and source locations collide on synthetic
+   statements (the [$clinit] prepend, default constructors share
+   [Loc.none]) — the ordinal is the one key both sides agree on.
+   Synthetic intrinsic sites (negative ids, never in any body) render
+   verbatim. *)
+let site_label (a : analysis) : int -> string =
+  let tbl : (int, string) Hashtbl.t = Hashtbl.create 256 in
+  Program.iter_methods a.program (fun m ->
+      if Instr.has_body m then begin
+        let mq = Instr.method_qname_to_string m.Instr.m_qname in
+        let ix = ref 0 in
+        let put s =
+          Hashtbl.replace tbl s (Printf.sprintf "%s#%d" mq !ix);
+          incr ix
+        in
+        Instr.iter_instrs m (fun _ i -> put i.Instr.i_id);
+        Instr.iter_terms m (fun _ t -> put t.Instr.t_id)
+      end);
+  fun s ->
+    match Hashtbl.find_opt tbl s with
+    | Some l -> l
+    | None -> string_of_int s
+
+(* Points-to / call-graph dumps comparable across an incremental update
+   and a from-scratch load of the same sources — the fuzz oracle's
+   equality check for the analysis layer. *)
+let pts_dump_canonical (a : analysis) : (string * string list) list =
+  Andersen.pts_dump_loc ~site_label:(site_label a) a.pta
+
+let call_graph_dump_canonical (a : analysis) : (string * string list) list =
+  Andersen.call_graph_dump_loc ~site_label:(site_label a) a.pta
+
+(* ------------------------------------------------------------------ *)
 (* Resident-analysis handles and the unified query API                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -639,17 +698,215 @@ let stats_to_json (s : stats) : Slice_obs.Json.t =
 type handle = {
   h_analysis : analysis;
   h_stats : stats;
+  (* The load-time configuration, retained so {!update} can classify an
+     edit against the exact sources this handle analyzed and can rebuild
+     under identical options when the delta is not patchable. *)
+  h_sources : (string * string) list;
+  h_container_classes : string list option;
+  h_obj_sens : bool;
+  h_solver : [ `Bitset | `Reference ];
 }
 
-let load ?container_classes ?obj_sens ?solver (units : (string * string) list)
-    : handle =
+let load ?container_classes ?(obj_sens = true) ?(solver = `Bitset)
+    (units : (string * string) list) : handle =
   let h, snap =
     Slice_obs.scoped (fun () ->
-        let a = of_sources ?container_classes ?obj_sens ?solver units in
-        { h_analysis = a; h_stats = stats_of a })
+        let a = of_sources ?container_classes ~obj_sens ~solver units in
+        { h_analysis = a;
+          h_stats = stats_of a;
+          h_sources = units;
+          h_container_classes = container_classes;
+          h_obj_sens = obj_sens;
+          h_solver = solver })
   in
   ignore snap;
   h
+
+(* ------------------------------------------------------------------ *)
+(* Incremental update: edit -> delta -> patched analysis               *)
+(* ------------------------------------------------------------------ *)
+
+(* How far an edit forced the pipeline to re-run, cheapest first:
+   - [Noop]: byte-identical sources, nothing ran;
+   - [Patched]: changed bodies re-lowered, points-to re-keyed in place,
+     frozen SDG patched (constraint summaries unchanged);
+   - [Resolved]: changed bodies re-lowered, fresh points-to solve and
+     SDG over the mutated program — frontend skipped;
+   - [Rebuilt]: full reload from the new sources (structural edit, or
+     fallback after a mid-incremental failure). *)
+type update_path = Noop | Patched | Resolved | Rebuilt
+
+let update_path_to_string = function
+  | Noop -> "noop"
+  | Patched -> "patched"
+  | Resolved -> "resolved"
+  | Rebuilt -> "rebuilt"
+
+type update_report = {
+  up_path : update_path;
+  up_relowered : int;  (* method bodies re-lowered (Rebuilt: all) *)
+  up_segments_refrozen : int;  (* SDG segments whose rows moved *)
+  up_segments_total : int;
+  up_nodes_dead : int;
+  up_nodes_new : int;
+}
+
+let c_update_noop = Slice_obs.counter "engine.update.noop"
+let c_update_patched = Slice_obs.counter "engine.update.patched"
+let c_update_resolved = Slice_obs.counter "engine.update.resolved"
+let c_update_rebuilt = Slice_obs.counter "engine.update.rebuilt"
+
+let update (h : handle) (new_sources : (string * string) list) :
+    handle * update_report =
+  Slice_obs.span "engine.update" (fun () ->
+      let rebuilt () =
+        Slice_obs.bump c_update_rebuilt;
+        Slice_obs.add_span_arg "path" "rebuilt";
+        let h' =
+          load ?container_classes:h.h_container_classes ~obj_sens:h.h_obj_sens
+            ~solver:h.h_solver new_sources
+        in
+        let total = Andersen.num_call_graph_nodes h'.h_analysis.pta in
+        ( h',
+          { up_path = Rebuilt;
+            up_relowered = h'.h_stats.methods;
+            up_segments_refrozen = total;
+            up_segments_total = total;
+            up_nodes_dead = 0;
+            up_nodes_new = 0 } )
+      in
+      match Slice_front.Delta.diff ~old_sources:h.h_sources ~new_sources with
+      | Slice_front.Delta.Same ->
+        Slice_obs.bump c_update_noop;
+        Slice_obs.add_span_arg "path" "noop";
+        ( h,
+          { up_path = Noop;
+            up_relowered = 0;
+            up_segments_refrozen = 0;
+            up_segments_total =
+              Andersen.num_call_graph_nodes h.h_analysis.pta;
+            up_nodes_dead = 0;
+            up_nodes_new = 0 } )
+      | Slice_front.Delta.Structural -> rebuilt ()
+      | Slice_front.Delta.Bodies changed -> (
+        try
+          let a = h.h_analysis in
+          let p = a.program in
+          (* Locate every changed method and snapshot the OLD bodies'
+             constraint summaries before any mutation. *)
+          let resolved = List.map (Slice_front.Delta.resolve p) changed in
+          let summary_of (r : Slice_front.Delta.resolved) =
+            Andersen.method_summary_sites
+              (Program.find_method_exn p r.Slice_front.Delta.rv_mq)
+          in
+          let old_summaries = List.map summary_of resolved in
+          (* IR-statement count of the changed bodies, snapshotted for the
+             Patched path's incremental stats.  [stats_of] only counts
+             REACHABLE bodies, so unreachable edits must contribute zero
+             to the adjustment — reachability itself cannot change on the
+             Patched path (equal summaries, re-keyed solution). *)
+          let reachable = Andersen.reachable_methods a.pta in
+          let counted =
+            List.filter
+              (fun (r : Slice_front.Delta.resolved) ->
+                List.exists
+                  (fun mq ->
+                    Instr.equal_method_qname mq r.Slice_front.Delta.rv_mq)
+                  reachable)
+              resolved
+          in
+          let count_ir (r : Slice_front.Delta.resolved) =
+            match Program.find_method p r.Slice_front.Delta.rv_mq with
+            | Some m when Instr.has_body m ->
+              let n = ref 0 in
+              Instr.iter_instrs m (fun _ _ -> incr n);
+              Instr.iter_terms m (fun _ _ -> incr n);
+              !n
+            | _ -> 0
+          in
+          let ir_of rs = List.fold_left (fun acc r -> acc + count_ir r) 0 rs in
+          let old_ir = ir_of counted in
+          (* Re-lower in place: from here on [p] holds the new bodies and
+             any failure falls through to the rebuild handler below. *)
+          List.iter (Slice_front.Delta.relower_resolved p) resolved;
+          let new_summaries = List.map summary_of resolved in
+          let summaries_equal =
+            List.for_all2
+              (fun (s_old, _) (s_new, _) -> String.equal s_old s_new)
+              old_summaries new_summaries
+          in
+          let n_changed = List.length changed in
+          if summaries_equal && Sdg.is_frozen a.sdg then begin
+            (* Patch in place: the old and new site lists zip
+               positionally into a remap (summary equality guarantees
+               equal length and matching roles), the solved points-to
+               result is re-keyed onto the fresh ids, and only the
+               changed methods' SDG segments are rewritten. *)
+            let remap : (int, int) Hashtbl.t = Hashtbl.create 64 in
+            List.iter2
+              (fun (_, old_sites) (_, new_sites) ->
+                List.iter2
+                  (fun o n -> if o <> n then Hashtbl.replace remap o n)
+                  old_sites new_sites)
+              old_summaries new_summaries;
+            let site_remap s = Hashtbl.find_opt remap s in
+            Andersen.rekey_sites a.pta site_remap;
+            let changed_mqs =
+              List.map
+                (fun (r : Slice_front.Delta.resolved) ->
+                  r.Slice_front.Delta.rv_mq)
+                resolved
+            in
+            let ps = Sdg.patch a.sdg ~changed:changed_mqs ~site_remap in
+            Slice_obs.bump c_update_patched;
+            Slice_obs.add_span_arg "path" "patched";
+            (* Incremental stats: only the edited bodies' IR counts and
+               the SDG-derived numbers can move on this path — classes,
+               reachable methods, call-graph nodes and abstract objects
+               are pinned by summary equality.  Avoids the O(program)
+               [stats_of] re-count, which would otherwise rival the
+               patch itself. *)
+            let stats' =
+              { h.h_stats with
+                ir_statements =
+                  h.h_stats.ir_statements + ir_of counted - old_ir;
+                sdg_statements = Sdg.num_scalar_statements a.sdg;
+                sdg_nodes = Sdg.num_live_nodes a.sdg;
+                obs = edge_census_snapshot a.sdg }
+            in
+            ( { h with h_sources = new_sources; h_stats = stats' },
+              { up_path = Patched;
+                up_relowered = n_changed;
+                up_segments_refrozen = ps.Sdg.ps_segments_refrozen;
+                up_segments_total = ps.Sdg.ps_segments_total;
+                up_nodes_dead = ps.Sdg.ps_nodes_dead;
+                up_nodes_new = ps.Sdg.ps_nodes_new } )
+          end
+          else begin
+            (* The edit moved some constraint summary: fresh points-to
+               solve and SDG over the mutated program — the frontend
+               (parse/lower/SSA of the UNCHANGED methods) is skipped. *)
+            let a' = analyze ~obj_sens:a.obj_sens ~solver:h.h_solver p in
+            Slice_obs.bump c_update_resolved;
+            Slice_obs.add_span_arg "path" "resolved";
+            let total = Andersen.num_call_graph_nodes a'.pta in
+            ( { h with
+                h_analysis = a';
+                h_sources = new_sources;
+                h_stats = stats_of ~obs:(edge_census_snapshot a'.sdg) a' },
+              { up_path = Resolved;
+                up_relowered = n_changed;
+                up_segments_refrozen = total;
+                up_segments_total = total;
+                up_nodes_dead = 0;
+                up_nodes_new = 0 } )
+          end
+        with e ->
+          (* A mid-incremental failure (mini-unit parse error, lowering
+             error, violated patch invariant) may leave the program
+             half-mutated — the stored sources rebuild it whole. *)
+          Slice_obs.add_span_arg "fallback" (Printexc.to_string e);
+          rebuilt ()))
 
 (* One heap read/write pair of an expand query, with the flows of their
    common object(s) to each base (see [Expansion.explain_aliasing]). *)

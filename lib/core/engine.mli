@@ -222,7 +222,11 @@ type stats = {
       (** counters, gauges, histograms and spans at capture time *)
 }
 
-val stats_of : analysis -> stats
+(** Statistics of an analysis.  [sdg_nodes] counts LIVE nodes — equal to
+    {!Sdg.num_nodes} until an incremental patch retires some.  [?obs]
+    substitutes the snapshot member ({!update} passes a per-graph edge
+    census instead of the process-cumulative registry). *)
+val stats_of : ?obs:Slice_obs.snapshot -> analysis -> stats
 
 (** Schema identifier emitted in the JSON export ("thinslice.stats/v1"). *)
 val stats_schema_version : string
@@ -239,6 +243,24 @@ val edges_by_kind_json : Slice_obs.snapshot -> Slice_obs.Json.t
     per-benchmark entries of BENCH_results.json. *)
 val stats_to_json : stats -> Slice_obs.Json.t
 
+(** Per-kind edge census of a graph presented in snapshot shape (only
+    ["sdg.edge.<kind>"] counters, everything else empty) — the [?obs]
+    {!stats_of} wants for a patched graph, where the load-time scoped
+    snapshot describes the pre-edit edges. *)
+val edge_census_snapshot : Sdg.t -> Slice_obs.snapshot
+
+(** {2 Canonical analysis dumps}
+
+    {!Andersen.pts_dump_loc} / {!Andersen.call_graph_dump_loc} with
+    every site rendered as its per-method body-order ordinal
+    (["<method>#<ix>"]).  Raw statement ids diverge between a patched
+    analysis and a fresh rebuild, and source locations collide on
+    synthetic statements; the ordinal is the key both sides agree on —
+    the fuzz oracle compares these dumps for byte equality. *)
+val pts_dump_canonical : analysis -> (string * string list) list
+
+val call_graph_dump_canonical : analysis -> (string * string list) list
+
 (** {2 Resident-analysis handles and the unified query API}
 
     One code path for every driver: the serve daemon keeps handles
@@ -254,6 +276,12 @@ type handle = {
           covers exactly this handle's load pipeline, so per-program
           stats stay deterministic in a process that loads many
           programs *)
+  h_sources : (string * string) list;
+      (** the exact units this handle analyzed — what {!update} diffs
+          a new version against *)
+  h_container_classes : string list option;
+  h_obj_sens : bool;
+  h_solver : [ `Bitset | `Reference ];
 }
 
 (** Analyze [(file, src)] units into a resident handle.  The load runs
@@ -265,6 +293,48 @@ val load :
   ?solver:[ `Bitset | `Reference ] ->
   (string * string) list ->
   handle
+
+(** {2 Incremental update}
+
+    [update h new_sources] re-analyzes an edited version of a handle's
+    program, doing work proportional to the edit where possible.  The
+    edit is classified by {!Slice_front.Delta.diff}; the returned
+    {!update_path} records how far the pipeline re-ran. *)
+
+(** Cheapest first:
+    - [Noop]: byte-identical sources — the handle is returned as-is;
+    - [Patched]: only method bodies changed AND their constraint
+      summaries are unchanged — bodies re-lowered in place, points-to
+      re-keyed ({!Andersen.rekey_sites}), frozen SDG patched
+      ({!Sdg.patch});
+    - [Resolved]: bodies changed but some constraint summary moved —
+      fresh points-to solve and SDG over the mutated program (the
+      frontend work for unchanged methods is still skipped);
+    - [Rebuilt]: structural edit, or fallback after any mid-incremental
+      failure — full {!load} from the new sources under the handle's
+      stored options. *)
+type update_path = Noop | Patched | Resolved | Rebuilt
+
+val update_path_to_string : update_path -> string
+
+type update_report = {
+  up_path : update_path;
+  up_relowered : int;  (** method bodies re-lowered (Rebuilt: all) *)
+  up_segments_refrozen : int;
+      (** SDG method-context segments whose adjacency rows moved *)
+  up_segments_total : int;
+  up_nodes_dead : int;
+  up_nodes_new : int;
+}
+
+(** Apply an edit.  On the [Patched] path the returned handle SHARES its
+    analysis with the input handle (the graph was mutated in place);
+    on the other paths the input handle is unchanged and still usable.
+    Queries answered through either handle agree with a fresh load of
+    [new_sources] — the property the fuzz oracle's edit battery
+    enforces.  Recorded under the ["engine.update"] span with a ["path"]
+    arg and per-path ["engine.update.<path>"] counters. *)
+val update : handle -> (string * string) list -> handle * update_report
 
 (** One heap read/write pair of an expand query: the pair is connected
     by a producer-heap edge inside the thin slice, and the flows carry

@@ -112,10 +112,23 @@ type csr = {
   uses_kind : int array;
 }
 
+(* Heap access index built during pass 1 and RETAINED on the graph: an
+   incremental patch re-indexes only the changed methods' accesses and
+   wires them against this, instead of re-scanning the program. *)
+type heap_index = {
+  field_writes : (int * string, (node * Instr.stmt_id) list ref) Hashtbl.t;
+  field_reads : (int * string, (node * Instr.stmt_id) list ref) Hashtbl.t;
+  static_writes : (Types.class_name * Types.field_name, node list ref) Hashtbl.t;
+  static_reads : (Types.class_name * Types.field_name, node list ref) Hashtbl.t;
+  len_writes : (int, node list ref) Hashtbl.t;   (* abstract array -> new[] *)
+  len_reads : (int, node list ref) Hashtbl.t;
+}
+
 type t = {
   p : Program.t;
   pta : Andersen.result;
-  stmt_table : (Instr.stmt_id, Program.stmt_info) Hashtbl.t;
+  mutable stmt_table : (Instr.stmt_id, Program.stmt_info) Hashtbl.t;
+      (* rebuilt by [patch]: re-lowered bodies carry fresh statement ids *)
   mutable descs : node_desc array;
   mutable num_nodes : int;
   intern : (node_desc, node) Hashtbl.t;
@@ -123,6 +136,22 @@ type t = {
   mutable uses : (node * edge_kind) list array;   (* forward adjacency *)
   edge_seen : (node * node * edge_kind, unit) Hashtbl.t;
   mutable csr : csr option;    (* set by [freeze]; lists dropped then *)
+  hx : heap_index;             (* retained for incremental patching *)
+  include_control : bool;
+  (* Incremental patch state.  A patched graph keeps its CSR for
+     untouched rows and OVERLAYS the rows the patch rewrote; row lookup
+     checks the overlay first (one extra branch, only when [patched]).
+     Dead nodes (statements of re-lowered method bodies) keep their ids
+     — rows emptied, descs retired from the intern — so alive node ids
+     are stable across a patch and resident scratch/provenance buffers
+     stay valid. *)
+  mutable ov_deps : (int array * int array) option array;  (* (dst, kind tags) *)
+  mutable ov_uses : (int array * int array) option array;
+  mutable dead : bool array;
+  mutable dead_count : int;
+  mutable generation : int;    (* bumped per committed patch *)
+  mutable patched : bool;
+  mutable patching : bool;     (* intern re-opened during a patch session *)
 }
 
 let program (g : t) = g.p
@@ -142,7 +171,7 @@ let intern (g : t) (d : node_desc) : node =
   match Hashtbl.find_opt g.intern d with
   | Some n -> n
   | None ->
-    if is_frozen g then frozen_error "intern";
+    if is_frozen g && not g.patching then frozen_error "intern";
     let n = g.num_nodes in
     if n = Array.length g.descs then begin
       let grow a default =
@@ -151,8 +180,14 @@ let intern (g : t) (d : node_desc) : node =
         b
       in
       g.descs <- grow g.descs (Formal (-1, -1));
-      g.deps <- grow g.deps [];
-      g.uses <- grow g.uses []
+      (* post-freeze the list arrays are [||]; only grow live state *)
+      if Array.length g.deps > 0 then g.deps <- grow g.deps [];
+      if Array.length g.uses > 0 then g.uses <- grow g.uses [];
+      if Array.length g.ov_deps > 0 then begin
+        g.ov_deps <- grow g.ov_deps None;
+        g.ov_uses <- grow g.ov_uses None
+      end;
+      if Array.length g.dead > 0 then g.dead <- grow g.dead false
     end;
     g.descs.(n) <- d;
     g.num_nodes <- n + 1;
@@ -218,35 +253,57 @@ let freeze (g : t) : unit =
         Slice_obs.max_gauge g_csr_bytes
           (float_of_int (8 * (2 * (n + 1) + 2 * (deps_off.(n) + uses_off.(n))))))
 
+(* Iteration over the frozen view when available, over the lists before
+   [freeze].  These are the hot-path accessors: no allocation per edge.
+   On a patched graph, rows the patch rewrote (and rows of nodes interned
+   after the freeze) live in the overlay and are checked first. *)
+let deps_iter (g : t) (n : node) (f : node -> edge_kind -> unit) : unit =
+  match if g.patched then g.ov_deps.(n) else None with
+  | Some (dst, kind) ->
+    for i = 0 to Array.length dst - 1 do
+      f (Array.unsafe_get dst i)
+        (edge_kind_of_tag (Array.unsafe_get kind i))
+    done
+  | None -> (
+    match g.csr with
+    | None -> List.iter (fun (d, k) -> f d k) g.deps.(n)
+    | Some c ->
+      for i = c.deps_off.(n) to c.deps_off.(n + 1) - 1 do
+        f (Array.unsafe_get c.deps_dst i)
+          (edge_kind_of_tag (Array.unsafe_get c.deps_kind i))
+      done)
+
+let uses_iter (g : t) (n : node) (f : node -> edge_kind -> unit) : unit =
+  match if g.patched then g.ov_uses.(n) else None with
+  | Some (dst, kind) ->
+    for i = 0 to Array.length dst - 1 do
+      f (Array.unsafe_get dst i)
+        (edge_kind_of_tag (Array.unsafe_get kind i))
+    done
+  | None -> (
+    match g.csr with
+    | None -> List.iter (fun (d, k) -> f d k) g.uses.(n)
+    | Some c ->
+      for i = c.uses_off.(n) to c.uses_off.(n + 1) - 1 do
+        f (Array.unsafe_get c.uses_dst i)
+          (edge_kind_of_tag (Array.unsafe_get c.uses_kind i))
+      done)
+
 let num_edges (g : t) : int =
   match g.csr with
-  | Some c -> c.deps_off.(g.num_nodes)
+  | Some c when not g.patched -> c.deps_off.(g.num_nodes)
+  | Some _ ->
+    let total = ref 0 in
+    for n = 0 to g.num_nodes - 1 do
+      deps_iter g n (fun _ _ -> incr total)
+    done;
+    !total
   | None ->
     let total = ref 0 in
     for i = 0 to g.num_nodes - 1 do
       total := !total + List.length g.deps.(i)
     done;
     !total
-
-(* Iteration over the frozen view when available, over the lists before
-   [freeze].  These are the hot-path accessors: no allocation per edge. *)
-let deps_iter (g : t) (n : node) (f : node -> edge_kind -> unit) : unit =
-  match g.csr with
-  | None -> List.iter (fun (d, k) -> f d k) g.deps.(n)
-  | Some c ->
-    for i = c.deps_off.(n) to c.deps_off.(n + 1) - 1 do
-      f (Array.unsafe_get c.deps_dst i)
-        (edge_kind_of_tag (Array.unsafe_get c.deps_kind i))
-    done
-
-let uses_iter (g : t) (n : node) (f : node -> edge_kind -> unit) : unit =
-  match g.csr with
-  | None -> List.iter (fun (d, k) -> f d k) g.uses.(n)
-  | Some c ->
-    for i = c.uses_off.(n) to c.uses_off.(n + 1) - 1 do
-      f (Array.unsafe_get c.uses_dst i)
-        (edge_kind_of_tag (Array.unsafe_get c.uses_kind i))
-    done
 
 (* Compatibility shims: materialise a row as a list.  Identical contents
    and order before and after [freeze]; prefer the [_iter] forms in new
@@ -258,15 +315,27 @@ let row_to_list off dst kind n =
   in
   go (off.(n + 1) - 1) []
 
+let ov_row_to_list (dst, kind) =
+  let rec go i acc =
+    if i < 0 then acc else go (i - 1) ((dst.(i), edge_kind_of_tag kind.(i)) :: acc)
+  in
+  go (Array.length dst - 1) []
+
 let deps (g : t) (n : node) : (node * edge_kind) list =
-  match g.csr with
-  | None -> g.deps.(n)
-  | Some c -> row_to_list c.deps_off c.deps_dst c.deps_kind n
+  match if g.patched then g.ov_deps.(n) else None with
+  | Some row -> ov_row_to_list row
+  | None -> (
+    match g.csr with
+    | None -> g.deps.(n)
+    | Some c -> row_to_list c.deps_off c.deps_dst c.deps_kind n)
 
 let uses (g : t) (n : node) : (node * edge_kind) list =
-  match g.csr with
-  | None -> g.uses.(n)
-  | Some c -> row_to_list c.uses_off c.uses_dst c.uses_kind n
+  match if g.patched then g.ov_uses.(n) else None with
+  | Some row -> ov_row_to_list row
+  | None -> (
+    match g.csr with
+    | None -> g.uses.(n)
+    | Some c -> row_to_list c.uses_off c.uses_dst c.uses_kind n)
 
 (* The source location of a node ([Loc.none] for formals). *)
 let node_loc (g : t) (n : node) : Loc.t =
@@ -321,15 +390,6 @@ let pp_node (g : t) ppf (n : node) : unit =
 (* Construction                                                        *)
 (* ------------------------------------------------------------------ *)
 
-type heap_index = {
-  field_writes : (int * string, (node * Instr.stmt_id) list ref) Hashtbl.t;
-  field_reads : (int * string, (node * Instr.stmt_id) list ref) Hashtbl.t;
-  static_writes : (Types.class_name * Types.field_name, node list ref) Hashtbl.t;
-  static_reads : (Types.class_name * Types.field_name, node list ref) Hashtbl.t;
-  len_writes : (int, node list ref) Hashtbl.t;   (* abstract array -> new[] *)
-  len_reads : (int, node list ref) Hashtbl.t;
-}
-
 let push tbl key v =
   let cell =
     match Hashtbl.find_opt tbl key with
@@ -341,7 +401,207 @@ let push tbl key v =
   in
   cell := v :: !cell
 
+(* The per-method pass bodies are shared between [build] (every reachable
+   method context) and [patch] (only re-lowered ones); [emit] is
+   [add_edge] during a build and the session emitter during a patch. *)
+
+(* Pass 1 body: intraprocedural edges + heap access indexing into [hx]
+   (the graph's own index during a build, a fresh one during a patch so
+   the new accesses are known for targeted re-wiring). *)
+let intra_pass (g : t) (hx : heap_index)
+    ~(emit : from:node -> on:node -> edge_kind -> unit) (mc : int)
+    (m : Instr.meth) : unit =
+  let p = g.p and pta = g.pta in
+  if Instr.has_body m then begin
+    (* SSA def map: variable -> defining statement *)
+    let def_stmt : (Instr.var, Instr.stmt_id) Hashtbl.t = Hashtbl.create 64 in
+    Instr.iter_instrs m (fun _ i ->
+        match Instr.def_of_instr i with
+        | Some v -> Hashtbl.replace def_stmt v i.Instr.i_id
+        | None -> ());
+    let param_index = Hashtbl.create 8 in
+    List.iteri (fun idx v -> Hashtbl.replace param_index v idx) m.Instr.m_params;
+    (* the node a use of [v] depends on *)
+    let def_target (v : Instr.var) : node option =
+      match Hashtbl.find_opt def_stmt v with
+      | Some s -> Some (intern g (Stmt (mc, s)))
+      | None -> (
+        match Hashtbl.find_opt param_index v with
+        | Some idx -> Some (intern g (Formal (mc, idx)))
+        | None -> None)
+    in
+    let use_edge (from : node) (v : Instr.var) (kind : edge_kind) : unit =
+      match def_target v with
+      | Some dep -> emit ~from ~on:dep kind
+      | None -> ()
+    in
+    Instr.iter_instrs m (fun _ i ->
+        let n = intern g (Stmt (mc, i.Instr.i_id)) in
+        (match i.Instr.i_kind with
+        | Instr.Call { args; kind; _ } ->
+          (* Argument uses reach callees through formal nodes; only
+             intrinsic callees take their arguments directly. *)
+          let intr = Andersen.intrinsic_targets pta ~mctx:mc ~stmt:i.Instr.i_id in
+          let body_callees = Andersen.call_targets pta ~mctx:mc ~stmt:i.Instr.i_id in
+          if intr <> [] then
+            List.iter (fun a -> use_edge n a Producer_local) args;
+          (* return-value edges *)
+          List.iter
+            (fun cmc ->
+              let cmq, _ = Andersen.mctx_info pta cmc in
+              let cm = Program.find_method_exn p cmq in
+              Instr.iter_terms cm (fun _ t ->
+                  match t.Instr.t_kind with
+                  | Instr.Return (Some _) ->
+                    emit ~from:n
+                      ~on:(intern g (Stmt (cmc, t.Instr.t_id)))
+                      Return_value
+                  | Instr.Return None | Instr.Goto _ | Instr.If _
+                  | Instr.Throw _ -> ()))
+            body_callees;
+          ignore kind
+        | _ ->
+          List.iter
+            (fun (v, cls) ->
+              let kind =
+                match cls with
+                | Instr.Use_value -> Producer_local
+                | Instr.Use_base -> Base_pointer
+                | Instr.Use_index -> Index
+              in
+              use_edge n v kind)
+            (Instr.classified_uses i));
+        (* heap indexing *)
+        match i.Instr.i_kind with
+        | Instr.Store (x, f, _) ->
+          Andersen.pts_iter_var pta ~mctx:mc x (fun o ->
+              push hx.field_writes (o, f) (n, i.Instr.i_id))
+        | Instr.Load (_, y, f) ->
+          Andersen.pts_iter_var pta ~mctx:mc y (fun o ->
+              push hx.field_reads (o, f) (n, i.Instr.i_id))
+        | Instr.Array_store (a, _, _) ->
+          Andersen.pts_iter_var pta ~mctx:mc a (fun o ->
+              push hx.field_writes (o, Andersen.elem_field) (n, i.Instr.i_id))
+        | Instr.Array_load (_, a, _) ->
+          Andersen.pts_iter_var pta ~mctx:mc a (fun o ->
+              push hx.field_reads (o, Andersen.elem_field) (n, i.Instr.i_id))
+        | Instr.New_array (x, _, _) ->
+          Andersen.pts_iter_var pta ~mctx:mc x (fun o ->
+              push hx.len_writes o n)
+        | Instr.Array_length (_, a) ->
+          Andersen.pts_iter_var pta ~mctx:mc a (fun o ->
+              push hx.len_reads o n)
+        | Instr.Static_store (c, f, _) -> push hx.static_writes (c, f) n
+        | Instr.Static_load (_, c, f) -> push hx.static_reads (c, f) n
+        | Instr.Const _ | Instr.Move _ | Instr.Binop _ | Instr.Unop _
+        | Instr.New _ | Instr.Call _ | Instr.Cast _ | Instr.Instance_of _
+        | Instr.Phi _ | Instr.Nop -> ());
+    Instr.iter_terms m (fun _ t ->
+        let n = intern g (Stmt (mc, t.Instr.t_id)) in
+        List.iter (fun v -> use_edge n v Producer_local) (Instr.uses_of_term t))
+  end
+
+(* Pass 2 body: formal -> actual edges (parameter passing), for one
+   method as the CALLER.  The callee side (the formal node) is signature
+   stable, which is what lets a patch keep formal nodes alive. *)
+let params_pass (g : t) ~(emit : from:node -> on:node -> edge_kind -> unit)
+    (mc : int) (m : Instr.meth) : unit =
+  let pta = g.pta in
+  if Instr.has_body m then begin
+    let def_stmt = Hashtbl.create 64 in
+    let def_instr = Hashtbl.create 64 in
+    Instr.iter_instrs m (fun _ j ->
+        match Instr.def_of_instr j with
+        | Some v ->
+          Hashtbl.replace def_stmt v j.Instr.i_id;
+          Hashtbl.replace def_instr v j
+        | None -> ());
+    let param_index = Hashtbl.create 8 in
+    List.iteri (fun idx v -> Hashtbl.replace param_index v idx) m.Instr.m_params;
+    let actual_node (v : Instr.var) : node option =
+      match Hashtbl.find_opt def_stmt v with
+      | Some s -> Some (intern g (Stmt (mc, s)))
+      | None -> (
+        match Hashtbl.find_opt param_index v with
+        | Some idx -> Some (intern g (Formal (mc, idx)))
+        | None -> None)
+    in
+    Instr.iter_instrs m (fun _ i ->
+        match i.Instr.i_kind with
+        | Instr.Call { args; _ } ->
+          (* A kept allocation needs its constructor in a Weiser-style
+             slice: tie the New to the <init> invocation. *)
+          (match (i.Instr.i_kind, args) with
+          | Instr.Call { kind = Instr.Special _; _ }, recv :: _ -> (
+            match Hashtbl.find_opt def_instr recv with
+            | Some { Instr.i_kind = Instr.New _; i_id; _ } ->
+              emit
+                ~from:(intern g (Stmt (mc, i_id)))
+                ~on:(intern g (Stmt (mc, i.Instr.i_id)))
+                Call_actual
+            | Some _ | None -> ())
+          | _ -> ());
+          List.iter
+            (fun cmc ->
+              List.iteri
+                (fun idx a ->
+                  match actual_node a with
+                  | Some an ->
+                    let actual =
+                      intern g (Actual_in (mc, i.Instr.i_id, idx))
+                    in
+                    emit
+                      ~from:(intern g (Formal (cmc, idx)))
+                      ~on:actual Param_in;
+                    emit ~from:actual ~on:an Producer_local;
+                    (* statement closure for traditional slicing *)
+                    emit
+                      ~from:(intern g (Stmt (mc, i.Instr.i_id)))
+                      ~on:actual Call_actual
+                  | None -> ())
+                args)
+            (Andersen.call_targets pta ~mctx:mc ~stmt:i.Instr.i_id)
+        | _ -> ())
+  end
+
+(* Pass 4 body: control dependence edges for one method.
+   [entry_callers] are the call-site nodes invoking it (entry-governed
+   statements are control-dependent on them). *)
+let control_pass (g : t) ~(emit : from:node -> on:node -> edge_kind -> unit)
+    ~(entry_callers : node list) (mc : int) (m : Instr.meth) : unit =
+  if Instr.has_body m then begin
+    let cfg = Cfg.build m in
+    let pdom = Dominance.compute (Dominance.backward_graph cfg) in
+    let pdf = Dominance.dominance_frontiers pdom in
+    let blocks = Instr.blocks_exn m in
+    let nblocks = Array.length blocks in
+    for bl = 0 to nblocks - 1 do
+      let governors =
+        List.filter (fun b -> b < nblocks) pdf.(bl)
+        |> List.map (fun b -> intern g (Stmt (mc, blocks.(b).Instr.b_term.Instr.t_id)))
+      in
+      let wire n =
+        if governors = [] then
+          (* governed by method entry: control-dependent on call sites *)
+          List.iter (fun c -> emit ~from:n ~on:c Control) entry_callers
+        else List.iter (fun c -> emit ~from:n ~on:c Control) governors
+      in
+      List.iter
+        (fun i -> wire (intern g (Stmt (mc, i.Instr.i_id))))
+        blocks.(bl).Instr.b_instrs;
+      wire (intern g (Stmt (mc, blocks.(bl).Instr.b_term.Instr.t_id)))
+    done
+  end
+
 let build ?(include_control = true) (p : Program.t) (pta : Andersen.result) : t =
+  let hx =
+    { field_writes = Hashtbl.create 256;
+      field_reads = Hashtbl.create 256;
+      static_writes = Hashtbl.create 32;
+      static_reads = Hashtbl.create 32;
+      len_writes = Hashtbl.create 32;
+      len_reads = Hashtbl.create 32 }
+  in
   let g =
     { p;
       pta;
@@ -352,172 +612,28 @@ let build ?(include_control = true) (p : Program.t) (pta : Andersen.result) : t 
       deps = Array.make 1024 [];
       uses = Array.make 1024 [];
       edge_seen = Hashtbl.create 4096;
-      csr = None }
+      csr = None;
+      hx;
+      include_control;
+      ov_deps = [||];
+      ov_uses = [||];
+      dead = [||];
+      dead_count = 0;
+      generation = 0;
+      patched = false;
+      patching = false }
   in
-  let hx =
-    { field_writes = Hashtbl.create 256;
-      field_reads = Hashtbl.create 256;
-      static_writes = Hashtbl.create 32;
-      static_reads = Hashtbl.create 32;
-      len_writes = Hashtbl.create 32;
-      len_reads = Hashtbl.create 32 }
-  in
+  let emit ~from ~on kind = add_edge g ~from ~on kind in
   let mcs = Andersen.method_contexts pta in
   (* Pass 1: intraprocedural edges + heap access indexing. *)
   Slice_obs.span "sdg.intra" (fun () ->
   List.iter
-    (fun (mc, mq, _) ->
-      let m = Program.find_method_exn p mq in
-      if Instr.has_body m then begin
-        (* SSA def map: variable -> defining statement *)
-        let def_stmt : (Instr.var, Instr.stmt_id) Hashtbl.t = Hashtbl.create 64 in
-        Instr.iter_instrs m (fun _ i ->
-            match Instr.def_of_instr i with
-            | Some v -> Hashtbl.replace def_stmt v i.Instr.i_id
-            | None -> ());
-        let param_index = Hashtbl.create 8 in
-        List.iteri (fun idx v -> Hashtbl.replace param_index v idx) m.Instr.m_params;
-        (* the node a use of [v] depends on *)
-        let def_target (v : Instr.var) : node option =
-          match Hashtbl.find_opt def_stmt v with
-          | Some s -> Some (intern g (Stmt (mc, s)))
-          | None -> (
-            match Hashtbl.find_opt param_index v with
-            | Some idx -> Some (intern g (Formal (mc, idx)))
-            | None -> None)
-        in
-        let use_edge (from : node) (v : Instr.var) (kind : edge_kind) : unit =
-          match def_target v with
-          | Some dep -> add_edge g ~from ~on:dep kind
-          | None -> ()
-        in
-        Instr.iter_instrs m (fun _ i ->
-            let n = intern g (Stmt (mc, i.Instr.i_id)) in
-            (match i.Instr.i_kind with
-            | Instr.Call { args; kind; _ } ->
-              (* Argument uses reach callees through formal nodes; only
-                 intrinsic callees take their arguments directly. *)
-              let intr = Andersen.intrinsic_targets pta ~mctx:mc ~stmt:i.Instr.i_id in
-              let body_callees = Andersen.call_targets pta ~mctx:mc ~stmt:i.Instr.i_id in
-              if intr <> [] then
-                List.iter (fun a -> use_edge n a Producer_local) args;
-              (* return-value edges *)
-              List.iter
-                (fun cmc ->
-                  let cmq, _ = Andersen.mctx_info pta cmc in
-                  let cm = Program.find_method_exn p cmq in
-                  Instr.iter_terms cm (fun _ t ->
-                      match t.Instr.t_kind with
-                      | Instr.Return (Some _) ->
-                        add_edge g ~from:n
-                          ~on:(intern g (Stmt (cmc, t.Instr.t_id)))
-                          Return_value
-                      | Instr.Return None | Instr.Goto _ | Instr.If _
-                      | Instr.Throw _ -> ()))
-                body_callees;
-              ignore kind
-            | _ ->
-              List.iter
-                (fun (v, cls) ->
-                  let kind =
-                    match cls with
-                    | Instr.Use_value -> Producer_local
-                    | Instr.Use_base -> Base_pointer
-                    | Instr.Use_index -> Index
-                  in
-                  use_edge n v kind)
-                (Instr.classified_uses i));
-            (* heap indexing *)
-            match i.Instr.i_kind with
-            | Instr.Store (x, f, _) ->
-              Andersen.pts_iter_var pta ~mctx:mc x (fun o ->
-                  push hx.field_writes (o, f) (n, i.Instr.i_id))
-            | Instr.Load (_, y, f) ->
-              Andersen.pts_iter_var pta ~mctx:mc y (fun o ->
-                  push hx.field_reads (o, f) (n, i.Instr.i_id))
-            | Instr.Array_store (a, _, _) ->
-              Andersen.pts_iter_var pta ~mctx:mc a (fun o ->
-                  push hx.field_writes (o, Andersen.elem_field) (n, i.Instr.i_id))
-            | Instr.Array_load (_, a, _) ->
-              Andersen.pts_iter_var pta ~mctx:mc a (fun o ->
-                  push hx.field_reads (o, Andersen.elem_field) (n, i.Instr.i_id))
-            | Instr.New_array (x, _, _) ->
-              Andersen.pts_iter_var pta ~mctx:mc x (fun o ->
-                  push hx.len_writes o n)
-            | Instr.Array_length (_, a) ->
-              Andersen.pts_iter_var pta ~mctx:mc a (fun o ->
-                  push hx.len_reads o n)
-            | Instr.Static_store (c, f, _) -> push hx.static_writes (c, f) n
-            | Instr.Static_load (_, c, f) -> push hx.static_reads (c, f) n
-            | Instr.Const _ | Instr.Move _ | Instr.Binop _ | Instr.Unop _
-            | Instr.New _ | Instr.Call _ | Instr.Cast _ | Instr.Instance_of _
-            | Instr.Phi _ | Instr.Nop -> ());
-        Instr.iter_terms m (fun _ t ->
-            let n = intern g (Stmt (mc, t.Instr.t_id)) in
-            List.iter (fun v -> use_edge n v Producer_local) (Instr.uses_of_term t))
-      end)
+    (fun (mc, mq, _) -> intra_pass g hx ~emit mc (Program.find_method_exn p mq))
     mcs);
   (* Pass 2: formal -> actual edges (parameter passing). *)
   Slice_obs.span "sdg.params" (fun () ->
   List.iter
-    (fun (mc, mq, _) ->
-      let m = Program.find_method_exn p mq in
-      if Instr.has_body m then begin
-        let def_stmt = Hashtbl.create 64 in
-        let def_instr = Hashtbl.create 64 in
-        Instr.iter_instrs m (fun _ j ->
-            match Instr.def_of_instr j with
-            | Some v ->
-              Hashtbl.replace def_stmt v j.Instr.i_id;
-              Hashtbl.replace def_instr v j
-            | None -> ());
-        let param_index = Hashtbl.create 8 in
-        List.iteri (fun idx v -> Hashtbl.replace param_index v idx) m.Instr.m_params;
-        let actual_node (v : Instr.var) : node option =
-          match Hashtbl.find_opt def_stmt v with
-          | Some s -> Some (intern g (Stmt (mc, s)))
-          | None -> (
-            match Hashtbl.find_opt param_index v with
-            | Some idx -> Some (intern g (Formal (mc, idx)))
-            | None -> None)
-        in
-        Instr.iter_instrs m (fun _ i ->
-            match i.Instr.i_kind with
-            | Instr.Call { args; _ } ->
-              (* A kept allocation needs its constructor in a Weiser-style
-                 slice: tie the New to the <init> invocation. *)
-              (match (i.Instr.i_kind, args) with
-              | Instr.Call { kind = Instr.Special _; _ }, recv :: _ -> (
-                match Hashtbl.find_opt def_instr recv with
-                | Some { Instr.i_kind = Instr.New _; i_id; _ } ->
-                  add_edge g
-                    ~from:(intern g (Stmt (mc, i_id)))
-                    ~on:(intern g (Stmt (mc, i.Instr.i_id)))
-                    Call_actual
-                | Some _ | None -> ())
-              | _ -> ());
-              List.iter
-                (fun cmc ->
-                  List.iteri
-                    (fun idx a ->
-                      match actual_node a with
-                      | Some an ->
-                        let actual =
-                          intern g (Actual_in (mc, i.Instr.i_id, idx))
-                        in
-                        add_edge g
-                          ~from:(intern g (Formal (cmc, idx)))
-                          ~on:actual Param_in;
-                        add_edge g ~from:actual ~on:an Producer_local;
-                        (* statement closure for traditional slicing *)
-                        add_edge g
-                          ~from:(intern g (Stmt (mc, i.Instr.i_id)))
-                          ~on:actual Call_actual
-                      | None -> ())
-                    args)
-                (Andersen.call_targets pta ~mctx:mc ~stmt:i.Instr.i_id)
-            | _ -> ())
-      end)
+    (fun (mc, mq, _) -> params_pass g ~emit mc (Program.find_method_exn p mq))
     mcs);
   (* Pass 3: heap dependence edges (store -> load, direct).  Candidate
      (read, write) pairs are deduplicated through a bitset row per
@@ -602,51 +718,415 @@ let build ?(include_control = true) (p : Program.t) (pta : Andersen.result) : t 
       mcs;
     List.iter
       (fun (mc, mq, _) ->
-        let m = Program.find_method_exn p mq in
-        if Instr.has_body m then begin
-          let cfg = Cfg.build m in
-          let pdom = Dominance.compute (Dominance.backward_graph cfg) in
-          let pdf = Dominance.dominance_frontiers pdom in
-          let blocks = Instr.blocks_exn m in
-          let nblocks = Array.length blocks in
-          let entry_callers =
-            match Hashtbl.find_opt callers mc with Some r -> !r | None -> []
-          in
-          for bl = 0 to nblocks - 1 do
-            let governors =
-              List.filter (fun b -> b < nblocks) pdf.(bl)
-              |> List.map (fun b -> intern g (Stmt (mc, blocks.(b).Instr.b_term.Instr.t_id)))
-            in
-            let wire n =
-              if governors = [] then
-                (* governed by method entry: control-dependent on call sites *)
-                List.iter (fun c -> add_edge g ~from:n ~on:c Control) entry_callers
-              else List.iter (fun c -> add_edge g ~from:n ~on:c Control) governors
-            in
-            List.iter
-              (fun i -> wire (intern g (Stmt (mc, i.Instr.i_id))))
-              blocks.(bl).Instr.b_instrs;
-            wire (intern g (Stmt (mc, blocks.(bl).Instr.b_term.Instr.t_id)))
-          done
-        end)
+        let entry_callers =
+          match Hashtbl.find_opt callers mc with Some r -> !r | None -> []
+        in
+        control_pass g ~emit ~entry_callers mc (Program.find_method_exn p mq))
       mcs
   end);
   g
 
 (* ------------------------------------------------------------------ *)
+(* Incremental patching                                                *)
+(* ------------------------------------------------------------------ *)
+
+let generation (g : t) = g.generation
+
+let is_dead (g : t) (n : node) : bool =
+  Array.length g.dead > 0 && g.dead.(n)
+
+let num_live_nodes (g : t) = g.num_nodes - g.dead_count
+
+(* Edge census from the graph itself (dead rows are empty, so a patched
+   graph counts only live edges) — stats for a patched handle can't use
+   the process-wide build counters. *)
+let edge_kind_counts (g : t) : (edge_kind * int) list =
+  let counts = Array.make (Array.length edge_kind_of_tag_table) 0 in
+  for n = 0 to g.num_nodes - 1 do
+    deps_iter g n (fun _ k ->
+        let t = edge_kind_tag k in
+        counts.(t) <- counts.(t) + 1)
+  done;
+  List.map (fun k -> (k, counts.(edge_kind_tag k))) all_edge_kinds
+
+type patch_stats = {
+  ps_nodes_dead : int;
+  ps_nodes_new : int;
+  ps_rows_touched : int;
+  ps_segments_refrozen : int;
+  ps_segments_total : int;
+}
+
+(* Patch a frozen graph onto re-lowered method bodies, in place.
+
+   Precondition (established by [Engine]): the changed methods'
+   constraint summaries are unchanged, the program's method records
+   already hold the NEW bodies, and the points-to result has been
+   re-keyed onto the new statement ids ([Andersen.rekey_sites]) — so
+   every pointer/call-graph fact is already expressed in new ids and
+   only the dependence rows need repair.
+
+   The patch retires the changed methods' [Stmt]/[Actual_in] nodes
+   (their statement ids no longer exist), KEEPS their [Formal] nodes
+   (signatures are stable under summary equality, so caller-side
+   [Param_in] edges survive untouched), reruns the shared per-method
+   passes over the new bodies, wires new heap accesses against the
+   retained index, and repairs the two cross-method edge classes whose
+   ALIVE source lost a dead target: [Return_value] (re-enumerated from
+   the new return terminators) and [Control] (entry-governed callee
+   statements onto the changed caller's call sites, moved via
+   [site_remap]).  [Param_in] and [Producer_heap] losses need no
+   explicit repair — the re-run passes re-emit them.
+
+   Touched rows are committed as overlays over the immutable CSR; node
+   ids never move, so resident scratch buffers stay valid. *)
+let patch (g : t) ~(changed : Instr.method_qname list)
+    ~(site_remap : Instr.stmt_id -> Instr.stmt_id option) : patch_stats =
+  if not (is_frozen g) then invalid_arg "Sdg.patch: graph must be frozen";
+  Slice_obs.span "sdg.patch" (fun () ->
+  (* First patch on this graph: bring the overlay state up to capacity
+     (intern keeps it in step from then on). *)
+  let cap = Array.length g.descs in
+  if Array.length g.dead < cap then begin
+    let grow a mk default =
+      let b = mk cap default in
+      Array.blit a 0 b 0 (Array.length a);
+      b
+    in
+    g.ov_deps <- grow g.ov_deps Array.make None;
+    g.ov_uses <- grow g.ov_uses Array.make None;
+    g.dead <- grow g.dead Array.make false
+  end;
+  let old_num = g.num_nodes in
+  let frozen_num =
+    match g.csr with Some c -> Array.length c.deps_off - 1 | None -> 0
+  in
+  (* Changed method contexts (every context clone of a changed method). *)
+  let cm : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun mq ->
+      List.iter
+        (fun mc -> Hashtbl.replace cm mc ())
+        (Andersen.mctxs_of_method g.pta mq))
+    changed;
+  (* Retire the changed methods' statement-bound nodes. *)
+  let newly_dead = ref [] in
+  for n = 0 to old_num - 1 do
+    if not g.dead.(n) then
+      match g.descs.(n) with
+      | (Stmt (mc, _) | Actual_in (mc, _, _)) when Hashtbl.mem cm mc ->
+        g.dead.(n) <- true;
+        g.dead_count <- g.dead_count + 1;
+        Hashtbl.remove g.intern g.descs.(n);
+        newly_dead := n :: !newly_dead
+      | Stmt _ | Actual_in _ | Formal _ -> ()
+  done;
+  (* Session rows: rows under repair, materialised copy-on-write from
+     the overlay-or-CSR.  [seen] dedups edges; a row's existing edges
+     seed it on first materialisation. *)
+  let sess_deps : (node, (node * edge_kind) list ref) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  let sess_uses : (node, (node * edge_kind) list ref) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  let seen : (node * node * edge_kind, unit) Hashtbl.t = Hashtbl.create 1024 in
+  let raw_row ov csr_row n =
+    if n >= old_num then []
+    else
+      match ov.(n) with
+      | Some row -> ov_row_to_list row
+      | None -> if n < frozen_num then csr_row n else []
+  in
+  let raw_deps n =
+    raw_row g.ov_deps
+      (fun n ->
+        match g.csr with
+        | Some c -> row_to_list c.deps_off c.deps_dst c.deps_kind n
+        | None -> [])
+      n
+  in
+  let raw_uses n =
+    raw_row g.ov_uses
+      (fun n ->
+        match g.csr with
+        | Some c -> row_to_list c.uses_off c.uses_dst c.uses_kind n
+        | None -> [])
+      n
+  in
+  let mat_deps n =
+    match Hashtbl.find_opt sess_deps n with
+    | Some r -> r
+    | None ->
+      let row = raw_deps n in
+      List.iter (fun (on, k) -> Hashtbl.replace seen (n, on, k) ()) row;
+      let r = ref row in
+      Hashtbl.replace sess_deps n r;
+      r
+  in
+  let mat_uses n =
+    match Hashtbl.find_opt sess_uses n with
+    | Some r -> r
+    | None ->
+      let r = ref (raw_uses n) in
+      Hashtbl.replace sess_uses n r;
+      r
+  in
+  let emit ~from ~on kind =
+    if from <> on then begin
+      (* materialise (and seed [seen] from) the source row FIRST *)
+      let rd = mat_deps from in
+      if not (Hashtbl.mem seen (from, on, kind)) then begin
+        Hashtbl.replace seen (from, on, kind) ();
+        let ru = mat_uses on in
+        rd := (on, kind) :: !rd;
+        ru := (from, kind) :: !ru;
+        Slice_obs.bump c_edges;
+        Slice_obs.bump (edge_counter kind)
+      end
+    end
+  in
+  (* Disconnect dead nodes from alive rows, recording each alive source
+     that lost a dependence (the loss classes needing repair). *)
+  let losses : (node * edge_kind * node_desc) list ref = ref [] in
+  List.iter
+    (fun d ->
+      List.iter
+        (fun (on, k) ->
+          if not g.dead.(on) then begin
+            let ru = mat_uses on in
+            ru := List.filter (fun (f, k') -> not (f = d && k' = k)) !ru
+          end)
+        (raw_deps d);
+      List.iter
+        (fun (from, k) ->
+          if not g.dead.(from) then begin
+            let rd = mat_deps from in
+            rd := List.filter (fun (on', k') -> not (on' = d && k' = k)) !rd;
+            losses := (from, k, g.descs.(d)) :: !losses
+          end)
+        (raw_uses d))
+    !newly_dead;
+  (* Purge dead accesses from the retained heap index. *)
+  let purge_pairs tbl =
+    Hashtbl.iter (fun _ r -> r := List.filter (fun (n, _) -> not g.dead.(n)) !r) tbl
+  in
+  let purge_nodes tbl =
+    Hashtbl.iter (fun _ r -> r := List.filter (fun n -> not g.dead.(n)) !r) tbl
+  in
+  purge_pairs g.hx.field_writes;
+  purge_pairs g.hx.field_reads;
+  purge_nodes g.hx.static_writes;
+  purge_nodes g.hx.static_reads;
+  purge_nodes g.hx.len_writes;
+  purge_nodes g.hx.len_reads;
+  let changed_mcs =
+    Hashtbl.fold
+      (fun mc () acc ->
+        let mq, _ = Andersen.mctx_info g.pta mc in
+        (mc, Program.find_method_exn g.p mq) :: acc)
+      cm []
+  in
+  g.patching <- true;
+  (* Pass 1 over the new bodies, indexing their heap accesses apart. *)
+  let hx_new =
+    { field_writes = Hashtbl.create 32;
+      field_reads = Hashtbl.create 32;
+      static_writes = Hashtbl.create 8;
+      static_reads = Hashtbl.create 8;
+      len_writes = Hashtbl.create 8;
+      len_reads = Hashtbl.create 8 }
+  in
+  List.iter (fun (mc, m) -> intra_pass g hx_new ~emit mc m) changed_mcs;
+  (* Pass 2: the changed methods as callers. *)
+  List.iter (fun (mc, m) -> params_pass g ~emit mc m) changed_mcs;
+  (* Pass 3: merge the new accesses into the retained index, then wire
+     new reads x all writes and all reads x new writes (the new x new
+     corner lands in both sweeps; the bitset rows dedup it). *)
+  let merge_pairs src dst = Hashtbl.iter (fun k r -> List.iter (push dst k) !r) src in
+  merge_pairs hx_new.field_writes g.hx.field_writes;
+  merge_pairs hx_new.field_reads g.hx.field_reads;
+  merge_pairs hx_new.static_writes g.hx.static_writes;
+  merge_pairs hx_new.static_reads g.hx.static_reads;
+  merge_pairs hx_new.len_writes g.hx.len_writes;
+  merge_pairs hx_new.len_reads g.hx.len_reads;
+  let rows : (node, Slice_util.Bits.t) Hashtbl.t = Hashtbl.create 64 in
+  let consider rn wn =
+    Slice_obs.bump c_heap_considered;
+    if rn <> wn then begin
+      let row =
+        match Hashtbl.find_opt rows wn with
+        | Some b -> b
+        | None ->
+          let b = Slice_util.Bits.create ~capacity:64 () in
+          Hashtbl.replace rows wn b;
+          b
+      in
+      ignore (Slice_util.Bits.add row rn)
+    end
+  in
+  let sweep_pairs news alls ~read_side =
+    Hashtbl.iter
+      (fun key nlist ->
+        match Hashtbl.find_opt alls key with
+        | None -> ()
+        | Some olist ->
+          List.iter
+            (fun (nn, _) ->
+              List.iter
+                (fun (on, _) ->
+                  if read_side then consider nn on else consider on nn)
+                !olist)
+            !nlist)
+      news
+  in
+  sweep_pairs hx_new.field_reads g.hx.field_writes ~read_side:true;
+  sweep_pairs hx_new.field_writes g.hx.field_reads ~read_side:false;
+  let sweep_nodes news alls ~read_side =
+    Hashtbl.iter
+      (fun key nlist ->
+        match Hashtbl.find_opt alls key with
+        | None -> ()
+        | Some olist ->
+          List.iter
+            (fun nn ->
+              List.iter
+                (fun on -> if read_side then consider nn on else consider on nn)
+                !olist)
+            !nlist)
+      news
+  in
+  sweep_nodes hx_new.static_reads g.hx.static_writes ~read_side:true;
+  sweep_nodes hx_new.static_writes g.hx.static_reads ~read_side:false;
+  sweep_nodes hx_new.len_reads g.hx.len_writes ~read_side:true;
+  sweep_nodes hx_new.len_writes g.hx.len_reads ~read_side:false;
+  Hashtbl.iter
+    (fun wn row ->
+      Slice_util.Bits.iter
+        (fun rn ->
+          Slice_obs.bump c_heap_emitted;
+          emit ~from:rn ~on:wn Producer_heap)
+        row)
+    rows;
+  (* Pass 4: control dependence inside the new bodies.  Entry callers
+     come from the solved call graph (already keyed on new ids). *)
+  if g.include_control then begin
+    let callers : (int, node list ref) Hashtbl.t = Hashtbl.create 16 in
+    Andersen.iter_call_sites g.pta (fun ~caller ~stmt ~callees ->
+        List.iter
+          (fun cmc ->
+            if Hashtbl.mem cm cmc then
+              push callers cmc (intern g (Stmt (caller, stmt))))
+          callees);
+    List.iter
+      (fun (mc, m) ->
+        let entry_callers =
+          match Hashtbl.find_opt callers mc with Some r -> !r | None -> []
+        in
+        control_pass g ~emit ~entry_callers mc m)
+      changed_mcs
+  end;
+  (* Repair the cross-method losses the re-run passes don't cover. *)
+  let rv_done : (node * int, unit) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (from, k, dead_desc) ->
+      match (k, dead_desc) with
+      | Return_value, Stmt (cmc, _) ->
+        if not (Hashtbl.mem rv_done (from, cmc)) then begin
+          Hashtbl.replace rv_done (from, cmc) ();
+          let cmq, _ = Andersen.mctx_info g.pta cmc in
+          let callee = Program.find_method_exn g.p cmq in
+          if Instr.has_body callee then
+            Instr.iter_terms callee (fun _ t ->
+                match t.Instr.t_kind with
+                | Instr.Return (Some _) ->
+                  emit ~from
+                    ~on:(intern g (Stmt (cmc, t.Instr.t_id)))
+                    Return_value
+                | Instr.Return None | Instr.Goto _ | Instr.If _
+                | Instr.Throw _ -> ())
+        end
+      | Control, Stmt (cmc, s) -> (
+        (* entry-governed callee statement onto a moved call site *)
+        match site_remap s with
+        | Some s' -> emit ~from ~on:(intern g (Stmt (cmc, s'))) Control
+        | None -> ())
+      | _ -> ())
+    !losses;
+  g.patching <- false;
+  (* Commit: session rows become overlays; dead rows empty; new nodes
+     with no edges get explicit empty rows (they are past the CSR). *)
+  let rows_touched : (node, unit) Hashtbl.t = Hashtbl.create 256 in
+  let to_arrays row =
+    let l = !row in
+    let len = List.length l in
+    let dst = Array.make len 0 in
+    let kind = Array.make len 0 in
+    List.iteri
+      (fun i (d, k) ->
+        dst.(i) <- d;
+        kind.(i) <- edge_kind_tag k)
+      l;
+    (dst, kind)
+  in
+  Hashtbl.iter
+    (fun n row ->
+      g.ov_deps.(n) <- Some (to_arrays row);
+      Hashtbl.replace rows_touched n ())
+    sess_deps;
+  Hashtbl.iter
+    (fun n row ->
+      g.ov_uses.(n) <- Some (to_arrays row);
+      Hashtbl.replace rows_touched n ())
+    sess_uses;
+  for n = old_num to g.num_nodes - 1 do
+    if g.ov_deps.(n) = None then g.ov_deps.(n) <- Some ([||], [||]);
+    if g.ov_uses.(n) = None then g.ov_uses.(n) <- Some ([||], [||])
+  done;
+  List.iter
+    (fun d ->
+      g.ov_deps.(d) <- Some ([||], [||]);
+      g.ov_uses.(d) <- Some ([||], [||]))
+    !newly_dead;
+  g.stmt_table <- Program.build_stmt_table g.p;
+  g.generation <- g.generation + 1;
+  g.patched <- true;
+  (* Segments = method contexts; refrozen = contexts whose rows moved. *)
+  let seg_touched : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  Hashtbl.iter (fun mc () -> Hashtbl.replace seg_touched mc ()) cm;
+  Hashtbl.iter
+    (fun n () ->
+      if not g.dead.(n) then
+        match g.descs.(n) with
+        | Stmt (mc, _) | Actual_in (mc, _, _) | Formal (mc, _) ->
+          Hashtbl.replace seg_touched mc ())
+    rows_touched;
+  let seg_total = List.length (Andersen.method_contexts g.pta) in
+  { ps_nodes_dead = List.length !newly_dead;
+    ps_nodes_new = g.num_nodes - old_num;
+    ps_rows_touched = Hashtbl.length rows_touched;
+    ps_segments_refrozen = Hashtbl.length seg_touched;
+    ps_segments_total = max seg_total (Hashtbl.length seg_touched) })
+
+(* ------------------------------------------------------------------ *)
 (* Lookups used by drivers                                             *)
 (* ------------------------------------------------------------------ *)
 
-(* All statement nodes whose source line matches. *)
+(* All statement nodes whose source line matches.  Dead nodes of a
+   patched graph skip naturally (their retired statement ids are absent
+   from the rebuilt statement table, so [node_loc] is none), but check
+   explicitly anyway. *)
 let nodes_at_line (g : t) ~(file : string option) ~(line : int) : node list =
   let out = ref [] in
   for n = 0 to g.num_nodes - 1 do
-    let loc = node_loc g n in
-    if
-      (not (Loc.is_none loc))
-      && loc.Loc.line = line
-      && (match file with None -> true | Some f -> String.equal f loc.Loc.file)
-    then out := n :: !out
+    if not (is_dead g n) then begin
+      let loc = node_loc g n in
+      if
+        (not (Loc.is_none loc))
+        && loc.Loc.line = line
+        && (match file with None -> true | Some f -> String.equal f loc.Loc.file)
+      then out := n :: !out
+    end
   done;
   List.rev !out
 
@@ -655,9 +1135,10 @@ let nodes_at_line (g : t) ~(file : string option) ~(line : int) : node list =
 let num_scalar_statements (g : t) : int =
   let seen = Hashtbl.create 256 in
   for n = 0 to g.num_nodes - 1 do
-    match g.descs.(n) with
-    | Stmt (_, s) -> Hashtbl.replace seen s ()
-    | Formal _ | Actual_in _ -> ()
+    if not (is_dead g n) then
+      match g.descs.(n) with
+      | Stmt (_, s) -> Hashtbl.replace seen s ()
+      | Formal _ | Actual_in _ -> ()
   done;
   Hashtbl.length seen
 
@@ -681,13 +1162,15 @@ let to_dot ?(witness : (node * edge_kind option) list = []) (g : t) : string =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "digraph sdg {\n  node [shape=box,fontname=monospace];\n";
   for n = 0 to g.num_nodes - 1 do
-    let hl =
-      if Hashtbl.mem wit_nodes n then ",color=red,penwidth=2.0" else ""
-    in
-    Buffer.add_string buf
-      (Printf.sprintf "  n%d [label=%S%s];\n" n
-         (Format.asprintf "%a" (pp_node g) n)
-         hl)
+    if not (is_dead g n) then begin
+      let hl =
+        if Hashtbl.mem wit_nodes n then ",color=red,penwidth=2.0" else ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=%S%s];\n" n
+           (Format.asprintf "%a" (pp_node g) n)
+           hl)
+    end
   done;
   for n = 0 to g.num_nodes - 1 do
     deps_iter g n (fun dep kind ->

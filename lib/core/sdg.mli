@@ -124,6 +124,56 @@ val nodes_at_line : t -> file:string option -> line:int -> node list
     once) — the paper's Table 1 "SDG Statements". *)
 val num_scalar_statements : t -> int
 
+(** {2 Incremental patching}
+
+    After an incremental re-lower of a few method bodies (see
+    {!Delta}/{!Engine}), the frozen graph can be PATCHED in place rather
+    than rebuilt: the changed methods' statement-bound nodes are retired
+    (ids never reused, so resident scratch and provenance buffers stay
+    valid), their [Formal] nodes survive (signatures are stable under
+    the summary-equality precondition, so caller-side edges hold), the
+    shared per-method passes re-run over just the new bodies, new heap
+    accesses wire against the retained access index, and the touched
+    rows are committed as overlays over the immutable CSR.  Row lookup
+    on a patched graph checks the overlay first — one extra branch, paid
+    only after the first patch. *)
+
+type patch_stats = {
+  ps_nodes_dead : int;        (** nodes retired by this patch *)
+  ps_nodes_new : int;         (** nodes interned for the new bodies *)
+  ps_rows_touched : int;      (** adjacency rows rewritten (either direction) *)
+  ps_segments_refrozen : int; (** method contexts whose rows moved *)
+  ps_segments_total : int;    (** reachable method contexts *)
+}
+
+(** Patch a frozen graph onto re-lowered method bodies.  Preconditions
+    (the [Engine] P0 path establishes them): the program already holds
+    the new bodies, each changed method's constraint summary is
+    unchanged, and the points-to result was re-keyed with
+    {!Andersen.rekey_sites} using the same [site_remap].
+    Raises [Invalid_argument] if the graph is not frozen. *)
+val patch :
+  t ->
+  changed:Instr.method_qname list ->
+  site_remap:(Instr.stmt_id -> Instr.stmt_id option) ->
+  patch_stats
+
+(** Number of committed patches — provenance captured against an older
+    generation refuses to answer (see {!Slicer}). *)
+val generation : t -> int
+
+(** Node retired by a patch?  Dead nodes keep their ids but have empty
+    rows and no statement-table entry. *)
+val is_dead : t -> node -> bool
+
+(** [num_nodes] minus retired nodes — the node count a patched handle
+    reports. *)
+val num_live_nodes : t -> int
+
+(** Census of live edges by kind, computed from the graph itself (the
+    process-wide build counters overcount after a patch). *)
+val edge_kind_counts : t -> (edge_kind * int) list
+
 (** GraphViz export; producer edges solid, explainer edges dashed/dotted
     (the paper's Figure 3 conventions).  [?witness] overlays a dependence
     path as consecutive [(node, arrival_kind)] steps — seed first, [None]

@@ -271,6 +271,13 @@ type provenance = {
   mutable pv_stamp : int array;   (* entry valid iff = pv_gen *)
   mutable pv_gen : int;
   mutable pv_mode : mode option;  (* mode of the last recorded walk *)
+  (* Graph of the last recorded walk and its patch generation then:
+     records are node ids into THAT graph at THAT generation, so after
+     an incremental update ([Sdg.patch] bumps the generation) every
+     provenance query must answer "no record" rather than replay a path
+     through retired nodes.  Cleared by [shrink_provenance] (drops the
+     graph reference along with the arrays). *)
+  mutable pv_graph : (Sdg.t * int) option;
 }
 
 let create_provenance (g : Sdg.t) : provenance =
@@ -282,7 +289,8 @@ let create_provenance (g : Sdg.t) : provenance =
     pv_dist = Array.make n 0;
     pv_stamp = Array.make n 0;
     pv_gen = 0;
-    pv_mode = None }
+    pv_mode = None;
+    pv_graph = None }
 
 (* Growth only ever happens at the start of a recorded walk, which then
    bumps [pv_gen] past every (zero) stamp of the fresh arrays, so old
@@ -311,7 +319,8 @@ let shrink_provenance (p : provenance) ~(keep : int) : unit =
     p.pv_budget <- Array.make n 0;
     p.pv_dist <- Array.make n 0;
     p.pv_stamp <- Array.make n 0;
-    p.pv_mode <- None
+    p.pv_mode <- None;
+    p.pv_graph <- None
   end
 
 (* [walk_scratch] with provenance recording.  A separate copy of the loop
@@ -326,6 +335,7 @@ let walk_scratch_prov (scratch : scratch) (prov : provenance)
   ensure_prov_capacity prov n;
   prov.pv_gen <- prov.pv_gen + 1;
   prov.pv_mode <- Some mode;
+  prov.pv_graph <- Some (g, Sdg.generation g);
   let gen = prov.pv_gen in
   let parent = prov.pv_parent and kindt = prov.pv_kind in
   let budg = prov.pv_budget and dist = prov.pv_dist in
@@ -393,9 +403,14 @@ let walk_scratch_prov (scratch : scratch) (prov : provenance)
 
 (* A node has a valid record iff a recorded walk has run ([pv_mode]
    guards the fresh-provenance case where every zero stamp would equal
-   the zero generation) and the node was stamped by the LAST one. *)
+   the zero generation), the node was stamped by the LAST one, and the
+   graph has not been patched since — a witness captured before an
+   incremental update could otherwise replay through retired nodes. *)
 let prov_member (p : provenance) (node : Sdg.node) : bool =
   p.pv_mode <> None
+  && (match p.pv_graph with
+     | Some (g, gen) -> Sdg.generation g = gen
+     | None -> false)
   && node >= 0
   && node < p.pv_cap
   && p.pv_stamp.(node) = p.pv_gen

@@ -82,7 +82,12 @@ val shrink_domain_scratch : keep:int -> unit
     {!scratch}, caller-owned and readable AFTER the walk via {!witness}
     and {!distance}.  Domain discipline is the same as for scratches:
     never share a handle between two domains at once.  Walks without
-    [?prov] run the untouched hot path and pay nothing. *)
+    [?prov] run the untouched hot path and pay nothing.
+
+    Records are also stamped with the graph's {!Sdg.generation} at walk
+    time: after an incremental update patches the graph, {!witness} and
+    {!distance} answer [None] (the recorded path may pass through
+    retired nodes) until a new recorded walk runs. *)
 type provenance
 
 (** A provenance sized for [g] (grow-only; any graph may use it later). *)

@@ -1,0 +1,67 @@
+(** Method-granular source deltas: classify an edit between two versions
+    of a program and re-lower only the changed method bodies.
+
+    The classifier is structural and deliberately conservative: a
+    brace/string/comment-aware scanner segments each file into classes,
+    members and free functions, and compares "skeletons" (the source
+    with method-body interiors blanked, line counts preserved).  Equal
+    skeletons prove every difference is inside some method body AND
+    that all source locations outside bodies are unchanged — the
+    precondition for patching analyses in place.  Everything else
+    (signature edits, added/removed declarations, field-initializer
+    changes, any edit that shifts line counts) degrades to
+    [Structural], where the engine falls back to a full rebuild. *)
+
+open Slice_ir
+
+type changed_method = {
+  cm_file : string;
+  cm_class : string option;  (** [None] for a free function *)
+  cm_name : string;  (** textual name (constructors: the class name) *)
+  cm_mini : string;
+      (** synthetic compilation unit holding ONLY this method, every
+          token at its original line/column *)
+}
+
+type t =
+  | Same  (** byte-identical sources *)
+  | Bodies of changed_method list
+      (** only these method bodies changed *)
+  | Structural  (** full rebuild required *)
+
+(** Classify the edit between two [(file, src)] unit lists.  Unit lists
+    that differ in length, file names or order are [Structural]. *)
+val diff :
+  old_sources:(string * string) list ->
+  new_sources:(string * string) list ->
+  t
+
+(** The source with method-body interiors blanked (line counts kept).
+    Exposed for tests.  Raises on unbalanced input. *)
+val skeleton : string -> string
+
+exception Delta_error of string
+
+(** A parsed changed method, identified but not yet applied. *)
+type resolved = {
+  rv_mq : Instr.method_qname;
+  rv_cls : Types.class_name;
+  rv_md : Ast.method_decl;
+}
+
+(** Parse a changed method's mini unit and locate the program method it
+    denotes WITHOUT mutating the program — callers snapshot the old
+    body's constraint summary before committing to {!relower_resolved}.
+    Raises {!Delta_error} / parser errors on malformed input. *)
+val resolve : Program.t -> changed_method -> resolved
+
+(** Re-lower a resolved method into the existing program in place: the
+    method shell keeps its identity, the body and variable table are
+    rebuilt with fresh statement ids, SSA is re-run, and the entry
+    method's [$clinit] prepend is replayed. *)
+val relower_resolved : Program.t -> resolved -> unit
+
+(** [resolve] + [relower_resolved].  Raises {!Delta_error} / parser /
+    lowering errors on malformed input — callers treat any exception as
+    "fall back to a full load". *)
+val relower : Program.t -> changed_method -> Instr.method_qname

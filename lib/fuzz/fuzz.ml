@@ -19,27 +19,52 @@ type report = {
   count : int;
   max_size : int;
   fault : Oracle.fault;
+  edits : int option;  (* per-program edit-chain length, when enabled *)
   programs_run : int;
   failures : failure_report list;
 }
 
-let violations_of ~fault ~(r : Gen_tj.rendered) : Oracle.violation list =
-  try Oracle.battery ~fault ~src:r.Gen_tj.src ~seed_lines:r.Gen_tj.seed_lines ()
-  with e ->
-    (* An escaped exception is itself an oracle violation: every layer
-       under the battery promises clean error values. *)
-    [ { Oracle.oracle = "exception"; detail = Printexc.to_string e } ]
+(* Edits per program when [--edits] is on: enough to chain a patch onto
+   an already-patched graph, small enough to keep 200 programs cheap. *)
+let edits_per_program = 3
+
+let violations_of ~fault ~(edits : int option) ~(derived_seed : int)
+    ~(model : Gen_tj.model) ~(r : Gen_tj.rendered) : Oracle.violation list =
+  let base =
+    try
+      Oracle.battery ~fault ~src:r.Gen_tj.src ~seed_lines:r.Gen_tj.seed_lines ()
+    with e ->
+      (* An escaped exception is itself an oracle violation: every layer
+         under the battery promises clean error values. *)
+      [ { Oracle.oracle = "exception"; detail = Printexc.to_string e } ]
+  in
+  match edits with
+  | None -> base
+  | Some n ->
+    (* The edit stream is derived from the per-program seed alone, so a
+       shrink candidate replays the SAME edit decisions against the
+       smaller model. *)
+    let ed =
+      try
+        Oracle.edit_battery
+          ~rng:(Fuzz_rng.make (derived_seed lxor 0x45644954))
+          ~model ~edits:n ()
+      with e ->
+        [ { Oracle.oracle = "edit_exception"; detail = Printexc.to_string e } ]
+    in
+    base @ ed
 
 let run ?(fault = Oracle.No_fault) ?(corpus_dir : string option)
-    ?(progress : (int -> unit) option) ~(seed : int) ~(count : int)
-    ~(max_size : int) () : report =
+    ?(progress : (int -> unit) option) ?(edits = false) ~(seed : int)
+    ~(count : int) ~(max_size : int) () : report =
+  let edits = if edits then Some edits_per_program else None in
   let failures = ref [] in
   for index = 0 to count - 1 do
     (match progress with Some f -> f index | None -> ());
     let derived_seed = Fuzz_rng.derive ~seed ~index in
     let model = Gen_tj.gen ~seed:derived_seed ~max_size in
     let rendered = Gen_tj.render model in
-    match violations_of ~fault ~r:rendered with
+    match violations_of ~fault ~edits ~derived_seed ~model ~r:rendered with
     | [] -> ()
     | first :: _ ->
       (* Shrink while the SAME oracle keeps failing. *)
@@ -47,7 +72,7 @@ let run ?(fault = Oracle.No_fault) ?(corpus_dir : string option)
         let r = Gen_tj.render m in
         List.exists
           (fun v -> v.Oracle.oracle = first.Oracle.oracle)
-          (violations_of ~fault ~r)
+          (violations_of ~fault ~edits ~derived_seed ~model:m ~r)
       in
       let small = Gen_tj.shrink model ~still_failing in
       let rs = Gen_tj.render small in
@@ -57,13 +82,21 @@ let run ?(fault = Oracle.No_fault) ?(corpus_dir : string option)
         match
           List.find_opt
             (fun v -> v.Oracle.oracle = first.Oracle.oracle)
-            (violations_of ~fault ~r:rs)
+            (violations_of ~fault ~edits ~derived_seed ~model:small ~r:rs)
         with
         | Some v -> v.Oracle.detail
         | None -> first.Oracle.detail
       in
+      let is_edit_oracle =
+        String.length first.Oracle.oracle >= 5
+        && String.sub first.Oracle.oracle 0 5 = "edit_"
+      in
       let repro_path =
         match corpus_dir with
+        (* Edit-oracle violations have no standalone source repro: the
+           failing input is (program, edit chain), reproducible from
+           [fuzz --edits --seed N] via the derived seed in the detail. *)
+        | _ when is_edit_oracle -> None
         | None -> None
         | Some dir ->
           Some
@@ -82,13 +115,16 @@ let run ?(fault = Oracle.No_fault) ?(corpus_dir : string option)
           fr_repro_path = repro_path }
         :: !failures
   done;
-  { seed; count; max_size; fault; programs_run = count;
+  { seed; count; max_size; fault; edits; programs_run = count;
     failures = List.rev !failures }
 
 (* The one-line summary the CI step greps.  Keep the "violations=" key
-   stable: .github/workflows/ci.yml matches it verbatim. *)
+   stable: .github/workflows/ci.yml matches it verbatim.  The edits
+   field only appears when enabled, so the historical format (which
+   test_cli pins) is unchanged for plain runs. *)
 let summary_line (r : report) : string =
-  Printf.sprintf "fuzz: seed=%d count=%d max-size=%d fault=%s violations=%d"
+  Printf.sprintf "fuzz: seed=%d count=%d max-size=%d fault=%s%s violations=%d"
     r.seed r.count r.max_size
     (Oracle.fault_to_string r.fault)
+    (match r.edits with None -> "" | Some n -> Printf.sprintf " edits=%d" n)
     (List.length r.failures)

@@ -683,6 +683,138 @@ let render (m : model) : rendered =
     stmt_count = !stmts }
 
 (* ------------------------------------------------------------------ *)
+(* Edits (incremental re-analysis fuzzing)                             *)
+(* ------------------------------------------------------------------ *)
+
+(* One random edit to a model, for fuzzing [Engine.update] against
+   from-scratch loads.  The kinds map onto the incremental tiers they
+   tend to exercise:
+   - [Tweak]: change one literal/operator in place — line structure is
+     preserved, so the delta classifies as a body edit, and pointer-free
+     tweaks keep constraint summaries (the Patched path);
+   - [Replace]: swap a step for a fresh one of the same result type — a
+     body edit whose summary may move (Resolved), or a structural edit
+     when the rendered line count shifts (Rebuilt);
+   - [Delete] / [Insert]: remove or re-add a whole step — main's line
+     structure changes, the full Rebuilt fallback.
+   Edited models stay well-formed by construction: replacements keep
+   the result type, deletions fall back to typed defaults at render
+   time, and fresh operands only name EARLIER live steps (the [v{j}]
+   declaration-order invariant). *)
+type edit_kind = Tweak | Replace | Delete | Insert
+
+let edit_kind_to_string = function
+  | Tweak -> "tweak"
+  | Replace -> "replace"
+  | Delete -> "delete"
+  | Insert -> "insert"
+
+let edit ~(rng : Fuzz_rng.t) (m : model) : model * edit_kind =
+  let n = Array.length m.steps in
+  let idxs = List.init n Fun.id in
+  let live = List.filter (fun k -> m.steps.(k) <> None) idxs in
+  let holes = List.filter (fun k -> m.steps.(k) = None) idxs in
+  let ty_of j = match m.steps.(j) with None -> None | Some s -> result_ty s in
+  let with_step k s =
+    let steps = Array.copy m.steps in
+    steps.(k) <- s;
+    { m with steps }
+  in
+  let p ty k =
+    match List.filter (fun j -> j < k && ty_of j = Some ty) live with
+    | [] -> D
+    | xs -> if Fuzz_rng.int rng 100 < 80 then V (Fuzz_rng.pick rng xs) else D
+  in
+  let fam_members f =
+    let out = ref [] in
+    Array.iteri (fun i c -> if c.c_family = f then out := i :: !out) m.classes;
+    List.rev !out
+  in
+  let fresh_int k =
+    match
+      Fuzz_rng.weighted rng [ (3, `Const); (3, `Bin); (2, `Mod); (1, `Len) ]
+    with
+    | `Const -> SIntConst (1 + Fuzz_rng.int rng 50)
+    | `Bin -> SIntBin (Fuzz_rng.pick rng [ "+"; "-"; "*" ], p TInt k, p TInt k)
+    | `Mod -> SIntMod (p TInt k, 1 + Fuzz_rng.int rng 6)
+    | `Len -> SStrLen (p TStr k)
+  in
+  let fresh_str k =
+    match Fuzz_rng.weighted rng [ (3, `Const); (2, `Cat); (2, `Itoa) ] with
+    | `Const -> SStrConst str_consts.(Fuzz_rng.int rng (Array.length str_consts))
+    | `Cat -> SStrCat (p TStr k, p TStr k)
+    | `Itoa -> SItoa (p TInt k)
+  in
+  let fresh_effect k =
+    match Fuzz_rng.weighted rng [ (3, `Acc); (2, `Sacc); (1, `Print) ] with
+    | `Acc -> SAccAdd (p TInt k)
+    | `Sacc -> SSaccCat (p TStr k)
+    | `Print -> SPrintInt (p TInt k)
+  in
+  (* literal tweaks: steps whose rendering differs in exactly one token *)
+  let tweakable =
+    List.filter
+      (fun k ->
+        match m.steps.(k) with
+        | Some (SIntConst _ | SStrConst _ | SIntBin _ | SIntMod _) -> true
+        | _ -> false)
+      live
+  in
+  let choices =
+    (if tweakable <> [] then [ (4, Tweak) ] else [])
+    @ (if live <> [] then [ (3, Replace); (2, Delete) ] else [])
+    @ if holes <> [] then [ (2, Insert) ] else []
+  in
+  if choices = [] then (m, Tweak)
+  else
+    match Fuzz_rng.weighted rng choices with
+    | Tweak ->
+      let k = Fuzz_rng.pick rng tweakable in
+      (* offset picks guarantee the new literal differs from the old *)
+      let s' =
+        match m.steps.(k) with
+        | Some (SIntConst c) ->
+          SIntConst (1 + ((c + Fuzz_rng.int rng 49) mod 50))
+        | Some (SStrConst s) ->
+          let cur = ref 0 in
+          Array.iteri (fun j v -> if v = s then cur := j) str_consts;
+          let len = Array.length str_consts in
+          SStrConst str_consts.((!cur + 1 + Fuzz_rng.int rng (len - 1)) mod len)
+        | Some (SIntBin (op, a, b)) ->
+          SIntBin
+            (Fuzz_rng.pick rng (List.filter (( <> ) op) [ "+"; "-"; "*" ]), a, b)
+        | Some (SIntMod (a, d)) ->
+          SIntMod (a, 1 + ((d + Fuzz_rng.int rng 5) mod 6))
+        | _ -> assert false
+      in
+      (with_step k (Some s'), Tweak)
+    | Replace ->
+      let k = Fuzz_rng.pick rng live in
+      let s' =
+        match ty_of k with
+        | Some TInt -> fresh_int k
+        | Some TStr -> fresh_str k
+        | Some (TObj f) -> SNew (f, Fuzz_rng.pick rng (fam_members f))
+        | Some TVec -> SNewVec
+        | Some TMap -> SNewMap
+        | Some TArr -> SNewArr (2 + Fuzz_rng.int rng 5)
+        | None -> fresh_effect k
+      in
+      (with_step k (Some s'), Replace)
+    | Delete ->
+      let k = Fuzz_rng.pick rng live in
+      (with_step k None, Delete)
+    | Insert ->
+      let k = Fuzz_rng.pick rng holes in
+      let s' =
+        match Fuzz_rng.int rng 3 with
+        | 0 -> fresh_int k
+        | 1 -> fresh_str k
+        | _ -> fresh_effect k
+      in
+      (with_step k (Some s'), Insert)
+
+(* ------------------------------------------------------------------ *)
 (* Shrinking                                                           *)
 (* ------------------------------------------------------------------ *)
 

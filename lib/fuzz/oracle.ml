@@ -352,3 +352,117 @@ let battery ?(fault = No_fault) ~(src : string) ~(seed_lines : int list) () :
           [ Slicer.Thin; Slicer.Traditional_full ])
       seed_lines;
     List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* The edit battery: incremental == from-scratch                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Budget-free modes: provenance BFS ranks in these modes are functions
+   of the graph alone, so layered reports must be identical between an
+   incrementally updated handle and a fresh load.  [Thin_with_aliasing]
+   ranks can depend on budget-consumption order, so reports are not
+   compared there — its slice SETS still are, via [modes]. *)
+let report_modes =
+  [ Slicer.Thin; Slicer.Traditional_data; Slicer.Traditional_full ]
+
+(* Starting from a generated model, apply a chain of random edits;
+   after each, [Engine.update] on the carried handle must agree with a
+   fresh [Engine.load] of the same source on every observable: slice
+   line sets in every mode, the canonical (location-keyed) points-to
+   and call-graph dumps, layered report JSON in the budget-free modes,
+   and the headline stats.  A byte-identical source must take the Noop
+   path.  The chain carries the UPDATED handle forward, so patched
+   graphs are themselves patched again — the accumulation case. *)
+let edit_battery ~(rng : Fuzz_rng.t) ~(model : Gen_tj.model)
+    ~(edits : int) () : violation list =
+  let out = ref [] in
+  let viol oracle detail = out := { oracle; detail } :: !out in
+  let load_h src =
+    try Some (Engine.load [ (file, src) ])
+    with Frontend.Error e ->
+      viol "edit_well_formed" (Frontend.error_to_string e);
+      None
+  in
+  let r0 = Gen_tj.render model in
+  (match load_h r0.Gen_tj.src with
+  | None -> ()
+  | Some h0 ->
+    let h = ref h0 and cur = ref model and prev_src = ref r0.Gen_tj.src in
+    (try
+       for i = 1 to edits do
+         let m', kind = Gen_tj.edit ~rng !cur in
+         cur := m';
+         let r = Gen_tj.render m' in
+         let src = r.Gen_tj.src in
+         let h', rep = Engine.update !h [ (file, src) ] in
+         let ctx =
+           Printf.sprintf "edit %d (%s, path=%s)" i
+             (Gen_tj.edit_kind_to_string kind)
+             (Engine.update_path_to_string rep.Engine.up_path)
+         in
+         if src = !prev_src && rep.Engine.up_path <> Engine.Noop then
+           viol "edit_noop_path" (ctx ^ ": source unchanged but path is not noop");
+         (match load_h src with
+         | None -> raise Exit
+         | Some fresh ->
+           let ia = h'.Engine.h_analysis
+           and fa = fresh.Engine.h_analysis in
+           List.iter
+             (fun l ->
+               List.iter
+                 (fun m ->
+                   if
+                     Engine.slice_from_line ia ~line:l m
+                     <> Engine.slice_from_line fa ~line:l m
+                   then
+                     viol "edit_slice_parity"
+                       (Printf.sprintf "%s: %s slice lines at %d differ" ctx
+                          (Slicer.mode_to_string m) l))
+                 modes)
+             r.Gen_tj.seed_lines;
+           if
+             dump_to_string (Engine.pts_dump_canonical ia)
+             <> dump_to_string (Engine.pts_dump_canonical fa)
+           then viol "edit_pts_parity" (ctx ^ ": canonical points-to dumps differ");
+           if
+             dump_to_string (Engine.call_graph_dump_canonical ia)
+             <> dump_to_string (Engine.call_graph_dump_canonical fa)
+           then
+             viol "edit_pts_parity" (ctx ^ ": canonical call-graph dumps differ");
+           List.iter
+             (fun l ->
+               List.iter
+                 (fun m ->
+                   let json hh =
+                     let q = Engine.Q_report { line = l; mode = m } in
+                     Slice_obs.Json.to_string
+                       (Engine.query_result_to_json hh q (Engine.run_query hh q))
+                   in
+                   if json h' <> json fresh then
+                     viol "edit_report_parity"
+                       (Printf.sprintf "%s: %s report at %d differs" ctx
+                          (Slicer.mode_to_string m) l))
+                 report_modes)
+             r.Gen_tj.seed_lines;
+           let s1 = h'.Engine.h_stats and s2 = fresh.Engine.h_stats in
+           if
+             ( s1.Engine.methods, s1.Engine.ir_statements,
+               s1.Engine.sdg_statements )
+             <> ( s2.Engine.methods, s2.Engine.ir_statements,
+                  s2.Engine.sdg_statements )
+           then
+             viol "edit_stats_parity"
+               (Printf.sprintf
+                  "%s: stats differ (methods %d/%d, ir %d/%d, sdg %d/%d)" ctx
+                  s1.Engine.methods s2.Engine.methods s1.Engine.ir_statements
+                  s2.Engine.ir_statements s1.Engine.sdg_statements
+                  s2.Engine.sdg_statements);
+           if
+             Sdg.num_live_nodes ia.Engine.sdg
+             <> Sdg.num_live_nodes fa.Engine.sdg
+           then viol "edit_stats_parity" (ctx ^ ": live SDG node counts differ"));
+         prev_src := src;
+         h := h'
+       done
+     with Exit -> ()));
+  List.rev !out

@@ -77,7 +77,14 @@ type mctx_info = { mi_mq : Instr.method_qname; mi_ctx : Context.ctx }
    (site, class, context) / (method, context) identity, which is
    order-independent. *)
 
-let rec obj_key (ctxs : Context.t) (o : int) : string =
+(* [site] renders an allocation/call site id.  Dumps comparing two runs
+   of the SAME program number statements identically and use
+   [string_of_int]; dumps comparing an incrementally patched analysis
+   against a fresh one must key sites by source LOCATION instead,
+   because a re-lowered method's statements carry fresh ids (see
+   [pts_dump_loc]). *)
+let rec obj_key_site ~(site : int -> string) (ctxs : Context.t) (o : int) :
+    string =
   let oi = Context.obj ctxs o in
   let cls =
     match oi.Context.oi_cls with
@@ -86,40 +93,48 @@ let rec obj_key (ctxs : Context.t) (o : int) : string =
     | Context.Astring -> "S"
     | Context.Aextern s -> "X" ^ s
   in
-  string_of_int oi.Context.oi_site ^ ":" ^ cls ^ ctx_key ctxs oi.Context.oi_ctx
+  site oi.Context.oi_site ^ ":" ^ cls ^ ctx_key_site ~site ctxs oi.Context.oi_ctx
 
-and ctx_key (ctxs : Context.t) (c : Context.ctx) : string =
+and ctx_key_site ~site (ctxs : Context.t) (c : Context.ctx) : string =
   match c with
   | Context.Cnone -> ""
-  | Context.Crecv o -> "<" ^ obj_key ctxs o ^ ">"
+  | Context.Crecv o -> "<" ^ obj_key_site ~site ctxs o ^ ">"
 
-let mctx_key_str ctxs mq c =
-  Instr.method_qname_to_string mq ^ "@" ^ ctx_key ctxs c
 
-let node_key ctxs (mctx_of : int -> Instr.method_qname * Context.ctx)
-    (d : node_desc) : string =
+let mctx_key_str_site ~site ctxs mq c =
+  Instr.method_qname_to_string mq ^ "@" ^ ctx_key_site ~site ctxs c
+
+let mctx_key_str ctxs mq c = mctx_key_str_site ~site:string_of_int ctxs mq c
+
+let node_key_site ~site ctxs
+    (mctx_of : int -> Instr.method_qname * Context.ctx) (d : node_desc) :
+    string =
   match d with
   | Nvar (mc, v) ->
     let mq, c = mctx_of mc in
-    "V:" ^ mctx_key_str ctxs mq c ^ ":" ^ string_of_int v
+    "V:" ^ mctx_key_str_site ~site ctxs mq c ^ ":" ^ string_of_int v
   | Nstatic (c, f) -> "G:" ^ c ^ "." ^ f
-  | Nfield (o, f) -> "F:" ^ obj_key ctxs o ^ "." ^ f
+  | Nfield (o, f) -> "F:" ^ obj_key_site ~site ctxs o ^ "." ^ f
   | Nret mc ->
     let mq, c = mctx_of mc in
-    "R:" ^ mctx_key_str ctxs mq c
+    "R:" ^ mctx_key_str_site ~site ctxs mq c
 
-let build_pts_dump ~ctxs ~mctx_of ~num_nodes ~desc_of ~objs_of :
+let build_pts_dump_site ~site ~ctxs ~mctx_of ~num_nodes ~desc_of ~objs_of :
     (string * string list) list =
   let entries = ref [] in
   for i = 0 to num_nodes - 1 do
     let objs = objs_of i in
     if objs <> [] then
       entries :=
-        ( node_key ctxs mctx_of (desc_of i),
-          List.sort compare (List.map (obj_key ctxs) objs) )
+        ( node_key_site ~site ctxs mctx_of (desc_of i),
+          List.sort compare (List.map (obj_key_site ~site ctxs) objs) )
         :: !entries
   done;
   List.sort compare !entries
+
+let build_pts_dump ~ctxs ~mctx_of ~num_nodes ~desc_of ~objs_of =
+  build_pts_dump_site ~site:string_of_int ~ctxs ~mctx_of ~num_nodes ~desc_of
+    ~objs_of
 
 (* ------------------------------------------------------------------ *)
 (* Reference solver: the original list/tree implementation, verbatim    *)
@@ -1563,6 +1578,212 @@ let call_graph_dump (t : result) : (string * string list) list =
           (fun cmc ->
             let mq, c = mctx_info t cmc in
             mctx_key_str t.ctxs mq c)
+          cell.cs_list
+      in
+      entries := (mk caller stmt "C:", List.sort compare callees) :: !entries)
+    t.call_edges;
+  Hashtbl.iter
+    (fun (caller, stmt) cell ->
+      let callees = List.map Instr.method_qname_to_string cell.is_list in
+      entries := (mk caller stmt "I:", List.sort compare callees) :: !entries)
+    t.intrinsic_edges;
+  List.sort compare !entries
+
+(* --- incremental re-analysis support --------------------------------- *)
+
+(* A canonical string of EXACTLY the facts [make_reachable] turns into
+   constraints for one method body, plus the site list those constraints
+   key on, in [iter_instrs] order.
+
+   Two bodies with equal summaries generate identical constraint systems
+   up to statement-id renaming: same Nvar node set (variable ints are
+   part of the summary), same copy/load/store/dispatch structure, and a
+   positional 1:1 correspondence of allocation/call sites.  That is the
+   soundness condition for patching a solved analysis in place after a
+   method is re-lowered ([rekey_sites]) instead of re-solving.  The
+   summary deliberately EXCLUDES statement ids, source locations, and
+   constants with no points-to effect (int/bool/string VALUES, non-ref
+   operands), so pure value edits keep the summary stable. *)
+let method_summary_sites (m : Instr.meth) : string * Instr.stmt_id list =
+  let buf = Buffer.create 256 in
+  let sites = ref [] in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  (match m.Instr.m_body with
+  | Instr.Intrinsic _ | Instr.Abstract -> Buffer.add_string buf "nobody"
+  | Instr.Body _ ->
+    let refc v = if is_ref_var m v then 'r' else 'p' in
+    addf "sig:%s|%s|"
+      (String.concat ","
+         (List.map
+            (fun v ->
+              Printf.sprintf "%d%c:%s" v (refc v)
+                (Types.ty_to_string (Instr.var_info m v).Instr.vi_ty))
+            m.Instr.m_params))
+      (Types.ty_to_string m.Instr.m_ret_ty);
+    Instr.iter_instrs m (fun lbl i ->
+        let site () = sites := i.Instr.i_id :: !sites in
+        match i.Instr.i_kind with
+        | Instr.Const (x, Types.Cstr _) when is_ref_var m x ->
+          site ();
+          addf "S%d:%d;" lbl x
+        | Instr.Const _ -> ()
+        | Instr.Binop (x, Types.Concat, _, _) when is_ref_var m x ->
+          site ();
+          addf "K%d:%d;" lbl x
+        | Instr.New (x, c) ->
+          site ();
+          addf "N%d:%d:%s;" lbl x c
+        | Instr.New_array (x, elem, _) ->
+          site ();
+          addf "A%d:%d:%s;" lbl x (Types.ty_to_string elem)
+        | Instr.Move (x, y) when is_ref_var m x && is_ref_var m y ->
+          addf "M%d:%d:%d;" lbl x y
+        | Instr.Move _ -> ()
+        | Instr.Cast (x, ty, y) when is_ref_var m x && is_ref_var m y ->
+          addf "C%d:%d:%s:%d;" lbl x (Types.ty_to_string ty) y
+        | Instr.Cast _ -> ()
+        | Instr.Phi (x, ins) when is_ref_var m x ->
+          addf "P%d:%d:%s;" lbl x
+            (String.concat ","
+               (List.map (fun (_, y) -> string_of_int y) ins))
+        | Instr.Phi _ -> ()
+        | Instr.Load (x, y, f) when is_ref_var m x ->
+          addf "L%d:%d:%d:%s;" lbl x y f
+        | Instr.Load _ -> ()
+        | Instr.Store (x, f, y) when is_ref_var m y ->
+          addf "T%d:%d:%s:%d;" lbl x f y
+        | Instr.Store _ -> ()
+        | Instr.Array_load (x, y, _) when is_ref_var m x ->
+          addf "l%d:%d:%d;" lbl x y
+        | Instr.Array_load _ -> ()
+        | Instr.Array_store (a, _, x) when is_ref_var m x ->
+          addf "t%d:%d:%d;" lbl a x
+        | Instr.Array_store _ -> ()
+        | Instr.Static_load (x, c, f) when is_ref_var m x ->
+          addf "G%d:%d:%s.%s;" lbl x c f
+        | Instr.Static_load _ -> ()
+        | Instr.Static_store (c, f, y) when is_ref_var m y ->
+          addf "g%d:%s.%s:%d;" lbl c f y
+        | Instr.Static_store _ -> ()
+        | Instr.Call { lhs; kind; args } ->
+          (* EVERY call is a site: call-graph edges, wiring dedup, and
+             intrinsic allocations all key on the call's statement id. *)
+          site ();
+          let kstr =
+            match kind with
+            | Instr.Virtual n -> "v" ^ n
+            | Instr.Static mq -> "s" ^ Instr.method_qname_to_string mq
+            | Instr.Special mq -> "p" ^ Instr.method_qname_to_string mq
+          in
+          addf "X%d:%s(%s)%s;" lbl kstr
+            (String.concat ","
+               (List.map (fun a -> Printf.sprintf "%d%c" a (refc a)) args))
+            (match lhs with
+            | None -> ""
+            | Some x -> Printf.sprintf "=%d%c" x (refc x))
+        | Instr.Binop _ | Instr.Unop _ | Instr.Instance_of _
+        | Instr.Array_length _ | Instr.Nop -> ());
+    Instr.iter_terms m (fun lbl term ->
+        match term.Instr.t_kind with
+        | Instr.Return (Some v) when is_ref_var m v -> addf "R%d:%d;" lbl v
+        | Instr.Return _ | Instr.Goto _ | Instr.If _ | Instr.Throw _ -> ()));
+  (Buffer.contents buf, List.rev !sites)
+
+(* Enumerate resolved call edges: used by the SDG patch's control pass
+   to recover a re-lowered method's entry callers without re-running
+   dispatch. *)
+let iter_call_sites (t : result)
+    (f : caller:int -> stmt:Instr.stmt_id -> callees:int list -> unit) : unit =
+  Hashtbl.iter
+    (fun (caller, stmt) cell -> f ~caller ~stmt ~callees:cell.cs_list)
+    t.call_edges
+
+(* Move every statement-id-keyed structure of a SOLVED analysis onto a
+   re-lowered method's fresh ids.  Sound only when the old and new body
+   have equal [method_summary_sites] summaries and [remap] is the
+   positional zip of their site lists.  Collect-then-apply everywhere:
+   statement ids are globally unique and never reused, so the old and
+   new key spaces cannot collide. *)
+let rekey_sites (t : result) (remap : Instr.stmt_id -> Instr.stmt_id option) :
+    unit =
+  let moves = ref [] in
+  Hashtbl.iter
+    (fun ((caller, stmt) as k) cell ->
+      match remap stmt with
+      | Some s' when s' <> stmt -> moves := (k, (caller, s'), cell) :: !moves
+      | Some _ | None -> ())
+    t.call_edges;
+  List.iter
+    (fun (ok, nk, cell) ->
+      Hashtbl.remove t.call_edges ok;
+      Hashtbl.replace t.call_edges nk cell)
+    !moves;
+  let imoves = ref [] in
+  Hashtbl.iter
+    (fun ((caller, stmt) as k) cell ->
+      match remap stmt with
+      | Some s' when s' <> stmt -> imoves := (k, (caller, s'), cell) :: !imoves
+      | Some _ | None -> ())
+    t.intrinsic_edges;
+  List.iter
+    (fun (ok, nk, cell) ->
+      Hashtbl.remove t.intrinsic_edges ok;
+      Hashtbl.replace t.intrinsic_edges nk cell)
+    !imoves;
+  let wmoves = ref [] in
+  Hashtbl.iter
+    (fun ((caller, stmt, cmc) as k) () ->
+      match remap stmt with
+      | Some s' when s' <> stmt -> wmoves := (k, (caller, s', cmc)) :: !wmoves
+      | Some _ | None -> ())
+    t.wired;
+  List.iter
+    (fun (ok, nk) ->
+      Hashtbl.remove t.wired ok;
+      Hashtbl.replace t.wired nk ())
+    !wmoves;
+  for i = 0 to t.num_nodes - 1 do
+    match t.dispatches.(i) with
+    | [] -> ()
+    | ds ->
+      t.dispatches.(i) <-
+        List.map
+          (fun d ->
+            match remap d.d_stmt with
+            | Some s' when s' <> d.d_stmt -> { d with d_stmt = s' }
+            | Some _ | None -> d)
+          ds
+  done;
+  Context.rekey_sites t.ctxs remap
+
+(* Location-keyed parity dumps: canonical across a patched analysis and
+   a fresh rebuild, whose statement NUMBERINGS differ but whose source
+   locations coincide.  [site_label] must be injective enough to keep
+   the dump deterministic (the engine supplies "file:line:col", with
+   negative synthetic sites labelled verbatim). *)
+let pts_dump_loc ~(site_label : int -> string) (t : result) :
+    (string * string list) list =
+  build_pts_dump_site ~site:site_label ~ctxs:t.ctxs
+    ~mctx_of:(fun mc -> mctx_info t mc)
+    ~num_nodes:t.num_nodes
+    ~desc_of:(fun i -> t.node_descs.(i))
+    ~objs_of:(fun i -> Bits.elements t.pts.(find t i))
+
+let call_graph_dump_loc ~(site_label : int -> string) (t : result) :
+    (string * string list) list =
+  let mk caller stmt tag =
+    let mq, c = mctx_info t caller in
+    tag ^ mctx_key_str_site ~site:site_label t.ctxs mq c ^ "#"
+    ^ site_label stmt
+  in
+  let entries = ref [] in
+  Hashtbl.iter
+    (fun (caller, stmt) cell ->
+      let callees =
+        List.map
+          (fun cmc ->
+            let mq, c = mctx_info t cmc in
+            mctx_key_str_site ~site:site_label t.ctxs mq c)
           cell.cs_list
       in
       entries := (mk caller stmt "C:", List.sort compare callees) :: !entries)

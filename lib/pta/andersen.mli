@@ -95,6 +95,43 @@ val pts_dump : result -> (string * string list) list
     edges and intrinsic targets), comparable across solvers. *)
 val call_graph_dump : result -> (string * string list) list
 
+(** {2 Incremental re-analysis support}
+
+    A re-lowered method body carries fresh statement ids.  When its
+    constraint summary is UNCHANGED (same {!method_summary_sites}
+    string), the solved analysis can be patched in place: the site
+    lists of the old and new body zip positionally into a remap, and
+    {!rekey_sites} moves every site-keyed structure (call-graph edges,
+    wiring dedup, dispatch records, allocation-site identities) onto
+    the new ids.  Anything else requires a fresh solve. *)
+
+(** Canonical string of exactly the facts constraint generation reads
+    from one method body (variable ints, refness, classes, callee
+    names — statement ids, locations and plain values excluded), plus
+    the allocation/call sites in deterministic body order. *)
+val method_summary_sites : Instr.meth -> string * Instr.stmt_id list
+
+(** Patch a solved analysis onto re-lowered statement ids.  [remap old]
+    is [Some fresh] for a moved site, [None] to keep.  Sound only under
+    summary equality (see above). *)
+val rekey_sites : result -> (Instr.stmt_id -> Instr.stmt_id option) -> unit
+
+(** Enumerate resolved call edges (caller context, call site, callee
+    contexts) — the SDG patch recovers a re-lowered method's entry
+    callers from this without re-running dispatch. *)
+val iter_call_sites :
+  result -> (caller:int -> stmt:Instr.stmt_id -> callees:int list -> unit) -> unit
+
+(** {!pts_dump} / {!call_graph_dump} with sites rendered through
+    [site_label] instead of raw statement ids: canonical across a
+    patched analysis and a fresh rebuild of the same program, whose
+    statement numberings differ but whose source locations coincide. *)
+val pts_dump_loc :
+  site_label:(int -> string) -> result -> (string * string list) list
+
+val call_graph_dump_loc :
+  site_label:(int -> string) -> result -> (string * string list) list
+
 (** The original list/tree solver ([Set.Make(Int)] points-to sets, LIFO
     [(node, delta)] worklist), preserved verbatim as a telemetry-free
     oracle. *)

@@ -45,12 +45,23 @@ let cache_keys (st : state) : string list =
 
 let solver_name = function `Bitset -> "bitset" | `Reference -> "reference"
 
-let program_key ?(obj_sens = true) ?(solver = `Bitset) ~(file : string)
-    (src : string) : string =
+(* The digest folds every (file, source) pair, so a one-byte edit to
+   ANY unit of a multi-file program changes the key — which is what
+   makes [update] safe to key the patched entry under the new digest.
+   A singleton list hashes to the same key as the historical single-file
+   form. *)
+let program_key_sources ?(obj_sens = true) ?(solver = `Bitset)
+    (sources : (string * string) list) : string =
+  let payload =
+    String.concat "\x01" (List.map (fun (f, s) -> f ^ "\x00" ^ s) sources)
+  in
   Printf.sprintf "%s:%s:%s"
-    (Digest.to_hex (Digest.string (file ^ "\x00" ^ src)))
+    (Digest.to_hex (Digest.string payload))
     (if obj_sens then "objsens" else "no-objsens")
     (solver_name solver)
+
+let program_key ?obj_sens ?solver ~(file : string) (src : string) : string =
+  program_key_sources ?obj_sens ?solver [ (file, src) ]
 
 (* ------------------------------------------------------------------ *)
 (* Errors                                                              *)
@@ -119,6 +130,44 @@ let solver_of params =
   | Some ("reference" | "ref") -> `Reference
   | Some s -> errf invalid_params "unknown solver %s" s
 
+(* Inline sources of a request: a single ["source"] (+ optional
+   ["file"]), or a multi-file ["sources"] array of {file, source}
+   objects.  Duplicate paths are a code-1 user error, not a crash: the
+   frontend would otherwise let one unit silently shadow the other. *)
+let sources_of (params : Json.t) : (string * string) list option =
+  match Json.member "sources" params with
+  | Some (Json.List items) ->
+    if items = [] then errf invalid_params "sources must be non-empty";
+    let one = function
+      | Json.Obj _ as o -> (
+        let str name =
+          match Json.member name o with
+          | Some (Json.Str s) -> Some s
+          | None | Some Json.Null -> None
+          | Some _ -> errf invalid_params "sources entry %s must be a string" name
+        in
+        match (str "file", str "source") with
+        | Some f, Some s -> (f, s)
+        | None, _ -> errf invalid_params "sources entries need a \"file\""
+        | _, None -> errf invalid_params "sources entries need a \"source\"")
+      | _ -> errf invalid_params "sources must be an array of objects"
+    in
+    let sources = List.map one items in
+    let seen = Hashtbl.create 8 in
+    List.iter
+      (fun (f, _) ->
+        if Hashtbl.mem seen f then errf user_error "duplicate source path: %s" f;
+        Hashtbl.replace seen f ())
+      sources;
+    Some sources
+  | Some _ -> errf invalid_params "sources must be an array"
+  | None -> (
+    match opt_str params "source" with
+    | None -> None
+    | Some src ->
+      let file = Option.value (opt_str params "file") ~default:"<request>" in
+      Some [ (file, src) ])
+
 (* ------------------------------------------------------------------ *)
 (* The program cache                                                   *)
 (* ------------------------------------------------------------------ *)
@@ -129,10 +178,19 @@ let find_entry (st : state) (key : string) : entry option =
 let touch (st : state) (e : entry) : unit =
   st.entries <- e :: List.filter (fun x -> x.e_key <> e.e_key) st.entries
 
-(* Evict beyond capacity, then release walk-scratch memory down to the
-   largest SURVIVING program: without this, one mega-program query pins
-   its peak buffers for the daemon's lifetime (the grow-only-scratch
-   bug this PR fixes). *)
+(* Release walk-scratch memory down to the largest RESIDENT program:
+   without this, one mega-program query pins its peak buffers for the
+   daemon's lifetime.  Shared by eviction and by [update] (an edit can
+   shrink a program just as surely as an eviction can drop one). *)
+let shrink_to_residents (st : state) : unit =
+  let keep_nodes =
+    List.fold_left
+      (fun acc e ->
+        max acc (Sdg.num_nodes e.e_handle.Engine.h_analysis.Engine.sdg))
+      1 st.entries
+  in
+  Slicer.shrink_domain_scratch ~keep:keep_nodes
+
 let insert (st : state) (e : entry) : unit =
   st.entries <- e :: st.entries;
   if List.length st.entries > st.cfg.max_programs then begin
@@ -147,13 +205,7 @@ let insert (st : state) (e : entry) : unit =
     let keep, drop = split st.cfg.max_programs st.entries in
     st.entries <- keep;
     ignore drop;
-    let keep_nodes =
-      List.fold_left
-        (fun acc e ->
-          max acc (Sdg.num_nodes e.e_handle.Engine.h_analysis.Engine.sdg))
-        1 keep
-    in
-    Slicer.shrink_domain_scratch ~keep:keep_nodes
+    shrink_to_residents st
   end
 
 (* Resolve the program a request addresses: an explicit resident key
@@ -171,21 +223,21 @@ let resolve_program (st : state) (params : Json.t) : entry * [ `Hit | `Miss ]
     | None -> errf user_error "program not resident: %s" key)
   | Some _ -> errf invalid_params "program must be a string key"
   | None -> (
-    match opt_str params "source" with
+    match sources_of params with
     | None ->
-      errf invalid_params "request needs either \"program\" or \"source\""
-    | Some src -> (
-      let file = Option.value (opt_str params "file") ~default:"<request>" in
+      errf invalid_params
+        "request needs \"program\", \"source\" or \"sources\""
+    | Some sources -> (
       let obj_sens = opt_bool params "obj_sens" ~default:true in
       let solver = solver_of params in
-      let key = program_key ~obj_sens ~solver ~file src in
+      let key = program_key_sources ~obj_sens ~solver sources in
       match find_entry st key with
       | Some e ->
         touch st e;
         (e, `Hit)
       | None ->
         let handle =
-          try Engine.load ~obj_sens ~solver [ (file, src) ]
+          try Engine.load ~obj_sens ~solver sources
           with Slice_front.Frontend.Error e ->
             errf user_error "%s" (Slice_front.Frontend.error_to_string e)
         in
@@ -250,6 +302,59 @@ let dispatch (st : state) (req : Json.t) : dispatched =
     let e, hit = resolve_program st params in
     { d_result = Json.Obj [ ("program", Json.Str e.e_key) ];
       d_tel = cache_tel e hit;
+      d_stop = false }
+  | "update" ->
+    (* Edit a RESIDENT program in place: the entry is re-keyed under the
+       new sources' digest (so digest-addressed requests still behave)
+       but its analysis is patched, not rebuilt, whenever the delta
+       allows — the path taken is reported back. *)
+    let params = params_of req in
+    let e =
+      match Json.member "program" params with
+      | Some (Json.Str key) -> (
+        match find_entry st key with
+        | Some e -> e
+        | None -> errf user_error "program not resident: %s" key)
+      | Some _ -> errf invalid_params "program must be a string key"
+      | None -> errf invalid_params "update needs a \"program\" key"
+    in
+    let sources =
+      match sources_of params with
+      | Some s -> s
+      | None -> errf invalid_params "update needs \"source\" or \"sources\""
+    in
+    let h = e.e_handle in
+    let h', report =
+      try Engine.update h sources
+      with Slice_front.Frontend.Error fe ->
+        errf user_error "%s" (Slice_front.Frontend.error_to_string fe)
+    in
+    let key' =
+      program_key_sources ~obj_sens:h.Engine.h_obj_sens
+        ~solver:h.Engine.h_solver sources
+    in
+    let e' = { e_key = key'; e_handle = h' } in
+    st.entries <-
+      e'
+      :: List.filter
+           (fun x -> x.e_key <> e.e_key && x.e_key <> key')
+           st.entries;
+    (* Mirror the eviction path: a shrinking edit must release the
+       daemon's walk scratch, not pin the pre-edit high-water mark. *)
+    shrink_to_residents st;
+    let path = Engine.update_path_to_string report.Engine.up_path in
+    { d_result =
+        Json.Obj
+          [ ("program", Json.Str key');
+            ("path", Json.Str path);
+            ("relowered", Json.Int report.Engine.up_relowered);
+            ("segments_refrozen", Json.Int report.Engine.up_segments_refrozen);
+            ("segments_total", Json.Int report.Engine.up_segments_total);
+            ("nodes_dead", Json.Int report.Engine.up_nodes_dead);
+            ("nodes_new", Json.Int report.Engine.up_nodes_new) ];
+      d_tel =
+        [ ("cache", Json.Str "update"); ("program", Json.Str key');
+          ("path", Json.Str path) ];
       d_stop = false }
   | _ -> (
     let params = params_of req in
@@ -361,6 +466,13 @@ let serve_channels (st : state) (ic : in_channel) (oc : out_channel) :
   loop ()
 
 let serve_unix_socket (st : state) ~(path : string) : unit =
+  (* A client that vanishes mid-response must not kill the daemon: the
+     default SIGPIPE disposition terminates the process on the first
+     write to the dead socket.  Ignored, the write raises instead, and
+     the per-connection handler below turns it into that connection's
+     EOF. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
   if Sys.file_exists path then Unix.unlink path;
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Fun.protect
@@ -378,7 +490,15 @@ let serve_unix_socket (st : state) ~(path : string) : unit =
           Fun.protect
             ~finally:(fun () ->
               try Unix.close fd with Unix.Unix_error _ -> ())
-            (fun () -> serve_channels st ic oc)
+            (fun () ->
+              (* EPIPE/ECONNRESET on a half-closed peer surfaces here as
+                 Sys_error (channel writes) or Unix_error (raw ops); a
+                 dead client ends its own connection, never the accept
+                 loop, and the [finally] above still releases the fd. *)
+              try serve_channels st ic oc
+              with
+              | End_of_file | Sys_error _ | Unix.Unix_error (_, _, _) ->
+                `Eof)
         in
         match status with `Shutdown -> () | `Eof -> accept_loop ()
       in

@@ -14,14 +14,27 @@
 
     One request per line:
     [{"id": ..., "method": M, "params": {...}}] with [M] one of [load],
-    [slice], [forward], [chop], [expand], [explain], [report], [stats],
-    [shutdown].  Every method except [shutdown] identifies a program
-    either by ["program"] (a key returned from an earlier load; a
-    structured error when no longer resident) or inline by ["source"]
-    (+ optional ["file"], ["obj_sens"], ["solver"]), which loads on miss
-    and reuses the resident analysis on hit.  Query params: ["line"],
-    ["mode"] (any {!Slice_core.Slicer.mode_of_string} spelling, default
-    thin), ["to"] (chop), ["seed"] (explain).
+    [update], [slice], [forward], [chop], [expand], [explain],
+    [report], [stats], [shutdown].  Every method except [shutdown] and
+    [update] identifies a program either by ["program"] (a key
+    returned from an earlier load; a structured error when no longer
+    resident) or inline by ["source"] (+ optional ["file"]) or by a
+    multi-file ["sources"] array of [{"file": F, "source": S}] objects
+    (+ optional ["obj_sens"], ["solver"]), which loads on miss and
+    reuses the resident analysis on hit.  Duplicate paths in
+    ["sources"] are a code-1 error.  Query params: ["line"], ["mode"]
+    (any {!Slice_core.Slicer.mode_of_string} spelling, default thin),
+    ["to"] (chop), ["seed"] (explain).
+
+    [update] takes a resident ["program"] key plus the edited
+    ["source"]/["sources"] and re-analyzes incrementally
+    ({!Slice_core.Engine.update}): the cache entry is re-keyed under
+    the new digest and patched in place rather than evicted, and the
+    result reports the incremental path taken ([noop], [patched],
+    [resolved], [rebuilt]) with its delta statistics ([relowered],
+    [segments_refrozen]/[segments_total], [nodes_dead]/[nodes_new]).
+    After an update the daemon's walk scratch is shrunk to the largest
+    resident program, exactly as on eviction.
 
     One response per request, in order:
     [{"id": ..., "result": R, "telemetry": T}] or
@@ -73,9 +86,17 @@ type state
 
 val create_state : config -> state
 
-(** The cache key of a source unit: MD5 digest of (file, source) x
-    object-sensitivity x solver.  This is what a load result returns as
-    ["program"] and what query requests may pass back. *)
+(** The cache key of a program: MD5 digest over every (file, source)
+    pair x object-sensitivity x solver.  This is what a load result
+    returns as ["program"] and what query requests may pass back.  A
+    singleton list yields the same key as {!program_key}. *)
+val program_key_sources :
+  ?obj_sens:bool ->
+  ?solver:[ `Bitset | `Reference ] ->
+  (string * string) list ->
+  string
+
+(** Single-file convenience form of {!program_key_sources}. *)
 val program_key :
   ?obj_sens:bool ->
   ?solver:[ `Bitset | `Reference ] ->
@@ -108,5 +129,7 @@ val serve_channels : state -> in_channel -> out_channel -> [ `Eof | `Shutdown ]
 (** Serve a Unix domain socket: bind [path] (unlinking any stale socket
     file first), accept one connection at a time, serve each until its
     EOF, and return (unlinking [path]) when a connection sends
-    [shutdown]. *)
+    [shutdown].  SIGPIPE is ignored for the daemon's lifetime; a client
+    that disconnects mid-request or mid-response ends only its own
+    connection (fd released, next connection served). *)
 val serve_unix_socket : state -> path:string -> unit

@@ -20,5 +20,6 @@ let () =
       ("obs", Test_obs.suite);
       ("properties", Test_props.suite);
       ("fuzz", Test_fuzz.suite);
+      ("incremental", Test_incremental.suite);
       ("cli", Test_cli.suite);
       ("serve", Test_serve.suite) ]

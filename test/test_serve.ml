@@ -404,6 +404,280 @@ let parity_for_solver (solver : string) () =
             (cache_of resp))
         resps)
 
+(* --- incremental update --------------------------------------------- *)
+
+(* A body-interior, pointer-free tweak of [box_src]: same line count,
+   same skeleton, so [Engine.update] can take the Patched path. *)
+let box_src_edited =
+  let sub = "z.length() > 0" and by = "z.length() > 1" in
+  let ls = String.length box_src and lsub = String.length sub in
+  let rec find i =
+    if i + lsub > ls then Alcotest.failf "edit needle %S not in box_src" sub
+    else if String.sub box_src i lsub = sub then i
+    else find (i + 1)
+  in
+  let i = find 0 in
+  String.sub box_src 0 i ^ by
+  ^ String.sub box_src (i + lsub) (ls - i - lsub)
+
+let program_of (resp : Json.t) : string =
+  match Json.member "program" (member_exn "result" resp) with
+  | Some (Json.Str k) -> k
+  | _ -> Alcotest.failf "no program key in %s" (Json.to_string resp)
+
+(* update patches the resident entry in place: the cache is re-keyed
+   under the new digest, the old key is gone, and queries through the
+   new key byte-equal a fresh load of the edited source. *)
+let test_update_method () =
+  let st = Serve.create_state Serve.default_config in
+  let file = "box.tj" in
+  let key1 =
+    program_of
+      (do_req st
+         (req "load" [ ("source", Json.Str box_src); ("file", Json.Str file) ]))
+  in
+  let upd =
+    do_req st
+      (req "update"
+         [ ("program", Json.Str key1); ("source", Json.Str box_src_edited);
+           ("file", Json.Str file) ])
+  in
+  let r = member_exn "result" upd in
+  let key2 = program_of upd in
+  check_bool "edit re-keys the entry" true (key1 <> key2);
+  (match Json.member "path" r with
+  | Some (Json.Str "patched") -> ()
+  | other ->
+    Alcotest.failf "expected the patched path, got %s"
+      (match other with Some j -> Json.to_string j | None -> "<none>"));
+  (match Json.member "relowered" r with
+  | Some (Json.Int 1) -> ()
+  | _ -> Alcotest.failf "expected exactly one re-lowered method: %s"
+           (Json.to_string r));
+  check_string "update telemetry" "update"
+    (cache_of upd);
+  (* the patched entry answers by its NEW key, as a hit *)
+  let sl =
+    do_req st
+      (req "slice"
+         [ ("program", Json.Str key2); ("line", Json.Int box_print_line) ])
+  in
+  check_string "patched entry is resident" "hit" (cache_of sl);
+  (* ... the old key is gone ... *)
+  expect_error "stale pre-edit key" st
+    (req "slice"
+       [ ("program", Json.Str key1); ("line", Json.Int box_print_line) ])
+    Serve.user_error;
+  (* ... and the patched analysis byte-equals a fresh load of the edit *)
+  let fresh = Serve.create_state Serve.default_config in
+  let sl' =
+    do_req fresh
+      (req "slice"
+         [ ("source", Json.Str box_src_edited); ("file", Json.Str file);
+           ("line", Json.Int box_print_line) ])
+  in
+  check_string "patched result equals fresh-load result" (result_str sl')
+    (result_str sl)
+
+(* A shrinking EDIT must release the walk scratch the same way LRU
+   eviction does: the update handler re-sizes the domain scratch to the
+   surviving residents instead of pinning the pre-edit high-water mark. *)
+let test_update_shrinks_scratch () =
+  let st = Serve.create_state { Serve.max_programs = 1; jobs = 1 } in
+  let key =
+    program_of
+      (do_req st
+         (req "load"
+            [ ("source", Json.Str big_src); ("file", Json.Str "big.tj") ]))
+  in
+  ignore
+    (do_req st
+       (req "slice" [ ("program", Json.Str key); ("line", Json.Int 402) ]));
+  let cap_big = Slicer.domain_scratch_capacity () in
+  let tiny_nodes =
+    Sdg.num_nodes
+      (Engine.load [ ("big.tj", tiny_src) ]).Engine.h_analysis.Engine.sdg
+  in
+  check_bool "big program grew the scratch past tiny's size" true
+    (cap_big > tiny_nodes);
+  (* a structural shrink of the resident program (Rebuilt path) *)
+  let upd =
+    do_req st
+      (req "update"
+         [ ("program", Json.Str key); ("source", Json.Str tiny_src);
+           ("file", Json.Str "big.tj") ])
+  in
+  (match Json.member "path" (member_exn "result" upd) with
+  | Some (Json.Str "rebuilt") -> ()
+  | other ->
+    Alcotest.failf "expected the rebuilt path, got %s"
+      (match other with Some j -> Json.to_string j | None -> "<none>"));
+  let cap_after = Slicer.domain_scratch_capacity () in
+  check_bool "shrinking update released the scratch" true
+    (cap_after < cap_big);
+  check_int "scratch sized to the post-edit program" tiny_nodes cap_after
+
+(* updating a non-resident key is a user error, not a crash; so is an
+   update without any source payload *)
+let test_update_errors () =
+  let st = Serve.create_state Serve.default_config in
+  expect_error "update of non-resident program" st
+    (req "update"
+       [ ("program", Json.Str "no-such-key"); ("source", Json.Str tiny_src) ])
+    Serve.user_error;
+  let key =
+    program_of (do_req st (req "load" [ ("source", Json.Str tiny_src) ]))
+  in
+  expect_error "update without source" st
+    (req "update" [ ("program", Json.Str key) ])
+    Serve.invalid_params
+
+(* --- multi-file loads ------------------------------------------------ *)
+
+let two_files =
+  [ ( "main.tj",
+      "void main(String[] args) {\n  int x = helper(2);\n  print(itoa(x));\n}\n"
+    );
+    ("util.tj", "int helper(int n) {\n  return n * 3;\n}\n") ]
+
+let sources_json (files : (string * string) list) : Json.t =
+  Json.List
+    (List.map
+       (fun (f, s) ->
+         Json.Obj [ ("file", Json.Str f); ("source", Json.Str s) ])
+       files)
+
+let test_sources_array () =
+  let st = Serve.create_state Serve.default_config in
+  (* a two-file program loads and is digest-addressable *)
+  let key =
+    program_of
+      (do_req st (req "load" [ ("sources", sources_json two_files) ]))
+  in
+  let again = do_req st (req "load" [ ("sources", sources_json two_files) ]) in
+  check_string "same sources digest to the same key" key (program_of again);
+  check_string "second load is a hit" "hit" (cache_of again);
+  (* a singleton sources array is the same program as source+file *)
+  let k1 =
+    program_of
+      (do_req st
+         (req "load" [ ("sources", sources_json [ ("t.tj", tiny_src) ]) ]))
+  in
+  let direct =
+    do_req st
+      (req "load" [ ("source", Json.Str tiny_src); ("file", Json.Str "t.tj") ])
+  in
+  check_string "singleton array digests like source+file" k1
+    (program_of direct);
+  check_string "singleton/direct is a hit" "hit" (cache_of direct)
+
+let test_sources_errors () =
+  let st = Serve.create_state Serve.default_config in
+  (* duplicate paths: structured user error (code 1), not a crash *)
+  expect_error "duplicate source path" st
+    (req "load"
+       [ ( "sources",
+           sources_json [ ("a.tj", tiny_src); ("a.tj", tiny_src) ] ) ])
+    Serve.user_error;
+  (* malformed arrays: invalid params *)
+  expect_error "empty sources" st
+    (req "load" [ ("sources", Json.List []) ])
+    Serve.invalid_params;
+  expect_error "non-array sources" st
+    (req "load" [ ("sources", Json.Str "nope") ])
+    Serve.invalid_params;
+  expect_error "entry without file" st
+    (req "load"
+       [ ("sources", Json.List [ Json.Obj [ ("source", Json.Str tiny_src) ] ])
+       ])
+    Serve.invalid_params
+
+(* --- socket robustness ----------------------------------------------- *)
+
+(* A client that vanishes mid-request (or mid-response) must end only
+   its own connection: the daemon stays up, leaks no fd, and serves the
+   next client.  Regression test for the SIGPIPE/EOF handling in
+   [serve_unix_socket]. *)
+let test_socket_disconnect () =
+  skip_if_missing ();
+  let sock_path = Filename.temp_file "thinslice" ".sock" in
+  Sys.remove sock_path;
+  let pid =
+    Unix.create_process exe_path
+      [| exe_path; "serve"; "--socket"; sock_path |]
+      Unix.stdin Unix.stdout Unix.stderr
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+      try Sys.remove sock_path with Sys_error _ -> ())
+    (fun () ->
+      (* wait for the daemon to bind *)
+      let rec wait_sock n =
+        if Sys.file_exists sock_path then ()
+        else if n = 0 then Alcotest.fail "daemon never bound its socket"
+        else begin
+          Unix.sleepf 0.05;
+          wait_sock (n - 1)
+        end
+      in
+      wait_sock 200;
+      let connect () =
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX sock_path);
+        Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.0;
+        fd
+      in
+      let slice_req =
+        Json.to_string
+          (req "slice"
+             [ ("source", Json.Str box_src);
+               ("line", Json.Int box_print_line) ])
+      in
+      (* client 1: dies mid-request — a partial line, then a hard close *)
+      let fd1 = connect () in
+      let partial = String.sub slice_req 0 (String.length slice_req / 2) in
+      ignore (Unix.write_substring fd1 partial 0 (String.length partial));
+      Unix.close fd1;
+      (* client 2: dies mid-response — full request, closed before the
+         (analysis-sized) response can be written back *)
+      let fd2 = connect () in
+      ignore
+        (Unix.write_substring fd2 (slice_req ^ "\n") 0
+           (String.length slice_req + 1));
+      Unix.close fd2;
+      (* client 3: must still be served, with a real result *)
+      let fd3 = connect () in
+      ignore
+        (Unix.write_substring fd3 (slice_req ^ "\n") 0
+           (String.length slice_req + 1));
+      let ic = Unix.in_channel_of_descr fd3 in
+      let line =
+        try input_line ic
+        with End_of_file | Sys_error _ | Unix.Unix_error (_, _, _) ->
+          Alcotest.fail "daemon did not answer after client disconnects"
+      in
+      (match Json.of_string line with
+      | Ok resp ->
+        check_bool "post-disconnect response carries a result" true
+          (Json.member "result" resp <> None)
+      | Error e -> Alcotest.failf "unparsable response %S: %s" line e);
+      (* clean shutdown so the daemon exits by itself *)
+      let bye = Json.to_string (req "shutdown" []) ^ "\n" in
+      ignore (Unix.write_substring fd3 bye 0 (String.length bye));
+      (try ignore (input_line ic) with _ -> ());
+      Unix.close fd3;
+      let rec reap n =
+        match Unix.waitpid [ Unix.WNOHANG ] pid with
+        | 0, _ when n > 0 ->
+          Unix.sleepf 0.05;
+          reap (n - 1)
+        | 0, _ -> Alcotest.fail "daemon did not exit after shutdown"
+        | _ -> ()
+      in
+      reap 200)
+
 let suite =
   [ Alcotest.test_case "error contract: nothing kills the loop" `Quick
       test_error_contract;
@@ -415,6 +689,15 @@ let suite =
       test_span_rotation;
     Alcotest.test_case "eviction shrinks the walk scratch" `Quick
       test_eviction_shrinks_scratch;
+    Alcotest.test_case "update patches and re-keys the resident entry" `Quick
+      test_update_method;
+    Alcotest.test_case "shrinking update releases the walk scratch" `Quick
+      test_update_shrinks_scratch;
+    Alcotest.test_case "update error contract" `Quick test_update_errors;
+    Alcotest.test_case "multi-file sources load" `Quick test_sources_array;
+    Alcotest.test_case "sources error contract" `Quick test_sources_errors;
+    Alcotest.test_case "client disconnect does not kill the daemon" `Quick
+      test_socket_disconnect;
     Alcotest.test_case "serve/CLI byte parity (bitset pta)" `Quick
       (parity_for_solver "bitset");
     Alcotest.test_case "serve/CLI byte parity (reference pta)" `Quick

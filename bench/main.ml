@@ -998,6 +998,378 @@ let bench_serve_incr () : Slice_obs.Json.t =
       ("parity_dumps", Bool parity_dumps);
       ("parity", Bool parity) ]
 
+(* ------------------------------------------------------------------ *)
+(* Arena vs record IR: per-statement memory                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Heap bytes of the RECORD instruction payload alone: every instr/term
+   record of every method body, measured together so shared locs and
+   interned strings count once (as they do in the live program), with
+   the list spine subtracted.  Not byte-deterministic across compiler
+   versions — a BENCH measurement, never part of compared output. *)
+let record_ir_bytes (p : Slice_ir.Program.t) : int =
+  let acc = ref [] in
+  let n = ref 0 in
+  Slice_ir.Program.iter_methods p (fun m ->
+      if Slice_ir.Instr.has_body m then begin
+        Slice_ir.Instr.iter_instrs m (fun _ i ->
+            incr n;
+            acc := Obj.repr i :: !acc);
+        Slice_ir.Instr.iter_terms m (fun _ t ->
+            incr n;
+            acc := Obj.repr t :: !acc)
+      end);
+  8 * (Obj.reachable_words (Obj.repr !acc) - (3 * !n))
+
+let bench_ir_arena () : Slice_obs.Json.t list =
+  let open Slice_obs.Json in
+  List.map
+    (fun (name, src) ->
+      let a = Engine.of_source ~file:(name ^ ".tj") src in
+      let stmts = Slice_ir.Arena.statements a.Engine.arena in
+      let arena_b = Slice_ir.Arena.bytes a.Engine.arena in
+      let record_b = record_ir_bytes a.Engine.program in
+      let per x = float_of_int x /. float_of_int (max 1 stmts) in
+      Obj
+        [ ("name", Str name);
+          ("statements", Int stmts);
+          ("arena_bytes", Int arena_b);
+          ("record_ir_bytes", Int record_b);
+          ("arena_bytes_per_stmt", Float (per arena_b));
+          ("record_bytes_per_stmt", Float (per record_b));
+          ("reduction",
+           Float
+             (if arena_b > 0 then float_of_int record_b /. float_of_int arena_b
+              else 0.)) ])
+    (suite_programs ())
+
+(* ------------------------------------------------------------------ *)
+(* pipeline-huge: the scale frontier                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Synthesized mega-workloads ([Gen_tj.generate_scaled]) through the
+   whole pipeline with per-phase walls: gen -> front -> arena -> pta ->
+   SDG at heap_jobs 1/2/4 (adjacency-checksum parity) -> mod-ref at
+   jobs 1/2/4 (set parity) -> freeze -> batch slice, plus a
+   [Slicer.Reference] parity sample, a dynamic-oracle sample with a
+   raised trace budget, and the process peak heap.  Every parity bit
+   and the statement-count calibration are self-checked before the
+   artifact is written; stdout mirrors the greppable keys CI matches.
+
+   Honesty note: this container usually exposes ONE core —
+   [Domain.recommended_domain_count () = 1] — so the jobs>1 walls
+   measure sharding overhead, not speedup.  The parity bits are the
+   point: the sharded paths must be byte-identical at every job count,
+   so a multicore host gets the speedup for free.  meta.cores records
+   what this host had. *)
+let huge_schema_version = "thinslice.huge/v1"
+
+(* Checksum of the SDG adjacency, order-sensitive within each row:
+   equal checksums mean the sharded heap wiring emitted edge-for-edge
+   the same graph in the same order as the sequential pass. *)
+let sdg_checksum (g : Sdg.t) : int =
+  let h = ref 0 in
+  for n = 0 to Sdg.num_nodes g - 1 do
+    Sdg.deps_iter g n (fun m k ->
+        h := (!h * 31) + (n * 16381) + (m * 8191) + Sdg.edge_kind_tag k)
+  done;
+  !h
+
+let modref_equal (num_mctxs : int) (a : Slice_pta.Modref.t)
+    (b : Slice_pta.Modref.t) : bool =
+  let ok = ref true in
+  for mc = 0 to num_mctxs - 1 do
+    if
+      (not
+         (Slice_pta.Modref.LocSet.equal
+            (Slice_pta.Modref.mod_of a mc)
+            (Slice_pta.Modref.mod_of b mc)))
+      || not
+           (Slice_pta.Modref.LocSet.equal
+              (Slice_pta.Modref.ref_of a mc)
+              (Slice_pta.Modref.ref_of b mc))
+    then ok := false
+  done;
+  !ok
+
+let pipeline_huge ?(stmts = 100_000) ?(out = "BENCH_huge.json") () =
+  let open Slice_obs.Json in
+  let open Slice_fuzz in
+  sep ();
+  Printf.printf "pipeline-huge: scale run at %d statements\n%!" stmts;
+  let seed = 1 in
+  let sc, gen_wall = time (fun () -> Gen_tj.generate_scaled ~seed ~stmts) in
+  let p, front_wall =
+    time (fun () -> Slice_front.Frontend.load_exn ~file:"huge.tj" sc.Gen_tj.sc_src)
+  in
+  let actual = Slice_ir.Program.stmt_count p in
+  let err_pct =
+    100. *. Float.abs (float_of_int (actual - stmts)) /. float_of_int stmts
+  in
+  Printf.printf "pipeline-huge stmts=%d actual=%d err_pct=%.2f parts=%d\n%!"
+    stmts actual err_pct sc.Gen_tj.sc_parts;
+  Printf.printf "phase=gen wall_s=%.3f\n%!" gen_wall;
+  Printf.printf "phase=front wall_s=%.3f\n%!" front_wall;
+  let arena, arena_wall = time (fun () -> Slice_ir.Arena.build p) in
+  let parity_arena_views =
+    match Slice_ir.Arena.check_views p arena with
+    | Ok () -> true
+    | Error msg ->
+      Printf.eprintf "pipeline-huge: arena view mismatch: %s\n" msg;
+      false
+  in
+  Printf.printf "phase=arena wall_s=%.3f arena_bytes=%d\n%!" arena_wall
+    (Slice_ir.Arena.bytes arena);
+  let pta, pta_wall = time (fun () -> Slice_pta.Andersen.analyze p) in
+  Printf.printf "phase=pta wall_s=%.3f\n%!" pta_wall;
+  (* SDG heap wiring A/B: sequential vs sharded, checksum parity *)
+  let g1, sdg1_wall = time (fun () -> Sdg.build ~arena ~heap_jobs:1 p pta) in
+  let c1 = sdg_checksum g1 in
+  let sdg_jobs_entries, parity_sdg =
+    List.fold_left
+      (fun (entries, par) jobs ->
+        let g, w = time (fun () -> Sdg.build ~arena ~heap_jobs:jobs p pta) in
+        let ok = sdg_checksum g = c1 && Sdg.num_edges g = Sdg.num_edges g1 in
+        Printf.printf "phase=sdg jobs=%d wall_s=%.3f parity=%b\n%!" jobs w ok;
+        ( entries
+          @ [ Obj
+                [ ("jobs", Int jobs);
+                  ("wall_s", Float w);
+                  ("parity", Bool ok) ] ],
+          par && ok ))
+      ( [ Obj [ ("jobs", Int 1); ("wall_s", Float sdg1_wall) ] ],
+        parity_arena_views )
+      [ 2; 4 ]
+  in
+  Printf.printf "phase=sdg jobs=1 wall_s=%.3f\n%!" sdg1_wall;
+  (* mod-ref direct pass A/B *)
+  let num_mctxs = Slice_pta.Andersen.num_call_graph_nodes pta in
+  let mr1, mr1_wall =
+    time (fun () -> Slice_pta.Modref.compute ~jobs:1 p pta)
+  in
+  Printf.printf "phase=modref jobs=1 wall_s=%.3f\n%!" mr1_wall;
+  let modref_entries, parity_modref =
+    List.fold_left
+      (fun (entries, par) jobs ->
+        let mr, w =
+          time (fun () -> Slice_pta.Modref.compute ~jobs p pta)
+        in
+        let ok = modref_equal num_mctxs mr1 mr in
+        Printf.printf "phase=modref jobs=%d wall_s=%.3f parity=%b\n%!" jobs w
+          ok;
+        ( entries
+          @ [ Obj
+                [ ("jobs", Int jobs);
+                  ("wall_s", Float w);
+                  ("parity", Bool ok) ] ],
+          par && ok ))
+      ([ Obj [ ("jobs", Int 1); ("wall_s", Float mr1_wall) ] ], true)
+      [ 2; 4 ]
+  in
+  let (), freeze_wall = time (fun () -> Sdg.freeze g1) in
+  Printf.printf "phase=freeze wall_s=%.3f\n%!" freeze_wall;
+  let a =
+    { Engine.program = p; pta; sdg = g1; arena; obj_sens = true }
+  in
+  (* batch slice over sampled seed-bearing lines (strided, so the sample
+     spans the whole program, plus the generator's trailing print) *)
+  let n_lines =
+    List.length (String.split_on_char '\n' sc.Gen_tj.sc_src)
+  in
+  let sample_lines =
+    let want = 48 in
+    let stride = max 1 (n_lines / 199) in
+    let ls = ref [] and l = ref 1 in
+    while List.length !ls < want && !l <= n_lines do
+      if Engine.seeds_at_line a !l <> [] then ls := !l :: !ls;
+      l := !l + stride
+    done;
+    List.sort_uniq compare (sc.Gen_tj.sc_seed_line :: !ls)
+  in
+  let slices, batch_wall =
+    time (fun () -> Engine.slice_batch a ~lines:sample_lines Slicer.Thin)
+  in
+  let slice_lines_total =
+    List.fold_left (fun acc (_, ls) -> acc + List.length ls) 0 slices
+  in
+  Printf.printf "phase=batch_slice wall_s=%.3f slices=%d lines_total=%d\n%!"
+    batch_wall (List.length slices) slice_lines_total;
+  (* Reference-slicer parity on a handful of sampled seeds *)
+  let ref_sample =
+    let k = List.length sample_lines in
+    List.filteri (fun i _ -> i = 0 || i = k / 2 || i = k - 1) sample_lines
+  in
+  let parity_reference, ref_wall =
+    let r, w =
+      time (fun () ->
+          List.for_all
+            (fun line ->
+              let seeds = Engine.seeds_at_line a line in
+              let fast =
+                List.sort compare (Slicer.slice a.Engine.sdg ~seeds Slicer.Thin)
+              in
+              let oracle =
+                List.sort compare
+                  (Slicer.Reference.slice a.Engine.sdg ~seeds Slicer.Thin)
+              in
+              fast = oracle)
+            ref_sample)
+    in
+    (r, w)
+  in
+  Printf.printf "phase=reference wall_s=%.3f seeds=%d parity=%b\n%!" ref_wall
+    (List.length ref_sample) parity_reference;
+  (* dynamic-oracle sample: one traced run with a budget scaled to the
+     program, dyn thin slice at the trailing print contained in the
+     static thin slice.  A clean budget trip is tolerated (and
+     recorded); any other failure breaks the generator's
+     fault-free-by-construction promise. *)
+  let budget = max 8_000_000 (4 * stmts) in
+  let trace = Slice_interp.Dyntrace.create ~max_events:budget () in
+  let o, dyn_wall =
+    time (fun () ->
+        Slice_interp.Interp.run
+          { Slice_interp.Interp.default_config with
+            max_steps = budget;
+            trace = Some trace }
+          p)
+  in
+  let dyn_status, dyn_contained =
+    match o.Slice_interp.Interp.result with
+    | Error { Slice_interp.Interp.f_kind = Slice_interp.Interp.Trace_limit_exceeded _; _ } ->
+      ("trace_limit", true)
+    | Error { Slice_interp.Interp.f_kind = Slice_interp.Interp.Step_limit_exceeded; _ } ->
+      ("step_limit", true)
+    | Error f ->
+      Printf.eprintf "pipeline-huge: scaled program failed: %s\n"
+        (Format.asprintf "%a" Slice_interp.Interp.pp_failure f);
+      ("failed", false)
+    | Ok () -> (
+      let tbl = Slice_ir.Program.build_stmt_table p in
+      let seed_stmt =
+        Hashtbl.fold
+          (fun id si acc ->
+            if
+              (Slice_ir.Program.stmt_loc si).Slice_ir.Loc.line
+              = sc.Gen_tj.sc_seed_line
+            then
+              match si.Slice_ir.Program.s_site with
+              | Slice_ir.Program.Site_instr
+                  { Slice_ir.Instr.i_kind = Slice_ir.Instr.Call _; _ } ->
+                Some id
+              | _ -> acc
+            else acc)
+          tbl None
+      in
+      match seed_stmt with
+      | None -> ("no_seed", false)
+      | Some stmt -> (
+        match Slice_interp.Dyntrace.dynamic_thin_slice trace stmt with
+        | None -> ("never_executed", false)
+        | Some dyn_stmts ->
+          let static_lines =
+            Engine.slice_from_line a ~line:sc.Gen_tj.sc_seed_line Slicer.Thin
+          in
+          (* Containment is checked at the static slicer's line
+             granularity, which reports COUNTABLE statements only
+             ([Sdg.node_countable]): SSA phis and gotos carry a nearby
+             source location but are never listed in a static slice, so
+             dynamic events on them are skipped here too. *)
+          let countable_site (si : Slice_ir.Program.stmt_info) =
+            match si.Slice_ir.Program.s_site with
+            | Slice_ir.Program.Site_instr
+                { Slice_ir.Instr.i_kind = Slice_ir.Instr.Phi _; _ } ->
+              false
+            | Slice_ir.Program.Site_term
+                { Slice_ir.Instr.t_kind = Slice_ir.Instr.Goto _; _ } ->
+              false
+            | _ -> true
+          in
+          let contained =
+            List.for_all
+              (fun s ->
+                match Hashtbl.find_opt tbl s with
+                | None -> true
+                | Some si ->
+                  let l = (Slice_ir.Program.stmt_loc si).Slice_ir.Loc.line in
+                  l <= 0 || (not (countable_site si)) || List.mem l static_lines)
+              dyn_stmts
+          in
+          ("ok", contained)))
+  in
+  Printf.printf "phase=dyn wall_s=%.3f status=%s contained=%b events=%d\n%!"
+    dyn_wall dyn_status dyn_contained
+    (Slice_interp.Dyntrace.length trace);
+  let peak_heap_bytes = Gc.((quick_stat ()).top_heap_words) * 8 in
+  Printf.printf "peak_heap_bytes=%d\n%!" peak_heap_bytes;
+  let accuracy_ok = err_pct <= 5.0 in
+  let parity =
+    accuracy_ok && parity_sdg && parity_modref && parity_reference
+    && dyn_contained
+  in
+  Printf.printf "parity=%b\n%!" parity;
+  let doc =
+    Obj
+      [ ("schema", Str huge_schema_version);
+        ("meta", meta_json ());
+        ("generated_at_unix_s", Float (Unix.gettimeofday ()));
+        ("stmts_requested", Int stmts);
+        ("stmts_actual", Int actual);
+        ("stmt_err_pct", Float err_pct);
+        ("parts", Int sc.Gen_tj.sc_parts);
+        ("classes", Int sc.Gen_tj.sc_classes);
+        ("methods", Int sc.Gen_tj.sc_methods);
+        ("phases",
+         Obj
+           [ ("gen_wall_s", Float gen_wall);
+             ("front_wall_s", Float front_wall);
+             ("arena_wall_s", Float arena_wall);
+             ("pta_wall_s", Float pta_wall);
+             ("sdg", List sdg_jobs_entries);
+             ("modref", List modref_entries);
+             ("freeze_wall_s", Float freeze_wall);
+             ("batch_slice_wall_s", Float batch_wall);
+             ("reference_wall_s", Float ref_wall);
+             ("dyn_wall_s", Float dyn_wall) ]);
+        ("memory",
+         Obj
+           [ ("arena_bytes", Int (Slice_ir.Arena.bytes arena));
+             ("record_ir_bytes", Int (record_ir_bytes p));
+             ("peak_heap_bytes", Int peak_heap_bytes) ]);
+        ("batch",
+         Obj
+           [ ("num_slices", Int (List.length slices));
+             ("lines_total", Int slice_lines_total) ]);
+        ("dyn",
+         Obj
+           [ ("status", Str dyn_status);
+             ("events", Int (Slice_interp.Dyntrace.length trace));
+             ("contained", Bool dyn_contained) ]);
+        ("parity_arena_views", Bool parity_arena_views);
+        ("parity_sdg_jobs", Bool parity_sdg);
+        ("parity_modref_jobs", Bool parity_modref);
+        ("parity_reference", Bool parity_reference);
+        ("accuracy_ok", Bool accuracy_ok);
+        ("parity", Bool parity) ]
+  in
+  let text = to_string doc ^ "\n" in
+  let oc = open_out out in
+  output_string oc text;
+  close_out oc;
+  (match of_string text with
+  | Ok _ -> ()
+  | Error e ->
+    Printf.eprintf "pipeline-huge: json self-check failed: %s\n" e;
+    exit 1);
+  Printf.printf "wrote %s\n%!" out;
+  if not parity then begin
+    Printf.eprintf
+      "pipeline-huge: self-check failed (accuracy_ok=%b sdg=%b modref=%b \
+       reference=%b dyn_contained=%b)\n"
+      accuracy_ok parity_sdg parity_modref parity_reference dyn_contained;
+    exit 1
+  end
+
 let json_results ?(out = "BENCH_results.json") () =
   let open Slice_obs.Json in
   let benchmarks =
@@ -1070,6 +1442,20 @@ let json_results ?(out = "BENCH_results.json") () =
         exit 1)
     [ "path_all_patched"; "relowered_one"; "segments_partial";
       "proportional_ok"; "parity" ];
+  let ir_arena = bench_ir_arena () in
+  (* self-check: the flat arena must actually be a memory diet — smaller
+     than the record instruction payload on every suite program *)
+  List.iter
+    (fun entry ->
+      let name =
+        match member "name" entry with Some (Str s) -> s | _ -> "?"
+      in
+      match member "reduction" entry with
+      | Some (Float f) when f > 1. -> ()
+      | _ ->
+        Printf.eprintf "ir_arena %s: arena not smaller than record IR\n" name;
+        exit 1)
+    ir_arena;
   let doc =
     Obj
       [ ("schema", Str bench_schema_version);
@@ -1078,6 +1464,7 @@ let json_results ?(out = "BENCH_results.json") () =
         ("benchmarks", List benchmarks);
         ("slice_size_tables", List tasks);
         ("parallel_batch", parallel_batch);
+        ("ir_arena", List ir_arena);
         ("pta_ab", List pta_ab);
         ("serve_ab", serve_ab);
         ("serve_incr", serve_incr) ]
@@ -1249,6 +1636,24 @@ let () =
   | "ablation" -> ablation ()
   | "timing" -> timing ()
   | "json" -> json_results ()
+  | "pipeline-huge" ->
+    let stmts = ref 100_000 and out = ref "BENCH_huge.json" in
+    let i = ref 2 in
+    let argc = Array.length Sys.argv in
+    while !i < argc do
+      (match Sys.argv.(!i) with
+      | "--stmts" when !i + 1 < argc ->
+        incr i;
+        stmts := int_of_string Sys.argv.(!i)
+      | "--out" when !i + 1 < argc ->
+        incr i;
+        out := Sys.argv.(!i)
+      | other ->
+        Printf.eprintf "pipeline-huge: unknown flag %s\n" other;
+        exit 1);
+      incr i
+    done;
+    pipeline_huge ~stmts:!stmts ~out:!out ()
   | "write-baseline" -> write_baseline ()
   | "check-baseline" -> check_baseline ()
   | "all" ->

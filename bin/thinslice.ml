@@ -213,8 +213,8 @@ let handle_errors f =
     exit 1
   | Failure msg -> cli_error "%s" msg
   | Invalid_argument msg -> cli_error "invalid argument: %s" msg
-  | Slice_interp.Dyntrace.Trace_overflow ->
-    cli_error "dynamic trace event limit exceeded"
+  | Slice_interp.Dyntrace.Trace_overflow n ->
+    cli_error "dynamic trace event limit exceeded after %d events" n
 
 (* [explain]'s variant: the subcommand reserves exit 1 for "the query
    succeeded and the line is not a member", so every HARD error —
@@ -238,8 +238,8 @@ let handle_errors_exit2 f =
     | Engine.No_seed line -> fail "no statement found at line %d" line
     | Failure msg -> fail "thinslice: %s" msg
     | Invalid_argument msg -> fail "thinslice: invalid argument: %s" msg
-    | Slice_interp.Dyntrace.Trace_overflow ->
-      fail "thinslice: dynamic trace event limit exceeded"
+    | Slice_interp.Dyntrace.Trace_overflow n ->
+      fail "thinslice: dynamic trace event limit exceeded after %d events" n
 
 (* ---- slice ---- *)
 

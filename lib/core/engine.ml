@@ -8,8 +8,14 @@ type analysis = {
   program : Program.t;
   pta : Andersen.result;
   sdg : Sdg.t;
+  arena : Arena.t;
+      (* the flat int-indexed lowering the SDG pass read; retained for
+         its deterministic byte footprint ([stats.arena_bytes]) and for
+         arena-view consumers *)
   obj_sens : bool;
 }
+
+let g_arena_bytes = Slice_obs.gauge "ir.arena_bytes"
 
 let analyze ?(obj_sens = true) ?(freeze = true) ?(solver = `Bitset)
     (program : Program.t) : analysis =
@@ -28,12 +34,24 @@ let analyze ?(obj_sens = true) ?(freeze = true) ?(solver = `Bitset)
           Slice_obs.span "pta.solve" (fun () ->
               Andersen.of_reference (Andersen.Reference.analyze ~opts program)))
   in
-  let sdg = Slice_obs.span "sdg.build" (fun () -> Sdg.build program pta) in
+  (* Lower the reachable IR into the flat arena before the SDG pass
+     reads it: strings interned once, operands packed into int arrays.
+     Pass 1 of [Sdg.build] walks the arena columns instead of the record
+     instructions — same visit order, edge-for-edge the same graph. *)
+  let arena =
+    Slice_obs.span "ir.arena" (fun () ->
+        let ar = Arena.build program in
+        Slice_obs.max_gauge g_arena_bytes (float_of_int (Arena.bytes ar));
+        ar)
+  in
+  let sdg =
+    Slice_obs.span "sdg.build" (fun () -> Sdg.build ~arena program pta)
+  in
   (* Compact to the immutable CSR layout (recorded under "sdg.freeze");
      [freeze:false] keeps the mutable list adjacency, for parity tests
      and the BENCH A/B baseline. *)
   if freeze then Sdg.freeze sdg;
-  { program; pta; sdg; obj_sens }
+  { program; pta; sdg; arena; obj_sens }
 
 let of_source ?container_classes ?obj_sens ?freeze ?solver ~(file : string)
     (src : string) : analysis =
@@ -549,6 +567,7 @@ type stats = {
   sdg_statements : int;
   sdg_nodes : int;               (* including context clones and formals *)
   abstract_objects : int;
+  arena_bytes : int;             (* flat-IR footprint; deterministic *)
   obs : Slice_obs.snapshot;      (* counters, gauges, spans at capture *)
 }
 
@@ -599,6 +618,7 @@ let stats_of ?obs (a : analysis) : stats =
     sdg_statements = Sdg.num_scalar_statements a.sdg;
     sdg_nodes = Sdg.num_live_nodes a.sdg;
     abstract_objects = Andersen.num_objects a.pta;
+    arena_bytes = Arena.bytes a.arena;
     obs = (match obs with Some s -> s | None -> Slice_obs.snapshot ()) }
 
 (* JSON export of the stats + telemetry — the payload behind [thinslice
@@ -632,12 +652,21 @@ let edges_by_kind_json (snap : Slice_obs.snapshot) : Slice_obs.Json.t =
          else None)
        snap.Slice_obs.snap_counters)
 
+(* The memory block holds ONLY deterministic, analysis-derived figures
+   (arithmetic over array lengths, never [Obj.reachable_words] or live
+   process state): it appears in byte-compared output, so two processes
+   analyzing the same sources must emit identical bytes.  Live peaks
+   (scratch growth, GC heap) are telemetry gauges instead. *)
+let memory_json (s : stats) : Slice_obs.Json.t =
+  Slice_obs.Json.Obj [ ("arena_bytes", Slice_obs.Json.Int s.arena_bytes) ]
+
 let stats_to_json (s : stats) : Slice_obs.Json.t =
   let open Slice_obs.Json in
   Obj
     [ ("schema", Str stats_schema_version);
       ("program", program_stats_json s);
       ("sdg.edges_by_kind", edges_by_kind_json s.obs);
+      ("memory", memory_json s);
       ("telemetry", Slice_obs.snapshot_to_json s.obs) ]
 
 (* ------------------------------------------------------------------ *)
@@ -1033,7 +1062,8 @@ let resident_stats_to_json (s : stats) : Slice_obs.Json.t =
   Obj
     [ ("schema", Str stats_schema_version);
       ("program", program_stats_json s);
-      ("sdg.edges_by_kind", edges_by_kind_json s.obs) ]
+      ("sdg.edges_by_kind", edges_by_kind_json s.obs);
+      ("memory", memory_json s) ]
 
 (* Witness queries keep the [thinslice.explain/v1] payload for members
    (byte-compatible with pre-serve [explain --json]); a non-member

@@ -8,6 +8,10 @@ type analysis = {
   program : Program.t;
   pta : Andersen.result;
   sdg : Sdg.t;
+  arena : Arena.t;
+      (** the flat int-indexed lowering of the reachable IR that the SDG
+          pass read (see {!Arena}); retained for its deterministic byte
+          footprint and for arena-view consumers *)
   obj_sens : bool;
 }
 
@@ -218,6 +222,10 @@ type stats = {
   sdg_statements : int;    (** scalar statements, heap params excluded *)
   sdg_nodes : int;         (** including context clones and formals *)
   abstract_objects : int;
+  arena_bytes : int;
+      (** {!Arena.bytes} of the flat IR — arithmetic over array lengths,
+          so deterministic and safe in byte-compared output.  A Patched
+          incremental update carries the load-time figure forward. *)
   obs : Slice_obs.snapshot;
       (** counters, gauges, histograms and spans at capture time *)
 }

@@ -501,6 +501,109 @@ let intra_pass (g : t) (hx : heap_index)
         List.iter (fun v -> use_edge n v Producer_local) (Instr.uses_of_term t))
   end
 
+(* Pass 1 body over the arena view — the memory-diet hot path for mega
+   programs.  Emission order is IDENTICAL to [intra_pass]: the arena's
+   instruction/terminator columns are laid out in [Instr.iter_instrs] /
+   [iter_terms] order, uses in [classified_uses] order, so the two
+   bodies produce the same edges in the same sequence (pinned by the
+   arena/record equivalence tests).  The wins are mechanical: the SSA
+   def map and param index become int scratch arrays instead of
+   hashtables, use lists are walked as packed CSR spans without
+   allocating, and heap-access dispatch reads a tag column instead of
+   matching on record constructors. *)
+let intra_pass_arena (g : t) (hx : heap_index) (ar : Arena.t)
+    ~(emit : from:node -> on:node -> edge_kind -> unit) (mc : int) (am : int) :
+    unit =
+  let pta = g.pta in
+  let nvars = Arena.num_vars ar am in
+  let var_def = Array.make (max 1 nvars) (-1) in
+  let var_param = Array.make (max 1 nvars) (-1) in
+  let lo, hi = Arena.instr_span ar am in
+  for ix = lo to hi - 1 do
+    let d = Arena.instr_def ar ix in
+    if d >= 0 then var_def.(d) <- Arena.instr_stmt ar ix
+  done;
+  for i = 0 to Arena.num_params ar am - 1 do
+    var_param.(Arena.param_var ar am i) <- i
+  done;
+  let def_target (v : Instr.var) : node option =
+    if v < 0 || v >= nvars then None
+    else
+      let s = var_def.(v) in
+      if s >= 0 then Some (intern g (Stmt (mc, s)))
+      else
+        let idx = var_param.(v) in
+        if idx >= 0 then Some (intern g (Formal (mc, idx))) else None
+  in
+  let use_edge (from : node) (v : Instr.var) (kind : edge_kind) : unit =
+    match def_target v with
+    | Some dep -> emit ~from ~on:dep kind
+    | None -> ()
+  in
+  for ix = lo to hi - 1 do
+    let s = Arena.instr_stmt ar ix in
+    let n = intern g (Stmt (mc, s)) in
+    let op = Arena.instr_op ar ix in
+    (match op with
+    | Arena.Op_call ->
+      let intr = Andersen.intrinsic_targets pta ~mctx:mc ~stmt:s in
+      let body_callees = Andersen.call_targets pta ~mctx:mc ~stmt:s in
+      if intr <> [] then
+        Arena.args_iter ar ix (fun a -> use_edge n a Producer_local);
+      List.iter
+        (fun cmc ->
+          let cmq, _ = Andersen.mctx_info pta cmc in
+          match Arena.method_id ar cmq with
+          | None -> ()
+          | Some cam ->
+            let tlo, thi = Arena.term_span ar cam in
+            for tx = tlo to thi - 1 do
+              if Arena.term_is_value_return ar tx then
+                emit ~from:n
+                  ~on:(intern g (Stmt (cmc, Arena.term_stmt ar tx)))
+                  Return_value
+            done)
+        body_callees
+    | _ ->
+      Arena.uses_iter ar ix (fun v tag ->
+          let kind =
+            match tag with
+            | 0 -> Producer_local
+            | 1 -> Base_pointer
+            | _ -> Index
+          in
+          use_edge n v kind));
+    match op with
+    | Arena.Op_store ->
+      Andersen.pts_iter_var pta ~mctx:mc (Arena.instr_base ar ix) (fun o ->
+          push hx.field_writes (o, Arena.instr_sym ar ix) (n, s))
+    | Arena.Op_load ->
+      Andersen.pts_iter_var pta ~mctx:mc (Arena.instr_base ar ix) (fun o ->
+          push hx.field_reads (o, Arena.instr_sym ar ix) (n, s))
+    | Arena.Op_array_store ->
+      Andersen.pts_iter_var pta ~mctx:mc (Arena.instr_base ar ix) (fun o ->
+          push hx.field_writes (o, Andersen.elem_field) (n, s))
+    | Arena.Op_array_load ->
+      Andersen.pts_iter_var pta ~mctx:mc (Arena.instr_base ar ix) (fun o ->
+          push hx.field_reads (o, Andersen.elem_field) (n, s))
+    | Arena.Op_new_array ->
+      Andersen.pts_iter_var pta ~mctx:mc (Arena.instr_base ar ix) (fun o ->
+          push hx.len_writes o n)
+    | Arena.Op_array_length ->
+      Andersen.pts_iter_var pta ~mctx:mc (Arena.instr_base ar ix) (fun o ->
+          push hx.len_reads o n)
+    | Arena.Op_static_store ->
+      push hx.static_writes (Arena.instr_sym ar ix, Arena.instr_sym2 ar ix) n
+    | Arena.Op_static_load ->
+      push hx.static_reads (Arena.instr_sym ar ix, Arena.instr_sym2 ar ix) n
+    | Arena.Op_call | Arena.Op_other -> ()
+  done;
+  let tlo, thi = Arena.term_span ar am in
+  for tx = tlo to thi - 1 do
+    let n = intern g (Stmt (mc, Arena.term_stmt ar tx)) in
+    Arena.term_uses_iter ar tx (fun v -> use_edge n v Producer_local)
+  done
+
 (* Pass 2 body: formal -> actual edges (parameter passing), for one
    method as the CALLER.  The callee side (the formal node) is signature
    stable, which is what lets a patch keep formal nodes alive. *)
@@ -593,7 +696,14 @@ let control_pass (g : t) ~(emit : from:node -> on:node -> edge_kind -> unit)
     done
   end
 
-let build ?(include_control = true) (p : Program.t) (pta : Andersen.result) : t =
+(* Default shard count for the heap-wiring pass: parallel only when the
+   runtime reports real cores (a 1-core container stays sequential). *)
+let auto_heap_jobs () =
+  let r = Domain.recommended_domain_count () in
+  if r > 1 then min r 4 else 1
+
+let build ?(include_control = true) ?arena ?heap_jobs (p : Program.t)
+    (pta : Andersen.result) : t =
   let hx =
     { field_writes = Hashtbl.create 256;
       field_reads = Hashtbl.create 256;
@@ -624,12 +734,27 @@ let build ?(include_control = true) (p : Program.t) (pta : Andersen.result) : t 
       patching = false }
   in
   let emit ~from ~on kind = add_edge g ~from ~on kind in
+  let heap_jobs =
+    match heap_jobs with Some j -> max 1 j | None -> auto_heap_jobs ()
+  in
   let mcs = Andersen.method_contexts pta in
-  (* Pass 1: intraprocedural edges + heap access indexing. *)
+  (* Pass 1: intraprocedural edges + heap access indexing — over the
+     arena view when the caller lowered one (same edges, same order; the
+     arena body just walks packed columns instead of records). *)
   Slice_obs.span "sdg.intra" (fun () ->
-  List.iter
-    (fun (mc, mq, _) -> intra_pass g hx ~emit mc (Program.find_method_exn p mq))
-    mcs);
+      match arena with
+      | Some ar ->
+        List.iter
+          (fun (mc, mq, _) ->
+            match Arena.method_id ar mq with
+            | Some am -> intra_pass_arena g hx ar ~emit mc am
+            | None -> ())
+          mcs
+      | None ->
+        List.iter
+          (fun (mc, mq, _) ->
+            intra_pass g hx ~emit mc (Program.find_method_exn p mq))
+          mcs);
   (* Pass 2: formal -> actual edges (parameter passing). *)
   Slice_obs.span "sdg.params" (fun () ->
   List.iter
@@ -645,8 +770,45 @@ let build ?(include_control = true) (p : Program.t) (pta : Andersen.result) : t 
      exactly — the "considered vs emitted" ratio of the
      context-insensitive representation. *)
   Slice_obs.span "sdg.heap" (fun () ->
-  let rows : (node, Slice_util.Bits.t) Hashtbl.t = Hashtbl.create 256 in
-  let consider rn wn =
+  (* Matched (reads x writes) key groups flattened to plain node arrays:
+     the shardable work-list.  Sharding is by the |reads| x |writes|
+     candidate-pair cost; every shard dedups into its own bitset rows,
+     the parent merges rows by union after [Domain.join] (sets, so merge
+     order is irrelevant), and emission is sorted — ascending write
+     node, ascending read node — so the final adjacency is byte-for-byte
+     identical at every shard count, jobs 1 included. *)
+  let items : (node array * node array) list ref = ref [] in
+  let add_item rs ws =
+    if Array.length rs > 0 && Array.length ws > 0 then
+      items := (rs, ws) :: !items
+  in
+  Hashtbl.iter
+    (fun key rlist ->
+      match Hashtbl.find_opt hx.field_writes key with
+      | None -> ()
+      | Some wlist ->
+        add_item
+          (Array.of_list (List.map fst !rlist))
+          (Array.of_list (List.map fst !wlist)))
+    hx.field_reads;
+  Hashtbl.iter
+    (fun key rlist ->
+      match Hashtbl.find_opt hx.static_writes key with
+      | None -> ()
+      | Some wlist ->
+        add_item (Array.of_list !rlist) (Array.of_list !wlist))
+    hx.static_reads;
+  Hashtbl.iter
+    (fun o rlist ->
+      match Hashtbl.find_opt hx.len_writes o with
+      | None -> ()
+      | Some wlist ->
+        add_item (Array.of_list !rlist) (Array.of_list !wlist))
+    hx.len_reads;
+  let items = Array.of_list !items in
+  let cost (rs, ws) = Array.length rs * Array.length ws in
+  let total_cost = Array.fold_left (fun a it -> a + cost it) 0 items in
+  let consider_into rows rn wn =
     Slice_obs.bump c_heap_considered;
     if rn <> wn then begin
       let row =
@@ -660,45 +822,75 @@ let build ?(include_control = true) (p : Program.t) (pta : Andersen.result) : t 
       ignore (Slice_util.Bits.add row rn)
     end
   in
-  let wire_heap reads writes =
-    Hashtbl.iter
-      (fun key rlist ->
-        match Hashtbl.find_opt writes key with
-        | None -> ()
-        | Some wlist ->
-          List.iter
-            (fun (rn, _) ->
-              List.iter (fun (wn, _) -> consider rn wn) !wlist)
-            !rlist)
-      reads
+  let run_items rows its =
+    List.iter
+      (fun (rs, ws) ->
+        Array.iter
+          (fun rn -> Array.iter (fun wn -> consider_into rows rn wn) ws)
+          rs)
+      its
   in
-  wire_heap hx.field_reads hx.field_writes;
-  Hashtbl.iter
-    (fun key rlist ->
-      match Hashtbl.find_opt hx.static_writes key with
-      | None -> ()
-      | Some wlist ->
-        List.iter
-          (fun rn -> List.iter (fun wn -> consider rn wn) !wlist)
-          !rlist)
-    hx.static_reads;
-  Hashtbl.iter
-    (fun o rlist ->
-      match Hashtbl.find_opt hx.len_writes o with
-      | None -> ()
-      | Some wlist ->
-        List.iter
-          (fun rn -> List.iter (fun wn -> consider rn wn) !wlist)
-          !rlist)
-    hx.len_reads;
-  Hashtbl.iter
-    (fun wn row ->
+  let rows =
+    if heap_jobs > 1 && Array.length items > 1 && total_cost >= 4096 then begin
+      (* longest-processing-time greedy sharding *)
+      let order = Array.init (Array.length items) Fun.id in
+      Array.sort
+        (fun a b ->
+          match compare (cost items.(b)) (cost items.(a)) with
+          | 0 -> compare a b
+          | c -> c)
+        order;
+      let j = min heap_jobs (Array.length items) in
+      let bins = Array.make j [] and load = Array.make j 0 in
+      Array.iter
+        (fun ix ->
+          let best = ref 0 in
+          for k = 1 to j - 1 do
+            if load.(k) < load.(!best) then best := k
+          done;
+          bins.(!best) <- items.(ix) :: bins.(!best);
+          load.(!best) <- load.(!best) + cost items.(ix))
+        order;
+      let workers =
+        Array.map
+          (fun its ->
+            Domain.spawn (fun () ->
+                let rows : (node, Slice_util.Bits.t) Hashtbl.t =
+                  Hashtbl.create 256
+                in
+                run_items rows its;
+                (rows, Slice_obs.snapshot ())))
+          bins
+      in
+      let master : (node, Slice_util.Bits.t) Hashtbl.t = Hashtbl.create 256 in
+      Array.iter
+        (fun w ->
+          let rows, snap = Domain.join w in
+          Slice_obs.merge_snapshot snap;
+          Hashtbl.iter
+            (fun wn row ->
+              match Hashtbl.find_opt master wn with
+              | Some dst -> ignore (Slice_util.Bits.union_into ~src:row ~dst)
+              | None -> Hashtbl.replace master wn row)
+            rows)
+        workers;
+      master
+    end
+    else begin
+      let rows : (node, Slice_util.Bits.t) Hashtbl.t = Hashtbl.create 256 in
+      run_items rows (Array.to_list items);
+      rows
+    end
+  in
+  let wns = List.sort compare (Hashtbl.fold (fun wn _ a -> wn :: a) rows []) in
+  List.iter
+    (fun wn ->
       Slice_util.Bits.iter
         (fun rn ->
           Slice_obs.bump c_heap_emitted;
           add_edge g ~from:rn ~on:wn Producer_heap)
-        row)
-    rows);
+        (Hashtbl.find rows wn))
+    wns);
   (* Pass 4: control dependence edges. *)
   if include_control then Slice_obs.span "sdg.control" (fun () -> begin
     (* reverse call graph: callee mctx -> caller call-site nodes *)

@@ -61,9 +61,28 @@ type t
 (** Build the graph for every reachable method context.
     [include_control:false] skips control-dependence edges (the thin
     slicer never follows them; useful for memory-lean configurations).
+
+    [arena] supplies the flat int-indexed IR view ({!Arena.build}); when
+    present, pass 1 walks packed arena columns instead of the record IR
+    — same edges in the same order, pinned by the equivalence tests —
+    which is the memory/speed diet for 10^5-10^6-statement programs.
+
+    [heap_jobs] shards the pass-3 heap-wiring candidate pairs across
+    that many OCaml domains (default: up to 4 when
+    [Domain.recommended_domain_count () > 1], else sequential).  Every
+    shard dedups into its own bitset rows; rows are merged by set union
+    and emitted in sorted (write node, read node) order, so the
+    resulting adjacency is identical at every shard count.
+
     The graph comes back mutable (list-array adjacency); call {!freeze}
     to compact it before slicing heavily. *)
-val build : ?include_control:bool -> Program.t -> Andersen.result -> t
+val build :
+  ?include_control:bool ->
+  ?arena:Arena.t ->
+  ?heap_jobs:int ->
+  Program.t ->
+  Andersen.result ->
+  t
 
 (** Compact the mutable list-array adjacency into an immutable CSR
     layout (flat [int] arrays [deps_off]/[deps_dst]/[deps_kind] plus the

@@ -34,6 +34,7 @@ let c_edges_costly = Slice_obs.counter "slicer.edges_costly"
 let c_budget_spent = Slice_obs.counter "slicer.budget_spent"
 let c_slices = Slice_obs.counter "slicer.slices_computed"
 let g_frontier_peak = Slice_obs.gauge "slicer.frontier_peak"
+let g_scratch_bytes = Slice_obs.gauge "slicer.scratch_bytes"
 let h_slice_nodes = Slice_obs.histogram "slicer.slice_nodes"
 
 (* BFS layer of each member at first visit, observed only by the
@@ -149,6 +150,17 @@ let ensure_capacity (s : scratch) (n : int) : unit =
   end
 
 let scratch_capacity (s : scratch) : int = s.cap
+
+(* Resident footprint of the buffers, in bytes: [best] is one byte per
+   node, the ring and touched logs are boxed-free int arrays (8 bytes a
+   slot), and [queued] reports its backing words.  Arithmetic over the
+   field sizes — never [Obj.reachable_words] — so the figure is
+   deterministic across runs and safe to emit in byte-compared output. *)
+let scratch_bytes (s : scratch) : int =
+  s.cap
+  + (8 * Slice_util.Bits.words s.queued)
+  + (8 * Array.length s.ring)
+  + (8 * Array.length s.touched)
 
 (* The release path for long-lived processes: a one-off mega-program
    query must not pin its peak buffers for the owner's lifetime.  The
@@ -480,6 +492,11 @@ let domain_scratch_capacity () : int =
   | Some s -> s.cap
   | None -> 0
 
+let domain_scratch_bytes () : int =
+  match !(Domain.DLS.get dls_scratch) with
+  | Some s -> scratch_bytes s
+  | None -> 0
+
 let shrink_domain_scratch ~(keep : int) : unit =
   match !(Domain.DLS.get dls_scratch) with
   | Some s -> shrink_scratch s ~keep
@@ -489,11 +506,18 @@ let shrink_domain_scratch ~(keep : int) : unit =
    handle (grown to fit [g]) if given, else the calling domain's shared
    one. *)
 let resolve_scratch ?scratch (g : Sdg.t) : scratch =
-  match scratch with
-  | Some s ->
-    ensure_capacity s (max 1 (Sdg.num_nodes g));
-    s
-  | None -> get_scratch g
+  let s =
+    match scratch with
+    | Some s ->
+      ensure_capacity s (max 1 (Sdg.num_nodes g));
+      s
+    | None -> get_scratch g
+  in
+  (* Peak gauge, recorded when the walk resolves its buffers: a memory
+     figure per domain registry, merged by [Slice_obs.merge_snapshot]
+     in parallel executors. *)
+  Slice_obs.max_gauge g_scratch_bytes (float_of_int (scratch_bytes s));
+  s
 
 (* The walk function an entry point runs: the plain hot path, or the
    provenance-recording copy when the caller passed a [?prov] handle. *)

@@ -56,6 +56,11 @@ val create_scratch : Sdg.t -> scratch
 (** Number of nodes the scratch buffers currently cover. *)
 val scratch_capacity : scratch -> int
 
+(** Resident footprint of the scratch buffers in bytes, computed
+    arithmetically from the field sizes (never [Obj.reachable_words]),
+    so the figure is deterministic and safe in byte-compared output. *)
+val scratch_bytes : scratch -> int
+
 (** Release the memory above [keep] nodes (no-op when already at or
     below).  Walks grow buffers on demand but never release them, so a
     single mega-program query would otherwise pin peak memory for the
@@ -69,6 +74,10 @@ val shrink_scratch : scratch -> keep:int -> unit
     [?scratch].  Capacity is 0 until the first such traversal in this
     domain.  {!shrink_domain_scratch} is a no-op then. *)
 val domain_scratch_capacity : unit -> int
+
+(** {!scratch_bytes} of the calling domain's implicit scratch; 0 before
+    the first implicit traversal in this domain. *)
+val domain_scratch_bytes : unit -> int
 
 val shrink_domain_scratch : keep:int -> unit
 

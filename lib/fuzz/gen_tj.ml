@@ -683,6 +683,239 @@ let render (m : model) : rendered =
     stmt_count = !stmts }
 
 (* ------------------------------------------------------------------ *)
+(* Scaled mega-workloads (ROADMAP item 3)                              *)
+(* ------------------------------------------------------------------ *)
+
+(* [generate_scaled] targets the 10^5-10^6-statement regime the paper's
+   miniature suite never reaches.  Unlike [gen]/[render] (a step model
+   sized for shrinkable fuzz repros), the scaled generator emits source
+   directly, in repeating ~4-line blocks grouped into top-level part
+   functions (`int partK(int acc, Vector vec, HashMap map)`) that main
+   threads an accumulator through.  Structure:
+
+   - deep call chains: every family root carries w0..w{D} with wi
+     calling w{i+1} and subclasses overriding mid-chain hops, so one
+     `o.w0(..)` dispatches through D+1 frames;
+   - wide class families: family count scales with the target size,
+     each a root plus two overriding subclasses;
+   - container-heavy heaps: a bounded pool of Vectors/HashMaps created
+     in main and threaded round-robin into parts.  The pool bound keeps
+     the object-sensitive context space finite; the round-robin ties
+     each container index to ONE class family so the in-block downcast
+     on `vec.get(0)` is safe by construction.
+
+   Programs are well-formed and terminating by construction: no
+   recursion, the only loops are `for (i < 3)`, every arithmetic
+   operand stays non-negative (no division, guarded modulus operands),
+   and parseInt only ever sees itoa output.
+
+   Statement counts are calibrated, not guessed: the requested [stmts]
+   is in front-end statement ids ([Program.stmt_count]), so the
+   generator loads a small pilot through [Frontend] to measure the
+   per-part lowering cost and solves for the part count.  That keeps
+   the +/-5%% accuracy contract independent of lowering changes. *)
+
+type scaled = {
+  sc_src : string;
+  sc_stmt_count : int;  (* measured [Program.stmt_count] of [sc_src] *)
+  sc_classes : int;     (* generated classes (prelude excluded) *)
+  sc_methods : int;     (* generated methods, parts and main included *)
+  sc_parts : int;
+  sc_seed_line : int;   (* 1-based line of the trailing print(itoa(acc)) *)
+}
+
+let scaled_keys = [| "ka"; "kb"; "kc"; "kd" |]
+let scaled_chain_depth = 8
+
+let emit_scaled_src ~seed ~families ~pool ~parts ~blocks_per_part :
+    string * int =
+  let rng = Fuzz_rng.make seed in
+  let buf = Buffer.create (1 lsl 16) in
+  let lines = ref 0 in
+  let add s =
+    Buffer.add_string buf s;
+    String.iter (fun c -> if c = '\n' then incr lines) s
+  in
+  let line fmt =
+    Printf.ksprintf
+      (fun s ->
+        Buffer.add_string buf s;
+        Buffer.add_char buf '\n';
+        incr lines)
+      fmt
+  in
+  add (Slice_workloads.Runtime_lib.prelude_of [ `Vector; `HashMap ]);
+  (* class families *)
+  for f = 0 to families - 1 do
+    line "class R%d {" f;
+    line "  int fi;";
+    line "  String fs;";
+    line "  R%d link;" f;
+    line "  R%d() { this.fi = %d; this.fs = \"r%d\"; this.link = this; }" f
+      (f + 1) f;
+    line "  String tag() { return \"R%d\"; }" f;
+    line "  int get() { return this.fi; }";
+    line "  void bump(int n) { this.fi = this.fi + n; }";
+    line "  void setLink(R%d o) { this.link = o; }" f;
+    line "  R%d getLink() { return this.link; }" f;
+    for i = 0 to scaled_chain_depth - 1 do
+      line "  int w%d(int n) { return this.w%d(n + %d); }" i (i + 1)
+        ((i mod 3) + 1)
+    done;
+    line "  int w%d(int n) { this.fi = this.fi + n; return this.fi; }"
+      scaled_chain_depth;
+    line "}";
+    line "class S%d_0 extends R%d {" f f;
+    line "  S%d_0() { super(); this.fi = %d; this.fs = \"s%d0\"; }" f (f + 2) f;
+    line "  String tag() { return \"S%d_0\"; }" f;
+    line "  int get() { return this.fi * 2; }";
+    line "  int w4(int n) { return this.w5(n + 2); }";
+    line "}";
+    line "class S%d_1 extends R%d {" f f;
+    line "  S%d_1() { super(); this.fi = %d; this.fs = \"s%d1\"; }" f (f + 3) f;
+    line "  String tag() { return \"S%d_1\"; }" f;
+    line "  int w6(int n) { return this.w7(n + 5); }";
+    line "}"
+  done;
+  (* part functions *)
+  let block_kinds =
+    [ (3, `Alloc); (3, `Vec); (2, `Map); (2, `Field); (2, `Str); (1, `Loop) ]
+  in
+  for j = 0 to parts - 1 do
+    let f = j mod pool mod families in
+    line "int part%d(int acc, Vector vec, HashMap map) {" j;
+    line "  int a = acc;";
+    line "  R%d cur = new R%d();" f f;
+    line "  R%d prev = new R%d();" f f;
+    for k = 0 to blocks_per_part - 1 do
+      match Fuzz_rng.weighted rng block_kinds with
+      | `Alloc ->
+        let c =
+          match Fuzz_rng.int rng 3 with
+          | 0 -> Printf.sprintf "R%d" f
+          | 1 -> Printf.sprintf "S%d_0" f
+          | _ -> Printf.sprintf "S%d_1" f
+        in
+        line "  R%d o%d = new %s();" f k c;
+        line "  cur.setLink(o%d);" k;
+        line "  a = a + o%d.w0(a %% 9 + 1);" k;
+        line "  prev = cur;";
+        line "  cur = o%d;" k
+      | `Vec ->
+        line "  vec.add(cur);";
+        line
+          "  if (vec.size() > 0) { R%d g%d = (R%d) vec.get(0); a = a + g%d.get(); }"
+          f k f k
+      | `Map ->
+        let key = scaled_keys.(Fuzz_rng.int rng (Array.length scaled_keys)) in
+        line "  map.put(\"%s\", itoa(a %% 97));" key;
+        line
+          "  if (map.containsKey(\"%s\")) { String s%d = (String) map.get(\"%s\"); a = a + s%d.length(); }"
+          key k key k
+      | `Field ->
+        line "  cur.fi = a %% 1001;";
+        line "  int t%d = prev.get() %% 17;" k;
+        line "  cur.bump(t%d);" k;
+        line "  R%d l%d = cur.getLink();" f k;
+        line "  a = a + l%d.fi;" k
+      | `Str ->
+        line "  String s%d = itoa(a %% 100);" k;
+        line "  a = a + s%d.length();" k;
+        line "  a = a + parseInt(s%d);" k
+      | `Loop ->
+        line "  for (int i%d = 0; i%d < 3; i%d++) { a = a + i%d; cur.bump(i%d); }"
+          k k k k k
+    done;
+    line "  return a;";
+    line "}"
+  done;
+  (* main: container pool + accumulator threading *)
+  line "void main(String[] args) {";
+  line "  int acc = 1;";
+  for i = 0 to pool - 1 do
+    line "  Vector c%d = new Vector();" i;
+    line "  HashMap h%d = new HashMap();" i
+  done;
+  for j = 0 to parts - 1 do
+    let pi = j mod pool in
+    line "  acc = part%d(acc, c%d, h%d);" j pi pi
+  done;
+  let seed_line = !lines + 1 in
+  line "  print(itoa(acc));";
+  line "}";
+  (Buffer.contents buf, seed_line)
+
+let generate_scaled ~(seed : int) ~(stmts : int) : scaled =
+  if stmts < 2_000 then
+    invalid_arg "Gen_tj.generate_scaled: stmts must be >= 2000";
+  let families = max 3 (min 12 (3 + (stmts / 100_000))) in
+  let pool = max families (min 48 (4 + (stmts / 25_000))) in
+  (* Part size sets the calibration granularity: one part is the
+     smallest unit the count can move by, so small requests get small
+     parts (a 50-block part is ~8% of a 5k-statement program — outside
+     the +-5% contract by construction). *)
+  let blocks_per_part = max 5 (min 50 (stmts / 400)) in
+  let emit parts =
+    emit_scaled_src ~seed ~families ~pool ~parts ~blocks_per_part
+  in
+  let measure src =
+    Slice_ir.Program.stmt_count
+      (Slice_front.Frontend.load_exn ~file:"scaled.tj" src)
+  in
+  (* Calibrate: fixed overhead (prelude + classes + main) from a
+     zero-part pilot, per-part slope from a multi-part pilot sharing the
+     same RNG prefix.  12 parts = 600 blocks, enough samples that the
+     mean block cost is within ~2% of the long-run mean. *)
+  let overhead = measure (fst (emit 0)) in
+  let pilot_parts = 12 in
+  let pilot_cost = measure (fst (emit pilot_parts)) in
+  let per_part =
+    float_of_int (pilot_cost - overhead) /. float_of_int pilot_parts
+  in
+  let parts0 =
+    max 1
+      (int_of_float
+         (Float.round (float_of_int (stmts - overhead) /. per_part)))
+  in
+  (* The pilot slope is a long-run mean; the random block mix makes
+     individual parts vary, so the linear estimate can miss by a few
+     percent.  Measure each candidate, re-derive the slope from the
+     measurement itself, and correct the part count (the RNG stream is
+     per-part sequential, so a shorter or longer emission shares its
+     prefix) keeping the best candidate seen.  Large requests converge
+     on the first emission, so extra loads are only ever paid where
+     loads are cheap. *)
+  let rec refine parts attempts best =
+    let src, seed_line = emit parts in
+    let actual = measure src in
+    let miss = abs (actual - stmts) in
+    let best =
+      match best with
+      | Some (_, _, best_actual, _) when abs (best_actual - stmts) <= miss ->
+        best
+      | _ -> Some (src, seed_line, actual, parts)
+    in
+    if float_of_int miss /. float_of_int stmts <= 0.02 || attempts <= 0 then
+      Option.get best
+    else
+      let slope = float_of_int (actual - overhead) /. float_of_int parts in
+      let delta =
+        int_of_float (Float.round (float_of_int (stmts - actual) /. slope))
+      in
+      let delta = if delta = 0 then compare stmts actual else delta in
+      let parts' = max 1 (parts + delta) in
+      if parts' = parts then Option.get best
+      else refine parts' (attempts - 1) best
+  in
+  let src, seed_line, actual, parts = refine parts0 4 None in
+  { sc_src = src;
+    sc_stmt_count = actual;
+    sc_classes = 3 * families;
+    sc_methods = (22 * families) + parts + 1;
+    sc_parts = parts;
+    sc_seed_line = seed_line }
+
+(* ------------------------------------------------------------------ *)
 (* Edits (incremental re-analysis fuzzing)                             *)
 (* ------------------------------------------------------------------ *)
 

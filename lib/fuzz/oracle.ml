@@ -132,7 +132,7 @@ let battery ?(fault = No_fault) ~(src : string) ~(seed_lines : int list) () :
     in
     let overflowed =
       match outcome.Interp.result with
-      | Error { Interp.f_kind = Interp.Trace_limit_exceeded; _ } -> true
+      | Error { Interp.f_kind = Interp.Trace_limit_exceeded _; _ } -> true
       | _ -> false
     in
     if not overflowed then

@@ -21,7 +21,9 @@ type t = {
   max_events : int;
 }
 
-exception Trace_overflow
+(* Payload: the number of events recorded when the budget was hit, so
+   mega-program harnesses can report how far the trace got. *)
+exception Trace_overflow of int
 
 let create ?(max_events = 2_000_000) () : t =
   { events = Array.make 1024 { ev_stmt = -1; ev_val_deps = []; ev_base_deps = [] };
@@ -37,7 +39,7 @@ let event (t : t) (i : int) : event =
 
 let add (t : t) ~(stmt : Slice_ir.Instr.stmt_id) ~(val_deps : int list)
     ~(base_deps : int list) : int =
-  if t.len >= t.max_events then raise Trace_overflow;
+  if t.len >= t.max_events then raise (Trace_overflow t.len);
   if t.len = Array.length t.events then begin
     let bigger =
       Array.make (2 * Array.length t.events)

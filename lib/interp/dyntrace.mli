@@ -15,10 +15,15 @@ type event = {
 
 type t
 
-exception Trace_overflow
+(** Raised by {!add} past the event budget; carries the number of events
+    recorded when the budget was hit. *)
+exception Trace_overflow of int
 
 (** [create ()] makes an empty trace; recording more than [max_events]
-    events raises {!Trace_overflow} (default 2,000,000). *)
+    events raises {!Trace_overflow} (default 2,000,000).  Mega-program
+    harnesses that sample dynamic oracles at the 10^5-10^6-statement
+    scale should size [max_events] to a few times the static statement
+    count. *)
 val create : ?max_events:int -> unit -> t
 
 val length : t -> int

@@ -43,7 +43,7 @@ type failure_kind =
   | User_throw of Types.class_name
   | Step_limit_exceeded
   | Stack_overflow_limit
-  | Trace_limit_exceeded
+  | Trace_limit_exceeded of int
   | Missing_return
   | Assertion of string                          (* internal errors *)
 
@@ -69,7 +69,8 @@ let failure_kind_to_string = function
   | User_throw c -> Printf.sprintf "uncaught exception %s" c
   | Step_limit_exceeded -> "interpreter step limit exceeded"
   | Stack_overflow_limit -> "interpreter call-depth limit exceeded"
-  | Trace_limit_exceeded -> "dynamic trace event limit exceeded"
+  | Trace_limit_exceeded n ->
+    Printf.sprintf "dynamic trace event limit exceeded after %d events" n
   | Missing_return -> "method fell off the end without returning a value"
   | Assertion s -> Printf.sprintf "internal interpreter error: %s" s
 
@@ -718,7 +719,7 @@ let run (config : config) (p : Program.t) : outcome =
           Ok ()
         with
         | Fail f -> Error f
-        | Dyntrace.Trace_overflow ->
+        | Dyntrace.Trace_overflow n ->
           (* The trace filled up mid-run.  Surface it like the other
              bounded-resource failures (step limit, call depth) instead
              of letting the raw exception escape: callers — the CLI
@@ -727,7 +728,7 @@ let run (config : config) (p : Program.t) : outcome =
              whole run, so the stmt is -1 like the other pre-execution
              failures. *)
           Error
-            { f_kind = Trace_limit_exceeded;
+            { f_kind = Trace_limit_exceeded n;
               f_stmt = -1;
               f_loc = Loc.none;
               f_method = entry })

@@ -43,9 +43,10 @@ type failure_kind =
   | User_throw of Types.class_name
   | Step_limit_exceeded
   | Stack_overflow_limit
-  | Trace_limit_exceeded
-      (** the {!Dyntrace} event limit was hit mid-run; never surfaced as a
-          raw {!Dyntrace.Trace_overflow} exception *)
+  | Trace_limit_exceeded of int
+      (** the {!Dyntrace} event limit was hit mid-run after this many
+          events; never surfaced as a raw {!Dyntrace.Trace_overflow}
+          exception *)
   | Missing_return
   | Assertion of string  (** internal interpreter invariant violations *)
 

@@ -1,0 +1,420 @@
+(* Flat int-indexed arena view of the record IR.  See arena.mli for the
+   design contract; the representation notes here:
+
+   - every column is an [int array] (or a record-pointer array for the
+     shim); spans are CSR offsets, so iterating a method's instructions
+     or one instruction's uses allocates nothing;
+   - strings are interned once into [syms] — heap-access keys compare
+     structurally downstream, so sharing is a pure win;
+   - the builder walks [Program.iter_methods] (sorted order) and
+     [Instr.iter_instrs]/[iter_terms] within each method, i.e. exactly
+     the statement order of every record-based analysis pass.  Row
+     order IS the parity argument for the arena-backed SDG build. *)
+
+type op =
+  | Op_other
+  | Op_store
+  | Op_load
+  | Op_array_store
+  | Op_array_load
+  | Op_new_array
+  | Op_array_length
+  | Op_static_store
+  | Op_static_load
+  | Op_call
+
+let op_tag = function
+  | Op_other -> 0
+  | Op_store -> 1
+  | Op_load -> 2
+  | Op_array_store -> 3
+  | Op_array_load -> 4
+  | Op_new_array -> 5
+  | Op_array_length -> 6
+  | Op_static_store -> 7
+  | Op_static_load -> 8
+  | Op_call -> 9
+
+let op_of_tag = function
+  | 0 -> Op_other
+  | 1 -> Op_store
+  | 2 -> Op_load
+  | 3 -> Op_array_store
+  | 4 -> Op_array_load
+  | 5 -> Op_new_array
+  | 6 -> Op_array_length
+  | 7 -> Op_static_store
+  | 8 -> Op_static_load
+  | 9 -> Op_call
+  | t -> invalid_arg (Printf.sprintf "Arena.op_of_tag: %d" t)
+
+type t = {
+  syms : string array;
+  (* methods *)
+  m_qnames : Instr.method_qname array;
+  m_nvars : int array;
+  m_instr_off : int array;       (* num_methods + 1 *)
+  m_term_off : int array;
+  m_param_off : int array;
+  m_param_var : int array;
+  m_index : (Instr.method_qname, int) Hashtbl.t;
+  (* instructions *)
+  i_stmt : int array;
+  i_def : int array;             (* -1 = no def *)
+  i_op : int array;              (* op_tag *)
+  i_base : int array;            (* pointer var of heap ops, else -1 *)
+  i_sym : int array;             (* interned id, else -1 *)
+  i_sym2 : int array;
+  i_rec : Instr.instr array;     (* record shim *)
+  u_off : int array;             (* num_instrs + 1 *)
+  u_var : int array;
+  u_cls : int array;             (* 0 value, 1 base, 2 index *)
+  c_off : int array;             (* num_instrs + 1: call args *)
+  c_arg : int array;
+  (* terminators *)
+  t_stmt : int array;
+  t_ret : int array;             (* 1 = Return (Some _) *)
+  tu_off : int array;            (* num_terms + 1 *)
+  tu_var : int array;
+}
+
+(* Growable int buffer; commit once into a right-sized array. *)
+module Ibuf = struct
+  type t = { mutable a : int array; mutable len : int }
+
+  let create n = { a = Array.make (max 16 n) 0; len = 0 }
+
+  let push b v =
+    if b.len = Array.length b.a then begin
+      let bigger = Array.make (2 * b.len) 0 in
+      Array.blit b.a 0 bigger 0 b.len;
+      b.a <- bigger
+    end;
+    b.a.(b.len) <- v;
+    b.len <- b.len + 1
+
+  let commit b = Array.sub b.a 0 b.len
+end
+
+let use_cls_tag = function
+  | Instr.Use_value -> 0
+  | Instr.Use_base -> 1
+  | Instr.Use_index -> 2
+
+let build (p : Program.t) : t =
+  let sym_ids : (string, int) Hashtbl.t = Hashtbl.create 256 in
+  let sym_list = ref [] and n_syms = ref 0 in
+  let intern s =
+    match Hashtbl.find_opt sym_ids s with
+    | Some i -> i
+    | None ->
+      let i = !n_syms in
+      Hashtbl.replace sym_ids s i;
+      sym_list := s :: !sym_list;
+      incr n_syms;
+      i
+  in
+  let m_qnames = ref [] and n_meths = ref 0 in
+  let m_index = Hashtbl.create 64 in
+  let m_nvars = Ibuf.create 64 in
+  let m_instr_off = Ibuf.create 64 and m_term_off = Ibuf.create 64 in
+  let m_param_off = Ibuf.create 64 and m_param_var = Ibuf.create 64 in
+  let i_stmt = Ibuf.create 1024 and i_def = Ibuf.create 1024 in
+  let i_op = Ibuf.create 1024 and i_base = Ibuf.create 1024 in
+  let i_sym = Ibuf.create 1024 and i_sym2 = Ibuf.create 1024 in
+  let i_recs = ref [] in
+  let u_off = Ibuf.create 1024 and u_var = Ibuf.create 1024
+  and u_cls = Ibuf.create 1024 in
+  let c_off = Ibuf.create 1024 and c_arg = Ibuf.create 64 in
+  let t_stmt = Ibuf.create 256 and t_ret = Ibuf.create 256 in
+  let tu_off = Ibuf.create 256 and tu_var = Ibuf.create 256 in
+  Ibuf.push m_instr_off 0;
+  Ibuf.push m_term_off 0;
+  Ibuf.push m_param_off 0;
+  Program.iter_methods p (fun m ->
+      if Instr.has_body m then begin
+        let mq = m.Instr.m_qname in
+        Hashtbl.replace m_index mq !n_meths;
+        m_qnames := mq :: !m_qnames;
+        incr n_meths;
+        Ibuf.push m_nvars (Array.length m.Instr.m_vars);
+        List.iter (Ibuf.push m_param_var) m.Instr.m_params;
+        Ibuf.push m_param_off m_param_var.Ibuf.len;
+        Instr.iter_instrs m (fun _ i ->
+            Ibuf.push i_stmt i.Instr.i_id;
+            Ibuf.push i_def
+              (match Instr.def_of_instr i with Some v -> v | None -> -1);
+            i_recs := i :: !i_recs;
+            let op, base, s1, s2 =
+              match i.Instr.i_kind with
+              | Instr.Store (x, f, _) -> (Op_store, x, intern f, -1)
+              | Instr.Load (_, y, f) -> (Op_load, y, intern f, -1)
+              | Instr.Array_store (a, _, _) -> (Op_array_store, a, -1, -1)
+              | Instr.Array_load (_, a, _) -> (Op_array_load, a, -1, -1)
+              | Instr.New_array (x, _, _) -> (Op_new_array, x, -1, -1)
+              | Instr.Array_length (_, a) -> (Op_array_length, a, -1, -1)
+              | Instr.Static_store (c, f, _) ->
+                (Op_static_store, -1, intern c, intern f)
+              | Instr.Static_load (_, c, f) ->
+                (Op_static_load, -1, intern c, intern f)
+              | Instr.Call _ -> (Op_call, -1, -1, -1)
+              | Instr.Const _ | Instr.Move _ | Instr.Binop _ | Instr.Unop _
+              | Instr.New _ | Instr.Cast _ | Instr.Instance_of _
+              | Instr.Phi _ | Instr.Nop -> (Op_other, -1, -1, -1)
+            in
+            Ibuf.push i_op (op_tag op);
+            Ibuf.push i_base base;
+            Ibuf.push i_sym s1;
+            Ibuf.push i_sym2 s2;
+            List.iter
+              (fun (v, cls) ->
+                Ibuf.push u_var v;
+                Ibuf.push u_cls (use_cls_tag cls))
+              (Instr.classified_uses i);
+            Ibuf.push u_off u_var.Ibuf.len;
+            (match i.Instr.i_kind with
+            | Instr.Call { args; _ } -> List.iter (Ibuf.push c_arg) args
+            | _ -> ());
+            Ibuf.push c_off c_arg.Ibuf.len);
+        Ibuf.push m_instr_off i_stmt.Ibuf.len;
+        Instr.iter_terms m (fun _ t ->
+            Ibuf.push t_stmt t.Instr.t_id;
+            Ibuf.push t_ret
+              (match t.Instr.t_kind with
+              | Instr.Return (Some _) -> 1
+              | Instr.Return None | Instr.Goto _ | Instr.If _ | Instr.Throw _
+                -> 0);
+            List.iter (Ibuf.push tu_var) (Instr.uses_of_term t);
+            Ibuf.push tu_off tu_var.Ibuf.len);
+        Ibuf.push m_term_off t_stmt.Ibuf.len
+      end);
+  (* CSR offsets above were pushed per-row as running totals; prepend
+     the leading 0 each stream needs. *)
+  let with_zero b =
+    let a = Array.make (b.Ibuf.len + 1) 0 in
+    Array.blit b.Ibuf.a 0 a 1 b.Ibuf.len;
+    a
+  in
+  { syms = Array.of_list (List.rev !sym_list);
+    m_qnames = Array.of_list (List.rev !m_qnames);
+    m_nvars = Ibuf.commit m_nvars;
+    m_instr_off = Ibuf.commit m_instr_off;
+    m_term_off = Ibuf.commit m_term_off;
+    m_param_off = Ibuf.commit m_param_off;
+    m_param_var = Ibuf.commit m_param_var;
+    m_index;
+    i_stmt = Ibuf.commit i_stmt;
+    i_def = Ibuf.commit i_def;
+    i_op = Ibuf.commit i_op;
+    i_base = Ibuf.commit i_base;
+    i_sym = Ibuf.commit i_sym;
+    i_sym2 = Ibuf.commit i_sym2;
+    i_rec = Array.of_list (List.rev !i_recs);
+    u_off = with_zero u_off;
+    u_var = Ibuf.commit u_var;
+    u_cls = Ibuf.commit u_cls;
+    c_off = with_zero c_off;
+    c_arg = Ibuf.commit c_arg;
+    t_stmt = Ibuf.commit t_stmt;
+    t_ret = Ibuf.commit t_ret;
+    tu_off = with_zero tu_off;
+    tu_var = Ibuf.commit tu_var }
+
+(* --- accessors --- *)
+
+let num_methods (t : t) = Array.length t.m_qnames
+let method_id (t : t) mq = Hashtbl.find_opt t.m_index mq
+let method_qname (t : t) m = t.m_qnames.(m)
+let num_vars (t : t) m = t.m_nvars.(m)
+let num_params (t : t) m = t.m_param_off.(m + 1) - t.m_param_off.(m)
+let param_var (t : t) m i = t.m_param_var.(t.m_param_off.(m) + i)
+
+let num_instrs (t : t) = Array.length t.i_stmt
+let instr_span (t : t) m = (t.m_instr_off.(m), t.m_instr_off.(m + 1))
+let instr_stmt (t : t) ix = t.i_stmt.(ix)
+let instr_def (t : t) ix = t.i_def.(ix)
+let instr_op (t : t) ix = op_of_tag t.i_op.(ix)
+let instr_base (t : t) ix = t.i_base.(ix)
+let instr_sym (t : t) ix = t.syms.(t.i_sym.(ix))
+let instr_sym2 (t : t) ix = t.syms.(t.i_sym2.(ix))
+let instr (t : t) ix = t.i_rec.(ix)
+
+let uses_iter (t : t) ix (f : int -> int -> unit) : unit =
+  for u = t.u_off.(ix) to t.u_off.(ix + 1) - 1 do
+    f (Array.unsafe_get t.u_var u) (Array.unsafe_get t.u_cls u)
+  done
+
+let args_iter (t : t) ix (f : int -> unit) : unit =
+  for c = t.c_off.(ix) to t.c_off.(ix + 1) - 1 do
+    f (Array.unsafe_get t.c_arg c)
+  done
+
+let num_terms (t : t) = Array.length t.t_stmt
+let term_span (t : t) m = (t.m_term_off.(m), t.m_term_off.(m + 1))
+let term_stmt (t : t) tx = t.t_stmt.(tx)
+let term_is_value_return (t : t) tx = t.t_ret.(tx) = 1
+
+let term_uses_iter (t : t) tx (f : int -> unit) : unit =
+  for u = t.tu_off.(tx) to t.tu_off.(tx + 1) - 1 do
+    f (Array.unsafe_get t.tu_var u)
+  done
+
+let statements (t : t) = num_instrs t + num_terms t
+
+(* Arithmetic byte accounting: 8 bytes per int-array slot or pointer
+   slot plus one header word per array; strings at header + length
+   rounded up to words.  Deterministic by construction — the same
+   program lowers to the same figure in every process, which is what
+   lets stats carry it across incremental updates. *)
+let bytes (t : t) : int =
+  let arr (a : int array) = 8 * (Array.length a + 1) in
+  let parr n = 8 * (n + 1) in
+  let sym_bytes =
+    Array.fold_left
+      (fun acc s -> acc + 8 + 8 * ((String.length s + 8) / 8))
+      (parr (Array.length t.syms))
+      t.syms
+  in
+  sym_bytes
+  + parr (Array.length t.m_qnames)
+  + arr t.m_nvars + arr t.m_instr_off + arr t.m_term_off + arr t.m_param_off
+  + arr t.m_param_var
+  + arr t.i_stmt + arr t.i_def + arr t.i_op + arr t.i_base + arr t.i_sym
+  + arr t.i_sym2
+  + parr (Array.length t.i_rec)
+  + arr t.u_off + arr t.u_var + arr t.u_cls + arr t.c_off + arr t.c_arg
+  + arr t.t_stmt + arr t.t_ret + arr t.tu_off + arr t.tu_var
+
+(* --- view equivalence --- *)
+
+let check_views (p : Program.t) (t : t) : (unit, string) result =
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let result = ref (Ok ()) in
+  let check b fmt =
+    Printf.ksprintf (fun s -> if not b && !result = Ok () then result := Error s) fmt
+  in
+  let mcount = ref 0 and icount = ref 0 and tcount = ref 0 in
+  Program.iter_methods p (fun m ->
+      if Instr.has_body m && !result = Ok () then begin
+        let mq = m.Instr.m_qname in
+        match method_id t mq with
+        | None ->
+          result := fail "method %s missing" (Instr.method_qname_to_string mq)
+        | Some am ->
+          incr mcount;
+          check
+            (num_vars t am = Array.length m.Instr.m_vars)
+            "%s: nvars" (Instr.method_qname_to_string mq);
+          check
+            (num_params t am = List.length m.Instr.m_params)
+            "%s: nparams" (Instr.method_qname_to_string mq);
+          List.iteri
+            (fun i v -> check (param_var t am i = v) "%s: param %d"
+                (Instr.method_qname_to_string mq) i)
+            m.Instr.m_params;
+          let lo, hi = instr_span t am in
+          let ix = ref lo in
+          Instr.iter_instrs m (fun _ i ->
+              let k = !ix in
+              incr ix;
+              incr icount;
+              if k >= hi then check false "%s: instr span overflow"
+                  (Instr.method_qname_to_string mq)
+              else begin
+                check (instr_stmt t k = i.Instr.i_id) "stmt %d: id" i.Instr.i_id;
+                check (instr t k == i) "stmt %d: record shim" i.Instr.i_id;
+                check
+                  (instr_def t k
+                   = (match Instr.def_of_instr i with Some v -> v | None -> -1))
+                  "stmt %d: def" i.Instr.i_id;
+                (* classified uses, in order *)
+                let expected =
+                  List.map (fun (v, c) -> (v, use_cls_tag c))
+                    (Instr.classified_uses i)
+                in
+                let got = ref [] in
+                uses_iter t k (fun v c -> got := (v, c) :: !got);
+                check (List.rev !got = expected) "stmt %d: uses" i.Instr.i_id;
+                (* heap descriptor *)
+                (match i.Instr.i_kind with
+                | Instr.Store (x, f, _) ->
+                  check
+                    (instr_op t k = Op_store && instr_base t k = x
+                     && instr_sym t k = f)
+                    "stmt %d: store desc" i.Instr.i_id
+                | Instr.Load (_, y, f) ->
+                  check
+                    (instr_op t k = Op_load && instr_base t k = y
+                     && instr_sym t k = f)
+                    "stmt %d: load desc" i.Instr.i_id
+                | Instr.Array_store (a, _, _) ->
+                  check (instr_op t k = Op_array_store && instr_base t k = a)
+                    "stmt %d: astore desc" i.Instr.i_id
+                | Instr.Array_load (_, a, _) ->
+                  check (instr_op t k = Op_array_load && instr_base t k = a)
+                    "stmt %d: aload desc" i.Instr.i_id
+                | Instr.New_array (x, _, _) ->
+                  check (instr_op t k = Op_new_array && instr_base t k = x)
+                    "stmt %d: newarr desc" i.Instr.i_id
+                | Instr.Array_length (_, a) ->
+                  check (instr_op t k = Op_array_length && instr_base t k = a)
+                    "stmt %d: arraylen desc" i.Instr.i_id
+                | Instr.Static_store (c, f, _) ->
+                  check
+                    (instr_op t k = Op_static_store && instr_sym t k = c
+                     && instr_sym2 t k = f)
+                    "stmt %d: sstore desc" i.Instr.i_id
+                | Instr.Static_load (_, c, f) ->
+                  check
+                    (instr_op t k = Op_static_load && instr_sym t k = c
+                     && instr_sym2 t k = f)
+                    "stmt %d: sload desc" i.Instr.i_id
+                | Instr.Call { args; _ } ->
+                  let got = ref [] in
+                  args_iter t k (fun a -> got := a :: !got);
+                  check
+                    (instr_op t k = Op_call && List.rev !got = args)
+                    "stmt %d: call args" i.Instr.i_id
+                | Instr.Const _ | Instr.Move _ | Instr.Binop _ | Instr.Unop _
+                | Instr.New _ | Instr.Cast _ | Instr.Instance_of _
+                | Instr.Phi _ | Instr.Nop ->
+                  check (instr_op t k = Op_other) "stmt %d: op"
+                    i.Instr.i_id)
+              end);
+          check (!ix = hi) "%s: instr span short"
+            (Instr.method_qname_to_string mq);
+          let tlo, thi = term_span t am in
+          let tx = ref tlo in
+          Instr.iter_terms m (fun _ tm ->
+              let k = !tx in
+              incr tx;
+              incr tcount;
+              if k >= thi then check false "%s: term span overflow"
+                  (Instr.method_qname_to_string mq)
+              else begin
+                check (term_stmt t k = tm.Instr.t_id) "term %d: id"
+                  tm.Instr.t_id;
+                check
+                  (term_is_value_return t k
+                   = (match tm.Instr.t_kind with
+                     | Instr.Return (Some _) -> true
+                     | _ -> false))
+                  "term %d: ret flag" tm.Instr.t_id;
+                let got = ref [] in
+                term_uses_iter t k (fun v -> got := v :: !got);
+                check (List.rev !got = Instr.uses_of_term tm) "term %d: uses"
+                  tm.Instr.t_id
+              end);
+          check (!tx = thi) "%s: term span short"
+            (Instr.method_qname_to_string mq)
+      end);
+  (match !result with
+  | Ok () ->
+    if !mcount <> num_methods t then
+      result := fail "method count: %d record vs %d arena" !mcount (num_methods t);
+    if !icount <> num_instrs t then
+      result := fail "instr count: %d record vs %d arena" !icount (num_instrs t);
+    if !tcount <> num_terms t then
+      result := fail "term count: %d record vs %d arena" !tcount (num_terms t)
+  | Error _ -> ());
+  !result

@@ -1,0 +1,125 @@
+(** Flat int-indexed arena view of a program's IR — the memory-diet
+    representation the analysis hot paths read (ROADMAP item 3, the
+    Koika-style lowering of a typed AST into dense indexed form).
+
+    The record IR ({!Instr}, {!Program}) stays the source of truth: the
+    frontend, pretty-printer, interpreter and incremental patcher keep
+    operating on records.  An arena is built ONCE from the records
+    after lowering and packs everything the dependence analyses walk
+    per statement into flat [int array] columns:
+
+    - strings (field names, class names) interned once in a side table;
+    - defs, classified uses and term uses as packed CSR int spans
+      (no per-statement list/closure allocation when iterated);
+    - heap-access descriptors (store/load/array/static/length) as small
+      opcode tags plus operand ints;
+    - call-argument lists as CSR spans.
+
+    Column order follows {!Instr.iter_instrs} / {!Instr.iter_terms}
+    per method, methods in {!Program.iter_methods} (sorted) order — so
+    an analysis pass that walks the arena visits statements in exactly
+    the order the record-based pass does, which is what makes the
+    arena- and record-backed SDG builds edge-for-edge identical.
+
+    [instr] exposes the original record per arena index (a pointer
+    back, not a reconstruction), so any consumer can fall back to the
+    record view without the arena having to replicate payloads it does
+    not pack (constants, types). *)
+
+open! Types
+
+type t
+
+(** Heap/call opcode classification of an instruction, mirroring the
+    cases the SDG heap-indexing pass and mod-ref analysis switch on.
+    Operand accessors: [base] is the pointer variable whose points-to
+    set keys the access; [sym]/[sym2] are interned string ids (field
+    name, or class + field for statics). *)
+type op =
+  | Op_other
+  | Op_store         (** x.f = y:    base = x, sym = f *)
+  | Op_load          (** x = y.f:    base = y, sym = f *)
+  | Op_array_store   (** a[i] = x:   base = a *)
+  | Op_array_load    (** x = a[i]:   base = a *)
+  | Op_new_array     (** x = new T[n]: base = x *)
+  | Op_array_length  (** x = a.length: base = a *)
+  | Op_static_store  (** C.f = y:    sym = C, sym2 = f *)
+  | Op_static_load   (** x = C.f:    sym = C, sym2 = f *)
+  | Op_call          (** args in the call-arg span *)
+
+val build : Program.t -> t
+
+(* --- methods --- *)
+
+val num_methods : t -> int
+
+(** Arena method index for a qname; only methods with bodies are in the
+    arena. *)
+val method_id : t -> Instr.method_qname -> int option
+
+val method_qname : t -> int -> Instr.method_qname
+val num_vars : t -> int -> int
+
+(** Parameter variables of method [m] in declaration order
+    ([param_var t m 0] is [this] for instance methods). *)
+val num_params : t -> int -> int
+
+val param_var : t -> int -> int -> Instr.var
+
+(* --- instruction columns (global arena indices) --- *)
+
+val num_instrs : t -> int
+
+(** Instruction span of method [m]: indices [fst .. snd - 1]. *)
+val instr_span : t -> int -> int * int
+
+val instr_stmt : t -> int -> Instr.stmt_id
+val instr_def : t -> int -> Instr.var  (** -1 when the instr defines nothing *)
+
+val instr_op : t -> int -> op
+val instr_base : t -> int -> Instr.var
+val instr_sym : t -> int -> string
+val instr_sym2 : t -> int -> string
+
+(** Classified uses of instruction [ix], in {!Instr.classified_uses}
+    order, without allocating: [f var use_class_tag] with the tag 0 =
+    value, 1 = base, 2 = index. *)
+val uses_iter : t -> int -> (Instr.var -> int -> unit) -> unit
+
+(** Call arguments of instruction [ix] ([Op_call] only; empty span
+    otherwise), in order. *)
+val args_iter : t -> int -> (Instr.var -> unit) -> unit
+
+val instr : t -> int -> Instr.instr
+(** The record view: the original instruction this arena row was
+    lowered from. *)
+
+(* --- terminator columns --- *)
+
+val num_terms : t -> int
+val term_span : t -> int -> int * int
+val term_stmt : t -> int -> Instr.stmt_id
+
+(** True for [Return (Some _)] — the rows the SDG return-value pass
+    scans callees for. *)
+val term_is_value_return : t -> int -> bool
+
+val term_uses_iter : t -> int -> (Instr.var -> unit) -> unit
+
+(* --- memory accounting --- *)
+
+(** Heap footprint of the arena in bytes, computed arithmetically from
+    column lengths and interned string sizes (deterministic across
+    processes, unlike [Obj.reachable_words]).  Includes the record-shim
+    pointer columns but NOT the records themselves — those belong to
+    the program. *)
+val bytes : t -> int
+
+(** Statements covered (instrs + terms). *)
+val statements : t -> int
+
+(** Verify the arena against the record IR it was built from: per-row
+    statement ids, defs, classified uses, heap descriptors, call args
+    and term uses must reproduce the {!Instr} accessors exactly.
+    Returns an error describing the first mismatch. *)
+val check_views : Program.t -> t -> (unit, string) result

@@ -30,50 +30,87 @@ let mod_of (t : t) (mc : int) : LocSet.t =
 let ref_of (t : t) (mc : int) : LocSet.t =
   Option.value ~default:LocSet.empty (Hashtbl.find_opt t.refs mc)
 
-let compute (p : Program.t) (r : Andersen.result) : t =
+(* Direct mod/ref sets of one method context: the per-statement pass
+   each shard of the parallel direct phase runs.  Reads the program and
+   the finished points-to result only through race-free paths
+   ([Hashtbl] lookups, [pts_iter_var] on a prepared result), so worker
+   domains can run it concurrently. *)
+let direct_sets (p : Program.t) (r : Andersen.result) (mc : int)
+    (mq : Instr.method_qname) : LocSet.t * LocSet.t =
+  let m = Program.find_method_exn p mq in
+  let dm = ref LocSet.empty and dr = ref LocSet.empty in
+  if Instr.has_body m then
+    Instr.iter_instrs m (fun _ i ->
+        match i.Instr.i_kind with
+        | Instr.Store (x, f, _) ->
+          Andersen.pts_iter_var r ~mctx:mc x (fun o ->
+              dm := LocSet.add (Lfield (o, f)) !dm)
+        | Instr.Load (_, y, f) ->
+          Andersen.pts_iter_var r ~mctx:mc y (fun o ->
+              dr := LocSet.add (Lfield (o, f)) !dr)
+        | Instr.Array_store (a, _, _) ->
+          Andersen.pts_iter_var r ~mctx:mc a (fun o ->
+              dm := LocSet.add (Lfield (o, Andersen.elem_field)) !dm)
+        | Instr.Array_load (_, a, _) ->
+          Andersen.pts_iter_var r ~mctx:mc a (fun o ->
+              dr := LocSet.add (Lfield (o, Andersen.elem_field)) !dr)
+        | Instr.New_array (x, _, _) ->
+          Andersen.pts_iter_var r ~mctx:mc x (fun o ->
+              dm := LocSet.add (Larray_len o) !dm)
+        | Instr.Array_length (_, a) ->
+          Andersen.pts_iter_var r ~mctx:mc a (fun o ->
+              dr := LocSet.add (Larray_len o) !dr)
+        | Instr.Static_store (c, f, _) -> dm := LocSet.add (Lstatic (c, f)) !dm
+        | Instr.Static_load (_, c, f) -> dr := LocSet.add (Lstatic (c, f)) !dr
+        | Instr.Const _ | Instr.Move _ | Instr.Binop _ | Instr.Unop _
+        | Instr.New _ | Instr.Call _ | Instr.Cast _ | Instr.Instance_of _
+        | Instr.Phi _ | Instr.Nop -> ());
+  (!dm, !dr)
+
+let auto_jobs () =
+  let r = Domain.recommended_domain_count () in
+  if r > 1 then min r 4 else 1
+
+let compute ?jobs (p : Program.t) (r : Andersen.result) : t =
+  let jobs = match jobs with Some j -> max 1 j | None -> auto_jobs () in
   let direct_mods = Hashtbl.create 64 in
   let direct_refs = Hashtbl.create 64 in
   let mcs = Andersen.method_contexts r in
-  List.iter
-    (fun (mc, mq, _) ->
-      let m = Program.find_method_exn p mq in
-      let dm = ref LocSet.empty and dr = ref LocSet.empty in
-      if Instr.has_body m then begin
-        Instr.iter_instrs m (fun _ i ->
-            match i.Instr.i_kind with
-            | Instr.Store (x, f, _) ->
-              Andersen.ObjSet.iter
-                (fun o -> dm := LocSet.add (Lfield (o, f)) !dm)
-                (Andersen.pts_of_var r ~mctx:mc x)
-            | Instr.Load (_, y, f) ->
-              Andersen.ObjSet.iter
-                (fun o -> dr := LocSet.add (Lfield (o, f)) !dr)
-                (Andersen.pts_of_var r ~mctx:mc y)
-            | Instr.Array_store (a, _, _) ->
-              Andersen.ObjSet.iter
-                (fun o -> dm := LocSet.add (Lfield (o, Andersen.elem_field)) !dm)
-                (Andersen.pts_of_var r ~mctx:mc a)
-            | Instr.Array_load (_, a, _) ->
-              Andersen.ObjSet.iter
-                (fun o -> dr := LocSet.add (Lfield (o, Andersen.elem_field)) !dr)
-                (Andersen.pts_of_var r ~mctx:mc a)
-            | Instr.New_array (x, _, _) ->
-              Andersen.ObjSet.iter
-                (fun o -> dm := LocSet.add (Larray_len o) !dm)
-                (Andersen.pts_of_var r ~mctx:mc x)
-            | Instr.Array_length (_, a) ->
-              Andersen.ObjSet.iter
-                (fun o -> dr := LocSet.add (Larray_len o) !dr)
-                (Andersen.pts_of_var r ~mctx:mc a)
-            | Instr.Static_store (c, f, _) -> dm := LocSet.add (Lstatic (c, f)) !dm
-            | Instr.Static_load (_, c, f) -> dr := LocSet.add (Lstatic (c, f)) !dr
-            | Instr.Const _ | Instr.Move _ | Instr.Binop _ | Instr.Unop _
-            | Instr.New _ | Instr.Call _ | Instr.Cast _ | Instr.Instance_of _
-            | Instr.Phi _ | Instr.Nop -> ())
-      end;
-      Hashtbl.replace direct_mods mc !dm;
-      Hashtbl.replace direct_refs mc !dr)
-    mcs;
+  let mcs_arr = Array.of_list mcs in
+  let n = Array.length mcs_arr in
+  (* Direct pass, sharded by contiguous context ranges.  Each worker
+     fills its slice of one result array — no shared mutable state —
+     and the parent stores the slices back in context order, so the
+     tables are identical at every job count. *)
+  let direct = Array.make n (LocSet.empty, LocSet.empty) in
+  let run_range lo hi =
+    for k = lo to hi - 1 do
+      let mc, mq, _ = mcs_arr.(k) in
+      direct.(k) <- direct_sets p r mc mq
+    done
+  in
+  if jobs > 1 && n >= 2 * jobs then begin
+    Andersen.prepare_concurrent_reads r;
+    let shards = min jobs n in
+    let chunk = (n + shards - 1) / shards in
+    let workers =
+      Array.init shards (fun s ->
+          let lo = s * chunk and hi = min n ((s + 1) * chunk) in
+          Domain.spawn (fun () ->
+              run_range lo hi;
+              Slice_obs.snapshot ()))
+    in
+    Array.iter
+      (fun w -> Slice_obs.merge_snapshot (Domain.join w))
+      workers
+  end
+  else run_range 0 n;
+  Array.iteri
+    (fun k (dm, dr) ->
+      let mc, _, _ = mcs_arr.(k) in
+      Hashtbl.replace direct_mods mc dm;
+      Hashtbl.replace direct_refs mc dr)
+    direct;
   (* Transitive closure over the call graph, to fixpoint. *)
   let t = { mods = Hashtbl.copy direct_mods; refs = Hashtbl.copy direct_refs } in
   let changed = ref true in

@@ -164,6 +164,8 @@ let cardinal t =
   Array.iter (fun v -> c := !c + popcount v) t.w;
   !c
 
+let words t = Array.length t.w
+
 let is_empty t = Array.for_all (fun v -> v = 0) t.w
 
 let clear t = Array.fill t.w 0 (Array.length t.w) 0

@@ -51,6 +51,11 @@ val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
 val cardinal : t -> int
 (** Population count (O(words)). *)
 
+val words : t -> int
+(** Number of backing words currently allocated (capacity, not
+    cardinality) — the set's heap footprint is [8 * words] bytes plus a
+    small constant.  For memory gauges. *)
+
 val is_empty : t -> bool
 
 val clear : t -> unit

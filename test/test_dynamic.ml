@@ -128,7 +128,9 @@ let test_trace_overflow () =
       p
   in
   match o.Slice_interp.Interp.result with
-  | Error { Slice_interp.Interp.f_kind = Slice_interp.Interp.Trace_limit_exceeded; _ } ->
+  | Error
+      { Slice_interp.Interp.f_kind = Slice_interp.Interp.Trace_limit_exceeded _;
+        _ } ->
     ()
   | Error f ->
     Alcotest.failf "wrong failure: %s"
@@ -163,8 +165,10 @@ let test_max_events_boundary () =
     Alcotest.failf "exact budget failed: %s"
       (Format.asprintf "%a" Slice_interp.Interp.pp_failure f));
   match run_with (demand - 1) with
-  | Error { Slice_interp.Interp.f_kind = Slice_interp.Interp.Trace_limit_exceeded; _ }, n
-    ->
+  | ( Error
+        { Slice_interp.Interp.f_kind = Slice_interp.Interp.Trace_limit_exceeded _;
+          _ },
+      n ) ->
     Alcotest.(check bool) "stopped at the limit" true (n <= demand - 1)
   | Ok (), _ -> Alcotest.fail "budget demand-1 should overflow"
   | Error f, _ ->

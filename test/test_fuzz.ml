@@ -68,7 +68,7 @@ let test_gen_well_formed () =
         match f.Slice_interp.Interp.f_kind with
         | Slice_interp.Interp.Step_limit_exceeded
         | Slice_interp.Interp.Stack_overflow_limit
-        | Slice_interp.Interp.Trace_limit_exceeded
+        | Slice_interp.Interp.Trace_limit_exceeded _
         | Slice_interp.Interp.Missing_return
         | Slice_interp.Interp.Assertion _ ->
           Alcotest.failf "seed %d broke the termination promise: %s\n%s" seed

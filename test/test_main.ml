@@ -22,4 +22,5 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("incremental", Test_incremental.suite);
       ("cli", Test_cli.suite);
-      ("serve", Test_serve.suite) ]
+      ("serve", Test_serve.suite);
+      ("scale", Test_scale.suite) ]

@@ -1,0 +1,221 @@
+(* Scale-frontier tests: the mega-workload generator, the arena-lowered
+   IR, and the sharded (multi-domain) analysis passes.
+
+   The generator promises determinism by seed and calibrated statement
+   counts; the arena promises row-for-row equivalence with the record
+   IR on every paper workload; the sharded heap-wiring and mod-ref
+   passes promise BYTE parity with their sequential twins at every job
+   count — parity is pinned here on a program small enough for tier-1,
+   while bench pipeline-huge re-checks it at 10^5..10^6 statements. *)
+
+open Slice_fuzz
+
+(* --- generator ------------------------------------------------------- *)
+
+let test_scaled_deterministic () =
+  let a = Gen_tj.generate_scaled ~seed:3 ~stmts:2_000 in
+  let b = Gen_tj.generate_scaled ~seed:3 ~stmts:2_000 in
+  Alcotest.(check string) "same seed, same program" a.Gen_tj.sc_src
+    b.Gen_tj.sc_src;
+  Alcotest.(check int) "same seed line" a.Gen_tj.sc_seed_line
+    b.Gen_tj.sc_seed_line;
+  let c = Gen_tj.generate_scaled ~seed:4 ~stmts:2_000 in
+  Alcotest.(check bool) "different seed, different program" true
+    (a.Gen_tj.sc_src <> c.Gen_tj.sc_src)
+
+let test_scaled_stmt_accuracy () =
+  (* the self-calibrating generator must land within +-5% of the request
+     (its contract; pipeline-huge re-checks this at 10^5 and 10^6) *)
+  List.iter
+    (fun stmts ->
+      let sc = Gen_tj.generate_scaled ~seed:7 ~stmts in
+      let p =
+        Slice_front.Frontend.load_exn ~file:"scaled.tj" sc.Gen_tj.sc_src
+      in
+      let actual = Slice_ir.Program.stmt_count p in
+      let err =
+        100. *. Float.abs (float_of_int (actual - stmts)) /. float_of_int stmts
+      in
+      if err > 5.0 then
+        Alcotest.failf "stmts=%d actual=%d err=%.2f%% (want <= 5%%)" stmts
+          actual err)
+    [ 5_000; 20_000 ]
+
+let test_scaled_runs_clean () =
+  (* well-formed and terminating by construction: the scaled program
+     loads, runs to completion, and prints its single accumulator *)
+  let sc = Gen_tj.generate_scaled ~seed:11 ~stmts:2_000 in
+  let p = Slice_front.Frontend.load_exn ~file:"scaled.tj" sc.Gen_tj.sc_src in
+  let o = Slice_interp.Interp.run Slice_interp.Interp.default_config p in
+  (match o.Slice_interp.Interp.result with
+  | Ok () -> ()
+  | Error f ->
+    Alcotest.failf "scaled program failed: %s"
+      (Format.asprintf "%a" Slice_interp.Interp.pp_failure f));
+  Alcotest.(check int) "prints exactly one line" 1
+    (List.length o.Slice_interp.Interp.output)
+
+let test_shrinker_on_large_model () =
+  (* the shrinker must stay structure-preserving when fed a model at the
+     generator's size ceiling: the shrunk program still satisfies the
+     predicate, is no larger, and remains well-formed *)
+  let m = Gen_tj.gen ~seed:13 ~max_size:200 in
+  let pred r = r.Gen_tj.stmt_count >= 5 in
+  let still_failing m' = pred (Gen_tj.render m') in
+  let small = Gen_tj.shrink m ~still_failing in
+  let r0 = Gen_tj.render m and r1 = Gen_tj.render small in
+  Alcotest.(check bool) "predicate preserved" true (still_failing small);
+  Alcotest.(check bool) "no larger" true
+    (r1.Gen_tj.stmt_count <= r0.Gen_tj.stmt_count);
+  match Slice_front.Frontend.load ~file:"shrunk.tj" r1.Gen_tj.src with
+  | Ok _ -> ()
+  | Error e ->
+    Alcotest.failf "shrunk program ill-formed: %s"
+      e.Slice_front.Frontend.err_msg
+
+(* --- arena ----------------------------------------------------------- *)
+
+let paper_workloads =
+  [ ("nanoxml", Slice_workloads.Prog_nanoxml.base);
+    ("jtopas", Slice_workloads.Prog_jtopas.base);
+    ("ant", Slice_workloads.Prog_ant.base);
+    ("xmlsec", Slice_workloads.Prog_xmlsec.base);
+    ("mtrt", Slice_workloads.Prog_mtrt.base);
+    ("jess", Slice_workloads.Prog_jess.base);
+    ("javac", Slice_workloads.Prog_javac.base);
+    ("jack", Slice_workloads.Prog_jack.base);
+    ("pipeline-32", Slice_workloads.Generators.pipeline_program ~stages:32) ]
+
+let test_arena_views_on_workloads () =
+  (* every arena column must agree with the record accessors on every
+     row of every paper workload *)
+  List.iter
+    (fun (name, src) ->
+      let p = Slice_front.Frontend.load_exn ~file:(name ^ ".tj") src in
+      let ar = Slice_ir.Arena.build p in
+      (match Slice_ir.Arena.check_views p ar with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "%s: arena view mismatch: %s" name msg);
+      Alcotest.(check bool) (name ^ ": arena bytes positive") true
+        (Slice_ir.Arena.bytes ar > 0))
+    paper_workloads
+
+let test_arena_sdg_identical () =
+  (* the arena-backed pass 1 must produce edge-for-edge the same graph
+     as the record pass: same node count, same edge count, same
+     adjacency in the same order *)
+  let src = Slice_workloads.Prog_javac.base in
+  let p = Slice_front.Frontend.load_exn ~file:"javac.tj" src in
+  let pta = Slice_pta.Andersen.analyze p in
+  let g_rec = Slice_core.Sdg.build p pta in
+  let ar = Slice_ir.Arena.build p in
+  let g_ar = Slice_core.Sdg.build ~arena:ar p pta in
+  Alcotest.(check int) "node count" (Slice_core.Sdg.num_nodes g_rec)
+    (Slice_core.Sdg.num_nodes g_ar);
+  Alcotest.(check int) "edge count" (Slice_core.Sdg.num_edges g_rec)
+    (Slice_core.Sdg.num_edges g_ar);
+  for n = 0 to Slice_core.Sdg.num_nodes g_rec - 1 do
+    if Slice_core.Sdg.deps g_rec n <> Slice_core.Sdg.deps g_ar n then
+      Alcotest.failf "deps of node %d differ" n
+  done
+
+(* --- sharded passes -------------------------------------------------- *)
+
+let sdg_adjacency (g : Slice_core.Sdg.t) : (int * (int * int) list) list =
+  let rows = ref [] in
+  for n = Slice_core.Sdg.num_nodes g - 1 downto 0 do
+    let row =
+      List.map
+        (fun (m, k) -> (m, Slice_core.Sdg.edge_kind_tag k))
+        (Slice_core.Sdg.deps g n)
+    in
+    if row <> [] then rows := (n, row) :: !rows
+  done;
+  !rows
+
+let test_sdg_heap_jobs_parity () =
+  let sc = Gen_tj.generate_scaled ~seed:5 ~stmts:2_000 in
+  let p = Slice_front.Frontend.load_exn ~file:"scaled.tj" sc.Gen_tj.sc_src in
+  let pta = Slice_pta.Andersen.analyze p in
+  let base = sdg_adjacency (Slice_core.Sdg.build ~heap_jobs:1 p pta) in
+  List.iter
+    (fun jobs ->
+      let g = Slice_core.Sdg.build ~heap_jobs:jobs p pta in
+      if sdg_adjacency g <> base then
+        Alcotest.failf "heap_jobs=%d adjacency differs from sequential" jobs)
+    [ 2; 4 ]
+
+let test_modref_jobs_parity () =
+  let sc = Gen_tj.generate_scaled ~seed:5 ~stmts:2_000 in
+  let p = Slice_front.Frontend.load_exn ~file:"scaled.tj" sc.Gen_tj.sc_src in
+  let pta = Slice_pta.Andersen.analyze p in
+  let n = Slice_pta.Andersen.num_call_graph_nodes pta in
+  let dump mr =
+    List.init n (fun mc ->
+        ( Slice_pta.Modref.LocSet.elements (Slice_pta.Modref.mod_of mr mc),
+          Slice_pta.Modref.LocSet.elements (Slice_pta.Modref.ref_of mr mc) ))
+  in
+  let base = dump (Slice_pta.Modref.compute ~jobs:1 p pta) in
+  List.iter
+    (fun jobs ->
+      if dump (Slice_pta.Modref.compute ~jobs p pta) <> base then
+        Alcotest.failf "modref jobs=%d differs from sequential" jobs)
+    [ 2; 4 ]
+
+(* --- memory gauges --------------------------------------------------- *)
+
+let test_memory_stats () =
+  let src = Slice_workloads.Prog_nanoxml.base in
+  let a = Slice_core.Engine.of_source ~file:"nanoxml.tj" src in
+  let s = Slice_core.Engine.stats_of a in
+  Alcotest.(check bool) "arena_bytes positive" true (s.Slice_core.Engine.arena_bytes > 0);
+  Alcotest.(check int) "arena_bytes deterministic"
+    (Slice_ir.Arena.bytes a.Slice_core.Engine.arena)
+    s.Slice_core.Engine.arena_bytes;
+  (* a slice through the domain-default scratch makes its footprint
+     observable *)
+  let scratch = Slice_core.Slicer.create_scratch a.Slice_core.Engine.sdg in
+  Alcotest.(check bool) "scratch_bytes positive" true
+    (Slice_core.Slicer.scratch_bytes scratch > 0);
+  (* the memory block must appear in BOTH stats exports with the same
+     deterministic value (serve-vs-CLI byte parity) *)
+  let find_arena json =
+    match json with
+    | Slice_obs.Json.Obj kvs -> (
+      match List.assoc_opt "memory" kvs with
+      | Some (Slice_obs.Json.Obj m) -> List.assoc_opt "arena_bytes" m
+      | _ -> None)
+    | _ -> None
+  in
+  let expect = Some (Slice_obs.Json.Int s.Slice_core.Engine.arena_bytes) in
+  Alcotest.(check bool) "stats_to_json memory block" true
+    (find_arena (Slice_core.Engine.stats_to_json s) = expect);
+  (* the resident (serve) stats export carries the same block: the
+     daemon's Q_stats answer must byte-agree with the one-shot CLI *)
+  let h = Slice_core.Engine.load [ ("nanoxml.tj", src) ] in
+  let resident =
+    Slice_core.Engine.query_result_to_json h Slice_core.Engine.Q_stats
+      (Slice_core.Engine.run_query h Slice_core.Engine.Q_stats)
+  in
+  Alcotest.(check bool) "resident stats memory block" true
+    (find_arena resident = expect)
+
+let suite =
+  [ Alcotest.test_case "generate_scaled is deterministic" `Quick
+      test_scaled_deterministic;
+    Alcotest.test_case "statement count within 5%" `Quick
+      test_scaled_stmt_accuracy;
+    Alcotest.test_case "scaled program runs clean" `Quick
+      test_scaled_runs_clean;
+    Alcotest.test_case "shrinker structure-preserving at size ceiling" `Quick
+      test_shrinker_on_large_model;
+    Alcotest.test_case "arena views match records on all workloads" `Quick
+      test_arena_views_on_workloads;
+    Alcotest.test_case "arena-backed SDG identical to record pass" `Quick
+      test_arena_sdg_identical;
+    Alcotest.test_case "SDG heap wiring parity at jobs 1/2/4" `Quick
+      test_sdg_heap_jobs_parity;
+    Alcotest.test_case "mod-ref parity at jobs 1/2/4" `Quick
+      test_modref_jobs_parity;
+    Alcotest.test_case "memory gauges and stats block" `Quick
+      test_memory_stats ]

@@ -842,6 +842,11 @@ let bench_serve_ab () : Slice_obs.Json.t =
 let incr_cold_reps = 5
 let incr_update_reps = 40
 
+(* Resolved-tier updates rebuild the SDG, so each rep is pricier than a
+   patched one — fewer reps keep the bench quick without hurting the
+   per-update average. *)
+let incr_resolved_reps = 20
+
 (* Constant tweaks inside three distinct javac scanner predicates; the
    [;]-suffixed needles are unique in [Prog_javac.base]. *)
 let incr_edits =
@@ -950,6 +955,48 @@ let bench_serve_incr () : Slice_obs.Json.t =
     let rs = List.map (fun (_, r) -> r.Engine.up_segments_refrozen) prop in
     List.sort compare rs = rs
   in
+  (* resolved-tier A/B: a summary-MOVING one-method edit — the ExprToken
+     constructor gains a duplicated field store, so its constraint
+     summary changes and the Patched path is off the table — against a
+     from-scratch load of the same source.  The affected cone is the
+     token's own nodes, far under the delta solver's limits, so every
+     update must land on Resolved_incremental: this is the A/B for
+     [Andersen.resolve_delta] itself. *)
+  let src_moved =
+    replace_sub ~sub:"this.image = img;"
+      ~by:"this.image = img; this.image = img;" src
+  in
+  let () = Gc.full_major () in
+  let _, rcold_wall =
+    time (fun () ->
+        for _ = 1 to incr_cold_reps do
+          ignore (Engine.load [ (file, src_moved) ])
+        done)
+  in
+  let rh = ref (Engine.load [ (file, src) ]) in
+  let all_incr = ref true in
+  let () = Gc.full_major () in
+  let _, rincr_wall =
+    time (fun () ->
+        for i = 1 to incr_resolved_reps do
+          let target = if i land 1 = 1 then src_moved else src in
+          let h', rep = Engine.update !rh [ (file, target) ] in
+          rh := h';
+          if rep.Engine.up_path <> Engine.Resolved_incremental then
+            all_incr := false
+        done)
+  in
+  let rfinal = if incr_resolved_reps land 1 = 1 then src_moved else src in
+  let rfresh = Engine.load [ (file, rfinal) ] in
+  let ria = !rh.Engine.h_analysis and rfa = rfresh.Engine.h_analysis in
+  let rparity =
+    Engine.pts_dump_canonical ria = Engine.pts_dump_canonical rfa
+    && Engine.call_graph_dump_canonical ria
+       = Engine.call_graph_dump_canonical rfa
+  in
+  let rper_cold = rcold_wall /. float_of_int incr_cold_reps in
+  let rper_update = rincr_wall /. float_of_int incr_resolved_reps in
+  let rspeedup = if rper_update > 0. then rper_cold /. rper_update else 0. in
   let per_cold = cold_wall /. float_of_int incr_cold_reps in
   let per_update = incr_wall /. float_of_int incr_update_reps in
   let speedup = if per_update > 0. then per_cold /. per_update else 0. in
@@ -969,6 +1016,11 @@ let bench_serve_incr () : Slice_obs.Json.t =
     seg_refrozen seg_total
     (if parity then 1 else 0)
     speedup;
+  Printf.printf
+    "serve_incr_resolved: program=%s path=%s parity=%d speedup=%.1f\n" name
+    (if !all_incr then "resolved-incremental" else "MIXED")
+    (if rparity then 1 else 0)
+    rspeedup;
   Obj
     [ ("name", Str name);
       ("line", Int line);
@@ -996,7 +1048,13 @@ let bench_serve_incr () : Slice_obs.Json.t =
       ("proportional_ok", Bool prop_ok);
       ("parity_slices", Bool parity_slices);
       ("parity_dumps", Bool parity_dumps);
-      ("parity", Bool parity) ]
+      ("parity", Bool parity);
+      ("resolved_reps_update", Int incr_resolved_reps);
+      ("resolved_wall_s_cold_per_load", Float rper_cold);
+      ("resolved_wall_s_per_update", Float rper_update);
+      ("resolved_speedup", Float rspeedup);
+      ("resolved_all_incremental", Bool !all_incr);
+      ("resolved_parity", Bool rparity) ]
 
 (* ------------------------------------------------------------------ *)
 (* Arena vs record IR: per-statement memory                            *)
@@ -1441,7 +1499,23 @@ let json_results ?(out = "BENCH_results.json") () =
         Printf.eprintf "serve_incr: %s self-check failed\n" k;
         exit 1)
     [ "path_all_patched"; "relowered_one"; "segments_partial";
-      "proportional_ok"; "parity" ];
+      "proportional_ok"; "parity"; "resolved_all_incremental";
+      "resolved_parity" ];
+  (* the resolved tier still rebuilds arena + SDG, so its floor is well
+     under the patched path's 5x — but an incremental re-solve that is
+     not even 1.5x a cold load means the delta solver stopped saving
+     the frontend + solve bulk *)
+  (match member "resolved_speedup" serve_incr with
+  | Some (Float f) when Float.is_finite f && f >= 1.5 -> ()
+  | Some (Float f) ->
+    Printf.eprintf
+      "serve_incr: resolved-tier update/load speedup %.2f below the 1.5x \
+       floor\n"
+      f;
+    exit 1
+  | _ ->
+    Printf.eprintf "serve_incr: resolved_speedup missing or not finite\n";
+    exit 1);
   let ir_arena = bench_ir_arena () in
   (* self-check: the flat arena must actually be a memory diet — smaller
      than the record instruction payload on every suite program *)

@@ -776,13 +776,61 @@ let fuzz_cmd =
              re-analysis (Engine.update) agrees with a from-scratch \
              load after every edit: slice line sets in every mode, \
              canonical points-to and call-graph dumps, layered reports \
-             in the budget-free modes, and headline stats.")
+             in the budget-free modes, and headline stats.  Unfiltered \
+             runs of at least 25 programs additionally assert that \
+             every update tier \
+             (noop/patched/resolved-incremental/resolved-fresh/rebuilt) \
+             was exercised at least once.")
   in
-  let run seed count max_size corpus fault edits tel =
+  let edit_kinds_conv =
+    let parse s =
+      let parts =
+        List.filter (fun p -> p <> "") (String.split_on_char ',' s)
+      in
+      if parts = [] then Error (`Msg "--edit-kinds expects a non-empty list")
+      else
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | p :: rest -> (
+            match Slice_fuzz.Gen_tj.edit_kind_of_string p with
+            | Some k -> go (k :: acc) rest
+            | None ->
+              Error
+                (`Msg
+                   (Printf.sprintf "unknown edit kind %s (expected one of %s)"
+                      p
+                      (String.concat ", "
+                         (List.map Slice_fuzz.Gen_tj.edit_kind_to_string
+                            Slice_fuzz.Gen_tj.all_edit_kinds)))))
+        in
+        go [] parts
+    in
+    let print ppf ks =
+      Format.pp_print_string ppf
+        (String.concat ","
+           (List.map Slice_fuzz.Gen_tj.edit_kind_to_string ks))
+    in
+    Arg.conv (parse, print)
+  in
+  let edit_kinds_arg =
+    Arg.(
+      value
+      & opt (some edit_kinds_conv) None
+      & info [ "edit-kinds" ] ~docv:"KINDS"
+          ~doc:
+            "Restrict --edits to a comma-separated subset of edit kinds \
+             (tweak, replace, delete, insert, swap-body, add-aux, \
+             remove-aux, add-override, remove-override) — a scalpel for \
+             reproducing one tier's failures.  Implies no tier-coverage \
+             assertion.  Requires --edits.")
+  in
+  let run seed count max_size corpus fault edits edit_kinds tel =
     handle_errors (fun () ->
         setup_telemetry tel;
         if count <= 0 then cli_error "--count expects K > 0";
         if max_size <= 0 then cli_error "--max-size expects S > 0";
+        if edit_kinds <> None && not edits then
+          cli_error "--edit-kinds requires --edits";
         let corpus_dir =
           match corpus with
           | Some d -> Some d
@@ -795,8 +843,8 @@ let fuzz_cmd =
             else None
         in
         let report =
-          Slice_fuzz.Fuzz.run ~fault ?corpus_dir ~edits ~seed ~count ~max_size
-            ()
+          Slice_fuzz.Fuzz.run ~fault ?corpus_dir ~edits ?edit_kinds ~seed
+            ~count ~max_size ()
         in
         List.iter
           (fun f ->
@@ -825,7 +873,7 @@ let fuzz_cmd =
           shrunk and written as replayable JSON repros")
     Term.(
       const run $ seed_arg $ count_arg $ max_size_arg $ corpus_arg $ fault_arg
-      $ edits_arg $ telemetry_term)
+      $ edits_arg $ edit_kinds_arg $ telemetry_term)
 
 (* ---- dot ---- *)
 
@@ -1008,8 +1056,8 @@ let watch_cmd =
           delta-classifying Engine.update (body-only edits patch the \
           resident SDG instead of rebuilding), and one JSON event line \
           is printed per load/update with the incremental path taken \
-          (noop/patched/resolved/rebuilt), its delta statistics, and \
-          the fresh slice lines")
+          (noop/patched/resolved-incremental/resolved-fresh/rebuilt), \
+          its delta statistics, and the fresh slice lines")
     Term.(
       const run $ file_arg $ line_arg $ mode_arg $ objsens_arg $ pta_arg
       $ interval_arg $ max_updates_arg $ telemetry_term)

@@ -17,23 +17,12 @@ type analysis = {
 
 let g_arena_bytes = Slice_obs.gauge "ir.arena_bytes"
 
-let analyze ?(obj_sens = true) ?(freeze = true) ?(solver = `Bitset)
-    (program : Program.t) : analysis =
-  let opts =
-    if obj_sens then Andersen.default_opts else Andersen.no_obj_sens_opts
-  in
-  let pta =
-    match solver with
-    | `Bitset -> Andersen.analyze ~opts program
-    | `Reference ->
-      (* [Andersen.Reference] is telemetry-free by design (it is the
-         byte-comparable oracle), so the pipeline spans are recorded
-         here instead; the result is lifted into the main
-         representation so everything downstream is unchanged. *)
-      Slice_obs.span "pta" (fun () ->
-          Slice_obs.span "pta.solve" (fun () ->
-              Andersen.of_reference (Andersen.Reference.analyze ~opts program)))
-  in
+(* The back half of [analyze]: arena + SDG over an ALREADY-SOLVED
+   points-to result.  Also the dedicated entry of the incremental
+   re-solve ([Andersen.resolve_delta] mutates the existing result in
+   place, after which only the derived layers need rebuilding). *)
+let analyze_with_pta ?(freeze = true) ~(obj_sens : bool)
+    (pta : Andersen.result) (program : Program.t) : analysis =
   (* Lower the reachable IR into the flat arena before the SDG pass
      reads it: strings interned once, operands packed into int arrays.
      Pass 1 of [Sdg.build] walks the arena columns instead of the record
@@ -52,6 +41,25 @@ let analyze ?(obj_sens = true) ?(freeze = true) ?(solver = `Bitset)
      and the BENCH A/B baseline. *)
   if freeze then Sdg.freeze sdg;
   { program; pta; sdg; arena; obj_sens }
+
+let analyze ?(obj_sens = true) ?(freeze = true) ?(solver = `Bitset)
+    (program : Program.t) : analysis =
+  let opts =
+    if obj_sens then Andersen.default_opts else Andersen.no_obj_sens_opts
+  in
+  let pta =
+    match solver with
+    | `Bitset -> Andersen.analyze ~opts program
+    | `Reference ->
+      (* [Andersen.Reference] is telemetry-free by design (it is the
+         byte-comparable oracle), so the pipeline spans are recorded
+         here instead; the result is lifted into the main
+         representation so everything downstream is unchanged. *)
+      Slice_obs.span "pta" (fun () ->
+          Slice_obs.span "pta.solve" (fun () ->
+              Andersen.of_reference (Andersen.Reference.analyze ~opts program)))
+  in
+  analyze_with_pta ~freeze ~obj_sens pta program
 
 let of_source ?container_classes ?obj_sens ?freeze ?solver ~(file : string)
     (src : string) : analysis =
@@ -758,17 +766,36 @@ let load ?container_classes ?(obj_sens = true) ?(solver = `Bitset)
 (* How far an edit forced the pipeline to re-run, cheapest first:
    - [Noop]: byte-identical sources, nothing ran;
    - [Patched]: changed bodies re-lowered, points-to re-keyed in place,
-     frozen SDG patched (constraint summaries unchanged);
-   - [Resolved]: changed bodies re-lowered, fresh points-to solve and
-     SDG over the mutated program — frontend skipped;
+     frozen SDG patched (constraint summaries unchanged) — also taken
+     by dispatch-neutral method adds/removes, where only the statement
+     table needs rebuilding;
+   - [Resolved_incremental]: some constraint summary moved, but the
+     solved points-to result was repaired in place by delete-and-
+     rederive over the affected cone ([Andersen.resolve_delta]); arena
+     and SDG rebuilt over the patched solution — frontend AND the
+     unaffected part of the solve skipped;
+   - [Resolved_fresh]: summary moved and the incremental re-solve was
+     unavailable (reference solver) or declined (cone too large a
+     fraction of the node universe): fresh points-to solve and SDG
+     over the mutated program — frontend still skipped;
    - [Rebuilt]: full reload from the new sources (structural edit, or
-     fallback after a mid-incremental failure). *)
-type update_path = Noop | Patched | Resolved | Rebuilt
+     fallback after a mid-incremental failure).
+
+   The ladder is monotone in correctness: every tier answers queries
+   byte-identically to a fresh load of the new sources (the fuzz
+   oracle's edit battery enforces this per tier). *)
+type update_path =
+  | Noop
+  | Patched
+  | Resolved_incremental
+  | Resolved_fresh
+  | Rebuilt
 
 let update_path_to_string = function
   | Noop -> "noop"
   | Patched -> "patched"
-  | Resolved -> "resolved"
+  | Resolved_incremental -> "resolved-incremental"
+  | Resolved_fresh -> "resolved-fresh"
   | Rebuilt -> "rebuilt"
 
 type update_report = {
@@ -782,7 +809,11 @@ type update_report = {
 
 let c_update_noop = Slice_obs.counter "engine.update.noop"
 let c_update_patched = Slice_obs.counter "engine.update.patched"
-let c_update_resolved = Slice_obs.counter "engine.update.resolved"
+
+let c_update_resolved_incr =
+  Slice_obs.counter "engine.update.resolved_incremental"
+
+let c_update_resolved_fresh = Slice_obs.counter "engine.update.resolved_fresh"
 let c_update_rebuilt = Slice_obs.counter "engine.update.rebuilt"
 
 let update (h : handle) (new_sources : (string * string) list) :
@@ -803,6 +834,58 @@ let update (h : handle) (new_sources : (string * string) list) :
             up_segments_total = total;
             up_nodes_dead = 0;
             up_nodes_new = 0 } )
+      in
+      (* Shared tail of the two resolved tiers: fresh points-to solve
+         and SDG over the (already mutated) program. *)
+      let resolved_fresh (a : analysis) (p : Program.t) ~(n_changed : int) =
+        let a' = analyze ~obj_sens:a.obj_sens ~solver:h.h_solver p in
+        Slice_obs.bump c_update_resolved_fresh;
+        Slice_obs.add_span_arg "path" "resolved-fresh";
+        let total = Andersen.num_call_graph_nodes a'.pta in
+        ( { h with
+            h_analysis = a';
+            h_sources = new_sources;
+            h_stats = stats_of ~obs:(edge_census_snapshot a'.sdg) a' },
+          { up_path = Resolved_fresh;
+            up_relowered = n_changed;
+            up_segments_refrozen = total;
+            up_segments_total = total;
+            up_nodes_dead = 0;
+            up_nodes_new = 0 } )
+      in
+      (* Bitset results carry constraint provenance: retract exactly the
+         affected methods and re-solve the cone in place
+         ([Andersen.resolve_delta]), rebuilding only the derived layers.
+         Falls back to a fresh solve when the solver has no provenance
+         (reference handles) or declines the cone as too large. *)
+      let resolve_or_fresh (a : analysis) (p : Program.t)
+          ~(retracted : Instr.method_qname list)
+          ~(added : Instr.method_qname list) ~(n_changed : int) =
+        match h.h_solver with
+        | `Reference -> resolved_fresh a p ~n_changed
+        | `Bitset -> (
+          match Andersen.resolve_delta a.pta ~retracted ~added with
+          | Error (`Cone_too_big | `No_provenance) ->
+            resolved_fresh a p ~n_changed
+          | Ok ds ->
+            let a' = analyze_with_pta ~obj_sens:a.obj_sens a.pta p in
+            Slice_obs.bump c_update_resolved_incr;
+            Slice_obs.add_span_arg "path" "resolved-incremental";
+            Slice_obs.add_span_arg "cone_nodes"
+              (string_of_int ds.Andersen.ds_cone_nodes);
+            Slice_obs.add_span_arg "retracted_mctxs"
+              (string_of_int ds.Andersen.ds_retracted_mctxs);
+            let total = Andersen.num_call_graph_nodes a'.pta in
+            ( { h with
+                h_analysis = a';
+                h_sources = new_sources;
+                h_stats = stats_of ~obs:(edge_census_snapshot a'.sdg) a' },
+              { up_path = Resolved_incremental;
+                up_relowered = n_changed;
+                up_segments_refrozen = total;
+                up_segments_total = total;
+                up_nodes_dead = 0;
+                up_nodes_new = 0 } ))
       in
       match Slice_front.Delta.diff ~old_sources:h.h_sources ~new_sources with
       | Slice_front.Delta.Same ->
@@ -912,28 +995,152 @@ let update (h : handle) (new_sources : (string * string) list) :
                 up_nodes_new = ps.Sdg.ps_nodes_new } )
           end
           else begin
-            (* The edit moved some constraint summary: fresh points-to
-               solve and SDG over the mutated program — the frontend
-               (parse/lower/SSA of the UNCHANGED methods) is skipped. *)
-            let a' = analyze ~obj_sens:a.obj_sens ~solver:h.h_solver p in
-            Slice_obs.bump c_update_resolved;
-            Slice_obs.add_span_arg "path" "resolved";
-            let total = Andersen.num_call_graph_nodes a'.pta in
-            ( { h with
-                h_analysis = a';
-                h_sources = new_sources;
-                h_stats = stats_of ~obs:(edge_census_snapshot a'.sdg) a' },
-              { up_path = Resolved;
-                up_relowered = n_changed;
-                up_segments_refrozen = total;
-                up_segments_total = total;
-                up_nodes_dead = 0;
-                up_nodes_new = 0 } )
+            (* The edit moved some constraint summary: the changed
+               methods' constraints are both the retracted and the
+               re-added set (same methods, new bodies). *)
+            let changed_mqs =
+              List.map
+                (fun (r : Slice_front.Delta.resolved) ->
+                  r.Slice_front.Delta.rv_mq)
+                resolved
+            in
+            resolve_or_fresh a p ~retracted:changed_mqs ~added:changed_mqs
+              ~n_changed
           end
         with e ->
           (* A mid-incremental failure (mini-unit parse error, lowering
              error, violated patch invariant) may leave the program
              half-mutated — the stored sources rebuild it whole. *)
+          Slice_obs.add_span_arg "fallback" (Printexc.to_string e);
+          rebuilt ())
+      | Slice_front.Delta.Methods md -> (
+        try
+          let a = h.h_analysis in
+          let p = a.program in
+          let removed_mqs =
+            List.map Slice_front.Delta.removed_qname
+              md.Slice_front.Delta.dm_removed
+          in
+          let entry = Program.entry_method p in
+          if
+            List.exists
+              (fun mq -> Instr.equal_method_qname mq entry)
+              removed_mqs
+          then rebuilt ()
+          else begin
+            (* Classify BEFORE mutating.  A removed method with zero
+               solved contexts was unreachable — no call graph edge or
+               dispatch resolution involved it, so dropping it cannot
+               move the solution.  An added method whose NAME no old
+               method anywhere bears can neither be called by the
+               unchanged bodies (the old program lowered without the
+               name, so no call site references it) nor shadow or
+               retarget any dispatch — also neutral. *)
+            let name_exists name =
+              let found = ref false in
+              Program.iter_methods p (fun m ->
+                  if String.equal m.Instr.m_qname.Instr.mq_name name then
+                    found := true);
+              !found
+            in
+            let neutral =
+              List.for_all
+                (fun mq -> Andersen.mctxs_of_method a.pta mq = [])
+                removed_mqs
+              && List.for_all
+                   (fun (am : Slice_front.Delta.added_method) ->
+                     not (name_exists am.Slice_front.Delta.am_name))
+                   md.Slice_front.Delta.dm_added
+            in
+            (* Dispatch suspects of a NON-neutral edit: every old method
+               sharing a name with an added method may lose dispatch
+               flows to the new override, so its constraints must be
+               retracted and re-derived.  (A removed reachable method
+               only re-routes its own flows — the surviving same-name
+               methods strictly GAIN, which plain re-solving covers.) *)
+            let suspects =
+              List.concat_map
+                (fun (am : Slice_front.Delta.added_method) ->
+                  let name = am.Slice_front.Delta.am_name in
+                  let out = ref [] in
+                  Program.iter_methods p (fun m ->
+                      if String.equal m.Instr.m_qname.Instr.mq_name name then
+                        out := m.Instr.m_qname :: !out);
+                  !out)
+                md.Slice_front.Delta.dm_added
+            in
+            (* Mutate the program: removals, additions (declared and
+               lowered exactly as a full load would), then shift every
+               surviving location in the edited files onto its new
+               line — added methods were lowered from new-file mini
+               units and must NOT be shifted again. *)
+            List.iter (Program.remove_method p) removed_mqs;
+            let added_mqs =
+              List.map (Slice_front.Delta.lower_added p)
+                md.Slice_front.Delta.dm_added
+            in
+            let is_added mq =
+              List.exists (Instr.equal_method_qname mq) added_mqs
+            in
+            List.iter
+              (fun (file, bps) ->
+                if bps <> [] then begin
+                  let shift (l : Loc.t) =
+                    if String.equal l.Loc.file file then begin
+                      let d = Slice_front.Delta.line_delta bps l.Loc.line in
+                      if d = 0 then l else { l with Loc.line = l.Loc.line + d }
+                    end
+                    else l
+                  in
+                  Program.iter_methods p (fun m ->
+                      if Instr.has_body m && not (is_added m.Instr.m_qname)
+                      then
+                        Array.iter
+                          (fun blk ->
+                            blk.Instr.b_instrs <-
+                              List.map
+                                (fun i ->
+                                  { i with Instr.i_loc = shift i.Instr.i_loc })
+                                blk.Instr.b_instrs;
+                            blk.Instr.b_term <-
+                              { blk.Instr.b_term with
+                                Instr.t_loc = shift blk.Instr.b_term.Instr.t_loc
+                              })
+                          (Instr.blocks_exn m))
+                end)
+              md.Slice_front.Delta.dm_line_maps;
+            let n_changed = List.length added_mqs in
+            if neutral && Sdg.is_frozen a.sdg then begin
+              (* Nothing in the solved analysis refers to the edit: the
+                 points-to result, SDG rows and node set are all still
+                 exact.  [Sdg.patch] with no changed methods rebuilds
+                 the statement table (so the shifted locations serve
+                 line queries) and bumps the graph generation. *)
+              let ps =
+                Sdg.patch a.sdg ~changed:[] ~site_remap:(fun _ -> None)
+              in
+              Slice_obs.bump c_update_patched;
+              Slice_obs.add_span_arg "path" "patched";
+              let stats' =
+                { h.h_stats with
+                  sdg_statements = Sdg.num_scalar_statements a.sdg;
+                  sdg_nodes = Sdg.num_live_nodes a.sdg;
+                  obs = edge_census_snapshot a.sdg }
+              in
+              ( { h with h_sources = new_sources; h_stats = stats' },
+                { up_path = Patched;
+                  up_relowered = n_changed;
+                  up_segments_refrozen = ps.Sdg.ps_segments_refrozen;
+                  up_segments_total = ps.Sdg.ps_segments_total;
+                  up_nodes_dead = ps.Sdg.ps_nodes_dead;
+                  up_nodes_new = ps.Sdg.ps_nodes_new } )
+            end
+            else
+              resolve_or_fresh a p
+                ~retracted:(removed_mqs @ suspects)
+                ~added:added_mqs ~n_changed
+          end
+        with e ->
           Slice_obs.add_span_arg "fallback" (Printexc.to_string e);
           rebuilt ()))
 

@@ -314,14 +314,32 @@ val load :
     - [Patched]: only method bodies changed AND their constraint
       summaries are unchanged — bodies re-lowered in place, points-to
       re-keyed ({!Andersen.rekey_sites}), frozen SDG patched
-      ({!Sdg.patch});
-    - [Resolved]: bodies changed but some constraint summary moved —
-      fresh points-to solve and SDG over the mutated program (the
-      frontend work for unchanged methods is still skipped);
+      ({!Sdg.patch}).  Dispatch-neutral method adds/removes (an
+      unreachable method removed, or a method added under a name no
+      old method bears) also land here: the solved analysis is still
+      exact and only the statement table is rebuilt;
+    - [Resolved_incremental]: some constraint summary moved, but the
+      solved points-to result was repaired in place by
+      delete-and-rederive over the affected cone
+      ({!Andersen.resolve_delta}); arena and SDG rebuilt over the
+      patched solution — frontend and the unaffected bulk of the
+      solve are both skipped;
+    - [Resolved_fresh]: summary moved and the incremental re-solve was
+      unavailable (reference solver) or declined (affected cone too
+      large): fresh points-to solve and SDG over the mutated program
+      (the frontend work for unchanged methods is still skipped);
     - [Rebuilt]: structural edit, or fallback after any mid-incremental
       failure — full {!load} from the new sources under the handle's
-      stored options. *)
-type update_path = Noop | Patched | Resolved | Rebuilt
+      stored options.
+
+    The ladder is monotone in correctness: every tier's handle answers
+    queries identically to a fresh load of the new sources. *)
+type update_path =
+  | Noop
+  | Patched
+  | Resolved_incremental
+  | Resolved_fresh
+  | Rebuilt
 
 val update_path_to_string : update_path -> string
 
@@ -335,13 +353,17 @@ type update_report = {
   up_nodes_new : int;
 }
 
-(** Apply an edit.  On the [Patched] path the returned handle SHARES its
-    analysis with the input handle (the graph was mutated in place);
-    on the other paths the input handle is unchanged and still usable.
-    Queries answered through either handle agree with a fresh load of
+(** Apply an edit.  On the [Patched] and [Resolved_incremental] paths
+    the returned handle SHARES state with the input handle (graph,
+    points-to result and program are mutated in place), and on
+    [Resolved_fresh] the shared program is mutated — after any
+    non-[Noop], non-[Rebuilt] update, query only the RETURNED handle.
+    Queries answered through it agree with a fresh load of
     [new_sources] — the property the fuzz oracle's edit battery
-    enforces.  Recorded under the ["engine.update"] span with a ["path"]
-    arg and per-path ["engine.update.<path>"] counters. *)
+    enforces per tier.  Recorded under the ["engine.update"] span with
+    a ["path"] arg and per-path ["engine.update.<path>"] counters
+    (["resolved_incremental"] / ["resolved_fresh"] for the two
+    resolved tiers). *)
 val update : handle -> (string * string) list -> handle * update_report
 
 (** One heap read/write pair of an expand query: the pair is connected

@@ -95,7 +95,26 @@ type step =
 
 type cls = { c_name : string; c_family : int; c_parent : string option }
 
-type model = { classes : cls array; steps : step option array }
+(* Per-class rendering flags, all false at generation time so a fresh
+   model renders byte-identically to what it rendered before the flags
+   existed.  Edits toggle them to exercise the engine's update tiers:
+   - [alt_get]: swap class [i]'s [get()] body for a one-line variant
+     that allocates and calls [bump] — a summary-MOVING body edit (the
+     line structure is unchanged, so the delta stays [Bodies] and the
+     incremental solver must retract/re-derive, not just patch);
+   - [aux]: append an uncalled, globally uniquely named method
+     [aux<i>()] to class [i] — a dispatch-neutral whole-method
+     addition/removal (the [Methods] tier's Patched path);
+   - [ovr]: append a [bump] override to SUBclass [i] — a
+     dispatch-MOVING whole-method addition/removal (the [Methods]
+     tier's resolve path: every old [bump] is a suspect). *)
+type model = {
+  classes : cls array;
+  steps : step option array;
+  alt_get : bool array;  (* per class: summary-moving get() variant *)
+  aux : bool array;      (* per class: extra uncalled aux<i>() method *)
+  ovr : bool array;      (* per SUBclass: bump() override *)
+}
 
 let step_count (m : model) : int =
   Array.fold_left (fun a s -> if s = None then a else a + 1) 0 m.steps
@@ -321,7 +340,12 @@ let gen ~(seed : int) ~(max_size : int) : model =
      | Some TArr -> arrs := k :: !arrs
      | None -> ())
   done;
-  { classes; steps }
+  let n_cls = Array.length classes in
+  { classes;
+    steps;
+    alt_get = Array.make n_cls false;
+    aux = Array.make n_cls false;
+    ovr = Array.make n_cls false }
 
 (* ------------------------------------------------------------------ *)
 (* Rendering                                                           *)
@@ -635,6 +659,18 @@ let render (m : model) : rendered =
     (fun i c ->
       if used.(i) then begin
         let nm = c.c_name in
+        (* Flag-dependent extra members keep to ONE line each, inserted
+           just before the class's closing brace: a whole-method
+           insertion/removal whose net lines sit entirely inside the
+           new/old method's own span, which is exactly what the
+           [Slice_front.Delta] Methods tier admits. *)
+        let aux_lines =
+          if m.aux.(i) then
+            [ Printf.sprintf
+                "  int aux%d() { %s a = new %s(); a.setLink(a); return a.fi; }"
+                i nm nm ]
+          else []
+        in
         match c.c_parent with
         | None ->
           class_lines :=
@@ -647,11 +683,16 @@ let render (m : model) : rendered =
                   "  %s() { this.fi = %d; this.fs = \"t%d\"; this.link = this; }"
                   nm (i + 1) i;
                 Printf.sprintf "  String tag() { return \"%s\"; }" nm;
-                "  int get() { return this.fi; }";
+                (if m.alt_get.(i) then
+                   Printf.sprintf
+                     "  int get() { %s h = new %s(); h.bump(this.fi); return h.fi; }"
+                     nm nm
+                 else "  int get() { return this.fi; }");
                 "  void bump(int n) { this.fi = this.fi + n; }";
                 Printf.sprintf "  void setLink(%s o) { this.link = o; }" nm;
-                Printf.sprintf "  %s getLink() { return this.link; }" nm;
-                "}" ]
+                Printf.sprintf "  %s getLink() { return this.link; }" nm ]
+            @ aux_lines
+            @ [ "}" ]
         | Some p ->
           class_lines :=
             !class_lines
@@ -660,8 +701,18 @@ let render (m : model) : rendered =
                   "  %s() { super(); this.fi = %d; this.fs = \"t%d\"; }" nm
                   (i + 2) i;
                 Printf.sprintf "  String tag() { return \"%s\"; }" nm;
-                Printf.sprintf "  int get() { return this.fi * %d; }" (i + 2);
-                "}" ]
+                (if m.alt_get.(i) then
+                   Printf.sprintf
+                     "  int get() { %s h = new %s(); h.bump(this.fi * %d); return h.fi; }"
+                     nm nm (i + 2)
+                 else Printf.sprintf "  int get() { return this.fi * %d; }" (i + 2)) ]
+            @ (if m.ovr.(i) then
+                 [ Printf.sprintf
+                     "  void bump(int n) { %s o = new %s(); o.fi = n; this.link = o; }"
+                     nm nm ]
+               else [])
+            @ aux_lines
+            @ [ "}" ]
       end)
     m.classes;
   (* Prelude subset: only containers the body mentions. *)
@@ -921,28 +972,64 @@ let generate_scaled ~(seed : int) ~(stmts : int) : scaled =
 
 (* One random edit to a model, for fuzzing [Engine.update] against
    from-scratch loads.  The kinds map onto the incremental tiers they
-   tend to exercise:
+   tend to exercise (noop / patched / resolved-incremental /
+   resolved-fresh / rebuilt):
    - [Tweak]: change one literal/operator in place — line structure is
      preserved, so the delta classifies as a body edit, and pointer-free
      tweaks keep constraint summaries (the Patched path);
    - [Replace]: swap a step for a fresh one of the same result type — a
-     body edit whose summary may move (Resolved), or a structural edit
-     when the rendered line count shifts (Rebuilt);
+     body edit whose summary may move.  The changed method is [main],
+     whose retraction cone is most of the derivation, so the delta
+     solver usually refuses and re-solves (Resolved-fresh); when the
+     rendered line count shifts the delta is structural (Rebuilt);
    - [Delete] / [Insert]: remove or re-add a whole step — main's line
-     structure changes, the full Rebuilt fallback.
+     structure changes, the full Rebuilt fallback;
+   - [Swap_body]: toggle a class's summary-moving [get()] body variant
+     (see [model.alt_get]) — a small-cone body edit, the
+     Resolved-incremental sweet spot;
+   - [Add_aux] / [Remove_aux]: toggle an uncalled, uniquely named
+     [aux<i>()] method on a class — dispatch-neutral whole-method
+     edits, the Methods tier's Patched path;
+   - [Add_override] / [Remove_override]: toggle a [bump] override on a
+     subclass — dispatch-moving whole-method edits, the Methods tier's
+     resolve path (Resolved-incremental or -fresh by cone size).
    Edited models stay well-formed by construction: replacements keep
    the result type, deletions fall back to typed defaults at render
-   time, and fresh operands only name EARLIER live steps (the [v{j}]
-   declaration-order invariant). *)
-type edit_kind = Tweak | Replace | Delete | Insert
+   time, fresh operands only name EARLIER live steps (the [v{j}]
+   declaration-order invariant), and flag edits only target classes the
+   current rendering actually emits (flags on unrendered classes would
+   be source-invisible noops). *)
+type edit_kind =
+  | Tweak
+  | Replace
+  | Delete
+  | Insert
+  | Swap_body
+  | Add_aux
+  | Remove_aux
+  | Add_override
+  | Remove_override
 
 let edit_kind_to_string = function
   | Tweak -> "tweak"
   | Replace -> "replace"
   | Delete -> "delete"
   | Insert -> "insert"
+  | Swap_body -> "swap-body"
+  | Add_aux -> "add-aux"
+  | Remove_aux -> "remove-aux"
+  | Add_override -> "add-override"
+  | Remove_override -> "remove-override"
 
-let edit ~(rng : Fuzz_rng.t) (m : model) : model * edit_kind =
+let all_edit_kinds =
+  [ Tweak; Replace; Delete; Insert; Swap_body; Add_aux; Remove_aux;
+    Add_override; Remove_override ]
+
+let edit_kind_of_string (s : string) : edit_kind option =
+  List.find_opt (fun k -> edit_kind_to_string k = s) all_edit_kinds
+
+let edit ?(kinds : edit_kind list option) ~(rng : Fuzz_rng.t) (m : model) :
+    model * edit_kind =
   let n = Array.length m.steps in
   let idxs = List.init n Fun.id in
   let live = List.filter (fun k -> m.steps.(k) <> None) idxs in
@@ -993,11 +1080,42 @@ let edit ~(rng : Fuzz_rng.t) (m : model) : model * edit_kind =
         | _ -> false)
       live
   in
+  (* Flag-edit candidates: only classes the current rendering emits. *)
+  let rsrc = (render m).src in
+  let rendered_classes =
+    List.filter
+      (fun i -> contains ~sub:("class " ^ m.classes.(i).c_name ^ " ") rsrc)
+      (List.init (Array.length m.classes) Fun.id)
+  in
+  let subclasses =
+    List.filter (fun i -> m.classes.(i).c_parent <> None) rendered_classes
+  in
+  let aux_off = List.filter (fun i -> not m.aux.(i)) rendered_classes in
+  let aux_on = List.filter (fun i -> m.aux.(i)) rendered_classes in
+  let ovr_off = List.filter (fun i -> not m.ovr.(i)) subclasses in
+  let ovr_on = List.filter (fun i -> m.ovr.(i)) subclasses in
+  let with_flag sel i v =
+    let alt_get = Array.copy m.alt_get
+    and aux = Array.copy m.aux
+    and ovr = Array.copy m.ovr in
+    (match sel with
+    | `Get -> alt_get.(i) <- v
+    | `Aux -> aux.(i) <- v
+    | `Ovr -> ovr.(i) <- v);
+    { m with alt_get; aux; ovr }
+  in
+  let allowed k = match kinds with None -> true | Some ks -> List.mem k ks in
   let choices =
     (if tweakable <> [] then [ (4, Tweak) ] else [])
     @ (if live <> [] then [ (3, Replace); (2, Delete) ] else [])
-    @ if holes <> [] then [ (2, Insert) ] else []
+    @ (if holes <> [] then [ (2, Insert) ] else [])
+    @ (if rendered_classes <> [] then [ (3, Swap_body) ] else [])
+    @ (if aux_off <> [] then [ (2, Add_aux) ] else [])
+    @ (if aux_on <> [] then [ (2, Remove_aux) ] else [])
+    @ (if ovr_off <> [] then [ (2, Add_override) ] else [])
+    @ if ovr_on <> [] then [ (2, Remove_override) ] else []
   in
+  let choices = List.filter (fun (_, k) -> allowed k) choices in
   if choices = [] then (m, Tweak)
   else
     match Fuzz_rng.weighted rng choices with
@@ -1046,6 +1164,21 @@ let edit ~(rng : Fuzz_rng.t) (m : model) : model * edit_kind =
         | _ -> fresh_effect k
       in
       (with_step k (Some s'), Insert)
+    | Swap_body ->
+      let i = Fuzz_rng.pick rng rendered_classes in
+      (with_flag `Get i (not m.alt_get.(i)), Swap_body)
+    | Add_aux ->
+      let i = Fuzz_rng.pick rng aux_off in
+      (with_flag `Aux i true, Add_aux)
+    | Remove_aux ->
+      let i = Fuzz_rng.pick rng aux_on in
+      (with_flag `Aux i false, Remove_aux)
+    | Add_override ->
+      let i = Fuzz_rng.pick rng ovr_off in
+      (with_flag `Ovr i true, Add_override)
+    | Remove_override ->
+      let i = Fuzz_rng.pick rng ovr_on in
+      (with_flag `Ovr i false, Remove_override)
 
 (* ------------------------------------------------------------------ *)
 (* Shrinking                                                           *)

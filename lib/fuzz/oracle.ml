@@ -372,10 +372,25 @@ let report_modes =
    and call-graph dumps, layered report JSON in the budget-free modes,
    and the headline stats.  A byte-identical source must take the Noop
    path.  The chain carries the UPDATED handle forward, so patched
-   graphs are themselves patched again — the accumulation case. *)
-let edit_battery ~(rng : Fuzz_rng.t) ~(model : Gen_tj.model)
-    ~(edits : int) () : violation list =
+   graphs are themselves patched again — the accumulation case.  After
+   the chain, one explicit same-source update must take (and record)
+   the Noop path, so every chain contributes noop-tier coverage.
+
+   Besides the violations, returns the update-path tier names the chain
+   exercised ("noop", "patched", "resolved-incremental",
+   "resolved-fresh", "rebuilt") — the fuzz driver aggregates them
+   across programs and fails a run that never reached some tier.
+   [kinds] restricts the edit generator to the given kinds (the CLI's
+   --edit-kinds). *)
+let edit_battery ?(kinds : Gen_tj.edit_kind list option)
+    ~(rng : Fuzz_rng.t) ~(model : Gen_tj.model) ~(edits : int) () :
+    violation list * string list =
   let out = ref [] in
+  let tiers = ref [] in
+  let seen_tier (p : Engine.update_path) =
+    let s = Engine.update_path_to_string p in
+    if not (List.mem s !tiers) then tiers := s :: !tiers
+  in
   let viol oracle detail = out := { oracle; detail } :: !out in
   let load_h src =
     try Some (Engine.load [ (file, src) ])
@@ -390,11 +405,12 @@ let edit_battery ~(rng : Fuzz_rng.t) ~(model : Gen_tj.model)
     let h = ref h0 and cur = ref model and prev_src = ref r0.Gen_tj.src in
     (try
        for i = 1 to edits do
-         let m', kind = Gen_tj.edit ~rng !cur in
+         let m', kind = Gen_tj.edit ?kinds ~rng !cur in
          cur := m';
          let r = Gen_tj.render m' in
          let src = r.Gen_tj.src in
          let h', rep = Engine.update !h [ (file, src) ] in
+         seen_tier rep.Engine.up_path;
          let ctx =
            Printf.sprintf "edit %d (%s, path=%s)" i
              (Gen_tj.edit_kind_to_string kind)
@@ -463,6 +479,16 @@ let edit_battery ~(rng : Fuzz_rng.t) ~(model : Gen_tj.model)
            then viol "edit_stats_parity" (ctx ^ ": live SDG node counts differ"));
          prev_src := src;
          h := h'
-       done
+       done;
+       (* Explicit same-source update: must be a Noop, whatever tier the
+          carried handle last went through. *)
+       let h', rep = Engine.update !h [ (file, !prev_src) ] in
+       seen_tier rep.Engine.up_path;
+       if rep.Engine.up_path <> Engine.Noop then
+         viol "edit_noop_path"
+           (Printf.sprintf
+              "same-source update after the chain took path=%s, not noop"
+              (Engine.update_path_to_string rep.Engine.up_path));
+       h := h'
      with Exit -> ()));
-  List.rev !out
+  (List.rev !out, List.rev !tiers)

@@ -23,6 +23,12 @@ type t = {
   detail : string;
   statements : int;    (* rendered statement count of the (shrunk) program *)
   seed_lines : int list;
+  edit_kinds : string list;
+      (* edit kinds the originating run allowed ([Gen_tj.edit_kind]
+         names); [] when the run had edits disabled.  Recorded so the
+         exact fuzz invocation is reconstructible from the repro alone;
+         absent from pre-edit-kinds repro files and omitted when empty,
+         keeping the v1 schema backward and forward compatible. *)
   program : string;    (* full TJ source, self-contained *)
 }
 
@@ -30,7 +36,7 @@ let schema = "thinslice.fuzz-repro/v1"
 
 let to_json (r : t) : Json.t =
   Json.Obj
-    [ ("schema", Json.Str schema);
+    ([ ("schema", Json.Str schema);
       ("seed", Json.Int r.seed);
       ("index", Json.Int r.index);
       ("derived_seed", Json.Int r.derived_seed);
@@ -38,8 +44,12 @@ let to_json (r : t) : Json.t =
       ("oracle", Json.Str r.oracle);
       ("detail", Json.Str r.detail);
       ("statements", Json.Int r.statements);
-      ("seed_lines", Json.List (List.map (fun l -> Json.Int l) r.seed_lines));
-      ("program", Json.Str r.program) ]
+       ("seed_lines", Json.List (List.map (fun l -> Json.Int l) r.seed_lines))
+     ]
+    @ (match r.edit_kinds with
+      | [] -> []
+      | ks -> [ ("edit_kinds", Json.List (List.map (fun k -> Json.Str k) ks)) ])
+    @ [ ("program", Json.Str r.program) ])
 
 let of_json (j : Json.t) : (t, string) result =
   let str k =
@@ -79,10 +89,25 @@ let of_json (j : Json.t) : (t, string) result =
         go [] xs
       | _ -> Error "repro: missing seed_lines"
     in
+    let* edit_kinds =
+      match Json.member "edit_kinds" j with
+      | None -> Ok []  (* pre-edit-kinds repro: field absent *)
+      | Some (Json.List xs) ->
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | Json.Str s :: rest -> (
+            match Gen_tj.edit_kind_of_string s with
+            | Some _ -> go (s :: acc) rest
+            | None -> Error (Printf.sprintf "repro: unknown edit kind %S" s))
+          | _ -> Error "repro: edit_kinds must be strings"
+        in
+        go [] xs
+      | Some _ -> Error "repro: edit_kinds must be a list"
+    in
     let* program = str "program" in
     Ok
       { seed; index; derived_seed; fault; oracle; detail; statements;
-        seed_lines; program }
+        seed_lines; edit_kinds; program }
 
 let filename (r : t) : string =
   Printf.sprintf "repro-seed%d-i%d-%s.json" r.seed r.index r.oracle

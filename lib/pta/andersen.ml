@@ -66,6 +66,21 @@ type dispatch = {
 
 type mctx_info = { mi_mq : Instr.method_qname; mi_ctx : Context.ctx }
 
+(* One structural constraint a method context contributed, recorded as
+   constraint generation runs so [resolve_delta] can replay a surviving
+   method's constraints without re-walking its body.  Node and object
+   ids are the interned (pre-[find]) ids, which are stable across cycle
+   collapses.  Only the two structural entry points log
+   ([make_reachable] and [process_call]); solve-derived work — dispatch
+   wiring, load/store-materialised field edges — is re-derived from
+   these during replay and must never be recorded. *)
+type pv_op =
+  | Pseed of int * int                     (* node, object *)
+  | Pedge of int * int * Types.ty option   (* src, dst, cast filter *)
+  | Pload of int * string * int            (* base, field, dst *)
+  | Pstore of int * string * int           (* base, field, src *)
+  | Pcall of dispatch                      (* any call site, incl. static *)
+
 (* ------------------------------------------------------------------ *)
 (* Canonical keys for cross-solver parity                              *)
 (* ------------------------------------------------------------------ *)
@@ -658,6 +673,12 @@ type t = {
   mutable stores : (string * int) list array;
   mutable dispatches : dispatch list array;
   mutable deg : int array;              (* incremental constraint degree *)
+  (* per-method-context constraint provenance (reverse insertion order),
+     the replay log of [resolve_delta].  [pv_on] is false for
+     [of_reference] lifts, which have no generation pass to log. *)
+  mutable pv : pv_op list array;
+  pv_on : bool;
+  mutable obj_mc : int array;           (* allocating mctx per object; -1 none *)
   (* call graph *)
   call_edges : (int * Instr.stmt_id, ccell) Hashtbl.t;
   intr_intern : (Instr.method_qname, int) Hashtbl.t;
@@ -738,7 +759,10 @@ let intern_mctx (t : t) (mq : Instr.method_qname) (c : Context.ctx) : int =
       t.mctxs <- bigger;
       let bigger_p = Array.make (2 * id) false in
       Array.blit t.processed 0 bigger_p 0 id;
-      t.processed <- bigger_p
+      t.processed <- bigger_p;
+      let bigger_pv = Array.make (2 * id) [] in
+      Array.blit t.pv 0 bigger_pv 0 id;
+      t.pv <- bigger_pv
     end;
     t.mctxs.(id) <- { mi_mq = mq; mi_ctx = c };
     t.num_mctxs <- id + 1;
@@ -1014,7 +1038,20 @@ let heap_ctx (t : t) (mc : int) : Context.ctx = t.mctxs.(mc).mi_ctx
 
 let alloc (t : t) (mc : int) ~(site : Instr.stmt_id)
     ~(cls : Context.alloc_class) : int =
-  Context.intern_obj t.ctxs ~site ~cls ~ctx:(heap_ctx t mc)
+  let o = Context.intern_obj t.ctxs ~site ~cls ~ctx:(heap_ctx t mc) in
+  (* Ownership: (site, ctx) pin an object to exactly one method context,
+     so first-writer-wins is exact.  [resolve_delta] sweeps objects whose
+     owner was retracted — their allocation sites no longer exist. *)
+  if t.pv_on then begin
+    if o >= Array.length t.obj_mc then begin
+      let cap = max 64 (Array.length t.obj_mc) in
+      let bigger = Array.make (max (2 * cap) (o + 1)) (-1) in
+      Array.blit t.obj_mc 0 bigger 0 (Array.length t.obj_mc);
+      t.obj_mc <- bigger
+    end;
+    if t.obj_mc.(o) < 0 then t.obj_mc.(o) <- mc
+  end;
+  o
 
 let is_container_class (t : t) (c : Types.class_name) : bool =
   List.exists
@@ -1073,65 +1110,94 @@ let record_intrinsic_edge (t : t) ~(caller : int) ~(stmt : Instr.stmt_id)
   if Bits.add cell.is_seen (intr_id t callee) then
     cell.is_list <- callee :: cell.is_list
 
+(* Append to a method context's provenance log.  Only the structural
+   entry points below call this; derived constraint work (dispatch
+   wiring, load/store-materialised edges) is intentionally unlogged. *)
+let pv_log (t : t) (mc : int) (op : pv_op) : unit =
+  if t.pv_on then t.pv.(mc) <- op :: t.pv.(mc)
+
 let rec make_reachable (t : t) (mc : int) : unit =
   if not t.processed.(mc) then begin
     t.processed.(mc) <- true;
-    let info = t.mctxs.(mc) in
-    let m = Program.find_method_exn t.p info.mi_mq in
-    match m.Instr.m_body with
-    | Instr.Intrinsic _ | Instr.Abstract -> ()
-    | Instr.Body _ ->
-      let var v = intern_node t (Nvar (mc, v)) in
-      Instr.iter_instrs m (fun _ i ->
-          let site = i.Instr.i_id in
-          match i.Instr.i_kind with
-          | Instr.Const (x, Types.Cstr _) when is_ref_var m x ->
-            add_obj t (var x) (alloc t mc ~site ~cls:Context.Astring)
-          | Instr.Const _ -> ()
-          (* Concat results are fresh strings; see the matching case in the
-             reference solver above for why omitting this is a soundness
-             hole. *)
-          | Instr.Binop (x, Types.Concat, _, _) when is_ref_var m x ->
-            add_obj t (var x) (alloc t mc ~site ~cls:Context.Astring)
-          | Instr.New (x, c) ->
-            add_obj t (var x) (alloc t mc ~site ~cls:(Context.Aclass c))
-          | Instr.New_array (x, elem, _) ->
-            add_obj t (var x) (alloc t mc ~site ~cls:(Context.Aarray elem))
-          | Instr.Move (x, y) when is_ref_var m x && is_ref_var m y ->
-            add_edge t (var y) (var x)
-          | Instr.Move _ -> ()
-          | Instr.Cast (x, ty, y) when is_ref_var m x && is_ref_var m y ->
-            add_edge t ~filter:ty (var y) (var x)
-          | Instr.Cast _ -> ()
-          | Instr.Phi (x, ins) when is_ref_var m x ->
-            List.iter (fun (_, y) -> add_edge t (var y) (var x)) ins
-          | Instr.Phi _ -> ()
-          | Instr.Load (x, y, f) when is_ref_var m x ->
-            add_load t ~base:(var y) ~field:f ~dst:(var x)
-          | Instr.Load _ -> ()
-          | Instr.Store (x, f, y) when is_ref_var m y ->
-            add_store t ~base:(var x) ~field:f ~src:(var y)
-          | Instr.Store _ -> ()
-          | Instr.Array_load (x, y, _) when is_ref_var m x ->
-            add_load t ~base:(var y) ~field:elem_field ~dst:(var x)
-          | Instr.Array_load _ -> ()
-          | Instr.Array_store (a, _, x) when is_ref_var m x ->
-            add_store t ~base:(var a) ~field:elem_field ~src:(var x)
-          | Instr.Array_store _ -> ()
-          | Instr.Static_load (x, c, f) when is_ref_var m x ->
-            add_edge t (intern_node t (Nstatic (c, f))) (var x)
-          | Instr.Static_load _ -> ()
-          | Instr.Static_store (c, f, y) when is_ref_var m y ->
-            add_edge t (var y) (intern_node t (Nstatic (c, f)))
-          | Instr.Static_store _ -> ()
-          | Instr.Call { lhs; kind; args } -> process_call t mc i lhs kind args
-          | Instr.Binop _ | Instr.Unop _ | Instr.Instance_of _
-          | Instr.Array_length _ | Instr.Nop -> ());
-      Instr.iter_terms m (fun _ term ->
-          match term.Instr.t_kind with
-          | Instr.Return (Some v) when is_ref_var m v ->
-            add_edge t (var v) (intern_node t (Nret mc))
-          | Instr.Return _ | Instr.Goto _ | Instr.If _ | Instr.Throw _ -> ())
+    match t.pv.(mc) with
+    | (_ :: _) as ops when t.pv_on ->
+      (* A [resolve_delta] re-reach of a method whose body is unchanged:
+         replay the recorded constraints instead of re-walking the body
+         (and re-interning what is already interned). *)
+      List.iter (replay_op t mc) (List.rev ops)
+    | _ -> (
+      let info = t.mctxs.(mc) in
+      let m = Program.find_method_exn t.p info.mi_mq in
+      match m.Instr.m_body with
+      | Instr.Intrinsic _ | Instr.Abstract -> ()
+      | Instr.Body _ ->
+        let var v = intern_node t (Nvar (mc, v)) in
+        let seed n o =
+          pv_log t mc (Pseed (n, o));
+          add_obj t n o
+        in
+        let edge ?filter src dst =
+          pv_log t mc (Pedge (src, dst, filter));
+          add_edge t ?filter src dst
+        in
+        let load ~base ~field ~dst =
+          pv_log t mc (Pload (base, field, dst));
+          add_load t ~base ~field ~dst
+        in
+        let store ~base ~field ~src =
+          pv_log t mc (Pstore (base, field, src));
+          add_store t ~base ~field ~src
+        in
+        Instr.iter_instrs m (fun _ i ->
+            let site = i.Instr.i_id in
+            match i.Instr.i_kind with
+            | Instr.Const (x, Types.Cstr _) when is_ref_var m x ->
+              seed (var x) (alloc t mc ~site ~cls:Context.Astring)
+            | Instr.Const _ -> ()
+            (* Concat results are fresh strings; see the matching case in the
+               reference solver above for why omitting this is a soundness
+               hole. *)
+            | Instr.Binop (x, Types.Concat, _, _) when is_ref_var m x ->
+              seed (var x) (alloc t mc ~site ~cls:Context.Astring)
+            | Instr.New (x, c) ->
+              seed (var x) (alloc t mc ~site ~cls:(Context.Aclass c))
+            | Instr.New_array (x, elem, _) ->
+              seed (var x) (alloc t mc ~site ~cls:(Context.Aarray elem))
+            | Instr.Move (x, y) when is_ref_var m x && is_ref_var m y ->
+              edge (var y) (var x)
+            | Instr.Move _ -> ()
+            | Instr.Cast (x, ty, y) when is_ref_var m x && is_ref_var m y ->
+              edge ~filter:ty (var y) (var x)
+            | Instr.Cast _ -> ()
+            | Instr.Phi (x, ins) when is_ref_var m x ->
+              List.iter (fun (_, y) -> edge (var y) (var x)) ins
+            | Instr.Phi _ -> ()
+            | Instr.Load (x, y, f) when is_ref_var m x ->
+              load ~base:(var y) ~field:f ~dst:(var x)
+            | Instr.Load _ -> ()
+            | Instr.Store (x, f, y) when is_ref_var m y ->
+              store ~base:(var x) ~field:f ~src:(var y)
+            | Instr.Store _ -> ()
+            | Instr.Array_load (x, y, _) when is_ref_var m x ->
+              load ~base:(var y) ~field:elem_field ~dst:(var x)
+            | Instr.Array_load _ -> ()
+            | Instr.Array_store (a, _, x) when is_ref_var m x ->
+              store ~base:(var a) ~field:elem_field ~src:(var x)
+            | Instr.Array_store _ -> ()
+            | Instr.Static_load (x, c, f) when is_ref_var m x ->
+              edge (intern_node t (Nstatic (c, f))) (var x)
+            | Instr.Static_load _ -> ()
+            | Instr.Static_store (c, f, y) when is_ref_var m y ->
+              edge (var y) (intern_node t (Nstatic (c, f)))
+            | Instr.Static_store _ -> ()
+            | Instr.Call { lhs; kind; args } -> process_call t mc i lhs kind args
+            | Instr.Binop _ | Instr.Unop _ | Instr.Instance_of _
+            | Instr.Array_length _ | Instr.Nop -> ());
+        Instr.iter_terms m (fun _ term ->
+            match term.Instr.t_kind with
+            | Instr.Return (Some v) when is_ref_var m v ->
+              edge (var v) (intern_node t (Nret mc))
+            | Instr.Return _ | Instr.Goto _ | Instr.If _ | Instr.Throw _ -> ()))
   end
 
 and process_call (t : t) (mc : int) (i : Instr.instr) (lhs : Instr.var option)
@@ -1140,6 +1206,10 @@ and process_call (t : t) (mc : int) (i : Instr.instr) (lhs : Instr.var option)
   let m = Program.find_method_exn t.p info.mi_mq in
   match kind with
   | Instr.Static mq ->
+    pv_log t mc
+      (Pcall
+         { d_caller = mc; d_stmt = i.Instr.i_id; d_kind = kind; d_args = args;
+           d_lhs = lhs });
     let callee = Program.find_method_exn t.p mq in
     wire_call t ~caller:mc ~stmt:i.Instr.i_id ~caller_meth:m ~callee
       ~callee_ctx:Context.Cnone ~recv_obj:None ~lhs ~args
@@ -1151,11 +1221,41 @@ and process_call (t : t) (mc : int) (i : Instr.instr) (lhs : Instr.var option)
         { d_caller = mc; d_stmt = i.Instr.i_id; d_kind = kind; d_args = args;
           d_lhs = lhs }
       in
-      let rnode = find t (intern_node t (Nvar (mc, recv))) in
-      t.dispatches.(rnode) <- d :: t.dispatches.(rnode);
-      t.deg.(rnode) <- t.deg.(rnode) + 1;
-      Bits.iter (fun o -> process_dispatch t d o) t.pts.(rnode)
+      pv_log t mc (Pcall d);
+      register_dispatch t mc d
     | _ -> ())
+
+(* Attach a dispatch record to the receiver's representative and resolve
+   it against whatever the receiver already points to.  Shared between
+   first-time constraint generation and [resolve_delta] replay so both
+   resolve dispatch against the CURRENT program. *)
+and register_dispatch (t : t) (mc : int) (d : dispatch) : unit =
+  match d.d_args with
+  | recv :: _ ->
+    let rnode = find t (intern_node t (Nvar (mc, recv))) in
+    t.dispatches.(rnode) <- d :: t.dispatches.(rnode);
+    t.deg.(rnode) <- t.deg.(rnode) + 1;
+    Bits.iter (fun o -> process_dispatch t d o) t.pts.(rnode)
+  | [] -> ()
+
+(* Replay one logged constraint.  Call sites re-run full resolution
+   ([wire_call] / dispatch registration) so the call graph is re-derived
+   from the current program and current points-to state — the log never
+   stores dispatch OUTCOMES, only the dispatch obligations. *)
+and replay_op (t : t) (mc : int) (op : pv_op) : unit =
+  match op with
+  | Pseed (n, o) -> add_obj t n o
+  | Pedge (src, dst, filter) -> add_edge t ?filter src dst
+  | Pload (base, field, dst) -> add_load t ~base ~field ~dst
+  | Pstore (base, field, src) -> add_store t ~base ~field ~src
+  | Pcall d -> (
+    match d.d_kind with
+    | Instr.Static mq ->
+      let m = Program.find_method_exn t.p t.mctxs.(mc).mi_mq in
+      let callee = Program.find_method_exn t.p mq in
+      wire_call t ~caller:mc ~stmt:d.d_stmt ~caller_meth:m ~callee
+        ~callee_ctx:Context.Cnone ~recv_obj:None ~lhs:d.d_lhs ~args:d.d_args
+    | Instr.Virtual _ | Instr.Special _ -> register_dispatch t mc d)
 
 and process_dispatch (t : t) (d : dispatch) (recv_obj : int) : unit =
   let oi = Context.obj t.ctxs recv_obj in
@@ -1289,6 +1389,9 @@ let analyze_uninstrumented ~opts (p : Program.t) : result =
       num_mctxs = 0;
       mctx_intern = Hashtbl.create 64;
       processed = Array.make 64 false;
+      pv = Array.make 64 [];
+      pv_on = true;
+      obj_mc = Array.make 64 (-1);
       node_descs = Array.make 256 (Nstatic ("", ""));
       num_nodes = 0;
       node_intern = Hashtbl.create 256;
@@ -1386,6 +1489,9 @@ let of_reference (r : Reference.result) : result =
          done;
          h);
       processed = Array.copy r.Reference.processed;
+      pv = Array.make (max 1 (Array.length r.Reference.mctxs)) [];
+      pv_on = false;
+      obj_mc = Array.make 1 (-1);
       node_descs = Array.copy r.Reference.node_descs;
       num_nodes = n;
       node_intern = Hashtbl.copy r.Reference.node_intern;
@@ -1608,6 +1714,263 @@ let call_graph_dump (t : result) : (string * string list) list =
     t.intrinsic_edges;
   List.sort compare !entries
 
+(* --- delta-native incremental re-solve ------------------------------- *)
+
+type delta_stats = {
+  ds_retracted_mctxs : int;
+  ds_cone_nodes : int;
+  ds_total_nodes : int;
+  ds_replayed_mctxs : int;
+}
+
+(* Fall back to a fresh solve once delete-and-rederive would redo more
+   than half the node universe (or half the reachable methods) anyway:
+   past that point the warm start saves nothing and the bookkeeping is
+   pure overhead. *)
+let cone_node_limit_den = 2
+let cone_mctx_limit_den = 2
+
+let resolve_delta (t : t) ~(retracted : Instr.method_qname list)
+    ~(added : Instr.method_qname list) :
+    (delta_stats, [ `Cone_too_big | `No_provenance ]) Stdlib.result =
+  (* [added] methods carry no old constraints to retract: their bodies
+     already live in [t.p] and contribute constraints the moment the
+     replayed call graph reaches them.  The list is accepted so callers
+     state the full delta; only [retracted] drives the retraction. *)
+  ignore (added : Instr.method_qname list);
+  if not t.pv_on then Error `No_provenance
+  else begin
+    (* ---- plan (no mutation): dead method contexts + affected cone ---
+       [dead] = every context whose old constraints must be dropped:
+       the retracted methods' contexts, plus — iteratively — any context
+       whose reachability can no longer be established without them.
+       [cone] = representatives whose points-to sets may depend on a
+       dead constraint, found by forward closure over the OLD rows:
+       copy successors (which include every solve-derived edge), load
+       targets, field nodes reachable through stores, and the wiring a
+       suspect dispatch produced. *)
+    let dead_mq = Hashtbl.create 8 in
+    List.iter (fun mq -> Hashtbl.replace dead_mq mq ()) retracted;
+    let dead = Bits.create ~capacity:(max 64 t.num_mctxs) () in
+    for mc = 0 to t.num_mctxs - 1 do
+      if t.processed.(mc) && Hashtbl.mem dead_mq t.mctxs.(mc).mi_mq then
+        ignore (Bits.add dead mc)
+    done;
+    let entry_mc =
+      Hashtbl.find_opt t.mctx_intern (Program.entry_method t.p, Context.Cnone)
+    in
+    let cone = Bits.create ~capacity:(max 256 t.num_nodes) () in
+    let compute_cone () =
+      Bits.clear cone;
+      let wl = ref [] in
+      let mark n =
+        let r = find t n in
+        if Bits.add cone r then wl := r :: !wl
+      in
+      let mark_intern desc =
+        match Hashtbl.find_opt t.node_intern desc with
+        | Some id -> mark id
+        | None -> ()
+      in
+      for i = 0 to t.num_nodes - 1 do
+        match t.node_descs.(i) with
+        | Nvar (mc, _) | Nret mc -> if Bits.mem dead mc then mark i
+        | Nfield (o, _) ->
+          (* an object whose allocating context died can never be
+             re-seeded (its site is gone); its field nodes die with it *)
+          let owner = if o < Array.length t.obj_mc then t.obj_mc.(o) else -1 in
+          if owner >= 0 && Bits.mem dead owner then mark i
+        | Nstatic _ -> ()
+      done;
+      while !wl <> [] do
+        match !wl with
+        | [] -> ()
+        | r :: rest ->
+          wl := rest;
+          List.iter (fun (dst, _) -> mark dst) t.succs.(r);
+          List.iter (fun (_, dst) -> mark dst) t.loads.(r);
+          List.iter
+            (fun (f, _) ->
+              Bits.iter (fun o -> mark_intern (Nfield (o, f))) t.pts.(r))
+            t.stores.(r);
+          List.iter
+            (fun d ->
+              (* a changed receiver can change dispatch outcomes: every
+                 node the old wiring fed is suspect *)
+              (match d.d_lhs with
+              | Some x -> mark_intern (Nvar (d.d_caller, x))
+              | None -> ());
+              match Hashtbl.find_opt t.call_edges (d.d_caller, d.d_stmt) with
+              | None -> ()
+              | Some cell ->
+                List.iter
+                  (fun cmc ->
+                    mark_intern (Nret cmc);
+                    match Program.find_method t.p t.mctxs.(cmc).mi_mq with
+                    | None -> ()
+                    | Some callee ->
+                      List.iter
+                        (fun prm -> mark_intern (Nvar (cmc, prm)))
+                        callee.Instr.m_params)
+                  cell.cs_list)
+            t.dispatches.(r)
+      done
+    in
+    (* Reachability over the OLD call graph, trusting only edges whose
+       caller survives and whose dispatch receiver (if any) is outside
+       the cone.  Under-approximate on purpose: anything uncertain is
+       treated as dead and re-derived by the replay if still wanted. *)
+    let reach = Bits.create ~capacity:(max 64 t.num_mctxs) () in
+    let compute_reach () =
+      Bits.clear reach;
+      let disp_recv = Hashtbl.create 64 in
+      for r = 0 to t.num_nodes - 1 do
+        List.iter
+          (fun d -> Hashtbl.replace disp_recv (d.d_caller, d.d_stmt) r)
+          t.dispatches.(r)
+      done;
+      let out = Hashtbl.create 64 in
+      Hashtbl.iter
+        (fun ((caller, _stmt) as key) cell ->
+          let suspect =
+            Bits.mem dead caller
+            ||
+            match Hashtbl.find_opt disp_recv key with
+            | Some r -> Bits.mem cone (find t r)
+            | None -> false
+          in
+          if not suspect then
+            Hashtbl.replace out caller
+              (cell.cs_list
+              @ Option.value (Hashtbl.find_opt out caller) ~default:[]))
+        t.call_edges;
+      let wl = ref [] in
+      let visit mc = if Bits.add reach mc then wl := mc :: !wl in
+      (match entry_mc with Some e -> visit e | None -> ());
+      while !wl <> [] do
+        match !wl with
+        | [] -> ()
+        | mc :: rest ->
+          wl := rest;
+          if not (Bits.mem dead mc) then
+            List.iter visit (Option.value (Hashtbl.find_opt out mc) ~default:[])
+      done
+    in
+    let stable = ref false in
+    while not !stable do
+      compute_cone ();
+      compute_reach ();
+      let newly = ref [] in
+      for mc = 0 to t.num_mctxs - 1 do
+        if
+          t.processed.(mc)
+          && (not (Bits.mem dead mc))
+          && not (Bits.mem reach mc)
+        then newly := mc :: !newly
+      done;
+      if !newly = [] then stable := true
+      else List.iter (fun mc -> ignore (Bits.add dead mc)) !newly
+    done;
+    let in_cone = Array.make (max 1 t.num_nodes) false in
+    let cone_nodes = ref 0 in
+    for n = 0 to t.num_nodes - 1 do
+      if Bits.mem cone (find t n) then begin
+        in_cone.(n) <- true;
+        incr cone_nodes
+      end
+    done;
+    let dead_count = Bits.cardinal dead in
+    let processed_count = ref 0 in
+    for mc = 0 to t.num_mctxs - 1 do
+      if t.processed.(mc) then incr processed_count
+    done;
+    if
+      !cone_nodes * cone_node_limit_den > t.num_nodes
+      || dead_count * cone_mctx_limit_den > !processed_count
+    then Error `Cone_too_big
+    else begin
+      (* ---- retract ------------------------------------------------- *)
+      let dead_objs = ref [] in
+      for o = 0 to Array.length t.obj_mc - 1 do
+        if t.obj_mc.(o) >= 0 && Bits.mem dead t.obj_mc.(o) then begin
+          dead_objs := o :: !dead_objs;
+          t.obj_mc.(o) <- -1
+        end
+      done;
+      for n = 0 to t.num_nodes - 1 do
+        if in_cone.(n) then begin
+          (* conservative split: the collapse may not survive retraction *)
+          t.parent.(n) <- n;
+          t.rank.(n) <- 0;
+          Bits.clear t.pts.(n);
+          Bits.clear t.delta.(n)
+        end
+        else if t.parent.(n) = n then
+          List.iter
+            (fun o ->
+              Bits.remove t.pts.(n) o;
+              Bits.remove t.delta.(n) o)
+            !dead_objs;
+        (* every row is re-derived by the replay *)
+        t.succs.(n) <- [];
+        t.loads.(n) <- [];
+        t.stores.(n) <- [];
+        t.dispatches.(n) <- [];
+        t.deg.(n) <- 0;
+        Bits.clear t.succ_seen.(n)
+      done;
+      Hashtbl.reset t.call_edges;
+      Hashtbl.reset t.intrinsic_edges;
+      Hashtbl.reset t.wired;
+      t.lcd_pending <- [];
+      Hashtbl.reset t.lcd_done;
+      t.lcd_fuel <- lcd_fuel_init;
+      t.head <- 0;
+      t.tail <- 0;
+      t.ring_len <- 0;
+      Bits.clear t.queued;
+      t.meth_index_stamp <- -1;
+      let replayable = ref 0 in
+      for mc = 0 to t.num_mctxs - 1 do
+        if Bits.mem dead mc then t.pv.(mc) <- [];
+        if t.processed.(mc) && (not (Bits.mem dead mc)) && t.pv.(mc) <> []
+        then incr replayable;
+        t.processed.(mc) <- false
+      done;
+      (* ---- re-derive: demand-driven replay from the entry ----------
+         Surviving contexts replay their logs; retracted-but-reachable
+         contexts re-walk their (new) bodies because their logs were
+         dropped above.  Mirrors [analyze_uninstrumented]'s entry
+         seeding so the synthetic argv objects stay identical. *)
+      let entry_mq = Program.entry_method t.p in
+      (match Program.find_method t.p entry_mq with
+      | None -> ()
+      | Some main ->
+        let emc = intern_mctx t entry_mq Context.Cnone in
+        make_reachable t emc;
+        (match main.Instr.m_params with
+        | [ pvar ] when is_ref_var main pvar ->
+          let arr =
+            Context.intern_obj t.ctxs ~site:(-1)
+              ~cls:(Context.Aarray (Types.Tclass Types.string_class))
+              ~ctx:Context.Cnone
+          in
+          let str =
+            Context.intern_obj t.ctxs ~site:(-2) ~cls:Context.Astring
+              ~ctx:Context.Cnone
+          in
+          add_obj t (intern_node t (Nvar (emc, pvar))) arr;
+          add_obj t (intern_node t (Nfield (arr, elem_field))) str
+        | _ -> ()));
+      Slice_obs.span "pta.resolve_delta" (fun () -> solve t);
+      Ok
+        { ds_retracted_mctxs = dead_count;
+          ds_cone_nodes = !cone_nodes;
+          ds_total_nodes = t.num_nodes;
+          ds_replayed_mctxs = !replayable }
+    end
+  end
+
 (* --- incremental re-analysis support --------------------------------- *)
 
 (* A canonical string of EXACTLY the facts [make_reachable] turns into
@@ -1773,6 +2136,24 @@ let rekey_sites (t : result) (remap : Instr.stmt_id -> Instr.stmt_id option) :
             | Some _ | None -> d)
           ds
   done;
+  (* The provenance log stores call sites too: move them with the rest,
+     or a later [resolve_delta] would replay retired statement ids. *)
+  if t.pv_on then
+    for mc = 0 to t.num_mctxs - 1 do
+      match t.pv.(mc) with
+      | [] -> ()
+      | ops ->
+        t.pv.(mc) <-
+          List.map
+            (fun op ->
+              match op with
+              | Pcall d -> (
+                match remap d.d_stmt with
+                | Some s' when s' <> d.d_stmt -> Pcall { d with d_stmt = s' }
+                | Some _ | None -> op)
+              | Pseed _ | Pedge _ | Pload _ | Pstore _ -> op)
+            ops
+    done;
   Context.rekey_sites t.ctxs remap
 
 (* Location-keyed parity dumps: canonical across a patched analysis and

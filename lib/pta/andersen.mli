@@ -132,6 +132,42 @@ val rekey_sites : result -> (Instr.stmt_id -> Instr.stmt_id option) -> unit
 val iter_call_sites :
   result -> (caller:int -> stmt:Instr.stmt_id -> callees:int list -> unit) -> unit
 
+(** {2 Delta-native incremental re-solve}
+
+    The main solver logs per-method constraint provenance as it
+    generates constraints (which seed/copy/load/store/call obligations
+    each method context contributed — never the solve-derived work).
+    {!resolve_delta} uses the log to retract a changed method's
+    constraints by delete-and-rederive: it computes the affected cone
+    (every node whose points-to set may depend on a retracted
+    constraint, plus field nodes of objects whose allocation sites are
+    gone), conservatively splits cycle-collapse classes inside the
+    cone, clears the cone's points-to bits and ALL derived rows, then
+    replays the surviving methods' logs — re-walking retracted-but-
+    reachable methods' (new) bodies — straight into the
+    difference-propagation worklist and re-solves to the fixpoint. *)
+
+type delta_stats = {
+  ds_retracted_mctxs : int;  (** contexts whose constraints were dropped *)
+  ds_cone_nodes : int;       (** nodes whose points-to sets were rederived *)
+  ds_total_nodes : int;
+  ds_replayed_mctxs : int;   (** surviving contexts replayed from the log *)
+}
+
+(** Retract [retracted] methods' constraints and re-solve incrementally,
+    mutating the result in place.  [added] names methods whose bodies
+    are new in the program (they contribute constraints on demand).
+    The program held by the result must already reflect the edit.
+    Fails with [`Cone_too_big] when the affected cone exceeds half the
+    node universe (a fresh solve is cheaper) and [`No_provenance] on
+    results lifted from the reference solver; either way the result is
+    untouched and a fresh solve is required. *)
+val resolve_delta :
+  result ->
+  retracted:Instr.method_qname list ->
+  added:Instr.method_qname list ->
+  (delta_stats, [ `Cone_too_big | `No_provenance ]) Stdlib.result
+
 (** {!pts_dump} / {!call_graph_dump} with sites rendered through
     [site_label] instead of raw statement ids: canonical across a
     patched analysis and a fresh rebuild of the same program, whose

@@ -31,7 +31,8 @@
     ({!Slice_core.Engine.update}): the cache entry is re-keyed under
     the new digest and patched in place rather than evicted, and the
     result reports the incremental path taken ([noop], [patched],
-    [resolved], [rebuilt]) with its delta statistics ([relowered],
+    [resolved-incremental], [resolved-fresh], [rebuilt]) with its
+    delta statistics ([relowered],
     [segments_refrozen]/[segments_total], [nodes_dead]/[nodes_new]).
     After an update the daemon's walk scratch is shrunk to the largest
     resident program, exactly as on eviction.

@@ -125,6 +125,7 @@ let sample_repro =
   { Repro.seed = 9; index = 3; derived_seed = 123456789;
     fault = Oracle.No_fault; oracle = "solver_parity"; detail = "d";
     statements = 4; seed_lines = [ 7; 8 ];
+    edit_kinds = [ "tweak"; "swap-body" ];
     program = "void main(String[] args) { print(\"x\"); }" }
 
 let test_repro_roundtrip () =

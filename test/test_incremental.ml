@@ -4,8 +4,8 @@
    answer every query exactly like a fresh [Engine.load] of the edited
    sources — slices in every mode, canonical points-to and call-graph
    dumps, inspection reports, stats.  The tiers (Noop / Patched /
-   Resolved / Rebuilt) only change how much work runs, never the
-   answers. *)
+   Resolved_incremental / Resolved_fresh / Rebuilt) only change how
+   much work runs, never the answers. *)
 
 open Slice_core
 open Slice_front
@@ -235,20 +235,38 @@ let test_update_patched_entry () =
 let test_update_resolved () =
   let h = Engine.load [ (file, base_src) ] in
   (* Same line count, but a new allocation site: the constraint summary
-     moves, so the solved points-to result cannot be re-keyed. *)
+     moves, so the solved points-to result cannot be re-keyed — but the
+     affected cone (one method with almost no pointer flow) is small,
+     so the bitset solver repairs it in place. *)
   let edited =
     replace base_src "void set(int v) { this.f = v + 0; }"
       "void set(int v) { A t = new A(); this.f = v; }"
   in
   let h', rep = Engine.update h [ (file, edited) ] in
-  Alcotest.check path_testable "resolved path" Engine.Resolved
+  Alcotest.check path_testable "resolved path" Engine.Resolved_incremental
     rep.Engine.up_path;
   Alcotest.(check int) "one body relowered" 1 rep.Engine.up_relowered;
   check_equiv ~what:"resolved" h' [ (file, edited) ] (seed_lines_of edited)
 
+(* The same summary-moving edit on a reference-solver handle has no
+   provenance to retract — it must fall to a fresh re-solve. *)
+let test_update_resolved_fresh_reference () =
+  let h = Engine.load ~solver:`Reference [ (file, base_src) ] in
+  let edited =
+    replace base_src "void set(int v) { this.f = v + 0; }"
+      "void set(int v) { A t = new A(); this.f = v; }"
+  in
+  let h', rep = Engine.update h [ (file, edited) ] in
+  Alcotest.check path_testable "resolved-fresh path" Engine.Resolved_fresh
+    rep.Engine.up_path;
+  check_equiv ~what:"resolved-fresh" h' [ (file, edited) ]
+    (seed_lines_of edited)
+
 let test_update_rebuilt () =
   let h = Engine.load [ (file, base_src) ] in
-  let edited = base_src ^ "int extra() { return 41; }\n" in
+  (* A field addition changes the class shell: no incremental tier
+     admits it. *)
+  let edited = replace base_src "int f;" "int f;\n  int f2;" in
   let h', rep = Engine.update h [ (file, edited) ] in
   Alcotest.check path_testable "rebuilt path" Engine.Rebuilt rep.Engine.up_path;
   Alcotest.(check int)
@@ -452,6 +470,8 @@ let suite =
     Alcotest.test_case "update patched chain" `Quick test_update_patched_chain;
     Alcotest.test_case "update patched entry" `Quick test_update_patched_entry;
     Alcotest.test_case "update resolved" `Quick test_update_resolved;
+    Alcotest.test_case "update resolved-fresh (reference)" `Quick
+      test_update_resolved_fresh_reference;
     Alcotest.test_case "update rebuilt" `Quick test_update_rebuilt;
     Alcotest.test_case "update multifile" `Quick test_update_multifile;
     Alcotest.test_case "invalid body edit" `Quick test_update_invalid_body;

@@ -21,6 +21,7 @@ let () =
       ("properties", Test_props.suite);
       ("fuzz", Test_fuzz.suite);
       ("incremental", Test_incremental.suite);
+      ("incremental-solver", Test_incremental_solver.suite);
       ("cli", Test_cli.suite);
       ("serve", Test_serve.suite);
       ("scale", Test_scale.suite) ]
